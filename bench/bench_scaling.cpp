@@ -1,0 +1,104 @@
+//===- bench/bench_scaling.cpp - B1: the linear-time claim --------------------===//
+//
+// The paper: "this algorithm is linear in the size of the SSA graph, not
+// iterative."  This bench times the classification (SSA graph + Tarjan +
+// classify) over loops of growing size and prints the per-statement cost,
+// whose flatness is the claim's shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadGen.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "frontend/Lowering.h"
+#include "ivclass/InductionAnalysis.h"
+#include "ssa/SSABuilder.h"
+#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+
+using namespace biv;
+
+namespace {
+
+struct Prepared {
+  std::unique_ptr<ir::Function> F;
+  std::unique_ptr<analysis::DominatorTree> DT;
+  std::unique_ptr<analysis::LoopInfo> LI;
+};
+
+Prepared prepare(const std::string &Src) {
+  Prepared P;
+  P.F = frontend::parseAndLowerOrDie(Src);
+  ssa::buildSSA(*P.F);
+  P.DT = std::make_unique<analysis::DominatorTree>(*P.F);
+  P.LI = std::make_unique<analysis::LoopInfo>(*P.F, *P.DT);
+  return P;
+}
+
+void BM_ClassifyChain(benchmark::State &State) {
+  unsigned N = State.range(0);
+  Prepared P = prepare(bench::genLinearChain(N));
+  ivclass::InductionAnalysis::Options Opts;
+  Opts.MaterializeExitValues = false; // run() must stay re-entrant per iter
+  for (auto _ : State) {
+    ivclass::InductionAnalysis IA(*P.F, *P.DT, *P.LI, Opts);
+    IA.run();
+    benchmark::DoNotOptimize(IA.stats().Regions);
+  }
+  State.SetItemsProcessed(State.iterations() * P.F->instructionCount());
+  State.counters["stmts"] = N;
+}
+
+void BM_ClassifyMixed(benchmark::State &State) {
+  unsigned Groups = State.range(0);
+  Prepared P = prepare(bench::genMixedClasses(Groups));
+  ivclass::InductionAnalysis::Options Opts;
+  Opts.MaterializeExitValues = false;
+  for (auto _ : State) {
+    ivclass::InductionAnalysis IA(*P.F, *P.DT, *P.LI, Opts);
+    IA.run();
+    benchmark::DoNotOptimize(IA.stats().Regions);
+  }
+  State.SetItemsProcessed(State.iterations() * P.F->instructionCount());
+}
+
+BENCHMARK(BM_ClassifyChain)->Arg(10)->Arg(30)->Arg(100)->Arg(300)->Arg(1000)
+    ->Arg(3000);
+BENCHMARK(BM_ClassifyMixed)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+/// Prints the B1 table: statements vs. one-shot wall time and ns/stmt; the
+/// last column's flatness is the paper's linearity claim.
+void printTable() {
+  std::printf("# B1: classification time vs loop size (claim: linear in "
+              "the size of the SSA graph)\n");
+  std::printf("%10s %12s %14s %12s\n", "stmts", "instrs", "time_us",
+              "ns_per_inst");
+  for (unsigned N : {10u, 30u, 100u, 300u, 1000u, 3000u}) {
+    Prepared P = prepare(bench::genLinearChain(N));
+    ivclass::InductionAnalysis::Options Opts;
+    Opts.MaterializeExitValues = false;
+    // Best of five.
+    double Best = 1e30;
+    for (int Rep = 0; Rep < 5; ++Rep) {
+      auto T0 = std::chrono::steady_clock::now();
+      ivclass::InductionAnalysis IA(*P.F, *P.DT, *P.LI, Opts);
+      IA.run();
+      auto T1 = std::chrono::steady_clock::now();
+      Best = std::min(
+          Best, std::chrono::duration<double, std::micro>(T1 - T0).count());
+    }
+    size_t Instrs = P.F->instructionCount();
+    std::printf("%10u %12zu %14.1f %12.1f\n", N, Instrs, Best,
+                Best * 1000.0 / double(Instrs));
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- bench/bench_ssa.cpp - B5: substrate throughput -------------------------===//
+//
+// Throughput of the pipeline stages under the analysis: parsing/lowering,
+// SSA construction (phi placement + renaming), and SCCP.  Not a claim from
+// the paper, but the substrate cost against which the "improves the speed
+// of compilers" argument is made.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadGen.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "frontend/Lowering.h"
+#include "ssa/SCCP.h"
+#include "ssa/SSABuilder.h"
+#include <benchmark/benchmark.h>
+#include <cstdio>
+
+using namespace biv;
+
+namespace {
+
+void BM_ParseAndLower(benchmark::State &State) {
+  std::string Src = bench::genLinearChain(State.range(0));
+  for (auto _ : State) {
+    auto F = frontend::parseAndLowerOrDie(Src);
+    benchmark::DoNotOptimize(F->instructionCount());
+  }
+  State.SetBytesProcessed(State.iterations() * Src.size());
+}
+
+void BM_BuildSSA(benchmark::State &State) {
+  std::string Src = bench::genLinearChain(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto F = frontend::parseAndLowerOrDie(Src);
+    State.ResumeTiming();
+    ssa::SSAInfo Info = ssa::buildSSA(*F);
+    benchmark::DoNotOptimize(Info.PhisPlaced);
+  }
+}
+
+void BM_SCCP(benchmark::State &State) {
+  std::string Src = bench::genLinearChain(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto F = frontend::parseAndLowerOrDie(Src);
+    ssa::buildSSA(*F);
+    State.ResumeTiming();
+    ssa::SCCPResult R = ssa::runSCCP(*F, /*SimplifyCFG=*/false);
+    benchmark::DoNotOptimize(R.FoldedInstructions);
+  }
+}
+
+void BM_Dominators(benchmark::State &State) {
+  auto F = frontend::parseAndLowerOrDie(
+      bench::genMixedClasses(State.range(0)));
+  ssa::buildSSA(*F);
+  for (auto _ : State) {
+    analysis::DominatorTree DT(*F);
+    analysis::LoopInfo LI(*F, DT);
+    benchmark::DoNotOptimize(LI.loops().size());
+  }
+}
+
+BENCHMARK(BM_ParseAndLower)->Arg(100)->Arg(1000);
+BENCHMARK(BM_BuildSSA)->Arg(100)->Arg(1000);
+BENCHMARK(BM_SCCP)->Arg(100)->Arg(1000);
+BENCHMARK(BM_Dominators)->Arg(8)->Arg(64);
+
+void printTable() {
+  std::printf("# B5: SSA construction statistics on the chain workload\n");
+  std::printf("%10s %12s %12s\n", "stmts", "instrs", "phis");
+  for (unsigned N : {100u, 1000u, 3000u}) {
+    auto F = frontend::parseAndLowerOrDie(bench::genLinearChain(N));
+    size_t Before = F->instructionCount();
+    ssa::SSAInfo Info = ssa::buildSSA(*F);
+    std::printf("%10u %12zu %12u\n", N, Before, Info.PhisPlaced);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

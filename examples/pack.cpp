@@ -1,0 +1,75 @@
+//===- examples/pack.cpp - Monotonic variables and the pack idiom -------------===//
+//
+// Section 4.4's motivating pattern: compressing selected elements of one
+// vector into another through a conditionally incremented counter.  The
+// counter is not an induction variable, but classifying it as *strictly
+// monotonic within the guard* (Figure 10) proves the packed writes never
+// collide -- B can be written in parallel with a prefix-sum of the guard.
+//
+//   $ ./pack
+//
+//===----------------------------------------------------------------------===//
+
+#include "dependence/DependenceAnalyzer.h"
+#include "interp/Interpreter.h"
+#include "ivclass/Pipeline.h"
+#include <cstdio>
+
+using namespace biv;
+using namespace biv::dependence;
+
+int main() {
+  const char *Source = R"(
+    func pack(n) {
+      k = 0;
+      for L15: i = 1 to n {
+        if (A[i] > 0) {
+          k = k + 1;
+          B[k] = A[i];
+        }
+      }
+      return k;
+    }
+  )";
+  ivclass::AnalyzedProgram P = ivclass::analyzeSourceOrDie(Source);
+  analysis::Loop *L = P.LI->byName("L15");
+
+  ir::Instruction *K = P.Info.phiFor(L->header(), "k");
+  const ivclass::Classification &CK = P.IA->classify(K, L);
+  std::printf("k at the loop header: %s\n", CK.str(P.IA->namer()).c_str());
+
+  // The subscript actually used by the store is k+1 inside the guard --
+  // strictly monotonic per the paper's Figure 10 argument.
+  const ir::Instruction *Store = nullptr;
+  for (const auto &BB : P.F->blocks())
+    for (const auto &I : *BB)
+      if (I->opcode() == ir::Opcode::ArrayStore &&
+          I->array()->name() == "B")
+        Store = I.get();
+  const auto *Sub = ir::cast<ir::Instruction>(Store->operand(1));
+  const ivclass::Classification &CS = P.IA->classify(Sub, L);
+  std::printf("store subscript k+1:  %s\n", CS.str(P.IA->namer()).c_str());
+
+  DependenceAnalyzer DA(*P.IA);
+  std::vector<Dependence> Deps = DA.analyze();
+  bool SelfCollision = false;
+  for (const Dependence &D : Deps)
+    if (D.Kind == DepKind::Output && D.Src->array()->name() == "B")
+      SelfCollision |= (D.Result.dirsFor(L) & (DirLT | DirGT)) != 0;
+  std::printf("packed writes can collide across iterations: %s\n",
+              SelfCollision ? "maybe" : "NO (strictly monotonic subscript)");
+
+  // Demonstrate on real data.
+  std::map<std::string, std::map<std::vector<int64_t>, int64_t>> Arrays;
+  const int64_t Data[] = {4, -1, 7, 0, 3, -9, 8, 2};
+  for (int64_t I = 0; I < 8; ++I)
+    Arrays["A"][{I + 1}] = Data[I];
+  interp::ExecutionTrace T = interp::runWithArrays(*P.F, {8}, Arrays);
+  if (!T.ok()) {
+    std::printf("execution failed: %s\n", T.Error.c_str());
+    return 1;
+  }
+  std::printf("packed %lld positive elements\n",
+              static_cast<long long>(*T.ReturnValue));
+  return SelfCollision ? 1 : 0;
+}

@@ -1,0 +1,56 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library --------------===//
+//
+// Parses a small loop program, runs the whole pipeline (SSA construction,
+// constant propagation, the paper's unified induction-variable analysis),
+// and prints the IR, the classification tuples, and the trip counts.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "ivclass/Pipeline.h"
+#include "ivclass/Report.h"
+#include <cstdio>
+
+using namespace biv;
+
+int main() {
+  // A loop nest exercising several of the paper's variable classes:
+  // a linear IV (i), a derived linear subscript (2*i+1), a polynomial (acc),
+  // a wrap-around (prev), and a monotonic variable (count).
+  const char *Source = R"(
+    func quickstart(n) {
+      acc = 1;
+      prev = n;
+      count = 0;
+      for L1: i = 1 to n {
+        A[2*i + 1] = A[prev] + 1;   # prev wraps around the loop
+        acc = acc + i;              # second-order polynomial
+        if (A[i] > 0) {
+          count = count + 1;        # monotonic: conditionally incremented
+        }
+        prev = i;
+      }
+      return count;
+    }
+  )";
+
+  ivclass::AnalyzedProgram P = ivclass::analyzeSourceOrDie(Source);
+
+  std::printf("=== SSA form ===\n%s\n", ir::toString(*P.F).c_str());
+  std::printf("=== Classification (paper notation: (loop, init, steps)) "
+              "===\n%s\n",
+              ivclass::report(*P.IA, &P.Info).c_str());
+
+  const ivclass::InductionAnalysis::Stats &S = P.IA->stats();
+  std::printf("=== Stats ===\n"
+              "strongly connected regions: %u\n"
+              "linear families:            %u\n"
+              "polynomial families:        %u\n"
+              "wrap-arounds:               %u\n"
+              "monotonic regions:          %u\n",
+              S.Regions, S.LinearFamilies, S.PolynomialFamilies,
+              S.WrapArounds, S.MonotonicRegions);
+  return 0;
+}

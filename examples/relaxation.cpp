@@ -1,0 +1,80 @@
+//===- examples/relaxation.cpp - Periodic variables in relaxation codes -------===//
+//
+// Section 4.2's motivating workload: relaxation sweeps that ping-pong
+// between the "old" and "new" halves of an array using flip-flop variables.
+// The paper's point: "it is extremely important and useful for the compiler
+// to realize that for any fixed value of iter, j and jold have different
+// values" -- the periodic classification proves the two planes never alias
+// within one sweep, so each sweep's inner loop can run in parallel.
+//
+//   $ ./relaxation
+//
+//===----------------------------------------------------------------------===//
+
+#include "dependence/DependenceAnalyzer.h"
+#include "interp/Interpreter.h"
+#include "ivclass/Pipeline.h"
+#include "ivclass/Report.h"
+#include <cstdio>
+
+using namespace biv;
+using namespace biv::dependence;
+
+int main() {
+  // Both flip-flop idioms from the paper, L11 (swap) and L12 (j = 3 - j),
+  // driving a 1-D Jacobi-style relaxation over A[plane, x].
+  const char *Source = R"(
+    func relax(n, steps) {
+      j = 1;        # plane holding the current values
+      jold = 2;     # plane being read
+      jtemp = 0;
+      for L11: iter = 1 to steps {
+        for LX: x = 2 to n {
+          A[j, x] = A[jold, x - 1] + A[jold, x + 1];
+        }
+        jtemp = jold;   # swap planes
+        jold = j;
+        j = jtemp;
+      }
+      return j;
+    }
+  )";
+  ivclass::AnalyzedProgram P = ivclass::analyzeSourceOrDie(Source);
+
+  std::printf("=== classification ===\n%s\n",
+              ivclass::report(*P.IA, &P.Info).c_str());
+
+  analysis::Loop *L11 = P.LI->byName("L11");
+  ir::Instruction *J = P.Info.phiFor(L11->header(), "j");
+  ir::Instruction *JOld = P.Info.phiFor(L11->header(), "jold");
+  const ivclass::Classification &CJ = P.IA->classify(J, L11);
+  const ivclass::Classification &CO = P.IA->classify(JOld, L11);
+  std::printf("j    : %s\n", CJ.str(P.IA->namer()).c_str());
+  std::printf("jold : %s\n", CO.str(P.IA->namer()).c_str());
+  if (CJ.isPeriodic() && CO.isPeriodic() && CJ.FamilyId == CO.FamilyId &&
+      CJ.Phase != CO.Phase)
+    std::printf("=> same period-2 family, different phases: j != jold on "
+                "every iteration.\n\n");
+
+  DependenceAnalyzer DA(*P.IA);
+  std::vector<Dependence> Deps = DA.analyze();
+  std::printf("=== dependence report ===\n%s", DA.report(Deps).c_str());
+
+  // The payoff: the write plane j and the read plane jold can never meet in
+  // the same outer iteration, so no dependence between the A accesses is
+  // loop-independent in L11 -- each sweep's reads and writes are disjoint.
+  bool AnySameSweepAlias = false;
+  for (const Dependence &D : Deps) {
+    if (D.Src == D.Dst ||
+        D.Result.O == DependenceResult::Outcome::Independent)
+      continue;
+    AnySameSweepAlias |= (D.Result.dirsFor(L11) & DirEQ) != 0;
+  }
+  std::printf("\nwithin one sweep, write/read planes alias: %s\n",
+              AnySameSweepAlias ? "maybe (analysis too weak)" : "NO");
+
+  // Sanity check by execution.
+  interp::ExecutionTrace T = interp::run(*P.F, {8, 6});
+  std::printf("dynamic check: %s\n", T.ok() ? "ran fine" : T.Error.c_str());
+  return AnySameSweepAlias ? 1 : 0;
+}

@@ -1,0 +1,144 @@
+//===- analysis/LoopInfo.cpp - Natural loop nest ----------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include <algorithm>
+#include <map>
+
+using namespace biv;
+using namespace biv::analysis;
+
+bool Loop::encloses(const Loop *Other) const {
+  for (const Loop *L = Other; L; L = L->parent())
+    if (L == this)
+      return true;
+  return false;
+}
+
+/// Derives the printable loop name from its header block name: "L18.header"
+/// becomes "L18"; anything else is used as is.
+static std::string loopNameFromHeader(const ir::BasicBlock *Header) {
+  const std::string &N = Header->name();
+  size_t Dot = N.rfind(".header");
+  if (Dot != std::string::npos)
+    return N.substr(0, Dot);
+  return N;
+}
+
+LoopInfo::LoopInfo(const ir::Function &F, const DominatorTree &DT) : F(F) {
+  InnermostFor.assign(F.numBlocks(), nullptr);
+
+  // Find back edges grouped by header, in RPO so outer headers come first.
+  std::map<const ir::BasicBlock *, std::vector<ir::BasicBlock *>> BackEdges;
+  std::vector<ir::BasicBlock *> HeaderOrder;
+  for (ir::BasicBlock *BB : DT.rpo())
+    for (ir::BasicBlock *Succ : BB->successors())
+      if (DT.dominates(Succ, BB)) {
+        auto [It, Inserted] = BackEdges.try_emplace(Succ);
+        if (Inserted)
+          HeaderOrder.push_back(Succ);
+        It->second.push_back(BB);
+      }
+  // RPO order of headers: sort HeaderOrder by RPO position.
+  {
+    std::map<const ir::BasicBlock *, size_t> Pos;
+    for (size_t I = 0; I < DT.rpo().size(); ++I)
+      Pos[DT.rpo()[I]] = I;
+    std::sort(HeaderOrder.begin(), HeaderOrder.end(),
+              [&](ir::BasicBlock *A, ir::BasicBlock *B) {
+                return Pos[A] < Pos[B];
+              });
+  }
+
+  // Build each loop body: backwards reachability from the latches without
+  // crossing the header.
+  for (ir::BasicBlock *Header : HeaderOrder) {
+    auto L = std::make_unique<Loop>(Header, loopNameFromHeader(Header));
+    L->Latches = BackEdges[Header];
+    L->BlockSet.insert(Header->id());
+    std::vector<ir::BasicBlock *> Work = L->Latches;
+    for (ir::BasicBlock *Latch : L->Latches)
+      L->BlockSet.insert(Latch->id());
+    while (!Work.empty()) {
+      ir::BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (BB == Header)
+        continue;
+      for (ir::BasicBlock *P : BB->predecessors())
+        if (L->BlockSet.insert(P->id()).second)
+          Work.push_back(P);
+    }
+    // Materialize the block list in function order for determinism.
+    for (const auto &BB : F.blocks())
+      if (L->BlockSet.count(BB->id()))
+        L->Blocks.push_back(BB.get());
+    // Preheader: unique outside predecessor of the header.
+    ir::BasicBlock *Pre = nullptr;
+    bool Multiple = false;
+    for (ir::BasicBlock *P : Header->predecessors()) {
+      if (L->contains(P))
+        continue;
+      if (Pre)
+        Multiple = true;
+      Pre = P;
+    }
+    L->Preheader = Multiple ? nullptr : Pre;
+    // Exits.
+    for (ir::BasicBlock *BB : L->Blocks)
+      for (ir::BasicBlock *Succ : BB->successors())
+        if (!L->contains(Succ)) {
+          if (std::find(L->Exiting.begin(), L->Exiting.end(), BB) ==
+              L->Exiting.end())
+            L->Exiting.push_back(BB);
+          if (std::find(L->Exits.begin(), L->Exits.end(), Succ) ==
+              L->Exits.end())
+            L->Exits.push_back(Succ);
+        }
+    Loops.push_back(std::move(L));
+  }
+
+  // Parent links: the smallest strictly-containing loop.  Headers appear in
+  // RPO, so a parent always precedes its children in Loops.
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    Loop *Inner = Loops[I].get();
+    Loop *Best = nullptr;
+    for (size_t J = 0; J < I; ++J) {
+      Loop *Outer = Loops[J].get();
+      if (Outer == Inner || !Outer->contains(Inner->header()))
+        continue;
+      if (!Best || Best->Blocks.size() > Outer->Blocks.size())
+        Best = Outer;
+    }
+    Inner->Parent = Best;
+    if (Best) {
+      Best->SubLoops.push_back(Inner);
+      Inner->Depth = Best->Depth + 1;
+    } else {
+      TopLevel.push_back(Inner);
+    }
+  }
+
+  // Innermost loop per block: visit loops outer-to-inner so inner loops
+  // overwrite their parents.
+  for (const auto &L : Loops)
+    for (ir::BasicBlock *BB : L->Blocks)
+      InnermostFor[BB->id()] = L.get();
+}
+
+std::vector<Loop *> LoopInfo::innerToOuter() const {
+  // Loops stores parents before children; reversing yields children first.
+  std::vector<Loop *> Result;
+  for (auto It = Loops.rbegin(); It != Loops.rend(); ++It)
+    Result.push_back(It->get());
+  return Result;
+}
+
+Loop *LoopInfo::loopFor(const ir::BasicBlock *BB) const {
+  return InnermostFor[BB->id()];
+}
+
+Loop *LoopInfo::byName(const std::string &Name) const {
+  for (const auto &L : Loops)
+    if (L->name() == Name)
+      return L.get();
+  return nullptr;
+}

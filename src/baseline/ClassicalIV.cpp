@@ -1,0 +1,203 @@
+//===- baseline/ClassicalIV.cpp - Classical IV detection -----------------------===//
+
+#include "baseline/ClassicalIV.h"
+
+using namespace biv;
+using namespace biv::baseline;
+
+namespace {
+
+bool isInvariantIn(const ir::Value *V, const analysis::Loop &L) {
+  if (ir::isa<ir::Constant>(V) || ir::isa<ir::Argument>(V))
+    return true;
+  if (const auto *I = ir::dyn_cast<ir::Instruction>(V))
+    return !L.contains(I->parent());
+  return false;
+}
+
+/// Affine view of an invariant operand (constants fold, anything else is an
+/// opaque symbol).
+Affine invariantAffine(const ir::Value *V) {
+  if (const auto *C = ir::dyn_cast<ir::Constant>(V))
+    return Affine(C->value());
+  return Affine::symbol(V);
+}
+
+/// Checks the basic-IV pattern for a header phi: every cycle through the
+/// carried value is a chain of +/- invariant steps back to the phi.  The
+/// classical formulation ("i appears only in statements i = i + k") maps to
+/// exactly this shape on SSA form, conditional paths included when every
+/// path adds the same net amount.
+bool chaseBasic(const ir::Instruction *Phi, const ir::Value *V,
+                const analysis::Loop &L, Affine Step, Affine &NetStep,
+                bool &StepKnown, unsigned Depth) {
+  if (Depth == 0)
+    return false;
+  if (V == Phi) {
+    if (StepKnown && !(NetStep == Step))
+      return false;
+    NetStep = Step;
+    StepKnown = true;
+    return true;
+  }
+  const auto *I = ir::dyn_cast<ir::Instruction>(V);
+  if (!I || !L.contains(I->parent()))
+    return false;
+  switch (I->opcode()) {
+  case ir::Opcode::Add:
+    if (isInvariantIn(I->operand(1), L))
+      return chaseBasic(Phi, I->operand(0), L,
+                        Step + invariantAffine(I->operand(1)), NetStep,
+                        StepKnown, Depth - 1);
+    if (isInvariantIn(I->operand(0), L))
+      return chaseBasic(Phi, I->operand(1), L,
+                        Step + invariantAffine(I->operand(0)), NetStep,
+                        StepKnown, Depth - 1);
+    return false;
+  case ir::Opcode::Sub:
+    if (isInvariantIn(I->operand(1), L))
+      return chaseBasic(Phi, I->operand(0), L,
+                        Step - invariantAffine(I->operand(1)), NetStep,
+                        StepKnown, Depth - 1);
+    return false;
+  case ir::Opcode::Copy:
+    return chaseBasic(Phi, I->operand(0), L, Step, NetStep, StepKnown,
+                      Depth - 1);
+  case ir::Opcode::Phi: {
+    // Conditional increment: all incoming paths must reach the base phi
+    // with the same accumulated step.
+    for (const ir::Value *Op : I->operands())
+      if (!chaseBasic(Phi, Op, L, Step, NetStep, StepKnown, Depth - 1))
+        return false;
+    return I->numOperands() > 0;
+  }
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+ClassicalResult biv::baseline::runClassicalIV(const analysis::Loop &L) {
+  ClassicalResult R;
+
+  // Phase 1: basic induction variables from the header phis.
+  for (ir::Instruction *Phi : L.header()->phis()) {
+    const ir::Value *Carried = nullptr;
+    bool Multi = false;
+    for (unsigned I = 0; I < Phi->numOperands(); ++I) {
+      if (!L.contains(Phi->blocks()[I]))
+        continue;
+      if (Carried)
+        Multi = true;
+      Carried = Phi->operand(I);
+    }
+    if (!Carried || Multi)
+      continue;
+    Affine NetStep;
+    bool StepKnown = false;
+    if (!chaseBasic(Phi, Carried, L, Affine(), NetStep, StepKnown, 64) ||
+        !StepKnown || NetStep.isZero())
+      continue;
+    LinearIV IV;
+    IV.Base = Phi;
+    IV.IsBasic = true;
+    R.IVs[Phi] = IV;
+    ++R.BasicIVs;
+  }
+
+  // Phase 2: iterate to a fixed point adding derived IVs j = b*i + c.  This
+  // sweep-until-stable loop is the classical algorithm's hallmark (and its
+  // cost); the paper's SSA/SCR algorithm needs a single pass instead.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++R.Passes;
+    for (ir::BasicBlock *BB : L.blocks())
+      for (const auto &Inst : *BB) {
+        const ir::Instruction *I = Inst.get();
+        if (R.IVs.count(I))
+          continue;
+        auto derive = [&](const ir::Value *IVOp, const ir::Value *InvOp,
+                          auto &&Fn) -> bool {
+          auto It = R.IVs.find(IVOp);
+          if (It == R.IVs.end() || !isInvariantIn(InvOp, L))
+            return false;
+          LinearIV New = It->second;
+          New.IsBasic = false;
+          if (!Fn(New, invariantAffine(InvOp)))
+            return false;
+          R.IVs[I] = std::move(New);
+          ++R.DerivedIVs;
+          Changed = true;
+          return true;
+        };
+        switch (I->opcode()) {
+        case ir::Opcode::Add: {
+          auto AddFn = [](LinearIV &IV, const Affine &C) {
+            IV.Offset += C;
+            return true;
+          };
+          if (!derive(I->operand(0), I->operand(1), AddFn))
+            derive(I->operand(1), I->operand(0), AddFn);
+          break;
+        }
+        case ir::Opcode::Sub: {
+          if (!derive(I->operand(0), I->operand(1),
+                      [](LinearIV &IV, const Affine &C) {
+                        IV.Offset -= C;
+                        return true;
+                      })) {
+            // c - i: negate scale and offset.
+            derive(I->operand(1), I->operand(0),
+                   [](LinearIV &IV, const Affine &C) {
+                     IV.Scale = -IV.Scale;
+                     IV.Offset = C - IV.Offset;
+                     return true;
+                   });
+          }
+          break;
+        }
+        case ir::Opcode::Mul: {
+          auto MulFn = [](LinearIV &IV, const Affine &C) {
+            std::optional<Affine> S = Affine::mul(IV.Scale, C);
+            std::optional<Affine> O = Affine::mul(IV.Offset, C);
+            if (!S || !O)
+              return false;
+            IV.Scale = *S;
+            IV.Offset = *O;
+            return true;
+          };
+          if (!derive(I->operand(0), I->operand(1), MulFn))
+            derive(I->operand(1), I->operand(0), MulFn);
+          break;
+        }
+        case ir::Opcode::Neg: {
+          auto It = R.IVs.find(I->operand(0));
+          if (It != R.IVs.end()) {
+            LinearIV New = It->second;
+            New.IsBasic = false;
+            New.Scale = -New.Scale;
+            New.Offset = -New.Offset;
+            R.IVs[I] = std::move(New);
+            ++R.DerivedIVs;
+            Changed = true;
+          }
+          break;
+        }
+        case ir::Opcode::Copy: {
+          auto It = R.IVs.find(I->operand(0));
+          if (It != R.IVs.end()) {
+            R.IVs[I] = It->second;
+            ++R.DerivedIVs;
+            Changed = true;
+          }
+          break;
+        }
+        default:
+          break;
+        }
+      }
+  }
+  return R;
+}

@@ -1,0 +1,59 @@
+//===- baseline/ClassicalIV.h - Classical IV detection ----------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical (pre-SSA-era) induction variable algorithm, in the style
+/// of [ASU86] and Cocke/Kennedy [CK77, ACK81], as a baseline: first find
+/// *basic* induction variables (variables incremented by a loop-invariant
+/// amount on every path), then iterate to a fixed point adding *derived*
+/// variables of the form j = b*i + c with b, c invariant.
+///
+/// This is what the paper's unified SSA algorithm replaces: it is iterative
+/// (the pass count is reported so the benchmarks can show it), finds only
+/// linear variables, and needs the separate ad-hoc matchers of
+/// PatternMatchers.h for everything else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_BASELINE_CLASSICALIV_H
+#define BEYONDIV_BASELINE_CLASSICALIV_H
+
+#include "analysis/LoopInfo.h"
+#include "support/Affine.h"
+#include <map>
+
+namespace biv {
+namespace baseline {
+
+/// A classical linear induction variable: Scale * Base + Offset, with Base
+/// a basic IV (identified by its loop-header phi).
+struct LinearIV {
+  const ir::Instruction *Base = nullptr;
+  Affine Scale{Rational(1)};
+  Affine Offset;
+  bool IsBasic = false;
+};
+
+/// Result of the classical algorithm on one loop.
+struct ClassicalResult {
+  std::map<const ir::Value *, LinearIV> IVs;
+  unsigned BasicIVs = 0;
+  unsigned DerivedIVs = 0;
+  /// Number of sweeps over the loop body until the fixed point.
+  unsigned Passes = 0;
+
+  bool isIV(const ir::Value *V) const { return IVs.count(V) != 0; }
+};
+
+/// Runs the classical algorithm on \p L (SSA form; the header phis play the
+/// role of the classical "variables").
+ClassicalResult runClassicalIV(const analysis::Loop &L);
+
+} // namespace baseline
+} // namespace biv
+
+#endif // BEYONDIV_BASELINE_CLASSICALIV_H

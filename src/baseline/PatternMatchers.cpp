@@ -1,0 +1,44 @@
+//===- baseline/PatternMatchers.cpp - Ad-hoc recognizers -----------------------===//
+
+#include "baseline/PatternMatchers.h"
+
+using namespace biv;
+using namespace biv::baseline;
+
+AdHocResult biv::baseline::runAdHocMatchers(const analysis::Loop &L,
+                                            const ClassicalResult &IVs) {
+  AdHocResult R;
+
+  // Wrap-around matcher: a header phi that is not itself an IV but whose
+  // carried value is a (classical) IV.  First order only -- cascaded
+  // wrap-arounds (Figure 4's k2) are beyond typical matchers.
+  for (ir::Instruction *Phi : L.header()->phis()) {
+    if (IVs.isIV(Phi))
+      continue;
+    for (unsigned I = 0; I < Phi->numOperands(); ++I) {
+      if (!L.contains(Phi->blocks()[I]))
+        continue;
+      if (IVs.isIV(Phi->operand(I)))
+        ++R.WrapArounds;
+    }
+  }
+
+  // Flip-flop matcher: header phi whose carried value is `c - phi` with c
+  // invariant (the paper's loop L12 form).
+  for (ir::Instruction *Phi : L.header()->phis())
+    for (unsigned I = 0; I < Phi->numOperands(); ++I) {
+      if (!L.contains(Phi->blocks()[I]))
+        continue;
+      const auto *Sub = ir::dyn_cast<ir::Instruction>(Phi->operand(I));
+      if (!Sub || Sub->opcode() != ir::Opcode::Sub ||
+          Sub->operand(1) != Phi)
+        continue;
+      const ir::Value *C = Sub->operand(0);
+      bool Invariant = ir::isa<ir::Constant>(C) || ir::isa<ir::Argument>(C);
+      if (const auto *CI = ir::dyn_cast<ir::Instruction>(C))
+        Invariant = !L.contains(CI->parent());
+      if (Invariant)
+        ++R.FlipFlops;
+    }
+  return R;
+}

@@ -1,0 +1,39 @@
+//===- baseline/PatternMatchers.h - Ad-hoc recognizers ----------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ad-hoc pattern recognizers the paper says current (1992) compilers
+/// bolt on after classical IV analysis: a wrap-around matcher ("typically,
+/// wrap-around variables are found with a separate pattern matching
+/// analysis of the loops, following induction variable analysis" [PW86])
+/// and a flip-flop matcher for `j = c - j`.  Used as the coverage/speed
+/// baseline against the unified algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_BASELINE_PATTERNMATCHERS_H
+#define BEYONDIV_BASELINE_PATTERNMATCHERS_H
+
+#include "baseline/ClassicalIV.h"
+
+namespace biv {
+namespace baseline {
+
+/// What the ad-hoc matchers recognized in one loop.
+struct AdHocResult {
+  unsigned WrapArounds = 0; ///< First-order only, like typical matchers.
+  unsigned FlipFlops = 0;   ///< j = c - j patterns.
+};
+
+/// Runs both matchers on \p L, given classical IV results for the loop.
+AdHocResult runAdHocMatchers(const analysis::Loop &L,
+                             const ClassicalResult &IVs);
+
+} // namespace baseline
+} // namespace biv
+
+#endif // BEYONDIV_BASELINE_PATTERNMATCHERS_H

@@ -1,0 +1,625 @@
+//===- dependence/DependenceTests.cpp - Decision algorithms --------------------===//
+
+#include "dependence/DependenceTests.h"
+#include <algorithm>
+#include <numeric>
+
+using namespace biv;
+using namespace biv::dependence;
+
+std::string biv::dependence::dirSetStr(uint8_t Dirs) {
+  switch (Dirs & DirAll) {
+  case DirNone:
+    return "()";
+  case DirLT:
+    return "(<)";
+  case DirEQ:
+    return "(=)";
+  case DirGT:
+    return "(>)";
+  case DirLT | DirEQ:
+    return "(<=)";
+  case DirEQ | DirGT:
+    return "(>=)";
+  case DirLT | DirGT:
+    return "(<>)";
+  default:
+    return "(*)";
+  }
+}
+
+uint8_t DependenceResult::dirsFor(const analysis::Loop *L) const {
+  for (const LoopDirection &D : Directions)
+    if (D.L == L)
+      return D.Dirs;
+  return DirAll;
+}
+
+void DependenceResult::projectVectors() {
+  if (Directions.empty())
+    return;
+  if (Vectors.empty()) {
+    if (O != Outcome::Independent) {
+      // Nothing to project; leave per-loop sets as they are.
+      return;
+    }
+    return;
+  }
+  std::vector<uint8_t> Union(Directions.size(), DirNone);
+  for (const std::vector<uint8_t> &V : Vectors)
+    for (size_t I = 0; I < V.size(); ++I)
+      Union[I] |= V[I];
+  for (size_t I = 0; I < Directions.size(); ++I)
+    Directions[I].Dirs = Union[I];
+}
+
+namespace {
+
+/// Expands per-loop direction sets into the explicit vector list; empty
+/// when the nest is too deep to enumerate.
+std::vector<std::vector<uint8_t>>
+enumerateVectors(const std::vector<LoopDirection> &Dirs) {
+  if (Dirs.empty() || Dirs.size() > 6)
+    return {};
+  std::vector<std::vector<uint8_t>> Out{{}};
+  for (const LoopDirection &LD : Dirs) {
+    std::vector<std::vector<uint8_t>> Next;
+    for (uint8_t D : {DirLT, DirEQ, DirGT}) {
+      if (!(LD.Dirs & D))
+        continue;
+      for (const std::vector<uint8_t> &Prefix : Out) {
+        std::vector<uint8_t> V = Prefix;
+        V.push_back(D);
+        Next.push_back(std::move(V));
+      }
+    }
+    Out = std::move(Next);
+    if (Out.size() > 1024)
+      return {};
+  }
+  return Out;
+}
+
+} // namespace
+
+namespace {
+
+/// An interval with optional infinities, for Banerjee bounds.
+struct Interval {
+  std::optional<Rational> Lo = Rational(0); // nullopt = -inf
+  std::optional<Rational> Hi = Rational(0); // nullopt = +inf
+
+  static Interval point(Rational V) { return {V, V}; }
+  static Interval everything() { return {std::nullopt, std::nullopt}; }
+  /// The empty interval (used for infeasible directions).
+  static Interval empty() { return {Rational(1), Rational(0)}; }
+
+  bool isEmpty() const { return Lo && Hi && *Lo > *Hi; }
+
+  Interval operator+(const Interval &O) const {
+    Interval R;
+    R.Lo = (Lo && O.Lo) ? std::optional<Rational>(*Lo + *O.Lo) : std::nullopt;
+    R.Hi = (Hi && O.Hi) ? std::optional<Rational>(*Hi + *O.Hi) : std::nullopt;
+    return R;
+  }
+
+  bool contains(const Rational &V) const {
+    if (isEmpty())
+      return false;
+    if (Lo && V < *Lo)
+      return false;
+    if (Hi && V > *Hi)
+      return false;
+    return true;
+  }
+};
+
+/// Interval of c * x for x in [0, U] (U nullopt = unbounded).
+Interval scaledRange(const Rational &C, const std::optional<int64_t> &U) {
+  if (C.isZero())
+    return Interval::point(Rational(0));
+  Interval R;
+  if (U) {
+    Rational End = C * Rational(*U);
+    R.Lo = std::min(Rational(0), End);
+    R.Hi = std::max(Rational(0), End);
+    return R;
+  }
+  if (C.isPositive()) {
+    R.Lo = Rational(0);
+    R.Hi = std::nullopt;
+  } else {
+    R.Lo = std::nullopt;
+    R.Hi = Rational(0);
+  }
+  return R;
+}
+
+/// Interval of a*h - b*h' under a direction constraint, h and h' in [0, U].
+Interval termRange(int64_t A, int64_t B, const std::optional<int64_t> &U,
+                   uint8_t Dir) {
+  switch (Dir) {
+  case DirEQ:
+    // (a - b) * h.
+    return scaledRange(Rational(A - B), U);
+  case DirLT: {
+    // h' = h + k, k >= 1: expr = (a-b)h - b*k over the triangle
+    // {h >= 0, k >= 1, h + k <= U}; extremes at its corners.
+    if (U && *U < 1)
+      return Interval::empty();
+    if (!U) {
+      // Unbounded: start from the corner (h=0, k=1) and open the ends that
+      // grow without bound.
+      Interval R = Interval::point(Rational(-B));
+      if (A - B > 0 || -B > 0)
+        R.Hi = std::nullopt;
+      if (A - B < 0 || -B < 0)
+        R.Lo = std::nullopt;
+      return R;
+    }
+    auto Val = [&](int64_t H, int64_t K) {
+      return Rational((A - B) * H - B * K);
+    };
+    Rational C1 = Val(0, 1), C2 = Val(0, *U), C3 = Val(*U - 1, 1);
+    return {std::min({C1, C2, C3}), std::max({C1, C2, C3})};
+  }
+  case DirGT: {
+    // h = h' + k, k >= 1: expr = (a-b)h' + a*k; mirror of DirLT.
+    if (U && *U < 1)
+      return Interval::empty();
+    if (!U) {
+      Interval R = Interval::point(Rational(A));
+      if (A - B > 0 || A > 0)
+        R.Hi = std::nullopt;
+      if (A - B < 0 || A < 0)
+        R.Lo = std::nullopt;
+      return R;
+    }
+    auto Val = [&](int64_t HP, int64_t K) {
+      return Rational((A - B) * HP + A * K);
+    };
+    Rational C1 = Val(0, 1), C2 = Val(0, *U), C3 = Val(*U - 1, 1);
+    return {std::min({C1, C2, C3}), std::max({C1, C2, C3})};
+  }
+  default:
+    // '*': independent h and h'.
+    return scaledRange(Rational(A), U) + scaledRange(Rational(-B), U);
+  }
+}
+
+/// Extended gcd: returns g = gcd(a, b) and x, y with a*x + b*y = g.
+int64_t egcd(int64_t A, int64_t B, int64_t &X, int64_t &Y) {
+  if (B == 0) {
+    X = A >= 0 ? 1 : -1;
+    Y = 0;
+    return A >= 0 ? A : -A;
+  }
+  int64_t X1, Y1;
+  int64_t G = egcd(B, A % B, X1, Y1);
+  X = Y1;
+  Y = X1 - (A / B) * Y1;
+  return G;
+}
+
+std::optional<int64_t> intOf(const Affine &A) {
+  std::optional<Rational> C = A.getConstant();
+  if (!C || !C->isInteger())
+    return std::nullopt;
+  return C->getInteger();
+}
+
+/// Numeric view of the dependence equation
+///   sum_L (a_L h_L - b_L h'_L) + sum_M c_M x_M = Delta.
+struct Equation {
+  struct CommonTerm {
+    const analysis::Loop *L;
+    int64_t A, B;
+    std::optional<int64_t> U;
+  };
+  struct ExtraTerm {
+    Rational C;
+    std::optional<int64_t> U;
+  };
+  std::vector<CommonTerm> Common;
+  std::vector<ExtraTerm> Extra;
+  int64_t Delta = 0;
+};
+
+DependenceResult maybeAll(const std::vector<LoopBound> &Common,
+                          std::string Note) {
+  DependenceResult R;
+  R.O = DependenceResult::Outcome::Maybe;
+  for (const LoopBound &LB : Common)
+    R.Directions.push_back({LB.L, DirAll, std::nullopt, std::nullopt,
+                            std::nullopt});
+  R.Note = std::move(Note);
+  return R;
+}
+
+/// Exact SIV: integer solutions of a*h - b*h' = Delta with optional bounds,
+/// and the feasible direction set.
+DependenceResult exactSIV(const Equation::CommonTerm &T, int64_t Delta,
+                          const std::vector<LoopBound> &Common) {
+  DependenceResult R = maybeAll(Common, "exact SIV");
+  int64_t X, Y;
+  int64_t G = egcd(T.A, -T.B, X, Y);
+  if (G == 0) {
+    // a == b == 0: the loop does not constrain the subscript.
+    return R;
+  }
+  if (Delta % G != 0) {
+    R.O = DependenceResult::Outcome::Independent;
+    R.Note = "exact SIV: gcd";
+    return R;
+  }
+  // Particular solution of A*h + (-B)*h' = Delta from the Bezout pair;
+  // homogeneous solutions step by (B/G, A/G).
+  int64_t H0 = X * (Delta / G);
+  int64_t HP0 = Y * (Delta / G);
+  int64_t StepH = T.B / G, StepHP = T.A / G;
+
+  // Feasible t interval from 0 <= h <= U and 0 <= h' <= U.
+  Interval TRange = Interval::everything();
+  auto clamp = [&](int64_t Base, int64_t Step, std::optional<int64_t> Upper) {
+    // 0 <= Base + Step*t (and <= Upper when known).
+    if (Step == 0) {
+      if (Base < 0 || (Upper && Base > *Upper))
+        TRange = Interval::empty();
+      return;
+    }
+    Rational LoT = Rational(-Base, Step);
+    if (Step > 0) {
+      Rational NewLo = LoT;
+      if (!TRange.Lo || *TRange.Lo < NewLo)
+        TRange.Lo = NewLo;
+    } else {
+      if (!TRange.Hi || *TRange.Hi > LoT)
+        TRange.Hi = LoT;
+    }
+    if (Upper) {
+      Rational HiT = Rational(*Upper - Base, Step);
+      if (Step > 0) {
+        if (!TRange.Hi || *TRange.Hi > HiT)
+          TRange.Hi = HiT;
+      } else if (!TRange.Lo || *TRange.Lo < HiT) {
+        TRange.Lo = HiT;
+      }
+    }
+  };
+  clamp(H0, StepH, T.U);
+  clamp(HP0, StepHP, T.U);
+
+  // Is there an integer t in TRange?
+  auto hasInteger = [](const Interval &I) {
+    if (I.isEmpty())
+      return false;
+    if (!I.Lo || !I.Hi)
+      return true;
+    return I.Lo->ceil() <= I.Hi->floor();
+  };
+  if (!hasInteger(TRange)) {
+    R.O = DependenceResult::Outcome::Independent;
+    R.Note = "exact SIV: bounds";
+    return R;
+  }
+
+  // Directions: h' - h = (HP0 - H0) + (StepHP - StepH) t.
+  int64_t DiffBase = HP0 - H0, DiffStep = StepHP - StepH;
+  uint8_t Dirs = DirNone;
+  auto dirFeasible = [&](uint8_t D) {
+    // Need integer t in TRange with sign(DiffBase + DiffStep*t) matching D.
+    Interval Want = TRange;
+    auto tighten = [&](bool Lower, Rational Bound) {
+      // Lower: t >= Bound; else t <= Bound.
+      if (Lower) {
+        if (!Want.Lo || *Want.Lo < Bound)
+          Want.Lo = Bound;
+      } else if (!Want.Hi || *Want.Hi > Bound) {
+        Want.Hi = Bound;
+      }
+    };
+    if (DiffStep == 0) {
+      int64_t Diff = DiffBase;
+      bool Match = (D == DirEQ && Diff == 0) || (D == DirLT && Diff > 0) ||
+                   (D == DirGT && Diff < 0);
+      return Match && hasInteger(Want);
+    }
+    switch (D) {
+    case DirEQ: {
+      // t = -DiffBase / DiffStep exactly.
+      Rational TEq = Rational(-DiffBase, DiffStep);
+      if (!TEq.isInteger())
+        return false;
+      return Want.contains(TEq);
+    }
+    case DirLT: // h' - h >= 1
+      if (DiffStep > 0)
+        tighten(true, Rational(1 - DiffBase, DiffStep));
+      else
+        tighten(false, Rational(1 - DiffBase, DiffStep));
+      return hasInteger(Want);
+    case DirGT: // h' - h <= -1
+      if (DiffStep > 0)
+        tighten(false, Rational(-1 - DiffBase, DiffStep));
+      else
+        tighten(true, Rational(-1 - DiffBase, DiffStep));
+      return hasInteger(Want);
+    default:
+      return false;
+    }
+  };
+  for (uint8_t D : {DirLT, DirEQ, DirGT})
+    if (dirFeasible(D))
+      Dirs |= D;
+  if (Dirs == DirNone) {
+    R.O = DependenceResult::Outcome::Independent;
+    R.Note = "exact SIV: no feasible direction";
+    return R;
+  }
+  for (LoopDirection &LD : R.Directions)
+    if (LD.L == T.L) {
+      LD.Dirs = Dirs;
+      // A unique distance exists when h'-h is constant over solutions.
+      if (DiffStep == 0)
+        LD.Distance = DiffBase;
+    }
+  // With a known in-bounds solution the dependence is proven; with unknown
+  // bounds it remains assumed.
+  R.O = T.U ? DependenceResult::Outcome::Dependent
+            : DependenceResult::Outcome::Maybe;
+  R.Note = "exact SIV";
+  return R;
+}
+
+} // namespace
+
+DependenceResult
+biv::dependence::testLinearPair(const LinearSubscript &Src,
+                                const LinearSubscript &Dst,
+                                const std::vector<LoopBound> &Common,
+                                const std::vector<LoopBound> &NonCommon) {
+  // Delta = DstConst - SrcConst.
+  Affine DeltaA = Dst.Const - Src.Const;
+
+  // Symbolic handling: identical subscript shapes are distance-0 dependent.
+  bool SameShape = DeltaA.isZero();
+  for (const LoopBound &LB : Common)
+    SameShape &= Src.coeff(LB.L) == Dst.coeff(LB.L);
+  for (const LoopBound &LB : NonCommon)
+    SameShape &= Src.coeff(LB.L).isZero() && Dst.coeff(LB.L).isZero();
+
+  // Gather numeric terms.
+  Equation Eq;
+  bool AllNumeric = true;
+  bool AnyLoopTerm = false;
+  for (const LoopBound &LB : Common) {
+    std::optional<int64_t> A = intOf(Src.coeff(LB.L));
+    std::optional<int64_t> B = intOf(Dst.coeff(LB.L));
+    if (!A || !B) {
+      AllNumeric = false;
+      continue;
+    }
+    if (*A || *B)
+      AnyLoopTerm = true;
+    Eq.Common.push_back({LB.L, *A, *B, LB.U});
+  }
+  for (const LoopBound &LB : NonCommon) {
+    Affine C = Src.coeff(LB.L) - Dst.coeff(LB.L);
+    if (C.isZero())
+      continue;
+    AnyLoopTerm = true;
+    std::optional<Rational> CN = C.getConstant();
+    if (!CN) {
+      AllNumeric = false;
+      continue;
+    }
+    Eq.Extra.push_back({*CN, LB.U});
+  }
+  std::optional<int64_t> Delta = intOf(DeltaA);
+  if (!Delta)
+    AllNumeric = false;
+  else
+    Eq.Delta = *Delta;
+
+  if (!AllNumeric) {
+    if (SameShape) {
+      // A[f(h)] vs A[f(h')] for the same affine f: distance zero always.
+      DependenceResult R = maybeAll(Common, "symbolic: identical subscripts");
+      bool AnyCoeff = false;
+      for (const LoopBound &LB : Common)
+        AnyCoeff |= !Src.coeff(LB.L).isZero();
+      if (AnyCoeff) {
+        for (LoopDirection &LD : R.Directions)
+          if (!Src.coeff(LD.L).isZero()) {
+            LD.Dirs = DirEQ;
+            LD.Distance = 0;
+          }
+        R.O = DependenceResult::Outcome::Dependent;
+      }
+      return R;
+    }
+    return maybeAll(Common, "symbolic subscripts");
+  }
+
+  // ZIV: no loop-variant term at all.
+  if (!AnyLoopTerm) {
+    DependenceResult R = maybeAll(Common, "ZIV");
+    if (Eq.Delta != 0) {
+      R.O = DependenceResult::Outcome::Independent;
+      R.Note = "ZIV: distinct constants";
+    } else {
+      R.O = DependenceResult::Outcome::Dependent;
+      R.Note = "ZIV: equal constants";
+    }
+    return R;
+  }
+
+  // GCD test across every coefficient.
+  int64_t G = 0;
+  for (const Equation::CommonTerm &T : Eq.Common)
+    G = std::gcd(std::gcd(G, T.A < 0 ? -T.A : T.A), T.B < 0 ? -T.B : T.B);
+  for (const Equation::ExtraTerm &T : Eq.Extra) {
+    if (!T.C.isInteger())
+      G = 1; // rational coefficient: give up on gcd refinement
+    else {
+      int64_t C = T.C.getInteger();
+      G = std::gcd(G, C < 0 ? -C : C);
+    }
+  }
+  if (G > 0 && Eq.Delta % G != 0) {
+    DependenceResult R;
+    R.O = DependenceResult::Outcome::Independent;
+    R.Note = "GCD test";
+    return R;
+  }
+
+  // Single-loop (SIV) fast path with exact answers.
+  unsigned ActiveCommon = 0;
+  const Equation::CommonTerm *Single = nullptr;
+  for (const Equation::CommonTerm &T : Eq.Common)
+    if (T.A || T.B) {
+      ++ActiveCommon;
+      Single = &T;
+    }
+  if (ActiveCommon == 1 && Eq.Extra.empty() &&
+      Eq.Common.size() == Common.size())
+    return exactSIV(*Single, Eq.Delta, Common);
+
+  // MIV: Banerjee bounds over the direction-vector hierarchy [GKT91].
+  // Assign each common loop a direction in turn (depth-first over the
+  // refinement tree, pruning infeasible prefixes); feasible *full* vectors
+  // are unioned into per-loop direction sets.  This captures couplings the
+  // per-loop independent test misses (e.g. (=, <) infeasible while (=) and
+  // (<) are separately feasible).
+  std::vector<uint8_t> Assigned(Eq.Common.size(), DirAll);
+  auto boundWith = [&]() -> Interval {
+    Interval Total = Interval::point(Rational(0));
+    for (size_t I = 0; I < Eq.Common.size(); ++I)
+      Total = Total + termRange(Eq.Common[I].A, Eq.Common[I].B,
+                                Eq.Common[I].U, Assigned[I]);
+    for (const Equation::ExtraTerm &T : Eq.Extra)
+      Total = Total + scaledRange(T.C, T.U);
+    return Total;
+  };
+
+  if (!boundWith().contains(Rational(Eq.Delta))) {
+    DependenceResult R;
+    R.O = DependenceResult::Outcome::Independent;
+    R.Note = "Banerjee bounds";
+    return R;
+  }
+
+  // Depth-first refinement with pruning; each feasible leaf is one full
+  // direction vector over the *equation's* common loops.
+  std::vector<std::vector<uint8_t>> Leaves;
+  auto refine = [&](auto &&Self, size_t Level) -> void {
+    if (Level == Eq.Common.size()) {
+      Leaves.push_back(Assigned);
+      return;
+    }
+    for (uint8_t D : {DirLT, DirEQ, DirGT}) {
+      Assigned[Level] = D;
+      if (boundWith().contains(Rational(Eq.Delta)))
+        Self(Self, Level + 1);
+    }
+    Assigned[Level] = DirAll;
+  };
+  refine(refine, 0);
+
+  if (Leaves.empty()) {
+    DependenceResult R;
+    R.O = DependenceResult::Outcome::Independent;
+    R.Note = "Banerjee: no feasible direction vector";
+    return R;
+  }
+  DependenceResult R = maybeAll(Common, "Banerjee with direction vectors");
+  // Translate the equation-loop leaves to full Common-loop vectors (loops
+  // absent from the numeric equation stay unconstrained).
+  std::map<const analysis::Loop *, size_t> EqIndex;
+  for (size_t I = 0; I < Eq.Common.size(); ++I)
+    EqIndex[Eq.Common[I].L] = I;
+  std::vector<LoopDirection> Template = R.Directions;
+  for (const std::vector<uint8_t> &Leaf : Leaves) {
+    std::vector<LoopDirection> Dirs = Template;
+    for (LoopDirection &LD : Dirs) {
+      auto It = EqIndex.find(LD.L);
+      LD.Dirs = It == EqIndex.end() ? uint8_t(DirAll) : Leaf[It->second];
+    }
+    for (std::vector<uint8_t> &V : enumerateVectors(Dirs))
+      R.Vectors.push_back(std::move(V));
+  }
+  // Deduplicate.
+  std::sort(R.Vectors.begin(), R.Vectors.end());
+  R.Vectors.erase(std::unique(R.Vectors.begin(), R.Vectors.end()),
+                  R.Vectors.end());
+  R.projectVectors();
+  return R;
+}
+
+DependenceResult biv::dependence::combineDimensions(
+    const std::vector<DependenceResult> &Dims) {
+  assert(!Dims.empty() && "no dimensions to combine");
+  DependenceResult R = Dims.front();
+  if (R.Vectors.empty())
+    R.Vectors = enumerateVectors(R.Directions);
+  for (size_t I = 1; I < Dims.size(); ++I) {
+    const DependenceResult &D = Dims[I];
+    if (D.O == DependenceResult::Outcome::Independent) {
+      R = D;
+      return R;
+    }
+    if (R.O == DependenceResult::Outcome::Independent)
+      return R;
+    // Intersect the explicit vector sets when both sides have them; this is
+    // exact across dimensions (a vector survives only if every dimension
+    // admits it).
+    std::vector<std::vector<uint8_t>> DVecs = D.Vectors;
+    if (DVecs.empty())
+      DVecs = enumerateVectors(D.Directions);
+    if (!R.Vectors.empty() && !DVecs.empty()) {
+      std::sort(DVecs.begin(), DVecs.end());
+      std::vector<std::vector<uint8_t>> Kept;
+      for (const std::vector<uint8_t> &V : R.Vectors)
+        if (std::binary_search(DVecs.begin(), DVecs.end(), V))
+          Kept.push_back(V);
+      R.Vectors = std::move(Kept);
+      if (R.Vectors.empty()) {
+        R.O = DependenceResult::Outcome::Independent;
+        R.Note = "no common feasible direction vector";
+        return R;
+      }
+    }
+    // Merge per-loop metadata (distances, modular constraints).
+    for (LoopDirection &LD : R.Directions) {
+      LD.Dirs &= D.dirsFor(LD.L);
+      for (const LoopDirection &OD : D.Directions)
+        if (OD.L == LD.L) {
+          if (!LD.Distance)
+            LD.Distance = OD.Distance;
+          else if (OD.Distance && *OD.Distance != *LD.Distance) {
+            R.O = DependenceResult::Outcome::Independent;
+            R.Note = "conflicting exact distances";
+            return R;
+          }
+          if (!LD.ModPeriod) {
+            LD.ModPeriod = OD.ModPeriod;
+            LD.ModResidue = OD.ModResidue;
+          }
+        }
+      if (LD.Dirs == DirNone) {
+        R.O = DependenceResult::Outcome::Independent;
+        R.Note = "no common feasible direction";
+        return R;
+      }
+    }
+    // Dependence is proven only if every dimension proves it.
+    if (D.O != DependenceResult::Outcome::Dependent)
+      if (R.O == DependenceResult::Outcome::Dependent)
+        R.O = DependenceResult::Outcome::Maybe;
+    R.ValidAfterIterations =
+        std::max(R.ValidAfterIterations, D.ValidAfterIterations);
+  }
+  // Tighten the per-loop sets to the surviving vectors.
+  R.projectVectors();
+  return R;
+}

@@ -1,0 +1,114 @@
+//===- dependence/DependenceTests.h - Decision algorithms -------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence decision algorithms over classified subscripts (section 6).
+///
+/// For linear subscripts this is the classical suite the paper defers to
+/// [GKT91]: ZIV, strong SIV, weak-zero SIV, exact SIV via extended gcd, and
+/// GCD + Banerjee bounds with direction-vector refinement for MIV.  The
+/// paper's contribution -- handled in DependenceAnalyzer -- is feeding these
+/// tests wrap-around, periodic, and monotonic subscripts as well.
+///
+/// Direction convention: for a source access at iteration vector h and a
+/// sink at h', direction LT means h < h' in that loop, EQ means h == h'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_DEPENDENCE_DEPENDENCETESTS_H
+#define BEYONDIV_DEPENDENCE_DEPENDENCETESTS_H
+
+#include "dependence/SubscriptExpr.h"
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace dependence {
+
+/// Direction bits.
+enum Direction : uint8_t {
+  DirLT = 1,
+  DirEQ = 2,
+  DirGT = 4,
+  DirAll = DirLT | DirEQ | DirGT,
+  DirNone = 0,
+};
+
+/// Renders e.g. "(<)", "(<=)", "(*)".
+std::string dirSetStr(uint8_t Dirs);
+
+/// Constraint on one common loop of a dependence.
+struct LoopDirection {
+  const analysis::Loop *L = nullptr;
+  uint8_t Dirs = DirAll;
+  /// Exact dependence distance (sink minus source iteration) when known.
+  std::optional<int64_t> Distance;
+  /// Periodic refinement: distance == ModResidue (mod ModPeriod).
+  std::optional<unsigned> ModPeriod;
+  std::optional<unsigned> ModResidue;
+};
+
+/// Result of testing one reference pair (all dimensions combined).
+struct DependenceResult {
+  enum class Outcome {
+    Independent, ///< Proven: no dependence.
+    Dependent,   ///< Proven: a dependence exists (e.g. exact distance).
+    Maybe,       ///< Must be assumed.
+  };
+  Outcome O = Outcome::Maybe;
+
+  /// Per common loop, outermost first.  Meaningful unless Independent.
+  std::vector<LoopDirection> Directions;
+
+  /// Explicit feasible direction vectors (each entry one Direction bit per
+  /// common loop, parallel to Directions).  Kept whenever the nest is
+  /// shallow enough (<= 6 loops); combining dimensions intersects these
+  /// exactly, which catches couplings per-loop sets cannot (e.g. (=,<)
+  /// infeasible although '=' and '<' are separately feasible).  Empty means
+  /// "product of the per-loop sets".
+  std::vector<std::vector<uint8_t>> Vectors;
+
+  /// Rebuilds the per-loop Dirs sets as the projection of Vectors (no-op
+  /// when Vectors is empty); flips to Independent when Vectors became empty
+  /// after an intersection.
+  void projectVectors();
+
+  /// Wrap-around subscripts: the relation only holds after this many
+  /// iterations (peel candidates; paper section 6).
+  unsigned ValidAfterIterations = 0;
+
+  /// Which test decided (for reports and tests).
+  std::string Note;
+
+  /// Allowed direction bits for loop \p L (DirAll when unconstrained).
+  uint8_t dirsFor(const analysis::Loop *L) const;
+};
+
+/// Upper bound on a loop counter h (inclusive): h in [0, U], or unbounded.
+struct LoopBound {
+  const analysis::Loop *L = nullptr;
+  std::optional<int64_t> U;
+};
+
+/// Tests a single subscript dimension pair.  \p Common lists the loops
+/// shared by source and sink (outermost first) with their bounds; loop
+/// coefficients outside \p Common are treated as extra unknowns within
+/// their own bounds.
+DependenceResult testLinearPair(const LinearSubscript &Src,
+                                const LinearSubscript &Dst,
+                                const std::vector<LoopBound> &Common,
+                                const std::vector<LoopBound> &NonCommon);
+
+/// Intersects per-dimension results of one reference pair: any Independent
+/// dimension proves independence; direction sets intersect per loop.
+DependenceResult combineDimensions(const std::vector<DependenceResult> &Dims);
+
+} // namespace dependence
+} // namespace biv
+
+#endif // BEYONDIV_DEPENDENCE_DEPENDENCETESTS_H

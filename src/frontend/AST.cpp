@@ -1,0 +1,148 @@
+//===- frontend/AST.cpp - Abstract syntax tree ------------------------------===//
+
+#include "frontend/AST.h"
+#include <cassert>
+
+using namespace biv::frontend;
+
+// Out-of-line anchors.
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+const char *biv::frontend::binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Pow:
+    return "^";
+  case BinOp::EQ:
+    return "==";
+  case BinOp::NE:
+    return "!=";
+  case BinOp::LT:
+    return "<";
+  case BinOp::LE:
+    return "<=";
+  case BinOp::GT:
+    return ">";
+  case BinOp::GE:
+    return ">=";
+  }
+  assert(false && "unknown binop");
+  return "?";
+}
+
+std::string biv::frontend::toString(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return std::to_string(ast_cast<IntLitExpr>(E)->value());
+  case ExprKind::VarRef:
+    return ast_cast<VarRefExpr>(E)->name();
+  case ExprKind::ArrayRef: {
+    const auto *A = ast_cast<ArrayRefExpr>(E);
+    std::string Out = A->name() + "[";
+    for (size_t I = 0; I < A->indices().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += toString(A->indices()[I].get());
+    }
+    return Out + "]";
+  }
+  case ExprKind::Binary: {
+    const auto *B = ast_cast<BinaryExpr>(E);
+    return "(" + toString(B->lhs()) + " " + binOpSpelling(B->op()) + " " +
+           toString(B->rhs()) + ")";
+  }
+  case ExprKind::Unary:
+    return "(-" + toString(ast_cast<UnaryExpr>(E)->sub()) + ")";
+  }
+  assert(false && "unknown expr kind");
+  return "";
+}
+
+static std::string indentStr(unsigned N) { return std::string(N * 2, ' '); }
+
+static std::string stmtToString(const Stmt *S, unsigned Indent) {
+  std::string Pad = indentStr(Indent);
+  switch (S->kind()) {
+  case StmtKind::Assign: {
+    const auto *A = ast_cast<AssignStmt>(S);
+    return Pad + A->name() + " = " + toString(A->value()) + ";\n";
+  }
+  case StmtKind::ArrayAssign: {
+    const auto *A = ast_cast<ArrayAssignStmt>(S);
+    std::string Out = Pad + A->name() + "[";
+    for (size_t I = 0; I < A->indices().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += toString(A->indices()[I].get());
+    }
+    return Out + "] = " + toString(A->value()) + ";\n";
+  }
+  case StmtKind::If: {
+    const auto *I = ast_cast<IfStmt>(S);
+    std::string Out =
+        Pad + "if (" + toString(I->cond()) + ") {\n" +
+        biv::frontend::toString(I->thenBody(), Indent + 1) + Pad + "}";
+    if (!I->elseBody().empty())
+      Out += " else {\n" + biv::frontend::toString(I->elseBody(), Indent + 1) +
+             Pad + "}";
+    return Out + "\n";
+  }
+  case StmtKind::Loop: {
+    const auto *L = ast_cast<LoopStmt>(S);
+    return Pad + "loop " + L->label() + " {\n" +
+           biv::frontend::toString(L->body(), Indent + 1) + Pad + "}\n";
+  }
+  case StmtKind::For: {
+    const auto *F = ast_cast<ForStmt>(S);
+    std::string Out = Pad + "for " + F->label() + ": " + F->var() + " = " +
+                      toString(F->lo()) +
+                      (F->isDown() ? " downto " : " to ") + toString(F->hi());
+    if (F->step())
+      Out += " by " + toString(F->step());
+    return Out + " {\n" + biv::frontend::toString(F->body(), Indent + 1) +
+           Pad + "}\n";
+  }
+  case StmtKind::While: {
+    const auto *W = ast_cast<WhileStmt>(S);
+    return Pad + "while " + W->label() + " (" + toString(W->cond()) +
+           ") {\n" + biv::frontend::toString(W->body(), Indent + 1) + Pad +
+           "}\n";
+  }
+  case StmtKind::Break:
+    return Pad + "break;\n";
+  case StmtKind::Return: {
+    const auto *R = ast_cast<ReturnStmt>(S);
+    if (R->value())
+      return Pad + "return " + toString(R->value()) + ";\n";
+    return Pad + "return;\n";
+  }
+  }
+  assert(false && "unknown stmt kind");
+  return "";
+}
+
+std::string biv::frontend::toString(const StmtList &Body, unsigned Indent) {
+  std::string Out;
+  for (const StmtPtr &S : Body)
+    Out += stmtToString(S.get(), Indent);
+  return Out;
+}
+
+std::string biv::frontend::toString(const FuncDecl &F) {
+  std::string Out = "func " + F.Name + "(";
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += F.Params[I];
+  }
+  Out += ") {\n" + toString(F.Body, 1) + "}\n";
+  return Out;
+}

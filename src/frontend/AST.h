@@ -1,0 +1,315 @@
+//===- frontend/AST.h - Abstract syntax tree --------------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the BeyondIV loop language.
+///
+/// Grammar sketch (see Parser.cpp for details):
+/// \code
+///   func   ::= 'func' ident '(' params? ')' block
+///   stmt   ::= ident '=' expr ';'
+///            | ident '[' exprs ']' '=' expr ';'
+///            | 'if' '(' expr ')' block-or-stmt ('else' block-or-stmt)?
+///            | 'loop' ident? block
+///            | 'for' (ident ':')? ident '=' expr ('to'|'downto') expr
+///              ('by' expr)? block
+///            | 'while' '(' expr ')' block
+///            | 'break' ';'  | 'return' expr? ';'
+///   expr   ::= comparison over +,-,*,/,^ with unary minus
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_FRONTEND_AST_H
+#define BEYONDIV_FRONTEND_AST_H
+
+#include "frontend/Token.h"
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace frontend {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind { IntLit, VarRef, ArrayRef, Binary, Unary };
+
+/// Binary operators; the comparison operators only appear in conditions but
+/// the grammar does not enforce that.
+enum class BinOp { Add, Sub, Mul, Div, Pow, EQ, NE, LT, LE, GT, GE };
+
+/// Returns the surface spelling of \p Op (e.g. "+", "<=").
+const char *binOpSpelling(BinOp Op);
+
+class Expr {
+public:
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+  virtual ~Expr();
+
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Expr(ExprKind K, SourceLoc L) : Kind(K), Loc(L) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t V, SourceLoc L) : Expr(ExprKind::IntLit, L), Val(V) {}
+  int64_t value() const { return Val; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+
+private:
+  int64_t Val;
+};
+
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string N, SourceLoc L)
+      : Expr(ExprKind::VarRef, L), Name(std::move(N)) {}
+  const std::string &name() const { return Name; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+class ArrayRefExpr : public Expr {
+public:
+  ArrayRefExpr(std::string N, std::vector<ExprPtr> Idx, SourceLoc L)
+      : Expr(ExprKind::ArrayRef, L), Name(std::move(N)),
+        Indices(std::move(Idx)) {}
+  const std::string &name() const { return Name; }
+  const std::vector<ExprPtr> &indices() const { return Indices; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ArrayRef;
+  }
+
+private:
+  std::string Name;
+  std::vector<ExprPtr> Indices;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(std::move(L)),
+        RHS(std::move(R)) {}
+  BinOp op() const { return Op; }
+  const Expr *lhs() const { return LHS.get(); }
+  const Expr *rhs() const { return RHS.get(); }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+private:
+  BinOp Op;
+  ExprPtr LHS, RHS;
+};
+
+/// Unary minus.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(ExprPtr S, SourceLoc L)
+      : Expr(ExprKind::Unary, L), Sub(std::move(S)) {}
+  const Expr *sub() const { return Sub.get(); }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+
+private:
+  ExprPtr Sub;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind { Assign, ArrayAssign, If, Loop, For, While, Break,
+                      Return };
+
+class Stmt {
+public:
+  Stmt(const Stmt &) = delete;
+  Stmt &operator=(const Stmt &) = delete;
+  virtual ~Stmt();
+
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(StmtKind K, SourceLoc L) : Kind(K), Loc(L) {}
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(std::string N, ExprPtr V, SourceLoc L)
+      : Stmt(StmtKind::Assign, L), Name(std::move(N)), Val(std::move(V)) {}
+  const std::string &name() const { return Name; }
+  const Expr *value() const { return Val.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
+
+private:
+  std::string Name;
+  ExprPtr Val;
+};
+
+class ArrayAssignStmt : public Stmt {
+public:
+  ArrayAssignStmt(std::string N, std::vector<ExprPtr> Idx, ExprPtr V,
+                  SourceLoc L)
+      : Stmt(StmtKind::ArrayAssign, L), Name(std::move(N)),
+        Indices(std::move(Idx)), Val(std::move(V)) {}
+  const std::string &name() const { return Name; }
+  const std::vector<ExprPtr> &indices() const { return Indices; }
+  const Expr *value() const { return Val.get(); }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::ArrayAssign;
+  }
+
+private:
+  std::string Name;
+  std::vector<ExprPtr> Indices;
+  ExprPtr Val;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr C, StmtList T, StmtList E, SourceLoc L)
+      : Stmt(StmtKind::If, L), Cond(std::move(C)), Then(std::move(T)),
+        Else(std::move(E)) {}
+  const Expr *cond() const { return Cond.get(); }
+  const StmtList &thenBody() const { return Then; }
+  const StmtList &elseBody() const { return Else; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtList Then, Else;
+};
+
+/// The paper's `loop ... endloop`: an unconditional loop exited by `break`.
+class LoopStmt : public Stmt {
+public:
+  LoopStmt(std::string Label, StmtList B, SourceLoc L)
+      : Stmt(StmtKind::Loop, L), Label(std::move(Label)), Body(std::move(B)) {}
+  const std::string &label() const { return Label; }
+  const StmtList &body() const { return Body; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Loop; }
+
+private:
+  std::string Label;
+  StmtList Body;
+};
+
+/// `for [L:] v = lo to hi [by s]` (or `downto`, stepping negatively).
+class ForStmt : public Stmt {
+public:
+  ForStmt(std::string Label, std::string Var, ExprPtr Lo, ExprPtr Hi,
+          ExprPtr Step, bool Down, StmtList B, SourceLoc L)
+      : Stmt(StmtKind::For, L), Label(std::move(Label)), Var(std::move(Var)),
+        Lo(std::move(Lo)), Hi(std::move(Hi)), Step(std::move(Step)),
+        Down(Down), Body(std::move(B)) {}
+  const std::string &label() const { return Label; }
+  const std::string &var() const { return Var; }
+  const Expr *lo() const { return Lo.get(); }
+  const Expr *hi() const { return Hi.get(); }
+  /// Null means step 1 (or -1 when counting down).
+  const Expr *step() const { return Step.get(); }
+  bool isDown() const { return Down; }
+  const StmtList &body() const { return Body; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+
+private:
+  std::string Label, Var;
+  ExprPtr Lo, Hi, Step;
+  bool Down;
+  StmtList Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(std::string Label, ExprPtr C, StmtList B, SourceLoc L)
+      : Stmt(StmtKind::While, L), Label(std::move(Label)), Cond(std::move(C)),
+        Body(std::move(B)) {}
+  const std::string &label() const { return Label; }
+  const Expr *cond() const { return Cond.get(); }
+  const StmtList &body() const { return Body; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+
+private:
+  std::string Label;
+  ExprPtr Cond;
+  StmtList Body;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc L) : Stmt(StmtKind::Break, L) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Break; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr V, SourceLoc L)
+      : Stmt(StmtKind::Return, L), Val(std::move(V)) {}
+  /// Null for a bare `return;`.
+  const Expr *value() const { return Val.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+
+private:
+  ExprPtr Val;
+};
+
+/// A parsed `func` declaration.
+struct FuncDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  StmtList Body;
+  SourceLoc Loc;
+};
+
+/// LLVM-style casts over Expr/Stmt (kind-tag based, no RTTI).
+template <typename To, typename From> bool ast_isa(const From *N) {
+  return To::classof(N);
+}
+template <typename To, typename From> const To *ast_cast(const From *N) {
+  assert(To::classof(N) && "bad AST cast");
+  return static_cast<const To *>(N);
+}
+template <typename To, typename From> const To *ast_dyn_cast(const From *N) {
+  return N && To::classof(N) ? static_cast<const To *>(N) : nullptr;
+}
+
+/// Renders an expression back to surface syntax (for diagnostics/tests).
+std::string toString(const Expr *E);
+
+/// Renders a statement list with two-space indentation.
+std::string toString(const StmtList &Body, unsigned Indent = 0);
+
+/// Renders a whole function.
+std::string toString(const FuncDecl &F);
+
+} // namespace frontend
+} // namespace biv
+
+#endif // BEYONDIV_FRONTEND_AST_H

@@ -1,0 +1,238 @@
+//===- frontend/Lexer.cpp - Lexer for the loop language --------------------===//
+
+#include "frontend/Lexer.h"
+#include <cctype>
+
+using namespace biv::frontend;
+
+const char *biv::frontend::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::EndOfFile:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::KwFunc:
+    return "'func'";
+  case TokenKind::KwLoop:
+    return "'loop'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwTo:
+    return "'to'";
+  case TokenKind::KwDownTo:
+    return "'downto'";
+  case TokenKind::KwBy:
+    return "'by'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  }
+  return "<bad token kind>";
+}
+
+char Lexer::get() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Loc.Line;
+    Loc.Col = 1;
+  } else {
+    ++Loc.Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (true) {
+    char C = peek();
+    if (C == '#') {
+      while (peek() != '\n' && peek() != '\0')
+        get();
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      get();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::make(TokenKind K, std::string Text) {
+  Token T;
+  T.Kind = K;
+  T.Text = std::move(Text);
+  T.Loc = TokenStart;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokenStart = Loc;
+  char C = peek();
+  if (C == '\0')
+    return make(TokenKind::EndOfFile);
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Digits;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits.push_back(get());
+    Token T = make(TokenKind::Number, Digits);
+    T.Value = std::stoll(Digits);
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Word;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Word.push_back(get());
+    if (Word == "func")
+      return make(TokenKind::KwFunc, Word);
+    if (Word == "loop")
+      return make(TokenKind::KwLoop, Word);
+    if (Word == "for")
+      return make(TokenKind::KwFor, Word);
+    if (Word == "while")
+      return make(TokenKind::KwWhile, Word);
+    if (Word == "if")
+      return make(TokenKind::KwIf, Word);
+    if (Word == "else")
+      return make(TokenKind::KwElse, Word);
+    if (Word == "break")
+      return make(TokenKind::KwBreak, Word);
+    if (Word == "return")
+      return make(TokenKind::KwReturn, Word);
+    if (Word == "to")
+      return make(TokenKind::KwTo, Word);
+    if (Word == "downto")
+      return make(TokenKind::KwDownTo, Word);
+    if (Word == "by")
+      return make(TokenKind::KwBy, Word);
+    return make(TokenKind::Identifier, Word);
+  }
+
+  get();
+  switch (C) {
+  case '(':
+    return make(TokenKind::LParen);
+  case ')':
+    return make(TokenKind::RParen);
+  case '{':
+    return make(TokenKind::LBrace);
+  case '}':
+    return make(TokenKind::RBrace);
+  case '[':
+    return make(TokenKind::LBracket);
+  case ']':
+    return make(TokenKind::RBracket);
+  case ',':
+    return make(TokenKind::Comma);
+  case ';':
+    return make(TokenKind::Semicolon);
+  case ':':
+    return make(TokenKind::Colon);
+  case '+':
+    return make(TokenKind::Plus);
+  case '-':
+    return make(TokenKind::Minus);
+  case '*':
+    return make(TokenKind::Star);
+  case '/':
+    return make(TokenKind::Slash);
+  case '^':
+    return make(TokenKind::Caret);
+  case '=':
+    if (peek() == '=') {
+      get();
+      return make(TokenKind::EqEq);
+    }
+    return make(TokenKind::Assign);
+  case '!':
+    if (peek() == '=') {
+      get();
+      return make(TokenKind::NotEq);
+    }
+    return make(TokenKind::Error, "stray '!'");
+  case '<':
+    if (peek() == '=') {
+      get();
+      return make(TokenKind::LessEq);
+    }
+    return make(TokenKind::Less);
+  case '>':
+    if (peek() == '=') {
+      get();
+      return make(TokenKind::GreaterEq);
+    }
+    return make(TokenKind::Greater);
+  default:
+    return make(TokenKind::Error,
+                std::string("unexpected character '") + C + "'");
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::EndOfFile) ||
+        Tokens.back().is(TokenKind::Error))
+      break;
+  }
+  return Tokens;
+}

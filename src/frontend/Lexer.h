@@ -1,0 +1,50 @@
+//===- frontend/Lexer.h - Lexer for the loop language -----------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer.  Comments run from '#' to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_FRONTEND_LEXER_H
+#define BEYONDIV_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace frontend {
+
+/// Splits a source buffer into tokens; malformed input yields an Error
+/// token carrying a message in its Text.
+class Lexer {
+public:
+  explicit Lexer(std::string Source) : Src(std::move(Source)) {}
+
+  /// Lexes and returns the next token.
+  Token next();
+
+  /// Lexes the entire buffer (including the trailing EndOfFile token).
+  std::vector<Token> lexAll();
+
+private:
+  char peek() const { return Pos < Src.size() ? Src[Pos] : '\0'; }
+  char get();
+  void skipTrivia();
+  Token make(TokenKind K, std::string Text = "");
+
+  std::string Src;
+  size_t Pos = 0;
+  SourceLoc Loc;
+  SourceLoc TokenStart;
+};
+
+} // namespace frontend
+} // namespace biv
+
+#endif // BEYONDIV_FRONTEND_LEXER_H

@@ -1,0 +1,414 @@
+//===- frontend/Lowering.cpp - AST to CFG lowering ---------------------------===//
+
+#include "frontend/Lowering.h"
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include <cstdio>
+#include <map>
+#include <set>
+
+using namespace biv;
+using namespace biv::frontend;
+
+namespace {
+
+/// Walks the AST once to find which names are assigned (scalars), which are
+/// subscripted (arrays, with rank), and basic semantic errors.
+class NameCollector {
+public:
+  std::set<std::string> AssignedScalars;
+  std::map<std::string, unsigned> ArrayRanks;
+  std::vector<std::string> Errors;
+
+  void run(const FuncDecl &F) {
+    for (const std::string &P : F.Params)
+      Params.insert(P);
+    visit(F.Body);
+    for (const auto &[Name, Rank] : ArrayRanks) {
+      (void)Rank;
+      if (AssignedScalars.count(Name) || Params.count(Name))
+        Errors.push_back("name '" + Name +
+                         "' used as both array and scalar");
+    }
+  }
+
+private:
+  std::set<std::string> Params;
+
+  void noteArray(const std::string &Name, unsigned Rank, SourceLoc Loc) {
+    auto [It, Inserted] = ArrayRanks.try_emplace(Name, Rank);
+    if (!Inserted && It->second != Rank)
+      Errors.push_back(Loc.str() + ": array '" + Name +
+                       "' used with inconsistent rank");
+  }
+
+  void visit(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::VarRef:
+      return;
+    case ExprKind::ArrayRef: {
+      const auto *A = ast_cast<ArrayRefExpr>(E);
+      noteArray(A->name(), A->indices().size(), A->loc());
+      for (const ExprPtr &I : A->indices())
+        visit(I.get());
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto *B = ast_cast<BinaryExpr>(E);
+      visit(B->lhs());
+      visit(B->rhs());
+      return;
+    }
+    case ExprKind::Unary:
+      visit(ast_cast<UnaryExpr>(E)->sub());
+      return;
+    }
+  }
+
+  void visit(const StmtList &Body) {
+    for (const StmtPtr &S : Body)
+      visit(S.get());
+  }
+
+  void visit(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const auto *A = ast_cast<AssignStmt>(S);
+      AssignedScalars.insert(A->name());
+      visit(A->value());
+      return;
+    }
+    case StmtKind::ArrayAssign: {
+      const auto *A = ast_cast<ArrayAssignStmt>(S);
+      noteArray(A->name(), A->indices().size(), A->loc());
+      for (const ExprPtr &I : A->indices())
+        visit(I.get());
+      visit(A->value());
+      return;
+    }
+    case StmtKind::If: {
+      const auto *I = ast_cast<IfStmt>(S);
+      visit(I->cond());
+      visit(I->thenBody());
+      visit(I->elseBody());
+      return;
+    }
+    case StmtKind::Loop:
+      visit(ast_cast<LoopStmt>(S)->body());
+      return;
+    case StmtKind::For: {
+      const auto *F = ast_cast<ForStmt>(S);
+      AssignedScalars.insert(F->var());
+      visit(F->lo());
+      visit(F->hi());
+      if (F->step())
+        visit(F->step());
+      visit(F->body());
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = ast_cast<WhileStmt>(S);
+      visit(W->cond());
+      visit(W->body());
+      return;
+    }
+    case StmtKind::Break:
+      return;
+    case StmtKind::Return:
+      if (const Expr *V = ast_cast<ReturnStmt>(S)->value())
+        visit(V);
+      return;
+    }
+  }
+};
+
+/// Lowers one function.
+class LoweringDriver {
+public:
+  LoweringDriver(const FuncDecl &Decl, std::vector<std::string> &Errors)
+      : Decl(Decl), Errors(Errors) {}
+
+  std::unique_ptr<ir::Function> run() {
+    NameCollector Names;
+    Names.run(Decl);
+    for (std::string &E : Names.Errors)
+      Errors.push_back(std::move(E));
+    if (!Errors.empty())
+      return nullptr;
+
+    F = std::make_unique<ir::Function>(Decl.Name);
+    for (const std::string &P : Decl.Params)
+      F->addArgument(P);
+    for (const std::string &N : Names.AssignedScalars)
+      F->getOrCreateVar(N);
+    for (const auto &[N, Rank] : Names.ArrayRanks)
+      F->getOrCreateArray(N, Rank);
+
+    B = std::make_unique<ir::IRBuilder>(*F, F->createBlock("entry"));
+    lowerBody(Decl.Body);
+    if (!B->insertBlock()->terminator())
+      B->ret();
+    if (!Errors.empty())
+      return nullptr;
+
+    F->removeUnreachableBlocks();
+    ir::verifyOrDie(*F);
+    return std::move(F);
+  }
+
+private:
+  const FuncDecl &Decl;
+  std::vector<std::string> &Errors;
+  std::unique_ptr<ir::Function> F;
+  std::unique_ptr<ir::IRBuilder> B;
+  std::vector<ir::BasicBlock *> LoopExits;
+
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Errors.push_back(Loc.str() + ": " + Msg);
+  }
+
+  /// Starts a fresh anonymous block for code following a `break`/`return`;
+  /// it is unreachable and removed at the end.
+  void startDeadBlock() { B->setInsertBlock(F->createBlock("dead")); }
+
+  ir::Value *lowerExpr(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return B->constInt(ast_cast<IntLitExpr>(E)->value());
+    case ExprKind::VarRef: {
+      const auto *V = ast_cast<VarRefExpr>(E);
+      if (ir::Var *Var = F->findVar(V->name()))
+        return B->loadVar(Var);
+      if (ir::Argument *A = F->findArgument(V->name()))
+        return A;
+      error(V->loc(), "use of undefined name '" + V->name() + "'");
+      return B->constInt(0);
+    }
+    case ExprKind::ArrayRef: {
+      const auto *A = ast_cast<ArrayRefExpr>(E);
+      std::vector<ir::Value *> Indices;
+      for (const ExprPtr &I : A->indices())
+        Indices.push_back(lowerExpr(I.get()));
+      return B->arrayLoad(F->findArray(A->name()), std::move(Indices));
+    }
+    case ExprKind::Binary: {
+      const auto *Bin = ast_cast<BinaryExpr>(E);
+      ir::Value *L = lowerExpr(Bin->lhs());
+      ir::Value *R = lowerExpr(Bin->rhs());
+      switch (Bin->op()) {
+      case BinOp::Add:
+        return B->add(L, R);
+      case BinOp::Sub:
+        return B->sub(L, R);
+      case BinOp::Mul:
+        return B->mul(L, R);
+      case BinOp::Div:
+        return B->div(L, R);
+      case BinOp::Pow:
+        return B->exp(L, R);
+      case BinOp::EQ:
+        return B->binary(ir::Opcode::CmpEQ, L, R);
+      case BinOp::NE:
+        return B->binary(ir::Opcode::CmpNE, L, R);
+      case BinOp::LT:
+        return B->binary(ir::Opcode::CmpLT, L, R);
+      case BinOp::LE:
+        return B->binary(ir::Opcode::CmpLE, L, R);
+      case BinOp::GT:
+        return B->binary(ir::Opcode::CmpGT, L, R);
+      case BinOp::GE:
+        return B->binary(ir::Opcode::CmpGE, L, R);
+      }
+      assert(false && "unknown binop");
+      return nullptr;
+    }
+    case ExprKind::Unary: {
+      // Fold negative literals so loop bounds like `-4` are constants.
+      const auto *U = ast_cast<UnaryExpr>(E);
+      if (const auto *Lit = ast_dyn_cast<IntLitExpr>(U->sub()))
+        return B->constInt(-Lit->value());
+      return B->neg(lowerExpr(U->sub()));
+    }
+    }
+    assert(false && "unknown expr kind");
+    return nullptr;
+  }
+
+  void lowerBody(const StmtList &Body) {
+    for (const StmtPtr &S : Body)
+      lowerStmt(S.get());
+  }
+
+  void lowerStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const auto *A = ast_cast<AssignStmt>(S);
+      ir::Value *V = lowerExpr(A->value());
+      B->storeVar(F->findVar(A->name()), V);
+      return;
+    }
+    case StmtKind::ArrayAssign: {
+      const auto *A = ast_cast<ArrayAssignStmt>(S);
+      std::vector<ir::Value *> Indices;
+      for (const ExprPtr &I : A->indices())
+        Indices.push_back(lowerExpr(I.get()));
+      ir::Value *V = lowerExpr(A->value());
+      B->arrayStore(F->findArray(A->name()), std::move(Indices), V);
+      return;
+    }
+    case StmtKind::If:
+      lowerIf(ast_cast<IfStmt>(S));
+      return;
+    case StmtKind::Loop:
+      lowerLoop(ast_cast<LoopStmt>(S));
+      return;
+    case StmtKind::For:
+      lowerFor(ast_cast<ForStmt>(S));
+      return;
+    case StmtKind::While:
+      lowerWhile(ast_cast<WhileStmt>(S));
+      return;
+    case StmtKind::Break: {
+      if (LoopExits.empty()) {
+        error(S->loc(), "'break' outside of a loop");
+        return;
+      }
+      B->br(LoopExits.back());
+      startDeadBlock();
+      return;
+    }
+    case StmtKind::Return: {
+      const auto *R = ast_cast<ReturnStmt>(S);
+      ir::Value *V = R->value() ? lowerExpr(R->value()) : nullptr;
+      B->ret(V);
+      startDeadBlock();
+      return;
+    }
+    }
+  }
+
+  void lowerIf(const IfStmt *S) {
+    ir::Value *Cond = lowerExpr(S->cond());
+    ir::BasicBlock *ThenBB = F->createBlock("if.then");
+    ir::BasicBlock *JoinBB = F->createBlock("if.join");
+    ir::BasicBlock *ElseBB =
+        S->elseBody().empty() ? JoinBB : F->createBlock("if.else");
+    B->condBr(Cond, ThenBB, ElseBB);
+
+    B->setInsertBlock(ThenBB);
+    lowerBody(S->thenBody());
+    if (!B->insertBlock()->terminator())
+      B->br(JoinBB);
+
+    if (!S->elseBody().empty()) {
+      B->setInsertBlock(ElseBB);
+      lowerBody(S->elseBody());
+      if (!B->insertBlock()->terminator())
+        B->br(JoinBB);
+    }
+    B->setInsertBlock(JoinBB);
+  }
+
+  void lowerLoop(const LoopStmt *S) {
+    ir::BasicBlock *Header = F->createBlock(S->label() + ".header");
+    ir::BasicBlock *Exit = F->createBlock(S->label() + ".exit");
+    B->br(Header);
+    B->setInsertBlock(Header);
+    LoopExits.push_back(Exit);
+    lowerBody(S->body());
+    LoopExits.pop_back();
+    if (!B->insertBlock()->terminator())
+      B->br(Header); // The fall-through end of the body is the backedge.
+    B->setInsertBlock(Exit);
+  }
+
+  void lowerFor(const ForStmt *S) {
+    ir::Var *V = F->findVar(S->var());
+    ir::Value *Lo = lowerExpr(S->lo());
+    ir::Value *Hi = lowerExpr(S->hi());
+    ir::Value *Step = S->step() ? lowerExpr(S->step())
+                                : static_cast<ir::Value *>(B->constInt(1));
+    B->storeVar(V, Lo);
+
+    ir::BasicBlock *Header = F->createBlock(S->label() + ".header");
+    ir::BasicBlock *Body = F->createBlock(S->label() + ".body");
+    ir::BasicBlock *Latch = F->createBlock(S->label() + ".latch");
+    ir::BasicBlock *Exit = F->createBlock(S->label() + ".exit");
+
+    B->br(Header);
+    B->setInsertBlock(Header);
+    ir::Value *Cur = B->loadVar(V);
+    ir::Value *Cond =
+        B->binary(S->isDown() ? ir::Opcode::CmpGE : ir::Opcode::CmpLE, Cur,
+                  Hi);
+    B->condBr(Cond, Body, Exit);
+
+    B->setInsertBlock(Body);
+    LoopExits.push_back(Exit);
+    lowerBody(S->body());
+    LoopExits.pop_back();
+    if (!B->insertBlock()->terminator())
+      B->br(Latch);
+
+    B->setInsertBlock(Latch);
+    ir::Value *Next = B->loadVar(V);
+    Next = S->isDown() ? B->sub(Next, Step) : B->add(Next, Step);
+    B->storeVar(V, Next);
+    B->br(Header);
+
+    B->setInsertBlock(Exit);
+  }
+
+  void lowerWhile(const WhileStmt *S) {
+    ir::BasicBlock *Header = F->createBlock(S->label() + ".header");
+    ir::BasicBlock *Body = F->createBlock(S->label() + ".body");
+    ir::BasicBlock *Exit = F->createBlock(S->label() + ".exit");
+
+    B->br(Header);
+    B->setInsertBlock(Header);
+    ir::Value *Cond = lowerExpr(S->cond());
+    B->condBr(Cond, Body, Exit);
+
+    B->setInsertBlock(Body);
+    LoopExits.push_back(Exit);
+    lowerBody(S->body());
+    LoopExits.pop_back();
+    if (!B->insertBlock()->terminator())
+      B->br(Header);
+
+    B->setInsertBlock(Exit);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ir::Function>
+biv::frontend::lower(const FuncDecl &Decl, std::vector<std::string> &Errors) {
+  return LoweringDriver(Decl, Errors).run();
+}
+
+std::unique_ptr<ir::Function>
+biv::frontend::parseAndLower(const std::string &Source,
+                             std::vector<std::string> &Errors) {
+  Parser P(Source);
+  std::unique_ptr<FuncDecl> Decl = P.parseFunction();
+  if (!Decl) {
+    Errors.insert(Errors.end(), P.errors().begin(), P.errors().end());
+    return nullptr;
+  }
+  return lower(*Decl, Errors);
+}
+
+std::unique_ptr<ir::Function>
+biv::frontend::parseAndLowerOrDie(const std::string &Source) {
+  std::vector<std::string> Errors;
+  std::unique_ptr<ir::Function> F = parseAndLower(Source, Errors);
+  if (F)
+    return F;
+  std::fprintf(stderr, "parseAndLowerOrDie failed:\n");
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "  %s\n", E.c_str());
+  abort();
+}

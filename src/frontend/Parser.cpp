@@ -1,0 +1,366 @@
+//===- frontend/Parser.cpp - Recursive-descent parser -----------------------===//
+
+#include "frontend/Parser.h"
+
+using namespace biv::frontend;
+
+Parser::Parser(std::string Source) {
+  Lexer L(std::move(Source));
+  Tokens = L.lexAll();
+  if (Tokens.back().is(TokenKind::Error)) {
+    error("lex error: " + Tokens.back().Text);
+    // Replace the error token by EOF so the parser can bail out cleanly.
+    Tokens.back().Kind = TokenKind::EndOfFile;
+  }
+}
+
+Token Parser::advance() {
+  Token T = peek();
+  if (!T.is(TokenKind::EndOfFile))
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  error(std::string("expected ") + tokenKindName(K) + " " + Context +
+        ", found " + tokenKindName(peek().Kind));
+  return false;
+}
+
+void Parser::error(const std::string &Msg) {
+  Failed = true;
+  Errors.push_back(peek().Loc.str() + ": " + Msg);
+}
+
+std::string Parser::freshLabel() {
+  return "L$" + std::to_string(NextLabel++);
+}
+
+std::unique_ptr<FuncDecl> Parser::parseFunction() {
+  auto F = std::make_unique<FuncDecl>();
+  F->Loc = peek().Loc;
+  if (!expect(TokenKind::KwFunc, "at start of function"))
+    return nullptr;
+  if (!check(TokenKind::Identifier)) {
+    error("expected function name");
+    return nullptr;
+  }
+  F->Name = advance().Text;
+  if (!expect(TokenKind::LParen, "after function name"))
+    return nullptr;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::Identifier)) {
+        error("expected parameter name");
+        return nullptr;
+      }
+      F->Params.push_back(advance().Text);
+    } while (accept(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "after parameters"))
+    return nullptr;
+  if (!expect(TokenKind::LBrace, "before function body"))
+    return nullptr;
+  F->Body = parseBlock();
+  if (Failed)
+    return nullptr;
+  return F;
+}
+
+StmtList Parser::parseBlock() {
+  StmtList Body;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile) &&
+         !Failed) {
+    StmtPtr S = parseStatement();
+    if (!S)
+      break;
+    Body.push_back(std::move(S));
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return Body;
+}
+
+StmtList Parser::parseBlockOrStatement() {
+  if (accept(TokenKind::LBrace))
+    return parseBlock();
+  StmtList Body;
+  if (StmtPtr S = parseStatement())
+    Body.push_back(std::move(S));
+  return Body;
+}
+
+StmtPtr Parser::parseStatement() {
+  SourceLoc Loc = peek().Loc;
+
+  if (accept(TokenKind::KwBreak)) {
+    expect(TokenKind::Semicolon, "after 'break'");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+
+  if (accept(TokenKind::KwReturn)) {
+    ExprPtr V;
+    if (!check(TokenKind::Semicolon)) {
+      V = parseExpr();
+      if (!V)
+        return nullptr;
+    }
+    expect(TokenKind::Semicolon, "after 'return'");
+    return std::make_unique<ReturnStmt>(std::move(V), Loc);
+  }
+
+  if (accept(TokenKind::KwIf)) {
+    if (!expect(TokenKind::LParen, "after 'if'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "after if condition"))
+      return nullptr;
+    StmtList Then = parseBlockOrStatement();
+    StmtList Else;
+    if (accept(TokenKind::KwElse))
+      Else = parseBlockOrStatement();
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), Loc);
+  }
+
+  if (accept(TokenKind::KwLoop)) {
+    std::string Label =
+        check(TokenKind::Identifier) ? advance().Text : freshLabel();
+    if (!expect(TokenKind::LBrace, "to open loop body"))
+      return nullptr;
+    StmtList Body = parseBlock();
+    return std::make_unique<LoopStmt>(std::move(Label), std::move(Body), Loc);
+  }
+
+  if (accept(TokenKind::KwFor)) {
+    // `for L18: i = ...` or `for i = ...`.
+    std::string Label;
+    if (check(TokenKind::Identifier) && peekAhead(1).is(TokenKind::Colon)) {
+      Label = advance().Text;
+      advance(); // ':'
+    }
+    if (!check(TokenKind::Identifier)) {
+      error("expected loop variable after 'for'");
+      return nullptr;
+    }
+    std::string Var = advance().Text;
+    if (Label.empty())
+      Label = freshLabel();
+    if (!expect(TokenKind::Assign, "after for-loop variable"))
+      return nullptr;
+    ExprPtr Lo = parseExpr();
+    if (!Lo)
+      return nullptr;
+    bool Down = false;
+    if (accept(TokenKind::KwDownTo))
+      Down = true;
+    else if (!expect(TokenKind::KwTo, "in for-loop bounds"))
+      return nullptr;
+    ExprPtr Hi = parseExpr();
+    if (!Hi)
+      return nullptr;
+    ExprPtr Step;
+    if (accept(TokenKind::KwBy)) {
+      Step = parseExpr();
+      if (!Step)
+        return nullptr;
+    }
+    if (!expect(TokenKind::LBrace, "to open for-loop body"))
+      return nullptr;
+    StmtList Body = parseBlock();
+    return std::make_unique<ForStmt>(std::move(Label), std::move(Var),
+                                     std::move(Lo), std::move(Hi),
+                                     std::move(Step), Down, std::move(Body),
+                                     Loc);
+  }
+
+  if (accept(TokenKind::KwWhile)) {
+    std::string Label;
+    if (check(TokenKind::Identifier) && peekAhead(1).is(TokenKind::Colon)) {
+      Label = advance().Text;
+      advance(); // ':'
+    }
+    if (Label.empty())
+      Label = freshLabel();
+    if (!expect(TokenKind::LParen, "after 'while'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "after while condition"))
+      return nullptr;
+    if (!expect(TokenKind::LBrace, "to open while body"))
+      return nullptr;
+    StmtList Body = parseBlock();
+    return std::make_unique<WhileStmt>(std::move(Label), std::move(Cond),
+                                       std::move(Body), Loc);
+  }
+
+  if (check(TokenKind::Identifier)) {
+    std::string Name = advance().Text;
+    if (accept(TokenKind::LBracket)) {
+      std::vector<ExprPtr> Indices;
+      do {
+        ExprPtr E = parseExpr();
+        if (!E)
+          return nullptr;
+        Indices.push_back(std::move(E));
+      } while (accept(TokenKind::Comma));
+      if (!expect(TokenKind::RBracket, "after subscripts"))
+        return nullptr;
+      if (!expect(TokenKind::Assign, "in array assignment"))
+        return nullptr;
+      ExprPtr V = parseExpr();
+      if (!V)
+        return nullptr;
+      expect(TokenKind::Semicolon, "after assignment");
+      return std::make_unique<ArrayAssignStmt>(std::move(Name),
+                                               std::move(Indices),
+                                               std::move(V), Loc);
+    }
+    if (!expect(TokenKind::Assign, "in assignment"))
+      return nullptr;
+    ExprPtr V = parseExpr();
+    if (!V)
+      return nullptr;
+    expect(TokenKind::Semicolon, "after assignment");
+    return std::make_unique<AssignStmt>(std::move(Name), std::move(V), Loc);
+  }
+
+  error(std::string("expected statement, found ") +
+        tokenKindName(peek().Kind));
+  return nullptr;
+}
+
+ExprPtr Parser::parseExpr() { return parseComparison(); }
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr L = parseAdditive();
+  if (!L)
+    return nullptr;
+  while (true) {
+    BinOp Op;
+    if (check(TokenKind::EqEq))
+      Op = BinOp::EQ;
+    else if (check(TokenKind::NotEq))
+      Op = BinOp::NE;
+    else if (check(TokenKind::Less))
+      Op = BinOp::LT;
+    else if (check(TokenKind::LessEq))
+      Op = BinOp::LE;
+    else if (check(TokenKind::Greater))
+      Op = BinOp::GT;
+    else if (check(TokenKind::GreaterEq))
+      Op = BinOp::GE;
+    else
+      return L;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseAdditive();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr L = parseMultiplicative();
+  if (!L)
+    return nullptr;
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    BinOp Op = check(TokenKind::Plus) ? BinOp::Add : BinOp::Sub;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseMultiplicative();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr L = parseUnary();
+  if (!L)
+    return nullptr;
+  while (check(TokenKind::Star) || check(TokenKind::Slash)) {
+    BinOp Op = check(TokenKind::Star) ? BinOp::Mul : BinOp::Div;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseUnary();
+    if (!R)
+      return nullptr;
+    L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr S = parseUnary();
+    if (!S)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(std::move(S), Loc);
+  }
+  return parsePower();
+}
+
+ExprPtr Parser::parsePower() {
+  ExprPtr L = parsePrimary();
+  if (!L)
+    return nullptr;
+  if (check(TokenKind::Caret)) {
+    SourceLoc Loc = advance().Loc;
+    // Right associative: a^b^c == a^(b^c).
+    ExprPtr R = parseUnary();
+    if (!R)
+      return nullptr;
+    return std::make_unique<BinaryExpr>(BinOp::Pow, std::move(L),
+                                        std::move(R), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TokenKind::Number)) {
+    Token T = advance();
+    return std::make_unique<IntLitExpr>(T.Value, Loc);
+  }
+  if (check(TokenKind::Identifier)) {
+    std::string Name = advance().Text;
+    if (accept(TokenKind::LBracket)) {
+      std::vector<ExprPtr> Indices;
+      do {
+        ExprPtr E = parseExpr();
+        if (!E)
+          return nullptr;
+        Indices.push_back(std::move(E));
+      } while (accept(TokenKind::Comma));
+      if (!expect(TokenKind::RBracket, "after subscripts"))
+        return nullptr;
+      return std::make_unique<ArrayRefExpr>(std::move(Name),
+                                            std::move(Indices), Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+  if (accept(TokenKind::LParen)) {
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  error(std::string("expected expression, found ") +
+        tokenKindName(peek().Kind));
+  return nullptr;
+}

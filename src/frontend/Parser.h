@@ -1,0 +1,70 @@
+//===- frontend/Parser.h - Recursive-descent parser -------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the loop language.  On error it records a
+/// diagnostic and returns null; it never throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_FRONTEND_PARSER_H
+#define BEYONDIV_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Lexer.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace frontend {
+
+/// Parses one function per call; diagnostics accumulate in errors().
+class Parser {
+public:
+  explicit Parser(std::string Source);
+
+  /// Parses a single `func`; returns null and records diagnostics on error.
+  std::unique_ptr<FuncDecl> parseFunction();
+
+  const std::vector<std::string> &errors() const { return Errors; }
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &peekAhead(size_t N) const {
+    return Tokens[std::min(Pos + N, Tokens.size() - 1)];
+  }
+  Token advance();
+  bool check(TokenKind K) const { return peek().is(K); }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  void error(const std::string &Msg);
+
+  StmtList parseBlock();
+  StmtPtr parseStatement();
+  StmtList parseBlockOrStatement();
+  ExprPtr parseExpr();
+  ExprPtr parseComparison();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePower();
+  ExprPtr parsePrimary();
+
+  std::string freshLabel();
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::vector<std::string> Errors;
+  bool Failed = false;
+  unsigned NextLabel = 1;
+};
+
+} // namespace frontend
+} // namespace biv
+
+#endif // BEYONDIV_FRONTEND_PARSER_H

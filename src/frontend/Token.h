@@ -1,0 +1,92 @@
+//===- frontend/Token.h - Lexical tokens ------------------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and source locations for the BeyondIV loop language, a small
+/// structured language in which all of the paper's example loops (L1..L24,
+/// Figures 1-10) can be written essentially verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_FRONTEND_TOKEN_H
+#define BEYONDIV_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace biv {
+namespace frontend {
+
+/// 1-based line/column position in the source buffer.
+struct SourceLoc {
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+enum class TokenKind {
+  EndOfFile,
+  Error,
+  // Literals and names.
+  Number,
+  Identifier,
+  // Keywords.
+  KwFunc,
+  KwLoop,
+  KwFor,
+  KwWhile,
+  KwIf,
+  KwElse,
+  KwBreak,
+  KwReturn,
+  KwTo,
+  KwDownTo,
+  KwBy,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Caret,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+};
+
+/// Returns a printable spelling for diagnostics (e.g. "'('", "identifier").
+const char *tokenKindName(TokenKind K);
+
+/// A single lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;   ///< Identifier spelling or literal text.
+  int64_t Value = 0;  ///< Numeric value for Number tokens.
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace frontend
+} // namespace biv
+
+#endif // BEYONDIV_FRONTEND_TOKEN_H

@@ -1,0 +1,298 @@
+//===- interp/Interpreter.cpp - Direct IR interpreter -------------------------===//
+
+#include "interp/Interpreter.h"
+#include <cassert>
+
+using namespace biv;
+using namespace biv::interp;
+
+const std::vector<int64_t> &
+ExecutionTrace::sequenceOf(const ir::Instruction *I) const {
+  static const std::vector<int64_t> Empty;
+  auto It = History.find(I);
+  return It == History.end() ? Empty : It->second;
+}
+
+namespace {
+
+class Machine {
+public:
+  Machine(const ir::Function &F, const std::vector<int64_t> &Args,
+          const ExecOptions &Opts)
+      : F(F), Args(Args), Opts(Opts) {}
+
+  ExecutionTrace run();
+
+  std::map<const ir::Array *, std::map<std::vector<int64_t>, int64_t>> Memory;
+
+private:
+  /// A runtime value; Poison marks data from a never-assigned variable
+  /// (unpruned SSA places phis whose first visit reads such a value).
+  /// Poison flows through arithmetic but must not reach control flow,
+  /// memory addressing, or the return value.
+  struct Cell {
+    int64_t V = 0;
+    bool Poison = false;
+  };
+
+  bool value(const ir::Value *V, Cell &Out) {
+    if (const auto *C = ir::dyn_cast<ir::Constant>(V)) {
+      Out = {C->value(), false};
+      return true;
+    }
+    if (const auto *A = ir::dyn_cast<ir::Argument>(V)) {
+      assert(A->index() < Args.size() && "missing argument value");
+      Out = {Args[A->index()], false};
+      return true;
+    }
+    if (ir::isa<ir::UndefValue>(V)) {
+      Out = {0, true};
+      return true;
+    }
+    auto It = Env.find(V);
+    if (It == Env.end()) {
+      fail("read of value with no definition executed yet");
+      return false;
+    }
+    Out = It->second;
+    return true;
+  }
+
+  /// Reads a value that must be concrete (control flow, addresses, I/O).
+  bool concrete(const ir::Value *V, int64_t &Out) {
+    Cell C;
+    if (!value(V, C))
+      return false;
+    if (C.Poison) {
+      fail("use of uninitialized value");
+      return false;
+    }
+    Out = C.V;
+    return true;
+  }
+
+  void define(const ir::Instruction *I, Cell V) {
+    Env[I] = V;
+    if (Opts.TraceValues)
+      Trace.History[I].push_back(V.V);
+  }
+
+  void fail(const std::string &Msg) {
+    if (Trace.Error.empty())
+      Trace.Error = Msg;
+  }
+
+  const ir::Function &F;
+  const std::vector<int64_t> &Args;
+  const ExecOptions &Opts;
+  std::map<const ir::Value *, Cell> Env;
+  ExecutionTrace Trace;
+};
+
+ExecutionTrace Machine::run() {
+  const ir::BasicBlock *Block = F.entry();
+  const ir::BasicBlock *PrevBlock = nullptr;
+
+  while (Block) {
+    // Phase 1: evaluate all phis against the incoming edge simultaneously,
+    // so swap/rotation patterns (the paper's periodic variables) read the
+    // previous iteration's values.
+    std::vector<std::pair<const ir::Instruction *, Cell>> PhiValues;
+    for (const ir::Instruction *Phi : Block->phis()) {
+      assert(PrevBlock && "phi in entry block");
+      Cell V;
+      if (!value(Phi->incomingFor(PrevBlock), V))
+        return std::move(Trace);
+      PhiValues.push_back({Phi, V});
+    }
+    for (const auto &[Phi, V] : PhiValues) {
+      define(Phi, V);
+      if (++Trace.Steps >= Opts.MaxSteps) {
+        Trace.HitStepLimit = true;
+        return std::move(Trace);
+      }
+    }
+
+    // Phase 2: straight-line execution.
+    const ir::BasicBlock *Next = nullptr;
+    for (const auto &IPtr : *Block) {
+      const ir::Instruction *I = IPtr.get();
+      if (I->isPhi())
+        continue;
+      if (++Trace.Steps >= Opts.MaxSteps) {
+        Trace.HitStepLimit = true;
+        return std::move(Trace);
+      }
+      switch (I->opcode()) {
+      case ir::Opcode::Add:
+      case ir::Opcode::Sub:
+      case ir::Opcode::Mul:
+      case ir::Opcode::Div:
+      case ir::Opcode::Exp:
+      case ir::Opcode::CmpEQ:
+      case ir::Opcode::CmpNE:
+      case ir::Opcode::CmpLT:
+      case ir::Opcode::CmpLE:
+      case ir::Opcode::CmpGT:
+      case ir::Opcode::CmpGE: {
+        Cell LC, RC;
+        if (!value(I->operand(0), LC) || !value(I->operand(1), RC))
+          return std::move(Trace);
+        int64_t L = LC.V, R = RC.V;
+        bool Poison = LC.Poison || RC.Poison;
+        int64_t Out = 0;
+        switch (I->opcode()) {
+        case ir::Opcode::Add:
+          Out = L + R;
+          break;
+        case ir::Opcode::Sub:
+          Out = L - R;
+          break;
+        case ir::Opcode::Mul:
+          Out = L * R;
+          break;
+        case ir::Opcode::Div:
+          if (RC.Poison) {
+            fail("division by uninitialized value");
+            return std::move(Trace);
+          }
+          if (R == 0) {
+            fail("division by zero");
+            return std::move(Trace);
+          }
+          Out = L / R;
+          break;
+        case ir::Opcode::Exp: {
+          if (R < 0) {
+            fail("negative exponent");
+            return std::move(Trace);
+          }
+          Out = 1;
+          for (int64_t K = 0; K < R; ++K)
+            Out *= L;
+          break;
+        }
+        case ir::Opcode::CmpEQ:
+          Out = L == R;
+          break;
+        case ir::Opcode::CmpNE:
+          Out = L != R;
+          break;
+        case ir::Opcode::CmpLT:
+          Out = L < R;
+          break;
+        case ir::Opcode::CmpLE:
+          Out = L <= R;
+          break;
+        case ir::Opcode::CmpGT:
+          Out = L > R;
+          break;
+        case ir::Opcode::CmpGE:
+          Out = L >= R;
+          break;
+        default:
+          break;
+        }
+        define(I, {Out, Poison});
+        break;
+      }
+      case ir::Opcode::Neg: {
+        Cell V;
+        if (!value(I->operand(0), V))
+          return std::move(Trace);
+        define(I, {-V.V, V.Poison});
+        break;
+      }
+      case ir::Opcode::Copy: {
+        Cell V;
+        if (!value(I->operand(0), V))
+          return std::move(Trace);
+        define(I, V);
+        break;
+      }
+      case ir::Opcode::ArrayLoad: {
+        std::vector<int64_t> Idx(I->numOperands());
+        for (unsigned K = 0; K < I->numOperands(); ++K)
+          if (!concrete(I->operand(K), Idx[K]))
+            return std::move(Trace);
+        auto &Cells = Memory[I->array()];
+        auto It = Cells.find(Idx);
+        define(I, {It == Cells.end() ? 0 : It->second, false});
+        if (Opts.TraceArrays)
+          Trace.Accesses.push_back(
+              {I->array(), std::move(Idx), false, Trace.Steps});
+        break;
+      }
+      case ir::Opcode::ArrayStore: {
+        int64_t V;
+        if (!concrete(I->operand(0), V))
+          return std::move(Trace);
+        std::vector<int64_t> Idx(I->numOperands() - 1);
+        for (unsigned K = 1; K < I->numOperands(); ++K)
+          if (!concrete(I->operand(K), Idx[K - 1]))
+            return std::move(Trace);
+        Memory[I->array()][Idx] = V;
+        if (Opts.TraceArrays)
+          Trace.Accesses.push_back(
+              {I->array(), std::move(Idx), true, Trace.Steps});
+        break;
+      }
+      case ir::Opcode::Br:
+        Next = I->blocks()[0];
+        break;
+      case ir::Opcode::CondBr: {
+        int64_t C;
+        if (!concrete(I->operand(0), C))
+          return std::move(Trace);
+        Next = I->blocks()[C != 0 ? 0 : 1];
+        break;
+      }
+      case ir::Opcode::Ret: {
+        if (I->numOperands()) {
+          int64_t V;
+          if (!concrete(I->operand(0), V))
+            return std::move(Trace);
+          Trace.ReturnValue = V;
+        }
+        return std::move(Trace);
+      }
+      case ir::Opcode::LoadVar:
+      case ir::Opcode::StoreVar:
+        fail("interpreter requires SSA form (found scalar access)");
+        return std::move(Trace);
+      case ir::Opcode::Phi:
+        break;
+      }
+      if (!Trace.Error.empty())
+        return std::move(Trace);
+    }
+    PrevBlock = Block;
+    Block = Next;
+    if (!Block)
+      fail("block fell through without terminator");
+  }
+  return std::move(Trace);
+}
+
+} // namespace
+
+ExecutionTrace biv::interp::run(const ir::Function &F,
+                                const std::vector<int64_t> &Args,
+                                const ExecOptions &Opts) {
+  return Machine(F, Args, Opts).run();
+}
+
+ExecutionTrace biv::interp::runWithArrays(
+    const ir::Function &F, const std::vector<int64_t> &Args,
+    const std::map<std::string, std::map<std::vector<int64_t>, int64_t>>
+        &Arrays,
+    const ExecOptions &Opts) {
+  Machine M(F, Args, Opts);
+  for (const auto &[Name, Cells] : Arrays) {
+    const ir::Array *A = F.findArray(Name);
+    assert(A && "seeding unknown array");
+    for (const auto &[Idx, V] : Cells)
+      M.Memory[A][Idx] = V;
+  }
+  return M.run();
+}

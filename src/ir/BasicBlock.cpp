@@ -1,0 +1,65 @@
+//===- ir/BasicBlock.cpp - CFG basic blocks --------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include <algorithm>
+
+using namespace biv::ir;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert((Insts.empty() || !Insts.back()->isTerminator()) &&
+         "appending past a terminator");
+  I->setParent(this);
+  Insts.push_back(std::move(I));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Pos, std::unique_ptr<Instruction> I) {
+  assert(Pos <= Insts.size() && "insert position out of range");
+  I->setParent(this);
+  Instruction *Raw = I.get();
+  Insts.insert(Insts.begin() + Pos, std::move(I));
+  return Raw;
+}
+
+Instruction *
+BasicBlock::insertBeforeTerminator(std::unique_ptr<Instruction> I) {
+  size_t Pos = Insts.size();
+  if (Pos > 0 && Insts.back()->isTerminator())
+    --Pos;
+  return insertAt(Pos, std::move(I));
+}
+
+void BasicBlock::erase(Instruction *I) { take(I); }
+
+std::unique_ptr<Instruction> BasicBlock::take(Instruction *I) {
+  auto It = std::find_if(Insts.begin(), Insts.end(),
+                         [&](const auto &P) { return P.get() == I; });
+  assert(It != Insts.end() && "instruction not in this block");
+  std::unique_ptr<Instruction> Owned = std::move(*It);
+  Insts.erase(It);
+  Owned->setParent(nullptr);
+  return Owned;
+}
+
+Instruction *BasicBlock::terminator() const {
+  if (Insts.empty() || !Insts.back()->isTerminator())
+    return nullptr;
+  return Insts.back().get();
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instruction *T = terminator();
+  if (!T || T->opcode() == Opcode::Ret)
+    return {};
+  return T->blocks();
+}
+
+std::vector<Instruction *> BasicBlock::phis() const {
+  std::vector<Instruction *> Result;
+  for (const auto &I : Insts) {
+    if (!I->isPhi())
+      break;
+    Result.push_back(I.get());
+  }
+  return Result;
+}

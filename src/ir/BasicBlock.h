@@ -1,0 +1,91 @@
+//===- ir/BasicBlock.h - CFG basic blocks -----------------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks: ordered instruction lists linked into a control flow graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IR_BASICBLOCK_H
+#define BEYONDIV_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace ir {
+
+class Function;
+
+/// A maximal straight-line sequence of instructions ending in a terminator.
+class BasicBlock {
+public:
+  BasicBlock(std::string N, unsigned Id, Function *F)
+      : Name(std::move(N)), Id(Id), Parent(F) {}
+
+  const std::string &name() const { return Name; }
+  /// Stable, dense index within the parent function; analyses use it to key
+  /// vectors instead of pointer-keyed maps.
+  unsigned id() const { return Id; }
+  void setId(unsigned NewId) { Id = NewId; }
+  Function *parent() const { return Parent; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  /// Appends \p I; asserts that nothing follows an existing terminator.
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I at position \p Pos (0 = front).
+  Instruction *insertAt(size_t Pos, std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I immediately before the terminator (or at the end when the
+  /// block has none yet).
+  Instruction *insertBeforeTerminator(std::unique_ptr<Instruction> I);
+
+  /// Removes \p I from the block and destroys it.  The caller must have
+  /// already rewritten all uses.
+  void erase(Instruction *I);
+
+  /// Removes \p I and returns ownership without destroying it.
+  std::unique_ptr<Instruction> take(Instruction *I);
+
+  /// Returns the terminator, or null for an unfinished block.
+  Instruction *terminator() const;
+
+  /// Successor blocks (from the terminator; empty for Ret).
+  std::vector<BasicBlock *> successors() const;
+
+  /// Predecessors; valid after Function::recomputePreds().
+  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+  void clearPreds() { Preds.clear(); }
+  void addPred(BasicBlock *BB) { Preds.push_back(BB); }
+
+  /// Phis at the top of the block.
+  std::vector<Instruction *> phis() const;
+
+  // Iteration over instructions (as raw pointers).
+  auto begin() const { return Insts.begin(); }
+  auto end() const { return Insts.end(); }
+  const std::vector<std::unique_ptr<Instruction>> &instructions() const {
+    return Insts;
+  }
+
+private:
+  std::string Name;
+  unsigned Id;
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+  std::vector<BasicBlock *> Preds;
+};
+
+} // namespace ir
+} // namespace biv
+
+#endif // BEYONDIV_IR_BASICBLOCK_H

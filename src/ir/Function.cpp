@@ -1,0 +1,176 @@
+//===- ir/Function.cpp - IR functions --------------------------------------===//
+
+#include "ir/Function.h"
+#include <algorithm>
+#include <functional>
+
+using namespace biv::ir;
+
+BasicBlock *Function::createBlock(const std::string &N) {
+  unsigned Id = Blocks.size();
+  Blocks.push_back(std::make_unique<BasicBlock>(uniqueName(N), Id, this));
+  return Blocks.back().get();
+}
+
+Constant *Function::constant(int64_t V) {
+  auto &Slot = Constants[V];
+  if (!Slot)
+    Slot = std::make_unique<Constant>(V);
+  return Slot.get();
+}
+
+UndefValue *Function::undef() {
+  if (!Undef)
+    Undef = std::make_unique<UndefValue>();
+  return Undef.get();
+}
+
+Argument *Function::addArgument(const std::string &N) {
+  Args.push_back(std::make_unique<Argument>(N, Args.size()));
+  return Args.back().get();
+}
+
+Argument *Function::findArgument(const std::string &N) const {
+  for (const auto &A : Args)
+    if (A->name() == N)
+      return A.get();
+  return nullptr;
+}
+
+Var *Function::getOrCreateVar(const std::string &N) {
+  if (Var *V = findVar(N))
+    return V;
+  Vars.push_back(std::make_unique<Var>(N, Vars.size()));
+  return Vars.back().get();
+}
+
+Var *Function::findVar(const std::string &N) const {
+  for (const auto &V : Vars)
+    if (V->name() == N)
+      return V.get();
+  return nullptr;
+}
+
+Array *Function::getOrCreateArray(const std::string &N, unsigned Rank) {
+  if (Array *A = findArray(N)) {
+    assert(A->rank() == Rank && "array redeclared with different rank");
+    return A;
+  }
+  Arrays.push_back(std::make_unique<Array>(N, Arrays.size(), Rank));
+  return Arrays.back().get();
+}
+
+Array *Function::findArray(const std::string &N) const {
+  for (const auto &A : Arrays)
+    if (A->name() == N)
+      return A.get();
+  return nullptr;
+}
+
+void Function::recomputePreds() {
+  for (const auto &BB : Blocks)
+    BB->clearPreds();
+  for (const auto &BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      Succ->addPred(BB.get());
+}
+
+void Function::replaceAllUsesWith(Value *From, Value *To) {
+  assert(From != To && "replacing a value with itself");
+  for (const auto &BB : Blocks)
+    for (const auto &I : *BB)
+      for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx)
+        if (I->operand(Idx) == From)
+          I->setOperand(Idx, To);
+}
+
+unsigned Function::removeUnreachableBlocks() {
+  if (Blocks.empty())
+    return 0;
+  // Mark blocks reachable from the entry.
+  std::vector<char> Reach(Blocks.size(), 0);
+  std::vector<BasicBlock *> Work{entry()};
+  Reach[entry()->id()] = 1;
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    for (BasicBlock *Succ : BB->successors())
+      if (!Reach[Succ->id()]) {
+        Reach[Succ->id()] = 1;
+        Work.push_back(Succ);
+      }
+  }
+  // Prune phi incomings that flow from doomed blocks.
+  for (const auto &BB : Blocks) {
+    if (!Reach[BB->id()])
+      continue;
+    for (Instruction *Phi : BB->phis())
+      for (unsigned I = Phi->numOperands(); I-- > 0;)
+        if (!Reach[Phi->blocks()[I]->id()])
+          Phi->removeIncoming(I);
+  }
+  // Drop the doomed blocks and renumber the survivors.
+  unsigned Removed = 0;
+  std::vector<std::unique_ptr<BasicBlock>> Kept;
+  for (auto &BB : Blocks) {
+    if (Reach[BB->id()]) {
+      BB->setId(Kept.size());
+      Kept.push_back(std::move(BB));
+    } else {
+      ++Removed;
+    }
+  }
+  Blocks = std::move(Kept);
+  recomputePreds();
+  return Removed;
+}
+
+std::vector<BasicBlock *> Function::reversePostOrder() const {
+  std::vector<BasicBlock *> PostOrder;
+  std::vector<char> Visited(Blocks.size(), 0);
+  // Iterative DFS with an explicit stack of (block, next-successor) frames.
+  struct Frame {
+    BasicBlock *BB;
+    std::vector<BasicBlock *> Succs;
+    size_t Next = 0;
+  };
+  if (!Blocks.empty()) {
+    std::vector<Frame> Stack;
+    BasicBlock *Entry = Blocks.front().get();
+    Visited[Entry->id()] = 1;
+    Stack.push_back({Entry, Entry->successors()});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.Next == F.Succs.size()) {
+        PostOrder.push_back(F.BB);
+        Stack.pop_back();
+        continue;
+      }
+      BasicBlock *Succ = F.Succs[F.Next++];
+      if (!Visited[Succ->id()]) {
+        Visited[Succ->id()] = 1;
+        Stack.push_back({Succ, Succ->successors()});
+      }
+    }
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  for (const auto &BB : Blocks)
+    if (!Visited[BB->id()])
+      PostOrder.push_back(BB.get());
+  return PostOrder;
+}
+
+size_t Function::instructionCount() const {
+  size_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->size();
+  return N;
+}
+
+std::string Function::uniqueName(const std::string &Base) {
+  unsigned &Counter = NameCounters[Base];
+  std::string Result = Counter == 0 ? Base
+                                    : Base + "." + std::to_string(Counter);
+  ++Counter;
+  return Result;
+}

@@ -1,0 +1,108 @@
+//===- ir/Function.h - IR functions -----------------------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Function owns its blocks, arguments, scalar variables, arrays, and
+/// uniqued integer constants; it is the unit every analysis runs over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IR_FUNCTION_H
+#define BEYONDIV_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Storage.h"
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace ir {
+
+/// A single function: the CFG plus all storage it references.
+class Function {
+public:
+  explicit Function(std::string N) : Name(std::move(N)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Creates a new empty block; the first block created is the entry.
+  BasicBlock *createBlock(const std::string &N);
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  size_t numBlocks() const { return Blocks.size(); }
+
+  /// Returns the uniqued integer constant \p V.
+  Constant *constant(int64_t V);
+
+  /// Returns the function's single undef value.
+  UndefValue *undef();
+
+  /// Adds a formal parameter.
+  Argument *addArgument(const std::string &N);
+  const std::vector<std::unique_ptr<Argument>> &arguments() const {
+    return Args;
+  }
+  /// Finds an argument by name, or null.
+  Argument *findArgument(const std::string &N) const;
+
+  /// Creates (or returns the existing) scalar variable named \p N.
+  Var *getOrCreateVar(const std::string &N);
+  Var *findVar(const std::string &N) const;
+  const std::vector<std::unique_ptr<Var>> &vars() const { return Vars; }
+
+  /// Creates (or returns the existing) array named \p N of rank \p Rank.
+  Array *getOrCreateArray(const std::string &N, unsigned Rank = 1);
+  Array *findArray(const std::string &N) const;
+  const std::vector<std::unique_ptr<Array>> &arrays() const { return Arrays; }
+
+  /// Recomputes every block's predecessor list from the terminators.  Call
+  /// after building or mutating the CFG.
+  void recomputePreds();
+
+  /// Deletes blocks unreachable from the entry, prunes phi incomings from
+  /// deleted blocks, renumbers block ids densely, and recomputes preds.
+  /// Returns the number of blocks removed.
+  unsigned removeUnreachableBlocks();
+
+  /// Rewrites every use of \p From to \p To across the whole function
+  /// (operand scan; this IR keeps no use lists).
+  void replaceAllUsesWith(Value *From, Value *To);
+
+  /// Returns blocks in reverse post order from the entry.  Unreachable
+  /// blocks are appended at the end in creation order.
+  std::vector<BasicBlock *> reversePostOrder() const;
+
+  /// Total instruction count, for stats and benches.
+  size_t instructionCount() const;
+
+  /// Returns a fresh name "Base" or "Base.k" not yet handed out.
+  std::string uniqueName(const std::string &Base);
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<Var>> Vars;
+  std::vector<std::unique_ptr<Array>> Arrays;
+  std::map<int64_t, std::unique_ptr<Constant>> Constants;
+  std::unique_ptr<UndefValue> Undef;
+  std::map<std::string, unsigned> NameCounters;
+};
+
+} // namespace ir
+} // namespace biv
+
+#endif // BEYONDIV_IR_FUNCTION_H

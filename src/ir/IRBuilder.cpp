@@ -1,0 +1,92 @@
+//===- ir/IRBuilder.cpp - Instruction construction helper ------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace biv::ir;
+
+Instruction *IRBuilder::emit(std::unique_ptr<Instruction> I) {
+  assert(BB && "no insertion block set");
+  return BB->append(std::move(I));
+}
+
+Instruction *IRBuilder::binary(Opcode Op, Value *L, Value *R,
+                               const std::string &N) {
+  assert((isBinaryArith(Op) || isCompare(Op)) && "not a binary opcode");
+  return emit(std::make_unique<Instruction>(Op, std::vector<Value *>{L, R},
+                                            N));
+}
+
+Instruction *IRBuilder::neg(Value *V, const std::string &N) {
+  return emit(
+      std::make_unique<Instruction>(Opcode::Neg, std::vector<Value *>{V}, N));
+}
+
+Instruction *IRBuilder::copy(Value *V, const std::string &N) {
+  return emit(
+      std::make_unique<Instruction>(Opcode::Copy, std::vector<Value *>{V}, N));
+}
+
+Instruction *IRBuilder::phi(const std::string &N) {
+  // Phis must stay grouped at the block top.
+  assert(BB && "no insertion block set");
+  auto I =
+      std::make_unique<Instruction>(Opcode::Phi, std::vector<Value *>{}, N);
+  return BB->insertAt(BB->phis().size(), std::move(I));
+}
+
+Instruction *IRBuilder::loadVar(Var *V, const std::string &N) {
+  auto I = std::make_unique<Instruction>(Opcode::LoadVar,
+                                         std::vector<Value *>{},
+                                         N.empty() ? V->name() : N);
+  I->setVariable(V);
+  return emit(std::move(I));
+}
+
+Instruction *IRBuilder::storeVar(Var *V, Value *Val) {
+  auto I = std::make_unique<Instruction>(Opcode::StoreVar,
+                                         std::vector<Value *>{Val});
+  I->setVariable(V);
+  return emit(std::move(I));
+}
+
+Instruction *IRBuilder::arrayLoad(Array *A, std::vector<Value *> Indices,
+                                  const std::string &N) {
+  assert(Indices.size() == A->rank() && "subscript count != array rank");
+  auto I = std::make_unique<Instruction>(Opcode::ArrayLoad,
+                                         std::move(Indices), N);
+  I->setArray(A);
+  return emit(std::move(I));
+}
+
+Instruction *IRBuilder::arrayStore(Array *A, std::vector<Value *> Indices,
+                                   Value *Val) {
+  assert(Indices.size() == A->rank() && "subscript count != array rank");
+  std::vector<Value *> Ops;
+  Ops.push_back(Val);
+  Ops.insert(Ops.end(), Indices.begin(), Indices.end());
+  auto I = std::make_unique<Instruction>(Opcode::ArrayStore, std::move(Ops));
+  I->setArray(A);
+  return emit(std::move(I));
+}
+
+void IRBuilder::br(BasicBlock *Target) {
+  auto I =
+      std::make_unique<Instruction>(Opcode::Br, std::vector<Value *>{});
+  I->addBlock(Target);
+  emit(std::move(I));
+}
+
+void IRBuilder::condBr(Value *Cond, BasicBlock *Then, BasicBlock *Else) {
+  auto I = std::make_unique<Instruction>(Opcode::CondBr,
+                                         std::vector<Value *>{Cond});
+  I->addBlock(Then);
+  I->addBlock(Else);
+  emit(std::move(I));
+}
+
+void IRBuilder::ret(Value *V) {
+  std::vector<Value *> Ops;
+  if (V)
+    Ops.push_back(V);
+  emit(std::make_unique<Instruction>(Opcode::Ret, std::move(Ops)));
+}

@@ -1,0 +1,82 @@
+//===- ir/IRBuilder.h - Instruction construction helper ---------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small convenience layer for appending instructions to a block; used by
+/// the front-end lowering and by tests that build the paper's figures
+/// directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IR_IRBUILDER_H
+#define BEYONDIV_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace biv {
+namespace ir {
+
+/// Appends instructions at the end of a chosen insertion block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F, BasicBlock *BB = nullptr) : F(F), BB(BB) {}
+
+  Function &function() const { return F; }
+  BasicBlock *insertBlock() const { return BB; }
+  void setInsertBlock(BasicBlock *B) { BB = B; }
+
+  /// Appends a binary arithmetic or comparison instruction.
+  Instruction *binary(Opcode Op, Value *L, Value *R,
+                      const std::string &N = "");
+
+  Instruction *add(Value *L, Value *R, const std::string &N = "") {
+    return binary(Opcode::Add, L, R, N);
+  }
+  Instruction *sub(Value *L, Value *R, const std::string &N = "") {
+    return binary(Opcode::Sub, L, R, N);
+  }
+  Instruction *mul(Value *L, Value *R, const std::string &N = "") {
+    return binary(Opcode::Mul, L, R, N);
+  }
+  Instruction *div(Value *L, Value *R, const std::string &N = "") {
+    return binary(Opcode::Div, L, R, N);
+  }
+  Instruction *exp(Value *L, Value *R, const std::string &N = "") {
+    return binary(Opcode::Exp, L, R, N);
+  }
+
+  Instruction *neg(Value *V, const std::string &N = "");
+  Instruction *copy(Value *V, const std::string &N = "");
+
+  /// Appends an empty phi; use Instruction::addIncoming to populate it.
+  Instruction *phi(const std::string &N = "");
+
+  Instruction *loadVar(Var *V, const std::string &N = "");
+  Instruction *storeVar(Var *V, Value *Val);
+
+  Instruction *arrayLoad(Array *A, std::vector<Value *> Indices,
+                         const std::string &N = "");
+  Instruction *arrayStore(Array *A, std::vector<Value *> Indices, Value *Val);
+
+  void br(BasicBlock *Target);
+  void condBr(Value *Cond, BasicBlock *Then, BasicBlock *Else);
+  void ret(Value *V = nullptr);
+
+  /// Shorthand for the uniqued constant \p V.
+  Constant *constInt(int64_t V) { return F.constant(V); }
+
+private:
+  Instruction *emit(std::unique_ptr<Instruction> I);
+
+  Function &F;
+  BasicBlock *BB;
+};
+
+} // namespace ir
+} // namespace biv
+
+#endif // BEYONDIV_IR_IRBUILDER_H

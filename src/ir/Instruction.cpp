@@ -1,0 +1,19 @@
+//===- ir/Instruction.cpp - IR instructions --------------------------------===//
+
+#include "ir/Instruction.h"
+#include "ir/BasicBlock.h"
+
+using namespace biv::ir;
+
+// Out-of-line virtual anchor for the Value hierarchy.
+biv::ir::Value::~Value() = default;
+
+Value *Instruction::incomingFor(const BasicBlock *BB) const {
+  assert(Op == Opcode::Phi && "incomingFor on non-phi");
+  assert(Blocks.size() == Operands.size() && "malformed phi");
+  for (unsigned I = 0; I < Blocks.size(); ++I)
+    if (Blocks[I] == BB)
+      return Operands[I];
+  assert(false && "no phi incoming for that predecessor");
+  return nullptr;
+}

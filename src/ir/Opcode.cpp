@@ -1,0 +1,86 @@
+//===- ir/Opcode.cpp - IR operation codes ----------------------------------===//
+
+#include "ir/Opcode.h"
+#include <cassert>
+
+using namespace biv::ir;
+
+const char *biv::ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Exp:
+    return "exp";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::LoadVar:
+    return "loadvar";
+  case Opcode::StoreVar:
+    return "storevar";
+  case Opcode::ArrayLoad:
+    return "aload";
+  case Opcode::ArrayStore:
+    return "astore";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::CmpNE:
+    return "cmpne";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpLE:
+    return "cmple";
+  case Opcode::CmpGT:
+    return "cmpgt";
+  case Opcode::CmpGE:
+    return "cmpge";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  }
+  assert(false && "unknown opcode");
+  return "<bad>";
+}
+
+bool biv::ir::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+bool biv::ir::isCompare(Opcode Op) {
+  switch (Op) {
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool biv::ir::isBinaryArith(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Exp:
+    return true;
+  default:
+    return false;
+  }
+}

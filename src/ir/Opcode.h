@@ -1,0 +1,76 @@
+//===- ir/Opcode.h - IR operation codes -------------------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operation codes for the BeyondIV intermediate representation.
+///
+/// The paper (Figure 2) assumes tuples with operators AD, SB, MP, DV, EX, NG,
+/// PH, LD, ST and LT.  We keep that set (Add..Literal below), split the
+/// scalar loads/stores the paper uses for unpromoted variables (LoadVar /
+/// StoreVar, removed by SSA construction) from the indexed loads/stores on
+/// arrays that dependence analysis cares about, and add the comparisons and
+/// terminators any executable CFG needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IR_OPCODE_H
+#define BEYONDIV_IR_OPCODE_H
+
+namespace biv {
+namespace ir {
+
+enum class Opcode {
+  // Arithmetic (paper: AD SB MP DV EX NG).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Exp,
+  Neg,
+  // Merge function (paper: PH).
+  Phi,
+  // Copy of a scalar value (lowering of `x = y`); folded away by SSA
+  // renaming but kept as an opcode so tests can build the paper's figures
+  // verbatim.
+  Copy,
+  // Scalar variable access prior to SSA promotion (paper: LD/ST with
+  // loop-invariant addresses).
+  LoadVar,
+  StoreVar,
+  // Indexed array access (paper: LD/ST "denoted by the presence of
+  // subscripts"); never promoted, analyzed for data dependence.
+  ArrayLoad,
+  ArrayStore,
+  // Integer comparisons producing 0 or 1.
+  CmpEQ,
+  CmpNE,
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+  // Terminators.
+  Br,
+  CondBr,
+  Ret,
+};
+
+/// Returns the textual mnemonic for \p Op (e.g. "add").
+const char *opcodeName(Opcode Op);
+
+/// Returns true for Br/CondBr/Ret.
+bool isTerminator(Opcode Op);
+
+/// Returns true for the six comparison opcodes.
+bool isCompare(Opcode Op);
+
+/// Returns true for the binary arithmetic opcodes (Add..Exp).
+bool isBinaryArith(Opcode Op);
+
+} // namespace ir
+} // namespace biv
+
+#endif // BEYONDIV_IR_OPCODE_H

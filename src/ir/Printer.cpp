@@ -1,0 +1,95 @@
+//===- ir/Printer.cpp - Textual IR dump ------------------------------------===//
+
+#include "ir/Printer.h"
+
+using namespace biv::ir;
+
+void Printer::numberValues() {
+  unsigned Next = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : *BB) {
+      if (!I->name().empty())
+        Names[I.get()] = "%" + I->name();
+      else
+        Names[I.get()] = "%t" + std::to_string(Next++);
+    }
+}
+
+std::string Printer::nameOf(const Value *V) const {
+  if (const auto *C = dyn_cast<Constant>(V))
+    return std::to_string(C->value());
+  if (const auto *A = dyn_cast<Argument>(V))
+    return A->name();
+  if (isa<UndefValue>(V))
+    return "undef";
+  auto It = Names.find(V);
+  return It != Names.end() ? It->second : "%<unknown>";
+}
+
+std::string Printer::str(const Instruction *I) const {
+  std::string Out;
+  auto operands = [&](unsigned From = 0) {
+    std::string S;
+    for (unsigned Idx = From; Idx < I->numOperands(); ++Idx) {
+      if (Idx != From)
+        S += ", ";
+      S += nameOf(I->operand(Idx));
+    }
+    return S;
+  };
+  switch (I->opcode()) {
+  case Opcode::Phi: {
+    Out = nameOf(I) + " = phi";
+    for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx) {
+      Out += Idx == 0 ? " " : ", ";
+      Out += "[" + nameOf(I->operand(Idx)) + ", " +
+             I->blocks()[Idx]->name() + "]";
+    }
+    return Out;
+  }
+  case Opcode::LoadVar:
+    return nameOf(I) + " = loadvar @" + I->variable()->name();
+  case Opcode::StoreVar:
+    return "storevar @" + I->variable()->name() + ", " + operands();
+  case Opcode::ArrayLoad:
+    return nameOf(I) + " = aload " + I->array()->name() + "[" + operands() +
+           "]";
+  case Opcode::ArrayStore:
+    return "astore " + I->array()->name() + "[" + operands(1) +
+           "], " + nameOf(I->operand(0));
+  case Opcode::Br:
+    return "br " + I->blocks()[0]->name();
+  case Opcode::CondBr:
+    return "condbr " + nameOf(I->operand(0)) + ", " + I->blocks()[0]->name() +
+           ", " + I->blocks()[1]->name();
+  case Opcode::Ret:
+    return I->numOperands() ? "ret " + operands() : "ret";
+  default:
+    return nameOf(I) + " = " + opcodeName(I->opcode()) + " " + operands();
+  }
+}
+
+std::string Printer::str() const {
+  std::string Out = "func " + F.name() + "(";
+  for (const auto &A : F.arguments()) {
+    if (A->index())
+      Out += ", ";
+    Out += A->name();
+  }
+  Out += ") {\n";
+  for (const auto &BB : F.blocks()) {
+    Out += BB->name() + ":";
+    if (!BB->predecessors().empty()) {
+      Out += "  ; preds:";
+      for (const BasicBlock *P : BB->predecessors())
+        Out += " " + P->name();
+    }
+    Out += "\n";
+    for (const auto &I : *BB)
+      Out += "  " + str(I.get()) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string biv::ir::toString(const Function &F) { return Printer(F).str(); }

@@ -1,0 +1,56 @@
+//===- ir/Storage.h - Scalar variables and arrays ---------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named storage: scalar variables (promoted to SSA registers by the SSA
+/// builder) and arrays (left in memory; their subscripts are what the
+/// dependence tests analyze).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IR_STORAGE_H
+#define BEYONDIV_IR_STORAGE_H
+
+#include <string>
+
+namespace biv {
+namespace ir {
+
+/// A scalar program variable.  Before SSA construction every read/write goes
+/// through LoadVar/StoreVar; afterwards all of those are gone.
+class Var {
+public:
+  Var(std::string N, unsigned Id) : Name(std::move(N)), Id(Id) {}
+
+  const std::string &name() const { return Name; }
+  unsigned id() const { return Id; }
+
+private:
+  std::string Name;
+  unsigned Id;
+};
+
+/// An array.  Rank is the number of subscripts; arrays are never promoted.
+class Array {
+public:
+  Array(std::string N, unsigned Id, unsigned Rank)
+      : Name(std::move(N)), Id(Id), Rank(Rank) {}
+
+  const std::string &name() const { return Name; }
+  unsigned id() const { return Id; }
+  unsigned rank() const { return Rank; }
+
+private:
+  std::string Name;
+  unsigned Id;
+  unsigned Rank;
+};
+
+} // namespace ir
+} // namespace biv
+
+#endif // BEYONDIV_IR_STORAGE_H

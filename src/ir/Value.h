@@ -1,0 +1,125 @@
+//===- ir/Value.h - IR value hierarchy --------------------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Value hierarchy: constants, function arguments, and instructions.
+///
+/// Everything that can appear as an operand is a Value.  The hierarchy uses
+/// an explicit kind tag plus LLVM-style isa/cast/dyn_cast helpers (no RTTI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IR_VALUE_H
+#define BEYONDIV_IR_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace biv {
+namespace ir {
+
+class Function;
+
+/// Discriminator for the Value hierarchy.
+enum class ValueKind {
+  Constant,
+  Argument,
+  Undef,
+  Instruction,
+};
+
+/// Base of everything usable as an instruction operand.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind kind() const { return Kind; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+protected:
+  Value(ValueKind K, std::string N) : Kind(K), Name(std::move(N)) {}
+
+private:
+  ValueKind Kind;
+  std::string Name;
+};
+
+/// An integer literal (the paper's LT operator).  Uniqued per function.
+class Constant : public Value {
+public:
+  explicit Constant(int64_t V)
+      : Value(ValueKind::Constant, std::to_string(V)), Val(V) {}
+
+  int64_t value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Constant;
+  }
+
+private:
+  int64_t Val;
+};
+
+/// A formal parameter of a Function; loop invariant by construction and
+/// treated as an opaque symbol by the induction-variable analysis.
+class Argument : public Value {
+public:
+  Argument(std::string N, unsigned Index)
+      : Value(ValueKind::Argument, std::move(N)), Index(Index) {}
+
+  unsigned index() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+};
+
+/// The value of a variable on a path where it was never assigned.  SSA
+/// renaming plugs it into phis fed by such paths.
+class UndefValue : public Value {
+public:
+  UndefValue() : Value(ValueKind::Undef, "undef") {}
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::Undef; }
+};
+
+/// LLVM-style checked casts over the Value hierarchy.
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa on null value");
+  return To::classof(V);
+}
+
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast to incompatible value kind");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast to incompatible value kind");
+  return static_cast<const To *>(V);
+}
+
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return V && To::classof(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return V && To::classof(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace ir
+} // namespace biv
+
+#endif // BEYONDIV_IR_VALUE_H

@@ -1,0 +1,92 @@
+//===- ir/Verifier.cpp - Structural IR verification -------------------------===//
+
+#include "ir/Verifier.h"
+#include "ir/Printer.h"
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+using namespace biv::ir;
+
+std::vector<std::string> biv::ir::verify(const Function &F) {
+  std::vector<std::string> Problems;
+  auto problem = [&](const std::string &Msg) { Problems.push_back(Msg); };
+
+  if (F.numBlocks() == 0) {
+    problem("function has no blocks");
+    return Problems;
+  }
+
+  // Collect every instruction defined in the function.
+  std::set<const Value *> Defined;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : *BB)
+      Defined.insert(I.get());
+
+  for (const auto &BB : F.blocks()) {
+    const std::string Where = "block " + BB->name() + ": ";
+    if (BB->empty()) {
+      problem(Where + "is empty");
+      continue;
+    }
+    // Exactly one terminator, at the end.
+    for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+      const Instruction *I = BB->instructions()[Idx].get();
+      bool Last = Idx + 1 == BB->size();
+      if (I->isTerminator() != Last)
+        problem(Where + (Last ? "does not end in a terminator"
+                              : "terminator not at end of block"));
+      if (I->parent() != BB.get())
+        problem(Where + "instruction with wrong parent link");
+    }
+    // Phis grouped at the top, one incoming per predecessor.
+    bool SeenNonPhi = false;
+    for (const auto &I : *BB) {
+      if (!I->isPhi()) {
+        SeenNonPhi = true;
+        continue;
+      }
+      if (SeenNonPhi)
+        problem(Where + "phi after non-phi instruction");
+      if (I->numOperands() != I->blocks().size())
+        problem(Where + "phi operand/block count mismatch");
+      std::multiset<const BasicBlock *> Incoming(I->blocks().begin(),
+                                                 I->blocks().end());
+      std::multiset<const BasicBlock *> Preds(BB->predecessors().begin(),
+                                              BB->predecessors().end());
+      if (Incoming != Preds)
+        problem(Where + "phi incoming blocks do not match predecessors");
+    }
+    // Operand sanity.
+    for (const auto &I : *BB)
+      for (const Value *Op : I->operands()) {
+        if (!Op) {
+          problem(Where + "null operand");
+          continue;
+        }
+        if (isa<Instruction>(Op) && !Defined.count(Op))
+          problem(Where + "operand not defined in this function");
+      }
+    // Branch targets must be blocks of this function.
+    if (const Instruction *T = BB->terminator())
+      for (const BasicBlock *Succ : T->blocks()) {
+        bool Found = false;
+        for (const auto &Other : F.blocks())
+          Found |= Other.get() == Succ;
+        if (!Found)
+          problem(Where + "branch to block outside the function");
+      }
+  }
+  return Problems;
+}
+
+void biv::ir::verifyOrDie(const Function &F) {
+  std::vector<std::string> Problems = verify(F);
+  if (Problems.empty())
+    return;
+  std::fprintf(stderr, "IR verification failed for %s:\n", F.name().c_str());
+  for (const std::string &P : Problems)
+    std::fprintf(stderr, "  %s\n", P.c_str());
+  std::fprintf(stderr, "%s", toString(F).c_str());
+  abort();
+}

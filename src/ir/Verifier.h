@@ -1,0 +1,37 @@
+//===- ir/Verifier.h - Structural IR verification ---------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks on a Function's CFG.  SSA-specific
+/// dominance checks live in ssa/SSAVerifier.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IR_VERIFIER_H
+#define BEYONDIV_IR_VERIFIER_H
+
+#include "ir/Function.h"
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace ir {
+
+/// Checks CFG invariants: every block ends in exactly one terminator, phis
+/// are grouped at block tops with one incoming per predecessor, and every
+/// operand is a constant, an argument, or an instruction of this function.
+/// Returns a list of human-readable problems; empty means well formed.
+/// Requires Function::recomputePreds() to have been called.
+std::vector<std::string> verify(const Function &F);
+
+/// Asserts that verify(F) is empty, printing the problems on failure.
+void verifyOrDie(const Function &F);
+
+} // namespace ir
+} // namespace biv
+
+#endif // BEYONDIV_IR_VERIFIER_H

@@ -1,0 +1,138 @@
+//===- ivclass/Classification.cpp - The paper's variable classes --------------===//
+
+#include "ivclass/Classification.h"
+#include "analysis/LoopInfo.h"
+
+using namespace biv;
+using namespace biv::ivclass;
+
+const char *biv::ivclass::ivKindName(IVKind K) {
+  switch (K) {
+  case IVKind::Unknown:
+    return "unknown";
+  case IVKind::Invariant:
+    return "invariant";
+  case IVKind::Linear:
+    return "linear";
+  case IVKind::Polynomial:
+    return "polynomial";
+  case IVKind::Geometric:
+    return "geometric";
+  case IVKind::WrapAround:
+    return "wrap-around";
+  case IVKind::Periodic:
+    return "periodic";
+  case IVKind::Monotonic:
+    return "monotonic";
+  }
+  assert(false && "unknown IVKind");
+  return "<bad>";
+}
+
+Classification Classification::fromForm(const analysis::Loop *L,
+                                        ClosedForm Form) {
+  Classification C;
+  C.Form = std::move(Form);
+  if (C.Form.isInvariant()) {
+    C.Kind = IVKind::Invariant;
+    return C;
+  }
+  C.L = L;
+  if (C.Form.hasExponential())
+    C.Kind = IVKind::Geometric;
+  else if (C.Form.isLinear())
+    C.Kind = IVKind::Linear;
+  else
+    C.Kind = IVKind::Polynomial;
+  return C;
+}
+
+Classification Classification::wrapAround(const analysis::Loop *L,
+                                          unsigned Order,
+                                          Classification InnerClass) {
+  Classification C;
+  C.Kind = IVKind::WrapAround;
+  C.L = L;
+  C.WrapOrder = Order;
+  C.Inner = std::make_shared<Classification>(std::move(InnerClass));
+  return C;
+}
+
+Classification Classification::periodic(const analysis::Loop *L,
+                                        unsigned FamilyId, unsigned Period,
+                                        unsigned Phase,
+                                        std::vector<Affine> RingInits) {
+  assert(Period >= 2 && "periodic family needs period >= 2");
+  Classification C;
+  C.Kind = IVKind::Periodic;
+  C.L = L;
+  C.FamilyId = FamilyId;
+  C.Period = Period;
+  C.Phase = Phase;
+  C.RingInits = std::move(RingInits);
+  return C;
+}
+
+Classification Classification::monotonic(const analysis::Loop *L,
+                                         MonotoneDir Dir, bool Strict) {
+  Classification C;
+  C.Kind = IVKind::Monotonic;
+  C.L = L;
+  C.Dir = Dir;
+  C.Strict = Strict;
+  return C;
+}
+
+bool Classification::isFlipFlop() const {
+  if (Kind == IVKind::Periodic)
+    return Period == 2;
+  if (Kind == IVKind::Geometric) {
+    // c + d*(-1)^h alternates between two values.
+    return Form.degree() == 0 && Form.geoTerms().size() == 1 &&
+           Form.geoTerms().begin()->first == -1;
+  }
+  return false;
+}
+
+std::string Classification::str(const SymbolNamer &Namer) const {
+  const std::string LoopName = L ? L->name() : "?";
+  switch (Kind) {
+  case IVKind::Unknown:
+    return "unknown";
+  case IVKind::Invariant:
+    return "invariant " + Form.initialValue().str(Namer);
+  case IVKind::Linear:
+    return "(" + LoopName + ", " + Form.coeff(0).str(Namer) + ", " +
+           Form.coeff(1).str(Namer) + ")";
+  case IVKind::Polynomial: {
+    std::string Out = "(" + LoopName;
+    for (unsigned K = 0; K <= Form.degree(); ++K)
+      Out += ", " + Form.coeff(K).str(Namer);
+    return Out + ")";
+  }
+  case IVKind::Geometric:
+    return "(" + LoopName + ", " + Form.str(Namer) + ")";
+  case IVKind::WrapAround:
+    return "wrap-around(" + LoopName + ", order " +
+           std::to_string(WrapOrder) + ", " +
+           (Inner ? Inner->str(Namer) : std::string("?")) + ")";
+  case IVKind::Periodic: {
+    std::string Out = "periodic(" + LoopName + ", period " +
+                      std::to_string(Period) + ", phase " +
+                      std::to_string(Phase) + ", inits [";
+    for (size_t I = 0; I < RingInits.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += RingInits[I].str(Namer);
+    }
+    return Out + "])";
+  }
+  case IVKind::Monotonic:
+    return std::string("monotonic ") +
+           (Strict ? "strictly " : "") +
+           (Dir == MonotoneDir::Increasing ? "increasing" : "decreasing") +
+           " (" + LoopName + ")";
+  }
+  assert(false && "unknown IVKind");
+  return "";
+}

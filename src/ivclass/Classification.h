@@ -1,0 +1,153 @@
+//===- ivclass/Classification.h - The paper's variable classes --*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified classification scheme of the paper: every integer scalar in a
+/// loop is an invariant, a (linear/polynomial/geometric) induction variable,
+/// a wrap-around variable of some order, a member of a periodic family, a
+/// monotonic variable, or unknown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IVCLASS_CLASSIFICATION_H
+#define BEYONDIV_IVCLASS_CLASSIFICATION_H
+
+#include "ivclass/ClosedForm.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace biv {
+
+namespace analysis {
+class Loop;
+}
+
+namespace ivclass {
+
+/// The classes of section 2-4, plus Invariant and Unknown.
+enum class IVKind {
+  Unknown,
+  Invariant,
+  Linear,     ///< (L, i, s): value i + s*h.
+  Polynomial, ///< (L, i, s1..sm): value sum sk*h^k, m >= 2.
+  Geometric,  ///< polynomial plus exponential terms.
+  WrapAround, ///< settles into another class after `order` iterations.
+  Periodic,   ///< member of a rotation family with period >= 2.
+  Monotonic,  ///< only the direction (and strictness) is known.
+};
+
+/// Returns "linear", "wrap-around", ... for diagnostics.
+const char *ivKindName(IVKind K);
+
+/// Direction of a monotonic variable.
+enum class MonotoneDir { Increasing, Decreasing };
+
+/// Classification of one SSA value relative to one loop.
+///
+/// Closed-form kinds (Invariant/Linear/Polynomial/Geometric) carry Form; the
+/// Affine symbols inside Form are values defined outside the loop, which may
+/// themselves be classified in an enclosing loop -- that is the paper's
+/// nested tuple, e.g. k3 = (L18, (L17, 0, 204), 2).
+class Classification {
+public:
+  IVKind Kind = IVKind::Unknown;
+  /// Loop the classification is relative to; null for Invariant/Unknown.
+  const analysis::Loop *L = nullptr;
+
+  /// Closed form for Invariant/Linear/Polynomial/Geometric.
+  ClosedForm Form;
+
+  // --- WrapAround ---
+  /// After Order iterations the value follows Inner's class (Figure 4).
+  unsigned WrapOrder = 0;
+  std::shared_ptr<Classification> Inner;
+
+  // --- Periodic ---
+  unsigned Period = 0;
+  /// Identifies the family (all members share it).
+  unsigned FamilyId = 0;
+  /// Position in the rotation: the member whose value at iteration h equals
+  /// initial value (PhaseIndex + h) mod Period of the family's initial-value
+  /// ring.
+  unsigned Phase = 0;
+  /// Initial values of the family in ring order (affine; distinctness is
+  /// checked by the dependence tests).
+  std::vector<Affine> RingInits;
+
+  /// Affine image of a periodic member: the classified value equals
+  /// PScale * member + POffset (so `2*j` keeps j's family identity and the
+  /// dependence tests can still reason about it).
+  Rational PScale = Rational(1);
+  Affine POffset;
+
+  // --- Monotonic ---
+  MonotoneDir Dir = MonotoneDir::Increasing;
+  bool Strict = false;
+  /// All values of one monotonic SCR share a family id (like periodic
+  /// families); the dependence tests use it to apply the paper's
+  /// "=" -> "<=" translation only within one recurrence.
+  unsigned MonoFamilyId = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Factories
+  //===--------------------------------------------------------------------===//
+
+  static Classification unknown() { return Classification(); }
+
+  static Classification invariant(Affine V) {
+    Classification C;
+    C.Kind = IVKind::Invariant;
+    C.Form = ClosedForm::constant(std::move(V));
+    return C;
+  }
+
+  /// Builds Linear/Polynomial/Geometric/Invariant from \p Form 's shape.
+  static Classification fromForm(const analysis::Loop *L, ClosedForm Form);
+
+  static Classification wrapAround(const analysis::Loop *L, unsigned Order,
+                                   Classification InnerClass);
+
+  static Classification periodic(const analysis::Loop *L, unsigned FamilyId,
+                                 unsigned Period, unsigned Phase,
+                                 std::vector<Affine> RingInits);
+
+  static Classification monotonic(const analysis::Loop *L, MonotoneDir Dir,
+                                  bool Strict);
+
+  //===--------------------------------------------------------------------===//
+  // Predicates
+  //===--------------------------------------------------------------------===//
+
+  bool isUnknown() const { return Kind == IVKind::Unknown; }
+  bool isInvariant() const { return Kind == IVKind::Invariant; }
+  bool isLinear() const { return Kind == IVKind::Linear; }
+  /// Any class with an exact closed form.
+  bool hasClosedForm() const {
+    return Kind == IVKind::Invariant || Kind == IVKind::Linear ||
+           Kind == IVKind::Polynomial || Kind == IVKind::Geometric;
+  }
+  /// Linear including degenerate (invariant) forms.
+  bool isAffineForm() const { return hasClosedForm() && Form.isLinear(); }
+  bool isMonotonic() const { return Kind == IVKind::Monotonic; }
+  bool isPeriodic() const { return Kind == IVKind::Periodic; }
+  bool isWrapAround() const { return Kind == IVKind::WrapAround; }
+
+  /// A flip-flop is a period-2 periodic variable; geometric base -1 forms
+  /// (the paper's `j = c - j`) also satisfy this.
+  bool isFlipFlop() const;
+
+  /// Renders the paper's tuple syntax, e.g. "(L18, k2+2, 2)" for linear,
+  /// "(L14, 2, 3/2, 1/2)" for polynomial, "wrap-around(order 1, linear ...)"
+  /// etc.  \p Namer resolves affine symbols (usually to IR value names).
+  std::string str(const SymbolNamer &Namer = SymbolNamer()) const;
+};
+
+} // namespace ivclass
+} // namespace biv
+
+#endif // BEYONDIV_IVCLASS_CLASSIFICATION_H

@@ -1,0 +1,286 @@
+//===- ivclass/ClosedForm.cpp - Closed forms of recurrences -------------------===//
+
+#include "ivclass/ClosedForm.h"
+
+using namespace biv;
+using namespace biv::ivclass;
+
+void ClosedForm::normalize() {
+  while (!Poly.empty() && Poly.back().isZero())
+    Poly.pop_back();
+  for (auto It = Geo.begin(); It != Geo.end();) {
+    assert(It->first != 0 && It->first != 1 && "degenerate exponential base");
+    if (It->second.isZero())
+      It = Geo.erase(It);
+    else
+      ++It;
+  }
+}
+
+ClosedForm ClosedForm::constant(Affine C) {
+  ClosedForm F;
+  if (!C.isZero())
+    F.Poly.push_back(std::move(C));
+  return F;
+}
+
+ClosedForm ClosedForm::counter() { return linear(Affine(0), Affine(1)); }
+
+ClosedForm ClosedForm::linear(Affine Init, Affine Step) {
+  ClosedForm F;
+  F.Poly.push_back(std::move(Init));
+  F.Poly.push_back(std::move(Step));
+  F.normalize();
+  return F;
+}
+
+ClosedForm ClosedForm::make(std::vector<Affine> Poly,
+                            std::map<int64_t, Affine> Geo) {
+  ClosedForm F;
+  F.Poly = std::move(Poly);
+  for (auto &[Base, Coeff] : Geo) {
+    if (Base == 1) {
+      // Base-1 exponentials are constants.
+      if (F.Poly.empty())
+        F.Poly.push_back(Affine());
+      F.Poly[0] += Coeff;
+      continue;
+    }
+    F.Geo[Base] = std::move(Coeff);
+  }
+  F.normalize();
+  return F;
+}
+
+Affine ClosedForm::initialValue() const {
+  Affine V = coeff(0);
+  for (const auto &[Base, Coeff] : Geo) {
+    (void)Base; // b^0 == 1
+    V += Coeff;
+  }
+  return V;
+}
+
+ClosedForm ClosedForm::operator-() const {
+  ClosedForm F;
+  for (const Affine &C : Poly)
+    F.Poly.push_back(-C);
+  for (const auto &[Base, Coeff] : Geo)
+    F.Geo[Base] = -Coeff;
+  return F;
+}
+
+ClosedForm ClosedForm::operator+(const ClosedForm &RHS) const {
+  ClosedForm F = *this;
+  if (F.Poly.size() < RHS.Poly.size())
+    F.Poly.resize(RHS.Poly.size());
+  for (size_t K = 0; K < RHS.Poly.size(); ++K)
+    F.Poly[K] += RHS.Poly[K];
+  for (const auto &[Base, Coeff] : RHS.Geo)
+    F.Geo[Base] += Coeff;
+  F.normalize();
+  return F;
+}
+
+ClosedForm ClosedForm::operator-(const ClosedForm &RHS) const {
+  return *this + (-RHS);
+}
+
+ClosedForm ClosedForm::operator*(const Rational &Scale) const {
+  ClosedForm F;
+  if (Scale.isZero())
+    return F;
+  for (const Affine &C : Poly)
+    F.Poly.push_back(C * Scale);
+  for (const auto &[Base, Coeff] : Geo)
+    F.Geo[Base] = Coeff * Scale;
+  return F;
+}
+
+std::optional<ClosedForm> ClosedForm::mulChecked(const ClosedForm &RHS) const {
+  ClosedForm F;
+  // Polynomial x polynomial: coefficient convolution; each pairwise product
+  // must keep at least one affine side constant.
+  if (!Poly.empty() && !RHS.Poly.empty()) {
+    F.Poly.assign(Poly.size() + RHS.Poly.size() - 1, Affine());
+    for (size_t I = 0; I < Poly.size(); ++I)
+      for (size_t J = 0; J < RHS.Poly.size(); ++J) {
+        if (Poly[I].isZero() || RHS.Poly[J].isZero())
+          continue;
+        std::optional<Affine> P = Affine::mul(Poly[I], RHS.Poly[J]);
+        if (!P)
+          return std::nullopt;
+        F.Poly[I + J] += *P;
+      }
+  }
+  // Exponential x exponential: bases multiply.
+  for (const auto &[B1, C1] : Geo)
+    for (const auto &[B2, C2] : RHS.Geo) {
+      std::optional<Affine> P = Affine::mul(C1, C2);
+      if (!P)
+        return std::nullopt;
+      int64_t Base = B1 * B2;
+      if (Base == 1) {
+        if (F.Poly.empty())
+          F.Poly.push_back(Affine());
+        F.Poly[0] += *P;
+      } else {
+        F.Geo[Base] += *P;
+      }
+    }
+  // Polynomial x exponential cross terms: representable only when the
+  // polynomial side is the constant h^0 term (h^k * b^h is outside the
+  // paper's representation).
+  auto crossTerms = [&](const std::vector<Affine> &P,
+                        const std::map<int64_t, Affine> &G) -> bool {
+    for (size_t K = 0; K < P.size(); ++K) {
+      if (P[K].isZero())
+        continue;
+      for (const auto &[Base, Coeff] : G) {
+        if (K > 0)
+          return false;
+        std::optional<Affine> Prod = Affine::mul(P[K], Coeff);
+        if (!Prod)
+          return false;
+        F.Geo[Base] += *Prod;
+      }
+    }
+    return true;
+  };
+  if (!crossTerms(Poly, RHS.Geo) || !crossTerms(RHS.Poly, Geo))
+    return std::nullopt;
+  F.normalize();
+  return F;
+}
+
+Affine ClosedForm::evaluateAt(int64_t H) const {
+  assert(H >= 0 && "iterations are numbered from zero");
+  Affine V;
+  Rational HPow(1);
+  for (size_t K = 0; K < Poly.size(); ++K) {
+    V += Poly[K] * HPow;
+    HPow *= Rational(H);
+  }
+  for (const auto &[Base, Coeff] : Geo)
+    V += Coeff * Rational(Base).pow(H);
+  return V;
+}
+
+std::optional<ClosedForm> ClosedForm::shifted(int64_t Delta) const {
+  ClosedForm F;
+  // Polynomial part: substitute (h + Delta)^k via binomial expansion.
+  F.Poly.assign(Poly.size(), Affine());
+  for (size_t K = 0; K < Poly.size(); ++K) {
+    if (Poly[K].isZero())
+      continue;
+    // (h+D)^K = sum_j C(K,j) D^(K-j) h^j.
+    Rational Binom(1); // C(K, 0)
+    for (size_t J = 0; J <= K; ++J) {
+      Rational Term = Binom * Rational(Delta).pow(static_cast<int64_t>(K - J));
+      F.Poly[J] += Poly[K] * Term;
+      // C(K, J+1) = C(K, J) * (K-J) / (J+1).
+      Binom = Binom * Rational(static_cast<int64_t>(K - J)) /
+              Rational(static_cast<int64_t>(J + 1));
+    }
+  }
+  // Exponential part: b^(h+D) = b^D * b^h; negative D needs b != 0.
+  for (const auto &[Base, Coeff] : Geo) {
+    if (Base == 0)
+      return std::nullopt;
+    F.Geo[Base] = Coeff * Rational(Base).pow(Delta);
+  }
+  F.normalize();
+  return F;
+}
+
+std::optional<Affine> ClosedForm::evaluateAtAffine(const Affine &TC) const {
+  if (!isLinear())
+    return std::nullopt;
+  std::optional<Affine> StepTimesTC = Affine::mul(coeff(1), TC);
+  if (!StepTimesTC)
+    return std::nullopt;
+  return coeff(0) + *StepTimesTC;
+}
+
+bool ClosedForm::provablyNonDecreasing() const {
+  // Differences: d(h) = value(h+1) - value(h); require numeric coefficients
+  // that are all >= 0 (then d(h) >= 0 for every h >= 0).
+  std::optional<ClosedForm> Next = shifted(1);
+  if (!Next)
+    return false;
+  return (*Next - *this).provablyNonNegative();
+}
+
+bool ClosedForm::provablyIncreasing() const {
+  std::optional<ClosedForm> Next = shifted(1);
+  if (!Next)
+    return false;
+  ClosedForm Diff = *Next - *this;
+  // Strictly positive: non-negative and value(0) of the difference > 0 with
+  // every coefficient numeric and >= 0 (so it can never dip back to zero)...
+  // except that a zero difference form must be rejected.
+  if (!Diff.provablyNonNegative())
+    return false;
+  std::optional<Rational> At0 = Diff.evaluateAt(0).getConstant();
+  return At0 && At0->isPositive();
+}
+
+bool ClosedForm::provablyNonNegative() const {
+  // Conservative: every coefficient numeric and >= 0, and exponential bases
+  // positive (so all terms are >= 0 for h >= 0).
+  for (const Affine &C : Poly) {
+    std::optional<Rational> V = C.getConstant();
+    if (!V || V->isNegative())
+      return false;
+  }
+  for (const auto &[Base, Coeff] : Geo) {
+    std::optional<Rational> V = Coeff.getConstant();
+    if (Base <= 0 || !V || V->isNegative())
+      return false;
+  }
+  return true;
+}
+
+std::string ClosedForm::str(const SymbolNamer &Namer) const {
+  if (isZero())
+    return "0";
+  std::string Out;
+  auto addTerm = [&](const Affine &Coeff, const std::string &Basis) {
+    std::string CS = Coeff.str(Namer);
+    bool Leading = Out.empty();
+    bool Negated = false;
+    if (Coeff.isConstant() && Coeff.constantPart().isNegative()) {
+      CS = (-Coeff).str(Namer);
+      Negated = true;
+    }
+    if (!Leading)
+      Out += Negated ? " - " : " + ";
+    else if (Negated)
+      Out += "-";
+    if (Basis.empty()) {
+      Out += CS;
+      return;
+    }
+    if (CS == "1") {
+      Out += Basis;
+      return;
+    }
+    // Parenthesize multi-term coefficients.
+    if (CS.find(' ') != std::string::npos)
+      CS = "(" + CS + ")";
+    Out += CS + "*" + Basis;
+  };
+  for (size_t K = 0; K < Poly.size(); ++K) {
+    if (Poly[K].isZero())
+      continue;
+    std::string Basis =
+        K == 0 ? "" : (K == 1 ? "h" : "h^" + std::to_string(K));
+    addTerm(Poly[K], Basis);
+  }
+  for (const auto &[Base, Coeff] : Geo) {
+    std::string BaseStr = Base < 0 ? "(" + std::to_string(Base) + ")"
+                                   : std::to_string(Base);
+    addTerm(Coeff, BaseStr + "^h");
+  }
+  return Out;
+}

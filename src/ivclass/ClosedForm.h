@@ -1,0 +1,133 @@
+//===- ivclass/ClosedForm.h - Closed forms of recurrences -------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed forms of induction sequences.
+///
+/// Section 4.3 represents a polynomial induction variable as the tuple
+/// (l, i, s1, ..., sm) whose value on iteration h is sum(sk * h^k), and a
+/// geometric one by "the polynomial coefficients followed by the
+/// coefficients of each exponential term": sum(sk * h^k) + sum(gb * b^h).
+/// ClosedForm is exactly that, with every coefficient an Affine (rational
+/// coefficients over loop-invariant symbols) and h the canonical basic loop
+/// counter (l, 0, 1) that is zero on the first iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IVCLASS_CLOSEDFORM_H
+#define BEYONDIV_IVCLASS_CLOSEDFORM_H
+
+#include "support/Affine.h"
+#include "support/Rational.h"
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace ivclass {
+
+/// value(h) = sum_k poly[k] * h^k  +  sum_b geo[b] * b^h.
+///
+/// Invariants: the polynomial coefficient list has no trailing zeros, and
+/// exponential terms never use base 0 or 1 (base-1 folds into poly[0]) and
+/// never carry a zero coefficient.
+class ClosedForm {
+public:
+  /// Constructs the zero form.
+  ClosedForm() = default;
+
+  /// The constant (loop-invariant) form \p C.
+  static ClosedForm constant(Affine C);
+
+  /// The canonical basic counter h = (L, 0, 1).
+  static ClosedForm counter();
+
+  /// init + step * h: the paper's linear tuple (L, init, step).
+  static ClosedForm linear(Affine Init, Affine Step);
+
+  /// Builds from explicit coefficients (normalizes).
+  static ClosedForm make(std::vector<Affine> Poly,
+                         std::map<int64_t, Affine> Geo = {});
+
+  bool isZero() const { return Poly.empty() && Geo.empty(); }
+  bool isInvariant() const { return degree() == 0 && Geo.empty(); }
+  bool isLinear() const { return degree() <= 1 && Geo.empty(); }
+  bool isPolynomial() const { return Geo.empty(); }
+  bool hasExponential() const { return !Geo.empty(); }
+
+  /// Degree of the polynomial part (0 for a constant).
+  unsigned degree() const {
+    return Poly.size() <= 1 ? 0 : static_cast<unsigned>(Poly.size() - 1);
+  }
+
+  /// Coefficient of h^k (zero when absent).
+  Affine coeff(unsigned K) const {
+    return K < Poly.size() ? Poly[K] : Affine();
+  }
+
+  /// The paper's "initial value": value(0).
+  Affine initialValue() const;
+
+  /// Step of a linear form (its h coefficient); requires isLinear().
+  Affine linearStep() const {
+    assert(isLinear() && "step of non-linear form");
+    return coeff(1);
+  }
+
+  const std::map<int64_t, Affine> &geoTerms() const { return Geo; }
+
+  ClosedForm operator-() const;
+  ClosedForm operator+(const ClosedForm &RHS) const;
+  ClosedForm operator-(const ClosedForm &RHS) const;
+  ClosedForm operator*(const Rational &Scale) const;
+
+  /// Full product; nullopt when the result leaves the representable space
+  /// (symbol-by-symbol products, h^k * b^h cross terms with k > 0, ...).
+  std::optional<ClosedForm> mulChecked(const ClosedForm &RHS) const;
+
+  /// Exact value on iteration \p H (H >= 0).
+  Affine evaluateAt(int64_t H) const;
+
+  /// value(h + Delta) as a form in h; nullopt when an exponential
+  /// coefficient would leave the rationals (never happens for integer
+  /// bases with Delta >= -62).
+  std::optional<ClosedForm> shifted(int64_t Delta) const;
+
+  /// Evaluates at a *symbolic* iteration count: only possible for linear
+  /// forms (init + step*TC must stay affine).  This is how inner-loop exit
+  /// values with symbolic trip counts (the triangular loop of Figure 9) are
+  /// built.
+  std::optional<Affine> evaluateAtAffine(const Affine &TC) const;
+
+  /// True when the sequence is non-decreasing for all h >= 0, provable from
+  /// numeric coefficients alone (conservative).
+  bool provablyNonDecreasing() const;
+  /// True when strictly increasing for all h >= 0 (conservative).
+  bool provablyIncreasing() const;
+  /// True when value(h) >= 0 for all h >= 0 (conservative).
+  bool provablyNonNegative() const;
+
+  bool operator==(const ClosedForm &RHS) const {
+    return Poly == RHS.Poly && Geo == RHS.Geo;
+  }
+  bool operator!=(const ClosedForm &RHS) const { return !(*this == RHS); }
+
+  /// Renders e.g. "3 + 1/2*h + 1/2*h^2" or "-2 - h + 3*2^h".
+  std::string str(const SymbolNamer &Namer = SymbolNamer()) const;
+
+private:
+  void normalize();
+
+  std::vector<Affine> Poly;
+  std::map<int64_t, Affine> Geo;
+};
+
+} // namespace ivclass
+} // namespace biv
+
+#endif // BEYONDIV_IVCLASS_CLOSEDFORM_H

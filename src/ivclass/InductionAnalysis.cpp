@@ -1,0 +1,994 @@
+//===- ivclass/InductionAnalysis.cpp - The paper's algorithm -------------------===//
+
+#include "ivclass/InductionAnalysis.h"
+#include "ivclass/RecurrenceSolver.h"
+#include "ivclass/SSAGraph.h"
+#include <algorithm>
+#include <optional>
+#include <set>
+
+using namespace biv;
+using namespace biv::ivclass;
+
+namespace {
+
+/// A symbolic value during SCR evaluation: A * X + B(h), where X is the
+/// value of the region's loop-header phi on the current iteration.
+/// Through records which SCR nodes this path's value passed through; it
+/// feeds the paper's per-member strictness argument (Figure 10: "if the k3
+/// assignment occurs more than once, it must assign a larger value each
+/// time").
+struct LinTerm {
+  Rational A;
+  ClosedForm B;
+  std::set<const ir::Instruction *> Through;
+
+  bool operator==(const LinTerm &O) const { return A == O.A && B == O.B; }
+};
+
+/// The set of possible symbolic values of a node (one per control path
+/// through the loop body); nullopt = not expressible.
+using SymSet = std::vector<LinTerm>;
+
+/// Classifies one loop.  Owned state is per-loop; long-lived results land in
+/// the analysis' ClassMap.
+class LoopClassifier {
+public:
+  LoopClassifier(InductionAnalysis &IA, const analysis::Loop *L,
+                 std::map<const ir::Value *, Classification> &Map,
+                 const InductionAnalysis::Options &Opts, unsigned &FamilyId,
+                 InductionAnalysis::Stats &S)
+      : IA(IA), L(L), G(*L, IA.loopInfo()), Map(Map), Opts(Opts),
+        NextFamilyId(FamilyId), S(S) {
+    // Arrays written inside the loop (for the array-load invariance rule).
+    for (ir::BasicBlock *BB : L->blocks())
+      for (const auto &I : *BB)
+        if (I->opcode() == ir::Opcode::ArrayStore)
+          StoredArrays.insert(I->array());
+  }
+
+  void run() {
+    for (const SCR &Region : G.stronglyConnectedRegions()) {
+      ++S.Regions;
+      if (Region.Trivial)
+        classifyTrivial(Region.Nodes.front());
+      else
+        classifyRegion(Region);
+    }
+  }
+
+private:
+  const Classification &classOf(const ir::Value *V) {
+    auto It = Map.find(V);
+    if (It != Map.end())
+      return It->second;
+    return Map.emplace(V, IA.classifyExternal(V, L)).first->second;
+  }
+
+  void setClass(const ir::Instruction *I, Classification C) {
+    Map[I] = std::move(C);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Trivial regions
+  //===------------------------------------------------------------------===//
+
+  void classifyTrivial(ir::Instruction *I) {
+    if (I->isPhi()) {
+      if (I->parent() == L->header())
+        setClass(I, classifyHeaderPhi(I));
+      else
+        setClass(I, classifyMergePhi(I));
+      return;
+    }
+    setClass(I, classifyOperation(I));
+  }
+
+  /// A loop-header phi alone in its region: a wrap-around variable
+  /// (section 4.1), re-classified as an induction variable when the initial
+  /// value fits the carried sequence.
+  Classification classifyHeaderPhi(ir::Instruction *Phi) {
+    ir::Value *Init = nullptr, *Carried = nullptr;
+    if (!splitHeaderPhi(Phi, Init, Carried))
+      return Classification::unknown();
+    const Classification &CC = classOf(Carried);
+
+    if (CC.hasClosedForm()) {
+      // phi(h) = carried(h-1); does the initial value fit the sequence?
+      std::optional<ClosedForm> Shifted = CC.Form.shifted(-1);
+      Classification InitC = IA.classifyExternal(Init, L);
+      if (Shifted && InitC.isInvariant() &&
+          Shifted->evaluateAt(0) == InitC.Form.initialValue())
+        return Classification::fromForm(L, *Shifted);
+      ++S.WrapArounds;
+      return Classification::wrapAround(L, 1, CC);
+    }
+    if (CC.isWrapAround()) {
+      ++S.WrapArounds;
+      return Classification::wrapAround(L, CC.WrapOrder + 1, *CC.Inner);
+    }
+    if (CC.isPeriodic() || CC.isMonotonic()) {
+      ++S.WrapArounds;
+      return Classification::wrapAround(L, 1, CC);
+    }
+    return Classification::unknown();
+  }
+
+  /// Merge-point phi outside any recurrence: classifiable only when every
+  /// live-in path carries the same closed form.
+  Classification classifyMergePhi(ir::Instruction *Phi) {
+    std::optional<ClosedForm> Common;
+    for (ir::Value *Op : Phi->operands()) {
+      const Classification &C = classOf(Op);
+      if (!C.hasClosedForm())
+        return Classification::unknown();
+      if (!Common)
+        Common = C.Form;
+      else if (*Common != C.Form)
+        return Classification::unknown();
+    }
+    if (!Common)
+      return Classification::unknown();
+    return Classification::fromForm(L, *Common);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Operation algebra (section 5.1)
+  //===------------------------------------------------------------------===//
+
+  Classification classifyOperation(ir::Instruction *I) {
+    switch (I->opcode()) {
+    case ir::Opcode::Copy:
+      return classOf(I->operand(0));
+    case ir::Opcode::Neg:
+      return negateClass(classOf(I->operand(0)));
+    case ir::Opcode::Add:
+      return addClasses(classOf(I->operand(0)), classOf(I->operand(1)));
+    case ir::Opcode::Sub:
+      return addClasses(classOf(I->operand(0)),
+                        negateClass(classOf(I->operand(1))));
+    case ir::Opcode::Mul:
+      return mulClasses(I, classOf(I->operand(0)), classOf(I->operand(1)));
+    case ir::Opcode::Div:
+      if (classOf(I->operand(0)).isInvariant() &&
+          classOf(I->operand(1)).isInvariant())
+        return Classification::invariant(Affine::symbol(I));
+      return Classification::unknown();
+    case ir::Opcode::Exp:
+      return expClasses(I, classOf(I->operand(0)), classOf(I->operand(1)));
+    case ir::Opcode::ArrayLoad: {
+      // The paper's indexed-load rule: invariant address and no stores to
+      // the array inside the loop make the load invariant.
+      if (StoredArrays.count(I->array()))
+        return Classification::unknown();
+      for (ir::Value *Op : I->operands())
+        if (!classOf(Op).isInvariant())
+          return Classification::unknown();
+      return Classification::invariant(Affine::symbol(I));
+    }
+    case ir::Opcode::CmpEQ:
+    case ir::Opcode::CmpNE:
+    case ir::Opcode::CmpLT:
+    case ir::Opcode::CmpLE:
+    case ir::Opcode::CmpGT:
+    case ir::Opcode::CmpGE:
+      // A comparison of invariants is an invariant 0/1 value (used by
+      // nested-loop bounds); anything else is not tracked.
+      if (classOf(I->operand(0)).isInvariant() &&
+          classOf(I->operand(1)).isInvariant())
+        return Classification::invariant(Affine::symbol(I));
+      return Classification::unknown();
+    default:
+      return Classification::unknown();
+    }
+  }
+
+  Classification negateClass(const Classification &C) {
+    switch (C.Kind) {
+    case IVKind::Invariant:
+    case IVKind::Linear:
+    case IVKind::Polynomial:
+    case IVKind::Geometric:
+      return Classification::fromForm(L, -C.Form);
+    case IVKind::Monotonic: {
+      Classification R = Classification::monotonic(
+          C.L,
+          C.Dir == MonotoneDir::Increasing ? MonotoneDir::Decreasing
+                                           : MonotoneDir::Increasing,
+          C.Strict);
+      R.MonoFamilyId = C.MonoFamilyId;
+      return R;
+    }
+    case IVKind::Periodic: {
+      Classification R = C;
+      R.PScale = -R.PScale;
+      R.POffset = -R.POffset;
+      return R;
+    }
+    case IVKind::WrapAround: {
+      Classification Inner = negateClass(*C.Inner);
+      if (Inner.isUnknown())
+        return Classification::unknown();
+      return Classification::wrapAround(C.L, C.WrapOrder, std::move(Inner));
+    }
+    case IVKind::Unknown:
+      return Classification::unknown();
+    }
+    return Classification::unknown();
+  }
+
+  Classification addClasses(const Classification &C1,
+                            const Classification &C2) {
+    // Exact closed forms add exactly.
+    if (C1.hasClosedForm() && C2.hasClosedForm())
+      return Classification::fromForm(L, C1.Form + C2.Form);
+    // Order so special classes come first.
+    const Classification &A = C1.hasClosedForm() ? C2 : C1;
+    const Classification &B = C1.hasClosedForm() ? C1 : C2;
+    if (A.isMonotonic()) {
+      if (B.hasClosedForm()) {
+        // monotonic + form that moves the same way stays monotonic.
+        bool Inc = A.Dir == MonotoneDir::Increasing;
+        const ClosedForm &F = Inc ? B.Form : -B.Form;
+        if (F.provablyNonDecreasing()) {
+          Classification R = Classification::monotonic(
+              A.L ? A.L : L, A.Dir, A.Strict || F.provablyIncreasing());
+          // An invariant offset keeps the underlying recurrence's identity.
+          if (B.isInvariant())
+            R.MonoFamilyId = A.MonoFamilyId;
+          return R;
+        }
+        return Classification::unknown();
+      }
+      if (B.isMonotonic() && A.Dir == B.Dir) {
+        Classification R = Classification::monotonic(A.L ? A.L : L, A.Dir,
+                                                     A.Strict || B.Strict);
+        if (A.MonoFamilyId == B.MonoFamilyId)
+          R.MonoFamilyId = A.MonoFamilyId;
+        return R;
+      }
+      return Classification::unknown();
+    }
+    if (A.isPeriodic() && B.isInvariant()) {
+      Classification R = A;
+      R.POffset += B.Form.initialValue();
+      return R;
+    }
+    if (A.isWrapAround() && B.isInvariant()) {
+      Classification Inner = addClasses(*A.Inner, B);
+      if (Inner.isUnknown())
+        return Classification::unknown();
+      return Classification::wrapAround(A.L, A.WrapOrder, std::move(Inner));
+    }
+    return Classification::unknown();
+  }
+
+  Classification mulClasses(ir::Instruction *I, const Classification &C1,
+                            const Classification &C2) {
+    if (C1.hasClosedForm() && C2.hasClosedForm()) {
+      if (std::optional<ClosedForm> P = C1.Form.mulChecked(C2.Form))
+        return Classification::fromForm(L, *P);
+      // All operands invariant but symbol products are not affine: the
+      // result is still a loop invariant, as an opaque symbol.
+      if (C1.isInvariant() && C2.isInvariant())
+        return Classification::invariant(Affine::symbol(I));
+      // The paper's section 5.1 fallback: a product like (2^i+i)*(3^i-2^i)
+      // may still be monotonic.
+      if (C1.Form.provablyNonNegative() && C2.Form.provablyNonNegative() &&
+          C1.Form.provablyNonDecreasing() && C2.Form.provablyNonDecreasing())
+        return Classification::monotonic(L, MonotoneDir::Increasing, false);
+      return Classification::unknown();
+    }
+    // Scale the special classes by a numeric invariant.
+    const Classification &A = C1.hasClosedForm() ? C2 : C1;
+    const Classification &B = C1.hasClosedForm() ? C1 : C2;
+    std::optional<Rational> Scale =
+        B.isInvariant() ? B.Form.initialValue().getConstant() : std::nullopt;
+    if (!Scale)
+      return Classification::unknown();
+    if (Scale->isZero())
+      return Classification::invariant(Affine(0));
+    if (A.isMonotonic()) {
+      MonotoneDir D = A.Dir;
+      if (Scale->isNegative())
+        D = D == MonotoneDir::Increasing ? MonotoneDir::Decreasing
+                                         : MonotoneDir::Increasing;
+      Classification R = Classification::monotonic(A.L ? A.L : L, D,
+                                                   A.Strict);
+      R.MonoFamilyId = A.MonoFamilyId;
+      return R;
+    }
+    if (A.isPeriodic()) {
+      Classification R = A;
+      R.PScale *= *Scale;
+      R.POffset *= *Scale;
+      return R;
+    }
+    if (A.isWrapAround()) {
+      Classification Inner = mulClasses(I, *A.Inner, B);
+      if (Inner.isUnknown())
+        return Classification::unknown();
+      return Classification::wrapAround(A.L, A.WrapOrder, std::move(Inner));
+    }
+    return Classification::unknown();
+  }
+
+  /// c ^ e: geometric when the base is a numeric invariant and the exponent
+  /// a linear IV with numeric coefficients (2^i with i = (L,0,1) becomes the
+  /// exponential 1*2^h... for i0=0).
+  Classification expClasses(ir::Instruction *I, const Classification &Base,
+                            const Classification &Exp) {
+    if (Base.isInvariant() && Exp.isInvariant())
+      return Classification::invariant(Affine::symbol(I));
+    if (!Base.isInvariant() || !Exp.isLinear() || !Exp.Form.isLinear())
+      return Classification::unknown();
+    std::optional<Rational> C = Base.Form.initialValue().getConstant();
+    std::optional<Rational> I0 = Exp.Form.coeff(0).getConstant();
+    std::optional<Rational> St = Exp.Form.coeff(1).getConstant();
+    if (!C || !I0 || !St)
+      return Classification::unknown();
+    if (!C->isInteger() || !I0->isInteger() || !St->isInteger())
+      return Classification::unknown();
+    int64_t CB = C->getInteger(), E0 = I0->getInteger(),
+            SI = St->getInteger();
+    // Keep the folded constants small enough for exact 64-bit rationals.
+    if (CB == 0 || CB > 8 || CB < -8 || E0 < 0 || E0 > 20 || SI < 0 ||
+        SI > 20)
+      return Classification::unknown();
+    // c^(i0 + s*h) = c^i0 * (c^s)^h.
+    Rational GeoBase = Rational(CB).pow(SI);
+    Rational Coeff = Rational(CB).pow(E0);
+    if (!GeoBase.isInteger())
+      return Classification::unknown();
+    if (GeoBase.isOne())
+      return Classification::invariant(Affine(Coeff));
+    std::map<int64_t, Affine> Geo;
+    Geo[GeoBase.getInteger()] = Affine(Coeff);
+    return Classification::fromForm(L, ClosedForm::make({}, std::move(Geo)));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Nontrivial regions
+  //===------------------------------------------------------------------===//
+
+  /// Splits a header phi into (init from outside, carried from inside).
+  /// Fails for multi-latch headers.
+  bool splitHeaderPhi(ir::Instruction *Phi, ir::Value *&Init,
+                      ir::Value *&Carried) {
+    Init = Carried = nullptr;
+    for (unsigned Idx = 0; Idx < Phi->numOperands(); ++Idx) {
+      if (L->contains(Phi->blocks()[Idx])) {
+        if (Carried)
+          return false;
+        Carried = Phi->operand(Idx);
+      } else {
+        if (Init)
+          return false;
+        Init = Phi->operand(Idx);
+      }
+    }
+    return Init && Carried;
+  }
+
+  void classifyRegion(const SCR &Region) {
+    std::set<const ir::Instruction *> InSCR(Region.Nodes.begin(),
+                                            Region.Nodes.end());
+    std::vector<ir::Instruction *> HeaderPhis;
+    bool OnlyPhisAndCopies = true;
+    for (ir::Instruction *N : Region.Nodes) {
+      if (N->isPhi() && N->parent() == L->header())
+        HeaderPhis.push_back(N);
+      else if (N->opcode() != ir::Opcode::Copy)
+        OnlyPhisAndCopies = N->isPhi() ? OnlyPhisAndCopies : false;
+    }
+
+    if (HeaderPhis.empty()) {
+      markAllUnknown(Region);
+      return;
+    }
+
+    // Section 4.2: >= 2 header phis, no arithmetic, no other phis -> a
+    // family of periodic variables rotating around the ring.
+    if (HeaderPhis.size() >= 2 && OnlyPhisAndCopies &&
+        onlyHeaderPhis(Region, HeaderPhis))
+      if (classifyPeriodic(Region, HeaderPhis, InSCR))
+        return;
+
+    if (HeaderPhis.size() == 1) {
+      classifySingleHeader(Region, HeaderPhis.front(), InSCR);
+      return;
+    }
+    markAllUnknown(Region);
+  }
+
+  bool onlyHeaderPhis(const SCR &Region,
+                      const std::vector<ir::Instruction *> &HeaderPhis) {
+    size_t NonCopy = 0;
+    for (ir::Instruction *N : Region.Nodes)
+      if (N->opcode() != ir::Opcode::Copy)
+        ++NonCopy;
+    return NonCopy == HeaderPhis.size();
+  }
+
+  /// Chases Copy instructions to the underlying value.
+  ir::Value *chaseCopies(ir::Value *V) {
+    while (auto *I = ir::dyn_cast<ir::Instruction>(V)) {
+      if (I->opcode() != ir::Opcode::Copy)
+        break;
+      V = I->operand(0);
+    }
+    return V;
+  }
+
+  bool classifyPeriodic(const SCR &Region,
+                        const std::vector<ir::Instruction *> &HeaderPhis,
+                        const std::set<const ir::Instruction *> &InSCR) {
+    const unsigned P = HeaderPhis.size();
+    // Follow the carried chain from a canonical start; it must visit every
+    // header phi exactly once and return.
+    std::vector<ir::Instruction *> Ring;
+    std::map<const ir::Instruction *, unsigned> PhaseOf;
+    ir::Instruction *Cur = HeaderPhis.front();
+    for (unsigned Step = 0; Step < P; ++Step) {
+      if (PhaseOf.count(Cur))
+        return false;
+      PhaseOf[Cur] = Step;
+      Ring.push_back(Cur);
+      ir::Value *Init = nullptr, *Carried = nullptr;
+      if (!splitHeaderPhi(Cur, Init, Carried))
+        return false;
+      auto *Next = ir::dyn_cast<ir::Instruction>(chaseCopies(Carried));
+      if (!Next || !InSCR.count(Next) || !Next->isPhi())
+        return false;
+      Cur = Next;
+    }
+    if (Cur != HeaderPhis.front())
+      return false;
+
+    // Ring of initial values: member at phase d has value Ring[(d+h) mod P].
+    std::vector<Affine> Inits;
+    for (ir::Instruction *Phi : Ring) {
+      ir::Value *Init = nullptr, *Carried = nullptr;
+      splitHeaderPhi(Phi, Init, Carried);
+      Classification IC = IA.classifyExternal(Init, L);
+      Inits.push_back(IC.isInvariant() ? IC.Form.initialValue()
+                                       : Affine::symbol(Init));
+    }
+    unsigned FamilyId = NextFamilyId++;
+    ++S.PeriodicFamilies;
+    for (unsigned D = 0; D < P; ++D)
+      setClass(Ring[D],
+               Classification::periodic(L, FamilyId, P, D, Inits));
+    // Copies take the class of their source phi.
+    for (ir::Instruction *N : Region.Nodes)
+      if (N->opcode() == ir::Opcode::Copy) {
+        auto *Src = ir::dyn_cast<ir::Instruction>(chaseCopies(N));
+        auto It = PhaseOf.find(Src);
+        if (It != PhaseOf.end())
+          setClass(N, Classification::periodic(L, FamilyId, P, It->second,
+                                               Inits));
+        else
+          setClass(N, Classification::unknown());
+      }
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Single-header-phi regions: symbolic evaluation + recurrence solving
+  //===------------------------------------------------------------------===//
+
+  std::optional<SymSet> evalValue(ir::Value *V, ir::Instruction *H,
+                                  const std::set<const ir::Instruction *> &InSCR,
+                                  std::map<const ir::Instruction *,
+                                           std::optional<SymSet>> &Memo) {
+    if (V == H)
+      return SymSet{{Rational(1), ClosedForm(), {}}};
+    auto *I = ir::dyn_cast<ir::Instruction>(V);
+    if (I && InSCR.count(I))
+      return evalInst(I, H, InSCR, Memo);
+    const Classification &C = classOf(V);
+    if (C.hasClosedForm())
+      return SymSet{{Rational(0), C.Form, {}}};
+    return std::nullopt;
+  }
+
+  std::optional<SymSet>
+  evalInst(ir::Instruction *I, ir::Instruction *H,
+           const std::set<const ir::Instruction *> &InSCR,
+           std::map<const ir::Instruction *, std::optional<SymSet>> &Memo) {
+    auto It = Memo.find(I);
+    if (It != Memo.end())
+      return It->second;
+    // Break accidental cycles defensively (a cycle not through H would be a
+    // malformed graph); mark failure first, overwrite on success.
+    Memo[I] = std::nullopt;
+
+    auto combine2 = [&](auto &&Fn) -> std::optional<SymSet> {
+      std::optional<SymSet> LHS = evalValue(I->operand(0), H, InSCR, Memo);
+      std::optional<SymSet> RHS = evalValue(I->operand(1), H, InSCR, Memo);
+      if (!LHS || !RHS)
+        return std::nullopt;
+      SymSet Out;
+      for (const LinTerm &X : *LHS)
+        for (const LinTerm &Y : *RHS) {
+          std::optional<LinTerm> T = Fn(X, Y);
+          if (!T)
+            return std::nullopt;
+          T->Through = X.Through;
+          T->Through.insert(Y.Through.begin(), Y.Through.end());
+          addTerm(Out, std::move(*T));
+        }
+      if (Out.size() > Opts.MaxSymbolicPaths)
+        return std::nullopt;
+      return Out;
+    };
+
+    std::optional<SymSet> Result;
+    switch (I->opcode()) {
+    case ir::Opcode::Phi: {
+      SymSet Out;
+      bool OK = true;
+      for (ir::Value *Op : I->operands()) {
+        std::optional<SymSet> OpSet = evalValue(Op, H, InSCR, Memo);
+        if (!OpSet) {
+          OK = false;
+          break;
+        }
+        for (LinTerm &T : *OpSet)
+          addTerm(Out, std::move(T));
+      }
+      if (OK && Out.size() <= Opts.MaxSymbolicPaths)
+        Result = std::move(Out);
+      break;
+    }
+    case ir::Opcode::Copy: {
+      Result = evalValue(I->operand(0), H, InSCR, Memo);
+      break;
+    }
+    case ir::Opcode::Neg: {
+      std::optional<SymSet> Sub = evalValue(I->operand(0), H, InSCR, Memo);
+      if (Sub) {
+        SymSet Out;
+        for (const LinTerm &T : *Sub)
+          addTerm(Out, {-T.A, -T.B, T.Through});
+        Result = std::move(Out);
+      }
+      break;
+    }
+    case ir::Opcode::Add:
+      Result = combine2([](const LinTerm &X, const LinTerm &Y)
+                            -> std::optional<LinTerm> {
+        return LinTerm{X.A + Y.A, X.B + Y.B, {}};
+      });
+      break;
+    case ir::Opcode::Sub:
+      Result = combine2([](const LinTerm &X, const LinTerm &Y)
+                            -> std::optional<LinTerm> {
+        return LinTerm{X.A - Y.A, X.B - Y.B, {}};
+      });
+      break;
+    case ir::Opcode::Mul:
+      Result = combine2([](const LinTerm &X, const LinTerm &Y)
+                            -> std::optional<LinTerm> {
+        // (A1*X + B1) * (A2*X + B2): linear in X only when one side is free
+        // of X; the scaling side must be a numeric invariant when the other
+        // side still references X.
+        auto scaled = [](const LinTerm &Var, const LinTerm &Const)
+            -> std::optional<LinTerm> {
+          std::optional<Rational> C =
+              Const.B.isInvariant()
+                  ? Const.B.initialValue().getConstant()
+                  : std::nullopt;
+          if (!C)
+            return std::nullopt;
+          return LinTerm{Var.A * *C, Var.B * *C, {}};
+        };
+        if (X.A.isZero() && Y.A.isZero()) {
+          std::optional<ClosedForm> P = X.B.mulChecked(Y.B);
+          if (!P)
+            return std::nullopt;
+          return LinTerm{Rational(0), *P, {}};
+        }
+        if (Y.A.isZero())
+          return scaled(X, Y);
+        if (X.A.isZero())
+          return scaled(Y, X);
+        return std::nullopt;
+      });
+      break;
+    default:
+      // Div, Exp, loads, compares inside a recurrence are out of scope.
+      break;
+    }
+    if (Result)
+      for (LinTerm &T : *Result)
+        T.Through.insert(I);
+    Memo[I] = Result;
+    return Result;
+  }
+
+  static void addTerm(SymSet &Set, LinTerm T) {
+    for (LinTerm &E : Set)
+      if (E == T) {
+        // Same symbolic value via another path: union the node sets (a
+        // larger Through only weakens strictness claims -- conservative).
+        E.Through.insert(T.Through.begin(), T.Through.end());
+        return;
+      }
+    Set.push_back(std::move(T));
+  }
+
+  void classifySingleHeader(const SCR &Region, ir::Instruction *H,
+                            const std::set<const ir::Instruction *> &InSCR) {
+    ir::Value *InitV = nullptr, *CarriedV = nullptr;
+    if (!splitHeaderPhi(H, InitV, CarriedV)) {
+      markAllUnknown(Region);
+      return;
+    }
+    Classification InitC = IA.classifyExternal(InitV, L);
+    Affine Init = InitC.isInvariant() ? InitC.Form.initialValue()
+                                      : Affine::symbol(InitV);
+
+    std::map<const ir::Instruction *, std::optional<SymSet>> Memo;
+    std::optional<SymSet> Carried = evalValue(CarriedV, H, InSCR, Memo);
+    if (!Carried || Carried->empty()) {
+      markAllUnknown(Region);
+      return;
+    }
+
+    if (Carried->size() == 1) {
+      const LinTerm &T = Carried->front();
+      std::optional<ClosedForm> HForm = solveLinearRecurrence(T.A, T.B, Init);
+      if (HForm) {
+        noteFamily(*HForm);
+        setClass(H, Classification::fromForm(L, *HForm));
+        // Family members: M = A*X + B over the solved X.
+        for (ir::Instruction *N : Region.Nodes) {
+          if (N == H)
+            continue;
+          auto MIt = Memo.find(N);
+          if (MIt == Memo.end() || !MIt->second ||
+              MIt->second->size() != 1) {
+            setClass(N, Classification::unknown());
+            continue;
+          }
+          const LinTerm &M = MIt->second->front();
+          setClass(N, Classification::fromForm(L, *HForm * M.A + M.B));
+        }
+        return;
+      }
+    }
+    // Multiple paths or an unsolvable recurrence: monotonic analysis
+    // (section 4.4) over every possible per-iteration effect.
+    classifyMonotonic(Region, H, Init, *Carried);
+  }
+
+  /// Is every per-iteration effect whose path runs through \p N a strict
+  /// move in direction \p Inc?  The paper's Figure 10 argument: when the
+  /// node executes, the loop-header value must strictly advance before it
+  /// can execute again.
+  static bool strictThrough(const ir::Instruction *N, const SymSet &Carried,
+                            const Affine &Init, bool Inc) {
+    bool Any = false;
+    for (const LinTerm &T : Carried) {
+      if (!T.Through.count(N))
+        continue;
+      Any = true;
+      MonoProof P = Inc ? proveIncreasing(T.A, T.B, Init)
+                        : proveIncreasing(T.A, -T.B, -Init);
+      if (!P.Strict)
+        return false;
+    }
+    return Any;
+  }
+
+  void noteFamily(const ClosedForm &Form) {
+    if (Form.hasExponential())
+      ++S.GeometricFamilies;
+    else if (Form.isLinear())
+      ++S.LinearFamilies;
+    else
+      ++S.PolynomialFamilies;
+  }
+
+  /// Does X' = A*X + B always move up (or always down)?  Conservative,
+  /// numeric-only proofs, section 4.4 (including the paper's multiply rule
+  /// "such as 2*i+i as long as the initial value of i is known").
+  struct MonoProof {
+    bool NonDecreasing = false;
+    bool Strict = false;
+  };
+  static MonoProof proveIncreasing(const Rational &A, const ClosedForm &B,
+                                   const Affine &Init) {
+    MonoProof P;
+    if (A.isOne()) {
+      P.NonDecreasing = B.provablyNonNegative();
+      if (P.NonDecreasing) {
+        std::optional<Rational> B0 = B.evaluateAt(0).getConstant();
+        P.Strict = B0 && B0->isPositive();
+      }
+      return P;
+    }
+    std::optional<Rational> I0 = Init.getConstant();
+    if (A > Rational(1) && I0 && !I0->isNegative() &&
+        B.provablyNonNegative()) {
+      P.NonDecreasing = true;
+      std::optional<Rational> B0 = B.evaluateAt(0).getConstant();
+      P.Strict = I0->isPositive() || (B0 && B0->isPositive());
+    }
+    return P;
+  }
+
+  void classifyMonotonic(const SCR &Region, ir::Instruction *H,
+                         const Affine &Init, const SymSet &Carried) {
+    bool AllIncNonDec = true, AllIncStrict = true;
+    bool AllDecNonInc = true, AllDecStrict = true;
+    for (const LinTerm &T : Carried) {
+      MonoProof Up = proveIncreasing(T.A, T.B, Init);
+      MonoProof Down = proveIncreasing(T.A, -T.B, -Init);
+      AllIncNonDec &= Up.NonDecreasing;
+      AllIncStrict &= Up.Strict;
+      AllDecNonInc &= Down.NonDecreasing;
+      AllDecStrict &= Down.Strict;
+    }
+    Classification C;
+    if (AllIncNonDec)
+      C = Classification::monotonic(L, MonotoneDir::Increasing, AllIncStrict);
+    else if (AllDecNonInc)
+      C = Classification::monotonic(L, MonotoneDir::Decreasing, AllDecStrict);
+    else {
+      markAllUnknown(Region);
+      return;
+    }
+    C.MonoFamilyId = NextFamilyId++;
+    ++S.MonotonicRegions;
+    bool Inc = C.Dir == MonotoneDir::Increasing;
+    for (ir::Instruction *N : Region.Nodes) {
+      Classification NC = C;
+      // Per-member strictness (Figure 10): a node executes only on paths
+      // that pass through it; if all of those strictly advance the header
+      // value, the node's observed sequence is strict even when the region
+      // as a whole is not.
+      if (!NC.Strict && N != H && strictThrough(N, Carried, Init, Inc))
+        NC.Strict = true;
+      setClass(N, NC);
+    }
+  }
+
+  void markAllUnknown(const SCR &Region) {
+    ++S.UnknownRegions;
+    for (ir::Instruction *N : Region.Nodes)
+      setClass(N, Classification::unknown());
+  }
+
+  InductionAnalysis &IA;
+  const analysis::Loop *L;
+  SSAGraph G;
+  std::map<const ir::Value *, Classification> &Map;
+  const InductionAnalysis::Options &Opts;
+  unsigned &NextFamilyId;
+  InductionAnalysis::Stats &S;
+  std::set<const ir::Array *> StoredArrays;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// InductionAnalysis
+//===----------------------------------------------------------------------===//
+
+InductionAnalysis::InductionAnalysis(ir::Function &F,
+                                     const analysis::DominatorTree &DT,
+                                     const analysis::LoopInfo &LI,
+                                     Options Opts)
+    : F(F), DT(DT), LI(LI), Opts(Opts) {}
+
+InductionAnalysis::InductionAnalysis(ir::Function &F,
+                                     const analysis::DominatorTree &DT,
+                                     const analysis::LoopInfo &LI)
+    : InductionAnalysis(F, DT, LI, Options()) {}
+
+void InductionAnalysis::run() {
+  for (const analysis::Loop *L : LI.innerToOuter())
+    processLoop(L);
+}
+
+void InductionAnalysis::processLoop(const analysis::Loop *L) {
+  LoopClassifier(*this, L, ClassMap[L], Opts, NextFamilyId, S).run();
+
+  TripCountInfo TC = computeTripCount(
+      *L, [&](const ir::Value *V) -> Classification {
+        return classify(V, L);
+      });
+  TripCounts[L] = TC;
+  if (Opts.MaterializeExitValues)
+    materializeExitValues(L, TC);
+}
+
+const Classification &InductionAnalysis::classify(const ir::Value *V,
+                                                  const analysis::Loop *L) {
+  auto &M = ClassMap[L];
+  auto It = M.find(V);
+  if (It != M.end())
+    return It->second;
+  return M.emplace(V, classifyExternal(V, L)).first->second;
+}
+
+const TripCountInfo &
+InductionAnalysis::tripCount(const analysis::Loop *L) const {
+  auto It = TripCounts.find(L);
+  assert(It != TripCounts.end() && "trip count queried before run()");
+  return It->second;
+}
+
+Classification
+InductionAnalysis::classifyExternal(const ir::Value *V,
+                                    const analysis::Loop *L) const {
+  if (const auto *C = ir::dyn_cast<ir::Constant>(V))
+    return Classification::invariant(Affine(C->value()));
+  if (ir::isa<ir::Argument>(V))
+    return Classification::invariant(Affine::symbol(V));
+  if (ir::isa<ir::UndefValue>(V))
+    return Classification::unknown();
+  const auto *I = ir::cast<ir::Instruction>(V);
+  if (!L || !L->contains(I->parent()))
+    return Classification::invariant(Affine::symbol(V));
+  // Defined inside the loop (in a nested loop whose exit value was not
+  // materialized): the paper's "treated as unknown".
+  return Classification::unknown();
+}
+
+SymbolNamer InductionAnalysis::namer() const {
+  return [](SymbolRef S) -> std::string {
+    const auto *V = static_cast<const ir::Value *>(S);
+    return V->name().empty() ? std::string("<tmp>") : V->name();
+  };
+}
+
+std::string InductionAnalysis::strNested(const Classification &C,
+                                         unsigned Depth) {
+  SymbolNamer N = [this, Depth](SymbolRef S) -> std::string {
+    const auto *V = static_cast<const ir::Value *>(S);
+    if (Depth > 0)
+      if (const auto *I = ir::dyn_cast<ir::Instruction>(V))
+        if (const analysis::Loop *VL = LI.loopFor(I->parent())) {
+          const Classification &IC = classify(I, VL);
+          if (IC.hasClosedForm() && !IC.isInvariant())
+            return strNested(IC, Depth - 1);
+        }
+    return V->name().empty() ? std::string("<tmp>") : V->name();
+  };
+  return C.str(N);
+}
+
+//===----------------------------------------------------------------------===//
+// Exit values (section 5.3)
+//===----------------------------------------------------------------------===//
+
+ir::Value *InductionAnalysis::materializeAffine(const Affine &V,
+                                                ir::BasicBlock *BB,
+                                                const std::string &Name) {
+  if (!V.constantPart().isInteger())
+    return nullptr;
+  for (const auto &[Sym, Coeff] : V.terms())
+    if (!Coeff.isInteger())
+      return nullptr;
+
+  // Insert at the top of the block (after its phis) so existing uses of the
+  // replaced value later in the same block stay dominated.
+  size_t InsertPos = BB->phis().size();
+  auto emit = [&](std::unique_ptr<ir::Instruction> I) {
+    return BB->insertAt(InsertPos++, std::move(I));
+  };
+  ir::Value *Acc = nullptr;
+  for (const auto &[Sym, Coeff] : V.terms()) {
+    auto *SymV =
+        const_cast<ir::Value *>(static_cast<const ir::Value *>(Sym));
+    ir::Value *Term = SymV;
+    if (!Coeff.isOne())
+      Term = emit(std::make_unique<ir::Instruction>(
+          ir::Opcode::Mul,
+          std::vector<ir::Value *>{F.constant(Coeff.getInteger()), SymV}));
+    Acc = Acc ? emit(std::make_unique<ir::Instruction>(
+                    ir::Opcode::Add, std::vector<ir::Value *>{Acc, Term}))
+              : Term;
+  }
+  int64_t C0 = V.constantPart().getInteger();
+  if (!Acc)
+    return F.constant(C0);
+  if (C0 != 0)
+    Acc = emit(std::make_unique<ir::Instruction>(
+        ir::Opcode::Add,
+        std::vector<ir::Value *>{Acc, F.constant(C0)}));
+  if (auto *AI = ir::dyn_cast<ir::Instruction>(Acc))
+    if (AI->name().empty())
+      AI->setName(F.uniqueName(Name));
+  return Acc;
+}
+
+void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
+                                              const TripCountInfo &TC) {
+  if (!TC.isCountable() || !TC.ExitBranch || L->latches().size() != 1)
+    return;
+  ir::BasicBlock *ExitBB = nullptr;
+  for (ir::BasicBlock *Succ : TC.ExitBranch->blocks())
+    if (!L->contains(Succ))
+      ExitBB = Succ;
+  if (!ExitBB)
+    return;
+  ir::BasicBlock *Latch = L->latches().front();
+  const ir::BasicBlock *Exiting = TC.ExitingBlock;
+  const Affine TCA = TC.count();
+  std::optional<int64_t> TCNum;
+  if (std::optional<Rational> C = TCA.getConstant())
+    if (C->isInteger())
+      TCNum = C->getInteger();
+
+  // Candidates: this loop's classified instructions with closed forms.
+  // Copy the list first; materialization mutates the block contents.
+  std::vector<std::pair<const ir::Instruction *, ClosedForm>> Candidates;
+  for (const auto &[V, C] : ClassMap[L]) {
+    const auto *I = ir::dyn_cast<ir::Instruction>(V);
+    if (!I || !L->contains(I->parent()))
+      continue;
+    if (!C.hasClosedForm() || C.isInvariant())
+      continue;
+    Candidates.push_back({I, C.Form});
+  }
+
+  for (const auto &[V, Form] : Candidates) {
+    // Where does the final execution land relative to the exit test?
+    // Values above the test run once more than values below (section 5.2).
+    int64_t Extra;
+    if (V->parent() == Exiting ||
+        DT.properlyDominates(V->parent(), Exiting))
+      Extra = 0; // executes on the exiting visit: h = tc
+    else if (DT.dominates(V->parent(), Latch))
+      Extra = -1; // last full iteration: h = tc - 1
+    else
+      continue; // conditionally executed; no single exit value
+
+    // Exit value as an affine expression over values live at the exit.
+    std::optional<Affine> EV;
+    if (TCNum) {
+      int64_t H = *TCNum + Extra;
+      if (H < 0)
+        continue; // the value never executed
+      EV = Form.evaluateAt(H);
+    } else {
+      Affine At = Extra == 0 ? TCA : TCA + Affine(-1);
+      EV = Form.evaluateAtAffine(At);
+    }
+    if (!EV)
+      continue;
+
+    // Find uses outside the loop; phi uses count by their incoming edge.
+    struct Use {
+      ir::Instruction *User;
+      unsigned Index;
+    };
+    std::vector<Use> Uses;
+    for (const auto &BB : F.blocks())
+      for (const auto &U : *BB)
+        for (unsigned Idx = 0; Idx < U->numOperands(); ++Idx) {
+          if (U->operand(Idx) != V)
+            continue;
+          const ir::BasicBlock *Where =
+              U->isPhi() ? U->blocks()[Idx] : U->parent();
+          if (L->contains(Where))
+            continue;
+          if (Where != ExitBB && !DT.properlyDominates(ExitBB, Where))
+            continue;
+          Uses.push_back({U.get(), Idx});
+        }
+    if (Uses.empty())
+      continue;
+
+    ir::Value *Mat = materializeAffine(*EV, ExitBB, V->name() + ".exit");
+    if (!Mat)
+      continue;
+    for (const Use &U : Uses)
+      U.User->setOperand(U.Index, Mat);
+    ++S.ExitValuesMaterialized;
+  }
+}

@@ -1,0 +1,126 @@
+//===- ivclass/InductionAnalysis.h - The paper's algorithm ------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified induction-variable classification algorithm.
+///
+/// Loops are processed inner to outer (section 5.3).  For each loop the SSA
+/// graph is built and Tarjan's algorithm emits strongly connected regions in
+/// an order that guarantees all operands of a region are classified first.
+/// Trivial regions are classified by an algebra over the operand classes
+/// (section 5.1); a lone loop-header phi is a wrap-around variable (4.1);
+/// cycles of header phis are periodic families (4.2); single-header-phi
+/// cycles are evaluated symbolically to X' = A*X + B(h) and solved exactly
+/// (linear 3.1, polynomial/geometric 4.3) or downgraded to monotonic (4.4).
+/// Countable inner loops get their trip count (5.2) and materialized exit
+/// values (5.3, Figures 7-9) so the enclosing loop sees ordinary operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IVCLASS_INDUCTIONANALYSIS_H
+#define BEYONDIV_IVCLASS_INDUCTIONANALYSIS_H
+
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "ivclass/Classification.h"
+#include "ivclass/TripCount.h"
+#include <map>
+
+namespace biv {
+namespace ivclass {
+
+/// Runs the paper's algorithm over a function and answers classification
+/// queries per (value, loop) pair.
+class InductionAnalysis {
+public:
+  struct Options {
+    /// Insert exit-value instructions for countable inner loops so outer
+    /// loops classify through them (Figures 8 and 9).  Disable to see the
+    /// paper's "treated as unknown" fallback.
+    bool MaterializeExitValues = true;
+
+    /// Cap on the number of distinct (A, B) symbolic values tracked per
+    /// node during SCR evaluation (paths through nested conditionals).
+    unsigned MaxSymbolicPaths = 64;
+  };
+
+  struct Stats {
+    unsigned Regions = 0;
+    unsigned LinearFamilies = 0;
+    unsigned PolynomialFamilies = 0;
+    unsigned GeometricFamilies = 0;
+    unsigned PeriodicFamilies = 0;
+    unsigned WrapArounds = 0;
+    unsigned MonotonicRegions = 0;
+    unsigned UnknownRegions = 0;
+    unsigned ExitValuesMaterialized = 0;
+  };
+
+  /// \p F must be in SSA form with preds computed.  \p DT must be the
+  /// dominator tree of \p F; the analysis inserts instructions but never
+  /// changes the CFG, so \p DT stays valid throughout.
+  InductionAnalysis(ir::Function &F, const analysis::DominatorTree &DT,
+                    const analysis::LoopInfo &LI, Options Opts);
+  InductionAnalysis(ir::Function &F, const analysis::DominatorTree &DT,
+                    const analysis::LoopInfo &LI);
+
+  /// Processes every loop, inner to outer.
+  void run();
+
+  /// Classification of \p V relative to \p L.  Values defined outside \p L
+  /// classify as invariants (symbols); values inside nested loops without a
+  /// materialized exit value are unknown.
+  const Classification &classify(const ir::Value *V, const analysis::Loop *L);
+
+  /// Trip count computed for \p L (valid after run()).
+  const TripCountInfo &tripCount(const analysis::Loop *L) const;
+
+  const Stats &stats() const { return S; }
+
+  ir::Function &function() const { return F; }
+  const analysis::LoopInfo &loopInfo() const { return LI; }
+
+  /// Names affine symbols by their IR value name.
+  SymbolNamer namer() const;
+
+  /// Renders \p C with the paper's nested-tuple expansion: symbols that are
+  /// themselves induction variables of enclosing loops print as tuples,
+  /// e.g. "(L18, (L17, 0, 204), 2)".
+  std::string strNested(const Classification &C, unsigned Depth = 4);
+
+  /// Classification of a value used by (but not belonging to) the SSA graph
+  /// of \p L: constants and values defined outside \p L are invariants;
+  /// values inside a nested loop are unknown (section 5.3).
+  Classification classifyExternal(const ir::Value *V,
+                                  const analysis::Loop *L) const;
+
+private:
+  void processLoop(const analysis::Loop *L);
+  void materializeExitValues(const analysis::Loop *L,
+                             const TripCountInfo &TC);
+  /// Builds IR computing \p V (integer affine) at the end of \p BB; returns
+  /// null when a coefficient is not an integer.
+  ir::Value *materializeAffine(const Affine &V, ir::BasicBlock *BB,
+                               const std::string &Name);
+
+  ir::Function &F;
+  const analysis::DominatorTree &DT;
+  const analysis::LoopInfo &LI;
+  Options Opts;
+  Stats S;
+
+  std::map<const analysis::Loop *,
+           std::map<const ir::Value *, Classification>>
+      ClassMap;
+  std::map<const analysis::Loop *, TripCountInfo> TripCounts;
+  unsigned NextFamilyId = 1;
+};
+
+} // namespace ivclass
+} // namespace biv
+
+#endif // BEYONDIV_IVCLASS_INDUCTIONANALYSIS_H

@@ -1,0 +1,81 @@
+//===- ivclass/RecurrenceSolver.cpp - Matrix-based recurrence solving ----------===//
+
+#include "ivclass/RecurrenceSolver.h"
+#include "support/Matrix.h"
+#include <vector>
+
+using namespace biv;
+using namespace biv::ivclass;
+
+std::optional<ClosedForm>
+biv::ivclass::solveLinearRecurrence(const Rational &A, const ClosedForm &B,
+                                    const Affine &Init) {
+  // Fast path: X' = X + c is the classical linear induction variable.
+  if (A.isOne() && B.isInvariant())
+    return ClosedForm::linear(Init, B.initialValue());
+
+  if (A.isZero())
+    return std::nullopt;
+
+  // Choose the basis the solution can be written in.
+  //  - A == 1: summing B raises the polynomial degree by one and each
+  //    exponential term of B stays an exponential (plus a constant).
+  //  - A == a (integer, != 0, 1): the homogeneous part contributes a^h; the
+  //    particular solution matches B's polynomial degree and bases.
+  // A resonant base (a appearing in B) or a non-integer A needs h*a^h or
+  // rational bases, which the representation (by design, like the paper's)
+  // does not cover -- the verification step below rejects those.
+  unsigned Degree;
+  std::vector<int64_t> Bases;
+  for (const auto &[Base, Coeff] : B.geoTerms()) {
+    (void)Coeff;
+    Bases.push_back(Base);
+  }
+  if (A.isOne()) {
+    Degree = B.degree() + 1;
+  } else {
+    if (!A.isInteger())
+      return std::nullopt;
+    Degree = B.degree();
+    int64_t ABase = A.getInteger();
+    bool Present = false;
+    for (int64_t BBase : Bases)
+      Present |= BBase == ABase;
+    if (!Present)
+      Bases.push_back(ABase);
+  }
+
+  const unsigned Unknowns = Degree + 1 + Bases.size();
+
+  // First Unknowns values of X, plus one more to verify the basis guess.
+  std::vector<Affine> Values;
+  Values.reserve(Unknowns + 1);
+  Values.push_back(Init);
+  for (unsigned H = 0; H < Unknowns; ++H)
+    Values.push_back(Values.back() * A + B.evaluateAt(H));
+
+  // Basis-value matrix for h = 0 .. Unknowns-1.
+  RatMatrix M(Unknowns, Unknowns);
+  for (unsigned H = 0; H < Unknowns; ++H) {
+    for (unsigned K = 0; K <= Degree; ++K)
+      M.at(H, K) = Rational(int64_t(H)).pow(K);
+    for (unsigned J = 0; J < Bases.size(); ++J)
+      M.at(H, Degree + 1 + J) = Rational(Bases[J]).pow(H);
+  }
+
+  std::vector<Affine> RHS(Values.begin(), Values.begin() + Unknowns);
+  std::optional<std::vector<Affine>> Coeffs = M.solveAffine(RHS);
+  if (!Coeffs)
+    return std::nullopt;
+
+  std::vector<Affine> Poly(Coeffs->begin(), Coeffs->begin() + Degree + 1);
+  std::map<int64_t, Affine> Geo;
+  for (unsigned J = 0; J < Bases.size(); ++J)
+    Geo[Bases[J]] = (*Coeffs)[Degree + 1 + J];
+  ClosedForm Form = ClosedForm::make(std::move(Poly), std::move(Geo));
+
+  // Verify on the extra iterate; a wrong basis guess fails here.
+  if (Form.evaluateAt(Unknowns) != Values[Unknowns])
+    return std::nullopt;
+  return Form;
+}

@@ -1,0 +1,44 @@
+//===- ivclass/RecurrenceSolver.h - Matrix-based recurrence solving -*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solves the first-order recurrences the classifier extracts from a
+/// strongly connected region:
+///
+///   X(0)    = Init
+///   X(h+1)  = A * X(h) + B(h)        for h >= 0
+///
+/// with A a rational constant and B a ClosedForm, using the paper's method
+/// (section 4.3): pick the basis functions the solution can use (powers of h
+/// up to the expected degree plus the exponential bases), compute the first
+/// values of X symbolically, build the integer matrix of basis values,
+/// invert it over the rationals, and multiply by the computed values.  The
+/// solution is verified against one extra iterate, so a wrong basis guess
+/// (e.g. the resonant case A = g appearing in B's bases, which needs h*g^h)
+/// safely returns nullopt instead of a bogus form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IVCLASS_RECURRENCESOLVER_H
+#define BEYONDIV_IVCLASS_RECURRENCESOLVER_H
+
+#include "ivclass/ClosedForm.h"
+#include <optional>
+
+namespace biv {
+namespace ivclass {
+
+/// Solves X(h+1) = A*X(h) + B(h), X(0) = Init.  Returns the closed form of
+/// X, or nullopt when the solution is outside the representable space.
+std::optional<ClosedForm> solveLinearRecurrence(const Rational &A,
+                                                const ClosedForm &B,
+                                                const Affine &Init);
+
+} // namespace ivclass
+} // namespace biv
+
+#endif // BEYONDIV_IVCLASS_RECURRENCESOLVER_H

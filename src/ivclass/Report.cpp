@@ -1,0 +1,82 @@
+//===- ivclass/Report.cpp - Classification report -------------------------------===//
+
+#include "ivclass/Report.h"
+#include "ir/Printer.h"
+
+using namespace biv;
+using namespace biv::ivclass;
+
+std::string biv::ivclass::report(InductionAnalysis &IA,
+                                 const ssa::SSAInfo *Info,
+                                 const ReportOptions &Opts) {
+  const analysis::LoopInfo &LI = IA.loopInfo();
+  ir::Printer P(IA.function());
+  std::string Out;
+  for (const auto &L : LI.loops()) {
+    Out += "loop " + L->name() + " (depth " +
+           std::to_string(L->depth()) + "): trip count " +
+           IA.tripCount(L.get()).str(IA.namer()) + "\n";
+    auto line = [&](const ir::Instruction *I, const std::string &Label) {
+      const Classification &C = IA.classify(I, L.get());
+      std::string Tuple =
+          Opts.NestedTuples ? IA.strNested(C) : C.str(IA.namer());
+      Out += "  " + Label + ": " + Tuple + "\n";
+    };
+    for (ir::Instruction *Phi : L->header()->phis()) {
+      std::string Label = P.nameOf(Phi);
+      if (Info) {
+        auto It = Info->PhiVar.find(Phi);
+        if (It != Info->PhiVar.end())
+          Label = It->second->name();
+      }
+      line(Phi, Label);
+    }
+    if (Opts.AllValues)
+      for (ir::BasicBlock *BB : L->blocks()) {
+        if (LI.loopFor(BB) != L.get())
+          continue;
+        for (const auto &I : *BB) {
+          if (I->isPhi() && I->parent() == L->header())
+            continue;
+          if (I->isTerminator() || I->hasSideEffects())
+            continue;
+          line(I.get(), P.nameOf(I.get()));
+        }
+      }
+  }
+  return Out;
+}
+
+KindCounts biv::ivclass::countHeaderPhiKinds(InductionAnalysis &IA) {
+  KindCounts C;
+  for (const auto &L : IA.loopInfo().loops())
+    for (ir::Instruction *Phi : L->header()->phis()) {
+      switch (IA.classify(Phi, L.get()).Kind) {
+      case IVKind::Linear:
+        ++C.Linear;
+        break;
+      case IVKind::Polynomial:
+        ++C.Polynomial;
+        break;
+      case IVKind::Geometric:
+        ++C.Geometric;
+        break;
+      case IVKind::WrapAround:
+        ++C.WrapAround;
+        break;
+      case IVKind::Periodic:
+        ++C.Periodic;
+        break;
+      case IVKind::Monotonic:
+        ++C.Monotonic;
+        break;
+      case IVKind::Invariant:
+        ++C.Invariant;
+        break;
+      case IVKind::Unknown:
+        ++C.Unknown;
+        break;
+      }
+    }
+  return C;
+}

@@ -1,0 +1,106 @@
+//===- ivclass/SSAGraph.cpp - Per-loop SSA graph and Tarjan SCCs ---------------===//
+
+#include "ivclass/SSAGraph.h"
+#include <algorithm>
+
+using namespace biv;
+using namespace biv::ivclass;
+
+SSAGraph::SSAGraph(const analysis::Loop &L, const analysis::LoopInfo &LI)
+    : Loop(L) {
+  for (ir::BasicBlock *BB : L.blocks()) {
+    // Skip blocks owned by a nested loop: the innermost loop of the block
+    // must be L itself.
+    if (LI.loopFor(BB) != &L)
+      continue;
+    for (const auto &I : *BB) {
+      NodeIndex[I.get()] = Nodes.size();
+      Nodes.push_back(I.get());
+    }
+  }
+}
+
+std::vector<ir::Instruction *>
+SSAGraph::successors(const ir::Instruction *I) const {
+  std::vector<ir::Instruction *> Succs;
+  for (ir::Value *Op : I->operands()) {
+    auto *OpInst = ir::dyn_cast<ir::Instruction>(Op);
+    if (OpInst && NodeIndex.count(OpInst))
+      Succs.push_back(OpInst);
+  }
+  return Succs;
+}
+
+std::vector<SCR> SSAGraph::stronglyConnectedRegions() const {
+  // Iterative Tarjan so deep use chains in generated benchmarks cannot
+  // overflow the call stack.
+  const unsigned N = Nodes.size();
+  constexpr unsigned None = ~0u;
+  std::vector<unsigned> Index(N, None), LowLink(N, None);
+  std::vector<char> OnStack(N, 0);
+  std::vector<unsigned> Stack;
+  std::vector<SCR> Result;
+  unsigned NextIndex = 0;
+
+  struct Frame {
+    unsigned Node;
+    std::vector<ir::Instruction *> Succs;
+    size_t NextSucc = 0;
+  };
+  std::vector<Frame> CallStack;
+
+  for (unsigned Root = 0; Root < N; ++Root) {
+    if (Index[Root] != None)
+      continue;
+    CallStack.push_back({Root, successors(Nodes[Root])});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      if (F.NextSucc < F.Succs.size()) {
+        unsigned W = NodeIndex.at(F.Succs[F.NextSucc++]);
+        if (Index[W] == None) {
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = 1;
+          CallStack.push_back({W, successors(Nodes[W])});
+        } else if (OnStack[W]) {
+          LowLink[F.Node] = std::min(LowLink[F.Node], Index[W]);
+        }
+        continue;
+      }
+      // Finished this node: pop an SCR if it is a root.
+      unsigned V = F.Node;
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        unsigned Parent = CallStack.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+      }
+      if (LowLink[V] != Index[V])
+        continue;
+      SCR Region;
+      while (true) {
+        unsigned W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = 0;
+        Region.Nodes.push_back(Nodes[W]);
+        if (W == V)
+          break;
+      }
+      if (Region.Nodes.size() > 1) {
+        Region.Trivial = false;
+      } else {
+        // Single node: trivial unless it references itself.
+        ir::Instruction *Only = Region.Nodes.front();
+        Region.Trivial = true;
+        for (ir::Value *Op : Only->operands())
+          if (Op == Only)
+            Region.Trivial = false;
+      }
+      Result.push_back(std::move(Region));
+    }
+  }
+  return Result;
+}

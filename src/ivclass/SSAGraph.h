@@ -1,0 +1,70 @@
+//===- ivclass/SSAGraph.h - Per-loop SSA graph and Tarjan SCCs --*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's SSA graph (section 3): when analyzing a loop, vertices are
+/// the operations in that loop and edges run from each operation to its
+/// source operands.  Tarjan's algorithm [Tar72] emits strongly connected
+/// regions only after everything reachable from them, so "when an SCR is
+/// identified, all the source operands reaching the SCR will already have
+/// been visited and [classified]" -- the property the classifier exploits.
+///
+/// Instructions belonging to a *nested* loop are excluded from the graph;
+/// operands defined there are treated as opaque (paper section 5.3), except
+/// for exit values the analysis has already materialized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IVCLASS_SSAGRAPH_H
+#define BEYONDIV_IVCLASS_SSAGRAPH_H
+
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include <map>
+#include <vector>
+
+namespace biv {
+namespace ivclass {
+
+/// One strongly connected region of the SSA graph.
+struct SCR {
+  std::vector<ir::Instruction *> Nodes;
+
+  /// Trivial = single node without a self edge; never a recurrence.
+  bool Trivial = true;
+};
+
+/// The SSA graph of one loop.
+class SSAGraph {
+public:
+  /// Builds the graph of \p L: all instructions whose block is in \p L but
+  /// in none of L's sub-loops.
+  SSAGraph(const analysis::Loop &L, const analysis::LoopInfo &LI);
+
+  const analysis::Loop &loop() const { return Loop; }
+  const std::vector<ir::Instruction *> &nodes() const { return Nodes; }
+  bool containsNode(const ir::Instruction *I) const {
+    return NodeIndex.count(I) != 0;
+  }
+
+  /// Strongly connected regions in Tarjan pop order: every SCR appears
+  /// after all SCRs it (transitively) reads from.
+  std::vector<SCR> stronglyConnectedRegions() const;
+
+private:
+  /// Graph successors of \p I: its operands that are nodes of this graph.
+  std::vector<ir::Instruction *> successors(const ir::Instruction *I) const;
+
+  const analysis::Loop &Loop;
+  std::vector<ir::Instruction *> Nodes;
+  std::map<const ir::Instruction *, unsigned> NodeIndex;
+};
+
+} // namespace ivclass
+} // namespace biv
+
+#endif // BEYONDIV_IVCLASS_SSAGRAPH_H

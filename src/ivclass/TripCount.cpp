@@ -1,0 +1,215 @@
+//===- ivclass/TripCount.cpp - Loop trip counts --------------------------------===//
+
+#include "ivclass/TripCount.h"
+
+using namespace biv;
+using namespace biv::ivclass;
+
+std::string TripCountInfo::str(const SymbolNamer &Namer) const {
+  switch (K) {
+  case Kind::Unknown:
+    if (MaxCount)
+      return "unknown (max " + MaxCount->str(Namer) + ")";
+    return "unknown";
+  case Kind::Zero:
+    return "0";
+  case Kind::Finite:
+    return Count.str(Namer) + (Guarded ? " (if positive, else 0)" : "");
+  case Kind::Infinite:
+    return "infinite";
+  }
+  return "<bad>";
+}
+
+namespace {
+
+/// Trip count of a single exit: the first h >= 0 at which the exit fires.
+TripCountInfo analyzeExit(const analysis::Loop &L, ir::BasicBlock *Exiting,
+                          const ClassifyFn &Classify) {
+  TripCountInfo Info;
+  ir::Instruction *Term = Exiting->terminator();
+  if (!Term || Term->opcode() != ir::Opcode::CondBr)
+    return Info;
+  auto *Cmp = ir::dyn_cast<ir::Instruction>(Term->operand(0));
+  if (!Cmp || !Cmp->isCompare())
+    return Info;
+
+  // Which way stays in the loop?
+  bool TrueStays = L.contains(Term->blocks()[0]);
+  bool FalseStays = L.contains(Term->blocks()[1]);
+  if (TrueStays == FalseStays)
+    return Info; // Not really an exit (or a degenerate branch).
+
+  Classification LC = Classify(Cmp->operand(0));
+  Classification RC = Classify(Cmp->operand(1));
+  if (!LC.isAffineForm() || !RC.isAffineForm())
+    return Info;
+  ClosedForm A = LC.Form, B = RC.Form;
+
+  // Normalize the *stay* condition to a < b (integer arithmetic: a <= b is
+  // a < b+1).  The table in section 5.2, folded with the stay/exit sense.
+  ir::Opcode Op = Cmp->opcode();
+  if (!TrueStays) {
+    switch (Op) { // Negate: stay condition is the false branch.
+    case ir::Opcode::CmpEQ:
+      Op = ir::Opcode::CmpNE;
+      break;
+    case ir::Opcode::CmpNE:
+      Op = ir::Opcode::CmpEQ;
+      break;
+    case ir::Opcode::CmpLT:
+      Op = ir::Opcode::CmpGE;
+      break;
+    case ir::Opcode::CmpLE:
+      Op = ir::Opcode::CmpGT;
+      break;
+    case ir::Opcode::CmpGT:
+      Op = ir::Opcode::CmpLE;
+      break;
+    case ir::Opcode::CmpGE:
+      Op = ir::Opcode::CmpLT;
+      break;
+    default:
+      return Info;
+    }
+  }
+
+  Info.ExitBranch = Term;
+  Info.ExitingBlock = Exiting;
+
+  // Equality-controlled loops: stay while a == b or a != b.
+  if (Op == ir::Opcode::CmpEQ || Op == ir::Opcode::CmpNE) {
+    ClosedForm E = B - A; // zero iff equal
+    if (!E.isLinear())
+      return Info;
+    std::optional<Rational> I0 = E.coeff(0).getConstant();
+    std::optional<Rational> S = E.coeff(1).getConstant();
+    if (!I0 || !S)
+      return Info;
+    if (Op == ir::Opcode::CmpEQ) {
+      // Stay while equal: exits at the first h with E(h) != 0.
+      if (!I0->isZero())
+        Info.K = TripCountInfo::Kind::Zero;
+      else if (S->isZero())
+        Info.K = TripCountInfo::Kind::Infinite;
+      else {
+        Info.K = TripCountInfo::Kind::Finite;
+        Info.Count = Affine(1); // E(0)==0, E(1)!=0.
+      }
+      return Info;
+    }
+    // Stay while different: exits at the first h with E(h) == 0.
+    if (S->isZero()) {
+      Info.K = I0->isZero() ? TripCountInfo::Kind::Zero
+                            : TripCountInfo::Kind::Infinite;
+      return Info;
+    }
+    Rational H = -*I0 / *S;
+    if (H.isInteger() && !H.isNegative()) {
+      Info.K = TripCountInfo::Kind::Finite;
+      Info.Count = Affine(H.getInteger());
+    } else {
+      Info.K = TripCountInfo::Kind::Infinite;
+    }
+    return Info;
+  }
+
+  // Orderings: build the strict margin E with "stay iff E(h) > 0".
+  ClosedForm One = ClosedForm::constant(Affine(1));
+  ClosedForm E;
+  switch (Op) {
+  case ir::Opcode::CmpLT: // a < b
+    E = B - A;
+    break;
+  case ir::Opcode::CmpLE: // a <= b  ==  a < b+1
+    E = B + One - A;
+    break;
+  case ir::Opcode::CmpGT: // a > b  ==  b < a
+    E = A - B;
+    break;
+  case ir::Opcode::CmpGE: // a >= b  ==  b < a+1
+    E = A + One - B;
+    break;
+  default:
+    return Info;
+  }
+  if (!E.isLinear())
+    return Info;
+  Affine I = E.coeff(0);
+  std::optional<Rational> S = E.coeff(1).getConstant();
+
+  if (std::optional<Rational> IC = I.getConstant()) {
+    // Fully numeric: the paper's three-way formula.
+    if (!IC->isPositive())
+      Info.K = TripCountInfo::Kind::Zero;
+    else if (!S || !S->isNegative())
+      // Symbolic or non-negative step with positive margin: the margin may
+      // never shrink to zero.
+      Info.K = S ? TripCountInfo::Kind::Infinite : TripCountInfo::Kind::Unknown;
+    else {
+      Info.K = TripCountInfo::Kind::Finite;
+      Info.Count = Affine((*IC / -*S).ceil());
+    }
+    return Info;
+  }
+
+  // Symbolic initial margin: only the unit-step case divides exactly
+  // (ceil(i/1) == i); this covers every `for v = lo to hi` loop.
+  if (S && *S == Rational(-1)) {
+    Info.K = TripCountInfo::Kind::Finite;
+    Info.Count = I;
+    Info.Guarded = true;
+    return Info;
+  }
+  return Info;
+}
+
+} // namespace
+
+TripCountInfo biv::ivclass::computeTripCount(const analysis::Loop &L,
+                                             const ClassifyFn &Classify) {
+  const std::vector<ir::BasicBlock *> &Exiting = L.exitingBlocks();
+  if (Exiting.empty())
+    return TripCountInfo(); // No exit: unknown (runs forever or via return).
+
+  if (Exiting.size() == 1)
+    return analyzeExit(L, Exiting[0], Classify);
+
+  // Multiple exits: the true count is the minimum over all exits.  Numeric
+  // finite counts combine exactly; otherwise report an upper bound.
+  TripCountInfo Combined;
+  std::optional<Affine> Min;
+  bool AllNumeric = true;
+  for (ir::BasicBlock *BB : Exiting) {
+    TripCountInfo One = analyzeExit(L, BB, Classify);
+    if (One.K == TripCountInfo::Kind::Zero) {
+      // Some exit fires before the first stay: the whole loop trips zero
+      // times regardless of the others.
+      return One;
+    }
+    if (One.K == TripCountInfo::Kind::Infinite)
+      continue; // Never fires; other exits decide.
+    if (One.K != TripCountInfo::Kind::Finite) {
+      AllNumeric = false;
+      continue;
+    }
+    if (One.Guarded || !One.Count.isConstant())
+      AllNumeric = false;
+    if (!Min) {
+      Min = One.Count;
+    } else if (Min->isConstant() && One.Count.isConstant()) {
+      if (*One.Count.getConstant() < *Min->getConstant())
+        Min = One.Count;
+    } else {
+      AllNumeric = false;
+    }
+  }
+  if (Min && AllNumeric) {
+    Combined.K = TripCountInfo::Kind::Finite;
+    Combined.Count = *Min;
+  } else if (Min) {
+    Combined.K = TripCountInfo::Kind::Unknown;
+    Combined.MaxCount = *Min;
+  }
+  return Combined;
+}

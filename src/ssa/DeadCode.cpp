@@ -1,0 +1,40 @@
+//===- ssa/DeadCode.cpp - Dead code elimination -------------------------------===//
+
+#include "ssa/DeadCode.h"
+#include <set>
+#include <vector>
+
+using namespace biv;
+
+unsigned biv::ssa::removeDeadCode(ir::Function &F) {
+  // Roots: side effects and terminators.
+  std::set<const ir::Instruction *> Live;
+  std::vector<const ir::Instruction *> Work;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : *BB)
+      if (I->hasSideEffects())
+        if (Live.insert(I.get()).second)
+          Work.push_back(I.get());
+  // Transitive marking through operands.
+  while (!Work.empty()) {
+    const ir::Instruction *I = Work.back();
+    Work.pop_back();
+    for (const ir::Value *Op : I->operands())
+      if (const auto *Def = ir::dyn_cast<ir::Instruction>(Op))
+        if (Live.insert(Def).second)
+          Work.push_back(Def);
+  }
+  // Sweep.
+  unsigned Removed = 0;
+  for (const auto &BB : F.blocks()) {
+    std::vector<ir::Instruction *> Dead;
+    for (const auto &I : *BB)
+      if (!Live.count(I.get()))
+        Dead.push_back(I.get());
+    for (ir::Instruction *I : Dead) {
+      BB->erase(I);
+      ++Removed;
+    }
+  }
+  return Removed;
+}

@@ -1,0 +1,32 @@
+//===- ssa/DeadCode.h - Dead code elimination --------------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mark-and-sweep dead code elimination on SSA form.  Deliberately not part
+/// of the default pipeline: the paper's example loops compute variables that
+/// are never used (all of loop L14, for instance) and the induction-variable
+/// analysis must still classify them; run this pass only when a client
+/// explicitly wants cleanup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_SSA_DEADCODE_H
+#define BEYONDIV_SSA_DEADCODE_H
+
+#include "ir/Function.h"
+
+namespace biv {
+namespace ssa {
+
+/// Deletes instructions (including phi cycles) that no side-effecting
+/// instruction or terminator transitively uses.  Returns the number removed.
+unsigned removeDeadCode(ir::Function &F);
+
+} // namespace ssa
+} // namespace biv
+
+#endif // BEYONDIV_SSA_DEADCODE_H

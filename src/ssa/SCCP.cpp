@@ -1,0 +1,291 @@
+//===- ssa/SCCP.cpp - Sparse conditional constant propagation ----------------===//
+
+#include "ssa/SCCP.h"
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+using namespace biv;
+using namespace biv::ssa;
+
+namespace {
+
+/// Three-level lattice: Top (undefined so far), Const, Bottom (overdefined).
+struct LatticeVal {
+  enum Level { Top, Const, Bottom } Lvl = Top;
+  int64_t Val = 0;
+
+  static LatticeVal top() { return {}; }
+  static LatticeVal constant(int64_t V) { return {Const, V}; }
+  static LatticeVal bottom() { return {Bottom, 0}; }
+
+  bool isTop() const { return Lvl == Top; }
+  bool isConst() const { return Lvl == Const; }
+  bool isBottom() const { return Lvl == Bottom; }
+
+  bool operator==(const LatticeVal &O) const {
+    return Lvl == O.Lvl && (Lvl != Const || Val == O.Val);
+  }
+};
+
+/// Folds \p Op over constants; nullopt when the result is not representable
+/// (division by zero, huge exponent) and must go to Bottom.
+std::optional<int64_t> foldBinary(ir::Opcode Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case ir::Opcode::Add:
+    return L + R;
+  case ir::Opcode::Sub:
+    return L - R;
+  case ir::Opcode::Mul:
+    return L * R;
+  case ir::Opcode::Div:
+    if (R == 0)
+      return std::nullopt;
+    return L / R;
+  case ir::Opcode::Exp: {
+    if (R < 0 || R > 62)
+      return std::nullopt;
+    int64_t Result = 1;
+    for (int64_t I = 0; I < R; ++I) {
+      // Crude overflow guard; Bottom is always safe.
+      if (Result > (int64_t(1) << 62) / (L == 0 ? 1 : (L < 0 ? -L : L)))
+        return std::nullopt;
+      Result *= L;
+    }
+    return Result;
+  }
+  case ir::Opcode::CmpEQ:
+    return L == R;
+  case ir::Opcode::CmpNE:
+    return L != R;
+  case ir::Opcode::CmpLT:
+    return L < R;
+  case ir::Opcode::CmpLE:
+    return L <= R;
+  case ir::Opcode::CmpGT:
+    return L > R;
+  case ir::Opcode::CmpGE:
+    return L >= R;
+  default:
+    return std::nullopt;
+  }
+}
+
+class SCCPSolver {
+public:
+  explicit SCCPSolver(ir::Function &F) : F(F) {}
+
+  SCCPResult run(bool SimplifyCFG);
+
+private:
+  LatticeVal valueOf(const ir::Value *V) {
+    if (const auto *C = ir::dyn_cast<ir::Constant>(V))
+      return LatticeVal::constant(C->value());
+    if (ir::isa<ir::Argument>(V))
+      return LatticeVal::bottom();
+    if (ir::isa<ir::UndefValue>(V))
+      return LatticeVal::top();
+    auto It = State.find(V);
+    return It == State.end() ? LatticeVal::top() : It->second;
+  }
+
+  void setValue(const ir::Instruction *I, LatticeVal LV) {
+    LatticeVal &Slot = State[I];
+    // Values only ever move down the lattice.
+    if (Slot == LV || Slot.isBottom())
+      return;
+    Slot = LV;
+    auto It = Users.find(I);
+    if (It != Users.end())
+      for (ir::Instruction *U : It->second)
+        InstWorklist.push_back(U);
+  }
+
+  void markEdge(ir::BasicBlock *From, ir::BasicBlock *To) {
+    if (!ExecEdges.insert({From->id(), To->id()}).second)
+      return;
+    if (ReachableBlocks.insert(To->id()).second)
+      BlockWorklist.push_back(To);
+    else
+      // Re-evaluate the phis: a new incoming edge became live.
+      for (ir::Instruction *Phi : To->phis())
+        InstWorklist.push_back(Phi);
+  }
+
+  void visit(ir::Instruction *I);
+  void visitBlock(ir::BasicBlock *BB);
+
+  ir::Function &F;
+  std::map<const ir::Value *, LatticeVal> State;
+  std::map<const ir::Value *, std::vector<ir::Instruction *>> Users;
+  std::set<std::pair<unsigned, unsigned>> ExecEdges;
+  std::set<unsigned> ReachableBlocks;
+  std::vector<ir::BasicBlock *> BlockWorklist;
+  std::vector<ir::Instruction *> InstWorklist;
+};
+
+void SCCPSolver::visit(ir::Instruction *I) {
+  if (!ReachableBlocks.count(I->parent()->id()))
+    return;
+  switch (I->opcode()) {
+  case ir::Opcode::Phi: {
+    // Meet over live incoming edges only.
+    LatticeVal Merged = LatticeVal::top();
+    for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx) {
+      ir::BasicBlock *In = I->blocks()[Idx];
+      if (!ExecEdges.count({In->id(), I->parent()->id()}))
+        continue;
+      LatticeVal V = valueOf(I->operand(Idx));
+      if (V.isTop())
+        continue;
+      if (Merged.isTop())
+        Merged = V;
+      else if (!(Merged == V))
+        Merged = LatticeVal::bottom();
+    }
+    setValue(I, Merged);
+    return;
+  }
+  case ir::Opcode::Copy:
+    setValue(I, valueOf(I->operand(0)));
+    return;
+  case ir::Opcode::Neg: {
+    LatticeVal V = valueOf(I->operand(0));
+    if (V.isConst())
+      setValue(I, LatticeVal::constant(-V.Val));
+    else
+      setValue(I, V);
+    return;
+  }
+  case ir::Opcode::ArrayLoad:
+    setValue(I, LatticeVal::bottom());
+    return;
+  case ir::Opcode::ArrayStore:
+  case ir::Opcode::Ret:
+    return;
+  case ir::Opcode::Br:
+    markEdge(I->parent(), I->blocks()[0]);
+    return;
+  case ir::Opcode::CondBr: {
+    LatticeVal C = valueOf(I->operand(0));
+    if (C.isTop())
+      return;
+    if (C.isConst()) {
+      markEdge(I->parent(), I->blocks()[C.Val != 0 ? 0 : 1]);
+    } else {
+      markEdge(I->parent(), I->blocks()[0]);
+      markEdge(I->parent(), I->blocks()[1]);
+    }
+    return;
+  }
+  case ir::Opcode::LoadVar:
+  case ir::Opcode::StoreVar:
+    assert(false && "SCCP requires SSA form");
+    return;
+  default: {
+    // Binary arithmetic and comparisons.
+    assert(I->numOperands() == 2 && "expected binary operation");
+    LatticeVal L = valueOf(I->operand(0));
+    LatticeVal R = valueOf(I->operand(1));
+    if (L.isBottom() || R.isBottom()) {
+      setValue(I, LatticeVal::bottom());
+      return;
+    }
+    if (L.isTop() || R.isTop())
+      return;
+    if (std::optional<int64_t> Folded = foldBinary(I->opcode(), L.Val, R.Val))
+      setValue(I, LatticeVal::constant(*Folded));
+    else
+      setValue(I, LatticeVal::bottom());
+    return;
+  }
+  }
+}
+
+void SCCPSolver::visitBlock(ir::BasicBlock *BB) {
+  for (const auto &I : *BB)
+    visit(I.get());
+}
+
+SCCPResult SCCPSolver::run(bool SimplifyCFG) {
+  // Record users for sparse propagation.
+  for (const auto &BB : F.blocks())
+    for (const auto &I : *BB)
+      for (ir::Value *Op : I->operands())
+        if (ir::isa<ir::Instruction>(Op))
+          Users[Op].push_back(I.get());
+
+  ReachableBlocks.insert(F.entry()->id());
+  BlockWorklist.push_back(F.entry());
+  while (!BlockWorklist.empty() || !InstWorklist.empty()) {
+    while (!InstWorklist.empty()) {
+      ir::Instruction *I = InstWorklist.back();
+      InstWorklist.pop_back();
+      visit(I);
+    }
+    if (!BlockWorklist.empty()) {
+      ir::BasicBlock *BB = BlockWorklist.back();
+      BlockWorklist.pop_back();
+      visitBlock(BB);
+    }
+  }
+
+  SCCPResult Result;
+  // Replace constant instructions.
+  std::vector<ir::Instruction *> Dead;
+  for (const auto &BB : F.blocks()) {
+    if (!ReachableBlocks.count(BB->id()))
+      continue;
+    for (const auto &I : *BB) {
+      if (I->hasSideEffects() || I->isTerminator())
+        continue;
+      LatticeVal V = valueOf(I.get());
+      if (!V.isConst())
+        continue;
+      F.replaceAllUsesWith(I.get(), F.constant(V.Val));
+      Dead.push_back(I.get());
+      ++Result.FoldedInstructions;
+    }
+  }
+  for (ir::Instruction *I : Dead)
+    I->parent()->erase(I);
+
+  if (!SimplifyCFG)
+    return Result;
+
+  // Rewrite decided conditional branches and drop the dead edges' phi
+  // incomings before deleting unreachable blocks.
+  for (const auto &BB : F.blocks()) {
+    if (!ReachableBlocks.count(BB->id()))
+      continue;
+    ir::Instruction *T = BB->terminator();
+    if (!T || T->opcode() != ir::Opcode::CondBr)
+      continue;
+    LatticeVal C = valueOf(T->operand(0));
+    if (!C.isConst())
+      continue;
+    ir::BasicBlock *Live = T->blocks()[C.Val != 0 ? 0 : 1];
+    ir::BasicBlock *DeadSucc = T->blocks()[C.Val != 0 ? 1 : 0];
+    if (Live != DeadSucc)
+      for (ir::Instruction *Phi : DeadSucc->phis())
+        for (unsigned Idx = Phi->numOperands(); Idx-- > 0;)
+          if (Phi->blocks()[Idx] == BB.get())
+            Phi->removeIncoming(Idx);
+    BB->erase(T);
+    auto Br = std::make_unique<ir::Instruction>(ir::Opcode::Br,
+                                                std::vector<ir::Value *>{});
+    Br->addBlock(Live);
+    BB->append(std::move(Br));
+    ++Result.SimplifiedBranches;
+  }
+  F.recomputePreds();
+  Result.RemovedBlocks = F.removeUnreachableBlocks();
+  return Result;
+}
+
+} // namespace
+
+SCCPResult biv::ssa::runSCCP(ir::Function &F, bool SimplifyCFG) {
+  return SCCPSolver(F).run(SimplifyCFG);
+}

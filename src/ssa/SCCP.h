@@ -1,0 +1,42 @@
+//===- ssa/SCCP.h - Sparse conditional constant propagation -----*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wegman-Zadeck sparse conditional constant propagation [WZ91].
+///
+/// The paper leans on this pass: "Often the initial value coming in from
+/// outside the loop can be evaluated and substituted, using an algorithm
+/// such as constant propagation [WZ91]" (section 3.1).  Running SCCP before
+/// the induction-variable analysis turns symbolic initial values into the
+/// numeric ones the figures show.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_SSA_SCCP_H
+#define BEYONDIV_SSA_SCCP_H
+
+#include "ir/Function.h"
+
+namespace biv {
+namespace ssa {
+
+/// Outcome statistics of one SCCP run.
+struct SCCPResult {
+  unsigned FoldedInstructions = 0; ///< Replaced by literal constants.
+  unsigned SimplifiedBranches = 0; ///< CondBr rewritten to Br.
+  unsigned RemovedBlocks = 0;      ///< Unreachable blocks deleted.
+};
+
+/// Runs SCCP on SSA-form \p F.  Folds provably-constant instructions; when
+/// \p SimplifyCFG is set also rewrites always-taken conditional branches and
+/// deletes unreachable code.
+SCCPResult runSCCP(ir::Function &F, bool SimplifyCFG = true);
+
+} // namespace ssa
+} // namespace biv
+
+#endif // BEYONDIV_SSA_SCCP_H

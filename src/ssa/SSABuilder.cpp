@@ -1,0 +1,162 @@
+//===- ssa/SSABuilder.cpp - SSA construction ---------------------------------===//
+
+#include "ssa/SSABuilder.h"
+#include <set>
+#include <vector>
+
+using namespace biv;
+using namespace biv::ssa;
+
+ir::Instruction *SSAInfo::phiFor(const ir::BasicBlock *BB,
+                                 const std::string &VarName) const {
+  for (ir::Instruction *Phi : BB->phis()) {
+    auto It = PhiVar.find(Phi);
+    if (It != PhiVar.end() && It->second->name() == VarName)
+      return Phi;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Builder {
+public:
+  explicit Builder(ir::Function &F)
+      : F(F), DT(F), DF(DT) {}
+
+  SSAInfo run();
+
+private:
+  void placePhis();
+  void rename(ir::BasicBlock *BB);
+  ir::Value *currentDef(const ir::Var *V) {
+    auto It = Stacks.find(V);
+    if (It == Stacks.end() || It->second.empty())
+      return F.undef();
+    return It->second.back();
+  }
+  /// Follows the replacement chain for a deleted LoadVar result.
+  ir::Value *resolve(ir::Value *V) {
+    auto It = Replacement.find(V);
+    while (It != Replacement.end()) {
+      V = It->second;
+      It = Replacement.find(V);
+    }
+    return V;
+  }
+
+  ir::Function &F;
+  analysis::DominatorTree DT;
+  analysis::DominanceFrontier DF;
+  SSAInfo Info;
+  std::map<const ir::Var *, std::vector<ir::Value *>> Stacks;
+  std::map<ir::Value *, ir::Value *> Replacement;
+  std::map<ir::Instruction *, const ir::Var *> PhiOf;
+  std::vector<ir::Instruction *> ToErase;
+};
+
+SSAInfo Builder::run() {
+  placePhis();
+  rename(F.entry());
+  // Delete the now-dead variable accesses.
+  for (ir::Instruction *I : ToErase)
+    I->parent()->erase(I);
+  for (const auto &[Phi, Var] : PhiOf)
+    Info.PhiVar[Phi] = Var;
+  return std::move(Info);
+}
+
+void Builder::placePhis() {
+  // Iterated dominance frontier per variable, seeded by its store blocks.
+  for (const auto &VarPtr : F.vars()) {
+    const ir::Var *V = VarPtr.get();
+    std::vector<ir::BasicBlock *> Work;
+    std::set<unsigned> HasStore;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : *BB)
+        if (I->opcode() == ir::Opcode::StoreVar && I->variable() == V &&
+            HasStore.insert(BB->id()).second)
+          Work.push_back(BB.get());
+    std::set<unsigned> HasPhi;
+    while (!Work.empty()) {
+      ir::BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (ir::BasicBlock *Frontier : DF.frontier(BB)) {
+        if (!HasPhi.insert(Frontier->id()).second)
+          continue;
+        auto Phi = std::make_unique<ir::Instruction>(
+            ir::Opcode::Phi, std::vector<ir::Value *>{},
+            F.uniqueName(V->name()));
+        ir::Instruction *P =
+            Frontier->insertAt(Frontier->phis().size(), std::move(Phi));
+        PhiOf[P] = V;
+        ++Info.PhisPlaced;
+        // A phi is itself a definition; keep iterating.
+        if (!HasStore.count(Frontier->id())) {
+          HasStore.insert(Frontier->id());
+          Work.push_back(Frontier);
+        }
+      }
+    }
+  }
+}
+
+void Builder::rename(ir::BasicBlock *BB) {
+  // Remember stack depths to pop on the way out.
+  std::map<const ir::Var *, size_t> Saved;
+  auto pushDef = [&](const ir::Var *V, ir::Value *Def) {
+    auto &Stack = Stacks[V];
+    if (!Saved.count(V))
+      Saved[V] = Stack.size();
+    Stack.push_back(Def);
+  };
+
+  for (const auto &IPtr : *BB) {
+    ir::Instruction *I = IPtr.get();
+    // Rewrite operands through pending load replacements first.  Phi
+    // operands are filled in by predecessors and must not be rewritten here.
+    if (!I->isPhi())
+      for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx)
+        I->setOperand(Idx, resolve(I->operand(Idx)));
+
+    switch (I->opcode()) {
+    case ir::Opcode::Phi: {
+      auto It = PhiOf.find(I);
+      if (It != PhiOf.end())
+        pushDef(It->second, I);
+      break;
+    }
+    case ir::Opcode::LoadVar:
+      Replacement[I] = currentDef(I->variable());
+      ToErase.push_back(I);
+      break;
+    case ir::Opcode::StoreVar:
+      pushDef(I->variable(), I->operand(0));
+      ToErase.push_back(I);
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Fill phi operands of successors with the defs reaching this edge.
+  for (ir::BasicBlock *Succ : BB->successors())
+    for (ir::Instruction *Phi : Succ->phis()) {
+      auto It = PhiOf.find(Phi);
+      if (It != PhiOf.end())
+        Phi->addIncoming(currentDef(It->second), BB);
+    }
+
+  for (ir::BasicBlock *Child : DT.children(BB))
+    rename(Child);
+
+  for (const auto &[V, Depth] : Saved)
+    Stacks[V].resize(Depth);
+}
+
+} // namespace
+
+SSAInfo biv::ssa::buildSSA(ir::Function &F) {
+  F.recomputePreds();
+  return Builder(F).run();
+}

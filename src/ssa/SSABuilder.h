@@ -1,0 +1,48 @@
+//===- ssa/SSABuilder.h - SSA construction ----------------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSA construction in the style of Cytron, Ferrante, Rosen, Wegman and
+/// Zadeck [CFR+91], the form the paper's algorithm runs on: phi placement at
+/// iterated dominance frontiers of the blocks storing each scalar variable,
+/// followed by a dominator-tree renaming walk that deletes every LoadVar /
+/// StoreVar and rewires uses to the unique reaching SSA definition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_SSA_SSABUILDER_H
+#define BEYONDIV_SSA_SSABUILDER_H
+
+#include "analysis/DominatorTree.h"
+#include "ir/Function.h"
+#include <map>
+
+namespace biv {
+namespace ssa {
+
+/// What SSA construction learned; the IV analysis and tests use it to locate
+/// the phi of a given source variable in a given block.
+struct SSAInfo {
+  /// For every phi inserted, the scalar variable it merges.
+  std::map<const ir::Instruction *, const ir::Var *> PhiVar;
+
+  /// Number of phis placed (for stats/benches).
+  unsigned PhisPlaced = 0;
+
+  /// Finds the phi merging \p VarName at the top of \p BB, or null.
+  ir::Instruction *phiFor(const ir::BasicBlock *BB,
+                          const std::string &VarName) const;
+};
+
+/// Converts \p F into SSA form in place.  Requires preds to be computed.
+/// Every LoadVar/StoreVar disappears; phis are named after their variable.
+SSAInfo buildSSA(ir::Function &F);
+
+} // namespace ssa
+} // namespace biv
+
+#endif // BEYONDIV_SSA_SSABUILDER_H

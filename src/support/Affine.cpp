@@ -1,0 +1,86 @@
+//===- support/Affine.cpp - Affine symbolic expressions -------------------===//
+
+#include "support/Affine.h"
+
+using namespace biv;
+
+Affine Affine::symbol(SymbolRef Sym) {
+  Affine A;
+  A.Terms[Sym] = Rational(1);
+  return A;
+}
+
+Rational Affine::coefficientOf(SymbolRef Sym) const {
+  auto It = Terms.find(Sym);
+  return It == Terms.end() ? Rational() : It->second;
+}
+
+Affine Affine::operator-() const {
+  Affine Result;
+  Result.Constant = -Constant;
+  for (const auto &[Sym, Coeff] : Terms)
+    Result.Terms[Sym] = -Coeff;
+  return Result;
+}
+
+Affine Affine::operator+(const Affine &RHS) const {
+  Affine Result = *this;
+  Result.Constant += RHS.Constant;
+  for (const auto &[Sym, Coeff] : RHS.Terms) {
+    Rational Sum = Result.coefficientOf(Sym) + Coeff;
+    if (Sum.isZero())
+      Result.Terms.erase(Sym);
+    else
+      Result.Terms[Sym] = Sum;
+  }
+  return Result;
+}
+
+Affine Affine::operator-(const Affine &RHS) const { return *this + (-RHS); }
+
+Affine Affine::operator*(const Rational &Scale) const {
+  Affine Result;
+  if (Scale.isZero())
+    return Result;
+  Result.Constant = Constant * Scale;
+  for (const auto &[Sym, Coeff] : Terms)
+    Result.Terms[Sym] = Coeff * Scale;
+  return Result;
+}
+
+std::optional<Affine> Affine::mul(const Affine &A, const Affine &B) {
+  if (auto C = A.getConstant())
+    return B * *C;
+  if (auto C = B.getConstant())
+    return A * *C;
+  return std::nullopt;
+}
+
+std::string Affine::str(const SymbolNamer &Namer) const {
+  std::string Out;
+  auto nameOf = [&](SymbolRef Sym) {
+    return Namer ? Namer(Sym) : std::string("sym");
+  };
+  if (!Constant.isZero() || Terms.empty())
+    Out = Constant.str();
+  for (const auto &[Sym, Coeff] : Terms) {
+    if (Out.empty()) {
+      if (Coeff == Rational(1))
+        Out = nameOf(Sym);
+      else if (Coeff == Rational(-1))
+        Out = "-" + nameOf(Sym);
+      else
+        Out = Coeff.str() + "*" + nameOf(Sym);
+      continue;
+    }
+    if (Coeff.isNegative()) {
+      Rational Abs = -Coeff;
+      Out += Abs.isOne() ? " - " + nameOf(Sym)
+                         : " - " + Abs.str() + "*" + nameOf(Sym);
+    } else {
+      Out += Coeff.isOne() ? " + " + nameOf(Sym)
+                           : " + " + Coeff.str() + "*" + nameOf(Sym);
+    }
+  }
+  return Out;
+}

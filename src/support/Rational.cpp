@@ -1,0 +1,113 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+
+#include "support/Rational.h"
+
+using namespace biv;
+
+int64_t biv::gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+static int64_t narrow(__int128 V) {
+  assert(V >= INT64_MIN && V <= INT64_MAX && "rational overflow");
+  return static_cast<int64_t>(V);
+}
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = gcd64(N, D);
+  if (G > 1) {
+    N /= G;
+    D /= G;
+  }
+  Num = N;
+  Den = D;
+}
+
+static Rational makeNormalized(__int128 N, __int128 D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  // Reduce in 128 bits before narrowing so transient wide values survive.
+  __int128 A = N < 0 ? -N : N, B = D;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  if (A > 1) {
+    N /= A;
+    D /= A;
+  }
+  return Rational(narrow(N), narrow(D));
+}
+
+Rational Rational::operator-() const { return Rational(-Num, Den); }
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return makeNormalized(static_cast<__int128>(Num) * RHS.Den +
+                            static_cast<__int128>(RHS.Num) * Den,
+                        static_cast<__int128>(Den) * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return *this + (-RHS);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return makeNormalized(static_cast<__int128>(Num) * RHS.Num,
+                        static_cast<__int128>(Den) * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "division by zero rational");
+  return makeNormalized(static_cast<__int128>(Num) * RHS.Den,
+                        static_cast<__int128>(Den) * RHS.Num);
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  return static_cast<__int128>(Num) * RHS.Den <
+         static_cast<__int128>(RHS.Num) * Den;
+}
+
+int64_t Rational::floor() const {
+  if (Num >= 0)
+    return Num / Den;
+  return -((-Num + Den - 1) / Den);
+}
+
+int64_t Rational::ceil() const { return -(-*this).floor(); }
+
+Rational Rational::pow(int64_t Exp) const {
+  if (Exp < 0)
+    return Rational(1) / pow(-Exp);
+  Rational Result(1), Base = *this;
+  while (Exp > 0) {
+    if (Exp & 1)
+      Result *= Base;
+    Base *= Base;
+    Exp >>= 1;
+  }
+  return Result;
+}
+
+std::string Rational::str() const {
+  if (isInteger())
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

@@ -1,0 +1,88 @@
+//===- transform/LoopPeel.cpp - Loop peeling ------------------------------------===//
+
+#include "transform/LoopPeel.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include <map>
+
+using namespace biv;
+using namespace biv::transform;
+
+namespace {
+
+/// Clones one iteration of \p L in front of it.  Pre-SSA: all scalar
+/// dataflow goes through variables, so only intra-clone operand references
+/// need remapping.
+bool peelOnce(ir::Function &F, const std::string &LoopName) {
+  F.recomputePreds();
+  analysis::DominatorTree DT(F);
+  analysis::LoopInfo LI(F, DT);
+  analysis::Loop *L = LI.byName(LoopName);
+  if (!L || !L->preheader() || L->latches().size() != 1)
+    return false;
+
+  // Refuse SSA-form functions: cloned phis would need dominance repair.
+  for (ir::BasicBlock *BB : L->blocks())
+    if (!BB->phis().empty())
+      return false;
+
+  ir::BasicBlock *Preheader = L->preheader();
+  ir::BasicBlock *Header = L->header();
+  ir::BasicBlock *Latch = L->latches().front();
+
+  // Clone every loop block.
+  std::map<const ir::BasicBlock *, ir::BasicBlock *> BlockMap;
+  std::map<const ir::Value *, ir::Value *> ValueMap;
+  for (ir::BasicBlock *BB : L->blocks())
+    BlockMap[BB] = F.createBlock(BB->name() + ".peel");
+  for (ir::BasicBlock *BB : L->blocks()) {
+    ir::BasicBlock *NewBB = BlockMap[BB];
+    for (const auto &I : *BB) {
+      auto Clone = std::make_unique<ir::Instruction>(
+          I->opcode(), I->operands(),
+          I->name().empty() ? std::string() : F.uniqueName(I->name()));
+      Clone->setVariable(I->variable());
+      Clone->setArray(I->array());
+      for (ir::BasicBlock *Succ : I->blocks()) {
+        auto It = BlockMap.find(Succ);
+        // The cloned latch's backedge enters the original loop (iteration
+        // 2 onward); exits keep their original targets.
+        if (Succ == Header || It == BlockMap.end())
+          Clone->addBlock(Succ);
+        else
+          Clone->addBlock(It->second);
+      }
+      ValueMap[I.get()] = NewBB->append(std::move(Clone));
+    }
+  }
+  // Remap intra-clone operands.
+  for (ir::BasicBlock *BB : L->blocks())
+    for (const auto &I : *BB) {
+      auto *Clone = ir::cast<ir::Instruction>(ValueMap[I.get()]);
+      for (unsigned Idx = 0; Idx < Clone->numOperands(); ++Idx) {
+        auto It = ValueMap.find(Clone->operand(Idx));
+        if (It != ValueMap.end())
+          Clone->setOperand(Idx, It->second);
+      }
+    }
+  (void)Latch;
+
+  // Redirect the preheader into the peeled copy.
+  ir::Instruction *PreTerm = Preheader->terminator();
+  for (unsigned Idx = 0; Idx < PreTerm->blocks().size(); ++Idx)
+    if (PreTerm->blocks()[Idx] == Header)
+      PreTerm->setBlock(Idx, BlockMap[Header]);
+
+  F.recomputePreds();
+  return true;
+}
+
+} // namespace
+
+bool biv::transform::peelLoop(ir::Function &F, const std::string &LoopName,
+                              unsigned Times) {
+  for (unsigned K = 0; K < Times; ++K)
+    if (!peelOnce(F, LoopName))
+      return K > 0;
+  return true;
+}

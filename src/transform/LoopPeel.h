@@ -1,0 +1,41 @@
+//===- transform/LoopPeel.h - Loop peeling ----------------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop peeling: "the standard compiler trick, once a wrap-around variable
+/// is found, is to peel off the first iteration of the loop and replace the
+/// wrap-around variable with the appropriate induction variable" (section
+/// 4.1).  Peeling k iterations makes an order-k wrap-around collapse into
+/// its settled class on the next analysis run, and the flagged "holds after
+/// k iterations" dependences become ordinary ones.
+///
+/// The transform runs on the *pre-SSA* CFG (scalar variables still in
+/// LoadVar/StoreVar form), where cloning a loop body is a pure block copy;
+/// run it between lowering and SSA construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_TRANSFORM_LOOPPEEL_H
+#define BEYONDIV_TRANSFORM_LOOPPEEL_H
+
+#include "ir/Function.h"
+#include <string>
+
+namespace biv {
+namespace transform {
+
+/// Peels \p Times iterations off the loop labeled \p LoopName (as in
+/// `loop L9 { ... }` / `for L9: ...`).  \p F must be pre-SSA (no phis).
+/// Returns false (leaving \p F untouched) when the loop does not exist, has
+/// no unique preheader/latch, or \p F is already in SSA form.
+bool peelLoop(ir::Function &F, const std::string &LoopName,
+              unsigned Times = 1);
+
+} // namespace transform
+} // namespace biv
+
+#endif // BEYONDIV_TRANSFORM_LOOPPEEL_H

@@ -1,0 +1,147 @@
+//===- transform/StrengthReduce.cpp - Strength reduction -------------------------===//
+
+#include "transform/StrengthReduce.h"
+
+using namespace biv;
+using namespace biv::transform;
+
+namespace {
+
+/// Materializes an integer affine expression at position \p Pos of \p BB.
+/// Returns null when a coefficient is not an integer.
+ir::Value *materializeAt(ir::Function &F, const Affine &V,
+                         ir::BasicBlock *BB, size_t Pos,
+                         const std::string &Name) {
+  if (!V.constantPart().isInteger())
+    return nullptr;
+  for (const auto &[Sym, Coeff] : V.terms())
+    if (!Coeff.isInteger())
+      return nullptr;
+  auto emit = [&](std::unique_ptr<ir::Instruction> I) {
+    return BB->insertAt(Pos++, std::move(I));
+  };
+  ir::Value *Acc = nullptr;
+  for (const auto &[Sym, Coeff] : V.terms()) {
+    auto *SymV = const_cast<ir::Value *>(static_cast<const ir::Value *>(Sym));
+    ir::Value *Term = SymV;
+    if (!Coeff.isOne())
+      Term = emit(std::make_unique<ir::Instruction>(
+          ir::Opcode::Mul,
+          std::vector<ir::Value *>{F.constant(Coeff.getInteger()), SymV}));
+    Acc = Acc ? emit(std::make_unique<ir::Instruction>(
+                    ir::Opcode::Add, std::vector<ir::Value *>{Acc, Term}))
+              : Term;
+  }
+  int64_t C0 = V.constantPart().getInteger();
+  if (!Acc)
+    return F.constant(C0);
+  if (C0 != 0)
+    Acc = emit(std::make_unique<ir::Instruction>(
+        ir::Opcode::Add, std::vector<ir::Value *>{Acc, F.constant(C0)}));
+  if (auto *AI = ir::dyn_cast<ir::Instruction>(Acc))
+    if (AI->name().empty())
+      AI->setName(F.uniqueName(Name));
+  return Acc;
+}
+
+/// Every affine symbol must be defined outside \p L (it is, by
+/// construction of the classification) *and* dominate the preheader end;
+/// with our single-preheader loops that is automatic, but guard anyway by
+/// requiring symbols to be non-instructions or instructions outside L.
+bool symbolsAvailable(const Affine &V, const analysis::Loop *L) {
+  for (const auto &[Sym, Coeff] : V.terms()) {
+    (void)Coeff;
+    const auto *I =
+        ir::dyn_cast<ir::Instruction>(static_cast<const ir::Value *>(Sym));
+    if (I && L->contains(I->parent()))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+StrengthReduceStats
+biv::transform::strengthReduce(ivclass::InductionAnalysis &IA) {
+  StrengthReduceStats Stats;
+  ir::Function &F = IA.function();
+  const analysis::LoopInfo &LI = IA.loopInfo();
+
+  for (const analysis::Loop *L : LI.innerToOuter()) {
+    if (!L->preheader() || L->latches().size() != 1)
+      continue;
+    ir::BasicBlock *Preheader = L->preheader();
+    ir::BasicBlock *Latch = L->latches().front();
+
+    // Collect reducible multiplications first; rewriting mutates blocks.
+    std::vector<std::pair<ir::Instruction *, ivclass::ClosedForm>> Work;
+    for (ir::BasicBlock *BB : L->blocks()) {
+      const analysis::Loop *Innermost = LI.loopFor(BB);
+      for (const auto &I : *BB) {
+        if (I->opcode() != ir::Opcode::Mul)
+          continue;
+        std::optional<ivclass::ClosedForm> Form;
+        if (Innermost == L) {
+          const ivclass::Classification &C = IA.classify(I.get(), L);
+          if (C.isLinear())
+            Form = C.Form;
+        } else if (IA.classify(I.get(), Innermost).isInvariant()) {
+          // Inside a nested loop but invariant there: the value advances
+          // only with L.  The mul itself is not a node of L's SSA graph, so
+          // derive its L-form from the operands' classifications.
+          const ivclass::Classification &A = IA.classify(I->operand(0), L);
+          const ivclass::Classification &B = IA.classify(I->operand(1), L);
+          if (A.hasClosedForm() && B.hasClosedForm())
+            if (std::optional<ivclass::ClosedForm> P =
+                    A.Form.mulChecked(B.Form))
+              if (P->isLinear() && !P->isInvariant())
+                Form = *P;
+        }
+        if (!Form)
+          continue;
+        if (!symbolsAvailable(Form->coeff(0), L) ||
+            !symbolsAvailable(Form->coeff(1), L))
+          continue;
+        Work.push_back({I.get(), *Form});
+      }
+    }
+
+    for (auto &[Mul, Form] : Work) {
+      // Materialize init and step at the end of the preheader.
+      size_t PrePos = Preheader->size() - (Preheader->terminator() ? 1 : 0);
+      ir::Value *Init = materializeAt(F, Form.coeff(0), Preheader, PrePos,
+                                      Mul->name() + ".sr.init");
+      if (!Init)
+        continue;
+      PrePos = Preheader->size() - (Preheader->terminator() ? 1 : 0);
+      ir::Value *Step = materializeAt(F, Form.coeff(1), Preheader, PrePos,
+                                      Mul->name() + ".sr.step");
+      if (!Step)
+        continue;
+
+      // Recurrence: X = phi(init, X + step).
+      auto PhiI = std::make_unique<ir::Instruction>(
+          ir::Opcode::Phi, std::vector<ir::Value *>{},
+          F.uniqueName(Mul->name().empty() ? "sr" : Mul->name() + ".sr"));
+      ir::Instruction *Phi = L->header()->insertAt(
+          L->header()->phis().size(), std::move(PhiI));
+      auto AddI = std::make_unique<ir::Instruction>(
+          ir::Opcode::Add, std::vector<ir::Value *>{Phi, Step},
+          F.uniqueName(Phi->name() + ".next"));
+      ir::Instruction *Next = Latch->insertBeforeTerminator(std::move(AddI));
+      // Wire the phi: one incoming per header predecessor.
+      for (ir::BasicBlock *Pred : L->header()->predecessors())
+        Phi->addIncoming(L->contains(Pred) ? static_cast<ir::Value *>(Next)
+                                           : Init,
+                         Pred);
+      ++Stats.PhisInserted;
+
+      // The multiplication's value on iteration h is exactly X(h).
+      F.replaceAllUsesWith(Mul, Phi);
+      Mul->parent()->erase(Mul);
+      ++Stats.Reduced;
+    }
+  }
+  F.recomputePreds();
+  return Stats;
+}

@@ -1,0 +1,43 @@
+//===- transform/StrengthReduce.h - Strength reduction ----------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classical strength reduction, driven by the paper's classification
+/// instead of pattern matching.  The paper opens with the observation that
+/// "induction variable recognition is inextricably linked to the strength
+/// reduction transformation"; this pass closes the loop: every
+/// multiplication (or other arithmetic) classified as a *linear* induction
+/// variable with materializable init/step is replaced by a new recurrence —
+/// a phi initialized in the preheader and bumped by the step in the latch.
+///
+/// Runs on SSA form after InductionAnalysis; the inserted phis/adds keep
+/// the function in valid SSA (verified by the tests), but any previously
+/// computed analysis results are stale afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_TRANSFORM_STRENGTHREDUCE_H
+#define BEYONDIV_TRANSFORM_STRENGTHREDUCE_H
+
+#include "ivclass/InductionAnalysis.h"
+
+namespace biv {
+namespace transform {
+
+struct StrengthReduceStats {
+  unsigned Reduced = 0;        ///< Multiplications replaced by recurrences.
+  unsigned PhisInserted = 0;
+};
+
+/// Reduces every multiplication classified linear in its innermost loop.
+/// \p IA must have been run on \p IA.function().
+StrengthReduceStats strengthReduce(ivclass::InductionAnalysis &IA);
+
+} // namespace transform
+} // namespace biv
+
+#endif // BEYONDIV_TRANSFORM_STRENGTHREDUCE_H

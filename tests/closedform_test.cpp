@@ -1,0 +1,283 @@
+//===- tests/closedform_test.cpp - ClosedForm and recurrence solver units -----===//
+
+#include "ivclass/ClosedForm.h"
+#include "ivclass/RecurrenceSolver.h"
+#include <gtest/gtest.h>
+
+using namespace biv;
+using namespace biv::ivclass;
+
+namespace {
+int SymN; // opaque symbol
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ClosedForm construction and queries
+//===----------------------------------------------------------------------===//
+
+TEST(ClosedFormTest, ConstantAndCounter) {
+  ClosedForm C = ClosedForm::constant(Affine(7));
+  EXPECT_TRUE(C.isInvariant());
+  EXPECT_EQ(C.evaluateAt(5), Affine(7));
+
+  ClosedForm H = ClosedForm::counter();
+  EXPECT_TRUE(H.isLinear());
+  EXPECT_FALSE(H.isInvariant());
+  EXPECT_EQ(H.evaluateAt(9), Affine(9));
+}
+
+TEST(ClosedFormTest, LinearEvaluate) {
+  ClosedForm F = ClosedForm::linear(Affine(3), Affine(2)); // 3 + 2h
+  EXPECT_EQ(F.evaluateAt(0), Affine(3));
+  EXPECT_EQ(F.evaluateAt(10), Affine(23));
+  EXPECT_EQ(F.initialValue(), Affine(3));
+  EXPECT_EQ(F.linearStep(), Affine(2));
+}
+
+TEST(ClosedFormTest, NormalizationDropsZeros) {
+  ClosedForm F = ClosedForm::linear(Affine(3), Affine(0));
+  EXPECT_TRUE(F.isInvariant());
+  EXPECT_EQ(F.degree(), 0u);
+  // Base-1 exponentials fold into the constant.
+  std::map<int64_t, Affine> Geo;
+  Geo[1] = Affine(5);
+  ClosedForm G = ClosedForm::make({Affine(2)}, Geo);
+  EXPECT_TRUE(G.isInvariant());
+  EXPECT_EQ(G.initialValue(), Affine(7));
+}
+
+TEST(ClosedFormTest, ArithmeticExact) {
+  ClosedForm A = ClosedForm::linear(Affine(1), Affine(2)); // 1 + 2h
+  ClosedForm B = ClosedForm::linear(Affine(4), Affine(-2)); // 4 - 2h
+  ClosedForm Sum = A + B;
+  EXPECT_TRUE(Sum.isInvariant());
+  EXPECT_EQ(Sum.initialValue(), Affine(5));
+  ClosedForm Diff = A - B;
+  EXPECT_EQ(Diff.coeff(1), Affine(4));
+  ClosedForm Scaled = A * Rational(3);
+  EXPECT_EQ(Scaled.coeff(0), Affine(3));
+  EXPECT_EQ(Scaled.coeff(1), Affine(6));
+}
+
+TEST(ClosedFormTest, MulPolyPoly) {
+  // (1 + h)^2 = 1 + 2h + h^2.
+  ClosedForm F = ClosedForm::linear(Affine(1), Affine(1));
+  auto P = F.mulChecked(F);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->degree(), 2u);
+  EXPECT_EQ(P->coeff(0), Affine(1));
+  EXPECT_EQ(P->coeff(1), Affine(2));
+  EXPECT_EQ(P->coeff(2), Affine(1));
+}
+
+TEST(ClosedFormTest, MulSymbolicFailsWhenQuadratic) {
+  // (n*h) * (n*h): coefficient n*n is not affine.
+  ClosedForm F = ClosedForm::linear(Affine(0), Affine::symbol(&SymN));
+  EXPECT_FALSE(F.mulChecked(F).has_value());
+  // But scaling by a constant form works.
+  ClosedForm Two = ClosedForm::constant(Affine(2));
+  auto P = F.mulChecked(Two);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->coeff(1), Affine::symbol(&SymN) * Rational(2));
+}
+
+TEST(ClosedFormTest, MulExponentials) {
+  // (2^h) * (3^h) = 6^h; (2^h) * (2^h) = 4^h.
+  ClosedForm A = ClosedForm::make({}, {{2, Affine(1)}});
+  ClosedForm B = ClosedForm::make({}, {{3, Affine(1)}});
+  auto P = A.mulChecked(B);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->geoTerms().count(6), 1u);
+  auto Q = A.mulChecked(A);
+  ASSERT_TRUE(Q.has_value());
+  EXPECT_EQ(Q->geoTerms().count(4), 1u);
+}
+
+TEST(ClosedFormTest, MulBaseProductOne) {
+  // (-1)^h * (-1)^h == 1 (a constant).
+  ClosedForm A = ClosedForm::make({}, {{-1, Affine(1)}});
+  auto P = A.mulChecked(A);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_TRUE(P->isInvariant());
+  EXPECT_EQ(P->initialValue(), Affine(1));
+}
+
+TEST(ClosedFormTest, MulPolyTimesExpFails) {
+  // h * 2^h is outside the representation.
+  ClosedForm H = ClosedForm::counter();
+  ClosedForm E = ClosedForm::make({}, {{2, Affine(1)}});
+  EXPECT_FALSE(H.mulChecked(E).has_value());
+  // But constant * 2^h works.
+  ClosedForm C = ClosedForm::constant(Affine(5));
+  auto P = C.mulChecked(E);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->geoTerms().at(2), Affine(5));
+}
+
+TEST(ClosedFormTest, ShiftPolynomial) {
+  // F = h^2; F.shifted(1)(h) = (h+1)^2.
+  ClosedForm F = ClosedForm::make({Affine(0), Affine(0), Affine(1)});
+  auto S = F.shifted(1);
+  ASSERT_TRUE(S.has_value());
+  for (int64_t H = 0; H <= 5; ++H)
+    EXPECT_EQ(S->evaluateAt(H), F.evaluateAt(H + 1));
+  auto Back = S->shifted(-1);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, F);
+}
+
+TEST(ClosedFormTest, ShiftExponential) {
+  // F = 3 * 2^h; F.shifted(-1) = 3/2 * 2^h.
+  ClosedForm F = ClosedForm::make({}, {{2, Affine(3)}});
+  auto S = F.shifted(-1);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->geoTerms().at(2), Affine(Rational(3, 2)));
+  for (int64_t H = 1; H <= 5; ++H)
+    EXPECT_EQ(S->evaluateAt(H), F.evaluateAt(H - 1));
+}
+
+TEST(ClosedFormTest, EvaluateAtAffineSymbolic) {
+  // (init + 2h) at h = n  ->  init + 2n.
+  ClosedForm F = ClosedForm::linear(Affine(5), Affine(2));
+  auto V = F.evaluateAtAffine(Affine::symbol(&SymN));
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->coefficientOf(&SymN), Rational(2));
+  EXPECT_EQ(V->constantPart(), Rational(5));
+  // Symbolic step times symbolic count fails (not affine).
+  ClosedForm G = ClosedForm::linear(Affine(0), Affine::symbol(&SymN));
+  EXPECT_FALSE(G.evaluateAtAffine(Affine::symbol(&SymN)).has_value());
+  // Non-linear forms fail.
+  ClosedForm H2 = ClosedForm::make({Affine(0), Affine(0), Affine(1)});
+  EXPECT_FALSE(H2.evaluateAtAffine(Affine(3)).has_value());
+}
+
+TEST(ClosedFormTest, MonotonicityPredicates) {
+  EXPECT_TRUE(ClosedForm::linear(Affine(0), Affine(2))
+                  .provablyIncreasing());
+  EXPECT_TRUE(ClosedForm::constant(Affine(5)).provablyNonDecreasing());
+  EXPECT_FALSE(ClosedForm::constant(Affine(5)).provablyIncreasing());
+  EXPECT_FALSE(
+      ClosedForm::linear(Affine(0), Affine(-1)).provablyNonDecreasing());
+  // 2^h increases; (-2)^h does not (alternates).
+  EXPECT_TRUE(ClosedForm::make({}, {{2, Affine(1)}}).provablyIncreasing());
+  EXPECT_FALSE(
+      ClosedForm::make({}, {{-2, Affine(1)}}).provablyNonDecreasing());
+  // Symbolic coefficients: never provable.
+  EXPECT_FALSE(ClosedForm::linear(Affine(0), Affine::symbol(&SymN))
+                   .provablyNonDecreasing());
+}
+
+TEST(ClosedFormTest, Printing) {
+  ClosedForm F = ClosedForm::make({Affine(3), Affine(Rational(1, 2))},
+                                  {{2, Affine(4)}});
+  EXPECT_EQ(F.str(), "3 + 1/2*h + 4*2^h");
+  ClosedForm Neg = ClosedForm::make({}, {{-1, Affine(Rational(-1, 2))}});
+  EXPECT_EQ(Neg.str(), "-1/2*(-1)^h");
+  EXPECT_EQ(ClosedForm().str(), "0");
+}
+
+//===----------------------------------------------------------------------===//
+// Recurrence solver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks the solved form against direct iteration of the recurrence.
+void checkSolution(const Rational &A, const ClosedForm &B, int64_t Init,
+                   unsigned Iters = 8) {
+  auto Form = solveLinearRecurrence(A, B, Affine(Init));
+  ASSERT_TRUE(Form.has_value()) << "recurrence should be solvable";
+  Rational X(Init);
+  for (unsigned H = 0; H < Iters; ++H) {
+    Affine V = Form->evaluateAt(H);
+    ASSERT_TRUE(V.getConstant().has_value());
+    EXPECT_EQ(*V.getConstant(), X) << "at h=" << H;
+    ASSERT_TRUE(B.evaluateAt(H).getConstant().has_value());
+    X = X * A + *B.evaluateAt(H).getConstant();
+  }
+}
+
+} // namespace
+
+TEST(SolverTest, LinearFastPath) {
+  auto F = solveLinearRecurrence(Rational(1),
+                                 ClosedForm::constant(Affine(3)), Affine(7));
+  ASSERT_TRUE(F.has_value());
+  EXPECT_TRUE(F->isLinear());
+  EXPECT_EQ(F->coeff(0), Affine(7));
+  EXPECT_EQ(F->coeff(1), Affine(3));
+}
+
+TEST(SolverTest, PolynomialOrders) {
+  // X' = X + h: quadratic.
+  checkSolution(Rational(1), ClosedForm::counter(), 0);
+  // X' = X + h^2: cubic.
+  checkSolution(Rational(1),
+                ClosedForm::make({Affine(0), Affine(0), Affine(1)}), 5);
+  // X' = X + (2 + 3h + h^3): quartic.
+  checkSolution(
+      Rational(1),
+      ClosedForm::make({Affine(2), Affine(3), Affine(0), Affine(1)}), 1);
+}
+
+TEST(SolverTest, GeometricBases) {
+  checkSolution(Rational(2), ClosedForm::constant(Affine(1)), 1);  // 2^h ...
+  checkSolution(Rational(3), ClosedForm::constant(Affine(0)), 4);  // 4*3^h
+  checkSolution(Rational(-1), ClosedForm::constant(Affine(3)), 1); // flipflop
+  checkSolution(Rational(-2), ClosedForm::constant(Affine(5)), 0);
+}
+
+TEST(SolverTest, GeometricWithPolynomialDrive) {
+  // The paper's m' = 3m + (2i + 1), i = 1 + h: B = 3 + 2h.
+  checkSolution(Rational(3), ClosedForm::linear(Affine(3), Affine(2)), 0);
+  auto F = solveLinearRecurrence(
+      Rational(3), ClosedForm::linear(Affine(3), Affine(2)), Affine(0));
+  ASSERT_TRUE(F.has_value());
+  // 6*3^h - h - 3 for the value *after* the update at iteration h is the
+  // phi form here: -2 - h + 2*3^h.
+  EXPECT_EQ(F->coeff(0), Affine(-2));
+  EXPECT_EQ(F->coeff(1), Affine(-1));
+  EXPECT_EQ(F->geoTerms().at(3), Affine(2));
+}
+
+TEST(SolverTest, ExponentialDrive) {
+  // X' = X + 2^h: solution has a 2^h term.
+  checkSolution(Rational(1), ClosedForm::make({}, {{2, Affine(1)}}), 0);
+  // X' = 2X + 3^h: distinct bases, fine.
+  checkSolution(Rational(2), ClosedForm::make({}, {{3, Affine(1)}}), 1);
+}
+
+TEST(SolverTest, ResonanceRejected) {
+  // X' = 2X + 2^h needs h*2^h: must return nullopt, not a wrong form.
+  auto F = solveLinearRecurrence(
+      Rational(2), ClosedForm::make({}, {{2, Affine(1)}}), Affine(0));
+  EXPECT_FALSE(F.has_value());
+}
+
+TEST(SolverTest, NonIntegerScaleRejected) {
+  auto F = solveLinearRecurrence(Rational(1, 2),
+                                 ClosedForm::constant(Affine(1)), Affine(8));
+  EXPECT_FALSE(F.has_value());
+}
+
+TEST(SolverTest, SymbolicInitAndStep) {
+  // X' = X + n with X(0) = n: X(h) = n + n*h, all symbolic.
+  Affine N = Affine::symbol(&SymN);
+  auto F = solveLinearRecurrence(Rational(1), ClosedForm::constant(N), N);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->coeff(0), N);
+  EXPECT_EQ(F->coeff(1), N);
+  // Symbolic init with a polynomial drive still solves (coefficients stay
+  // affine in n).
+  auto G = solveLinearRecurrence(Rational(1), ClosedForm::counter(), N);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->coeff(0), N);
+  EXPECT_EQ(G->coeff(2), Affine(Rational(1, 2)));
+}
+
+TEST(SolverTest, ZeroScaleRejected) {
+  EXPECT_FALSE(solveLinearRecurrence(Rational(0),
+                                     ClosedForm::constant(Affine(1)),
+                                     Affine(0))
+                   .has_value());
+}

@@ -1,0 +1,216 @@
+//===- tests/deptests_unit_test.cpp - Decision procedures in isolation --------===//
+//
+// Drives testLinearPair/combineDimensions directly on synthetic subscripts,
+// covering corners the whole-program tests reach only incidentally:
+// weak-crossing patterns, unbounded loops, non-common loop terms, vector
+// intersection, and the brute-force cross-check of the exact SIV test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "dependence/DependenceTests.h"
+#include "frontend/Lowering.h"
+#include <gtest/gtest.h>
+
+using namespace biv;
+using namespace biv::dependence;
+
+namespace {
+
+/// A tiny real nest so we have Loop pointers to hang bounds on.
+class DepUnitTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    F = frontend::parseAndLowerOrDie("func f(n) {"
+                                     "  for L1: i = 1 to 4 {"
+                                     "    for L2: j = 1 to 4 { A[i, j] = 0; }"
+                                     "  }"
+                                     "  return 0;"
+                                     "}");
+    DT = std::make_unique<analysis::DominatorTree>(*F);
+    LI = std::make_unique<analysis::LoopInfo>(*F, *DT);
+    L1 = LI->byName("L1");
+    L2 = LI->byName("L2");
+  }
+
+  LinearSubscript sub(int64_t C, int64_t A1 = 0, int64_t A2 = 0) {
+    LinearSubscript S;
+    S.Const = Affine(C);
+    if (A1)
+      S.Coeff[L1] = Affine(A1);
+    if (A2)
+      S.Coeff[L2] = Affine(A2);
+    return S;
+  }
+
+  static LoopBound bound(const analysis::Loop *L, std::optional<int64_t> U) {
+    LoopBound B;
+    B.L = L;
+    B.U = U;
+    return B;
+  }
+
+  /// Brute force: does a*h - b*h' = delta have a solution in [0,U]^2, and
+  /// with which directions?
+  static std::pair<bool, uint8_t> brute(int64_t A, int64_t B, int64_t Delta,
+                                        int64_t U) {
+    bool Any = false;
+    uint8_t Dirs = DirNone;
+    for (int64_t H = 0; H <= U; ++H)
+      for (int64_t HP = 0; HP <= U; ++HP)
+        if (A * H - B * HP == Delta) {
+          Any = true;
+          Dirs |= H < HP ? DirLT : (H == HP ? DirEQ : DirGT);
+        }
+    return {Any, Dirs};
+  }
+
+  std::unique_ptr<ir::Function> F;
+  std::unique_ptr<analysis::DominatorTree> DT;
+  std::unique_ptr<analysis::LoopInfo> LI;
+  analysis::Loop *L1 = nullptr, *L2 = nullptr;
+};
+
+} // namespace
+
+TEST_F(DepUnitTest, WeakCrossingSIV) {
+  // src = h, dst = 6 - h': collisions where h + h' = 6.  With U = 10
+  // there are crossing solutions including h == h' == 3.
+  std::vector<LoopBound> Common = {bound(L1, 10)};
+  DependenceResult R =
+      testLinearPair(sub(0, 1), sub(6, -1), Common, {});
+  EXPECT_NE(R.O, DependenceResult::Outcome::Independent);
+  EXPECT_EQ(R.dirsFor(L1), DirAll); // h<h', h==h', h>h' all occur
+  // h + h' = 7 (odd): no equal-iteration crossing.
+  DependenceResult R2 =
+      testLinearPair(sub(0, 1), sub(7, -1), Common, {});
+  EXPECT_EQ(R2.dirsFor(L1) & DirEQ, 0);
+  // h + h' = 30: beyond 2U, no solution at all.
+  DependenceResult R3 =
+      testLinearPair(sub(0, 1), sub(30, -1), Common, {});
+  EXPECT_EQ(R3.O, DependenceResult::Outcome::Independent);
+}
+
+TEST_F(DepUnitTest, ExactSIVMatchesBruteForce) {
+  const int64_t U = 7;
+  std::vector<LoopBound> Common = {bound(L1, U)};
+  for (int64_t A : {-3, -1, 1, 2, 3})
+    for (int64_t B : {-2, 1, 2, 4})
+      for (int64_t Delta : {-9, -2, 0, 1, 3, 8}) {
+        // src = A*h, dst = B*h' + Delta  ->  A*h - B*h' = Delta.
+        DependenceResult R =
+            testLinearPair(sub(0, A), sub(Delta, B), Common, {});
+        auto [Any, Dirs] = brute(A, B, Delta, U);
+        if (!Any) {
+          EXPECT_EQ(R.O, DependenceResult::Outcome::Independent)
+              << A << "h - " << B << "h' = " << Delta;
+        } else {
+          EXPECT_NE(R.O, DependenceResult::Outcome::Independent)
+              << A << "h - " << B << "h' = " << Delta;
+          // The reported direction set must cover reality.
+          EXPECT_EQ(R.dirsFor(L1) & Dirs, Dirs)
+              << A << "h - " << B << "h' = " << Delta;
+        }
+      }
+}
+
+TEST_F(DepUnitTest, UnboundedLoopStaysSound) {
+  // No bound: src = h vs dst = h' + 5 collide when h = h' + 5, i.e. the
+  // sink runs 5 iterations *before* the source: distance -5, direction (>).
+  std::vector<LoopBound> Common = {bound(L1, std::nullopt)};
+  DependenceResult R = testLinearPair(sub(0, 1), sub(5, 1), Common, {});
+  EXPECT_NE(R.O, DependenceResult::Outcome::Independent);
+  ASSERT_EQ(R.Directions.size(), 1u);
+  ASSERT_TRUE(R.Directions[0].Distance.has_value());
+  EXPECT_EQ(*R.Directions[0].Distance, -5);
+  EXPECT_EQ(R.dirsFor(L1), DirGT);
+  // Swapping the references flips the distance and direction.
+  DependenceResult R2 = testLinearPair(sub(5, 1), sub(0, 1), Common, {});
+  EXPECT_EQ(R2.dirsFor(L1), DirLT);
+  ASSERT_TRUE(R2.Directions[0].Distance.has_value());
+  EXPECT_EQ(*R2.Directions[0].Distance, 5);
+}
+
+TEST_F(DepUnitTest, NonCommonLoopTermsWidenTheEquation) {
+  // Subscripts share L1 but the source also varies in (non-common) L2 with
+  // bound 4: src = h1 + h2, dst = h1' + 20.  Max of h1 + h2 is 8 < 20:
+  // Banerjee proves independence.
+  LinearSubscript Src = sub(0, 1, 1);
+  LinearSubscript Dst = sub(20, 1);
+  std::vector<LoopBound> Common = {bound(L1, 4)};
+  std::vector<LoopBound> NonCommon = {bound(L2, 4)};
+  DependenceResult R = testLinearPair(Src, Dst, Common, NonCommon);
+  EXPECT_EQ(R.O, DependenceResult::Outcome::Independent);
+  // With delta reachable (8), dependence must be assumed.
+  DependenceResult R2 =
+      testLinearPair(Src, sub(8, 1), Common, NonCommon);
+  EXPECT_NE(R2.O, DependenceResult::Outcome::Independent);
+}
+
+TEST_F(DepUnitTest, CoupledVectorsExcludeDiagonal) {
+  // dim1: h1 == h1' (strong SIV distance 0); dim2: h1 + h2 == h1' + h2'.
+  // Vector (=, <) would need h2 < h2' with equal sums: impossible.
+  std::vector<LoopBound> Common = {bound(L1, 4), bound(L2, 4)};
+  DependenceResult D1 = testLinearPair(sub(0, 1), sub(0, 1), Common, {});
+  DependenceResult D2 =
+      testLinearPair(sub(0, 1, 1), sub(0, 1, 1), Common, {});
+  DependenceResult R = combineDimensions({D1, D2});
+  EXPECT_NE(R.O, DependenceResult::Outcome::Independent);
+  EXPECT_EQ(R.dirsFor(L1), DirEQ);
+  EXPECT_EQ(R.dirsFor(L2), DirEQ)
+      << "vector intersection must kill (=, <) and (=, >)";
+}
+
+TEST_F(DepUnitTest, ConflictingDistancesProveIndependence) {
+  std::vector<LoopBound> Common = {bound(L1, 10)};
+  DependenceResult D1 = testLinearPair(sub(0, 1), sub(1, 1), Common, {});
+  DependenceResult D2 = testLinearPair(sub(0, 1), sub(2, 1), Common, {});
+  DependenceResult R = combineDimensions({D1, D2});
+  EXPECT_EQ(R.O, DependenceResult::Outcome::Independent);
+}
+
+TEST_F(DepUnitTest, SymbolicCoefficientFallsBackSafely) {
+  // Coefficient n (symbolic): never Independent without proof.
+  LinearSubscript Src;
+  Src.Const = Affine(0);
+  Src.Coeff[L1] = Affine::symbol(F->findArgument("n"));
+  LinearSubscript Dst = sub(3, 2);
+  std::vector<LoopBound> Common = {bound(L1, 10)};
+  DependenceResult R = testLinearPair(Src, Dst, Common, {});
+  EXPECT_EQ(R.O, DependenceResult::Outcome::Maybe);
+  EXPECT_EQ(R.dirsFor(L1), DirAll);
+}
+
+TEST_F(DepUnitTest, GCDWithMixedCoefficients) {
+  // 6h - 4h' = 3: gcd 2 does not divide 3.
+  std::vector<LoopBound> Common = {bound(L1, 100)};
+  DependenceResult R = testLinearPair(sub(0, 6), sub(3, 4), Common, {});
+  EXPECT_EQ(R.O, DependenceResult::Outcome::Independent);
+  EXPECT_TRUE(R.Note.find("gcd") != std::string::npos ||
+              R.Note.find("GCD") != std::string::npos)
+      << R.Note;
+}
+
+TEST_F(DepUnitTest, DirSetRendering) {
+  EXPECT_EQ(dirSetStr(DirLT), "(<)");
+  EXPECT_EQ(dirSetStr(DirLT | DirEQ), "(<=)");
+  EXPECT_EQ(dirSetStr(DirAll), "(*)");
+  EXPECT_EQ(dirSetStr(DirNone), "()");
+  EXPECT_EQ(dirSetStr(DirLT | DirGT), "(<>)");
+}
+
+TEST_F(DepUnitTest, ZIVSymbolicDifference) {
+  // A[n] vs A[n]: identical symbolic constants -> dependent distance 0...
+  LinearSubscript S;
+  S.Const = Affine::symbol(F->findArgument("n"));
+  std::vector<LoopBound> Common = {bound(L1, 5)};
+  DependenceResult R = testLinearPair(S, S, Common, {});
+  EXPECT_NE(R.O, DependenceResult::Outcome::Independent);
+  // ...while A[n] vs A[n+1] differ by a nonzero constant: independent even
+  // though n is symbolic.
+  LinearSubscript S2 = S;
+  S2.Const += Affine(1);
+  DependenceResult R2 = testLinearPair(S, S2, Common, {});
+  // Delta = 1 is numeric; no loop terms -> ZIV: distinct.
+  EXPECT_EQ(R2.O, DependenceResult::Outcome::Independent);
+}

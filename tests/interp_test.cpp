@@ -1,0 +1,214 @@
+//===- tests/interp_test.cpp - Interpreter unit tests -------------------------===//
+
+#include "TestUtil.h"
+
+using namespace biv;
+using namespace biv::testutil;
+using namespace biv::interp;
+
+namespace {
+
+std::unique_ptr<ir::Function> build(const std::string &Src) {
+  auto F = frontend::parseAndLowerOrDie(Src);
+  ssa::buildSSA(*F);
+  ssa::verifySSAOrDie(*F);
+  return F;
+}
+
+} // namespace
+
+TEST(InterpTest, ArithmeticAndReturn) {
+  auto F = build("func f(a, b) { return (a + b) * 2 - a / b; }");
+  ExecutionTrace T = run(*F, {10, 3});
+  ASSERT_TRUE(T.ok());
+  EXPECT_EQ(T.ReturnValue, (10 + 3) * 2 - 10 / 3);
+}
+
+TEST(InterpTest, PowerOperator) {
+  auto F = build("func f(a, b) { return a ^ b; }");
+  ExecutionTrace T = run(*F, {3, 4});
+  ASSERT_TRUE(T.ok());
+  EXPECT_EQ(T.ReturnValue, 81);
+}
+
+TEST(InterpTest, NegativeExponentFails) {
+  auto F = build("func f(a) { return 2 ^ a; }");
+  ExecutionTrace T = run(*F, {-1});
+  EXPECT_FALSE(T.ok());
+  EXPECT_NE(T.Error.find("exponent"), std::string::npos);
+}
+
+TEST(InterpTest, DivisionByZeroFails) {
+  auto F = build("func f(a) { return 1 / a; }");
+  ExecutionTrace T = run(*F, {0});
+  EXPECT_FALSE(T.ok());
+  EXPECT_NE(T.Error.find("zero"), std::string::npos);
+}
+
+TEST(InterpTest, TruncatingDivision) {
+  auto F = build("func f(a, b) { return a / b; }");
+  EXPECT_EQ(run(*F, {7, 2}).ReturnValue, 3);
+  EXPECT_EQ(run(*F, {-7, 2}).ReturnValue, -3); // C++ semantics
+}
+
+TEST(InterpTest, LoopsAndConditionals) {
+  auto F = build("func f(n) {"
+                 "  s = 0;"
+                 "  for L: i = 1 to n {"
+                 "    if (i / 2 * 2 == i) { s = s + i; }"
+                 "  }"
+                 "  return s;"
+                 "}");
+  ExecutionTrace T = run(*F, {10});
+  ASSERT_TRUE(T.ok());
+  EXPECT_EQ(T.ReturnValue, 2 + 4 + 6 + 8 + 10);
+}
+
+TEST(InterpTest, WhileLoop) {
+  auto F = build("func f(n) {"
+                 "  x = 1;"
+                 "  while (x < n) { x = x * 2; }"
+                 "  return x;"
+                 "}");
+  EXPECT_EQ(run(*F, {100}).ReturnValue, 128);
+  EXPECT_EQ(run(*F, {1}).ReturnValue, 1); // zero-trip
+}
+
+TEST(InterpTest, DownToLoop) {
+  auto F = build("func f() {"
+                 "  s = 0;"
+                 "  for L: i = 5 downto 1 { s = s * 10 + i; }"
+                 "  return s;"
+                 "}");
+  EXPECT_EQ(run(*F, {}).ReturnValue, 54321);
+}
+
+TEST(InterpTest, ArrayReadWrite) {
+  auto F = build("func f(n) {"
+                 "  for L: i = 1 to n { A[i] = i * i; }"
+                 "  s = 0;"
+                 "  for M: i = 1 to n { s = s + A[i]; }"
+                 "  return s;"
+                 "}");
+  ExecutionTrace T = run(*F, {4});
+  ASSERT_TRUE(T.ok());
+  EXPECT_EQ(T.ReturnValue, 1 + 4 + 9 + 16);
+  // Access log: 4 writes then 4 reads.
+  ASSERT_EQ(T.Accesses.size(), 8u);
+  EXPECT_TRUE(T.Accesses[0].IsWrite);
+  EXPECT_FALSE(T.Accesses[7].IsWrite);
+}
+
+TEST(InterpTest, MultiDimArrays) {
+  auto F = build("func f() {"
+                 "  A[2, 3] = 42;"
+                 "  return A[2, 3] + A[3, 2];"
+                 "}");
+  ExecutionTrace T = run(*F, {});
+  ASSERT_TRUE(T.ok());
+  EXPECT_EQ(T.ReturnValue, 42); // unwritten cells read 0
+}
+
+TEST(InterpTest, SeededArrays) {
+  auto F = build("func f() { return A[5]; }");
+  ExecutionTrace T = runWithArrays(*F, {}, {{"A", {{{5}, 99}}}});
+  EXPECT_EQ(T.ReturnValue, 99);
+}
+
+TEST(InterpTest, StepLimitStopsInfiniteLoop) {
+  auto F = build("func f() {"
+                 "  x = 0;"
+                 "  loop L { x = x + 1; if (x < 0) break; }"
+                 "  return x;"
+                 "}");
+  ExecOptions Opts;
+  Opts.MaxSteps = 1000;
+  ExecutionTrace T = run(*F, {}, Opts);
+  EXPECT_TRUE(T.HitStepLimit);
+  EXPECT_FALSE(T.ok());
+}
+
+TEST(InterpTest, HistoryRecordsPerIterationValues) {
+  ssa::SSAInfo Info;
+  auto F = frontend::parseAndLowerOrDie("func f(n) {"
+                                        "  s = 0;"
+                                        "  for L: i = 1 to n { s = s + i; }"
+                                        "  return s;"
+                                        "}");
+  Info = ssa::buildSSA(*F);
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ExecutionTrace T = run(*F, {5});
+  ASSERT_TRUE(T.ok());
+  ir::Instruction *SPhi = Info.phiFor(LI.byName("L")->header(), "s");
+  ASSERT_NE(SPhi, nullptr);
+  // s at header: 0, 1, 3, 6, 10, 15 (observed on each of 6 header visits).
+  std::vector<int64_t> Expected = {0, 1, 3, 6, 10, 15};
+  EXPECT_EQ(T.sequenceOf(SPhi), Expected);
+}
+
+TEST(InterpTest, PeriodicSwapReadsOldValues) {
+  // The two-phase phi evaluation: a swap without a temporary in phi terms.
+  ssa::SSAInfo Info;
+  auto F = frontend::parseAndLowerOrDie("func f(n) {"
+                                        "  a = 1; b = 2; t = 0;"
+                                        "  for L: i = 1 to n {"
+                                        "    t = a; a = b; b = t;"
+                                        "  }"
+                                        "  return a;"
+                                        "}");
+  Info = ssa::buildSSA(*F);
+  ExecutionTrace T = run(*F, {3});
+  ASSERT_TRUE(T.ok());
+  EXPECT_EQ(T.ReturnValue, 2); // three swaps: a = 2
+}
+
+TEST(InterpTest, PoisonBlocksControlFlow) {
+  // Using a never-assigned variable in a branch is an error...
+  auto F1 = build("func f(n) {"
+                  "  loop L {"
+                  "    x = y + 1;" // y undefined on first iteration
+                  "    y = 1;"
+                  "    if (x > n) break;"
+                  "  }"
+                  "  return x;"
+                  "}");
+  ExecutionTrace T1 = run(*F1, {10});
+  EXPECT_FALSE(T1.ok());
+  EXPECT_NE(T1.Error.find("uninitialized"), std::string::npos);
+}
+
+TEST(InterpTest, PoisonHarmlessWhenUnused) {
+  // ...but a dead phi of an uninitialized variable must not abort the run
+  // (unpruned SSA creates these routinely).
+  auto F = build("func f(n) {"
+                 "  s = 0;"
+                 "  for L1: i = 1 to n {"
+                 "    t = i * 2;" // t's header phi reads undef at entry
+                 "    s = s + t;"
+                 "  }"
+                 "  return s;"
+                 "}");
+  ExecutionTrace T = run(*F, {4});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  EXPECT_EQ(T.ReturnValue, 2 + 4 + 6 + 8);
+}
+
+TEST(InterpTest, ReturnWithoutValue) {
+  auto F = build("func f() { A[1] = 2; return; }");
+  ExecutionTrace T = run(*F, {});
+  ASSERT_TRUE(T.ok());
+  EXPECT_FALSE(T.ReturnValue.has_value());
+}
+
+TEST(InterpTest, BreakLeavesLoopEarly) {
+  auto F = build("func f(n) {"
+                 "  s = 0;"
+                 "  for L: i = 1 to 100 {"
+                 "    if (i > n) break;"
+                 "    s = s + 1;"
+                 "  }"
+                 "  return s;"
+                 "}");
+  EXPECT_EQ(run(*F, {7}).ReturnValue, 7);
+}

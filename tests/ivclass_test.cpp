@@ -1,0 +1,611 @@
+//===- tests/ivclass_test.cpp - The paper's figures, sections 2-4 -------------===//
+//
+// Experiments E1-E6 of DESIGN.md: every classification example in sections
+// 2 through 4 of the paper, checked both against the tuples the paper
+// states and against the interpreter oracle (the closed form must reproduce
+// the observed execution).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace biv;
+using namespace biv::testutil;
+using ivclass::Classification;
+using ivclass::IVKind;
+using ivclass::MonotoneDir;
+
+//===----------------------------------------------------------------------===//
+// E1: basic and mutual linear induction variables (section 2, Figure 1)
+//===----------------------------------------------------------------------===//
+
+TEST(IVClassTest, BasicLinearL1) {
+  // i = i0; loop L1: i = i + k.
+  Analyzed A = analyze("func l1(i0, k, n) {"
+                       "  i = i0;"
+                       "  loop L1 {"
+                       "    i = i + k;"
+                       "    if (i > n) break;"
+                       "  }"
+                       "  return i;"
+                       "}");
+  // Header phi: (L1, i0, k).
+  const Classification &Phi = A.cls("L1", "i");
+  ASSERT_EQ(Phi.Kind, IVKind::Linear);
+  const ir::Value *I0 = A.F->findArgument("i0");
+  const ir::Value *K = A.F->findArgument("k");
+  EXPECT_EQ(Phi.Form.coeff(0), Affine::symbol(I0));
+  EXPECT_EQ(Phi.Form.coeff(1), Affine::symbol(K));
+  // The incremented value: the paper's (L1, i0+k, k).
+  const Classification &Inc = A.clsOf(A.carried("L1", "i"), "L1");
+  ASSERT_EQ(Inc.Kind, IVKind::Linear);
+  EXPECT_EQ(Inc.Form.coeff(0), Affine::symbol(I0) + Affine::symbol(K));
+  EXPECT_EQ(Inc.Form.coeff(1), Affine::symbol(K));
+}
+
+TEST(IVClassTest, MutualInductionL2) {
+  // j = n; loop L2: i = j + c; j = i + k  (both linear, step c+k).
+  Analyzed A = analyze("func l2(n, c, k) {"
+                       "  j = n;"
+                       "  i = 0;"
+                       "  loop L2 {"
+                       "    i = j + c;"
+                       "    j = i + k;"
+                       "    if (i > 100) break;"
+                       "  }"
+                       "  return j;"
+                       "}");
+  const ir::Value *N = A.F->findArgument("n");
+  const ir::Value *C = A.F->findArgument("c");
+  const ir::Value *K = A.F->findArgument("k");
+  Affine Step = Affine::symbol(C) + Affine::symbol(K);
+
+  // j2 = (L2, n, c+k), as in Figure 1.
+  const Classification &J = A.cls("L2", "j");
+  ASSERT_EQ(J.Kind, IVKind::Linear);
+  EXPECT_EQ(J.Form.coeff(0), Affine::symbol(N));
+  EXPECT_EQ(J.Form.coeff(1), Step);
+
+  // i3 = (L2, n+c, c+k) and j3 = (L2, n+c+k, c+k).
+  const Classification &I3 = A.clsOf(A.carried("L2", "i"), "L2");
+  ASSERT_EQ(I3.Kind, IVKind::Linear);
+  EXPECT_EQ(I3.Form.coeff(0), Affine::symbol(N) + Affine::symbol(C));
+  EXPECT_EQ(I3.Form.coeff(1), Step);
+  const Classification &J3 = A.clsOf(A.carried("L2", "j"), "L2");
+  ASSERT_EQ(J3.Kind, IVKind::Linear);
+  EXPECT_EQ(J3.Form.coeff(0), Affine::symbol(N) + Step);
+  EXPECT_EQ(J3.Form.coeff(1), Step);
+}
+
+TEST(IVClassTest, Figure1OracleCheck) {
+  Analyzed A = analyze("func l7(n, c, k) {"
+                       "  j = n;"
+                       "  i = 0;"
+                       "  loop L7 {"
+                       "    i = j + c;"
+                       "    j = i + k;"
+                       "    if (i > 40) break;"
+                       "  }"
+                       "  return j;"
+                       "}");
+  interp::ExecutionTrace T = interp::run(*A.F, {3, 2, 5});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  std::map<const ir::Value *, int64_t> Syms = {
+      {A.F->findArgument("n"), 3},
+      {A.F->findArgument("c"), 2},
+      {A.F->findArgument("k"), 5}};
+  expectFormMatchesTrace(A.cls("L7", "j"), A.phi("L7", "j"), T, Syms);
+  expectFormMatchesTrace(A.clsOf(A.carried("L7", "i"), "L7"),
+                         A.carried("L7", "i"), T, Syms);
+  expectFormMatchesTrace(A.clsOf(A.carried("L7", "j"), "L7"),
+                         A.carried("L7", "j"), T, Syms);
+}
+
+//===----------------------------------------------------------------------===//
+// E2: equal increments on both branches (Figure 3, loop L8)
+//===----------------------------------------------------------------------===//
+
+TEST(IVClassTest, Figure3BranchesWithEqualIncrements) {
+  Analyzed A = analyze("func l8(x, n) {"
+                       "  i = 1;"
+                       "  loop L8 {"
+                       "    if (x > 0) { i = i + 2; } else { i = i + 2; }"
+                       "    if (i > n) break;"
+                       "  }"
+                       "  return i;"
+                       "}");
+  // i2 = (L8, 1, 2): still a linear IV despite the control flow.
+  const Classification &I2 = A.cls("L8", "i");
+  ASSERT_EQ(I2.Kind, IVKind::Linear);
+  EXPECT_EQ(I2.Form.coeff(0), Affine(1));
+  EXPECT_EQ(I2.Form.coeff(1), Affine(2));
+  // The join phi (i5 in the figure) is (L8, 3, 2).
+  const Classification &I5 = A.clsOf(A.carried("L8", "i"), "L8");
+  ASSERT_EQ(I5.Kind, IVKind::Linear);
+  EXPECT_EQ(I5.Form.coeff(0), Affine(3));
+  EXPECT_EQ(I5.Form.coeff(1), Affine(2));
+}
+
+TEST(IVClassTest, UnequalIncrementsAreNotLinear) {
+  // Same shape, but +1 / +2: the figure-6 situation -> monotonic.
+  Analyzed A = analyze("func l16(x, n) {"
+                       "  k = 0;"
+                       "  loop L16 {"
+                       "    if (x > 0) { k = k + 1; } else { k = k + 2; }"
+                       "    if (k > n) break;"
+                       "  }"
+                       "  return k;"
+                       "}");
+  const Classification &K = A.cls("L16", "k");
+  ASSERT_EQ(K.Kind, IVKind::Monotonic);
+  EXPECT_EQ(K.Dir, MonotoneDir::Increasing);
+  EXPECT_TRUE(K.Strict) << "incremented on every path -> strictly monotonic";
+}
+
+//===----------------------------------------------------------------------===//
+// E3: wrap-around variables (Figure 4, loop L10)
+//===----------------------------------------------------------------------===//
+
+TEST(IVClassTest, Figure4WrapAround) {
+  Analyzed A = analyze("func l10(n) {"
+                       "  i = 1; j = 9; k = 9;"
+                       "  loop L10 {"
+                       "    k = j;"
+                       "    j = i;"
+                       "    i = i + 1;"
+                       "    if (i > n) break;"
+                       "  }"
+                       "  return k;"
+                       "}");
+  // i2 = (L10, 1, 1).
+  const Classification &I = A.cls("L10", "i");
+  ASSERT_EQ(I.Kind, IVKind::Linear);
+  EXPECT_EQ(I.Form.coeff(0), Affine(1));
+  EXPECT_EQ(I.Form.coeff(1), Affine(1));
+  // j2: first-order wrap-around of a linear IV.
+  const Classification &J = A.cls("L10", "j");
+  ASSERT_EQ(J.Kind, IVKind::WrapAround);
+  EXPECT_EQ(J.WrapOrder, 1u);
+  ASSERT_TRUE(J.Inner);
+  EXPECT_EQ(J.Inner->Kind, IVKind::Linear);
+  // k2: second-order wrap-around.
+  const Classification &K = A.cls("L10", "k");
+  ASSERT_EQ(K.Kind, IVKind::WrapAround);
+  EXPECT_EQ(K.WrapOrder, 2u);
+}
+
+TEST(IVClassTest, WrapAroundCollapsesWhenInitFits) {
+  // Paper, end of 4.1: if the initial value of j had been 0 (= i - 1 on the
+  // first iteration), j is the plain induction variable (L10, 0, 1).
+  Analyzed A = analyze("func l10b(n) {"
+                       "  i = 1; j = 0;"
+                       "  loop L10 {"
+                       "    j = i;"
+                       "    i = i + 1;"
+                       "    if (i > n) break;"
+                       "  }"
+                       "  return j;"
+                       "}");
+  const Classification &J = A.cls("L10", "j");
+  ASSERT_EQ(J.Kind, IVKind::Linear);
+  EXPECT_EQ(J.Form.coeff(0), Affine(0));
+  EXPECT_EQ(J.Form.coeff(1), Affine(1));
+}
+
+TEST(IVClassTest, WrapAroundOracle) {
+  // The wrap-around's inner sequence must match execution after the first
+  // iteration: j(h) = i(h-1) = h for h >= 1.
+  Analyzed A = analyze("func l10c(n) {"
+                       "  i = 1; j = 99;"
+                       "  loop L10 {"
+                       "    j = i;"
+                       "    i = i + 1;"
+                       "    if (i > n) break;"
+                       "  }"
+                       "  return j;"
+                       "}");
+  const Classification &J = A.cls("L10", "j");
+  ASSERT_EQ(J.Kind, IVKind::WrapAround);
+  ASSERT_TRUE(J.Inner && J.Inner->hasClosedForm());
+  interp::ExecutionTrace T = interp::run(*A.F, {8});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  const std::vector<int64_t> &Seq = T.sequenceOf(A.phi("L10", "j"));
+  ASSERT_GE(Seq.size(), 3u);
+  EXPECT_EQ(Seq[0], 99); // the wrapped first value
+  // After WrapOrder iterations the inner closed form holds; the inner form
+  // is the carried value's sequence shifted by one.
+  for (size_t H = J.WrapOrder; H < Seq.size(); ++H) {
+    Affine V = J.Inner->Form.evaluateAt(H - 1);
+    ASSERT_TRUE(V.getConstant().has_value());
+    EXPECT_EQ(V.getConstant()->getInteger(), Seq[H]) << "at h=" << H;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// E4: periodic and flip-flop variables (Figure 5, loops L11-L13)
+//===----------------------------------------------------------------------===//
+
+TEST(IVClassTest, Figure5PeriodicPeriod3) {
+  Analyzed A = analyze("func l13(n) {"
+                       "  t = 0; j = 1; k = 2; l = 3;"
+                       "  for L13: iter = 1 to n {"
+                       "    t = j;"
+                       "    j = k;"
+                       "    k = l;"
+                       "    l = t;"
+                       "  }"
+                       "  return j;"
+                       "}");
+  const Classification &J = A.cls("L13", "j");
+  const Classification &K = A.cls("L13", "k");
+  const Classification &L = A.cls("L13", "l");
+  ASSERT_EQ(J.Kind, IVKind::Periodic);
+  ASSERT_EQ(K.Kind, IVKind::Periodic);
+  ASSERT_EQ(L.Kind, IVKind::Periodic);
+  EXPECT_EQ(J.Period, 3u);
+  EXPECT_EQ(J.FamilyId, K.FamilyId);
+  EXPECT_EQ(J.FamilyId, L.FamilyId);
+  // Distinct phases.
+  EXPECT_NE(J.Phase, K.Phase);
+  EXPECT_NE(J.Phase, L.Phase);
+  EXPECT_NE(K.Phase, L.Phase);
+  // t2 is not in the region: it wraps the periodic family (paper: "note
+  // that t2 does not appear in the strongly connected region").
+  const Classification &T = A.cls("L13", "t");
+  ASSERT_EQ(T.Kind, IVKind::WrapAround);
+  ASSERT_TRUE(T.Inner);
+  EXPECT_EQ(T.Inner->Kind, IVKind::Periodic);
+}
+
+TEST(IVClassTest, PeriodicOracle) {
+  // Member at phase d must observe value Ring[(d+h) mod p] at iteration h.
+  Analyzed A = analyze("func l13(n) {"
+                       "  t = 0; j = 10; k = 20; l = 30;"
+                       "  for L13: iter = 1 to n {"
+                       "    t = j; j = k; k = l; l = t;"
+                       "  }"
+                       "  return j;"
+                       "}");
+  interp::ExecutionTrace T = interp::run(*A.F, {7});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  for (const char *Var : {"j", "k", "l"}) {
+    const Classification &C = A.cls("L13", Var);
+    ASSERT_EQ(C.Kind, IVKind::Periodic) << Var;
+    const std::vector<int64_t> &Seq = T.sequenceOf(A.phi("L13", Var));
+    ASSERT_FALSE(Seq.empty());
+    for (size_t H = 0; H < Seq.size(); ++H) {
+      const Affine &Init = C.RingInits[(C.Phase + H) % C.Period];
+      ASSERT_TRUE(Init.getConstant().has_value());
+      EXPECT_EQ(Init.getConstant()->getInteger(), Seq[H])
+          << Var << " at h=" << H;
+    }
+  }
+}
+
+TEST(IVClassTest, FlipFlopSwapL11) {
+  // jtemp = jold; jold = j; j = jtemp: a period-2 rotation.
+  Analyzed A = analyze("func l11(n) {"
+                       "  j = 1; jold = 2; jtemp = 0;"
+                       "  for L11: iter = 1 to n {"
+                       "    jtemp = jold;"
+                       "    jold = j;"
+                       "    j = jtemp;"
+                       "  }"
+                       "  return j;"
+                       "}");
+  const Classification &J = A.cls("L11", "j");
+  const Classification &JO = A.cls("L11", "jold");
+  ASSERT_EQ(J.Kind, IVKind::Periodic);
+  ASSERT_EQ(JO.Kind, IVKind::Periodic);
+  EXPECT_EQ(J.Period, 2u);
+  EXPECT_TRUE(J.isFlipFlop());
+  EXPECT_EQ(J.FamilyId, JO.FamilyId);
+  EXPECT_NE(J.Phase, JO.Phase);
+}
+
+TEST(IVClassTest, FlipFlopArithmeticL12) {
+  // j = 3 - j: the paper recognizes this as geometric with base -1
+  // (cumulative effect: subtract the loop-header value from an invariant).
+  Analyzed A = analyze("func l12(n) {"
+                       "  j = 1; jold = 2;"
+                       "  for L12: iter = 1 to n {"
+                       "    j = 3 - j;"
+                       "    jold = 3 - jold;"
+                       "  }"
+                       "  return j;"
+                       "}");
+  const Classification &J = A.cls("L12", "j");
+  ASSERT_EQ(J.Kind, IVKind::Geometric);
+  EXPECT_TRUE(J.isFlipFlop());
+  // j(h) = 3/2 - 1/2 * (-1)^h: alternates 1, 2, 1, 2...
+  EXPECT_EQ(J.Form.coeff(0), Affine(Rational(3, 2)));
+  auto It = J.Form.geoTerms().find(-1);
+  ASSERT_TRUE(It != J.Form.geoTerms().end());
+  EXPECT_EQ(It->second, Affine(Rational(-1, 2)));
+  // Oracle.
+  interp::ExecutionTrace T = interp::run(*A.F, {6});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  expectFormMatchesTrace(J, A.phi("L12", "j"), T);
+}
+
+//===----------------------------------------------------------------------===//
+// E5: polynomial and geometric induction variables (section 4.3, loop L14)
+//===----------------------------------------------------------------------===//
+
+TEST(IVClassTest, LoopL14Polynomials) {
+  Analyzed A = analyze("func l14(n) {"
+                       "  j = 1; k = 1; l = 1; m = 0;"
+                       "  for L14: i = 1 to n {"
+                       "    j = j + i;"
+                       "    k = k + j + 1;"
+                       "    l = l * 2 + 1;"
+                       "    m = 3*m + 2*i + 1;"
+                       "  }"
+                       "  return k;"
+                       "}");
+  // i = (L14, 1, 1).
+  const Classification &I = A.cls("L14", "i");
+  ASSERT_EQ(I.Kind, IVKind::Linear);
+  EXPECT_EQ(I.Form.coeff(0), Affine(1));
+  EXPECT_EQ(I.Form.coeff(1), Affine(1));
+
+  // j's updated value follows (h^2 + 3h + 4) / 2  (the paper's table).
+  const Classification &J3 = A.clsOf(A.carried("L14", "j"), "L14");
+  ASSERT_EQ(J3.Kind, IVKind::Polynomial);
+  EXPECT_EQ(J3.Form.coeff(0), Affine(2));
+  EXPECT_EQ(J3.Form.coeff(1), Affine(Rational(3, 2)));
+  EXPECT_EQ(J3.Form.coeff(2), Affine(Rational(1, 2)));
+
+  // k's updated value follows (h^3 + 6h^2 + 23h + 24) / 6.
+  const Classification &K3 = A.clsOf(A.carried("L14", "k"), "L14");
+  ASSERT_EQ(K3.Kind, IVKind::Polynomial);
+  EXPECT_EQ(K3.Form.coeff(0), Affine(4));
+  EXPECT_EQ(K3.Form.coeff(1), Affine(Rational(23, 6)));
+  EXPECT_EQ(K3.Form.coeff(2), Affine(1));
+  EXPECT_EQ(K3.Form.coeff(3), Affine(Rational(1, 6)));
+
+  // l's updated value follows 2^(h+2) - 1 (the paper's 2^{h+2} - 1).
+  const Classification &L3 = A.clsOf(A.carried("L14", "l"), "L14");
+  ASSERT_EQ(L3.Kind, IVKind::Geometric);
+  EXPECT_EQ(L3.Form.coeff(0), Affine(-1));
+  auto GIt = L3.Form.geoTerms().find(2);
+  ASSERT_TRUE(GIt != L3.Form.geoTerms().end());
+  EXPECT_EQ(GIt->second, Affine(4));
+
+  // m = 3m + 2i + 1: the paper's geometric example, 6*3^h - h - 3 for the
+  // updated value; note there is no quadratic term after all.
+  const Classification &M3 = A.clsOf(A.carried("L14", "m"), "L14");
+  ASSERT_EQ(M3.Kind, IVKind::Geometric);
+  EXPECT_EQ(M3.Form.degree(), 1u) << "no quadratic term, as the paper notes";
+  EXPECT_EQ(M3.Form.coeff(0), Affine(-3));
+  EXPECT_EQ(M3.Form.coeff(1), Affine(-1));
+  auto MIt = M3.Form.geoTerms().find(3);
+  ASSERT_TRUE(MIt != M3.Form.geoTerms().end());
+  EXPECT_EQ(MIt->second, Affine(6));
+}
+
+TEST(IVClassTest, LoopL14Oracle) {
+  Analyzed A = analyze("func l14(n) {"
+                       "  j = 1; k = 1; l = 1; m = 0;"
+                       "  for L14: i = 1 to n {"
+                       "    j = j + i;"
+                       "    k = k + j + 1;"
+                       "    l = l * 2 + 1;"
+                       "    m = 3*m + 2*i + 1;"
+                       "  }"
+                       "  return k;"
+                       "}");
+  interp::ExecutionTrace T = interp::run(*A.F, {10});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  for (const char *Var : {"j", "k", "l", "m"}) {
+    ir::Instruction *Carried = A.carried("L14", Var);
+    expectFormMatchesTrace(A.clsOf(Carried, "L14"), Carried, T);
+    expectFormMatchesTrace(A.cls("L14", Var), A.phi("L14", Var), T);
+  }
+}
+
+TEST(IVClassTest, PowerOperatorGeometric) {
+  // p = 2^i with i = (L, 0, 1) classifies as the exponential 1*2^h.
+  Analyzed A = analyze("func pw(n) {"
+                       "  p = 0;"
+                       "  for L1: i = 0 to n {"
+                       "    p = 2 ^ i;"
+                       "    A[p] = p;"
+                       "  }"
+                       "  return p;"
+                       "}");
+  // p's assignment is 2^i; find it as the stored value's class.
+  analysis::Loop *L = A.loop("L1");
+  const ir::Instruction *Exp = nullptr;
+  for (ir::BasicBlock *BB : L->blocks())
+    for (const auto &I : *BB)
+      if (I->opcode() == ir::Opcode::Exp)
+        Exp = I.get();
+  ASSERT_NE(Exp, nullptr);
+  const Classification &P = A.clsOf(Exp, "L1");
+  ASSERT_EQ(P.Kind, IVKind::Geometric);
+  auto It = P.Form.geoTerms().find(2);
+  ASSERT_TRUE(It != P.Form.geoTerms().end());
+  EXPECT_EQ(It->second, Affine(1));
+  interp::ExecutionTrace T = interp::run(*A.F, {12});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  expectFormMatchesTrace(P, Exp, T);
+}
+
+//===----------------------------------------------------------------------===//
+// E6: monotonic variables (section 4.4, Figures 6 and 10)
+//===----------------------------------------------------------------------===//
+
+TEST(IVClassTest, ConditionalIncrementIsMonotonic) {
+  // Loop L15's pack pattern: k incremented only when A(i) > 0.
+  Analyzed A = analyze("func l15(n) {"
+                       "  k = 0;"
+                       "  for L15: i = 1 to n {"
+                       "    if (A[i] > 0) {"
+                       "      k = k + 1;"
+                       "      B[k] = A[i];"
+                       "    }"
+                       "  }"
+                       "  return k;"
+                       "}");
+  const Classification &K = A.cls("L15", "k");
+  ASSERT_EQ(K.Kind, IVKind::Monotonic);
+  EXPECT_EQ(K.Dir, MonotoneDir::Increasing);
+  EXPECT_FALSE(K.Strict) << "k can stay unchanged on the else path";
+}
+
+TEST(IVClassTest, Figure6StrictlyMonotonic) {
+  // +1 or +2 on every path: strictly monotonically increasing.
+  Analyzed A = analyze("func l16(n) {"
+                       "  k = 0;"
+                       "  for L16: i = 1 to n {"
+                       "    if (A[i] > 0) { k = k + 1; } else { k = k + 2; }"
+                       "  }"
+                       "  return k;"
+                       "}");
+  const Classification &K = A.cls("L16", "k");
+  ASSERT_EQ(K.Kind, IVKind::Monotonic);
+  EXPECT_TRUE(K.Strict);
+  // Oracle on a mixed array.
+  interp::ExecutionTrace T = interp::runWithArrays(
+      *A.F, {6},
+      {{"A", {{{1}, 5}, {{2}, -1}, {{3}, 2}, {{4}, 0}, {{5}, 7}, {{6}, 1}}}});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  expectMonotoneTrace(K, A.phi("L16", "k"), T);
+}
+
+TEST(IVClassTest, MonotonicDecreasing) {
+  Analyzed A = analyze("func dec(n) {"
+                       "  k = 100;"
+                       "  for L1: i = 1 to n {"
+                       "    if (A[i] > 0) { k = k - 1; } else { k = k - 3; }"
+                       "  }"
+                       "  return k;"
+                       "}");
+  const Classification &K = A.cls("L1", "k");
+  ASSERT_EQ(K.Kind, IVKind::Monotonic);
+  EXPECT_EQ(K.Dir, MonotoneDir::Decreasing);
+  EXPECT_TRUE(K.Strict);
+}
+
+TEST(IVClassTest, MonotonicWithMultiply) {
+  // The paper's "2*i+i as long as the initial value of i is known":
+  // i' = 3i with i0 = 1 is strictly increasing (also solvable as geometric,
+  // so check the closed form instead).
+  Analyzed A = analyze("func tri3(n) {"
+                       "  i = 1;"
+                       "  loop L1 {"
+                       "    i = 2*i + i;"
+                       "    if (i > n) break;"
+                       "  }"
+                       "  return i;"
+                       "}");
+  const Classification &I = A.cls("L1", "i");
+  ASSERT_EQ(I.Kind, IVKind::Geometric);
+  auto It = I.Form.geoTerms().find(3);
+  ASSERT_TRUE(It != I.Form.geoTerms().end());
+  EXPECT_EQ(It->second, Affine(1)); // i(h) = 3^h
+}
+
+TEST(IVClassTest, ConditionalMultiplyIsMonotonic) {
+  // Conditionally doubling with positive start: monotonic, not geometric.
+  Analyzed A = analyze("func cm(n) {"
+                       "  i = 1;"
+                       "  for L1: t = 1 to n {"
+                       "    if (A[t] > 0) { i = 2 * i; } else { i = i + 1; }"
+                       "  }"
+                       "  return i;"
+                       "}");
+  const Classification &I = A.cls("L1", "i");
+  ASSERT_EQ(I.Kind, IVKind::Monotonic);
+  EXPECT_EQ(I.Dir, MonotoneDir::Increasing);
+  EXPECT_TRUE(I.Strict);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression algebra over the classes (section 5.1)
+//===----------------------------------------------------------------------===//
+
+TEST(IVClassTest, DerivedExpressionsClassify) {
+  Analyzed A = analyze("func expr(n, c) {"
+                       "  k = 0;"
+                       "  for L1: i = 1 to n {"
+                       "    A[2*i + 1] = i;"       // linear 3+2h
+                       "    A[i*i] = i;"           // polynomial (1+h)^2
+                       "    A[c - i] = i;"         // linear, symbolic
+                       "    if (A[i] > 0) { k = k + 1; }"
+                       "    A[k + 5] = i;"         // monotonic + invariant
+                       "  }"
+                       "  return k;"
+                       "}");
+  analysis::Loop *L = A.loop("L1");
+  std::vector<const ir::Instruction *> Stores;
+  for (ir::BasicBlock *BB : L->blocks())
+    for (const auto &I : *BB)
+      if (I->opcode() == ir::Opcode::ArrayStore)
+        Stores.push_back(I.get());
+  ASSERT_EQ(Stores.size(), 4u);
+
+  // 2*i + 1 -> (L1, 3, 2).
+  const Classification &S0 = A.clsOf(Stores[0]->operand(1), "L1");
+  ASSERT_EQ(S0.Kind, IVKind::Linear);
+  EXPECT_EQ(S0.Form.coeff(0), Affine(3));
+  EXPECT_EQ(S0.Form.coeff(1), Affine(2));
+
+  // i*i -> polynomial 1 + 2h + h^2.
+  const Classification &S1 = A.clsOf(Stores[1]->operand(1), "L1");
+  ASSERT_EQ(S1.Kind, IVKind::Polynomial);
+  EXPECT_EQ(S1.Form.coeff(2), Affine(1));
+
+  // c - i -> linear with negative step and symbolic base.
+  const Classification &S2 = A.clsOf(Stores[2]->operand(1), "L1");
+  ASSERT_EQ(S2.Kind, IVKind::Linear);
+  EXPECT_EQ(S2.Form.coeff(1), Affine(-1));
+
+  // k + 5 -> monotonic increasing.
+  const Classification &S3 = A.clsOf(Stores[3]->operand(1), "L1");
+  ASSERT_EQ(S3.Kind, IVKind::Monotonic);
+  EXPECT_EQ(S3.Dir, MonotoneDir::Increasing);
+}
+
+TEST(IVClassTest, InvariantOperationsStayInvariant) {
+  Analyzed A = analyze("func inv(n, m) {"
+                       "  for L1: i = 1 to n {"
+                       "    A[n * m] = i;"  // symbol product: opaque invariant
+                       "    A[n + 3] = i;"  // affine invariant
+                       "  }"
+                       "  return 0;"
+                       "}");
+  analysis::Loop *L = A.loop("L1");
+  std::vector<const ir::Instruction *> Stores;
+  for (ir::BasicBlock *BB : L->blocks())
+    for (const auto &I : *BB)
+      if (I->opcode() == ir::Opcode::ArrayStore)
+        Stores.push_back(I.get());
+  ASSERT_EQ(Stores.size(), 2u);
+  EXPECT_TRUE(A.clsOf(Stores[0]->operand(1), "L1").isInvariant());
+  const Classification &C1 = A.clsOf(Stores[1]->operand(1), "L1");
+  ASSERT_TRUE(C1.isInvariant());
+  EXPECT_EQ(C1.Form.initialValue(),
+            Affine::symbol(A.F->findArgument("n")) + Affine(3));
+}
+
+TEST(IVClassTest, NegatedIVIsLinear) {
+  Analyzed A = analyze("func neg(n) {"
+                       "  for L1: i = 1 to n {"
+                       "    A[-i] = i;"
+                       "  }"
+                       "  return 0;"
+                       "}");
+  analysis::Loop *L = A.loop("L1");
+  const ir::Instruction *Store = nullptr;
+  for (ir::BasicBlock *BB : L->blocks())
+    for (const auto &I : *BB)
+      if (I->opcode() == ir::Opcode::ArrayStore)
+        Store = I.get();
+  ASSERT_NE(Store, nullptr);
+  const Classification &C = A.clsOf(Store->operand(1), "L1");
+  ASSERT_EQ(C.Kind, IVKind::Linear);
+  EXPECT_EQ(C.Form.coeff(0), Affine(-1));
+  EXPECT_EQ(C.Form.coeff(1), Affine(-1));
+}

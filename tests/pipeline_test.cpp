@@ -1,0 +1,216 @@
+//===- tests/pipeline_test.cpp - Frontend -> SSA smoke tests -----------------===//
+//
+// End-to-end checks that source text parses, lowers, converts to SSA, and
+// passes the verifiers; detailed per-pass behaviour is tested elsewhere.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "frontend/Lowering.h"
+#include "frontend/Parser.h"
+#include "ir/Printer.h"
+#include "ssa/SCCP.h"
+#include "ssa/SSABuilder.h"
+#include "ssa/SSAVerifier.h"
+#include <gtest/gtest.h>
+
+using namespace biv;
+
+namespace {
+
+std::unique_ptr<ir::Function> makeSSA(const std::string &Src,
+                                      ssa::SSAInfo *InfoOut = nullptr) {
+  auto F = frontend::parseAndLowerOrDie(Src);
+  ssa::SSAInfo Info = ssa::buildSSA(*F);
+  ssa::verifySSAOrDie(*F);
+  if (InfoOut)
+    *InfoOut = std::move(Info);
+  return F;
+}
+
+} // namespace
+
+TEST(PipelineTest, StraightLine) {
+  auto F = makeSSA("func f(n) { x = n + 1; y = x * 2; return y; }");
+  // All scalar traffic promoted: no loadvar/storevar anywhere.
+  for (const auto &BB : F->blocks())
+    for (const auto &I : *BB) {
+      EXPECT_NE(I->opcode(), ir::Opcode::LoadVar);
+      EXPECT_NE(I->opcode(), ir::Opcode::StoreVar);
+    }
+}
+
+TEST(PipelineTest, PaperFigure1LoopL7) {
+  // j = n; loop L7: i = j+c; j = i+k; endloop
+  ssa::SSAInfo Info;
+  auto F = makeSSA("func l7(n, c, k) {"
+                   "  j = n;"
+                   "  loop L7 {"
+                   "    i = j + c;"
+                   "    j = i + k;"
+                   "    if (i > 100) break;"
+                   "  }"
+                   "  return j;"
+                   "}",
+                   &Info);
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  analysis::Loop *L = LI.byName("L7");
+  ASSERT_NE(L, nullptr);
+  // The loop-header phi for j exists and merges n with the loop value,
+  // mirroring Figure 1(b)'s j2 = phi(j1, j3).
+  ir::Instruction *JPhi = Info.phiFor(L->header(), "j");
+  ASSERT_NE(JPhi, nullptr);
+  EXPECT_EQ(JPhi->numOperands(), 2u);
+  // One incoming is the argument n (via the preheader).
+  bool HasN = false;
+  for (ir::Value *Op : JPhi->operands())
+    HasN |= ir::isa<ir::Argument>(Op) && Op->name() == "n";
+  EXPECT_TRUE(HasN);
+}
+
+TEST(PipelineTest, IfElseProducesJoinPhi) {
+  ssa::SSAInfo Info;
+  auto F = makeSSA("func g(n) {"
+                   "  if (n > 0) { x = 1; } else { x = 2; }"
+                   "  return x;"
+                   "}",
+                   &Info);
+  // Exactly one phi merges x at the join.
+  unsigned Phis = 0;
+  for (const auto &BB : F->blocks())
+    Phis += BB->phis().size();
+  EXPECT_EQ(Phis, 1u);
+}
+
+TEST(PipelineTest, ForLoopShape) {
+  auto F = makeSSA("func h(n) {"
+                   "  s = 0;"
+                   "  for L1: i = 1 to n {"
+                   "    s = s + i;"
+                   "  }"
+                   "  return s;"
+                   "}");
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const analysis::Loop *L = LI.loops()[0].get();
+  EXPECT_EQ(L->name(), "L1");
+  EXPECT_NE(L->preheader(), nullptr);
+  EXPECT_EQ(L->latches().size(), 1u);
+  EXPECT_EQ(L->depth(), 1u);
+}
+
+TEST(PipelineTest, NestedLoopsDepths) {
+  auto F = makeSSA("func nest(n) {"
+                   "  for L1: i = 1 to n {"
+                   "    for L2: j = 1 to i {"
+                   "      A[i, j] = i + j;"
+                   "    }"
+                   "  }"
+                   "  return 0;"
+                   "}");
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  analysis::Loop *L1 = LI.byName("L1");
+  analysis::Loop *L2 = LI.byName("L2");
+  ASSERT_NE(L1, nullptr);
+  ASSERT_NE(L2, nullptr);
+  EXPECT_EQ(L2->parent(), L1);
+  EXPECT_EQ(L1->depth(), 1u);
+  EXPECT_EQ(L2->depth(), 2u);
+  EXPECT_TRUE(L1->encloses(L2));
+  EXPECT_FALSE(L2->encloses(L1));
+  // Inner-to-outer traversal: L2 before L1.
+  std::vector<analysis::Loop *> Order = LI.innerToOuter();
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], L2);
+  EXPECT_EQ(Order[1], L1);
+}
+
+TEST(PipelineTest, SCCPFoldsConstants) {
+  auto F = makeSSA("func c() { x = 2 + 3; y = x * 4; return y; }");
+  ssa::SCCPResult R = ssa::runSCCP(*F);
+  EXPECT_GE(R.FoldedInstructions, 2u);
+  // return now uses the literal 20.
+  const ir::Instruction *Ret = nullptr;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : *BB)
+      if (I->opcode() == ir::Opcode::Ret)
+        Ret = I.get();
+  ASSERT_NE(Ret, nullptr);
+  ASSERT_EQ(Ret->numOperands(), 1u);
+  const auto *C = ir::dyn_cast<ir::Constant>(Ret->operand(0));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->value(), 20);
+}
+
+TEST(PipelineTest, SCCPPrunesDeadBranch) {
+  auto F = makeSSA("func d(n) {"
+                   "  if (1 > 2) { x = n; } else { x = 7; }"
+                   "  return x;"
+                   "}");
+  size_t Before = F->numBlocks();
+  ssa::SCCPResult R = ssa::runSCCP(*F);
+  EXPECT_GE(R.SimplifiedBranches, 1u);
+  EXPECT_GT(R.RemovedBlocks, 0u);
+  EXPECT_LT(F->numBlocks(), Before);
+  ssa::verifySSAOrDie(*F);
+}
+
+TEST(PipelineTest, ParserReportsErrors) {
+  frontend::Parser P("func broken( { }");
+  EXPECT_EQ(P.parseFunction(), nullptr);
+  EXPECT_FALSE(P.errors().empty());
+}
+
+TEST(PipelineTest, SemanticErrorUndefinedName) {
+  std::vector<std::string> Errors;
+  auto F = frontend::parseAndLower("func bad() { x = y + 1; return x; }",
+                                   Errors);
+  EXPECT_EQ(F, nullptr);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("undefined name"), std::string::npos);
+}
+
+TEST(PipelineTest, SemanticErrorRankMismatch) {
+  std::vector<std::string> Errors;
+  auto F = frontend::parseAndLower(
+      "func bad(n) { A[1] = 0; A[1, 2] = n; return 0; }", Errors);
+  EXPECT_EQ(F, nullptr);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("inconsistent rank"), std::string::npos);
+}
+
+TEST(PipelineTest, BreakOutsideLoopIsError) {
+  std::vector<std::string> Errors;
+  auto F = frontend::parseAndLower("func bad() { break; }", Errors);
+  EXPECT_EQ(F, nullptr);
+}
+
+TEST(PipelineTest, WrapAroundFigure4SSAShape) {
+  // Figure 4: k = j; j = i; i = i + 1 inside loop L10.
+  ssa::SSAInfo Info;
+  auto F = makeSSA("func l10(n) {"
+                   "  i = 1; j = 0; k = 0;"
+                   "  loop L10 {"
+                   "    k = j;"
+                   "    j = i;"
+                   "    i = i + 1;"
+                   "    if (i > n) break;"
+                   "  }"
+                   "  return k;"
+                   "}",
+                   &Info);
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  analysis::Loop *L = LI.byName("L10");
+  ASSERT_NE(L, nullptr);
+  // Header carries phis for i, j and k as in Figure 4(b).
+  EXPECT_NE(Info.phiFor(L->header(), "i"), nullptr);
+  EXPECT_NE(Info.phiFor(L->header(), "j"), nullptr);
+  EXPECT_NE(Info.phiFor(L->header(), "k"), nullptr);
+}

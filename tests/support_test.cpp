@@ -1,0 +1,238 @@
+//===- tests/support_test.cpp - Rational/Affine/Matrix unit tests ------------===//
+
+#include "support/Affine.h"
+#include "support/Matrix.h"
+#include "support/Rational.h"
+#include <gtest/gtest.h>
+
+using namespace biv;
+
+//===----------------------------------------------------------------------===//
+// Rational
+//===----------------------------------------------------------------------===//
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational R;
+  EXPECT_TRUE(R.isZero());
+  EXPECT_TRUE(R.isInteger());
+  EXPECT_EQ(R.getInteger(), 0);
+}
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational R(6, -8);
+  EXPECT_EQ(R.numerator(), -3);
+  EXPECT_EQ(R.denominator(), 4);
+  EXPECT_TRUE(R.isNegative());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_NE(Rational(1, 3), Rational(1, 2));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+}
+
+TEST(RationalTest, Pow) {
+  EXPECT_EQ(Rational(2).pow(10), Rational(1024));
+  EXPECT_EQ(Rational(-3).pow(3), Rational(-27));
+  EXPECT_EQ(Rational(2).pow(0), Rational(1));
+  EXPECT_EQ(Rational(2).pow(-2), Rational(1, 4));
+  EXPECT_EQ(Rational(1, 2).pow(3), Rational(1, 8));
+}
+
+TEST(RationalTest, Str) {
+  EXPECT_EQ(Rational(5).str(), "5");
+  EXPECT_EQ(Rational(-3, 2).str(), "-3/2");
+}
+
+TEST(RationalTest, LargeIntermediates) {
+  // (1/3e9) + (1/3e9) must reduce through 128-bit intermediates.
+  Rational A(1, 3000000000LL);
+  Rational Sum = A + A;
+  EXPECT_EQ(Sum, Rational(1, 1500000000LL));
+}
+
+TEST(RationalTest, Gcd64) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Affine
+//===----------------------------------------------------------------------===//
+
+namespace {
+int SymA, SymB; // arbitrary distinct addresses as symbols
+} // namespace
+
+TEST(AffineTest, ConstantOnly) {
+  Affine A(Rational(3, 2));
+  EXPECT_TRUE(A.isConstant());
+  EXPECT_EQ(*A.getConstant(), Rational(3, 2));
+}
+
+TEST(AffineTest, SymbolArithmetic) {
+  Affine N = Affine::symbol(&SymA);
+  Affine E = N + Affine(2);            // n + 2
+  Affine F = E * Rational(3);          // 3n + 6
+  EXPECT_EQ(F.coefficientOf(&SymA), Rational(3));
+  EXPECT_EQ(F.constantPart(), Rational(6));
+  EXPECT_FALSE(F.isConstant());
+}
+
+TEST(AffineTest, CancellationRemovesTerms) {
+  Affine N = Affine::symbol(&SymA);
+  Affine Z = N - N;
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_TRUE(Z.isConstant());
+}
+
+TEST(AffineTest, MulRequiresConstantSide) {
+  Affine N = Affine::symbol(&SymA);
+  Affine M = Affine::symbol(&SymB);
+  EXPECT_FALSE(Affine::mul(N, M).has_value());
+  auto P = Affine::mul(N + Affine(1), Affine(4));
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->coefficientOf(&SymA), Rational(4));
+  EXPECT_EQ(P->constantPart(), Rational(4));
+}
+
+TEST(AffineTest, Equality) {
+  Affine X = Affine::symbol(&SymA) + Affine(1);
+  Affine Y = Affine(1) + Affine::symbol(&SymA);
+  EXPECT_EQ(X, Y);
+  EXPECT_NE(X, X + Affine(1));
+}
+
+TEST(AffineTest, Printing) {
+  auto Namer = [](SymbolRef S) {
+    return S == &SymA ? std::string("n") : std::string("m");
+  };
+  Affine E = Affine::symbol(&SymA) * Rational(2) + Affine(Rational(1, 2));
+  EXPECT_EQ(E.str(Namer), "1/2 + 2*n");
+  Affine Neg = -Affine::symbol(&SymA) + Affine(3);
+  EXPECT_EQ(Neg.str(Namer), "3 - n");
+  EXPECT_EQ(Affine().str(), "0");
+}
+
+//===----------------------------------------------------------------------===//
+// RatMatrix
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixTest, IdentityInverse) {
+  RatMatrix I = RatMatrix::identity(3);
+  auto Inv = I.inverse();
+  ASSERT_TRUE(Inv.has_value());
+  EXPECT_EQ(*Inv, I);
+}
+
+TEST(MatrixTest, SingularHasNoInverse) {
+  RatMatrix M(2, 2);
+  M.at(0, 0) = Rational(1);
+  M.at(0, 1) = Rational(2);
+  M.at(1, 0) = Rational(2);
+  M.at(1, 1) = Rational(4);
+  EXPECT_FALSE(M.inverse().has_value());
+}
+
+TEST(MatrixTest, PaperVandermondeExample) {
+  // Section 4.3: k in loop L14 is a third-order polynomial IV; the matrix of
+  // h^k values for h = 0..3 must invert exactly over the rationals.
+  RatMatrix A(4, 4);
+  for (unsigned H = 0; H < 4; ++H)
+    for (unsigned K = 0; K < 4; ++K)
+      A.at(H, K) = Rational(int64_t(H)).pow(K);
+  auto Inv = A.inverse();
+  ASSERT_TRUE(Inv.has_value());
+  EXPECT_EQ(*Inv * A, RatMatrix::identity(4));
+
+  // Multiplying the inverse by the first four values of k (4, 9, 17, 29)
+  // yields the closed-form coefficients (24 23 6 1)/6, i.e.
+  // k(h) = (h^3 + 6h^2 + 23h + 24) / 6.
+  std::vector<Affine> B = {Affine(4), Affine(9), Affine(17), Affine(29)};
+  auto X = A.solveAffine(B);
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ(*(*X)[0].getConstant(), Rational(4));
+  EXPECT_EQ(*(*X)[1].getConstant(), Rational(23, 6));
+  EXPECT_EQ(*(*X)[2].getConstant(), Rational(1));
+  EXPECT_EQ(*(*X)[3].getConstant(), Rational(1, 6));
+}
+
+TEST(MatrixTest, SolveWithSymbolicRHS) {
+  // x0 + x1*h for h=0,1 with symbolic first values (n, n+s).
+  int N, S;
+  RatMatrix A(2, 2);
+  A.at(0, 0) = Rational(1);
+  A.at(0, 1) = Rational(0);
+  A.at(1, 0) = Rational(1);
+  A.at(1, 1) = Rational(1);
+  std::vector<Affine> B = {Affine::symbol(&N),
+                           Affine::symbol(&N) + Affine::symbol(&S)};
+  auto X = A.solveAffine(B);
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ((*X)[0], Affine::symbol(&N));
+  EXPECT_EQ((*X)[1], Affine::symbol(&S));
+}
+
+TEST(MatrixTest, GeometricPaperMatrix) {
+  // Section 4.3's geometric example m = 3*m + 2*i + 1: matrix rows are
+  // [1 h h^2 3^h] for h = 0..3.
+  RatMatrix A(4, 4);
+  for (unsigned H = 0; H < 4; ++H) {
+    A.at(H, 0) = Rational(1);
+    A.at(H, 1) = Rational(int64_t(H));
+    A.at(H, 2) = Rational(int64_t(H)).pow(2);
+    A.at(H, 3) = Rational(3).pow(int64_t(H));
+  }
+  ASSERT_TRUE(A.inverse().has_value());
+  // First values of m starting at 0 with i = h+1: m' = 3m + 2(h+1) + 1.
+  // m(0)=0, m(1)=3, m(2)=14, m(3)=49.
+  std::vector<Affine> B = {Affine(0), Affine(3), Affine(14), Affine(49)};
+  auto X = A.solveAffine(B);
+  ASSERT_TRUE(X.has_value());
+  // Verify the closed form reproduces the sequence (coefficients are exact).
+  for (int64_t H = 0; H <= 3; ++H) {
+    Rational V = *(*X)[0].getConstant() +
+                 *(*X)[1].getConstant() * Rational(H) +
+                 *(*X)[2].getConstant() * Rational(H).pow(2) +
+                 *(*X)[3].getConstant() * Rational(3).pow(H);
+    EXPECT_EQ(V, *B[H].getConstant());
+  }
+  // No quadratic term survives, as the paper notes.
+  EXPECT_EQ(*(*X)[2].getConstant(), Rational(0));
+}
+
+TEST(MatrixTest, MultiplyShapes) {
+  RatMatrix A(2, 3), B(3, 2);
+  for (unsigned R = 0; R < 2; ++R)
+    for (unsigned C = 0; C < 3; ++C)
+      A.at(R, C) = Rational(R + C);
+  for (unsigned R = 0; R < 3; ++R)
+    for (unsigned C = 0; C < 2; ++C)
+      B.at(R, C) = Rational(int64_t(R) - int64_t(C));
+  RatMatrix P = A * B;
+  EXPECT_EQ(P.rows(), 2u);
+  EXPECT_EQ(P.cols(), 2u);
+  // Row 0 of A = (0 1 2), col 0 of B = (0 1 2) -> 5.
+  EXPECT_EQ(P.at(0, 0), Rational(5));
+}

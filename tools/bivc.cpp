@@ -1,0 +1,202 @@
+//===- tools/bivc.cpp - BeyondIV command-line driver ---------------------------===//
+//
+// The project's compiler-driver face: parse a loop-language file, run the
+// pipeline, and print whatever the flags ask for.
+//
+//   bivc FILE [options] [-- args...]
+//     --ir               print the SSA-form IR
+//     --classify         print the classification report (default)
+//     --all-values       classify every value, not just header phis
+//     --deps             print the dependence report
+//     --trip-counts      print per-loop trip counts
+//     --peel=LOOP[:N]    peel N (default 1) iterations off LOOP first
+//     --strength-reduce  run strength reduction and print the IR after
+//     --no-sccp          skip constant propagation
+//     --run              interpret the program with the given integer args
+//
+//===----------------------------------------------------------------------===//
+
+#include "dependence/DependenceAnalyzer.h"
+#include "frontend/Lowering.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ivclass/Pipeline.h"
+#include "ivclass/Report.h"
+#include "ssa/SCCP.h"
+#include "ssa/SSABuilder.h"
+#include "ssa/SSAVerifier.h"
+#include "transform/LoopPeel.h"
+#include "transform/StrengthReduce.h"
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace biv;
+
+namespace {
+
+struct CliOptions {
+  std::string File;
+  bool PrintIR = false;
+  bool Classify = false;
+  bool AllValues = false;
+  bool Deps = false;
+  bool TripCounts = false;
+  bool StrengthReduce = false;
+  bool RunSCCP = true;
+  bool Run = false;
+  std::string PeelLoop;
+  unsigned PeelTimes = 1;
+  std::vector<int64_t> RunArgs;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bivc FILE [--ir] [--classify] [--all-values] "
+               "[--deps] [--trip-counts]\n"
+               "            [--peel=LOOP[:N]] [--strength-reduce] "
+               "[--no-sccp] [--run] [-- args...]\n");
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  bool AfterDashes = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (AfterDashes) {
+      O.RunArgs.push_back(std::strtoll(A.c_str(), nullptr, 10));
+      continue;
+    }
+    if (A == "--") {
+      AfterDashes = true;
+    } else if (A == "--ir") {
+      O.PrintIR = true;
+    } else if (A == "--classify") {
+      O.Classify = true;
+    } else if (A == "--all-values") {
+      O.AllValues = O.Classify = true;
+    } else if (A == "--deps") {
+      O.Deps = true;
+    } else if (A == "--trip-counts") {
+      O.TripCounts = true;
+    } else if (A == "--strength-reduce") {
+      O.StrengthReduce = true;
+    } else if (A == "--no-sccp") {
+      O.RunSCCP = false;
+    } else if (A == "--run") {
+      O.Run = true;
+    } else if (A.rfind("--peel=", 0) == 0) {
+      std::string Spec = A.substr(7);
+      size_t Colon = Spec.find(':');
+      if (Colon == std::string::npos) {
+        O.PeelLoop = Spec;
+      } else {
+        O.PeelLoop = Spec.substr(0, Colon);
+        O.PeelTimes = std::strtoul(Spec.c_str() + Colon + 1, nullptr, 10);
+      }
+    } else if (A.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bivc: unknown option %s\n", A.c_str());
+      return false;
+    } else if (O.File.empty()) {
+      O.File = A;
+    } else {
+      return false;
+    }
+  }
+  if (O.File.empty())
+    return false;
+  if (!O.PrintIR && !O.Deps && !O.TripCounts && !O.Run &&
+      !O.StrengthReduce)
+    O.Classify = true;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions O;
+  if (!parseArgs(Argc, Argv, O))
+    return usage();
+
+  std::ifstream In(O.File);
+  if (!In) {
+    std::fprintf(stderr, "bivc: cannot open %s\n", O.File.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  std::vector<std::string> Errors;
+  std::unique_ptr<ir::Function> F =
+      frontend::parseAndLower(Buf.str(), Errors);
+  if (!F) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "bivc: %s\n", E.c_str());
+    return 1;
+  }
+
+  if (!O.PeelLoop.empty()) {
+    if (!transform::peelLoop(*F, O.PeelLoop, O.PeelTimes)) {
+      std::fprintf(stderr, "bivc: cannot peel loop '%s'\n",
+                   O.PeelLoop.c_str());
+      return 1;
+    }
+    std::printf(";; peeled %u iteration(s) of %s\n", O.PeelTimes,
+                O.PeelLoop.c_str());
+  }
+
+  ssa::SSAInfo Info = ssa::buildSSA(*F);
+  ssa::verifySSAOrDie(*F);
+  if (O.RunSCCP)
+    ssa::runSCCP(*F, /*SimplifyCFG=*/false);
+
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ivclass::InductionAnalysis IA(*F, DT, LI);
+  IA.run();
+
+  if (O.StrengthReduce) {
+    transform::StrengthReduceStats S = transform::strengthReduce(IA);
+    std::printf(";; strength reduction: %u multiplication(s) replaced\n",
+                S.Reduced);
+    ssa::verifySSAOrDie(*F);
+    O.PrintIR = true;
+  }
+
+  if (O.PrintIR)
+    std::printf("%s\n", ir::toString(*F).c_str());
+
+  if (O.Classify) {
+    ivclass::ReportOptions RO;
+    RO.AllValues = O.AllValues;
+    std::printf("%s", ivclass::report(IA, &Info, RO).c_str());
+  }
+
+  if (O.TripCounts)
+    for (const auto &L : LI.loops())
+      std::printf("trip count of %s: %s\n", L->name().c_str(),
+                  IA.tripCount(L.get()).str(IA.namer()).c_str());
+
+  if (O.Deps) {
+    dependence::DependenceAnalyzer DA(IA);
+    std::vector<dependence::Dependence> Deps = DA.analyze();
+    std::printf("%s", DA.report(Deps).c_str());
+  }
+
+  if (O.Run) {
+    interp::ExecutionTrace T = interp::run(*F, O.RunArgs);
+    if (!T.ok()) {
+      std::fprintf(stderr, "bivc: execution failed: %s\n", T.Error.c_str());
+      return 1;
+    }
+    if (T.ReturnValue)
+      std::printf("returned %lld (in %llu steps)\n",
+                  static_cast<long long>(*T.ReturnValue),
+                  static_cast<unsigned long long>(T.Steps));
+    else
+      std::printf("returned void (in %llu steps)\n",
+                  static_cast<unsigned long long>(T.Steps));
+  }
+  return 0;
+}
