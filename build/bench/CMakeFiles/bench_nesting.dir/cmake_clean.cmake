@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nesting.dir/bench_nesting.cpp.o"
+  "CMakeFiles/bench_nesting.dir/bench_nesting.cpp.o.d"
+  "bench_nesting"
+  "bench_nesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssa.dir/bench_ssa.cpp.o"
+  "CMakeFiles/bench_ssa.dir/bench_ssa.cpp.o.d"
+  "bench_ssa"
+  "bench_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

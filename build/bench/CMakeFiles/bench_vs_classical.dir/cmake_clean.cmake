@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_classical.dir/bench_vs_classical.cpp.o"
+  "CMakeFiles/bench_vs_classical.dir/bench_vs_classical.cpp.o.d"
+  "bench_vs_classical"
+  "bench_vs_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_forms.dir/closed_forms.cpp.o"
+  "CMakeFiles/closed_forms.dir/closed_forms.cpp.o.d"
+  "closed_forms"
+  "closed_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack.dir/pack.cpp.o"
+  "CMakeFiles/pack.dir/pack.cpp.o.d"
+  "pack"
+  "pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

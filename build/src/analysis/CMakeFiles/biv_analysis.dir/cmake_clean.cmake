@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_analysis.dir/DominatorTree.cpp.o"
+  "CMakeFiles/biv_analysis.dir/DominatorTree.cpp.o.d"
+  "CMakeFiles/biv_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/biv_analysis.dir/LoopInfo.cpp.o.d"
+  "libbiv_analysis.a"
+  "libbiv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/ClassicalIV.cpp" "src/baseline/CMakeFiles/biv_baseline.dir/ClassicalIV.cpp.o" "gcc" "src/baseline/CMakeFiles/biv_baseline.dir/ClassicalIV.cpp.o.d"
+  "/root/repo/src/baseline/PatternMatchers.cpp" "src/baseline/CMakeFiles/biv_baseline.dir/PatternMatchers.cpp.o" "gcc" "src/baseline/CMakeFiles/biv_baseline.dir/PatternMatchers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssa/CMakeFiles/biv_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/biv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/biv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/biv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_baseline.dir/ClassicalIV.cpp.o"
+  "CMakeFiles/biv_baseline.dir/ClassicalIV.cpp.o.d"
+  "CMakeFiles/biv_baseline.dir/PatternMatchers.cpp.o"
+  "CMakeFiles/biv_baseline.dir/PatternMatchers.cpp.o.d"
+  "libbiv_baseline.a"
+  "libbiv_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

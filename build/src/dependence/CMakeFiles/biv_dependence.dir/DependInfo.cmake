@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dependence/DependenceAnalyzer.cpp" "src/dependence/CMakeFiles/biv_dependence.dir/DependenceAnalyzer.cpp.o" "gcc" "src/dependence/CMakeFiles/biv_dependence.dir/DependenceAnalyzer.cpp.o.d"
+  "/root/repo/src/dependence/DependenceTests.cpp" "src/dependence/CMakeFiles/biv_dependence.dir/DependenceTests.cpp.o" "gcc" "src/dependence/CMakeFiles/biv_dependence.dir/DependenceTests.cpp.o.d"
+  "/root/repo/src/dependence/SubscriptExpr.cpp" "src/dependence/CMakeFiles/biv_dependence.dir/SubscriptExpr.cpp.o" "gcc" "src/dependence/CMakeFiles/biv_dependence.dir/SubscriptExpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ivclass/CMakeFiles/biv_ivclass.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/biv_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/biv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/biv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/biv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/biv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

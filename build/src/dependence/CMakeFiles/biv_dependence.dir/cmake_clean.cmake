@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_dependence.dir/DependenceAnalyzer.cpp.o"
+  "CMakeFiles/biv_dependence.dir/DependenceAnalyzer.cpp.o.d"
+  "CMakeFiles/biv_dependence.dir/DependenceTests.cpp.o"
+  "CMakeFiles/biv_dependence.dir/DependenceTests.cpp.o.d"
+  "CMakeFiles/biv_dependence.dir/SubscriptExpr.cpp.o"
+  "CMakeFiles/biv_dependence.dir/SubscriptExpr.cpp.o.d"
+  "libbiv_dependence.a"
+  "libbiv_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

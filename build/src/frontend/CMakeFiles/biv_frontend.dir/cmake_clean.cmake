@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_frontend.dir/AST.cpp.o"
+  "CMakeFiles/biv_frontend.dir/AST.cpp.o.d"
+  "CMakeFiles/biv_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/biv_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/biv_frontend.dir/Lowering.cpp.o"
+  "CMakeFiles/biv_frontend.dir/Lowering.cpp.o.d"
+  "CMakeFiles/biv_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/biv_frontend.dir/Parser.cpp.o.d"
+  "libbiv_frontend.a"
+  "libbiv_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

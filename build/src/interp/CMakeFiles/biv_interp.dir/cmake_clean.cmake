@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/biv_interp.dir/Interpreter.cpp.o.d"
+  "libbiv_interp.a"
+  "libbiv_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/BasicBlock.cpp" "src/ir/CMakeFiles/biv_ir.dir/BasicBlock.cpp.o" "gcc" "src/ir/CMakeFiles/biv_ir.dir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/biv_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/biv_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/biv_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/biv_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/ir/CMakeFiles/biv_ir.dir/Instruction.cpp.o" "gcc" "src/ir/CMakeFiles/biv_ir.dir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Opcode.cpp" "src/ir/CMakeFiles/biv_ir.dir/Opcode.cpp.o" "gcc" "src/ir/CMakeFiles/biv_ir.dir/Opcode.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/biv_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/biv_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/biv_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/biv_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/biv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/biv_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/biv_ir.dir/Function.cpp.o"
+  "CMakeFiles/biv_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/biv_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/biv_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/biv_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/biv_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/biv_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/biv_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/biv_ir.dir/Printer.cpp.o"
+  "CMakeFiles/biv_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/biv_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/biv_ir.dir/Verifier.cpp.o.d"
+  "libbiv_ir.a"
+  "libbiv_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

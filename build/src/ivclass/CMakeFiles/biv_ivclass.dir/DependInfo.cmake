@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ivclass/Classification.cpp" "src/ivclass/CMakeFiles/biv_ivclass.dir/Classification.cpp.o" "gcc" "src/ivclass/CMakeFiles/biv_ivclass.dir/Classification.cpp.o.d"
+  "/root/repo/src/ivclass/ClosedForm.cpp" "src/ivclass/CMakeFiles/biv_ivclass.dir/ClosedForm.cpp.o" "gcc" "src/ivclass/CMakeFiles/biv_ivclass.dir/ClosedForm.cpp.o.d"
+  "/root/repo/src/ivclass/InductionAnalysis.cpp" "src/ivclass/CMakeFiles/biv_ivclass.dir/InductionAnalysis.cpp.o" "gcc" "src/ivclass/CMakeFiles/biv_ivclass.dir/InductionAnalysis.cpp.o.d"
+  "/root/repo/src/ivclass/Pipeline.cpp" "src/ivclass/CMakeFiles/biv_ivclass.dir/Pipeline.cpp.o" "gcc" "src/ivclass/CMakeFiles/biv_ivclass.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/ivclass/RecurrenceSolver.cpp" "src/ivclass/CMakeFiles/biv_ivclass.dir/RecurrenceSolver.cpp.o" "gcc" "src/ivclass/CMakeFiles/biv_ivclass.dir/RecurrenceSolver.cpp.o.d"
+  "/root/repo/src/ivclass/Report.cpp" "src/ivclass/CMakeFiles/biv_ivclass.dir/Report.cpp.o" "gcc" "src/ivclass/CMakeFiles/biv_ivclass.dir/Report.cpp.o.d"
+  "/root/repo/src/ivclass/SSAGraph.cpp" "src/ivclass/CMakeFiles/biv_ivclass.dir/SSAGraph.cpp.o" "gcc" "src/ivclass/CMakeFiles/biv_ivclass.dir/SSAGraph.cpp.o.d"
+  "/root/repo/src/ivclass/TripCount.cpp" "src/ivclass/CMakeFiles/biv_ivclass.dir/TripCount.cpp.o" "gcc" "src/ivclass/CMakeFiles/biv_ivclass.dir/TripCount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssa/CMakeFiles/biv_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/biv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/biv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/biv_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/biv_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

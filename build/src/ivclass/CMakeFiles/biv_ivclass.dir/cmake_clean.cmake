@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_ivclass.dir/Classification.cpp.o"
+  "CMakeFiles/biv_ivclass.dir/Classification.cpp.o.d"
+  "CMakeFiles/biv_ivclass.dir/ClosedForm.cpp.o"
+  "CMakeFiles/biv_ivclass.dir/ClosedForm.cpp.o.d"
+  "CMakeFiles/biv_ivclass.dir/InductionAnalysis.cpp.o"
+  "CMakeFiles/biv_ivclass.dir/InductionAnalysis.cpp.o.d"
+  "CMakeFiles/biv_ivclass.dir/Pipeline.cpp.o"
+  "CMakeFiles/biv_ivclass.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/biv_ivclass.dir/RecurrenceSolver.cpp.o"
+  "CMakeFiles/biv_ivclass.dir/RecurrenceSolver.cpp.o.d"
+  "CMakeFiles/biv_ivclass.dir/Report.cpp.o"
+  "CMakeFiles/biv_ivclass.dir/Report.cpp.o.d"
+  "CMakeFiles/biv_ivclass.dir/SSAGraph.cpp.o"
+  "CMakeFiles/biv_ivclass.dir/SSAGraph.cpp.o.d"
+  "CMakeFiles/biv_ivclass.dir/TripCount.cpp.o"
+  "CMakeFiles/biv_ivclass.dir/TripCount.cpp.o.d"
+  "libbiv_ivclass.a"
+  "libbiv_ivclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_ivclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssa/DeadCode.cpp" "src/ssa/CMakeFiles/biv_ssa.dir/DeadCode.cpp.o" "gcc" "src/ssa/CMakeFiles/biv_ssa.dir/DeadCode.cpp.o.d"
+  "/root/repo/src/ssa/SCCP.cpp" "src/ssa/CMakeFiles/biv_ssa.dir/SCCP.cpp.o" "gcc" "src/ssa/CMakeFiles/biv_ssa.dir/SCCP.cpp.o.d"
+  "/root/repo/src/ssa/SSABuilder.cpp" "src/ssa/CMakeFiles/biv_ssa.dir/SSABuilder.cpp.o" "gcc" "src/ssa/CMakeFiles/biv_ssa.dir/SSABuilder.cpp.o.d"
+  "/root/repo/src/ssa/SSAVerifier.cpp" "src/ssa/CMakeFiles/biv_ssa.dir/SSAVerifier.cpp.o" "gcc" "src/ssa/CMakeFiles/biv_ssa.dir/SSAVerifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/biv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/biv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/biv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

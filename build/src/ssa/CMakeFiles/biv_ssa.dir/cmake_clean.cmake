@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_ssa.dir/DeadCode.cpp.o"
+  "CMakeFiles/biv_ssa.dir/DeadCode.cpp.o.d"
+  "CMakeFiles/biv_ssa.dir/SCCP.cpp.o"
+  "CMakeFiles/biv_ssa.dir/SCCP.cpp.o.d"
+  "CMakeFiles/biv_ssa.dir/SSABuilder.cpp.o"
+  "CMakeFiles/biv_ssa.dir/SSABuilder.cpp.o.d"
+  "CMakeFiles/biv_ssa.dir/SSAVerifier.cpp.o"
+  "CMakeFiles/biv_ssa.dir/SSAVerifier.cpp.o.d"
+  "libbiv_ssa.a"
+  "libbiv_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbiv_ssa.a"
+)

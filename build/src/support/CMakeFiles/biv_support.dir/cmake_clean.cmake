@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_support.dir/Affine.cpp.o"
+  "CMakeFiles/biv_support.dir/Affine.cpp.o.d"
+  "CMakeFiles/biv_support.dir/Matrix.cpp.o"
+  "CMakeFiles/biv_support.dir/Matrix.cpp.o.d"
+  "CMakeFiles/biv_support.dir/Rational.cpp.o"
+  "CMakeFiles/biv_support.dir/Rational.cpp.o.d"
+  "libbiv_support.a"
+  "libbiv_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biv_transform.dir/Interchange.cpp.o"
+  "CMakeFiles/biv_transform.dir/Interchange.cpp.o.d"
+  "CMakeFiles/biv_transform.dir/LoopPeel.cpp.o"
+  "CMakeFiles/biv_transform.dir/LoopPeel.cpp.o.d"
+  "CMakeFiles/biv_transform.dir/StrengthReduce.cpp.o"
+  "CMakeFiles/biv_transform.dir/StrengthReduce.cpp.o.d"
+  "libbiv_transform.a"
+  "libbiv_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biv_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closedform_test.dir/closedform_test.cpp.o"
+  "CMakeFiles/closedform_test.dir/closedform_test.cpp.o.d"
+  "closedform_test"
+  "closedform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closedform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependence_extended_test.dir/dependence_extended_test.cpp.o"
+  "CMakeFiles/dependence_extended_test.dir/dependence_extended_test.cpp.o.d"
+  "dependence_extended_test"
+  "dependence_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependence_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

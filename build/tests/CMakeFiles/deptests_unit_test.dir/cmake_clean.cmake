@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deptests_unit_test.dir/deptests_unit_test.cpp.o"
+  "CMakeFiles/deptests_unit_test.dir/deptests_unit_test.cpp.o.d"
+  "deptests_unit_test"
+  "deptests_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deptests_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

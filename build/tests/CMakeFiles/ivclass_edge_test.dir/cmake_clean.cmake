@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivclass_edge_test.dir/ivclass_edge_test.cpp.o"
+  "CMakeFiles/ivclass_edge_test.dir/ivclass_edge_test.cpp.o.d"
+  "ivclass_edge_test"
+  "ivclass_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivclass_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

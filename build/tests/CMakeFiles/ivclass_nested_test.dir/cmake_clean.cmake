@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivclass_nested_test.dir/ivclass_nested_test.cpp.o"
+  "CMakeFiles/ivclass_nested_test.dir/ivclass_nested_test.cpp.o.d"
+  "ivclass_nested_test"
+  "ivclass_nested_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivclass_nested_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

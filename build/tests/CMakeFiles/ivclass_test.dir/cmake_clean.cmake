@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivclass_test.dir/ivclass_test.cpp.o"
+  "CMakeFiles/ivclass_test.dir/ivclass_test.cpp.o.d"
+  "ivclass_test"
+  "ivclass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivclass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

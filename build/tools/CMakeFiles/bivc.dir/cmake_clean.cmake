@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivc.dir/bivc.cpp.o"
+  "CMakeFiles/bivc.dir/bivc.cpp.o.d"
+  "bivc"
+  "bivc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
