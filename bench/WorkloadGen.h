@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace biv {
 namespace bench {
@@ -31,7 +32,13 @@ public:
     return State >> 17;
   }
   int64_t range(int64_t Lo, int64_t Hi) { // inclusive
-    return Lo + static_cast<int64_t>(next() % uint64_t(Hi - Lo + 1));
+    // Span in uint64 space so Hi - Lo + 1 cannot overflow; a full-range
+    // request wraps to 0, meaning "any 64-bit value".
+    uint64_t Span = uint64_t(Hi) - uint64_t(Lo) + 1;
+    uint64_t R = next();
+    if (Span != 0)
+      R %= Span;
+    return int64_t(uint64_t(Lo) + R);
   }
 
 private:
@@ -140,6 +147,44 @@ inline std::string genDependenceBattery(unsigned Pairs, uint64_t Seed = 3) {
   return "func battery(n) {\n" + Init +
          "  for L1: i = 1 to 100 {\n" + Body +
          "    w = i;\n    t = p; p = q; q = t;\n  }\n  return m;\n}\n";
+}
+
+/// A seeded corpus of \p Functions independent functions cycling through the
+/// generator shapes above -- the batch driver's workload.  Names are unique
+/// so a merged report attributes every unit.
+struct CorpusUnit {
+  std::string Name;
+  std::string Text;
+};
+
+inline std::vector<CorpusUnit> genCorpus(unsigned Functions,
+                                         uint64_t Seed = 7) {
+  Lcg R(Seed);
+  std::vector<CorpusUnit> Corpus;
+  Corpus.reserve(Functions);
+  for (unsigned I = 0; I < Functions; ++I) {
+    std::string Name = "u" + std::to_string(I);
+    switch (I % 4) {
+    case 0:
+      Corpus.push_back({Name + "_chain",
+                        genLinearChain(unsigned(R.range(16, 64)), R.next())});
+      break;
+    case 1:
+      Corpus.push_back({Name + "_mixed",
+                        genMixedClasses(unsigned(R.range(2, 6)), R.next())});
+      break;
+    case 2:
+      Corpus.push_back({Name + "_nest",
+                        genNest(unsigned(R.range(2, 5)))});
+      break;
+    default:
+      Corpus.push_back({Name + "_deps",
+                        genDependenceBattery(unsigned(R.range(4, 12)),
+                                             R.next())});
+      break;
+    }
+  }
+  return Corpus;
 }
 
 } // namespace bench

@@ -1,0 +1,232 @@
+//===- bench/bench_batch.cpp - B6: batch-driver throughput --------------------===//
+//
+// Measures the parallel batch-analysis driver: a seeded corpus of independent
+// functions is analyzed end-to-end (parse, SSA, SCCP, classify, report) at
+// several worker counts, and the serial classification hot path is timed at
+// fixed chain sizes.  Everything it measures lands in one JSON file so the
+// scaling record is machine-readable.
+//
+//   bench_batch [--functions=N] [--jobs=1,2,4,8] [--quick] [--json=PATH]
+//
+// Unlike the other benches this is a plain binary (no google-benchmark): the
+// JSON must hold wall-clock throughput of the *driver*, pool included, and
+// the driver is the unit under test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadGen.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "driver/BatchAnalyzer.h"
+#include "driver/ThreadPool.h"
+#include "frontend/Lowering.h"
+#include "ivclass/InductionAnalysis.h"
+#include "ssa/SSABuilder.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace biv;
+
+namespace {
+
+/// Best-of-\p Reps one-shot classification time for a derived-IV chain of
+/// \p N statements, in nanoseconds per instruction.  This is the serial
+/// hot path the allocation-lean rewrite targets.
+struct ChainPoint {
+  unsigned Stmts;
+  size_t Instrs;
+  double BestUs;
+  double NsPerInstr;
+};
+
+ChainPoint measureChain(unsigned N, int Reps) {
+  std::unique_ptr<ir::Function> F =
+      frontend::parseAndLowerOrDie(bench::genLinearChain(N));
+  ssa::buildSSA(*F);
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ivclass::InductionAnalysis::Options Opts;
+  Opts.MaterializeExitValues = false; // keep run() re-entrant per rep
+  double Best = 1e30;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    ivclass::InductionAnalysis IA(*F, DT, LI, Opts);
+    IA.run();
+    auto T1 = std::chrono::steady_clock::now();
+    Best = std::min(Best,
+                    std::chrono::duration<double, std::micro>(T1 - T0).count());
+  }
+  size_t Instrs = F->instructionCount();
+  return {N, Instrs, Best, Best * 1000.0 / double(Instrs)};
+}
+
+/// One timed batch run over \p Sources with \p Jobs workers.
+struct BatchPoint {
+  unsigned Jobs;
+  double WallMs;
+  size_t Units;
+  size_t Instructions;
+  double StmtsPerSec;
+  double Speedup; // vs the Jobs==1 point of the same corpus
+};
+
+BatchPoint measureBatch(const std::vector<driver::SourceInput> &Sources,
+                        unsigned Jobs, int Reps) {
+  driver::BatchOptions BO;
+  BO.Jobs = Jobs;
+  BO.Classify = false; // time analysis, not report rendering
+  double Best = 1e30;
+  driver::BatchResult Last;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    driver::BatchResult R = driver::analyzeBatch(Sources, BO);
+    auto T1 = std::chrono::steady_clock::now();
+    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    if (Ms < Best) {
+      Best = Ms;
+      Last = std::move(R);
+    }
+  }
+  BatchPoint P;
+  P.Jobs = Jobs;
+  P.WallMs = Best;
+  P.Units = Last.Units.size();
+  P.Instructions = Last.TotalInstructions;
+  P.StmtsPerSec = double(Last.TotalInstructions) / (Best / 1000.0);
+  P.Speedup = 0.0; // filled by the caller
+  return P;
+}
+
+std::vector<unsigned> parseJobsList(const char *Spec) {
+  std::vector<unsigned> Jobs;
+  unsigned Cur = 0;
+  bool Any = false;
+  for (const char *P = Spec;; ++P) {
+    if (*P >= '0' && *P <= '9') {
+      Cur = Cur * 10 + unsigned(*P - '0');
+      Any = true;
+    } else if (*P == ',' || *P == '\0') {
+      if (Any)
+        Jobs.push_back(Cur);
+      Cur = 0;
+      Any = false;
+      if (*P == '\0')
+        break;
+    }
+  }
+  return Jobs;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Functions = 1000;
+  std::vector<unsigned> Jobs = {1, 2, 4, 8};
+  int Reps = 3;
+  std::string JsonPath;
+  bool Quick = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--functions=", 12) == 0)
+      Functions = unsigned(std::strtoul(A + 12, nullptr, 10));
+    else if (std::strncmp(A, "--jobs=", 7) == 0)
+      Jobs = parseJobsList(A + 7);
+    else if (std::strncmp(A, "--json=", 7) == 0)
+      JsonPath = A + 7;
+    else if (std::strcmp(A, "--quick") == 0)
+      Quick = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_batch [--functions=N] [--jobs=1,2,4,8] "
+                   "[--quick] [--json=PATH]\n");
+      return 2;
+    }
+  }
+  if (Quick) {
+    Functions = std::min(Functions, 64u);
+    Reps = 1;
+  }
+  if (Jobs.empty())
+    Jobs = {1};
+
+  unsigned Hw = driver::ThreadPool::defaultThreadCount();
+  std::printf("# B6: batch-analysis throughput (%u functions, hardware "
+              "concurrency %u)\n",
+              Functions, Hw);
+
+  // Serial hot path at the record's fixed sizes.
+  std::vector<ChainPoint> Chain;
+  std::printf("%10s %12s %14s %12s\n", "stmts", "instrs", "best_us",
+              "ns_per_inst");
+  for (unsigned N : {64u, 512u, 4096u}) {
+    Chain.push_back(measureChain(N, Quick ? 2 : 5));
+    const ChainPoint &C = Chain.back();
+    std::printf("%10u %12zu %14.1f %12.1f\n", C.Stmts, C.Instrs, C.BestUs,
+                C.NsPerInstr);
+  }
+
+  // Batch corpus shared by every jobs point so speedups compare like with
+  // like.
+  std::vector<bench::CorpusUnit> Corpus = bench::genCorpus(Functions);
+  std::vector<driver::SourceInput> Sources;
+  Sources.reserve(Corpus.size());
+  for (const bench::CorpusUnit &U : Corpus)
+    Sources.push_back({U.Name, U.Text});
+
+  std::vector<BatchPoint> Points;
+  double SerialMs = 0.0;
+  std::printf("%10s %12s %14s %16s %10s\n", "jobs", "units", "wall_ms",
+              "stmts_per_sec", "speedup");
+  for (unsigned J : Jobs) {
+    BatchPoint P = measureBatch(Sources, J, Reps);
+    if (Points.empty() && J == 1)
+      SerialMs = P.WallMs;
+    P.Speedup = SerialMs > 0.0 ? SerialMs / P.WallMs : 0.0;
+    Points.push_back(P);
+    std::printf("%10u %12zu %14.2f %16.0f %9.2fx\n", P.Jobs, P.Units, P.WallMs,
+                P.StmtsPerSec, P.Speedup);
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "bench_batch: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    char Buf[256];
+    Out << "{\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"hardware_concurrency\": %u,\n  \"functions\": %u,\n",
+                  Hw, Functions);
+    Out << Buf;
+    Out << "  \"classify_chain_serial\": [\n";
+    for (size_t I = 0; I < Chain.size(); ++I) {
+      const ChainPoint &C = Chain[I];
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"stmts\": %u, \"instrs\": %zu, \"best_us\": %.1f, "
+                    "\"ns_per_instr\": %.1f}%s\n",
+                    C.Stmts, C.Instrs, C.BestUs, C.NsPerInstr,
+                    I + 1 < Chain.size() ? "," : "");
+      Out << Buf;
+    }
+    Out << "  ],\n  \"batch_throughput\": [\n";
+    for (size_t I = 0; I < Points.size(); ++I) {
+      const BatchPoint &P = Points[I];
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "    {\"jobs\": %u, \"units\": %zu, \"instructions\": %zu, "
+          "\"wall_ms\": %.2f, \"stmts_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
+          P.Jobs, P.Units, P.Instructions, P.WallMs, P.StmtsPerSec, P.Speedup,
+          I + 1 < Points.size() ? "," : "");
+      Out << Buf;
+    }
+    Out << "  ]\n}\n";
+    std::printf("# wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

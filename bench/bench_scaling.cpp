@@ -63,8 +63,8 @@ void BM_ClassifyMixed(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * P.F->instructionCount());
 }
 
-BENCHMARK(BM_ClassifyChain)->Arg(10)->Arg(30)->Arg(100)->Arg(300)->Arg(1000)
-    ->Arg(3000);
+BENCHMARK(BM_ClassifyChain)->Arg(10)->Arg(30)->Arg(64)->Arg(100)->Arg(300)
+    ->Arg(512)->Arg(1000)->Arg(3000)->Arg(4096);
 BENCHMARK(BM_ClassifyMixed)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
 /// Prints the B1 table: statements vs. one-shot wall time and ns/stmt; the
@@ -74,7 +74,7 @@ void printTable() {
               "the size of the SSA graph)\n");
   std::printf("%10s %12s %14s %12s\n", "stmts", "instrs", "time_us",
               "ns_per_inst");
-  for (unsigned N : {10u, 30u, 100u, 300u, 1000u, 3000u}) {
+  for (unsigned N : {10u, 30u, 64u, 100u, 300u, 512u, 1000u, 3000u, 4096u}) {
     Prepared P = prepare(bench::genLinearChain(N));
     ivclass::InductionAnalysis::Options Opts;
     Opts.MaterializeExitValues = false;

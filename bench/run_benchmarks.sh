@@ -1,0 +1,52 @@
+#!/bin/sh
+# Runs the batch-scaling benchmark and writes BENCH_SCALING.json at the repo
+# root (serial classification cost at fixed chain sizes + batch throughput at
+# several worker counts).
+#
+#   bench/run_benchmarks.sh [--quick] [--build-dir DIR] [--out FILE]
+#
+# --quick shrinks the corpus and rep counts; it is what the bench-smoke ctest
+# entry runs.
+set -e
+
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+REPO_ROOT=$(dirname "$SCRIPT_DIR")
+BUILD_DIR=""
+OUT=""
+QUICK=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    --build-dir=*) BUILD_DIR="${1#--build-dir=}" ;;
+    --out) OUT="$2"; shift ;;
+    --out=*) OUT="${1#--out=}" ;;
+    *) echo "usage: $0 [--quick] [--build-dir DIR] [--out FILE]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ -z "$BUILD_DIR" ]; then
+  for D in "$REPO_ROOT/build" "$REPO_ROOT/cmake-build-release"; do
+    if [ -x "$D/bench/bench_batch" ]; then BUILD_DIR="$D"; break; fi
+  done
+fi
+BENCH="$BUILD_DIR/bench/bench_batch"
+if [ ! -x "$BENCH" ]; then
+  echo "$0: bench_batch not found; build it first:" >&2
+  echo "  cmake --build ${BUILD_DIR:-build} --target bench_batch" >&2
+  exit 1
+fi
+
+if [ "$QUICK" = 1 ]; then
+  # Smoke mode: tiny corpus, throwaway JSON -- proves the harness end to end
+  # without perturbing the committed record.
+  OUT="${OUT:-$BUILD_DIR/BENCH_SCALING.quick.json}"
+  "$BENCH" --quick --jobs=1,2 --json="$OUT"
+else
+  OUT="${OUT:-$REPO_ROOT/BENCH_SCALING.json}"
+  "$BENCH" --functions=1000 --jobs=1,2,4,8 --json="$OUT"
+fi
+
+echo "# benchmark record: $OUT"

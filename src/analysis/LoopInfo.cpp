@@ -93,6 +93,7 @@ LoopInfo::LoopInfo(const ir::Function &F, const DominatorTree &DT) : F(F) {
               L->Exits.end())
             L->Exits.push_back(Succ);
         }
+    L->Index = Loops.size();
     Loops.push_back(std::move(L));
   }
 

@@ -70,6 +70,10 @@ public:
   /// 1 for outermost loops, parent depth + 1 otherwise.
   unsigned depth() const { return Depth; }
 
+  /// Dense position in LoopInfo::loops(); analyses key flat vectors by it
+  /// instead of pointer-keyed maps.
+  unsigned index() const { return Index; }
+
 private:
   friend class LoopInfo;
 
@@ -84,6 +88,7 @@ private:
   Loop *Parent = nullptr;
   std::vector<Loop *> SubLoops;
   unsigned Depth = 1;
+  unsigned Index = 0;
 };
 
 /// The loop nest of one function.

@@ -1,0 +1,168 @@
+//===- driver/BatchAnalyzer.cpp - Parallel batch analysis ----------------------===//
+
+#include "driver/BatchAnalyzer.h"
+#include "driver/ThreadPool.h"
+#include <cctype>
+
+using namespace biv;
+using namespace biv::driver;
+
+//===----------------------------------------------------------------------===//
+// Function splitting
+//===----------------------------------------------------------------------===//
+
+std::vector<SourceInput>
+biv::driver::splitFunctions(const SourceInput &File) {
+  const std::string &T = File.Text;
+  std::vector<SourceInput> Units;
+  size_t UnitStart = std::string::npos;
+  std::string UnitName;
+
+  auto flush = [&](size_t End) {
+    if (UnitStart == std::string::npos)
+      return;
+    Units.push_back({File.Name + ":" + UnitName,
+                     T.substr(UnitStart, End - UnitStart)});
+    UnitStart = std::string::npos;
+  };
+
+  int Depth = 0;
+  for (size_t I = 0; I < T.size(); ++I) {
+    char C = T[I];
+    if (C == '#') { // comment to end of line
+      while (I < T.size() && T[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '{') {
+      ++Depth;
+      continue;
+    }
+    if (C == '}') {
+      --Depth;
+      continue;
+    }
+    // A top-level `func` keyword starts the next unit.
+    if (Depth == 0 && C == 'f' && T.compare(I, 4, "func") == 0 &&
+        (I == 0 || (!std::isalnum(unsigned(T[I - 1])) && T[I - 1] != '_')) &&
+        I + 4 < T.size() && std::isspace(unsigned(T[I + 4]))) {
+      flush(I);
+      UnitStart = I;
+      size_t P = I + 4;
+      while (P < T.size() && std::isspace(unsigned(T[P])))
+        ++P;
+      UnitName.clear();
+      while (P < T.size() &&
+             (std::isalnum(unsigned(T[P])) || T[P] == '_'))
+        UnitName += T[P++];
+      I += 3;
+    }
+  }
+  flush(T.size());
+
+  if (Units.empty())
+    return {File}; // no `func` at all; let the parser diagnose it
+  if (Units.size() == 1)
+    Units.front().Name = File.Name; // common case: one function per file
+  return Units;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch driver
+//===----------------------------------------------------------------------===//
+
+BatchResult biv::driver::analyzeBatch(const std::vector<SourceInput> &Sources,
+                                      const BatchOptions &Opts) {
+  // Shard: files -> functions.  Each function is one unit of work.
+  std::vector<SourceInput> Units;
+  Units.reserve(Sources.size());
+  for (const SourceInput &S : Sources)
+    for (SourceInput &U : splitFunctions(S))
+      Units.push_back(std::move(U));
+
+  BatchResult R;
+  R.Units.resize(Units.size());
+
+  ivclass::PipelineOptions PO;
+  PO.RunSCCP = Opts.RunSCCP;
+  PO.VerifyEach = Opts.VerifyEach;
+  PO.Analysis.MaterializeExitValues = Opts.MaterializeExitValues;
+
+  // Each unit owns its whole pipeline; slots are disjoint, so workers never
+  // contend on anything but the queue.
+  auto runUnit = [&](size_t I) {
+    UnitResult &U = R.Units[I];
+    U.Name = Units[I].Name;
+    std::vector<std::string> Errors;
+    std::optional<ivclass::AnalyzedProgram> P =
+        ivclass::analyzeSource(Units[I].Text, Errors, PO);
+    if (!P) {
+      U.OK = false;
+      U.Errors = std::move(Errors);
+      return;
+    }
+    U.OK = true;
+    U.Stats = P->IA->stats();
+    U.Kinds = ivclass::countHeaderPhiKinds(*P->IA);
+    U.Instructions = P->F->instructionCount();
+    U.Loops = P->LI->loops().size();
+    if (Opts.Classify)
+      U.ReportText = ivclass::report(*P->IA, &P->Info, Opts.Report);
+  };
+
+  if (Opts.Jobs == 1) {
+    for (size_t I = 0; I < Units.size(); ++I)
+      runUnit(I);
+  } else {
+    ThreadPool Pool(Opts.Jobs);
+    for (size_t I = 0; I < Units.size(); ++I)
+      Pool.submit([&runUnit, I] { runUnit(I); });
+    Pool.wait();
+  }
+
+  for (const UnitResult &U : R.Units) {
+    if (!U.OK) {
+      ++R.Failed;
+      continue;
+    }
+    R.Stats += U.Stats;
+    R.Kinds += U.Kinds;
+    R.TotalInstructions += U.Instructions;
+    R.TotalLoops += U.Loops;
+  }
+  return R;
+}
+
+std::string BatchResult::renderText() const {
+  std::string Out;
+  for (const UnitResult &U : Units) {
+    // Summary-only runs leave ReportText empty; a bare section header for
+    // every healthy unit would just be noise, so only failures show.
+    if (U.OK && U.ReportText.empty())
+      continue;
+    Out += ";; === " + U.Name + " ===\n";
+    if (!U.OK) {
+      for (const std::string &E : U.Errors)
+        Out += ";; error: " + E + "\n";
+      continue;
+    }
+    Out += U.ReportText;
+  }
+  Out += ";; === batch summary ===\n";
+  Out += ";; units: " + std::to_string(Units.size()) + " (failed " +
+         std::to_string(Failed) + "), instructions: " +
+         std::to_string(TotalInstructions) + ", loops: " +
+         std::to_string(TotalLoops) + "\n";
+  Out += ";; header-phi kinds: linear " + std::to_string(Kinds.Linear) +
+         ", polynomial " + std::to_string(Kinds.Polynomial) + ", geometric " +
+         std::to_string(Kinds.Geometric) + ", wrap-around " +
+         std::to_string(Kinds.WrapAround) + ", periodic " +
+         std::to_string(Kinds.Periodic) + ", monotonic " +
+         std::to_string(Kinds.Monotonic) + ", invariant " +
+         std::to_string(Kinds.Invariant) + ", unknown " +
+         std::to_string(Kinds.Unknown) + "\n";
+  Out += ";; regions: " + std::to_string(Stats.Regions) +
+         ", exit values materialized: " +
+         std::to_string(Stats.ExitValuesMaterialized) + "\n";
+  return Out;
+}

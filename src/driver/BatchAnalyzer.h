@@ -1,0 +1,99 @@
+//===- driver/BatchAnalyzer.h - Parallel batch analysis ---------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch-analysis engine behind `bivc --batch -jN`: shards a set of
+/// sources (whole files, split into top-level functions) across a
+/// work-stealing thread pool and runs the full pipeline -- parse, SSA, SCCP,
+/// induction-variable classification -- on each unit independently.
+///
+/// Per-loop summarization is embarrassingly parallel across functions
+/// because every unit owns its IR, dominator tree, loop nest, and analysis
+/// arena outright; nothing is shared but immutable options.  Results are
+/// committed into a pre-sized slot per unit and rendered in input order, so
+/// the merged report is byte-identical no matter how many workers ran or how
+/// the scheduler interleaved them.
+///
+/// By default batch mode keeps InductionAnalysis side-effect-free on the IR
+/// (MaterializeExitValues off) and skips re-verification, matching the
+/// throughput configuration the benchmarks measure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_DRIVER_BATCHANALYZER_H
+#define BEYONDIV_DRIVER_BATCHANALYZER_H
+
+#include "ivclass/Pipeline.h"
+#include "ivclass/Report.h"
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace driver {
+
+/// One named source text (a file, or one function split out of a file).
+struct SourceInput {
+  std::string Name;
+  std::string Text;
+};
+
+/// Batch switches.
+struct BatchOptions {
+  /// Worker threads; 1 analyzes serially on the calling thread, 0 picks the
+  /// hardware concurrency.
+  unsigned Jobs = 1;
+  bool RunSCCP = true;
+  /// Post-SCCP SSA re-verification (off: the throughput configuration).
+  bool VerifyEach = false;
+  /// Exit-value materialization mutates the IR; keeping it off makes run()
+  /// read-only, which batch mode requires only per-unit but benches rely on.
+  bool MaterializeExitValues = false;
+  /// Render a classification report per unit (off for pure throughput runs).
+  bool Classify = true;
+  ivclass::ReportOptions Report;
+};
+
+/// What one unit produced.
+struct UnitResult {
+  std::string Name;
+  bool OK = false;
+  std::vector<std::string> Errors;
+  std::string ReportText;
+  ivclass::InductionAnalysis::Stats Stats;
+  ivclass::KindCounts Kinds;
+  size_t Instructions = 0;
+  size_t Loops = 0;
+};
+
+/// Everything a batch run produced, in input order.
+struct BatchResult {
+  std::vector<UnitResult> Units;
+  ivclass::InductionAnalysis::Stats Stats; ///< aggregate over OK units
+  ivclass::KindCounts Kinds;               ///< aggregate over OK units
+  size_t TotalInstructions = 0;
+  size_t TotalLoops = 0;
+  unsigned Failed = 0;
+
+  /// Merged human-readable report: per-unit sections in input order plus a
+  /// summary footer.  Deterministic across thread counts.
+  std::string renderText() const;
+};
+
+/// Splits a file that may hold several top-level `func` declarations into
+/// one SourceInput per function ("name:funcname").  A file without a `func`
+/// keyword comes back unchanged (the parser will diagnose it).
+std::vector<SourceInput> splitFunctions(const SourceInput &File);
+
+/// Analyzes every unit of \p Sources (files are split into functions first)
+/// with \p Opts.Jobs workers.
+BatchResult analyzeBatch(const std::vector<SourceInput> &Sources,
+                         const BatchOptions &Opts = BatchOptions());
+
+} // namespace driver
+} // namespace biv
+
+#endif // BEYONDIV_DRIVER_BATCHANALYZER_H

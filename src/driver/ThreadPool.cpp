@@ -1,0 +1,115 @@
+//===- driver/ThreadPool.cpp - Work-stealing thread pool -----------------------===//
+
+#include "driver/ThreadPool.h"
+#include <algorithm>
+
+using namespace biv;
+using namespace biv::driver;
+
+unsigned ThreadPool::defaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = defaultThreadCount();
+  Queues.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  Stop.store(true);
+  {
+    // Empty critical section: a worker between its predicate check and its
+    // wait() now either sees Stop or receives the notify below.
+    std::lock_guard<std::mutex> L(WaitM);
+  }
+  WorkCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Qi = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                unsigned(Queues.size());
+  {
+    std::lock_guard<std::mutex> L(Queues[Qi]->M);
+    Queues[Qi]->Q.push_back(std::move(Task));
+  }
+  InFlight.fetch_add(1, std::memory_order_relaxed);
+  Queued.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> L(WaitM);
+  }
+  WorkCV.notify_one();
+}
+
+bool ThreadPool::popTask(unsigned Self, std::function<void()> &Task) {
+  // Own queue first, newest task (LIFO keeps the submitter's data warm) ...
+  {
+    WorkerQueue &Mine = *Queues[Self];
+    std::lock_guard<std::mutex> L(Mine.M);
+    if (!Mine.Q.empty()) {
+      Task = std::move(Mine.Q.back());
+      Mine.Q.pop_back();
+      return true;
+    }
+  }
+  // ... then steal the oldest task from anyone else (FIFO spreads the
+  // largest remaining chunks of work).
+  for (unsigned Off = 1; Off < Queues.size(); ++Off) {
+    WorkerQueue &Other = *Queues[(Self + Off) % Queues.size()];
+    std::lock_guard<std::mutex> L(Other.M);
+    if (!Other.Q.empty()) {
+      Task = std::move(Other.Q.front());
+      Other.Q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  for (;;) {
+    std::function<void()> Task;
+    if (!popTask(Self, Task)) {
+      std::unique_lock<std::mutex> L(WaitM);
+      WorkCV.wait(L, [this] {
+        return Stop.load() || Queued.load(std::memory_order_acquire) > 0;
+      });
+      if (Stop.load() && Queued.load() == 0)
+        return;
+      continue;
+    }
+    Queued.fetch_sub(1, std::memory_order_relaxed);
+    try {
+      Task();
+    } catch (...) {
+      std::lock_guard<std::mutex> L(ErrM);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    if (InFlight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> L(WaitM);
+      IdleCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait() {
+  {
+    std::unique_lock<std::mutex> L(WaitM);
+    IdleCV.wait(L, [this] { return InFlight.load() == 0; });
+  }
+  std::exception_ptr E;
+  {
+    std::lock_guard<std::mutex> L(ErrM);
+    std::swap(E, FirstError);
+  }
+  if (E)
+    std::rethrow_exception(E);
+}

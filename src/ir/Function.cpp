@@ -167,6 +167,15 @@ size_t Function::instructionCount() const {
   return N;
 }
 
+unsigned Function::renumberInstructions() {
+  unsigned Next = 0;
+  for (const auto &BB : Blocks)
+    for (const auto &I : *BB)
+      I->setSeq(Next++);
+  InstrSeqBound = Next;
+  return Next;
+}
+
 std::string Function::uniqueName(const std::string &Base) {
   unsigned &Counter = NameCounters[Base];
   std::string Result = Counter == 0 ? Base

@@ -88,6 +88,20 @@ public:
   /// Total instruction count, for stats and benches.
   size_t instructionCount() const;
 
+  /// Assigns every instruction a dense sequence number (block order, then
+  /// position) and returns the count.  Analyses index flat vectors by
+  /// Instruction::seq() instead of pointer-keyed maps; re-run after any IR
+  /// mutation that adds or reorders instructions.  Idempotent.
+  unsigned renumberInstructions();
+
+  /// One past the largest sequence number handed out (0 when the function
+  /// has never been numbered).
+  unsigned instrSeqBound() const { return InstrSeqBound; }
+
+  /// Reserves a fresh sequence number for an instruction inserted after the
+  /// last renumbering (e.g. materialized exit values).
+  unsigned allocateInstrSeq() { return InstrSeqBound++; }
+
   /// Returns a fresh name "Base" or "Base.k" not yet handed out.
   std::string uniqueName(const std::string &Base);
 
@@ -100,6 +114,7 @@ private:
   std::map<int64_t, std::unique_ptr<Constant>> Constants;
   std::unique_ptr<UndefValue> Undef;
   std::map<std::string, unsigned> NameCounters;
+  unsigned InstrSeqBound = 0;
 };
 
 } // namespace ir

@@ -38,6 +38,15 @@ public:
   BasicBlock *parent() const { return Parent; }
   void setParent(BasicBlock *BB) { Parent = BB; }
 
+  /// Sentinel for an instruction that has not been numbered yet.
+  static constexpr unsigned NoSeq = ~0u;
+
+  /// Dense per-function sequence number assigned by
+  /// Function::renumberInstructions(); analyses key flat vectors by it
+  /// instead of pointer-keyed maps.  NoSeq until the function is numbered.
+  unsigned seq() const { return Seq; }
+  void setSeq(unsigned S) { Seq = S; }
+
   unsigned numOperands() const { return Operands.size(); }
   Value *operand(unsigned I) const {
     assert(I < Operands.size() && "operand index out of range");
@@ -106,6 +115,7 @@ private:
   BasicBlock *Parent = nullptr;
   Var *Variable = nullptr;
   Array *Arr = nullptr;
+  unsigned Seq = NoSeq;
 };
 
 } // namespace ir

@@ -6,9 +6,48 @@
 #include <algorithm>
 #include <optional>
 #include <set>
+#include <unordered_set>
 
 using namespace biv;
 using namespace biv::ivclass;
+
+//===----------------------------------------------------------------------===//
+// ClassTable
+//===----------------------------------------------------------------------===//
+
+Classification *ClassTable::find(const ir::Value *V) {
+  if (const auto *I = ir::dyn_cast<ir::Instruction>(V)) {
+    unsigned Seq = I->seq();
+    return Seq < BySeq.size() ? BySeq[Seq] : nullptr;
+  }
+  auto It = Other.find(V);
+  return It != Other.end() ? It->second : nullptr;
+}
+
+Classification &ClassTable::getOrCreate(const ir::Value *V, bool &Created) {
+  Created = false;
+  if (const auto *I = ir::dyn_cast<ir::Instruction>(V)) {
+    unsigned Seq = I->seq();
+    if (Seq >= BySeq.size())
+      BySeq.resize(std::max<size_t>(Seq + 1, BySeq.size() * 2), nullptr);
+    Classification *&Slot = BySeq[Seq];
+    if (!Slot) {
+      Pool.emplace_back();
+      Slot = &Pool.back();
+      Entries.push_back({V, Slot});
+      Created = true;
+    }
+    return *Slot;
+  }
+  Classification *&Slot = Other[V];
+  if (!Slot) {
+    Pool.emplace_back();
+    Slot = &Pool.back();
+    Entries.push_back({V, Slot});
+    Created = true;
+  }
+  return *Slot;
+}
 
 namespace {
 
@@ -35,11 +74,13 @@ using SymSet = std::vector<LinTerm>;
 class LoopClassifier {
 public:
   LoopClassifier(InductionAnalysis &IA, const analysis::Loop *L,
-                 std::map<const ir::Value *, Classification> &Map,
-                 const InductionAnalysis::Options &Opts, unsigned &FamilyId,
-                 InductionAnalysis::Stats &S)
+                 ClassTable &Map, const InductionAnalysis::Options &Opts,
+                 unsigned &FamilyId, InductionAnalysis::Stats &S)
       : IA(IA), L(L), G(*L, IA.loopInfo()), Map(Map), Opts(Opts),
         NextFamilyId(FamilyId), S(S) {
+    // The graph construction numbered the function if needed; the SCR
+    // membership mask is keyed by those sequence numbers.
+    InSCRMask.assign(L->header()->parent()->instrSeqBound(), 0);
     // Arrays written inside the loop (for the array-load invariance rule).
     for (ir::BasicBlock *BB : L->blocks())
       for (const auto &I : *BB)
@@ -59,14 +100,20 @@ public:
 
 private:
   const Classification &classOf(const ir::Value *V) {
-    auto It = Map.find(V);
-    if (It != Map.end())
-      return It->second;
-    return Map.emplace(V, IA.classifyExternal(V, L)).first->second;
+    bool Created = false;
+    Classification &C = Map.getOrCreate(V, Created);
+    if (Created)
+      C = IA.classifyExternal(V, L);
+    return C;
   }
 
   void setClass(const ir::Instruction *I, Classification C) {
-    Map[I] = std::move(C);
+    bool Created = false;
+    Map.getOrCreate(I, Created) = std::move(C);
+  }
+
+  bool inSCR(const ir::Instruction *I) const {
+    return I->seq() < InSCRMask.size() && InSCRMask[I->seq()];
   }
 
   //===------------------------------------------------------------------===//
@@ -371,8 +418,14 @@ private:
   }
 
   void classifyRegion(const SCR &Region) {
-    std::set<const ir::Instruction *> InSCR(Region.Nodes.begin(),
-                                            Region.Nodes.end());
+    for (const ir::Instruction *N : Region.Nodes)
+      InSCRMask[N->seq()] = 1;
+    classifyRegionImpl(Region);
+    for (const ir::Instruction *N : Region.Nodes)
+      InSCRMask[N->seq()] = 0;
+  }
+
+  void classifyRegionImpl(const SCR &Region) {
     std::vector<ir::Instruction *> HeaderPhis;
     bool OnlyPhisAndCopies = true;
     for (ir::Instruction *N : Region.Nodes) {
@@ -391,11 +444,11 @@ private:
     // family of periodic variables rotating around the ring.
     if (HeaderPhis.size() >= 2 && OnlyPhisAndCopies &&
         onlyHeaderPhis(Region, HeaderPhis))
-      if (classifyPeriodic(Region, HeaderPhis, InSCR))
+      if (classifyPeriodic(Region, HeaderPhis))
         return;
 
     if (HeaderPhis.size() == 1) {
-      classifySingleHeader(Region, HeaderPhis.front(), InSCR);
+      classifySingleHeader(Region, HeaderPhis.front());
       return;
     }
     markAllUnknown(Region);
@@ -421,8 +474,7 @@ private:
   }
 
   bool classifyPeriodic(const SCR &Region,
-                        const std::vector<ir::Instruction *> &HeaderPhis,
-                        const std::set<const ir::Instruction *> &InSCR) {
+                        const std::vector<ir::Instruction *> &HeaderPhis) {
     const unsigned P = HeaderPhis.size();
     // Follow the carried chain from a canonical start; it must visit every
     // header phi exactly once and return.
@@ -438,7 +490,7 @@ private:
       if (!splitHeaderPhi(Cur, Init, Carried))
         return false;
       auto *Next = ir::dyn_cast<ir::Instruction>(chaseCopies(Carried));
-      if (!Next || !InSCR.count(Next) || !Next->isPhi())
+      if (!Next || !inSCR(Next) || !Next->isPhi())
         return false;
       Cur = Next;
     }
@@ -477,25 +529,24 @@ private:
   // Single-header-phi regions: symbolic evaluation + recurrence solving
   //===------------------------------------------------------------------===//
 
+  using EvalMemo =
+      std::unordered_map<const ir::Instruction *, std::optional<SymSet>>;
+
   std::optional<SymSet> evalValue(ir::Value *V, ir::Instruction *H,
-                                  const std::set<const ir::Instruction *> &InSCR,
-                                  std::map<const ir::Instruction *,
-                                           std::optional<SymSet>> &Memo) {
+                                  EvalMemo &Memo) {
     if (V == H)
       return SymSet{{Rational(1), ClosedForm(), {}}};
     auto *I = ir::dyn_cast<ir::Instruction>(V);
-    if (I && InSCR.count(I))
-      return evalInst(I, H, InSCR, Memo);
+    if (I && inSCR(I))
+      return evalInst(I, H, Memo);
     const Classification &C = classOf(V);
     if (C.hasClosedForm())
       return SymSet{{Rational(0), C.Form, {}}};
     return std::nullopt;
   }
 
-  std::optional<SymSet>
-  evalInst(ir::Instruction *I, ir::Instruction *H,
-           const std::set<const ir::Instruction *> &InSCR,
-           std::map<const ir::Instruction *, std::optional<SymSet>> &Memo) {
+  std::optional<SymSet> evalInst(ir::Instruction *I, ir::Instruction *H,
+                                 EvalMemo &Memo) {
     auto It = Memo.find(I);
     if (It != Memo.end())
       return It->second;
@@ -504,8 +555,8 @@ private:
     Memo[I] = std::nullopt;
 
     auto combine2 = [&](auto &&Fn) -> std::optional<SymSet> {
-      std::optional<SymSet> LHS = evalValue(I->operand(0), H, InSCR, Memo);
-      std::optional<SymSet> RHS = evalValue(I->operand(1), H, InSCR, Memo);
+      std::optional<SymSet> LHS = evalValue(I->operand(0), H, Memo);
+      std::optional<SymSet> RHS = evalValue(I->operand(1), H, Memo);
       if (!LHS || !RHS)
         return std::nullopt;
       SymSet Out;
@@ -529,7 +580,7 @@ private:
       SymSet Out;
       bool OK = true;
       for (ir::Value *Op : I->operands()) {
-        std::optional<SymSet> OpSet = evalValue(Op, H, InSCR, Memo);
+        std::optional<SymSet> OpSet = evalValue(Op, H, Memo);
         if (!OpSet) {
           OK = false;
           break;
@@ -542,11 +593,11 @@ private:
       break;
     }
     case ir::Opcode::Copy: {
-      Result = evalValue(I->operand(0), H, InSCR, Memo);
+      Result = evalValue(I->operand(0), H, Memo);
       break;
     }
     case ir::Opcode::Neg: {
-      std::optional<SymSet> Sub = evalValue(I->operand(0), H, InSCR, Memo);
+      std::optional<SymSet> Sub = evalValue(I->operand(0), H, Memo);
       if (Sub) {
         SymSet Out;
         for (const LinTerm &T : *Sub)
@@ -618,8 +669,7 @@ private:
     Set.push_back(std::move(T));
   }
 
-  void classifySingleHeader(const SCR &Region, ir::Instruction *H,
-                            const std::set<const ir::Instruction *> &InSCR) {
+  void classifySingleHeader(const SCR &Region, ir::Instruction *H) {
     ir::Value *InitV = nullptr, *CarriedV = nullptr;
     if (!splitHeaderPhi(H, InitV, CarriedV)) {
       markAllUnknown(Region);
@@ -629,8 +679,9 @@ private:
     Affine Init = InitC.isInvariant() ? InitC.Form.initialValue()
                                       : Affine::symbol(InitV);
 
-    std::map<const ir::Instruction *, std::optional<SymSet>> Memo;
-    std::optional<SymSet> Carried = evalValue(CarriedV, H, InSCR, Memo);
+    EvalMemo Memo;
+    Memo.reserve(Region.Nodes.size() * 2);
+    std::optional<SymSet> Carried = evalValue(CarriedV, H, Memo);
     if (!Carried || Carried->empty()) {
       markAllUnknown(Region);
       return;
@@ -764,11 +815,13 @@ private:
   InductionAnalysis &IA;
   const analysis::Loop *L;
   SSAGraph G;
-  std::map<const ir::Value *, Classification> &Map;
+  ClassTable &Map;
   const InductionAnalysis::Options &Opts;
   unsigned &NextFamilyId;
   InductionAnalysis::Stats &S;
-  std::set<const ir::Array *> StoredArrays;
+  std::unordered_set<const ir::Array *> StoredArrays;
+  /// Instruction::seq() -> membership in the SCR currently being classified.
+  std::vector<char> InSCRMask;
 };
 
 } // namespace
@@ -781,7 +834,20 @@ InductionAnalysis::InductionAnalysis(ir::Function &F,
                                      const analysis::DominatorTree &DT,
                                      const analysis::LoopInfo &LI,
                                      Options Opts)
-    : F(F), DT(DT), LI(LI), Opts(Opts) {}
+    : F(F), DT(DT), LI(LI), Opts(Opts) {
+  // Dense numbering backs every per-loop table and the SSA graphs; doing it
+  // here (cheap, idempotent) also repairs numbering after mutating passes.
+  F.renumberInstructions();
+  ClassMap.resize(LI.loops().size());
+  TripCounts.resize(LI.loops().size());
+}
+
+ClassTable &InductionAnalysis::tableFor(const analysis::Loop *L) {
+  if (!L)
+    return NullLoopClasses;
+  assert(L->index() < ClassMap.size() && "loop not from this LoopInfo");
+  return ClassMap[L->index()];
+}
 
 InductionAnalysis::InductionAnalysis(ir::Function &F,
                                      const analysis::DominatorTree &DT,
@@ -794,31 +860,31 @@ void InductionAnalysis::run() {
 }
 
 void InductionAnalysis::processLoop(const analysis::Loop *L) {
-  LoopClassifier(*this, L, ClassMap[L], Opts, NextFamilyId, S).run();
+  LoopClassifier(*this, L, tableFor(L), Opts, NextFamilyId, S).run();
 
   TripCountInfo TC = computeTripCount(
       *L, [&](const ir::Value *V) -> Classification {
         return classify(V, L);
       });
-  TripCounts[L] = TC;
+  TripCounts[L->index()] = TC;
   if (Opts.MaterializeExitValues)
     materializeExitValues(L, TC);
 }
 
 const Classification &InductionAnalysis::classify(const ir::Value *V,
                                                   const analysis::Loop *L) {
-  auto &M = ClassMap[L];
-  auto It = M.find(V);
-  if (It != M.end())
-    return It->second;
-  return M.emplace(V, classifyExternal(V, L)).first->second;
+  bool Created = false;
+  Classification &C = tableFor(L).getOrCreate(V, Created);
+  if (Created)
+    C = classifyExternal(V, L);
+  return C;
 }
 
 const TripCountInfo &
 InductionAnalysis::tripCount(const analysis::Loop *L) const {
-  auto It = TripCounts.find(L);
-  assert(It != TripCounts.end() && "trip count queried before run()");
-  return It->second;
+  assert(L->index() < TripCounts.size() && TripCounts[L->index()] &&
+         "trip count queried before run()");
+  return *TripCounts[L->index()];
 }
 
 Classification
@@ -878,6 +944,8 @@ ir::Value *InductionAnalysis::materializeAffine(const Affine &V,
   // replaced value later in the same block stay dominated.
   size_t InsertPos = BB->phis().size();
   auto emit = [&](std::unique_ptr<ir::Instruction> I) {
+    // Keep the dense numbering valid for the enclosing loops' graphs.
+    I->setSeq(F.allocateInstrSeq());
     return BB->insertAt(InsertPos++, std::move(I));
   };
   ir::Value *Acc = nullptr;
@@ -927,13 +995,13 @@ void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
   // Candidates: this loop's classified instructions with closed forms.
   // Copy the list first; materialization mutates the block contents.
   std::vector<std::pair<const ir::Instruction *, ClosedForm>> Candidates;
-  for (const auto &[V, C] : ClassMap[L]) {
+  for (const auto &[V, C] : tableFor(L).entries()) {
     const auto *I = ir::dyn_cast<ir::Instruction>(V);
     if (!I || !L->contains(I->parent()))
       continue;
-    if (!C.hasClosedForm() || C.isInvariant())
+    if (!C->hasClosedForm() || C->isInvariant())
       continue;
-    Candidates.push_back({I, C.Form});
+    Candidates.push_back({I, C->Form});
   }
 
   for (const auto &[V, Form] : Candidates) {

@@ -28,10 +28,41 @@
 #include "analysis/LoopInfo.h"
 #include "ivclass/Classification.h"
 #include "ivclass/TripCount.h"
-#include <map>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
 
 namespace biv {
 namespace ivclass {
+
+/// Classification storage for one loop.  Instructions (the hot path) are
+/// keyed by their dense Instruction::seq() through a flat pointer vector;
+/// constants, arguments, and undef fall back to a hash map.  Entries are
+/// pooled in a deque so references stay stable across inserts, and the
+/// insertion order is recorded so iteration is deterministic (a pointer-keyed
+/// std::map iterated in address order, which varies run to run).
+class ClassTable {
+public:
+  /// The entry for \p V, or null when none has been recorded.
+  Classification *find(const ir::Value *V);
+
+  /// The entry for \p V, default-constructed on first touch.  \p Created
+  /// tells the caller whether to fill it in.
+  Classification &getOrCreate(const ir::Value *V, bool &Created);
+
+  /// Entries in insertion order (value, classification).
+  const std::vector<std::pair<const ir::Value *, const Classification *>> &
+  entries() const {
+    return Entries;
+  }
+
+private:
+  std::vector<Classification *> BySeq;
+  std::unordered_map<const ir::Value *, Classification *> Other;
+  std::deque<Classification> Pool;
+  std::vector<std::pair<const ir::Value *, const Classification *>> Entries;
+};
 
 /// Runs the paper's algorithm over a function and answers classification
 /// queries per (value, loop) pair.
@@ -58,11 +89,31 @@ public:
     unsigned MonotonicRegions = 0;
     unsigned UnknownRegions = 0;
     unsigned ExitValuesMaterialized = 0;
+
+    /// Accumulates \p O (batch drivers merge per-function stats).
+    Stats &operator+=(const Stats &O) {
+      Regions += O.Regions;
+      LinearFamilies += O.LinearFamilies;
+      PolynomialFamilies += O.PolynomialFamilies;
+      GeometricFamilies += O.GeometricFamilies;
+      PeriodicFamilies += O.PeriodicFamilies;
+      WrapArounds += O.WrapArounds;
+      MonotonicRegions += O.MonotonicRegions;
+      UnknownRegions += O.UnknownRegions;
+      ExitValuesMaterialized += O.ExitValuesMaterialized;
+      return *this;
+    }
   };
 
   /// \p F must be in SSA form with preds computed.  \p DT must be the
   /// dominator tree of \p F; the analysis inserts instructions but never
   /// changes the CFG, so \p DT stays valid throughout.
+  ///
+  /// Thread-safety: with MaterializeExitValues off, run() reads the IR but
+  /// never writes it, so analyses of *distinct* functions may run
+  /// concurrently (the batch driver relies on this).  Construction numbers
+  /// the function's instructions (a write), so concurrent analyses of the
+  /// same function are not supported.
   InductionAnalysis(ir::Function &F, const analysis::DominatorTree &DT,
                     const analysis::LoopInfo &LI, Options Opts);
   InductionAnalysis(ir::Function &F, const analysis::DominatorTree &DT,
@@ -107,16 +158,20 @@ private:
   ir::Value *materializeAffine(const Affine &V, ir::BasicBlock *BB,
                                const std::string &Name);
 
+  /// Table for \p L; loops are keyed by their dense index, a null loop (the
+  /// "no enclosing loop" queries) by a dedicated slot.
+  ClassTable &tableFor(const analysis::Loop *L);
+
   ir::Function &F;
   const analysis::DominatorTree &DT;
   const analysis::LoopInfo &LI;
   Options Opts;
   Stats S;
 
-  std::map<const analysis::Loop *,
-           std::map<const ir::Value *, Classification>>
-      ClassMap;
-  std::map<const analysis::Loop *, TripCountInfo> TripCounts;
+  /// Indexed by Loop::index(); sized once at construction.
+  std::vector<ClassTable> ClassMap;
+  ClassTable NullLoopClasses;
+  std::vector<std::optional<TripCountInfo>> TripCounts;
   unsigned NextFamilyId = 1;
 };
 

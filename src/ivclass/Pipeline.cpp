@@ -23,7 +23,8 @@ biv::ivclass::analyzeSource(const std::string &Source,
   if (Opts.RunSCCP) {
     // Fold-only: branch pruning could delete the loops under analysis.
     ssa::runSCCP(*P.F, /*SimplifyCFG=*/false);
-    ssa::verifySSAOrDie(*P.F);
+    if (Opts.VerifyEach)
+      ssa::verifySSAOrDie(*P.F);
   }
   P.DT = std::make_unique<analysis::DominatorTree>(*P.F);
   P.LI = std::make_unique<analysis::LoopInfo>(*P.F, *P.DT);
@@ -31,6 +32,18 @@ biv::ivclass::analyzeSource(const std::string &Source,
                                              Opts.Analysis);
   P.IA->run();
   return P;
+}
+
+std::vector<std::optional<AnalyzedProgram>>
+biv::ivclass::analyzeSources(const std::vector<std::string> &Sources,
+                             std::vector<std::vector<std::string>> &Errors,
+                             const PipelineOptions &Opts) {
+  std::vector<std::optional<AnalyzedProgram>> Results;
+  Results.reserve(Sources.size());
+  Errors.assign(Sources.size(), {});
+  for (size_t I = 0; I < Sources.size(); ++I)
+    Results.push_back(analyzeSource(Sources[I], Errors[I], Opts));
+  return Results;
 }
 
 AnalyzedProgram

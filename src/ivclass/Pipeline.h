@@ -42,6 +42,11 @@ struct PipelineOptions {
   /// Run Wegman-Zadeck constant propagation (fold-only) before the IV
   /// analysis, as the paper suggests for resolving initial values.
   bool RunSCCP = true;
+  /// Re-verify SSA after each mutating stage (post-SCCP).  On by default so
+  /// tests catch pass bugs at the stage that introduced them; benches and
+  /// the batch driver turn it off -- the initial post-construction verify
+  /// always runs.
+  bool VerifyEach = true;
   InductionAnalysis::Options Analysis;
 };
 
@@ -55,6 +60,15 @@ analyzeSource(const std::string &Source, std::vector<std::string> &Errors,
 AnalyzedProgram analyzeSourceOrDie(const std::string &Source,
                                    const PipelineOptions &Opts =
                                        PipelineOptions());
+
+/// Analyzes several independent programs with one set of options.  Slot i
+/// holds source i's analysis, or nullopt with its diagnostics appended to
+/// \p Errors[i].  This is the serial entry; driver::BatchAnalyzer shards the
+/// same per-unit work across a thread pool.
+std::vector<std::optional<AnalyzedProgram>>
+analyzeSources(const std::vector<std::string> &Sources,
+               std::vector<std::vector<std::string>> &Errors,
+               const PipelineOptions &Opts = PipelineOptions());
 
 } // namespace ivclass
 } // namespace biv

@@ -50,6 +50,19 @@ struct KindCounts {
     return Linear + Polynomial + Geometric + WrapAround + Periodic +
            Monotonic + Invariant;
   }
+
+  /// Accumulates \p O (batch drivers merge per-function counts).
+  KindCounts &operator+=(const KindCounts &O) {
+    Linear += O.Linear;
+    Polynomial += O.Polynomial;
+    Geometric += O.Geometric;
+    WrapAround += O.WrapAround;
+    Periodic += O.Periodic;
+    Monotonic += O.Monotonic;
+    Invariant += O.Invariant;
+    Unknown += O.Unknown;
+    return *this;
+  }
 };
 
 /// Counts the classification kinds of all loop-header phis.

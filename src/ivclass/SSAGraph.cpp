@@ -8,64 +8,93 @@ using namespace biv::ivclass;
 
 SSAGraph::SSAGraph(const analysis::Loop &L, const analysis::LoopInfo &LI)
     : Loop(L) {
+  ir::Function *F = L.header()->parent();
+
+  // Collect the member instructions: blocks whose innermost loop is L.
   for (ir::BasicBlock *BB : L.blocks()) {
-    // Skip blocks owned by a nested loop: the innermost loop of the block
-    // must be L itself.
     if (LI.loopFor(BB) != &L)
       continue;
-    for (const auto &I : *BB) {
-      NodeIndex[I.get()] = Nodes.size();
+    for (const auto &I : *BB)
       Nodes.push_back(I.get());
-    }
   }
-}
 
-std::vector<ir::Instruction *>
-SSAGraph::successors(const ir::Instruction *I) const {
-  std::vector<ir::Instruction *> Succs;
-  for (ir::Value *Op : I->operands()) {
-    auto *OpInst = ir::dyn_cast<ir::Instruction>(Op);
-    if (OpInst && NodeIndex.count(OpInst))
-      Succs.push_back(OpInst);
-  }
-  return Succs;
+  // Instructions must carry valid dense numbers; number the function on
+  // first contact (idempotent) or when a mutating pass left strays behind.
+  bool Valid = F->instrSeqBound() > 0;
+  for (const ir::Instruction *I : Nodes)
+    if (!Valid || I->seq() >= F->instrSeqBound()) {
+      Valid = false;
+      break;
+    }
+  if (!Valid)
+    F->renumberInstructions();
+
+  SeqToNode.assign(F->instrSeqBound(), NoNode);
+  for (unsigned Idx = 0; Idx < Nodes.size(); ++Idx)
+    SeqToNode[Nodes[Idx]->seq()] = Idx;
+
+  // CSR adjacency, one pass to count and one to fill.
+  const unsigned N = Nodes.size();
+  EdgeOffsets.assign(N + 1, 0);
+  auto memberOf = [&](const ir::Value *Op) -> unsigned {
+    const auto *OpInst = ir::dyn_cast<ir::Instruction>(Op);
+    if (!OpInst || OpInst->seq() >= SeqToNode.size())
+      return NoNode;
+    return SeqToNode[OpInst->seq()];
+  };
+  for (unsigned Idx = 0; Idx < N; ++Idx)
+    for (const ir::Value *Op : Nodes[Idx]->operands())
+      if (memberOf(Op) != NoNode)
+        ++EdgeOffsets[Idx + 1];
+  for (unsigned Idx = 0; Idx < N; ++Idx)
+    EdgeOffsets[Idx + 1] += EdgeOffsets[Idx];
+  Edges.resize(EdgeOffsets[N]);
+  std::vector<unsigned> Fill(EdgeOffsets.begin(), EdgeOffsets.end() - 1);
+  for (unsigned Idx = 0; Idx < N; ++Idx)
+    for (const ir::Value *Op : Nodes[Idx]->operands()) {
+      unsigned W = memberOf(Op);
+      if (W != NoNode)
+        Edges[Fill[Idx]++] = W;
+    }
 }
 
 std::vector<SCR> SSAGraph::stronglyConnectedRegions() const {
   // Iterative Tarjan so deep use chains in generated benchmarks cannot
-  // overflow the call stack.
+  // overflow the call stack.  All bookkeeping is flat, reserved storage;
+  // the only per-region allocation is the SCR node list itself.
   const unsigned N = Nodes.size();
   constexpr unsigned None = ~0u;
   std::vector<unsigned> Index(N, None), LowLink(N, None);
   std::vector<char> OnStack(N, 0);
   std::vector<unsigned> Stack;
+  Stack.reserve(N);
   std::vector<SCR> Result;
   unsigned NextIndex = 0;
 
   struct Frame {
     unsigned Node;
-    std::vector<ir::Instruction *> Succs;
-    size_t NextSucc = 0;
+    unsigned NextEdge; // index into Edges, runs to EdgeOffsets[Node + 1]
   };
   std::vector<Frame> CallStack;
+  CallStack.reserve(64);
 
   for (unsigned Root = 0; Root < N; ++Root) {
     if (Index[Root] != None)
       continue;
-    CallStack.push_back({Root, successors(Nodes[Root])});
+    CallStack.push_back({Root, EdgeOffsets[Root]});
     Index[Root] = LowLink[Root] = NextIndex++;
     Stack.push_back(Root);
     OnStack[Root] = 1;
 
     while (!CallStack.empty()) {
       Frame &F = CallStack.back();
-      if (F.NextSucc < F.Succs.size()) {
-        unsigned W = NodeIndex.at(F.Succs[F.NextSucc++]);
+      if (F.NextEdge < EdgeOffsets[F.Node + 1]) {
+        unsigned W = Edges[F.NextEdge++];
         if (Index[W] == None) {
           Index[W] = LowLink[W] = NextIndex++;
           Stack.push_back(W);
           OnStack[W] = 1;
-          CallStack.push_back({W, successors(Nodes[W])});
+          CallStack.push_back({W, EdgeOffsets[W]});
         } else if (OnStack[W]) {
           LowLink[F.Node] = std::min(LowLink[F.Node], Index[W]);
         }

@@ -17,6 +17,11 @@
 /// operands defined there are treated as opaque (paper section 5.3), except
 /// for exit values the analysis has already materialized.
 ///
+/// Representation: nodes are keyed by Instruction::seq() (dense per-function
+/// numbering) through a flat vector, and edges live in one CSR-style array
+/// built once at construction, so both graph construction and Tarjan's walk
+/// are allocation-free per node and touch no ordered containers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BEYONDIV_IVCLASS_SSAGRAPH_H
@@ -24,7 +29,6 @@
 
 #include "analysis/LoopInfo.h"
 #include "ir/Function.h"
-#include <map>
 #include <vector>
 
 namespace biv {
@@ -42,13 +46,14 @@ struct SCR {
 class SSAGraph {
 public:
   /// Builds the graph of \p L: all instructions whose block is in \p L but
-  /// in none of L's sub-loops.
+  /// in none of L's sub-loops.  Numbers the function's instructions densely
+  /// when that has not happened yet.
   SSAGraph(const analysis::Loop &L, const analysis::LoopInfo &LI);
 
   const analysis::Loop &loop() const { return Loop; }
   const std::vector<ir::Instruction *> &nodes() const { return Nodes; }
   bool containsNode(const ir::Instruction *I) const {
-    return NodeIndex.count(I) != 0;
+    return I->seq() < SeqToNode.size() && SeqToNode[I->seq()] != NoNode;
   }
 
   /// Strongly connected regions in Tarjan pop order: every SCR appears
@@ -56,12 +61,17 @@ public:
   std::vector<SCR> stronglyConnectedRegions() const;
 
 private:
-  /// Graph successors of \p I: its operands that are nodes of this graph.
-  std::vector<ir::Instruction *> successors(const ir::Instruction *I) const;
+  static constexpr unsigned NoNode = ~0u;
 
   const analysis::Loop &Loop;
   std::vector<ir::Instruction *> Nodes;
-  std::map<const ir::Instruction *, unsigned> NodeIndex;
+  /// Instruction::seq() -> node index, NoNode for non-members.  Sized to the
+  /// function's seq bound.
+  std::vector<unsigned> SeqToNode;
+  /// CSR adjacency: successors of node i are Edges[EdgeOffsets[i] ..
+  /// EdgeOffsets[i+1]).
+  std::vector<unsigned> EdgeOffsets;
+  std::vector<unsigned> Edges;
 };
 
 } // namespace ivclass

@@ -14,9 +14,19 @@
 //     --no-sccp          skip constant propagation
 //     --run              interpret the program with the given integer args
 //
+//   bivc --batch [-jN] FILES...
+//     Parallel batch analysis: every file is split into top-level functions
+//     and the whole set is sharded across N workers (default 1; -j0 picks
+//     the hardware concurrency).  Prints the merged classification report in
+//     input order -- byte-identical for every N -- plus a summary.
+//     --summary          suppress per-unit reports, print the summary only
+//     --materialize      enable exit-value materialization per unit
+//     --all-values / --no-sccp apply per unit as in single-file mode
+//
 //===----------------------------------------------------------------------===//
 
 #include "dependence/DependenceAnalyzer.h"
+#include "driver/BatchAnalyzer.h"
 #include "frontend/Lowering.h"
 #include "interp/Interpreter.h"
 #include "ir/Printer.h"
@@ -49,6 +59,13 @@ struct CliOptions {
   std::string PeelLoop;
   unsigned PeelTimes = 1;
   std::vector<int64_t> RunArgs;
+
+  // Batch mode.
+  bool Batch = false;
+  unsigned Jobs = 1;
+  bool SummaryOnly = false;
+  bool Materialize = false;
+  std::vector<std::string> BatchFiles;
 };
 
 int usage() {
@@ -56,7 +73,9 @@ int usage() {
                "usage: bivc FILE [--ir] [--classify] [--all-values] "
                "[--deps] [--trip-counts]\n"
                "            [--peel=LOOP[:N]] [--strength-reduce] "
-               "[--no-sccp] [--run] [-- args...]\n");
+               "[--no-sccp] [--run] [-- args...]\n"
+               "       bivc --batch [-jN] [--summary] [--materialize] "
+               "FILES...\n");
   return 2;
 }
 
@@ -70,6 +89,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
     }
     if (A == "--") {
       AfterDashes = true;
+    } else if (A == "--batch") {
+      O.Batch = true;
+    } else if (A == "--summary") {
+      O.SummaryOnly = true;
+    } else if (A == "--materialize") {
+      O.Materialize = true;
+    } else if (A.rfind("-j", 0) == 0 && A != "-j" &&
+               A.find_first_not_of("0123456789", 2) == std::string::npos) {
+      O.Jobs = std::strtoul(A.c_str() + 2, nullptr, 10);
+    } else if (A.rfind("--jobs=", 0) == 0) {
+      O.Jobs = std::strtoul(A.c_str() + 7, nullptr, 10);
     } else if (A == "--ir") {
       O.PrintIR = true;
     } else if (A == "--classify") {
@@ -98,12 +128,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
     } else if (A.rfind("--", 0) == 0) {
       std::fprintf(stderr, "bivc: unknown option %s\n", A.c_str());
       return false;
+    } else if (O.Batch) {
+      O.BatchFiles.push_back(A);
     } else if (O.File.empty()) {
       O.File = A;
     } else {
       return false;
     }
   }
+  if (O.Batch)
+    return !O.BatchFiles.empty();
   if (O.File.empty())
     return false;
   if (!O.PrintIR && !O.Deps && !O.TripCounts && !O.Run &&
@@ -112,12 +146,41 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
   return true;
 }
 
+int runBatch(const CliOptions &O) {
+  std::vector<driver::SourceInput> Sources;
+  Sources.reserve(O.BatchFiles.size());
+  for (const std::string &Path : O.BatchFiles) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "bivc: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Sources.push_back({Path, Buf.str()});
+  }
+
+  driver::BatchOptions BO;
+  BO.Jobs = O.Jobs;
+  BO.RunSCCP = O.RunSCCP;
+  BO.MaterializeExitValues = O.Materialize;
+  BO.Classify = !O.SummaryOnly;
+  BO.Report.AllValues = O.AllValues;
+  driver::BatchResult R = driver::analyzeBatch(Sources, BO);
+  std::string Text = R.renderText();
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  return R.Failed == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliOptions O;
   if (!parseArgs(Argc, Argv, O))
     return usage();
+
+  if (O.Batch)
+    return runBatch(O);
 
   std::ifstream In(O.File);
   if (!In) {
