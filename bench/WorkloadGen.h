@@ -16,6 +16,7 @@
 #ifndef BEYONDIV_BENCH_WORKLOADGEN_H
 #define BEYONDIV_BENCH_WORKLOADGEN_H
 
+#include "support/Lcg.h"
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -23,27 +24,8 @@
 namespace biv {
 namespace bench {
 
-/// Tiny deterministic LCG so workloads never depend on library RNGs.
-class Lcg {
-public:
-  explicit Lcg(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
-  uint64_t next() {
-    State = State * 6364136223846793005ull + 1442695040888963407ull;
-    return State >> 17;
-  }
-  int64_t range(int64_t Lo, int64_t Hi) { // inclusive
-    // Span in uint64 space so Hi - Lo + 1 cannot overflow; a full-range
-    // request wraps to 0, meaning "any 64-bit value".
-    uint64_t Span = uint64_t(Hi) - uint64_t(Lo) + 1;
-    uint64_t R = next();
-    if (Span != 0)
-      R %= Span;
-    return int64_t(uint64_t(Lo) + R);
-  }
-
-private:
-  uint64_t State;
-};
+/// Deterministic LCG shared with the fuzzing subsystem (support/Lcg.h).
+using biv::Lcg;
 
 /// One loop with a chain of \p N derived linear statements
 /// (v_k = v_{k-1} + c or v_k = a*i + b), ending in array stores so nothing

@@ -2,6 +2,7 @@
 
 #include "frontend/Lexer.h"
 #include <cctype>
+#include <cstdint>
 
 using namespace biv::frontend;
 
@@ -132,8 +133,18 @@ Token Lexer::next() {
     std::string Digits;
     while (std::isdigit(static_cast<unsigned char>(peek())))
       Digits.push_back(get());
+    // Accumulate with an explicit overflow check: source text is untrusted
+    // (the fuzzer feeds arbitrary digit strings) and std::stoll would throw.
+    int64_t V = 0;
+    for (char D : Digits) {
+      int64_t Digit = D - '0';
+      if (V > (INT64_MAX - Digit) / 10)
+        return make(TokenKind::Error,
+                    "integer literal out of range: " + Digits);
+      V = V * 10 + Digit;
+    }
     Token T = make(TokenKind::Number, Digits);
-    T.Value = std::stoll(Digits);
+    T.Value = V;
     return T;
   }
 

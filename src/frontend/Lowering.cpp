@@ -23,7 +23,8 @@ public:
 
   void run(const FuncDecl &F) {
     for (const std::string &P : F.Params)
-      Params.insert(P);
+      if (!Params.insert(P).second)
+        Errors.push_back("duplicate parameter name '" + P + "'");
     visit(F.Body);
     for (const auto &[Name, Rank] : ArrayRanks) {
       (void)Rank;
@@ -35,6 +36,14 @@ public:
 
 private:
   std::set<std::string> Params;
+  std::set<std::string> Labels;
+
+  /// Loop labels must be unique: analyses address loops by name
+  /// (LoopInfo::byName), so a duplicate would be silently ambiguous.
+  void noteLabel(const std::string &Label, SourceLoc Loc) {
+    if (!Labels.insert(Label).second)
+      Errors.push_back(Loc.str() + ": duplicate loop label '" + Label + "'");
+  }
 
   void noteArray(const std::string &Name, unsigned Rank, SourceLoc Loc) {
     auto [It, Inserted] = ArrayRanks.try_emplace(Name, Rank);
@@ -95,11 +104,15 @@ private:
       visit(I->elseBody());
       return;
     }
-    case StmtKind::Loop:
-      visit(ast_cast<LoopStmt>(S)->body());
+    case StmtKind::Loop: {
+      const auto *L = ast_cast<LoopStmt>(S);
+      noteLabel(L->label(), L->loc());
+      visit(L->body());
       return;
+    }
     case StmtKind::For: {
       const auto *F = ast_cast<ForStmt>(S);
+      noteLabel(F->label(), F->loc());
       AssignedScalars.insert(F->var());
       visit(F->lo());
       visit(F->hi());
@@ -110,6 +123,7 @@ private:
     }
     case StmtKind::While: {
       const auto *W = ast_cast<WhileStmt>(S);
+      noteLabel(W->label(), W->loc());
       visit(W->cond());
       visit(W->body());
       return;

@@ -1,0 +1,134 @@
+//===- fuzz/Fuzzer.cpp - Differential fuzzing campaign driver -----------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "driver/BatchAnalyzer.h"
+#include "fuzz/Minimizer.h"
+#include "support/Lcg.h"
+#include <sstream>
+
+using namespace biv;
+using namespace biv::fuzz;
+
+namespace {
+
+/// The minimizer predicate: a candidate still fails when it parses and the
+/// oracle reports at least one mismatch of the same category as the
+/// original finding (so minimization cannot drift onto an unrelated
+/// failure, e.g. an execution fault introduced by dropping an initializer).
+bool stillFails(const std::string &Candidate, const OracleOptions &Opts,
+                const std::string &Category) {
+  OracleResult R = checkProgram(Candidate, Opts);
+  if (!R.ParseOK)
+    return false;
+  for (const Mismatch &M : R.Mismatches)
+    if (M.Check == Category)
+      return true;
+  return false;
+}
+
+} // namespace
+
+FuzzResult biv::fuzz::runFuzz(const FuzzOptions &Opts) {
+  FuzzResult Result;
+  std::vector<driver::SourceInput> Corpus;
+  Corpus.reserve(Opts.Count);
+
+  Lcg SeedStream(Opts.Seed);
+  for (unsigned I = 0; I < Opts.Count; ++I) {
+    uint64_t ProgramSeed = SeedStream.next();
+    std::string Source = generateProgram(ProgramSeed, Opts.Gen);
+    Corpus.push_back({"fuzz" + std::to_string(I), Source});
+
+    OracleOptions OO = Opts.Oracle;
+    OO.ArraySeed = ProgramSeed;
+    OracleResult R = checkProgram(Source, OO);
+    ++Result.Programs;
+    Result.Checks += R.Checks;
+
+    if (R.ParseOK && R.Mismatches.empty())
+      continue;
+
+    FuzzFailure F;
+    F.ProgramSeed = ProgramSeed;
+    F.Source = Source;
+    if (!R.ParseOK) {
+      // The generator must only emit frontend-clean programs; surface a
+      // rejection as a failure of the fuzzer itself.
+      Mismatch M;
+      M.Check = "generator";
+      M.Claim = "generated program parses and lowers";
+      M.Observed = R.FrontendErrors.empty() ? std::string("rejected")
+                                            : R.FrontendErrors.front();
+      F.Mismatches.push_back(std::move(M));
+    } else {
+      F.Mismatches = R.Mismatches;
+    }
+
+    if (Opts.Minimize && R.ParseOK) {
+      const std::string Category = F.Mismatches.front().Check;
+      MinimizeResult MR = minimizeProgram(Source, [&](const std::string &C) {
+        return stillFails(C, OO, Category);
+      });
+      F.MinimizedSource = MR.Source;
+      F.MinimizedStatements = MR.Statements;
+      OracleResult MRes = checkProgram(MR.Source, OO);
+      F.MinimizedMismatches = std::move(MRes.Mismatches);
+    }
+
+    Result.Failures.push_back(std::move(F));
+    if (Result.Failures.size() >= Opts.MaxFailures)
+      break;
+  }
+
+  // Structural diff: the batch driver must render the fuzzed corpus
+  // byte-identically no matter how many workers analyze it.
+  if (Opts.BatchJobs > 1 && !Corpus.empty()) {
+    driver::BatchOptions BO;
+    BO.Report.AllValues = true;
+    BO.Jobs = 1;
+    std::string Serial = driver::analyzeBatch(Corpus, BO).renderText();
+    BO.Jobs = Opts.BatchJobs;
+    std::string Parallel = driver::analyzeBatch(Corpus, BO).renderText();
+    Result.BatchChecked = true;
+    Result.BatchDeterministic = Serial == Parallel;
+  }
+  return Result;
+}
+
+std::string FuzzResult::renderText() const {
+  std::ostringstream OS;
+  OS << "fuzz: " << Programs << " program(s), " << Checks.total()
+     << " claims checked (closed-form " << Checks.ClosedForm
+     << ", wrap-around " << Checks.WrapAround << ", periodic "
+     << Checks.Periodic << ", monotonic " << Checks.Monotonic
+     << ", trip-count " << Checks.TripCount << ", behavior "
+     << Checks.Behavior << ", baseline " << Checks.Baseline << ")\n";
+  if (BatchChecked)
+    OS << "fuzz: batch -j1 vs -jN report "
+       << (BatchDeterministic ? "byte-identical" : "DIFFERS") << "\n";
+
+  for (size_t K = 0; K < Failures.size(); ++K) {
+    const FuzzFailure &F = Failures[K];
+    OS << "\n=== failure " << K + 1 << " (seed " << F.ProgramSeed
+       << ") ===\n";
+    for (const Mismatch &M : F.Mismatches)
+      OS << "  " << M.str() << "\n";
+    if (!F.MinimizedSource.empty()) {
+      OS << "  minimized to " << F.MinimizedStatements
+         << " statement(s):\n";
+      std::istringstream In(F.MinimizedSource);
+      std::string Line;
+      while (std::getline(In, Line))
+        OS << "    | " << Line << "\n";
+      for (const Mismatch &M : F.MinimizedMismatches)
+        OS << "  " << M.str() << "\n";
+    } else {
+      std::istringstream In(F.Source);
+      std::string Line;
+      while (std::getline(In, Line))
+        OS << "    | " << Line << "\n";
+    }
+  }
+  OS << (ok() ? "fuzz: OK\n" : "fuzz: FAILURES FOUND\n");
+  return OS.str();
+}

@@ -1,0 +1,79 @@
+//===- fuzz/Fuzzer.h - Differential fuzzing campaign driver -----*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a whole campaign: generate N seeded programs, run the differential
+/// oracle on each, diff `--batch -j1` against `-jN` output over the fuzzed
+/// corpus (byte identity), and delta-minimize every failure before
+/// reporting.  This is the engine behind `bivc --fuzz N --seed S` and the
+/// `fuzz_test` ctest smoke.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_FUZZ_FUZZER_H
+#define BEYONDIV_FUZZ_FUZZER_H
+
+#include "fuzz/Oracle.h"
+#include "fuzz/ProgramGen.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace fuzz {
+
+struct FuzzOptions {
+  /// Programs to generate and check.
+  unsigned Count = 500;
+  /// Campaign seed; program i runs under an LCG stream derived from
+  /// (Seed, i), so any failure replays from (Seed, i) alone.
+  uint64_t Seed = 1;
+  /// Delta-minimize failures before reporting.
+  bool Minimize = false;
+  /// Stop after this many failing programs.
+  unsigned MaxFailures = 10;
+  /// Worker count diffed against -j1 in the batch determinism check
+  /// (0 disables the check).
+  unsigned BatchJobs = 8;
+
+  GenOptions Gen;
+  OracleOptions Oracle;
+};
+
+/// One failing program, minimized when requested.
+struct FuzzFailure {
+  uint64_t ProgramSeed = 0;
+  std::string Source;
+  std::vector<Mismatch> Mismatches;
+  /// Filled when FuzzOptions::Minimize is set.
+  std::string MinimizedSource;
+  unsigned MinimizedStatements = 0;
+  std::vector<Mismatch> MinimizedMismatches;
+};
+
+struct FuzzResult {
+  unsigned Programs = 0;
+  CheckCounts Checks;
+  std::vector<FuzzFailure> Failures;
+
+  /// Batch determinism diff over the fuzzed corpus.
+  bool BatchChecked = false;
+  bool BatchDeterministic = true;
+
+  bool ok() const { return Failures.empty() && BatchDeterministic; }
+
+  /// Human-readable campaign report (the `bivc --fuzz` output).
+  std::string renderText() const;
+};
+
+/// Runs one campaign.
+FuzzResult runFuzz(const FuzzOptions &Opts = {});
+
+} // namespace fuzz
+} // namespace biv
+
+#endif // BEYONDIV_FUZZ_FUZZER_H

@@ -1,0 +1,124 @@
+//===- fuzz/Minimizer.cpp - Delta-debugging program minimizer -----------------===//
+
+#include "fuzz/Minimizer.h"
+#include "frontend/AST.h"
+#include "frontend/Parser.h"
+#include <vector>
+
+using namespace biv;
+using namespace biv::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Source) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Source) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+std::string joinKept(const std::vector<std::string> &Lines,
+                     const std::vector<bool> &Keep) {
+  std::string S;
+  for (size_t K = 0; K < Lines.size(); ++K)
+    if (Keep[K]) {
+      S += Lines[K];
+      S += '\n';
+    }
+  return S;
+}
+
+unsigned countStmts(const frontend::StmtList &Body) {
+  unsigned N = 0;
+  for (const auto &S : Body) {
+    ++N;
+    if (const auto *If = frontend::ast_dyn_cast<frontend::IfStmt>(S.get())) {
+      N += countStmts(If->thenBody());
+      N += countStmts(If->elseBody());
+    } else if (const auto *L =
+                   frontend::ast_dyn_cast<frontend::LoopStmt>(S.get())) {
+      N += countStmts(L->body());
+    } else if (const auto *F =
+                   frontend::ast_dyn_cast<frontend::ForStmt>(S.get())) {
+      N += countStmts(F->body());
+    } else if (const auto *W =
+                   frontend::ast_dyn_cast<frontend::WhileStmt>(S.get())) {
+      N += countStmts(W->body());
+    }
+  }
+  return N;
+}
+
+} // namespace
+
+unsigned biv::fuzz::countStatements(const std::string &Source) {
+  frontend::Parser P(Source);
+  std::unique_ptr<frontend::FuncDecl> F = P.parseFunction();
+  if (!F || !P.errors().empty())
+    return 0;
+  return countStmts(F->Body);
+}
+
+MinimizeResult biv::fuzz::minimizeProgram(const std::string &Source,
+                                          const StillFailing &Pred) {
+  std::vector<std::string> Lines = splitLines(Source);
+  std::vector<bool> Keep(Lines.size(), true);
+  unsigned Probes = 0;
+
+  size_t Live = Lines.size();
+  auto tryWithout = [&](size_t Begin, size_t End) {
+    // Tentatively drop kept lines in [Begin, End); commit if still failing.
+    std::vector<size_t> Dropped;
+    for (size_t K = Begin; K < End && K < Lines.size(); ++K)
+      if (Keep[K]) {
+        Keep[K] = false;
+        Dropped.push_back(K);
+      }
+    if (Dropped.empty())
+      return false;
+    ++Probes;
+    if (Pred(joinKept(Lines, Keep))) {
+      Live -= Dropped.size();
+      return true;
+    }
+    for (size_t K : Dropped)
+      Keep[K] = true;
+    return false;
+  };
+
+  // ddmin: remove chunks, halving the chunk size until single lines.
+  for (size_t Chunk = Lines.size() / 2; Chunk >= 1; Chunk /= 2) {
+    bool Removed = true;
+    while (Removed) {
+      Removed = false;
+      for (size_t Begin = 0; Begin < Lines.size(); Begin += Chunk)
+        Removed |= tryWithout(Begin, Begin + Chunk);
+    }
+    if (Chunk == 1)
+      break;
+  }
+
+  // 1-minimality sweep (ddmin's chunked passes can leave combinations).
+  bool Removed = true;
+  while (Removed && Live > 1) {
+    Removed = false;
+    for (size_t K = 0; K < Lines.size(); ++K)
+      if (Keep[K])
+        Removed |= tryWithout(K, K + 1);
+  }
+
+  MinimizeResult R;
+  R.Source = joinKept(Lines, Keep);
+  R.Statements = countStatements(R.Source);
+  R.Probes = Probes;
+  return R;
+}

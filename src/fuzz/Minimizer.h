@@ -1,0 +1,53 @@
+//===- fuzz/Minimizer.h - Delta-debugging program minimizer -----*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a mismatching program to a (1-minimal) statement list before it
+/// is reported or checked into the regression corpus.
+///
+/// The algorithm is Zeller's ddmin over source lines (the generator emits
+/// one statement per line), followed by a single-line elimination sweep to
+/// 1-minimality.  Structural damage -- removing a loop header but keeping
+/// its closing brace -- simply fails to parse, which the caller's predicate
+/// rejects, so no grammar awareness is needed beyond line granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_FUZZ_MINIMIZER_H
+#define BEYONDIV_FUZZ_MINIMIZER_H
+
+#include <functional>
+#include <string>
+
+namespace biv {
+namespace fuzz {
+
+/// Returns true when a candidate program still exhibits the failure being
+/// minimized.  The predicate owns validity checking: candidates that do not
+/// parse must return false.
+using StillFailing = std::function<bool(const std::string &Source)>;
+
+struct MinimizeResult {
+  std::string Source;      ///< The minimized program.
+  unsigned Statements = 0; ///< AST statement count of the result.
+  unsigned Probes = 0;     ///< Predicate evaluations spent.
+};
+
+/// Minimizes \p Source under \p Pred.  \p Pred(Source) must be true on
+/// entry; the result is a program on which \p Pred still holds and from
+/// which no single line can be removed without losing the failure.
+MinimizeResult minimizeProgram(const std::string &Source,
+                               const StillFailing &Pred);
+
+/// Number of AST statements in \p Source (loop/if headers count one each,
+/// bodies recurse); 0 when the program does not parse.
+unsigned countStatements(const std::string &Source);
+
+} // namespace fuzz
+} // namespace biv
+
+#endif // BEYONDIV_FUZZ_MINIMIZER_H

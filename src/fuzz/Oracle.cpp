@@ -1,0 +1,472 @@
+//===- fuzz/Oracle.cpp - Differential interpreter oracle ----------------------===//
+
+#include "fuzz/Oracle.h"
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "baseline/ClassicalIV.h"
+#include "frontend/Lowering.h"
+#include "interp/Interpreter.h"
+#include "ivclass/InductionAnalysis.h"
+#include "ssa/SCCP.h"
+#include "ssa/SSABuilder.h"
+#include "ssa/SSAVerifier.h"
+#include "support/Lcg.h"
+#include <sstream>
+
+using namespace biv;
+using namespace biv::fuzz;
+
+std::string Mismatch::str() const {
+  std::string S = Check + " mismatch";
+  if (!Loop.empty())
+    S += " in " + Loop;
+  if (!Value.empty())
+    S += " on " + Value;
+  S += ": claimed " + Claim + "; observed " + Observed;
+  return S;
+}
+
+namespace {
+
+/// Renders the first elements of an observed sequence.
+std::string renderSeq(const std::vector<int64_t> &Seq, size_t Limit = 12) {
+  std::ostringstream OS;
+  OS << "[";
+  for (size_t K = 0; K < Seq.size() && K < Limit; ++K)
+    OS << (K ? ", " : "") << Seq[K];
+  if (Seq.size() > Limit)
+    OS << ", ... (" << Seq.size() << " values)";
+  OS << "]";
+  return OS.str();
+}
+
+/// Binds affine symbols to runtime values: arguments to the run's argument
+/// vector, loop-external instructions to their observed value when they
+/// executed exactly once (so the binding is unambiguous).
+class SymbolEnv {
+public:
+  SymbolEnv(const ir::Function &F, const std::vector<int64_t> &Args,
+            const interp::ExecutionTrace &Trace)
+      : Trace(Trace) {
+    for (const auto &A : F.arguments())
+      ArgValues[A.get()] = Args[A->index()];
+  }
+
+  /// Evaluates \p V; nullopt when a symbol has no unambiguous binding or
+  /// the result is not an integer.
+  std::optional<int64_t> eval(const Affine &V) const {
+    Rational R = V.constantPart();
+    for (const auto &[Sym, Coeff] : V.terms()) {
+      const auto *Val = static_cast<const ir::Value *>(Sym);
+      auto It = ArgValues.find(Val);
+      if (It != ArgValues.end()) {
+        R += Coeff * Rational(It->second);
+        continue;
+      }
+      const auto *I = ir::dyn_cast<ir::Instruction>(Val);
+      if (!I)
+        return std::nullopt;
+      const std::vector<int64_t> &Seq = Trace.sequenceOf(I);
+      if (Seq.size() != 1)
+        return std::nullopt;
+      R += Coeff * Rational(Seq[0]);
+    }
+    if (!R.isInteger())
+      return std::nullopt;
+    return R.getInteger();
+  }
+
+private:
+  const interp::ExecutionTrace &Trace;
+  std::map<const ir::Value *, int64_t> ArgValues;
+};
+
+/// One oracle run's working state.
+class OracleRun {
+public:
+  OracleRun(const std::string &Source, const OracleOptions &Opts)
+      : Source(Source), Opts(Opts) {}
+
+  OracleResult run();
+
+private:
+  void mismatch(std::string Check, std::string Loop, std::string Value,
+                std::string Claim, std::string Observed) {
+    Result.Mismatches.push_back({std::move(Check), std::move(Loop),
+                                 std::move(Value), std::move(Claim),
+                                 std::move(Observed)});
+  }
+
+  void checkBehavior(const interp::ExecutionTrace &Ref,
+                     const interp::ExecutionTrace &Post);
+  void checkLoopClaims(ivclass::InductionAnalysis &IA,
+                       const analysis::Loop *L,
+                       const interp::ExecutionTrace &Post,
+                       const SymbolEnv &Env);
+  void checkClosedForm(ivclass::InductionAnalysis &IA,
+                       const ivclass::Classification &C,
+                       const std::string &LoopName, const std::string &Name,
+                       const std::vector<int64_t> &Seq, const SymbolEnv &Env);
+  void checkWrapAround(ivclass::InductionAnalysis &IA,
+                       const ivclass::Classification &C,
+                       const std::string &LoopName, const std::string &Name,
+                       const std::vector<int64_t> &Seq, const SymbolEnv &Env);
+  void checkPeriodic(ivclass::InductionAnalysis &IA,
+                     const ivclass::Classification &C,
+                     const std::string &LoopName, const std::string &Name,
+                     const std::vector<int64_t> &Seq, const SymbolEnv &Env);
+  void checkMonotonic(const ivclass::Classification &C,
+                      const std::string &LoopName, const std::string &Name,
+                      const std::vector<int64_t> &Seq);
+  void checkTripCount(ivclass::InductionAnalysis &IA,
+                      const analysis::Loop *L,
+                      const interp::ExecutionTrace &Post,
+                      const SymbolEnv &Env);
+  void checkBaseline(ivclass::InductionAnalysis &IA, const analysis::Loop *L);
+
+  const std::string &Source;
+  const OracleOptions &Opts;
+  OracleResult Result;
+};
+
+OracleResult OracleRun::run() {
+  // Reference build: parse -> SSA only, no analysis-side IR mutation.
+  std::vector<std::string> Errors;
+  std::unique_ptr<ir::Function> FRef =
+      frontend::parseAndLower(Source, Errors);
+  if (!FRef) {
+    Result.ParseOK = false;
+    Result.FrontendErrors = std::move(Errors);
+    return std::move(Result);
+  }
+  ssa::buildSSA(*FRef);
+
+  // Argument vector sized to the function, padded deterministically.
+  std::vector<int64_t> Args = Opts.Args;
+  if (Args.size() < FRef->arguments().size())
+    Args.resize(FRef->arguments().size(), Args.empty() ? 6 : Args.back());
+
+  // Seed array A with mixed signs so conditional paths both execute.
+  std::map<std::string, std::map<std::vector<int64_t>, int64_t>> Arrays;
+  {
+    Lcg R(Opts.ArraySeed * 77 + 1);
+    for (int64_t I = -32; I <= 64; ++I)
+      Arrays["A"][{I}] = R.range(-5, 8);
+  }
+
+  interp::ExecOptions EO;
+  EO.MaxSteps = Opts.MaxSteps;
+  interp::ExecutionTrace Ref = interp::runWithArrays(*FRef, Args, Arrays, EO);
+  if (!Ref.ok()) {
+    mismatch("execution", "", "",
+             "program executes within budget",
+             Ref.HitStepLimit ? "step limit hit" : Ref.Error);
+    return std::move(Result);
+  }
+
+  // Analyzed build: the full pipeline, with every IR mutation on (SCCP
+  // folding plus exit-value materialization) -- exactly what the paper's
+  // client transformations would consume.
+  std::unique_ptr<ir::Function> F = frontend::parseAndLower(Source, Errors);
+  if (!F) {
+    Result.ParseOK = false;
+    Result.FrontendErrors = std::move(Errors);
+    return std::move(Result);
+  }
+  ssa::SSAInfo Info = ssa::buildSSA(*F);
+  ssa::verifySSAOrDie(*F);
+  ssa::runSCCP(*F, /*SimplifyCFG=*/false);
+  ssa::verifySSAOrDie(*F);
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ivclass::InductionAnalysis IA(*F, DT, LI);
+  IA.run();
+  ssa::verifySSAOrDie(*F);
+
+  interp::ExecutionTrace Post = interp::runWithArrays(*F, Args, Arrays, EO);
+  if (!Post.ok()) {
+    mismatch("execution", "", "",
+             "analyzed program executes within budget",
+             Post.HitStepLimit ? "step limit hit" : Post.Error);
+    return std::move(Result);
+  }
+
+  checkBehavior(Ref, Post);
+
+  SymbolEnv Env(*F, Args, Post);
+  for (const auto &L : LI.loops()) {
+    if (L->depth() == 1) {
+      checkLoopClaims(IA, L.get(), Post, Env);
+      checkTripCount(IA, L.get(), Post, Env);
+    }
+    if (Opts.CheckBaseline)
+      checkBaseline(IA, L.get());
+  }
+  return std::move(Result);
+}
+
+void OracleRun::checkBehavior(const interp::ExecutionTrace &Ref,
+                              const interp::ExecutionTrace &Post) {
+  ++Result.Checks.Behavior;
+  if (Ref.ReturnValue != Post.ReturnValue) {
+    mismatch("behavior", "", "", "analysis preserves the return value",
+             "ref returned " +
+                 (Ref.ReturnValue ? std::to_string(*Ref.ReturnValue)
+                                  : std::string("void")) +
+                 ", analyzed returned " +
+                 (Post.ReturnValue ? std::to_string(*Post.ReturnValue)
+                                   : std::string("void")));
+    return;
+  }
+  if (Ref.Accesses.size() != Post.Accesses.size()) {
+    mismatch("behavior", "", "", "analysis preserves the array access log",
+             std::to_string(Ref.Accesses.size()) + " accesses vs " +
+                 std::to_string(Post.Accesses.size()));
+    return;
+  }
+  for (size_t K = 0; K < Ref.Accesses.size(); ++K) {
+    const interp::ArrayAccess &A = Ref.Accesses[K];
+    const interp::ArrayAccess &B = Post.Accesses[K];
+    if (A.A->name() != B.A->name() || A.Indices != B.Indices ||
+        A.IsWrite != B.IsWrite) {
+      mismatch("behavior", "", A.A->name(),
+               "analysis preserves the array access log",
+               "access #" + std::to_string(K) + " differs");
+      return;
+    }
+  }
+}
+
+void OracleRun::checkLoopClaims(ivclass::InductionAnalysis &IA,
+                                const analysis::Loop *L,
+                                const interp::ExecutionTrace &Post,
+                                const SymbolEnv &Env) {
+  for (ir::Instruction *Phi : L->header()->phis()) {
+    const ivclass::Classification &C = IA.classify(Phi, L);
+    const std::vector<int64_t> &Seq = Post.sequenceOf(Phi);
+    if (Seq.size() < 2)
+      continue;
+    // Value claims hold over Z; once the run wraps int64 they are
+    // unfalsifiable by this execution, so skip (see ClaimValueBound).
+    bool Wrapped = false;
+    for (int64_t V : Seq)
+      if (V > Opts.ClaimValueBound || V < -Opts.ClaimValueBound) {
+        Wrapped = true;
+        break;
+      }
+    if (Wrapped)
+      continue;
+    const std::string &Name = Phi->name();
+    if (C.hasClosedForm())
+      checkClosedForm(IA, C, L->name(), Name, Seq, Env);
+    else if (C.isWrapAround())
+      checkWrapAround(IA, C, L->name(), Name, Seq, Env);
+    else if (C.isPeriodic())
+      checkPeriodic(IA, C, L->name(), Name, Seq, Env);
+    else if (C.isMonotonic())
+      checkMonotonic(C, L->name(), Name, Seq);
+  }
+}
+
+void OracleRun::checkClosedForm(ivclass::InductionAnalysis &IA,
+                                const ivclass::Classification &C,
+                                const std::string &LoopName,
+                                const std::string &Name,
+                                const std::vector<int64_t> &Seq,
+                                const SymbolEnv &Env) {
+  bool Checked = false;
+  for (size_t H = 0; H < Seq.size(); ++H) {
+    std::optional<int64_t> Expected = Env.eval(C.Form.evaluateAt(H));
+    if (!Expected)
+      return; // unbound symbol: claim not checkable on this run
+    if (C.Kind == ivclass::IVKind::Linear)
+      *Expected += Opts.InjectLinearSkew * int64_t(H);
+    Checked = true;
+    if (*Expected != Seq[H]) {
+      mismatch("closed-form", LoopName, Name, IA.strNested(C),
+               renderSeq(Seq) + " (value " + std::to_string(Seq[H]) +
+                   " at h=" + std::to_string(H) + ", form gives " +
+                   std::to_string(*Expected) + ")");
+      return;
+    }
+  }
+  Result.Checks.ClosedForm += Checked;
+}
+
+void OracleRun::checkWrapAround(ivclass::InductionAnalysis &IA,
+                                const ivclass::Classification &C,
+                                const std::string &LoopName,
+                                const std::string &Name,
+                                const std::vector<int64_t> &Seq,
+                                const SymbolEnv &Env) {
+  const ivclass::Classification *Inner = C.Inner.get();
+  if (!Inner || Seq.size() <= C.WrapOrder)
+    return;
+  // After `order` iterations the value follows the inner class, shifted:
+  // phi(h) = inner(h - order).
+  if (Inner->hasClosedForm()) {
+    bool Checked = false;
+    for (size_t H = C.WrapOrder; H < Seq.size(); ++H) {
+      std::optional<int64_t> Expected =
+          Env.eval(Inner->Form.evaluateAt(int64_t(H - C.WrapOrder)));
+      if (!Expected)
+        return;
+      Checked = true;
+      if (*Expected != Seq[H]) {
+        mismatch("wrap-around", LoopName, Name, IA.strNested(C),
+                 renderSeq(Seq) + " (value " + std::to_string(Seq[H]) +
+                     " at h=" + std::to_string(H) + ", inner form gives " +
+                     std::to_string(*Expected) + ")");
+        return;
+      }
+    }
+    Result.Checks.WrapAround += Checked;
+  } else if (Inner->isPeriodic() && !Inner->RingInits.empty()) {
+    for (size_t H = C.WrapOrder; H < Seq.size(); ++H) {
+      size_t Idx = (Inner->Phase + (H - C.WrapOrder)) % Inner->Period;
+      std::optional<int64_t> Expected = Env.eval(Inner->RingInits[Idx]);
+      if (!Expected)
+        return;
+      if (*Expected != Seq[H]) {
+        mismatch("wrap-around", LoopName, Name, IA.strNested(C),
+                 renderSeq(Seq) + " (value " + std::to_string(Seq[H]) +
+                     " at h=" + std::to_string(H) + ", inner ring gives " +
+                     std::to_string(*Expected) + ")");
+        return;
+      }
+    }
+    ++Result.Checks.WrapAround;
+  } else if (Inner->isMonotonic()) {
+    std::vector<int64_t> Tail(Seq.begin() + C.WrapOrder, Seq.end());
+    if (Tail.size() >= 2)
+      checkMonotonic(*Inner, LoopName, Name, Tail);
+  }
+}
+
+void OracleRun::checkPeriodic(ivclass::InductionAnalysis &IA,
+                              const ivclass::Classification &C,
+                              const std::string &LoopName,
+                              const std::string &Name,
+                              const std::vector<int64_t> &Seq,
+                              const SymbolEnv &Env) {
+  if (C.Period == 0 || C.RingInits.size() != C.Period)
+    return;
+  for (size_t H = 0; H < Seq.size(); ++H) {
+    // value(h) = PScale * ring[(phase + h) mod p] + POffset.
+    std::optional<int64_t> Member =
+        Env.eval(C.RingInits[(C.Phase + H) % C.Period]);
+    std::optional<int64_t> Offset = Env.eval(C.POffset);
+    if (!Member || !Offset)
+      return;
+    Rational R = C.PScale * Rational(*Member) + Rational(*Offset);
+    if (!R.isInteger())
+      return;
+    if (R.getInteger() != Seq[H]) {
+      mismatch("periodic", LoopName, Name, IA.strNested(C),
+               renderSeq(Seq) + " (value " + std::to_string(Seq[H]) +
+                   " at h=" + std::to_string(H) + ", ring gives " +
+                   std::to_string(R.getInteger()) + ")");
+      return;
+    }
+  }
+  ++Result.Checks.Periodic;
+}
+
+void OracleRun::checkMonotonic(const ivclass::Classification &C,
+                               const std::string &LoopName,
+                               const std::string &Name,
+                               const std::vector<int64_t> &Seq) {
+  const char *DirName =
+      C.Dir == ivclass::MonotoneDir::Increasing ? "increasing" : "decreasing";
+  for (size_t K = 1; K < Seq.size(); ++K) {
+    int64_t Prev = Seq[K - 1], Cur = Seq[K];
+    bool OK = C.Dir == ivclass::MonotoneDir::Increasing
+                  ? (C.Strict ? Prev < Cur : Prev <= Cur)
+                  : (C.Strict ? Prev > Cur : Prev >= Cur);
+    if (!OK) {
+      mismatch("monotonic", LoopName, Name,
+               std::string(C.Strict ? "strictly " : "") + DirName,
+               renderSeq(Seq) + " (" + std::to_string(Prev) + " -> " +
+                   std::to_string(Cur) + " at h=" + std::to_string(K) + ")");
+      return;
+    }
+  }
+  ++Result.Checks.Monotonic;
+}
+
+void OracleRun::checkTripCount(ivclass::InductionAnalysis &IA,
+                               const analysis::Loop *L,
+                               const interp::ExecutionTrace &Post,
+                               const SymbolEnv &Env) {
+  const ivclass::TripCountInfo &TC = IA.tripCount(L);
+  ir::Instruction *AnyPhi =
+      L->header()->phis().empty() ? nullptr : L->header()->phis()[0];
+  if (!AnyPhi)
+    return;
+  int64_t Visits = int64_t(Post.sequenceOf(AnyPhi).size());
+  if (Visits == 0)
+    return; // loop never entered on this run
+
+  if (TC.isCountable()) {
+    std::optional<int64_t> Count = Env.eval(TC.count());
+    if (!Count)
+      return;
+    // The trip count is the number of stay decisions; header phis are
+    // evaluated tc + 1 times.  A guarded symbolic count only holds when
+    // positive (otherwise the real count is zero).
+    int64_t Expected = (TC.Guarded && *Count < 0) ? 0 : *Count;
+    ++Result.Checks.TripCount;
+    if (Visits != Expected + 1)
+      mismatch("trip-count", L->name(), "",
+               TC.str(IA.namer()) + " (expecting " +
+                   std::to_string(Expected + 1) + " header visits)",
+               std::to_string(Visits) + " header visits");
+  } else if (TC.MaxCount) {
+    std::optional<int64_t> Max = Env.eval(*TC.MaxCount);
+    if (!Max)
+      return;
+    ++Result.Checks.TripCount;
+    if (Visits - 1 > *Max)
+      mismatch("trip-count", L->name(), "",
+               "max trip count " + std::to_string(*Max),
+               std::to_string(Visits - 1) + " observed stays");
+  }
+}
+
+void OracleRun::checkBaseline(ivclass::InductionAnalysis &IA,
+                              const analysis::Loop *L) {
+  baseline::ClassicalResult CR = baseline::runClassicalIV(*L);
+  for (const auto &[V, IV] : CR.IVs) {
+    (void)IV;
+    // Compare only at L's own nesting level.  The classical phase-2 sweep
+    // covers inner-loop blocks too (and exit-value materialization plants
+    // per-outer-iteration recurrences there), where its per-iteration-of-L
+    // view and the region-based unified classification legitimately
+    // disagree in scope, not in fact.
+    const auto *I = ir::dyn_cast<ir::Instruction>(V);
+    if (I) {
+      bool InSubloop = false;
+      for (const analysis::Loop *Sub : L->subLoops())
+        if (Sub->contains(I->parent())) {
+          InSubloop = true;
+          break;
+        }
+      if (InSubloop)
+        continue;
+    }
+    ++Result.Checks.Baseline;
+    const ivclass::Classification &C = IA.classify(V, L);
+    if (!C.isLinear() && !C.isInvariant())
+      mismatch("baseline", L->name(), V->name(),
+               "unified analysis subsumes classical IVs",
+               std::string("classical found a linear IV, unified says ") +
+                   ivclass::ivKindName(C.Kind));
+  }
+}
+
+} // namespace
+
+OracleResult biv::fuzz::checkProgram(const std::string &Source,
+                                     const OracleOptions &Opts) {
+  return OracleRun(Source, Opts).run();
+}

@@ -1,0 +1,196 @@
+//===- fuzz/ProgramGen.cpp - Grammar-based program generator ------------------===//
+
+#include "fuzz/ProgramGen.h"
+#include "support/Lcg.h"
+#include <vector>
+
+using namespace biv;
+using namespace biv::fuzz;
+
+namespace {
+
+/// Emits one function, one statement per line.
+class Generator {
+public:
+  Generator(uint64_t Seed, const GenOptions &Opts) : R(Seed), Opts(Opts) {}
+
+  std::string run() {
+    Src = "func fuzzed(n) {\n";
+    // Scalar pool.  v* are general recurrence carriers; p0..p2/tmp form the
+    // rotation family; w/w2 the wrap-around chain; m* the monotonic bumps.
+    for (int V = 0; V < 6; ++V)
+      line(1, "v" + std::to_string(V) + " = " +
+                  std::to_string(R.range(0, 9)) + ";");
+    line(1, "p0 = " + std::to_string(R.range(1, 4)) + ";");
+    line(1, "p1 = " + std::to_string(R.range(5, 8)) + ";");
+    line(1, "p2 = " + std::to_string(R.range(9, 12)) + ";");
+    line(1, "tmp = 0;");
+    line(1, "w = " + std::to_string(R.range(90, 99)) + ";");
+    line(1, "w2 = " + std::to_string(R.range(80, 89)) + ";");
+    line(1, "m0 = 0;");
+    line(1, "m1 = 100;");
+
+    unsigned TopLoops = unsigned(R.range(1, int64_t(Opts.MaxTopLoops)));
+    for (unsigned T = 0; T < TopLoops; ++T)
+      genLoop(1, T);
+    line(1, "return v0;");
+    Src += "}\n";
+    return Src;
+  }
+
+private:
+  void line(unsigned Depth, const std::string &Text) {
+    Src += std::string(2 * Depth, ' ') + Text + "\n";
+  }
+
+  std::string freshIV(unsigned Depth, unsigned Sibling) {
+    return "i" + std::to_string(Depth) + std::to_string(Sibling);
+  }
+
+  /// One loop at \p Depth.  Shapes: counted `for` (up, down, strided), a
+  /// triangular `for` bounded by the enclosing IV, or an uncounted `loop`
+  /// exited by a strictly increasing counter.
+  void genLoop(unsigned Depth, unsigned Sibling) {
+    std::string L = "L" + std::to_string(Depth) + std::to_string(Sibling) +
+                    std::to_string(unsigned(R.range(0, 99)));
+    std::string IV = freshIV(Depth, Sibling);
+    int64_t Trip = R.range(2, Opts.MaxTrip);
+    unsigned Shape = unsigned(R.range(0, 9));
+
+    if (Shape <= 4 || Depth == 1) {
+      // Plain counted loop; occasionally strided or counting down.
+      if (Shape == 1)
+        line(Depth, "for " + L + ": " + IV + " = 1 to " +
+                        std::to_string(2 * Trip) + " by 2 {");
+      else if (Shape == 2)
+        line(Depth, "for " + L + ": " + IV + " = " + std::to_string(Trip) +
+                        " downto 1 {");
+      else
+        line(Depth, "for " + L + ": " + IV + " = 1 to " +
+                        std::to_string(Trip) + " {");
+    } else if (Shape <= 7) {
+      // Triangular: trip count is the enclosing loop's IV (Figure 9).
+      std::string Outer = CurrentIVs.back();
+      line(Depth, "for " + L + ": " + IV + " = 1 to " + Outer + " {");
+    } else {
+      // Uncounted loop with a guaranteed strictly increasing exit counter.
+      line(Depth, IV + " = 0;");
+      line(Depth, "loop " + L + " {");
+      line(Depth + 1, IV + " = " + IV + " + 1;");
+      genBody(Depth, Sibling, IV);
+      line(Depth + 1,
+           "if (" + IV + " > " + std::to_string(Trip) + ") break;");
+      line(Depth, "}");
+      return;
+    }
+    CurrentIVs.push_back(IV);
+    genBody(Depth, Sibling, IV);
+    CurrentIVs.pop_back();
+    line(Depth, "}");
+  }
+
+  void genBody(unsigned Depth, unsigned Sibling, const std::string &IV) {
+    bool TookIV = CurrentIVs.empty() || CurrentIVs.back() != IV;
+    if (TookIV)
+      CurrentIVs.push_back(IV);
+    unsigned Stmts =
+        unsigned(R.range(int64_t(Opts.MinStmts), int64_t(Opts.MaxStmts)));
+    for (unsigned K = 0; K < Stmts; ++K)
+      genStatement(Depth + 1, IV);
+    if (Depth < Opts.MaxDepth && R.chance(35))
+      genLoop(Depth + 1, Sibling);
+    if (TookIV)
+      CurrentIVs.pop_back();
+  }
+
+  std::string var() { return "v" + std::to_string(R.range(0, 5)); }
+  std::string num(int64_t Lo, int64_t Hi) {
+    return std::to_string(R.range(Lo, Hi));
+  }
+
+  /// One statement from the recurrence grammar.
+  void genStatement(unsigned Depth, const std::string &IV) {
+    std::string V = var(), W = var();
+    switch (R.range(0, 13)) {
+    case 0: // basic linear update
+      line(Depth, V + " = " + V + " + " + num(1, 6) + ";");
+      break;
+    case 1: // derived linear chain a*i + b, or chained off another carrier
+      if (R.chance(50))
+        line(Depth, V + " = " + num(1, 5) + "*" + IV + " + " + num(0, 9) +
+                        ";");
+      else
+        line(Depth, V + " = " + W + " + " + num(1, 4) + ";");
+      break;
+    case 2: // polynomial update (integrates the enclosing counter)
+      line(Depth, V + " = " + V + " + " + IV + ";");
+      break;
+    case 3: // higher-degree polynomial: integrate another carrier
+      line(Depth, V + " = " + V + " + " + W + ";");
+      break;
+    case 4: // geometric update (bounded: trips and depth are small)
+      line(Depth, V + " = " + V + " * 2 + " + num(0, 3) + ";");
+      break;
+    case 5: // flip-flop
+      line(Depth, V + " = " + num(1, 9) + " - " + V + ";");
+      break;
+    case 6: // wrap-around chain (second order through w2)
+      line(Depth, "w2 = w;");
+      line(Depth, "w = " + (R.chance(60) ? IV : V) + ";");
+      break;
+    case 7: // period-3 rotation
+      line(Depth, "tmp = p0;");
+      line(Depth, "p0 = p1;");
+      line(Depth, "p1 = p2;");
+      line(Depth, "p2 = tmp;");
+      break;
+    case 8: // conditional monotonic bump (data-dependent predicate)
+      // One statement per line: the minimizer's ddmin works on lines, so
+      // conditional bodies get their own (removable) lines.
+      line(Depth, "if (A[" + IV + "] > " + num(-2, 3) + ") {");
+      line(Depth + 1, "m0 = m0 + " + num(1, 3) + ";");
+      line(Depth, "}");
+      break;
+    case 9: // conditional monotonic decrease, non-strict
+      line(Depth, "if (A[" + IV + " + 1] > " + num(0, 2) + ") {");
+      line(Depth + 1, "m1 = m1 - " + num(1, 2) + ";");
+      line(Depth, "}");
+      break;
+    case 10: { // conditional equal-increment join: linear on both arms
+      std::string Inc = num(1, 5);
+      line(Depth, "if (A[" + IV + "] > " + num(0, 3) + ") {");
+      line(Depth + 1, V + " = " + V + " + " + Inc + ";");
+      line(Depth, "} else {");
+      line(Depth + 1, V + " = " + V + " + " + Inc + ";");
+      line(Depth, "}");
+      break;
+    }
+    case 11: // derived store (keeps carriers observable, feeds dependences)
+      line(Depth, "B[" + num(1, 3) + "*" + IV + " + " + num(0, 4) + "] = " +
+                      V + ";");
+      break;
+    case 12: // load through an IV subscript
+      line(Depth, V + " = " + V + " + B[" + IV + " + " + num(0, 2) + "];");
+      break;
+    case 13: // invariant re-assignment / copy
+      if (R.chance(50))
+        line(Depth, V + " = " + num(0, 20) + ";");
+      else
+        line(Depth, V + " = " + W + ";");
+      break;
+    }
+  }
+
+  Lcg R;
+  const GenOptions &Opts;
+  std::string Src;
+  /// Innermost-last stack of live induction variable names ("n" sentinel at
+  /// top level so triangular shapes always have a bound).
+  std::vector<std::string> CurrentIVs = {"n"};
+};
+
+} // namespace
+
+std::string biv::fuzz::generateProgram(uint64_t Seed, const GenOptions &Opts) {
+  return Generator(Seed, Opts).run();
+}

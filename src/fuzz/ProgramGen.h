@@ -1,0 +1,52 @@
+//===- fuzz/ProgramGen.h - Grammar-based program generator ------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, deterministic generator of random loop-language programs that mix
+/// every recurrence shape the paper classifies: linear and derived chains,
+/// conditional equal-increment joins, wrap-arounds (first and second order),
+/// flip-flops and period-3 rotations, polynomial and geometric updates,
+/// nested (including triangular) loops, and conditional monotonic bumps.
+///
+/// Two invariants make the output fuzzer-friendly:
+///  - every program terminates: loop bounds are small constants (or the
+///    enclosing induction variable, for triangular nests) and `loop`/`while`
+///    forms always exit through a strictly increasing linear counter;
+///  - one statement per line, so the delta-debugging minimizer can treat the
+///    program as a list of removable lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_FUZZ_PROGRAMGEN_H
+#define BEYONDIV_FUZZ_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace biv {
+namespace fuzz {
+
+/// Shape knobs; the defaults cover every grammar production.
+struct GenOptions {
+  /// Top-level loops per program (1..MaxTopLoops, chosen per seed).
+  unsigned MaxTopLoops = 2;
+  /// Maximum loop nesting depth.
+  unsigned MaxDepth = 3;
+  /// Statements per loop body (min..max, chosen per seed).
+  unsigned MinStmts = 2;
+  unsigned MaxStmts = 7;
+  /// Largest constant trip count of a generated `for` loop.
+  int64_t MaxTrip = 8;
+};
+
+/// Generates one program for \p Seed.  Same seed, same program, always.
+std::string generateProgram(uint64_t Seed, const GenOptions &Opts = {});
+
+} // namespace fuzz
+} // namespace biv
+
+#endif // BEYONDIV_FUZZ_PROGRAMGEN_H

@@ -141,15 +141,18 @@ ExecutionTrace Machine::run() {
         int64_t L = LC.V, R = RC.V;
         bool Poison = LC.Poison || RC.Poison;
         int64_t Out = 0;
+        // Arithmetic is two's-complement: Add/Sub/Mul/Neg/Exp wrap on
+        // overflow (computed in uint64 space, where wrapping is defined),
+        // so the oracle's semantics are pinned rather than host UB.
         switch (I->opcode()) {
         case ir::Opcode::Add:
-          Out = L + R;
+          Out = int64_t(uint64_t(L) + uint64_t(R));
           break;
         case ir::Opcode::Sub:
-          Out = L - R;
+          Out = int64_t(uint64_t(L) - uint64_t(R));
           break;
         case ir::Opcode::Mul:
-          Out = L * R;
+          Out = int64_t(uint64_t(L) * uint64_t(R));
           break;
         case ir::Opcode::Div:
           if (RC.Poison) {
@@ -160,16 +163,19 @@ ExecutionTrace Machine::run() {
             fail("division by zero");
             return std::move(Trace);
           }
-          Out = L / R;
+          // The lone overflowing quotient, INT64_MIN / -1, wraps like the
+          // other operations instead of trapping.
+          Out = (L == INT64_MIN && R == -1) ? INT64_MIN : L / R;
           break;
         case ir::Opcode::Exp: {
           if (R < 0) {
             fail("negative exponent");
             return std::move(Trace);
           }
-          Out = 1;
+          uint64_t Acc = 1;
           for (int64_t K = 0; K < R; ++K)
-            Out *= L;
+            Acc *= uint64_t(L);
+          Out = int64_t(Acc);
           break;
         }
         case ir::Opcode::CmpEQ:
@@ -200,7 +206,7 @@ ExecutionTrace Machine::run() {
         Cell V;
         if (!value(I->operand(0), V))
           return std::move(Trace);
-        define(I, {-V.V, V.Poison});
+        define(I, {int64_t(0 - uint64_t(V.V)), V.Poison});
         break;
       }
       case ir::Opcode::Copy: {

@@ -8,11 +8,22 @@
 /// \file
 /// A direct interpreter for SSA-form functions, with full value tracing.
 ///
-/// This is the project's ground-truth oracle: property tests run a loop,
-/// read the observed per-iteration sequence of each SSA value out of the
-/// trace, and require the classifier's closed forms / monotonicity /
-/// periodicity claims to hold on the real execution.  The array-access log
-/// doubles as a dynamic dependence oracle.
+/// This is the project's ground-truth oracle: property tests and the fuzzer
+/// run a loop, read the observed per-iteration sequence of each SSA value
+/// out of the trace, and require the classifier's closed forms /
+/// monotonicity / periodicity claims to hold on the real execution.  The
+/// array-access log doubles as a dynamic dependence oracle.
+///
+/// Because an oracle must have *specified* semantics, every edge case is
+/// pinned (and tested in interp_test.cpp):
+///  - Add/Sub/Mul/Neg/Exp wrap on overflow (two's complement), including
+///    INT64_MIN / -1, which wraps to INT64_MIN;
+///  - division by zero stops execution with an "division by zero" error
+///    (the language has no modulo operator);
+///  - exceeding MaxSteps sets HitStepLimit with an *empty* Error -- a
+///    budget abort is distinguishable from a semantic fault;
+///  - reads of never-assigned scalars are poison: they flow through
+///    arithmetic but stop execution at control flow, addressing, or return.
 ///
 //===----------------------------------------------------------------------===//
 

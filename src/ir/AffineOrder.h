@@ -1,0 +1,61 @@
+//===- ir/AffineOrder.h - Deterministic affine-term iteration ---*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine stores its terms keyed by symbol *pointer*, so iterating them
+/// follows allocation order -- which varies across runs (ASLR) and across
+/// batch worker threads.  Any consumer whose output depends on term order
+/// (instruction emission, rendering) must iterate through orderedTerms(),
+/// which sorts by a stable IR key instead.  The batch analyzer's
+/// byte-identity guarantee (-j1 == -jN) depends on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_IR_AFFINEORDER_H
+#define BEYONDIV_IR_AFFINEORDER_H
+
+#include "ir/Instruction.h"
+#include "ir/Value.h"
+#include "support/Affine.h"
+#include <algorithm>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace biv {
+namespace ir {
+
+/// A total order over IR values that is stable across runs: arguments by
+/// index, instructions by their dense sequence number, then kind and name
+/// as tiebreaks.  Never compares pointers.
+inline std::tuple<int, unsigned, const std::string &>
+stableValueKey(const Value *V) {
+  if (const auto *A = dyn_cast<Argument>(V))
+    return {0, A->index(), V->name()};
+  if (const auto *I = dyn_cast<Instruction>(V))
+    return {1, I->seq(), V->name()};
+  return {2, 0, V->name()};
+}
+
+/// The terms of \p V (whose symbols must be IR values, the project-wide
+/// convention) in stable order.
+inline std::vector<std::pair<const Value *, Rational>>
+orderedTerms(const Affine &V) {
+  std::vector<std::pair<const Value *, Rational>> Terms;
+  Terms.reserve(V.terms().size());
+  for (const auto &[Sym, Coeff] : V.terms())
+    Terms.emplace_back(static_cast<const Value *>(Sym), Coeff);
+  std::sort(Terms.begin(), Terms.end(), [](const auto &A, const auto &B) {
+    return stableValueKey(A.first) < stableValueKey(B.first);
+  });
+  return Terms;
+}
+
+} // namespace ir
+} // namespace biv
+
+#endif // BEYONDIV_IR_AFFINEORDER_H

@@ -3,6 +3,7 @@
 #include "ivclass/InductionAnalysis.h"
 #include "ivclass/RecurrenceSolver.h"
 #include "ivclass/SSAGraph.h"
+#include "ir/AffineOrder.h"
 #include <algorithm>
 #include <optional>
 #include <set>
@@ -949,9 +950,10 @@ ir::Value *InductionAnalysis::materializeAffine(const Affine &V,
     return BB->insertAt(InsertPos++, std::move(I));
   };
   ir::Value *Acc = nullptr;
-  for (const auto &[Sym, Coeff] : V.terms()) {
-    auto *SymV =
-        const_cast<ir::Value *>(static_cast<const ir::Value *>(Sym));
+  // Emission order must be stable across runs and worker threads (terms()
+  // iterates in pointer order); see ir/AffineOrder.h.
+  for (const auto &[Sym, Coeff] : ir::orderedTerms(V)) {
+    auto *SymV = const_cast<ir::Value *>(Sym);
     ir::Value *Term = SymV;
     if (!Coeff.isOne())
       Term = emit(std::make_unique<ir::Instruction>(

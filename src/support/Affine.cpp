@@ -1,6 +1,7 @@
 //===- support/Affine.cpp - Affine symbolic expressions -------------------===//
 
 #include "support/Affine.h"
+#include <algorithm>
 
 using namespace biv;
 
@@ -61,25 +62,36 @@ std::string Affine::str(const SymbolNamer &Namer) const {
   auto nameOf = [&](SymbolRef Sym) {
     return Namer ? Namer(Sym) : std::string("sym");
   };
+  // Render terms in (name, coefficient) order: Terms is keyed by symbol
+  // pointer, and allocation order must never leak into output (reports are
+  // byte-compared across batch worker counts and across runs).
+  std::vector<std::pair<std::string, Rational>> Ordered;
+  Ordered.reserve(Terms.size());
+  for (const auto &[Sym, Coeff] : Terms)
+    Ordered.emplace_back(nameOf(Sym), Coeff);
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first != B.first)
+                return A.first < B.first;
+              return A.second < B.second;
+            });
   if (!Constant.isZero() || Terms.empty())
     Out = Constant.str();
-  for (const auto &[Sym, Coeff] : Terms) {
+  for (const auto &[Name, Coeff] : Ordered) {
     if (Out.empty()) {
       if (Coeff == Rational(1))
-        Out = nameOf(Sym);
+        Out = Name;
       else if (Coeff == Rational(-1))
-        Out = "-" + nameOf(Sym);
+        Out = "-" + Name;
       else
-        Out = Coeff.str() + "*" + nameOf(Sym);
+        Out = Coeff.str() + "*" + Name;
       continue;
     }
     if (Coeff.isNegative()) {
       Rational Abs = -Coeff;
-      Out += Abs.isOne() ? " - " + nameOf(Sym)
-                         : " - " + Abs.str() + "*" + nameOf(Sym);
+      Out += Abs.isOne() ? " - " + Name : " - " + Abs.str() + "*" + Name;
     } else {
-      Out += Coeff.isOne() ? " + " + nameOf(Sym)
-                           : " + " + Coeff.str() + "*" + nameOf(Sym);
+      Out += Coeff.isOne() ? " + " + Name : " + " + Coeff.str() + "*" + Name;
     }
   }
   return Out;

@@ -1,0 +1,55 @@
+//===- support/Lcg.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny deterministic linear congruential generator shared by the
+/// benchmark workload generators and the fuzzing subsystem.  Seeded runs are
+/// reproducible across platforms and standard libraries (no std::mt19937);
+/// a (seed, index) pair therefore identifies a generated program forever,
+/// which is what lets minimized fuzz findings be replayed and checked into
+/// the regression corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_SUPPORT_LCG_H
+#define BEYONDIV_SUPPORT_LCG_H
+
+#include <cstdint>
+
+namespace biv {
+
+/// Knuth's MMIX LCG with the low (weak) bits discarded.
+class Lcg {
+public:
+  explicit Lcg(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 17;
+  }
+
+  /// Uniform value in [Lo, Hi] (inclusive).
+  int64_t range(int64_t Lo, int64_t Hi) {
+    // Span in uint64 space so Hi - Lo + 1 cannot overflow; a full-range
+    // request wraps to 0, meaning "any 64-bit value".
+    uint64_t Span = uint64_t(Hi) - uint64_t(Lo) + 1;
+    uint64_t R = next();
+    if (Span != 0)
+      R %= Span;
+    return int64_t(uint64_t(Lo) + R);
+  }
+
+  /// True with probability Percent/100.
+  bool chance(int Percent) { return range(1, 100) <= Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace biv
+
+#endif // BEYONDIV_SUPPORT_LCG_H

@@ -2,6 +2,8 @@
 
 #include "transform/StrengthReduce.h"
 
+#include "ir/AffineOrder.h"
+
 using namespace biv;
 using namespace biv::transform;
 
@@ -21,8 +23,10 @@ ir::Value *materializeAt(ir::Function &F, const Affine &V,
     return BB->insertAt(Pos++, std::move(I));
   };
   ir::Value *Acc = nullptr;
-  for (const auto &[Sym, Coeff] : V.terms()) {
-    auto *SymV = const_cast<ir::Value *>(static_cast<const ir::Value *>(Sym));
+  // Emission order must be stable across runs and worker threads (terms()
+  // iterates in pointer order); see ir/AffineOrder.h.
+  for (const auto &[Sym, Coeff] : ir::orderedTerms(V)) {
+    auto *SymV = const_cast<ir::Value *>(Sym);
     ir::Value *Term = SymV;
     if (!Coeff.isOne())
       Term = emit(std::make_unique<ir::Instruction>(

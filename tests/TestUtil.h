@@ -89,6 +89,19 @@ struct Analyzed {
   }
 };
 
+/// Parses, lowers, and converts \p Src to verified SSA -- the shared
+/// front half of the pipeline for tests that do not need the induction
+/// analysis (pipeline, interpreter, and frontend tests).
+inline std::unique_ptr<ir::Function> makeSSA(const std::string &Src,
+                                             ssa::SSAInfo *InfoOut = nullptr) {
+  auto F = frontend::parseAndLowerOrDie(Src);
+  ssa::SSAInfo Info = ssa::buildSSA(*F);
+  ssa::verifySSAOrDie(*F);
+  if (InfoOut)
+    *InfoOut = std::move(Info);
+  return F;
+}
+
 /// Runs the full pipeline.  \p RunSCCP folds constants first (the paper's
 /// [WZ91] step); figure tests usually keep it on.
 inline Analyzed analyze(const std::string &Src, bool RunSCCP = false,

@@ -1,0 +1,92 @@
+//===- tests/corpus_test.cpp - Regression corpus golden tests ----------------===//
+//
+// Every `.biv` file under tests/corpus/ is (a) run through the differential
+// oracle, which must come back clean, and (b) analyzed and diffed against
+// its `.expect` golden report.  Minimized fuzzer finds land here as
+// one-file-plus-golden PRs.
+//
+// Regenerate goldens after an intentional classifier change with:
+//   BIV_UPDATE_EXPECT=1 ./corpus_test
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchAnalyzer.h"
+#include "fuzz/Oracle.h"
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using namespace biv;
+
+namespace {
+
+std::string slurp(const fs::path &P) {
+  std::ifstream In(P);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::vector<fs::path> corpusFiles() {
+  std::vector<fs::path> Files;
+  for (const auto &E : fs::directory_iterator(BIV_CORPUS_DIR))
+    if (E.path().extension() == ".biv")
+      Files.push_back(E.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::string analyzeReport(const std::string &Name, const std::string &Text) {
+  driver::BatchOptions BO;
+  BO.Jobs = 1;
+  BO.Report.AllValues = true;
+  driver::BatchResult R = driver::analyzeBatch({{Name, Text}}, BO);
+  std::string Out;
+  for (const driver::UnitResult &U : R.Units) {
+    for (const std::string &E : U.Errors)
+      Out += "error: " + E + "\n";
+    Out += U.ReportText;
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(CorpusTest, DirectoryIsNotEmpty) {
+  EXPECT_FALSE(corpusFiles().empty())
+      << "no .biv files under " << BIV_CORPUS_DIR;
+}
+
+TEST(CorpusTest, OracleCleanOnEveryProgram) {
+  for (const fs::path &P : corpusFiles()) {
+    std::string Src = slurp(P);
+    fuzz::OracleResult R = fuzz::checkProgram(Src);
+    EXPECT_TRUE(R.ParseOK) << P.filename();
+    for (const fuzz::Mismatch &M : R.Mismatches)
+      ADD_FAILURE() << P.filename().string() << ": " << M.str();
+  }
+}
+
+TEST(CorpusTest, ReportsMatchGoldens) {
+  const bool Update = std::getenv("BIV_UPDATE_EXPECT") != nullptr;
+  for (const fs::path &P : corpusFiles()) {
+    std::string Report = analyzeReport(P.stem().string(), slurp(P));
+    fs::path Golden = P;
+    Golden.replace_extension(".expect");
+    if (Update) {
+      std::ofstream Out(Golden);
+      Out << Report;
+      continue;
+    }
+    ASSERT_TRUE(fs::exists(Golden))
+        << "missing golden " << Golden.filename()
+        << " (run with BIV_UPDATE_EXPECT=1 to create)";
+    EXPECT_EQ(Report, slurp(Golden)) << P.filename();
+  }
+}

@@ -1,7 +1,9 @@
 //===- tests/frontend_test.cpp - Lexer and parser unit tests ------------------===//
 
 #include "frontend/Lexer.h"
+#include "frontend/Lowering.h"
 #include "frontend/Parser.h"
+#include <cstdint>
 #include <gtest/gtest.h>
 
 using namespace biv::frontend;
@@ -209,4 +211,124 @@ TEST(ParserTest, LexErrorSurfaces) {
   EXPECT_EQ(P.parseFunction(), nullptr);
   ASSERT_FALSE(P.errors().empty());
   EXPECT_NE(P.errors()[0].find("lex error"), std::string::npos);
+}
+
+TEST(LexerTest, HugeLiteralIsErrorTokenNotException) {
+  // std::stoll would throw out_of_range on this; the lexer must instead
+  // surface a diagnosable Error token (fuzzer inputs are untrusted).
+  Lexer L("x = 99999999999999999999999999");
+  L.next(); // x
+  L.next(); // =
+  Token Bad = L.next();
+  EXPECT_EQ(Bad.Kind, TokenKind::Error);
+  EXPECT_NE(Bad.Text.find("out of range"), std::string::npos);
+  // INT64_MAX itself still lexes.
+  Lexer L2("9223372036854775807");
+  Token Max = L2.next();
+  EXPECT_EQ(Max.Kind, TokenKind::Number);
+  EXPECT_EQ(Max.Value, INT64_MAX);
+  // One past INT64_MAX does not.
+  Lexer L3("9223372036854775808");
+  EXPECT_EQ(L3.next().Kind, TokenKind::Error);
+}
+
+TEST(ParserTest, HugeLiteralSurfacesAsLexError) {
+  Parser P("func f() { return 123456789012345678901234567890; }");
+  EXPECT_EQ(P.parseFunction(), nullptr);
+  ASSERT_FALSE(P.errors().empty());
+  EXPECT_NE(P.errors()[0].find("out of range"), std::string::npos);
+}
+
+TEST(ParserTest, TruncatedInputNeverCrashes) {
+  // Every prefix of a valid program must produce a parse error or a valid
+  // AST -- never an assert or exception.  (The generator never emits
+  // malformed text, but the minimizer's line subsets can.)
+  const std::string Src = "func f(n) {"
+                          "  s = 0;"
+                          "  for L1: i = 1 to n by 2 {"
+                          "    if (i > 3) { s = s + A[i, 2]; } else break;"
+                          "  }"
+                          "  while (s < n) { s = s * 2; }"
+                          "  return s;"
+                          "}";
+  for (size_t Len = 0; Len <= Src.size(); ++Len) {
+    Parser P(Src.substr(0, Len));
+    std::unique_ptr<FuncDecl> F = P.parseFunction();
+    if (!F)
+      EXPECT_FALSE(P.errors().empty()) << "silent failure at prefix " << Len;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering diagnostics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Lowers \p Src expecting failure; returns the first diagnostic.
+std::string lowerError(const std::string &Src) {
+  std::vector<std::string> Errors;
+  auto F = biv::frontend::parseAndLower(Src, Errors);
+  EXPECT_EQ(F, nullptr) << Src;
+  if (Errors.empty()) {
+    ADD_FAILURE() << "no diagnostic for: " << Src;
+    return "";
+  }
+  return Errors[0];
+}
+
+} // namespace
+
+TEST(LoweringTest, UndefinedName) {
+  EXPECT_NE(lowerError("func f() { x = y + 1; return x; }")
+                .find("undefined name 'y'"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, BreakOutsideLoop) {
+  EXPECT_NE(lowerError("func f() { break; }").find("'break' outside"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, InconsistentArrayRank) {
+  EXPECT_NE(lowerError("func f(n) { A[1] = n; x = A[1, 2]; return x; }")
+                .find("inconsistent rank"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, NameUsedAsArrayAndScalar) {
+  EXPECT_NE(lowerError("func f() { A = 1; A[2] = 3; return A; }")
+                .find("both array and scalar"),
+            std::string::npos);
+  // A parameter subscripted as an array is the same conflict.
+  EXPECT_NE(lowerError("func f(A) { A[1] = 2; return 0; }")
+                .find("both array and scalar"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, DuplicateParameterName) {
+  EXPECT_NE(lowerError("func f(a, b, a) { return a; }")
+                .find("duplicate parameter name 'a'"),
+            std::string::npos);
+}
+
+TEST(LoweringTest, DuplicateLoopLabel) {
+  EXPECT_NE(lowerError("func f(n) {"
+                       "  for L: i = 1 to n { x = i; }"
+                       "  for L: j = 1 to n { y = j; }"
+                       "  return 0;"
+                       "}")
+                .find("duplicate loop label 'L'"),
+            std::string::npos);
+  // Auto-generated labels never collide with each other or user labels.
+  std::vector<std::string> Errors;
+  auto F = biv::frontend::parseAndLower("func g(n) {"
+                                        "  loop { break; }"
+                                        "  loop { break; }"
+                                        "  while (n > 0) { break; }"
+                                        "  return 0;"
+                                        "}",
+                                        Errors);
+  EXPECT_NE(F, nullptr);
+  EXPECT_TRUE(Errors.empty());
 }

@@ -8,11 +8,9 @@ using namespace biv::interp;
 
 namespace {
 
+/// Local shorthand over the shared pipeline-front helper.
 std::unique_ptr<ir::Function> build(const std::string &Src) {
-  auto F = frontend::parseAndLowerOrDie(Src);
-  ssa::buildSSA(*F);
-  ssa::verifySSAOrDie(*F);
-  return F;
+  return makeSSA(Src);
 }
 
 } // namespace
@@ -211,4 +209,108 @@ TEST(InterpTest, BreakLeavesLoopEarly) {
                  "  return s;"
                  "}");
   EXPECT_EQ(run(*F, {7}).ReturnValue, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Pinned edge-case semantics: the fuzzer's differential oracle trusts the
+// interpreter, so aborts, division edge cases, and overflow must be
+// *specified* behavior, not host UB.  (The language has no modulo operator;
+// division is the only trapping arithmetic.)
+//===----------------------------------------------------------------------===//
+
+TEST(InterpEdgeTest, MaxStepsAbortIsNotAnError) {
+  // A budget abort sets HitStepLimit, leaves Error empty, and still makes
+  // ok() false -- callers can tell "ran out of budget" from "faulted".
+  auto F = build("func f() {"
+                 "  x = 0;"
+                 "  loop L { x = x + 1; if (x < 0) break; }"
+                 "  return x;"
+                 "}");
+  ExecOptions Opts;
+  Opts.MaxSteps = 777;
+  ExecutionTrace T = run(*F, {}, Opts);
+  EXPECT_TRUE(T.HitStepLimit);
+  EXPECT_TRUE(T.Error.empty());
+  EXPECT_FALSE(T.ok());
+  EXPECT_EQ(T.Steps, 777u);
+  EXPECT_FALSE(T.ReturnValue.has_value());
+}
+
+TEST(InterpEdgeTest, MaxStepsAbortKeepsTracePrefix) {
+  // The trace up to the abort is valid: the oracle may still read it.
+  ssa::SSAInfo Info;
+  auto F = makeSSA("func f() {"
+                   "  x = 0;"
+                   "  loop L { x = x + 1; if (x < 0) break; }"
+                   "  return x;"
+                   "}",
+                   &Info);
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ExecOptions Opts;
+  Opts.MaxSteps = 1000;
+  ExecutionTrace T = run(*F, {}, Opts);
+  ASSERT_TRUE(T.HitStepLimit);
+  ir::Instruction *XPhi = Info.phiFor(LI.byName("L")->header(), "x");
+  ASSERT_NE(XPhi, nullptr);
+  const std::vector<int64_t> &Seq = T.sequenceOf(XPhi);
+  ASSERT_GE(Seq.size(), 3u);
+  for (size_t H = 0; H < Seq.size(); ++H)
+    EXPECT_EQ(Seq[H], int64_t(H));
+}
+
+TEST(InterpEdgeTest, DivisionByZeroVariants) {
+  auto F = build("func f(a, b) { return a / b; }");
+  ExecutionTrace T = run(*F, {0, 0});
+  EXPECT_FALSE(T.ok());
+  EXPECT_NE(T.Error.find("division by zero"), std::string::npos);
+  EXPECT_FALSE(T.HitStepLimit) << "a fault is not a budget abort";
+  // Zero numerator with nonzero divisor is fine.
+  EXPECT_EQ(run(*F, {0, 5}).ReturnValue, 0);
+}
+
+TEST(InterpEdgeTest, DivisionMinByMinusOneWraps) {
+  // The lone overflowing quotient wraps (two's complement) instead of
+  // trapping, matching the other arithmetic ops.
+  auto F = build("func f(a, b) { return a / b; }");
+  ExecutionTrace T = run(*F, {INT64_MIN, -1});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  EXPECT_EQ(T.ReturnValue, INT64_MIN);
+}
+
+TEST(InterpEdgeTest, SignedOverflowWraps) {
+  // Add, Sub, Mul, and Neg all wrap as two's complement.
+  auto FAdd = build("func f(a, b) { return a + b; }");
+  EXPECT_EQ(run(*FAdd, {INT64_MAX, 1}).ReturnValue, INT64_MIN);
+  auto FSub = build("func f(a, b) { return a - b; }");
+  EXPECT_EQ(run(*FSub, {INT64_MIN, 1}).ReturnValue, INT64_MAX);
+  auto FMul = build("func f(a, b) { return a * b; }");
+  EXPECT_EQ(run(*FMul, {INT64_MAX, 2}).ReturnValue, -2);
+  auto FNeg = build("func f(a) { return -a; }");
+  EXPECT_EQ(run(*FNeg, {INT64_MIN}).ReturnValue, INT64_MIN);
+}
+
+TEST(InterpEdgeTest, ExponentOverflowWraps) {
+  auto F = build("func f(a, b) { return a ^ b; }");
+  // 2^63 wraps to INT64_MIN; 2^64 wraps to 0.
+  EXPECT_EQ(run(*F, {2, 63}).ReturnValue, INT64_MIN);
+  EXPECT_EQ(run(*F, {2, 64}).ReturnValue, 0);
+  // In-range powers still exact.
+  EXPECT_EQ(run(*F, {3, 5}).ReturnValue, 243);
+}
+
+TEST(InterpEdgeTest, OverflowWrapInsideLoop) {
+  // A geometric recurrence that overflows mid-run keeps executing with
+  // wrapped values -- no abort, deterministic trace.
+  auto F = build("func f(n) {"
+                 "  g = 1;"
+                 "  for L: i = 1 to n { g = g * 2 + 1; }"
+                 "  return g;"
+                 "}");
+  ExecutionTrace T = run(*F, {70});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  int64_t G = 1;
+  for (int K = 0; K < 70; ++K)
+    G = int64_t(uint64_t(G) * 2 + 1);
+  EXPECT_EQ(T.ReturnValue, G);
 }

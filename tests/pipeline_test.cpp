@@ -5,31 +5,11 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/DominatorTree.h"
-#include "analysis/LoopInfo.h"
-#include "frontend/Lowering.h"
+#include "TestUtil.h"
 #include "frontend/Parser.h"
-#include "ir/Printer.h"
-#include "ssa/SCCP.h"
-#include "ssa/SSABuilder.h"
-#include "ssa/SSAVerifier.h"
-#include <gtest/gtest.h>
 
 using namespace biv;
-
-namespace {
-
-std::unique_ptr<ir::Function> makeSSA(const std::string &Src,
-                                      ssa::SSAInfo *InfoOut = nullptr) {
-  auto F = frontend::parseAndLowerOrDie(Src);
-  ssa::SSAInfo Info = ssa::buildSSA(*F);
-  ssa::verifySSAOrDie(*F);
-  if (InfoOut)
-    *InfoOut = std::move(Info);
-  return F;
-}
-
-} // namespace
+using biv::testutil::makeSSA;
 
 TEST(PipelineTest, StraightLine) {
   auto F = makeSSA("func f(n) { x = n + 1; y = x * 2; return y; }");

@@ -23,11 +23,19 @@
 //     --materialize      enable exit-value materialization per unit
 //     --all-values / --no-sccp apply per unit as in single-file mode
 //
+//   bivc --fuzz N [--seed S] [--minimize]
+//     Differential fuzzing: generate N seeded random programs, check every
+//     classifier claim against the interpreter oracle, diff batch -j1
+//     against -j8 byte-for-byte, and (with --minimize) delta-debug any
+//     mismatching program down to a minimal statement list.  Exit status 0
+//     iff no mismatch was found.
+//
 //===----------------------------------------------------------------------===//
 
 #include "dependence/DependenceAnalyzer.h"
 #include "driver/BatchAnalyzer.h"
 #include "frontend/Lowering.h"
+#include "fuzz/Fuzzer.h"
 #include "interp/Interpreter.h"
 #include "ir/Printer.h"
 #include "ivclass/Pipeline.h"
@@ -66,6 +74,12 @@ struct CliOptions {
   bool SummaryOnly = false;
   bool Materialize = false;
   std::vector<std::string> BatchFiles;
+
+  // Fuzz mode.
+  bool Fuzz = false;
+  unsigned FuzzCount = 500;
+  uint64_t FuzzSeed = 1;
+  bool FuzzMinimize = false;
 };
 
 int usage() {
@@ -75,8 +89,14 @@ int usage() {
                "            [--peel=LOOP[:N]] [--strength-reduce] "
                "[--no-sccp] [--run] [-- args...]\n"
                "       bivc --batch [-jN] [--summary] [--materialize] "
-               "FILES...\n");
+               "FILES...\n"
+               "       bivc --fuzz N [--seed S] [--minimize]\n");
   return 2;
+}
+
+bool numericArg(const char *S) {
+  return *S && std::string(S).find_first_not_of("0123456789") ==
+                   std::string::npos;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &O) {
@@ -91,6 +111,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       AfterDashes = true;
     } else if (A == "--batch") {
       O.Batch = true;
+    } else if (A == "--fuzz" || A.rfind("--fuzz=", 0) == 0) {
+      O.Fuzz = true;
+      if (A.size() > 7 && A[6] == '=')
+        O.FuzzCount = std::strtoul(A.c_str() + 7, nullptr, 10);
+      else if (I + 1 < Argc && numericArg(Argv[I + 1]))
+        O.FuzzCount = std::strtoul(Argv[++I], nullptr, 10);
+    } else if (A == "--seed" || A.rfind("--seed=", 0) == 0) {
+      if (A.size() > 7 && A[6] == '=')
+        O.FuzzSeed = std::strtoull(A.c_str() + 7, nullptr, 10);
+      else if (I + 1 < Argc && numericArg(Argv[I + 1]))
+        O.FuzzSeed = std::strtoull(Argv[++I], nullptr, 10);
+      else
+        return false;
+    } else if (A == "--minimize") {
+      O.FuzzMinimize = true;
     } else if (A == "--summary") {
       O.SummaryOnly = true;
     } else if (A == "--materialize") {
@@ -136,6 +171,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       return false;
     }
   }
+  if (O.Fuzz)
+    return O.FuzzCount > 0 && O.File.empty() && !O.Batch;
   if (O.Batch)
     return !O.BatchFiles.empty();
   if (O.File.empty())
@@ -144,6 +181,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       !O.StrengthReduce)
     O.Classify = true;
   return true;
+}
+
+int runFuzzMode(const CliOptions &O) {
+  fuzz::FuzzOptions FO;
+  FO.Count = O.FuzzCount;
+  FO.Seed = O.FuzzSeed;
+  FO.Minimize = O.FuzzMinimize;
+  fuzz::FuzzResult R = fuzz::runFuzz(FO);
+  std::string Text = R.renderText();
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  return R.ok() ? 0 : 1;
 }
 
 int runBatch(const CliOptions &O) {
@@ -179,6 +227,8 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, O))
     return usage();
 
+  if (O.Fuzz)
+    return runFuzzMode(O);
   if (O.Batch)
     return runBatch(O);
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Big-budget differential fuzzing under ASan/UBSan.
+#
+# Configures a separate sanitizer-instrumented build tree (so the tier-1
+# build stays fast), builds bivc, and runs a 10k-program campaign.  Invoked
+# by `ctest -C fuzz -R fuzz_big` or directly:
+#
+#   tools/run_fuzz.sh [count] [seed]
+#
+set -euo pipefail
+
+COUNT="${1:-10000}"
+SEED="${2:-1}"
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-fuzz-san"
+
+cmake -S "$ROOT" -B "$BUILD" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBIV_SANITIZE="address;undefined" >/dev/null
+cmake --build "$BUILD" --target bivc -j "$(nproc)" >/dev/null
+
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+exec "$BUILD/tools/bivc" --fuzz "$COUNT" --seed "$SEED" --minimize
