@@ -4,7 +4,10 @@
 // functions is analyzed end-to-end (parse, SSA, SCCP, classify, report) at
 // several worker counts, and the serial classification hot path is timed at
 // fixed chain sizes.  Everything it measures lands in one JSON file so the
-// scaling record is machine-readable.
+// scaling record is machine-readable.  Timings come from the pipeline's own
+// stats layer (support/Stats.h): the chain points read the phase.classify
+// span, and every batch point carries the merged per-phase CPU-time
+// breakdown of its best rep.
 //
 //   bench_batch [--functions=N] [--jobs=1,2,4,8] [--quick] [--json=PATH]
 //
@@ -22,6 +25,7 @@
 #include "frontend/Lowering.h"
 #include "ivclass/InductionAnalysis.h"
 #include "ssa/SSABuilder.h"
+#include "support/Stats.h"
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -51,14 +55,18 @@ ChainPoint measureChain(unsigned N, int Reps) {
   analysis::LoopInfo LI(*F, DT);
   ivclass::InductionAnalysis::Options Opts;
   Opts.MaterializeExitValues = false; // keep run() re-entrant per rep
+  // The classification time comes from the pipeline's own phase.classify
+  // span (the stats layer), not a bespoke stopwatch around the call: the
+  // bench measures exactly what `bivc --stats-json` reports.
+  static const stats::Timer ClassifyTimer("phase.classify");
   double Best = 1e30;
   for (int Rep = 0; Rep < Reps; ++Rep) {
-    auto T0 = std::chrono::steady_clock::now();
+    stats::Frame Before = stats::captureFrame();
     ivclass::InductionAnalysis IA(*F, DT, LI, Opts);
     IA.run();
-    auto T1 = std::chrono::steady_clock::now();
+    stats::Frame Delta = stats::captureFrame() - Before;
     Best = std::min(Best,
-                    std::chrono::duration<double, std::micro>(T1 - T0).count());
+                    double(Delta.Timers[ClassifyTimer.index()].Ns) / 1000.0);
   }
   size_t Instrs = F->instructionCount();
   return {N, Instrs, Best, Best * 1000.0 / double(Instrs)};
@@ -72,6 +80,9 @@ struct BatchPoint {
   size_t Instructions;
   double StmtsPerSec;
   double Speedup; // vs the Jobs==1 point of the same corpus
+  /// Merged per-phase timings of the best rep (summed across workers, so
+  /// CPU time, not wall time).
+  stats::StatsSnapshot Phases;
 };
 
 BatchPoint measureBatch(const std::vector<driver::SourceInput> &Sources,
@@ -98,6 +109,7 @@ BatchPoint measureBatch(const std::vector<driver::SourceInput> &Sources,
   P.Instructions = Last.TotalInstructions;
   P.StmtsPerSec = double(Last.TotalInstructions) / (Best / 1000.0);
   P.Speedup = 0.0; // filled by the caller
+  P.Phases = stats::snapshotFrame(Last.MergedStats);
   return P;
 }
 
@@ -220,10 +232,18 @@ int main(int Argc, char **Argv) {
       std::snprintf(
           Buf, sizeof(Buf),
           "    {\"jobs\": %u, \"units\": %zu, \"instructions\": %zu, "
-          "\"wall_ms\": %.2f, \"stmts_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
-          P.Jobs, P.Units, P.Instructions, P.WallMs, P.StmtsPerSec, P.Speedup,
-          I + 1 < Points.size() ? "," : "");
+          "\"wall_ms\": %.2f, \"stmts_per_sec\": %.0f, \"speedup\": %.2f, "
+          "\"phase_cpu_ns\": {",
+          P.Jobs, P.Units, P.Instructions, P.WallMs, P.StmtsPerSec, P.Speedup);
       Out << Buf;
+      bool First = true;
+      for (const auto &[Name, V] : P.Phases.Timers) {
+        std::snprintf(Buf, sizeof(Buf), "%s\"%s\": %llu", First ? "" : ", ",
+                      Name.c_str(), static_cast<unsigned long long>(V.Ns));
+        Out << Buf;
+        First = false;
+      }
+      Out << "}}" << (I + 1 < Points.size() ? "," : "") << "\n";
     }
     Out << "  ]\n}\n";
     std::printf("# wrote %s\n", JsonPath.c_str());

@@ -49,4 +49,22 @@ else
   "$BENCH" --functions=1000 --jobs=1,2,4,8 --json="$OUT"
 fi
 
+# Consume the record: print the serial (jobs=1) per-phase CPU-time breakdown
+# the stats layer embedded, so a scaling run doubles as a profile.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+for pt in rec.get("batch_throughput", []):
+    if pt.get("jobs") == 1:
+        phases = pt.get("phase_cpu_ns", {})
+        total = sum(phases.values()) or 1
+        print("# jobs=1 phase breakdown (CPU time):")
+        for name, ns in sorted(phases.items(), key=lambda kv: -kv[1]):
+            print("#   %-20s %9.2f ms  %5.1f%%"
+                  % (name, ns / 1e6, 100.0 * ns / total))
+        break
+EOF
+fi
+
 echo "# benchmark record: $OUT"

@@ -1,12 +1,15 @@
 //===- analysis/DominatorTree.cpp - Dominance analyses ----------------------===//
 
 #include "analysis/DominatorTree.h"
+#include "support/Stats.h"
 #include <algorithm>
 
 using namespace biv;
 using namespace biv::analysis;
 
 DominatorTree::DominatorTree(const ir::Function &F) : F(F) {
+  static const stats::Timer DomTreePhase("phase.domtree");
+  stats::ScopedSpan Span(DomTreePhase);
   size_t N = F.numBlocks();
   IDom.assign(N, -1);
   RPONumber.assign(N, -1);

@@ -1,6 +1,7 @@
 //===- analysis/LoopInfo.cpp - Natural loop nest ----------------------------===//
 
 #include "analysis/LoopInfo.h"
+#include "support/Stats.h"
 #include <algorithm>
 #include <map>
 
@@ -25,6 +26,8 @@ static std::string loopNameFromHeader(const ir::BasicBlock *Header) {
 }
 
 LoopInfo::LoopInfo(const ir::Function &F, const DominatorTree &DT) : F(F) {
+  static const stats::Timer LoopInfoPhase("phase.loopinfo");
+  stats::ScopedSpan Span(LoopInfoPhase);
   InnermostFor.assign(F.numBlocks(), nullptr);
 
   // Find back edges grouped by header, in RPO so outer headers come first.

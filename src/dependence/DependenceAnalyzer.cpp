@@ -2,6 +2,7 @@
 
 #include "dependence/DependenceAnalyzer.h"
 #include "ir/Printer.h"
+#include "support/Stats.h"
 #include <set>
 
 using namespace biv;
@@ -111,7 +112,39 @@ DepKind kindOf(bool SrcWrite, bool DstWrite) {
 
 } // namespace
 
+namespace {
+
+const stats::Timer DependencePhase("phase.dependence");
+const stats::Counter NumPairsTested("dependence.pairs_tested");
+const stats::Counter NumIndependent("dependence.independent");
+const stats::Counter NumAssumed("dependence.assumed");
+
+/// Which decision algorithm proved a pair independent, keyed off the
+/// DependenceResult note the deciding test recorded.
+const stats::Counter &indepCounterFor(const std::string &Note) {
+  static const stats::Counter Ziv("dependence.indep.ziv");
+  static const stats::Counter ExactSiv("dependence.indep.exact_siv");
+  static const stats::Counter Gcd("dependence.indep.gcd");
+  static const stats::Counter Banerjee("dependence.indep.banerjee");
+  static const stats::Counter Periodic("dependence.indep.periodic");
+  static const stats::Counter Combine("dependence.indep.combine");
+  if (Note.rfind("ZIV", 0) == 0)
+    return Ziv;
+  if (Note.rfind("exact SIV", 0) == 0)
+    return ExactSiv;
+  if (Note.rfind("GCD", 0) == 0)
+    return Gcd;
+  if (Note.rfind("Banerjee", 0) == 0)
+    return Banerjee;
+  if (Note.rfind("periodic", 0) == 0)
+    return Periodic;
+  return Combine; // cross-dimension/direction intersection proofs
+}
+
+} // namespace
+
 std::vector<Dependence> DependenceAnalyzer::analyze() {
+  stats::ScopedSpan Span(DependencePhase);
   // Gather references per array, in program order (block id, then index).
   struct ArrayRefs {
     std::vector<Reference> Refs;
@@ -144,8 +177,11 @@ std::vector<Dependence> DependenceAnalyzer::analyze() {
           continue;
         DependenceResult R = testPair(R1, R2);
         ++Stats.PairsTested;
+        NumPairsTested.bump();
         if (R.O == DependenceResult::Outcome::Independent) {
           ++Stats.Independent;
+          NumIndependent.bump();
+          indepCounterFor(R.Note).bump();
           Dependence D;
           D.Src = R1.I;
           D.Dst = R2.I;
@@ -184,10 +220,14 @@ std::vector<Dependence> DependenceAnalyzer::analyze() {
           reverseResult(Rev);
           emit(R2, R1, std::move(Rev), /*SrcBeforeDst=*/false);
         }
-        if (Emitted)
+        if (Emitted) {
           ++Stats.AssumedDependences;
-        else
+          NumAssumed.bump();
+        } else {
           ++Stats.Independent; // e.g. a self pair pinned to distance zero
+          NumIndependent.bump();
+          indepCounterFor(R.Note).bump();
+        }
       }
   }
   return Result;

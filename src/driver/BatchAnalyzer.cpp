@@ -93,12 +93,17 @@ BatchResult biv::driver::analyzeBatch(const std::vector<SourceInput> &Sources,
   auto runUnit = [&](size_t I) {
     UnitResult &U = R.Units[I];
     U.Name = Units[I].Name;
+    // Delta the worker thread's stats frame around this unit so the batch
+    // can merge per-unit contributions in input order, independent of which
+    // thread ran what.
+    stats::Frame Before = stats::captureFrame();
     std::vector<std::string> Errors;
     std::optional<ivclass::AnalyzedProgram> P =
         ivclass::analyzeSource(Units[I].Text, Errors, PO);
     if (!P) {
       U.OK = false;
       U.Errors = std::move(Errors);
+      U.StatsDelta = stats::captureFrame() - Before;
       return;
     }
     U.OK = true;
@@ -108,6 +113,7 @@ BatchResult biv::driver::analyzeBatch(const std::vector<SourceInput> &Sources,
     U.Loops = P->LI->loops().size();
     if (Opts.Classify)
       U.ReportText = ivclass::report(*P->IA, &P->Info, Opts.Report);
+    U.StatsDelta = stats::captureFrame() - Before;
   };
 
   if (Opts.Jobs == 1) {
@@ -130,6 +136,11 @@ BatchResult biv::driver::analyzeBatch(const std::vector<SourceInput> &Sources,
     R.TotalInstructions += U.Instructions;
     R.TotalLoops += U.Loops;
   }
+  // Merge every unit's delta (including failed units, whose frontend
+  // diagnostics still count) in input order: element-wise addition is
+  // commutative, so the merged frame is identical for any Jobs value.
+  for (const UnitResult &U : R.Units)
+    R.MergedStats += U.StatsDelta;
   return R;
 }
 

@@ -29,6 +29,7 @@
 
 #include "ivclass/Pipeline.h"
 #include "ivclass/Report.h"
+#include "support/Stats.h"
 #include <string>
 #include <vector>
 
@@ -67,6 +68,9 @@ struct UnitResult {
   ivclass::KindCounts Kinds;
   size_t Instructions = 0;
   size_t Loops = 0;
+  /// Observability delta for this unit alone: the worker thread's stats
+  /// frame captured before and after the unit's pipeline, subtracted.
+  stats::Frame StatsDelta;
 };
 
 /// Everything a batch run produced, in input order.
@@ -77,6 +81,10 @@ struct BatchResult {
   size_t TotalInstructions = 0;
   size_t TotalLoops = 0;
   unsigned Failed = 0;
+  /// Program-wide stats: per-unit deltas merged in input order.  Counter
+  /// values (and span counts) are independent of Jobs; only span durations
+  /// vary run to run.
+  stats::Frame MergedStats;
 
   /// Merged human-readable report: per-unit sections in input order plus a
   /// summary footer.  Deterministic across thread counts.

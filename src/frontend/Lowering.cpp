@@ -4,6 +4,7 @@
 #include "frontend/Parser.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "support/Stats.h"
 #include <cstdio>
 #include <map>
 #include <set>
@@ -403,16 +404,29 @@ biv::frontend::lower(const FuncDecl &Decl, std::vector<std::string> &Errors) {
   return LoweringDriver(Decl, Errors).run();
 }
 
+namespace {
+const biv::stats::Timer ParsePhase("phase.parse");
+const biv::stats::Counter NumFunctionsLowered("frontend.functions_lowered");
+// Lowering diagnostics share the parser's counter (same registry cell).
+const biv::stats::Counter NumLowerDiagnostics("frontend.diagnostics");
+} // namespace
+
 std::unique_ptr<ir::Function>
 biv::frontend::parseAndLower(const std::string &Source,
                              std::vector<std::string> &Errors) {
+  stats::ScopedSpan Span(ParsePhase);
   Parser P(Source);
   std::unique_ptr<FuncDecl> Decl = P.parseFunction();
   if (!Decl) {
     Errors.insert(Errors.end(), P.errors().begin(), P.errors().end());
     return nullptr;
   }
-  return lower(*Decl, Errors);
+  size_t ErrorsBefore = Errors.size();
+  std::unique_ptr<ir::Function> F = lower(*Decl, Errors);
+  NumLowerDiagnostics.bump(Errors.size() - ErrorsBefore);
+  if (F)
+    NumFunctionsLowered.bump();
+  return F;
 }
 
 std::unique_ptr<ir::Function>

@@ -1,12 +1,19 @@
 //===- frontend/Parser.cpp - Recursive-descent parser -----------------------===//
 
 #include "frontend/Parser.h"
+#include "support/Stats.h"
 
 using namespace biv::frontend;
+
+namespace {
+const biv::stats::Counter NumTokens("frontend.tokens");
+const biv::stats::Counter NumDiagnostics("frontend.diagnostics");
+} // namespace
 
 Parser::Parser(std::string Source) {
   Lexer L(std::move(Source));
   Tokens = L.lexAll();
+  NumTokens.bump(Tokens.size());
   if (Tokens.back().is(TokenKind::Error)) {
     error("lex error: " + Tokens.back().Text);
     // Replace the error token by EOF so the parser can bail out cleanly.
@@ -38,6 +45,7 @@ bool Parser::expect(TokenKind K, const char *Context) {
 
 void Parser::error(const std::string &Msg) {
   Failed = true;
+  NumDiagnostics.bump();
   Errors.push_back(peek().Loc.str() + ": " + Msg);
 }
 

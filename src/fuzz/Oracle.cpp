@@ -2,6 +2,7 @@
 
 #include "fuzz/Oracle.h"
 #include "analysis/DominatorTree.h"
+#include "support/Stats.h"
 #include "analysis/LoopInfo.h"
 #include "baseline/ClassicalIV.h"
 #include "frontend/Lowering.h"
@@ -468,5 +469,26 @@ void OracleRun::checkBaseline(ivclass::InductionAnalysis &IA,
 
 OracleResult biv::fuzz::checkProgram(const std::string &Source,
                                      const OracleOptions &Opts) {
-  return OracleRun(Source, Opts).run();
+  static const stats::Timer OraclePhase("phase.oracle");
+  static const stats::Counter NumPrograms("fuzz.programs_checked");
+  static const stats::Counter NumMismatches("fuzz.mismatches");
+  static const stats::Counter FireClosedForm("fuzz.check.closed_form");
+  static const stats::Counter FireWrapAround("fuzz.check.wrap_around");
+  static const stats::Counter FirePeriodic("fuzz.check.periodic");
+  static const stats::Counter FireMonotonic("fuzz.check.monotonic");
+  static const stats::Counter FireTripCount("fuzz.check.trip_count");
+  static const stats::Counter FireBehavior("fuzz.check.behavior");
+  static const stats::Counter FireBaseline("fuzz.check.baseline");
+  stats::ScopedSpan Span(OraclePhase);
+  OracleResult R = OracleRun(Source, Opts).run();
+  NumPrograms.bump();
+  NumMismatches.bump(R.Mismatches.size());
+  FireClosedForm.bump(R.Checks.ClosedForm);
+  FireWrapAround.bump(R.Checks.WrapAround);
+  FirePeriodic.bump(R.Checks.Periodic);
+  FireMonotonic.bump(R.Checks.Monotonic);
+  FireTripCount.bump(R.Checks.TripCount);
+  FireBehavior.bump(R.Checks.Behavior);
+  FireBaseline.bump(R.Checks.Baseline);
+  return R;
 }

@@ -1,6 +1,7 @@
 //===- interp/Interpreter.cpp - Direct IR interpreter -------------------------===//
 
 #include "interp/Interpreter.h"
+#include "support/Stats.h"
 #include <cassert>
 
 using namespace biv;
@@ -282,10 +283,20 @@ ExecutionTrace Machine::run() {
 
 } // namespace
 
+namespace {
+const biv::stats::Timer InterpPhase("phase.interp");
+const biv::stats::Counter NumRuns("interp.runs");
+const biv::stats::Counter NumSteps("interp.steps");
+} // namespace
+
 ExecutionTrace biv::interp::run(const ir::Function &F,
                                 const std::vector<int64_t> &Args,
                                 const ExecOptions &Opts) {
-  return Machine(F, Args, Opts).run();
+  stats::ScopedSpan Span(InterpPhase);
+  ExecutionTrace T = Machine(F, Args, Opts).run();
+  NumRuns.bump();
+  NumSteps.bump(T.Steps);
+  return T;
 }
 
 ExecutionTrace biv::interp::runWithArrays(
@@ -300,5 +311,9 @@ ExecutionTrace biv::interp::runWithArrays(
     for (const auto &[Idx, V] : Cells)
       M.Memory[A][Idx] = V;
   }
-  return M.run();
+  stats::ScopedSpan Span(InterpPhase);
+  ExecutionTrace T = M.run();
+  NumRuns.bump();
+  NumSteps.bump(T.Steps);
+  return T;
 }

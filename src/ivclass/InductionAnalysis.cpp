@@ -4,6 +4,7 @@
 #include "ivclass/RecurrenceSolver.h"
 #include "ivclass/SSAGraph.h"
 #include "ir/AffineOrder.h"
+#include "support/Stats.h"
 #include <algorithm>
 #include <optional>
 #include <set>
@@ -90,8 +91,10 @@ public:
   }
 
   void run() {
+    static const stats::Counter NumSCCs("ivclass.sccs_visited");
     for (const SCR &Region : G.stronglyConnectedRegions()) {
       ++S.Regions;
+      NumSCCs.bump();
       if (Region.Trivial)
         classifyTrivial(Region.Nodes.front());
       else
@@ -856,6 +859,8 @@ InductionAnalysis::InductionAnalysis(ir::Function &F,
     : InductionAnalysis(F, DT, LI, Options()) {}
 
 void InductionAnalysis::run() {
+  static const stats::Timer ClassifyPhase("phase.classify");
+  stats::ScopedSpan Span(ClassifyPhase);
   for (const analysis::Loop *L : LI.innerToOuter())
     processLoop(L);
 }
@@ -1060,5 +1065,7 @@ void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
     for (const Use &U : Uses)
       U.User->setOperand(U.Index, Mat);
     ++S.ExitValuesMaterialized;
+    static const stats::Counter NumExitValues("ivclass.exit_values_materialized");
+    NumExitValues.bump();
   }
 }

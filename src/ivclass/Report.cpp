@@ -2,9 +2,25 @@
 
 #include "ivclass/Report.h"
 #include "ir/Printer.h"
+#include "support/Stats.h"
 
 using namespace biv;
 using namespace biv::ivclass;
+
+namespace {
+// The per-kind stats counters mirror the lattice.  countHeaderPhiKinds is
+// the one accounting site (callers invoke it once per analyzed function:
+// the batch driver per unit, bivc once per run), so the `ivclass.kind.*`
+// counters always equal the KindCounts the Report is rendered from.
+const stats::Counter KindLinear("ivclass.kind.linear");
+const stats::Counter KindPolynomial("ivclass.kind.polynomial");
+const stats::Counter KindGeometric("ivclass.kind.geometric");
+const stats::Counter KindWrapAround("ivclass.kind.wrap_around");
+const stats::Counter KindPeriodic("ivclass.kind.periodic");
+const stats::Counter KindMonotonic("ivclass.kind.monotonic");
+const stats::Counter KindInvariant("ivclass.kind.invariant");
+const stats::Counter KindUnknown("ivclass.kind.unknown");
+} // namespace
 
 std::string biv::ivclass::report(InductionAnalysis &IA,
                                  const ssa::SSAInfo *Info,
@@ -78,5 +94,13 @@ KindCounts biv::ivclass::countHeaderPhiKinds(InductionAnalysis &IA) {
         break;
       }
     }
+  KindLinear.bump(C.Linear);
+  KindPolynomial.bump(C.Polynomial);
+  KindGeometric.bump(C.Geometric);
+  KindWrapAround.bump(C.WrapAround);
+  KindPeriodic.bump(C.Periodic);
+  KindMonotonic.bump(C.Monotonic);
+  KindInvariant.bump(C.Invariant);
+  KindUnknown.bump(C.Unknown);
   return C;
 }

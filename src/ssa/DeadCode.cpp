@@ -1,12 +1,14 @@
 //===- ssa/DeadCode.cpp - Dead code elimination -------------------------------===//
 
 #include "ssa/DeadCode.h"
+#include "support/Stats.h"
 #include <set>
 #include <vector>
 
 using namespace biv;
 
 unsigned biv::ssa::removeDeadCode(ir::Function &F) {
+  static const stats::Counter NumDceRemoved("ssa.dce_removed");
   // Roots: side effects and terminators.
   std::set<const ir::Instruction *> Live;
   std::vector<const ir::Instruction *> Work;
@@ -36,5 +38,6 @@ unsigned biv::ssa::removeDeadCode(ir::Function &F) {
       ++Removed;
     }
   }
+  NumDceRemoved.bump(Removed);
   return Removed;
 }

@@ -1,6 +1,7 @@
 //===- ssa/SCCP.cpp - Sparse conditional constant propagation ----------------===//
 
 #include "ssa/SCCP.h"
+#include "support/Stats.h"
 #include <map>
 #include <optional>
 #include <set>
@@ -287,5 +288,10 @@ SCCPResult SCCPSolver::run(bool SimplifyCFG) {
 } // namespace
 
 SCCPResult biv::ssa::runSCCP(ir::Function &F, bool SimplifyCFG) {
-  return SCCPSolver(F).run(SimplifyCFG);
+  static const stats::Timer SCCPPhase("phase.sccp");
+  static const stats::Counter NumFolded("ssa.sccp_folded");
+  stats::ScopedSpan Span(SCCPPhase);
+  SCCPResult R = SCCPSolver(F).run(SimplifyCFG);
+  NumFolded.bump(R.FoldedInstructions);
+  return R;
 }

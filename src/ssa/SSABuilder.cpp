@@ -1,6 +1,7 @@
 //===- ssa/SSABuilder.cpp - SSA construction ---------------------------------===//
 
 #include "ssa/SSABuilder.h"
+#include "support/Stats.h"
 #include <set>
 #include <vector>
 
@@ -157,6 +158,11 @@ void Builder::rename(ir::BasicBlock *BB) {
 } // namespace
 
 SSAInfo biv::ssa::buildSSA(ir::Function &F) {
+  static const stats::Timer SSAPhase("phase.ssa");
+  static const stats::Counter NumPhisPlaced("ssa.phis_placed");
+  stats::ScopedSpan Span(SSAPhase);
   F.recomputePreds();
-  return Builder(F).run();
+  SSAInfo Info = Builder(F).run();
+  NumPhisPlaced.bump(Info.PhisPlaced);
+  return Info;
 }

@@ -1,0 +1,190 @@
+//===- support/Stats.cpp - Pipeline observability registry ---------------------===//
+
+#include "support/Stats.h"
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+using namespace biv;
+using namespace biv::stats;
+
+//===----------------------------------------------------------------------===//
+// Name registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Process-wide name tables.  Guarded by a mutex, but touched only when a
+/// `static const Counter/Timer` is constructed -- never on the bump path.
+struct NameRegistry {
+  std::mutex M;
+  std::vector<const char *> CounterNames;
+  std::vector<const char *> TimerNames;
+
+  unsigned intern(std::vector<const char *> &Names, const char *Name,
+                  unsigned Max) {
+    std::lock_guard<std::mutex> Lock(M);
+    for (unsigned I = 0; I < Names.size(); ++I)
+      if (std::strcmp(Names[I], Name) == 0)
+        return I;
+    assert(Names.size() < Max && "stats cell space exhausted; raise the "
+                                 "MaxCounters/MaxTimers constants");
+    (void)Max;
+    Names.push_back(Name);
+    return unsigned(Names.size() - 1);
+  }
+
+  /// Snapshot of the registered names (copied under the lock so readers
+  /// never race a registration).
+  std::vector<const char *> counterNames() {
+    std::lock_guard<std::mutex> Lock(M);
+    return CounterNames;
+  }
+  std::vector<const char *> timerNames() {
+    std::lock_guard<std::mutex> Lock(M);
+    return TimerNames;
+  }
+};
+
+NameRegistry &registry() {
+  static NameRegistry R;
+  return R;
+}
+
+} // namespace
+
+unsigned biv::stats::registerCounter(const char *Name) {
+  return registry().intern(registry().CounterNames, Name, MaxCounters);
+}
+
+unsigned biv::stats::registerTimer(const char *Name) {
+  return registry().intern(registry().TimerNames, Name, MaxTimers);
+}
+
+//===----------------------------------------------------------------------===//
+// Frames
+//===----------------------------------------------------------------------===//
+
+Frame &biv::stats::threadFrame() {
+  thread_local Frame F;
+  return F;
+}
+
+Frame biv::stats::captureFrame() { return threadFrame(); }
+
+Frame &Frame::operator+=(const Frame &O) {
+  for (unsigned I = 0; I < MaxCounters; ++I)
+    Counters[I] += O.Counters[I];
+  for (unsigned I = 0; I < MaxTimers; ++I) {
+    Timers[I].Ns += O.Timers[I].Ns;
+    Timers[I].Spans += O.Timers[I].Spans;
+  }
+  return *this;
+}
+
+Frame Frame::operator-(const Frame &O) const {
+  Frame D;
+  for (unsigned I = 0; I < MaxCounters; ++I)
+    D.Counters[I] = Counters[I] - O.Counters[I];
+  for (unsigned I = 0; I < MaxTimers; ++I) {
+    D.Timers[I].Ns = Timers[I].Ns - O.Timers[I].Ns;
+    D.Timers[I].Spans = Timers[I].Spans - O.Timers[I].Spans;
+  }
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+StatsSnapshot biv::stats::snapshotFrame(const Frame &F) {
+  StatsSnapshot S;
+  std::vector<const char *> CN = registry().counterNames();
+  for (unsigned I = 0; I < CN.size(); ++I)
+    if (F.Counters[I] != 0)
+      S.Counters[CN[I]] = F.Counters[I];
+  std::vector<const char *> TN = registry().timerNames();
+  for (unsigned I = 0; I < TN.size(); ++I)
+    if (F.Timers[I].Spans != 0 || F.Timers[I].Ns != 0)
+      S.Timers[TN[I]] = {F.Timers[I].Spans, F.Timers[I].Ns};
+  return S;
+}
+
+void StatsSnapshot::merge(const StatsSnapshot &O) {
+  for (const auto &[Name, V] : O.Counters)
+    Counters[Name] += V;
+  for (const auto &[Name, V] : O.Timers) {
+    TimerValue &T = Timers[Name];
+    T.Spans += V.Spans;
+    T.Ns += V.Ns;
+  }
+}
+
+std::string StatsSnapshot::renderTable() const {
+  std::string Out;
+  char Buf[192];
+  Out += "=== stats ===\n";
+  if (!Counters.empty())
+    Out += "counters:\n";
+  for (const auto &[Name, V] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "  %-44s %12llu\n", Name.c_str(),
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+  }
+  if (!Timers.empty()) {
+    std::snprintf(Buf, sizeof(Buf), "timers:%39s %8s %12s\n", "", "spans",
+                  "ms");
+    Out += Buf;
+  }
+  for (const auto &[Name, V] : Timers) {
+    std::snprintf(Buf, sizeof(Buf), "  %-44s %8llu %12.3f\n", Name.c_str(),
+                  static_cast<unsigned long long>(V.Spans),
+                  double(V.Ns) / 1e6);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string StatsSnapshot::renderJson(const std::string &Indent) const {
+  // Names are dotted identifiers (no quotes/backslashes/control bytes), so
+  // no escaping is needed; std::map keeps keys sorted for a stable schema.
+  std::string Out;
+  char Buf[192];
+  Out += Indent + "{\n";
+  Out += Indent + "  \"v\": 1,\n";
+  Out += Indent + "  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, V] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "%s\n%s    \"%s\": %llu",
+                  First ? "" : ",", Indent.c_str(), Name.c_str(),
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+    First = false;
+  }
+  Out += std::string(First ? "" : "\n" + Indent + "  ") + "},\n";
+  Out += Indent + "  \"timers\": {";
+  First = true;
+  for (const auto &[Name, V] : Timers) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\n%s    \"%s\": {\"spans\": %llu, \"ns\": %llu}",
+                  First ? "" : ",", Indent.c_str(), Name.c_str(),
+                  static_cast<unsigned long long>(V.Spans),
+                  static_cast<unsigned long long>(V.Ns));
+    Out += Buf;
+    First = false;
+  }
+  Out += std::string(First ? "" : "\n" + Indent + "  ") + "}\n";
+  Out += Indent + "}";
+  return Out;
+}
+
+std::string StatsSnapshot::fingerprint() const {
+  std::string Out;
+  for (const auto &[Name, V] : Counters)
+    Out += "counter " + Name + " " + std::to_string(V) + "\n";
+  for (const auto &[Name, V] : Timers)
+    Out += "timer " + Name + " spans " + std::to_string(V.Spans) + "\n";
+  return Out;
+}

@@ -3,6 +3,7 @@
 #include "transform/LoopPeel.h"
 #include "analysis/DominatorTree.h"
 #include "analysis/LoopInfo.h"
+#include "support/Stats.h"
 #include <map>
 
 using namespace biv;
@@ -81,8 +82,11 @@ bool peelOnce(ir::Function &F, const std::string &LoopName) {
 
 bool biv::transform::peelLoop(ir::Function &F, const std::string &LoopName,
                               unsigned Times) {
-  for (unsigned K = 0; K < Times; ++K)
+  static const stats::Counter NumPeeled("transform.iterations_peeled");
+  for (unsigned K = 0; K < Times; ++K) {
     if (!peelOnce(F, LoopName))
       return K > 0;
+    NumPeeled.bump();
+  }
   return true;
 }

@@ -1,6 +1,7 @@
 //===- transform/StrengthReduce.cpp - Strength reduction -------------------------===//
 
 #include "transform/StrengthReduce.h"
+#include "support/Stats.h"
 
 #include "ir/AffineOrder.h"
 
@@ -67,6 +68,8 @@ bool symbolsAvailable(const Affine &V, const analysis::Loop *L) {
 
 StrengthReduceStats
 biv::transform::strengthReduce(ivclass::InductionAnalysis &IA) {
+  static const stats::Timer TransformPhase("phase.transform");
+  stats::ScopedSpan Span(TransformPhase);
   StrengthReduceStats Stats;
   ir::Function &F = IA.function();
   const analysis::LoopInfo &LI = IA.loopInfo();
@@ -147,5 +150,9 @@ biv::transform::strengthReduce(ivclass::InductionAnalysis &IA) {
     }
   }
   F.recomputePreds();
+  static const stats::Counter NumReduced("transform.strength_reduced");
+  static const stats::Counter NumPhisInserted("transform.phis_inserted");
+  NumReduced.bump(Stats.Reduced);
+  NumPhisInserted.bump(Stats.PhisInserted);
   return Stats;
 }

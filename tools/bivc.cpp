@@ -14,6 +14,17 @@
 //     --no-sccp          skip constant propagation
 //     --run              interpret the program with the given integer args
 //
+//   Observability (any mode):
+//     --stats            print the counter/phase-timer table to stderr
+//     --stats-json FILE  write the schema-v1 stats JSON to FILE; in batch
+//                        mode the file holds one snapshot per unit plus the
+//                        merged aggregate
+//   Counters and span counts are deterministic (identical for -j1 and -j8);
+//   only span durations (ns) vary run to run.  In fuzz mode the snapshot
+//   covers the calling thread: generation, oracle checks, and the serial
+//   pipeline work (the -jN determinism probes inside the fuzzer run on
+//   worker threads whose frames are deliberately not folded in).
+//
 //   bivc --batch [-jN] FILES...
 //     Parallel batch analysis: every file is split into top-level functions
 //     and the whole set is sharded across N workers (default 1; -j0 picks
@@ -43,6 +54,7 @@
 #include "ssa/SCCP.h"
 #include "ssa/SSABuilder.h"
 #include "ssa/SSAVerifier.h"
+#include "support/Stats.h"
 #include "transform/LoopPeel.h"
 #include "transform/StrengthReduce.h"
 #include <cstdio>
@@ -80,6 +92,12 @@ struct CliOptions {
   unsigned FuzzCount = 500;
   uint64_t FuzzSeed = 1;
   bool FuzzMinimize = false;
+
+  // Observability (any mode).
+  bool Stats = false;
+  std::string StatsJson;
+
+  bool statsRequested() const { return Stats || !StatsJson.empty(); }
 };
 
 int usage() {
@@ -90,7 +108,8 @@ int usage() {
                "[--no-sccp] [--run] [-- args...]\n"
                "       bivc --batch [-jN] [--summary] [--materialize] "
                "FILES...\n"
-               "       bivc --fuzz N [--seed S] [--minimize]\n");
+               "       bivc --fuzz N [--seed S] [--minimize]\n"
+               "       any mode: [--stats] [--stats-json FILE]\n");
   return 2;
 }
 
@@ -151,6 +170,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.RunSCCP = false;
     } else if (A == "--run") {
       O.Run = true;
+    } else if (A == "--stats") {
+      O.Stats = true;
+    } else if (A == "--stats-json" || A.rfind("--stats-json=", 0) == 0) {
+      if (A.size() > 12 && A[12] == '=')
+        O.StatsJson = A.substr(13);
+      else if (I + 1 < Argc)
+        O.StatsJson = Argv[++I];
+      if (O.StatsJson.empty()) {
+        std::fprintf(stderr, "bivc: --stats-json requires a file name\n");
+        return false;
+      }
     } else if (A.rfind("--peel=", 0) == 0) {
       std::string Spec = A.substr(7);
       size_t Colon = Spec.find(':');
@@ -160,7 +190,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         O.PeelLoop = Spec.substr(0, Colon);
         O.PeelTimes = std::strtoul(Spec.c_str() + Colon + 1, nullptr, 10);
       }
-    } else if (A.rfind("--", 0) == 0) {
+    } else if (!A.empty() && A[0] == '-') {
+      // Anything else that looks like a flag -- `--whatever`, `-z`, a bare
+      // `-j` -- is a hard error, never silently a file name.
       std::fprintf(stderr, "bivc: unknown option %s\n", A.c_str());
       return false;
     } else if (O.Batch) {
@@ -183,6 +215,43 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
   return true;
 }
 
+/// Renders \p S to the surfaces the flags asked for: human table on stderr
+/// (--stats), schema-v1 JSON file (--stats-json).  \p BatchJson, when
+/// non-empty, replaces the single-snapshot JSON body (batch mode embeds
+/// per-unit snapshots).  Returns false when the JSON file cannot be written.
+bool writeStatsOutputs(const CliOptions &O, const stats::StatsSnapshot &S,
+                       const std::string &BatchJson = std::string()) {
+  if (O.Stats) {
+    std::string T = S.renderTable();
+    std::fwrite(T.data(), 1, T.size(), stderr);
+  }
+  if (!O.StatsJson.empty()) {
+    std::ofstream Out(O.StatsJson);
+    if (!Out) {
+      std::fprintf(stderr, "bivc: cannot write %s\n", O.StatsJson.c_str());
+      return false;
+    }
+    Out << (BatchJson.empty() ? S.renderJson() : BatchJson) << "\n";
+  }
+  return true;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (unsigned(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", unsigned(C));
+      Out += Buf;
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
 int runFuzzMode(const CliOptions &O) {
   fuzz::FuzzOptions FO;
   FO.Count = O.FuzzCount;
@@ -191,6 +260,9 @@ int runFuzzMode(const CliOptions &O) {
   fuzz::FuzzResult R = fuzz::runFuzz(FO);
   std::string Text = R.renderText();
   std::fwrite(Text.data(), 1, Text.size(), stdout);
+  if (O.statsRequested() &&
+      !writeStatsOutputs(O, stats::snapshotFrame(stats::captureFrame())))
+    return 1;
   return R.ok() ? 0 : 1;
 }
 
@@ -217,6 +289,27 @@ int runBatch(const CliOptions &O) {
   driver::BatchResult R = driver::analyzeBatch(Sources, BO);
   std::string Text = R.renderText();
   std::fwrite(Text.data(), 1, Text.size(), stdout);
+
+  if (O.statsRequested()) {
+    stats::StatsSnapshot Merged = stats::snapshotFrame(R.MergedStats);
+    // Batch JSON: one snapshot per unit (input order) plus the aggregate.
+    std::string Json;
+    if (!O.StatsJson.empty()) {
+      Json = "{\n  \"v\": 1,\n  \"units\": [";
+      for (size_t I = 0; I < R.Units.size(); ++I) {
+        const driver::UnitResult &U = R.Units[I];
+        Json += I ? ",\n" : "\n";
+        Json += "    {\"name\": \"" + jsonEscape(U.Name) + "\", \"stats\":\n";
+        Json += stats::snapshotFrame(U.StatsDelta).renderJson("      ");
+        Json += "}";
+      }
+      Json += "\n  ],\n  \"aggregate\":\n";
+      Json += Merged.renderJson("    ");
+      Json += "\n}";
+    }
+    if (!writeStatsOutputs(O, Merged, Json))
+      return 1;
+  }
   return R.Failed == 0 ? 0 : 1;
 }
 
@@ -246,6 +339,9 @@ int main(int Argc, char **Argv) {
   if (!F) {
     for (const std::string &E : Errors)
       std::fprintf(stderr, "bivc: %s\n", E.c_str());
+    // Diagnostics are themselves counted; a failing parse still reports.
+    if (O.statsRequested())
+      writeStatsOutputs(O, stats::snapshotFrame(stats::captureFrame()));
     return 1;
   }
 
@@ -310,6 +406,14 @@ int main(int Argc, char **Argv) {
     else
       std::printf("returned void (in %llu steps)\n",
                   static_cast<unsigned long long>(T.Steps));
+  }
+
+  if (O.statsRequested()) {
+    // The per-kind counters fire in countHeaderPhiKinds (the one canonical
+    // accounting site); batch mode calls it per unit, single mode here.
+    ivclass::countHeaderPhiKinds(IA);
+    if (!writeStatsOutputs(O, stats::snapshotFrame(stats::captureFrame())))
+      return 1;
   }
   return 0;
 }

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Checks that the documentation is not lying about the code:
+#
+#  1. every `--flag` that appears on a `bivc` line in the docs must be
+#     handled by tools/bivc.cpp (catches docs advertising dead flags);
+#  2. every backtick-quoted repo path under src/ tools/ tests/ bench/ docs/
+#     that the docs mention must exist (catches stale references after
+#     renames).
+#
+# Registered as the tier-1 `docs_check` ctest entry; also runnable directly:
+#   tools/check_docs.sh
+set -u
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$ROOT"
+FAIL=0
+
+DOCS="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/LANGUAGE.md"
+for D in $DOCS; do
+  if [ ! -f "$D" ]; then
+    echo "docs_check: missing documentation file $D" >&2
+    FAIL=1
+  fi
+done
+
+# 1. Flags on bivc command lines (only tokens after the word `bivc`, so
+# ctest/cmake flags on mixed prose lines don't false-positive) plus the
+# README CLI reference table (rows whose first cell is a flag).  A flag is
+# "handled" when it appears as a string literal in the driver's parser.
+FLAGS=$({
+  grep -h 'bivc' $DOCS 2>/dev/null | sed 's/.*bivc//' |
+    grep -oE -- '--[a-z][a-z-]*'
+  grep -hE '^\| .?-' README.md 2>/dev/null |
+    grep -oE -- '--[a-z][a-z-]*'
+} | sort -u)
+for FLAG in $FLAGS; do
+  if ! grep -qF "\"$FLAG" tools/bivc.cpp; then
+    echo "docs_check: docs mention bivc flag $FLAG," \
+         "which tools/bivc.cpp does not parse" >&2
+    FAIL=1
+  fi
+done
+
+# 2. Backtick-quoted repo paths.  Docs may name build-tree binaries
+# (`bench/bench_batch`, `tests/ivclass`); those count as long as the source
+# that produces them exists.
+PATHS=$(grep -hoE '`[A-Za-z0-9_./-]+`' $DOCS 2>/dev/null | tr -d '\140' |
+  grep -E '^(src|tools|tests|bench|docs)/' | sort -u)
+for P in $PATHS; do
+  if [ ! -e "$P" ] && [ ! -e "$P.cpp" ] && [ ! -e "${P}_test.cpp" ]; then
+    echo "docs_check: docs reference missing path $P" >&2
+    FAIL=1
+  fi
+done
+
+if [ "$FAIL" = 0 ]; then
+  echo "docs_check: OK ($(echo "$FLAGS" | wc -w) flags," \
+       "$(echo "$PATHS" | wc -w) paths verified)"
+fi
+exit "$FAIL"

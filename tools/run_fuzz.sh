@@ -2,8 +2,11 @@
 # Big-budget differential fuzzing under ASan/UBSan.
 #
 # Configures a separate sanitizer-instrumented build tree (so the tier-1
-# build stays fast), builds bivc, and runs a 10k-program campaign.  Invoked
-# by `ctest -C fuzz -R fuzz_big` or directly:
+# build stays fast), builds bivc, runs a 10k-program campaign, and then
+# cross-checks the observability layer: the merged `--batch` stats snapshot
+# must be byte-identical between -j1 and -j8 once the (legitimately
+# nondeterministic) span durations are normalized out.  Invoked by
+# `ctest -C fuzz -R fuzz_big` or directly:
 #
 #   tools/run_fuzz.sh [count] [seed]
 #
@@ -23,4 +26,24 @@ cmake --build "$BUILD" --target bivc -j "$(nproc)" >/dev/null
 export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
-exec "$BUILD/tools/bivc" --fuzz "$COUNT" --seed "$SEED" --minimize
+BIVC="$BUILD/tools/bivc"
+
+# Stats determinism probe: merge the whole corpus at two worker counts and
+# diff the snapshots with "ns" durations zeroed (counters and span counts
+# must agree exactly; wall-clock never can).
+STATS_DIR="$(mktemp -d)"
+trap 'rm -rf "$STATS_DIR"' EXIT
+"$BIVC" --batch -j1 --summary --stats-json "$STATS_DIR/j1.json" \
+  "$ROOT"/tests/corpus/*.biv >/dev/null
+"$BIVC" --batch -j8 --summary --stats-json "$STATS_DIR/j8.json" \
+  "$ROOT"/tests/corpus/*.biv >/dev/null
+sed 's/"ns": [0-9]*/"ns": 0/g' "$STATS_DIR/j1.json" > "$STATS_DIR/j1.norm"
+sed 's/"ns": [0-9]*/"ns": 0/g' "$STATS_DIR/j8.json" > "$STATS_DIR/j8.norm"
+if ! cmp -s "$STATS_DIR/j1.norm" "$STATS_DIR/j8.norm"; then
+  echo "run_fuzz.sh: -j1 vs -j8 merged stats snapshots differ:" >&2
+  diff "$STATS_DIR/j1.norm" "$STATS_DIR/j8.norm" >&2 || true
+  exit 1
+fi
+echo "fuzz: -j1 vs -j8 merged stats snapshots identical (ns normalized)"
+
+exec "$BIVC" --fuzz "$COUNT" --seed "$SEED" --minimize
