@@ -1,0 +1,186 @@
+//===- bench/bench_cache.cpp - B7: cold vs warm cache speedup -----------------===//
+//
+// Measures the content-addressed analysis cache end-to-end over a seeded
+// corpus: one cold batch run that populates an on-disk cache file, then one
+// warm run served from it.  The record is the cold/warm wall-clock ratio
+// plus the hit rate and the phase.classify span counts of both runs -- the
+// spans are the proof that a warm run actually skips classification work
+// rather than redoing it faster.
+//
+//   bench_cache [--functions=N] [--jobs=N] [--quick] [--json=PATH]
+//               [--cache-file=PATH]
+//
+// Like bench_batch this is a plain binary: the unit under test is the
+// driver + cache file round trip, pool and I/O included.  The JSON fragment
+// it writes is merged into BENCH_SCALING.json by bench/run_benchmarks.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadGen.h"
+#include "cache/AnalysisCache.h"
+#include "driver/BatchAnalyzer.h"
+#include "support/Stats.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace biv;
+
+namespace {
+
+struct RunPoint {
+  double WallMs = 0.0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t ClassifySpans = 0;
+};
+
+RunPoint timedRun(const std::vector<driver::SourceInput> &Sources,
+                  const std::string &CacheFile, unsigned Jobs) {
+  static const stats::Counter HitCounter("cache.hit");
+  static const stats::Counter MissCounter("cache.miss");
+  static const stats::Timer ClassifyTimer("phase.classify");
+
+  driver::BatchOptions BO;
+  BO.Jobs = Jobs;
+  cache::AnalysisCache Cache;
+  std::string Err;
+  if (!Cache.open(CacheFile, Err)) {
+    std::fprintf(stderr, "bench_cache: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  BO.Cache = &Cache;
+
+  auto T0 = std::chrono::steady_clock::now();
+  driver::BatchResult R = driver::analyzeBatch(Sources, BO);
+  if (!Cache.save(Err)) {
+    std::fprintf(stderr, "bench_cache: %s\n", Err.c_str());
+    std::exit(1);
+  }
+  auto T1 = std::chrono::steady_clock::now();
+
+  // Workers bump their own thread-local frames; the merged per-unit deltas
+  // are the complete picture regardless of Jobs.
+  stats::Frame Delta = R.MergedStats;
+  RunPoint P;
+  P.WallMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  P.Hits = Delta.Counters[HitCounter.index()];
+  P.Misses = Delta.Counters[MissCounter.index()];
+  P.ClassifySpans = Delta.Timers[ClassifyTimer.index()].Spans;
+  return P;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Functions = 1000;
+  unsigned Jobs = 1;
+  std::string JsonPath;
+  std::string CacheFile;
+  bool Quick = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--functions=", 12) == 0)
+      Functions = unsigned(std::strtoul(A + 12, nullptr, 10));
+    else if (std::strncmp(A, "--jobs=", 7) == 0)
+      Jobs = unsigned(std::strtoul(A + 7, nullptr, 10));
+    else if (std::strncmp(A, "--json=", 7) == 0)
+      JsonPath = A + 7;
+    else if (std::strncmp(A, "--cache-file=", 13) == 0)
+      CacheFile = A + 13;
+    else if (std::strcmp(A, "--quick") == 0)
+      Quick = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_cache [--functions=N] [--jobs=N] [--quick] "
+                   "[--json=PATH] [--cache-file=PATH]\n");
+      return 2;
+    }
+  }
+  if (Quick)
+    Functions = std::min(Functions, 64u);
+  if (CacheFile.empty())
+    CacheFile = (std::filesystem::temp_directory_path() /
+                 "biv_bench_cache.bin")
+                    .string();
+  std::error_code EC;
+  std::filesystem::remove(CacheFile, EC); // always start cold
+
+  std::vector<bench::CorpusUnit> Corpus = bench::genCorpus(Functions);
+  std::vector<driver::SourceInput> Sources;
+  Sources.reserve(Corpus.size());
+  for (const bench::CorpusUnit &U : Corpus)
+    Sources.push_back({U.Name, U.Text});
+
+  std::printf("# B7: analysis-cache cold vs warm (%u functions, -j%u)\n",
+              Functions, Jobs);
+  RunPoint Cold = timedRun(Sources, CacheFile, Jobs);
+  RunPoint Warm = timedRun(Sources, CacheFile, Jobs);
+  uint64_t CacheBytes = std::filesystem::file_size(CacheFile, EC);
+  std::filesystem::remove(CacheFile, EC);
+
+  double Speedup = Warm.WallMs > 0.0 ? Cold.WallMs / Warm.WallMs : 0.0;
+  uint64_t Units = Cold.Hits + Cold.Misses;
+  double HitRate = Units ? double(Warm.Hits) / double(Units) : 0.0;
+  std::printf("%10s %12s %12s %12s %16s\n", "run", "wall_ms", "hits",
+              "misses", "classify_spans");
+  std::printf("%10s %12.2f %12llu %12llu %16llu\n", "cold", Cold.WallMs,
+              (unsigned long long)Cold.Hits, (unsigned long long)Cold.Misses,
+              (unsigned long long)Cold.ClassifySpans);
+  std::printf("%10s %12.2f %12llu %12llu %16llu\n", "warm", Warm.WallMs,
+              (unsigned long long)Warm.Hits, (unsigned long long)Warm.Misses,
+              (unsigned long long)Warm.ClassifySpans);
+  std::printf("# warm speedup %.2fx, hit rate %.1f%%, cache file %llu "
+              "bytes\n",
+              Speedup, 100.0 * HitRate, (unsigned long long)CacheBytes);
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "bench_cache: cannot write %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\n"
+        "  \"functions\": %u,\n  \"jobs\": %u,\n"
+        "  \"cold_ms\": %.2f,\n  \"warm_ms\": %.2f,\n"
+        "  \"warm_speedup\": %.2f,\n  \"warm_hit_rate\": %.4f,\n"
+        "  \"classify_spans_cold\": %llu,\n"
+        "  \"classify_spans_warm\": %llu,\n"
+        "  \"cache_file_bytes\": %llu\n}\n",
+        Functions, Jobs, Cold.WallMs, Warm.WallMs, Speedup, HitRate,
+        (unsigned long long)Cold.ClassifySpans,
+        (unsigned long long)Warm.ClassifySpans,
+        (unsigned long long)CacheBytes);
+    Out << Buf;
+    Out.flush();
+    if (!Out) {
+      std::fprintf(stderr, "bench_cache: error writing %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", JsonPath.c_str());
+  }
+
+  // The whole point of the cache is skipping classification: a warm run
+  // that still opened classify spans on cached units is a regression, and
+  // the bench doubles as its own acceptance check.
+  if (Warm.Hits != Units || Warm.ClassifySpans > Cold.ClassifySpans / 10) {
+    std::fprintf(stderr,
+                 "bench_cache: warm run did not skip >=90%% of "
+                 "classification (hits %llu/%llu, spans %llu vs %llu)\n",
+                 (unsigned long long)Warm.Hits, (unsigned long long)Units,
+                 (unsigned long long)Warm.ClassifySpans,
+                 (unsigned long long)Cold.ClassifySpans);
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Runs the batch-scaling benchmark and writes BENCH_SCALING.json at the repo
-# root (serial classification cost at fixed chain sizes + batch throughput at
-# several worker counts).
+# Runs the batch-scaling and analysis-cache benchmarks and writes
+# BENCH_SCALING.json at the repo root (serial classification cost at fixed
+# chain sizes, batch throughput at several worker counts, and the cold vs
+# warm cache speedup under the "cache" key).
 #
 #   bench/run_benchmarks.sh [--quick] [--build-dir DIR] [--out FILE]
 #
@@ -39,14 +40,30 @@ if [ ! -x "$BENCH" ]; then
   exit 1
 fi
 
+BENCH_CACHE="$BUILD_DIR/bench/bench_cache"
 if [ "$QUICK" = 1 ]; then
   # Smoke mode: tiny corpus, throwaway JSON -- proves the harness end to end
   # without perturbing the committed record.
   OUT="${OUT:-$BUILD_DIR/BENCH_SCALING.quick.json}"
   "$BENCH" --quick --jobs=1,2 --json="$OUT"
+  [ -x "$BENCH_CACHE" ] && "$BENCH_CACHE" --quick --json="$OUT.cache"
 else
   OUT="${OUT:-$REPO_ROOT/BENCH_SCALING.json}"
   "$BENCH" --functions=1000 --jobs=1,2,4,8 --json="$OUT"
+  [ -x "$BENCH_CACHE" ] && "$BENCH_CACHE" --functions=1000 --json="$OUT.cache"
+fi
+
+# Fold the cache record into the main JSON (one committed file, one schema).
+if [ -f "$OUT.cache" ] && command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" "$OUT.cache" <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+rec["cache"] = json.load(open(sys.argv[2]))
+with open(sys.argv[1], "w") as f:
+    json.dump(rec, f, indent=2)
+    f.write("\n")
+EOF
+  rm -f "$OUT.cache"
 fi
 
 # Consume the record: print the serial (jobs=1) per-phase CPU-time breakdown

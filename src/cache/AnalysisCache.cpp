@@ -1,0 +1,349 @@
+//===- cache/AnalysisCache.cpp - Content-addressed analysis cache --------------===//
+
+#include "cache/AnalysisCache.h"
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+using namespace biv;
+using namespace biv::cache;
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+uint64_t biv::cache::fnv1a(const std::string &Data, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  // 0 marks an empty index slot; remap the (astronomically unlikely) zero
+  // digest to an arbitrary nonzero constant.
+  return H ? H : 0x9e3779b97f4a7c15ull;
+}
+
+uint64_t biv::cache::unitDigest(const std::string &CanonicalIR,
+                                uint64_t OptsBits) {
+  // The salt also lives in the file header (wholesale invalidation on load);
+  // folding it into the digest as well means even a hand-spliced entry from
+  // an old cache cannot be served.
+  std::string Pre = "biv-cache fmt " + std::to_string(CacheFormatVersion) +
+                    " salt " + std::to_string(AnalysisVersionSalt) +
+                    " opts " + std::to_string(OptsBits) + "\n";
+  return fnv1a(CanonicalIR, fnv1a(Pre));
+}
+
+//===----------------------------------------------------------------------===//
+// Entry (de)serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t Magic1 = 0x6269762d63616368ull; // "biv-cach"
+constexpr uint64_t Magic2 = 0x6863616325646e65ull; // "end%cach"
+constexpr size_t HeaderBytes = 24;
+constexpr size_t TailBytes = 24;
+
+void putU64(std::string &Out, uint64_t V) {
+  Out.append(reinterpret_cast<const char *>(&V), sizeof(V));
+}
+
+bool getU64(const std::string &In, size_t &Pos, uint64_t &V) {
+  if (Pos + sizeof(V) > In.size())
+    return false;
+  std::memcpy(&V, In.data() + Pos, sizeof(V));
+  Pos += sizeof(V);
+  return true;
+}
+
+bool getBytes(const std::string &In, size_t &Pos, size_t Len,
+              std::string &V) {
+  if (Pos + Len > In.size() || Pos + Len < Pos)
+    return false;
+  V.assign(In.data() + Pos, Len);
+  Pos += Len;
+  return true;
+}
+
+} // namespace
+
+std::string CacheEntry::serialize() const {
+  std::string Out;
+  putU64(Out, ReportText.size());
+  Out += ReportText;
+  const uint64_t StatFields[] = {
+      Stats.Regions,         Stats.LinearFamilies,  Stats.PolynomialFamilies,
+      Stats.GeometricFamilies, Stats.PeriodicFamilies, Stats.WrapArounds,
+      Stats.MonotonicRegions,  Stats.UnknownRegions,
+      Stats.ExitValuesMaterialized};
+  for (uint64_t V : StatFields)
+    putU64(Out, V);
+  const uint64_t KindFields[] = {Kinds.Linear,     Kinds.Polynomial,
+                                 Kinds.Geometric,  Kinds.WrapAround,
+                                 Kinds.Periodic,   Kinds.Monotonic,
+                                 Kinds.Invariant,  Kinds.Unknown};
+  for (uint64_t V : KindFields)
+    putU64(Out, V);
+  putU64(Out, Instructions);
+  putU64(Out, Loops);
+  putU64(Out, Counters.size());
+  for (const auto &[Name, V] : Counters) { // std::map: sorted, so stable.
+    putU64(Out, Name.size());
+    Out += Name;
+    putU64(Out, V);
+  }
+  return Out;
+}
+
+bool CacheEntry::deserialize(const std::string &Bytes) {
+  size_t Pos = 0;
+  uint64_t Len = 0;
+  if (!getU64(Bytes, Pos, Len) || !getBytes(Bytes, Pos, size_t(Len),
+                                            ReportText))
+    return false;
+  uint64_t StatFields[9];
+  for (uint64_t &V : StatFields)
+    if (!getU64(Bytes, Pos, V))
+      return false;
+  Stats.Regions = unsigned(StatFields[0]);
+  Stats.LinearFamilies = unsigned(StatFields[1]);
+  Stats.PolynomialFamilies = unsigned(StatFields[2]);
+  Stats.GeometricFamilies = unsigned(StatFields[3]);
+  Stats.PeriodicFamilies = unsigned(StatFields[4]);
+  Stats.WrapArounds = unsigned(StatFields[5]);
+  Stats.MonotonicRegions = unsigned(StatFields[6]);
+  Stats.UnknownRegions = unsigned(StatFields[7]);
+  Stats.ExitValuesMaterialized = unsigned(StatFields[8]);
+  uint64_t KindFields[8];
+  for (uint64_t &V : KindFields)
+    if (!getU64(Bytes, Pos, V))
+      return false;
+  Kinds.Linear = unsigned(KindFields[0]);
+  Kinds.Polynomial = unsigned(KindFields[1]);
+  Kinds.Geometric = unsigned(KindFields[2]);
+  Kinds.WrapAround = unsigned(KindFields[3]);
+  Kinds.Periodic = unsigned(KindFields[4]);
+  Kinds.Monotonic = unsigned(KindFields[5]);
+  Kinds.Invariant = unsigned(KindFields[6]);
+  Kinds.Unknown = unsigned(KindFields[7]);
+  if (!getU64(Bytes, Pos, Instructions) || !getU64(Bytes, Pos, Loops))
+    return false;
+  uint64_t NumCounters = 0;
+  if (!getU64(Bytes, Pos, NumCounters))
+    return false;
+  Counters.clear();
+  for (uint64_t I = 0; I < NumCounters; ++I) {
+    uint64_t NameLen = 0, V = 0;
+    std::string Name;
+    if (!getU64(Bytes, Pos, NameLen) ||
+        !getBytes(Bytes, Pos, size_t(NameLen), Name) ||
+        !getU64(Bytes, Pos, V))
+      return false;
+    Counters[Name] = V;
+  }
+  return Pos == Bytes.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Cache file
+//===----------------------------------------------------------------------===//
+
+bool AnalysisCache::open(const std::string &P, std::string &Error) {
+  Path = P;
+  Entries.clear();
+  Offsets.clear();
+  PendingLog.clear();
+  DiskLogEnd = 0;
+  Invalidated = false;
+
+  std::error_code EC;
+  if (!std::filesystem::exists(Path, EC))
+    return true; // First run: empty cache, created by save().
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot read cache file '" + Path + "'";
+    return false;
+  }
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  if (!In.good() && !In.eof()) {
+    Error = "cannot read cache file '" + Path + "'";
+    return false;
+  }
+
+  // Anything structurally wrong from here on discards the file: reopen
+  // empty, remember why via Invalidated, let save() rewrite it.
+  auto Discard = [&] {
+    Entries.clear();
+    Offsets.clear();
+    DiskLogEnd = 0;
+    Invalidated = true;
+    return true;
+  };
+
+  if (Data.size() < HeaderBytes + TailBytes)
+    return Discard();
+  size_t Pos = 0;
+  uint64_t M1 = 0, Fmt = 0, Salt = 0;
+  getU64(Data, Pos, M1);
+  getU64(Data, Pos, Fmt);
+  getU64(Data, Pos, Salt);
+  if (M1 != Magic1 || Fmt != CacheFormatVersion ||
+      Salt != AnalysisVersionSalt)
+    return Discard();
+
+  size_t TailPos = Data.size() - TailBytes;
+  uint64_t IndexOff = 0, Count = 0, M2 = 0;
+  getU64(Data, TailPos, IndexOff);
+  getU64(Data, TailPos, Count);
+  getU64(Data, TailPos, M2);
+  if (M2 != Magic2 || IndexOff < HeaderBytes ||
+      IndexOff + 8 > Data.size() - TailBytes)
+    return Discard();
+
+  size_t IdxPos = size_t(IndexOff);
+  uint64_t Capacity = 0;
+  getU64(Data, IdxPos, Capacity);
+  // The index + tail must end the file exactly.
+  if (Capacity > (Data.size() / 16) ||
+      IdxPos + Capacity * 16 + TailBytes != Data.size())
+    return Discard();
+
+  uint64_t Seen = 0;
+  for (uint64_t Slot = 0; Slot < Capacity; ++Slot) {
+    uint64_t Digest = 0, Off = 0;
+    getU64(Data, IdxPos, Digest);
+    getU64(Data, IdxPos, Off);
+    if (Digest == 0)
+      continue;
+    ++Seen;
+    size_t RecPos = size_t(Off);
+    uint64_t RecDigest = 0, RecLen = 0;
+    std::string Payload;
+    if (Off < HeaderBytes || Off >= IndexOff ||
+        !getU64(Data, RecPos, RecDigest) || RecDigest != Digest ||
+        !getU64(Data, RecPos, RecLen) || RecPos + RecLen > IndexOff ||
+        !getBytes(Data, RecPos, size_t(RecLen), Payload))
+      return Discard();
+    CacheEntry E;
+    if (!E.deserialize(Payload))
+      return Discard();
+    if (!Entries.emplace(Digest, std::move(E)).second)
+      return Discard(); // Duplicate digest: the log is corrupt.
+    Offsets[Digest] = Off;
+  }
+  if (Seen != Count)
+    return Discard();
+
+  DiskLogEnd = IndexOff;
+  return true;
+}
+
+const CacheEntry *AnalysisCache::lookup(uint64_t Digest) const {
+  auto It = Entries.find(Digest);
+  return It == Entries.end() ? nullptr : &It->second;
+}
+
+void AnalysisCache::insert(uint64_t Digest, CacheEntry E) {
+  if (Entries.count(Digest))
+    return; // Content-addressed: same key, same bytes.
+  std::string Record;
+  std::string Payload = E.serialize();
+  putU64(Record, Digest);
+  putU64(Record, Payload.size());
+  Record += Payload;
+  PendingLog.emplace_back(Digest, std::move(Record));
+  Entries.emplace(Digest, std::move(E));
+}
+
+bool AnalysisCache::save(std::string &Error) {
+  if (Path.empty()) {
+    Error = "cache not opened";
+    return false;
+  }
+  if (PendingLog.empty() && DiskLogEnd != 0)
+    return true; // Disk is intact and complete.
+
+  // Lay out the new entry log region and final offsets.
+  uint64_t LogEnd = DiskLogEnd ? DiskLogEnd : HeaderBytes;
+  std::string NewLog;
+  if (DiskLogEnd == 0) {
+    // Fresh write: everything we know goes into the file.  After an
+    // invalidation Entries holds only this run's inserts, so "everything"
+    // is exactly the pending list -- but build from Entries so a fresh
+    // save is always self-contained.
+    Offsets.clear();
+    putU64(NewLog, Magic1);
+    putU64(NewLog, CacheFormatVersion);
+    putU64(NewLog, AnalysisVersionSalt);
+    for (const auto &[Digest, Rec] : PendingLog) {
+      Offsets[Digest] = LogEnd;
+      NewLog += Rec;
+      LogEnd += Rec.size();
+    }
+  } else {
+    for (const auto &[Digest, Rec] : PendingLog) {
+      Offsets[Digest] = LogEnd;
+      NewLog += Rec;
+      LogEnd += Rec.size();
+    }
+  }
+
+  // Open-addressed index sized to stay under 50% load, power of two so the
+  // probe sequence is a simple mask.
+  uint64_t Capacity = 8;
+  while (Capacity < Offsets.size() * 2)
+    Capacity *= 2;
+  std::vector<std::pair<uint64_t, uint64_t>> Slots(size_t(Capacity),
+                                                   {0, 0});
+  for (const auto &[Digest, Off] : Offsets) {
+    uint64_t Slot = Digest & (Capacity - 1);
+    while (Slots[size_t(Slot)].first != 0)
+      Slot = (Slot + 1) & (Capacity - 1);
+    Slots[size_t(Slot)] = {Digest, Off};
+  }
+  std::string Footer;
+  putU64(Footer, Capacity);
+  for (const auto &[Digest, Off] : Slots) {
+    putU64(Footer, Digest);
+    putU64(Footer, Off);
+  }
+  putU64(Footer, LogEnd);              // index_off
+  putU64(Footer, Offsets.size());      // count
+  putU64(Footer, Magic2);
+
+  bool Fresh = DiskLogEnd == 0;
+  {
+    std::ofstream Out;
+    if (Fresh) {
+      Out.open(Path, std::ios::binary | std::ios::trunc);
+    } else {
+      // in|out keeps the existing entry log; we overwrite from where the
+      // old footer began.
+      Out.open(Path, std::ios::binary | std::ios::in | std::ios::out);
+      Out.seekp(std::streamoff(DiskLogEnd));
+    }
+    Out.write(NewLog.data(), std::streamsize(NewLog.size()));
+    Out.write(Footer.data(), std::streamsize(Footer.size()));
+    Out.flush();
+    if (!Out) {
+      Error = "cannot write cache file '" + Path + "'";
+      return false;
+    }
+  }
+  // An append never shrinks the file (the new footer indexes a superset),
+  // but trim defensively so a logic change can't leave trailing garbage.
+  std::error_code EC;
+  uint64_t FinalSize = LogEnd + Footer.size();
+  if (std::filesystem::file_size(Path, EC) > FinalSize && !EC)
+    std::filesystem::resize_file(Path, FinalSize, EC);
+
+  DiskLogEnd = LogEnd;
+  PendingLog.clear();
+  Invalidated = false;
+  return true;
+}

@@ -1,0 +1,158 @@
+//===- cache/AnalysisCache.h - Content-addressed analysis cache -*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent, content-addressed cache of per-function analysis results,
+/// the scaling lever behind `bivc --batch --cache FILE`: re-analyzing a
+/// mostly-unchanged corpus only pays for the units whose content changed.
+///
+/// Keying (DESIGN.md §9).  The key is a 64-bit FNV-1a digest of
+///  - the *lowered function's canonical IR print* (so formatting and
+///    comments never miss, and textually different sources that lower to
+///    the same IR share an entry),
+///  - an analysis-version salt (`AnalysisVersionSalt`, bumped whenever
+///    ivclass / dependence / transform code changes what the analysis
+///    *means* -- a stale-salt file is discarded wholesale on load), and
+///  - an options fingerprint (the pipeline switches that change report
+///    bytes: SCCP, exit-value materialization, classification on/off,
+///    all-values, nested tuples).
+///
+/// Values are the full per-function `UnitResult` payload: the rendered
+/// report, the InductionAnalysis stats, per-kind counts, instruction/loop
+/// totals, and the unit's *analysis-phase counter deltas* (captured after
+/// the frontend, so a warm run -- which still parses in order to hash --
+/// can replay them without double counting).  Wolfe's algorithm is
+/// deterministic and non-iterative per function, which is what makes a hit
+/// byte-identical to a recomputation (the fuzz oracle's cache mode checks
+/// exactly that).
+///
+/// File format: a single append-only log with an index footer, so a warm
+/// run does one open + one read, not N file opens.
+///
+///   [magic u64][format u64][salt u64]            header
+///   ([digest u64][len u64][payload len bytes])*  entry log, append-only
+///   [capacity u64]([digest u64][offset u64])*    open-addressed index
+///   [index_off u64][count u64][magic2 u64]       tail
+///
+/// Appending rewrites only the footer region (new entries land where the
+/// old index began); entry bytes, once written, are never touched.  All
+/// integers are host-endian -- the cache is a local artifact, not an
+/// interchange format.  Any structural damage (bad magic, stale salt or
+/// format, truncation, out-of-range offsets) invalidates the whole file:
+/// the cache reopens empty and the next save rewrites it, trading
+/// re-analysis for never serving a corrupt entry.
+///
+/// Thread-safety: load and save are single-threaded (driver start/end);
+/// lookup() is const over immutable loaded bytes, so any number of batch
+/// workers may probe concurrently.  insert() is not synchronized -- the
+/// batch driver collects misses per unit slot and inserts them in input
+/// order after the pool drains, which also keeps the file bytes
+/// deterministic for any -jN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_CACHE_ANALYSISCACHE_H
+#define BEYONDIV_CACHE_ANALYSISCACHE_H
+
+#include "ivclass/InductionAnalysis.h"
+#include "ivclass/Report.h"
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace biv {
+namespace cache {
+
+/// Bump whenever ivclass / dependence / transform semantics change (new
+/// classification kinds, different closed forms, report format edits...):
+/// every existing cache file becomes stale at once.  tools/check_docs.sh
+/// cross-checks this constant against the value DESIGN.md documents.
+inline constexpr uint64_t AnalysisVersionSalt = 1;
+
+/// On-disk format revision (layout, not analysis semantics).
+inline constexpr uint64_t CacheFormatVersion = 1;
+
+/// 64-bit FNV-1a over \p Data, continuing from \p Seed (the offset basis by
+/// default).  Never returns 0 -- 0 marks an empty index slot.
+uint64_t fnv1a(const std::string &Data,
+               uint64_t Seed = 0xcbf29ce484222325ull);
+
+/// The cache key for one unit: canonical IR print x salt x the pipeline
+/// options that change result bytes (packed by the caller into \p OptsBits).
+uint64_t unitDigest(const std::string &CanonicalIR, uint64_t OptsBits);
+
+/// The cached payload for one function (everything a batch UnitResult
+/// carries besides its name and live stats frame).
+struct CacheEntry {
+  std::string ReportText;
+  ivclass::InductionAnalysis::Stats Stats;
+  ivclass::KindCounts Kinds;
+  uint64_t Instructions = 0;
+  uint64_t Loops = 0;
+  /// The unit's analysis-phase counter deltas by name (frontend counters
+  /// excluded: a hit re-parses, so those fire live).  Replayed into the
+  /// worker's frame on hit, keeping merged counters corpus-shaped whether
+  /// the work ran or was served.
+  std::map<std::string, uint64_t> Counters;
+
+  std::string serialize() const;
+  /// Returns false (leaving *this partially filled) on malformed bytes.
+  bool deserialize(const std::string &Bytes);
+};
+
+class AnalysisCache {
+public:
+  /// Binds the cache to \p Path and loads it.  A missing file is an empty
+  /// cache (first cold run); a file with a stale salt/format or any
+  /// structural damage is discarded and reported via invalidated().
+  /// Returns false only for real I/O errors (unreadable existing file),
+  /// with \p Error filled.
+  bool open(const std::string &Path, std::string &Error);
+
+  /// The entry for \p Digest, or null.  Pending (inserted, unsaved) entries
+  /// are visible.  Const and safe to call from many threads once loaded.
+  const CacheEntry *lookup(uint64_t Digest) const;
+
+  /// Records \p E under \p Digest, to be appended by the next save().
+  /// Duplicate digests keep the first entry (content-addressed: same key,
+  /// same bytes).  Not thread-safe; call from the driver thread.
+  void insert(uint64_t Digest, CacheEntry E);
+
+  /// Appends pending entries and rewrites the index footer (or writes the
+  /// whole file fresh after invalidation).  Returns false with \p Error set
+  /// when the path cannot be written -- callers must treat that as a hard
+  /// error, not a silent success.  No-op when nothing is pending and the
+  /// file is intact.
+  bool save(std::string &Error);
+
+  size_t entryCount() const { return Entries.size(); }
+  size_t pendingCount() const { return PendingLog.size(); }
+  /// True when open() found a file it had to discard (stale salt, damage).
+  bool invalidated() const { return Invalidated; }
+
+private:
+  std::string Path;
+  /// digest -> deserialized entry (loaded + pending), for O(1) concurrent
+  /// lookup after the one load-time read.
+  std::map<uint64_t, CacheEntry> Entries;
+  /// digest -> absolute file offset of the entry record, mirroring the
+  /// on-disk index for entries already saved.
+  std::map<uint64_t, uint64_t> Offsets;
+  /// Serialized records not yet on disk, in insertion order (so the file
+  /// bytes are deterministic for any worker count).
+  std::vector<std::pair<uint64_t, std::string>> PendingLog;
+  /// Bytes of valid header + entry log on disk (new entries append here,
+  /// overwriting the old footer); 0 = no valid file, save() writes fresh.
+  uint64_t DiskLogEnd = 0;
+  bool Invalidated = false; ///< disk content was discarded on open()
+};
+
+} // namespace cache
+} // namespace biv
+
+#endif // BEYONDIV_CACHE_ANALYSISCACHE_H

@@ -2,6 +2,7 @@
 
 #include "driver/BatchAnalyzer.h"
 #include "driver/ThreadPool.h"
+#include "ir/Printer.h"
 #include <cctype>
 
 using namespace biv;
@@ -88,6 +89,24 @@ BatchResult biv::driver::analyzeBatch(const std::vector<SourceInput> &Sources,
   PO.VerifyEach = Opts.VerifyEach;
   PO.Analysis.MaterializeExitValues = Opts.MaterializeExitValues;
 
+  static const stats::Counter NumHits("cache.hit");
+  static const stats::Counter NumMisses("cache.miss");
+  static const stats::Counter NumBytes("cache.bytes");
+  static const stats::Timer CacheTimer("phase.cache");
+
+  // Only the switches that change result bytes feed the digest; VerifyEach
+  // and Jobs cannot alter what a unit produces.
+  const uint64_t OptsBits = (Opts.RunSCCP ? 1u : 0u) |
+                            (Opts.MaterializeExitValues ? 2u : 0u) |
+                            (Opts.Classify ? 4u : 0u) |
+                            (Opts.Report.AllValues ? 8u : 0u) |
+                            (Opts.Report.NestedTuples ? 16u : 0u);
+
+  // Miss results parked per slot; the driver thread commits them to the
+  // cache in input order after the pool drains (digest 0 = nothing to add).
+  std::vector<std::pair<uint64_t, cache::CacheEntry>> NewEntries(
+      Opts.Cache ? Units.size() : 0);
+
   // Each unit owns its whole pipeline; slots are disjoint, so workers never
   // contend on anything but the queue.
   auto runUnit = [&](size_t I) {
@@ -97,23 +116,80 @@ BatchResult biv::driver::analyzeBatch(const std::vector<SourceInput> &Sources,
     // can merge per-unit contributions in input order, independent of which
     // thread ran what.
     stats::Frame Before = stats::captureFrame();
-    std::vector<std::string> Errors;
-    std::optional<ivclass::AnalyzedProgram> P =
-        ivclass::analyzeSource(Units[I].Text, Errors, PO);
-    if (!P) {
-      U.OK = false;
-      U.Errors = std::move(Errors);
+    try {
+      if (Opts.PerUnitHook)
+        Opts.PerUnitHook(Units[I]);
+      std::vector<std::string> Errors;
+      std::optional<ivclass::AnalyzedProgram> P =
+          ivclass::parseSource(Units[I].Text, Errors);
+      if (!P) {
+        U.OK = false;
+        U.Errors = std::move(Errors);
+        U.StatsDelta = stats::captureFrame() - Before;
+        return;
+      }
+      uint64_t Digest = 0;
+      if (Opts.Cache) {
+        // The span must close before the hit path captures StatsDelta,
+        // or the warm run's phase.cache time lands outside the unit's
+        // frame and vanishes from the merged stats.
+        const cache::CacheEntry *CE = nullptr;
+        {
+          stats::ScopedSpan Span(CacheTimer);
+          Digest = cache::unitDigest(ir::toString(*P->F), OptsBits);
+          CE = Opts.Cache->lookup(Digest);
+        }
+        if (CE) {
+          NumHits.bump();
+          NumBytes.bump(CE->ReportText.size());
+          // Replay the stored unit's analysis-phase counters so merged
+          // counters stay corpus-shaped on a warm run.  Timers are *not*
+          // replayed: phase spans must reflect work that actually ran
+          // (that is how --stats-json proves the skip).
+          for (const auto &[Name, V] : CE->Counters)
+            stats::bumpNamedCounter(Name, V);
+          U.OK = true;
+          U.Stats = CE->Stats;
+          U.Kinds = CE->Kinds;
+          U.Instructions = size_t(CE->Instructions);
+          U.Loops = size_t(CE->Loops);
+          U.ReportText = CE->ReportText;
+          U.StatsDelta = stats::captureFrame() - Before;
+          return;
+        }
+        NumMisses.bump();
+      }
+      // Capture after parse + probe: the entry stores only analysis-phase
+      // counter deltas, because a hit still parses (to hash) and those
+      // frontend counters fire live.
+      stats::Frame PostParse = stats::captureFrame();
+      ivclass::analyzeParsed(*P, PO);
+      U.OK = true;
+      U.Stats = P->IA->stats();
+      U.Kinds = ivclass::countHeaderPhiKinds(*P->IA);
+      U.Instructions = P->F->instructionCount();
+      U.Loops = P->LI->loops().size();
+      if (Opts.Classify)
+        U.ReportText = ivclass::report(*P->IA, &P->Info, Opts.Report);
+      if (Opts.Cache) {
+        cache::CacheEntry E;
+        E.ReportText = U.ReportText;
+        E.Stats = U.Stats;
+        E.Kinds = U.Kinds;
+        E.Instructions = U.Instructions;
+        E.Loops = U.Loops;
+        E.Counters =
+            stats::snapshotFrame(stats::captureFrame() - PostParse).Counters;
+        NewEntries[I] = {Digest, std::move(E)};
+      }
       U.StatsDelta = stats::captureFrame() - Before;
-      return;
+    } catch (const std::exception &E) {
+      // A throwing unit must fail loudly but locally: its siblings finish,
+      // the batch reports which unit died, and the driver exits non-zero.
+      U.OK = false;
+      U.Errors.push_back(std::string("internal error: ") + E.what());
+      U.StatsDelta = stats::captureFrame() - Before;
     }
-    U.OK = true;
-    U.Stats = P->IA->stats();
-    U.Kinds = ivclass::countHeaderPhiKinds(*P->IA);
-    U.Instructions = P->F->instructionCount();
-    U.Loops = P->LI->loops().size();
-    if (Opts.Classify)
-      U.ReportText = ivclass::report(*P->IA, &P->Info, Opts.Report);
-    U.StatsDelta = stats::captureFrame() - Before;
   };
 
   if (Opts.Jobs == 1) {
@@ -125,6 +201,11 @@ BatchResult biv::driver::analyzeBatch(const std::vector<SourceInput> &Sources,
       Pool.submit([&runUnit, I] { runUnit(I); });
     Pool.wait();
   }
+
+  if (Opts.Cache)
+    for (auto &[Digest, E] : NewEntries)
+      if (Digest != 0)
+        Opts.Cache->insert(Digest, std::move(E));
 
   for (const UnitResult &U : R.Units) {
     if (!U.OK) {

@@ -27,9 +27,11 @@
 #ifndef BEYONDIV_DRIVER_BATCHANALYZER_H
 #define BEYONDIV_DRIVER_BATCHANALYZER_H
 
+#include "cache/AnalysisCache.h"
 #include "ivclass/Pipeline.h"
 #include "ivclass/Report.h"
 #include "support/Stats.h"
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,16 @@ struct BatchOptions {
   /// Render a classification report per unit (off for pure throughput runs).
   bool Classify = true;
   ivclass::ReportOptions Report;
+  /// Content-addressed result cache (`bivc --batch --cache FILE`), or null
+  /// to analyze every unit.  Workers probe it concurrently after parsing
+  /// (lookup is const); misses are inserted by the driver thread in input
+  /// order once the pool drains, so the cache file bytes are deterministic
+  /// for any Jobs value.  Failed units are never cached.
+  cache::AnalysisCache *Cache = nullptr;
+  /// Test-only: runs at the top of every unit, before its pipeline.  Lets
+  /// tests inject a throwing task and assert the batch neither deadlocks
+  /// nor drops the unit silently.
+  std::function<void(const SourceInput &)> PerUnitHook;
 };
 
 /// What one unit produced.

@@ -36,12 +36,17 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> Task) {
   unsigned Qi = NextQueue.fetch_add(1, std::memory_order_relaxed) %
                 unsigned(Queues.size());
+  // Count the task in-flight *before* it becomes visible in a queue: a
+  // worker that is already awake scans the queues directly and may pop and
+  // finish the task immediately, and its decrement must never observe the
+  // counters at zero (the underflow would wedge wait() forever and skip the
+  // idle notification).
+  InFlight.fetch_add(1, std::memory_order_relaxed);
+  Queued.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> L(Queues[Qi]->M);
     Queues[Qi]->Q.push_back(std::move(Task));
   }
-  InFlight.fetch_add(1, std::memory_order_relaxed);
-  Queued.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> L(WaitM);
   }

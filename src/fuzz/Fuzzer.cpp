@@ -1,6 +1,7 @@
 //===- fuzz/Fuzzer.cpp - Differential fuzzing campaign driver -----------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "cache/AnalysisCache.h"
 #include "driver/BatchAnalyzer.h"
 #include "fuzz/Minimizer.h"
 #include "support/Lcg.h"
@@ -26,6 +27,29 @@ bool stillFails(const std::string &Candidate, const OracleOptions &Opts,
   return false;
 }
 
+/// Cache oracle over \p Corpus: a run that populates an in-memory cache and
+/// a run served entirely from it must both render exactly like a run with
+/// no cache at all.  On divergence fills \p Detail and returns false.
+bool cacheColdWarmIdentical(const std::vector<driver::SourceInput> &Corpus,
+                            std::string &Detail) {
+  driver::BatchOptions BO;
+  BO.Report.AllValues = true;
+  std::string Plain = driver::analyzeBatch(Corpus, BO).renderText();
+  cache::AnalysisCache Cache; // in-memory: never opened, never saved
+  BO.Cache = &Cache;
+  std::string Cold = driver::analyzeBatch(Corpus, BO).renderText();
+  std::string Warm = driver::analyzeBatch(Corpus, BO).renderText();
+  if (Plain != Cold) {
+    Detail = "cold-cache report differs from no-cache report";
+    return false;
+  }
+  if (Cold != Warm) {
+    Detail = "warm-cache report differs from cold-cache report";
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 FuzzResult biv::fuzz::runFuzz(const FuzzOptions &Opts) {
@@ -44,6 +68,25 @@ FuzzResult biv::fuzz::runFuzz(const FuzzOptions &Opts) {
     OracleResult R = checkProgram(Source, OO);
     ++Result.Programs;
     Result.Checks += R.Checks;
+
+    // Randomly flip the cache on for ~1/8 of programs (always with
+    // --cache-oracle): cold and warm runs through an in-memory cache must
+    // be byte-identical to a cache-free run.  The flip derives from the
+    // program seed, so a failure replays from (Seed, i) like any other.
+    if (R.ParseOK &&
+        (Opts.CacheOracleAlways || ((ProgramSeed >> 4) & 7) == 0)) {
+      ++Result.CacheOracleRuns;
+      Result.CacheChecked = true;
+      std::string Detail;
+      if (!cacheColdWarmIdentical({Corpus.back()}, Detail)) {
+        Result.CacheDeterministic = false;
+        Mismatch M;
+        M.Check = "cache";
+        M.Claim = "cache hit reproduces the analysis byte-for-byte";
+        M.Observed = Detail;
+        R.Mismatches.push_back(std::move(M));
+      }
+    }
 
     if (R.ParseOK && R.Mismatches.empty())
       continue;
@@ -64,7 +107,9 @@ FuzzResult biv::fuzz::runFuzz(const FuzzOptions &Opts) {
       F.Mismatches = R.Mismatches;
     }
 
-    if (Opts.Minimize && R.ParseOK) {
+    // "cache" findings cannot drive the minimizer (its predicate replays
+    // the interpreter oracle, which knows nothing of the cache).
+    if (Opts.Minimize && R.ParseOK && F.Mismatches.front().Check != "cache") {
       const std::string Category = F.Mismatches.front().Check;
       MinimizeResult MR = minimizeProgram(Source, [&](const std::string &C) {
         return stillFails(C, OO, Category);
@@ -91,6 +136,22 @@ FuzzResult biv::fuzz::runFuzz(const FuzzOptions &Opts) {
     std::string Parallel = driver::analyzeBatch(Corpus, BO).renderText();
     Result.BatchChecked = true;
     Result.BatchDeterministic = Serial == Parallel;
+
+    // Corpus-level cache oracle under concurrency: prime an in-memory
+    // cache with half the corpus, then run the whole corpus twice with
+    // -jN workers probing it.  The mixed hit/miss run and the fully warm
+    // run must both match the cache-free rendering above.
+    cache::AnalysisCache Cache;
+    BO.Cache = &Cache;
+    std::vector<driver::SourceInput> Prefix(
+        Corpus.begin(), Corpus.begin() + Corpus.size() / 2);
+    if (!Prefix.empty())
+      driver::analyzeBatch(Prefix, BO);
+    std::string Mixed = driver::analyzeBatch(Corpus, BO).renderText();
+    std::string Warm = driver::analyzeBatch(Corpus, BO).renderText();
+    Result.CacheChecked = true;
+    if (Mixed != Parallel || Warm != Parallel)
+      Result.CacheDeterministic = false;
   }
   return Result;
 }
@@ -106,6 +167,10 @@ std::string FuzzResult::renderText() const {
   if (BatchChecked)
     OS << "fuzz: batch -j1 vs -jN report "
        << (BatchDeterministic ? "byte-identical" : "DIFFERS") << "\n";
+  if (CacheChecked)
+    OS << "fuzz: cache cold/warm reports "
+       << (CacheDeterministic ? "byte-identical" : "DIFFER") << " ("
+       << CacheOracleRuns << " per-program oracle run(s))\n";
 
   for (size_t K = 0; K < Failures.size(); ++K) {
     const FuzzFailure &F = Failures[K];

@@ -39,6 +39,11 @@ struct FuzzOptions {
   /// Worker count diffed against -j1 in the batch determinism check
   /// (0 disables the check).
   unsigned BatchJobs = 8;
+  /// Run the per-program cache oracle (cold + warm analysis through an
+  /// in-memory AnalysisCache, reports diffed byte-for-byte) on *every*
+  /// program.  Off: a random ~1/8 subset, chosen per program seed, still
+  /// exercises it, so the flip replays deterministically.
+  bool CacheOracleAlways = false;
 
   GenOptions Gen;
   OracleOptions Oracle;
@@ -64,7 +69,15 @@ struct FuzzResult {
   bool BatchChecked = false;
   bool BatchDeterministic = true;
 
-  bool ok() const { return Failures.empty() && BatchDeterministic; }
+  /// Cache cold/warm byte-identity: per-program oracle runs plus one
+  /// corpus-level no-cache vs mixed (half-primed) vs fully-warm diff.
+  bool CacheChecked = false;
+  bool CacheDeterministic = true;
+  unsigned CacheOracleRuns = 0;
+
+  bool ok() const {
+    return Failures.empty() && BatchDeterministic && CacheDeterministic;
+  }
 
   /// Human-readable campaign report (the `bivc --fuzz` output).
   std::string renderText() const;

@@ -83,7 +83,18 @@ ClosedForm ClosedForm::operator+(const ClosedForm &RHS) const {
 }
 
 ClosedForm ClosedForm::operator-(const ClosedForm &RHS) const {
-  return *this + (-RHS);
+  // Mirrors operator+ with binary subtraction per coefficient: negating
+  // RHS first would throw on INT64_MIN coefficients whose difference fits.
+  ClosedForm F = *this;
+  if (F.Poly.size() < RHS.Poly.size())
+    F.Poly.resize(RHS.Poly.size());
+  for (size_t K = 0; K < RHS.Poly.size(); ++K)
+    F.Poly[K] -= RHS.Poly[K];
+  for (const auto &[Base, Coeff] : RHS.Geo) {
+    F.Geo[Base] -= Coeff; // default-constructs zero when absent
+  }
+  F.normalize();
+  return F;
 }
 
 ClosedForm ClosedForm::operator*(const Rational &Scale) const {

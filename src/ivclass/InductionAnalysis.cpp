@@ -92,13 +92,25 @@ public:
 
   void run() {
     static const stats::Counter NumSCCs("ivclass.sccs_visited");
+    static const stats::Counter NumOverflows("ivclass.classify.overflow");
     for (const SCR &Region : G.stronglyConnectedRegions()) {
       ++S.Regions;
       NumSCCs.bump();
-      if (Region.Trivial)
-        classifyTrivial(Region.Nodes.front());
-      else
-        classifyRegion(Region);
+      try {
+        if (Region.Trivial)
+          classifyTrivial(Region.Nodes.front());
+        else
+          classifyRegion(Region);
+      } catch (const RationalOverflow &) {
+        // Exact arithmetic left int64 somewhere in this region's algebra.
+        // Classifications are per-region, so degrade just this region to
+        // unknown (overwriting any partial result) and keep going; later
+        // regions see "unknown" operands, the defined fallback.
+        NumOverflows.bump();
+        for (ir::Instruction *I : Region.Nodes)
+          setClass(I, Classification::unknown());
+        ++S.UnknownRegions;
+      }
     }
   }
 
@@ -1024,15 +1036,26 @@ void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
       continue; // conditionally executed; no single exit value
 
     // Exit value as an affine expression over values live at the exit.
+    // Evaluation over exact rationals can overflow int64 (e.g. a geometric
+    // 2^h form past h = 62); the machine value wrapped there, so a
+    // materialized exact constant would *change* behavior -- skip the
+    // candidate instead.
     std::optional<Affine> EV;
-    if (TCNum) {
-      int64_t H = *TCNum + Extra;
-      if (H < 0)
-        continue; // the value never executed
-      EV = Form.evaluateAt(H);
-    } else {
-      Affine At = Extra == 0 ? TCA : TCA + Affine(-1);
-      EV = Form.evaluateAtAffine(At);
+    try {
+      if (TCNum) {
+        int64_t H = *TCNum + Extra;
+        if (H < 0)
+          continue; // the value never executed
+        EV = Form.evaluateAt(H);
+      } else {
+        Affine At = Extra == 0 ? TCA : TCA + Affine(-1);
+        EV = Form.evaluateAtAffine(At);
+      }
+    } catch (const RationalOverflow &) {
+      static const stats::Counter NumOverflows(
+          "ivclass.materialize.overflow");
+      NumOverflows.bump();
+      continue;
     }
     if (!EV)
       continue;

@@ -11,15 +11,19 @@ using namespace biv;
 using namespace biv::ivclass;
 
 std::optional<AnalyzedProgram>
-biv::ivclass::analyzeSource(const std::string &Source,
-                            std::vector<std::string> &Errors,
-                            const PipelineOptions &Opts) {
+biv::ivclass::parseSource(const std::string &Source,
+                          std::vector<std::string> &Errors) {
   AnalyzedProgram P;
   P.F = frontend::parseAndLower(Source, Errors);
   if (!P.F)
     return std::nullopt;
   P.Info = ssa::buildSSA(*P.F);
   ssa::verifySSAOrDie(*P.F);
+  return P;
+}
+
+void biv::ivclass::analyzeParsed(AnalyzedProgram &P,
+                                 const PipelineOptions &Opts) {
   if (Opts.RunSCCP) {
     // Fold-only: branch pruning could delete the loops under analysis.
     ssa::runSCCP(*P.F, /*SimplifyCFG=*/false);
@@ -31,6 +35,15 @@ biv::ivclass::analyzeSource(const std::string &Source,
   P.IA = std::make_unique<InductionAnalysis>(*P.F, *P.DT, *P.LI,
                                              Opts.Analysis);
   P.IA->run();
+}
+
+std::optional<AnalyzedProgram>
+biv::ivclass::analyzeSource(const std::string &Source,
+                            std::vector<std::string> &Errors,
+                            const PipelineOptions &Opts) {
+  std::optional<AnalyzedProgram> P = parseSource(Source, Errors);
+  if (P)
+    analyzeParsed(*P, Opts);
   return P;
 }
 

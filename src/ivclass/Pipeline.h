@@ -50,8 +50,20 @@ struct PipelineOptions {
   InductionAnalysis::Options Analysis;
 };
 
-/// Parses and analyzes \p Source.  On error returns an empty optional and
-/// fills \p Errors.
+/// Frontend half of analyzeSource: parse, lower, build SSA (and verify it).
+/// Fills only F and Info; DT/LI/IA stay null until analyzeParsed() runs.
+/// Split out so the batch driver can hash the canonical IR print and probe
+/// the analysis cache before paying for the analysis half.
+std::optional<AnalyzedProgram> parseSource(const std::string &Source,
+                                           std::vector<std::string> &Errors);
+
+/// Analysis half: optional constant propagation, dominators, loops, and the
+/// induction-variable analysis, in place on a parseSource() result.
+void analyzeParsed(AnalyzedProgram &P,
+                   const PipelineOptions &Opts = PipelineOptions());
+
+/// Parses and analyzes \p Source (parseSource + analyzeParsed).  On error
+/// returns an empty optional and fills \p Errors.
 std::optional<AnalyzedProgram>
 analyzeSource(const std::string &Source, std::vector<std::string> &Errors,
               const PipelineOptions &Opts = PipelineOptions());

@@ -2,14 +2,17 @@
 
 #include "ivclass/RecurrenceSolver.h"
 #include "support/Matrix.h"
+#include "support/Stats.h"
 #include <vector>
 
 using namespace biv;
 using namespace biv::ivclass;
 
-std::optional<ClosedForm>
-biv::ivclass::solveLinearRecurrence(const Rational &A, const ClosedForm &B,
-                                    const Affine &Init) {
+namespace {
+
+std::optional<ClosedForm> solveLinearRecurrenceImpl(const Rational &A,
+                                                    const ClosedForm &B,
+                                                    const Affine &Init) {
   // Fast path: X' = X + c is the classical linear induction variable.
   if (A.isOne() && B.isInvariant())
     return ClosedForm::linear(Init, B.initialValue());
@@ -78,4 +81,25 @@ biv::ivclass::solveLinearRecurrence(const Rational &A, const ClosedForm &B,
   if (Form.evaluateAt(Unknowns) != Values[Unknowns])
     return std::nullopt;
   return Form;
+}
+
+} // namespace
+
+std::optional<ClosedForm>
+biv::ivclass::solveLinearRecurrence(const Rational &A, const ClosedForm &B,
+                                    const Affine &Init) {
+  // The iterate values, Vandermonde-style basis matrix, and Gauss-Jordan
+  // elimination all run in exact rational arithmetic; a high-order
+  // recurrence (degree-k polynomial IVs produce determinants that grow
+  // superfactorially) can push an intermediate past int64 even though every
+  // input fits.  Overflow is not a wrong answer -- it means the closed form
+  // is not representable here -- so report "no closed form" instead of
+  // computing with wrapped numbers.
+  static const stats::Counter NumOverflows("ivclass.solver.overflow");
+  try {
+    return solveLinearRecurrenceImpl(A, B, Init);
+  } catch (const RationalOverflow &) {
+    NumOverflows.bump();
+    return std::nullopt;
+  }
 }

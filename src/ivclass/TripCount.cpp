@@ -1,6 +1,7 @@
 //===- ivclass/TripCount.cpp - Loop trip counts --------------------------------===//
 
 #include "ivclass/TripCount.h"
+#include "support/Stats.h"
 
 using namespace biv;
 using namespace biv::ivclass;
@@ -24,8 +25,12 @@ std::string TripCountInfo::str(const SymbolNamer &Namer) const {
 namespace {
 
 /// Trip count of a single exit: the first h >= 0 at which the exit fires.
-TripCountInfo analyzeExit(const analysis::Loop &L, ir::BasicBlock *Exiting,
-                          const ClassifyFn &Classify) {
+/// May throw RationalOverflow when the margin arithmetic leaves int64 (e.g.
+/// bounds near INT64_MIN/MAX); the analyzeExit wrapper below degrades that
+/// to Unknown.
+TripCountInfo analyzeExitImpl(const analysis::Loop &L,
+                              ir::BasicBlock *Exiting,
+                              const ClassifyFn &Classify) {
   TripCountInfo Info;
   ir::Instruction *Term = Exiting->terminator();
   if (!Term || Term->opcode() != ir::Opcode::CondBr)
@@ -122,13 +127,15 @@ TripCountInfo analyzeExit(const analysis::Loop &L, ir::BasicBlock *Exiting,
     E = B - A;
     break;
   case ir::Opcode::CmpLE: // a <= b  ==  a < b+1
-    E = B + One - A;
+    // Subtract before adding the 1: b+1 overflows for b == INT64_MAX (the
+    // classic `downto`/`to` boundary loops) even when the margin is small.
+    E = B - A + One;
     break;
   case ir::Opcode::CmpGT: // a > b  ==  b < a
     E = A - B;
     break;
   case ir::Opcode::CmpGE: // a >= b  ==  b < a+1
-    E = A + One - B;
+    E = A - B + One;
     break;
   default:
     return Info;
@@ -147,8 +154,20 @@ TripCountInfo analyzeExit(const analysis::Loop &L, ir::BasicBlock *Exiting,
       // never shrink to zero.
       Info.K = S ? TripCountInfo::Kind::Infinite : TripCountInfo::Kind::Unknown;
     else {
+      int64_t TC = (*IC / -*S).ceil();
+      // The formula reasons over mathematical integers, but execution wraps
+      // in two's-complement int64.  If either compared operand overflows
+      // before the deciding iteration (e.g. `i < INT64_MAX` from
+      // INT64_MAX-5 stepping by 2 jumps past the bound and wraps negative,
+      // staying in the loop), the exact count is a lie about the machine.
+      // Evaluating both sides at h = TC in exact arithmetic bounds every
+      // intermediate value of a linear form (h = 0 is the already-
+      // representable initial value); an overflow throws and the wrapper
+      // reports Unknown instead.
+      (void)A.evaluateAt(TC);
+      (void)B.evaluateAt(TC);
       Info.K = TripCountInfo::Kind::Finite;
-      Info.Count = Affine((*IC / -*S).ceil());
+      Info.Count = Affine(TC);
     }
     return Info;
   }
@@ -162,6 +181,21 @@ TripCountInfo analyzeExit(const analysis::Loop &L, ir::BasicBlock *Exiting,
     return Info;
   }
   return Info;
+}
+
+/// analyzeExitImpl with overflow containment: margins built from bounds
+/// near INT64_MIN/MAX (the `(hi - lo)` subtraction, the `<=` +1 rewrite,
+/// the final-value evaluation) throw RationalOverflow; an uncountable exit
+/// is Unknown, never a wrapped number.
+TripCountInfo analyzeExit(const analysis::Loop &L, ir::BasicBlock *Exiting,
+                          const ClassifyFn &Classify) {
+  static const stats::Counter NumOverflows("ivclass.tripcount.overflow");
+  try {
+    return analyzeExitImpl(L, Exiting, Classify);
+  } catch (const RationalOverflow &) {
+    NumOverflows.bump();
+    return TripCountInfo();
+  }
 }
 
 } // namespace

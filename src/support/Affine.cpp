@@ -37,7 +37,20 @@ Affine Affine::operator+(const Affine &RHS) const {
   return Result;
 }
 
-Affine Affine::operator-(const Affine &RHS) const { return *this + (-RHS); }
+Affine Affine::operator-(const Affine &RHS) const {
+  // Coefficient-wise binary subtraction; *this + (-RHS) would overflow on
+  // any RHS coefficient of INT64_MIN even when the difference fits.
+  Affine Result = *this;
+  Result.Constant = Result.Constant - RHS.Constant;
+  for (const auto &[Sym, Coeff] : RHS.Terms) {
+    Rational Diff = Result.coefficientOf(Sym) - Coeff;
+    if (Diff.isZero())
+      Result.Terms.erase(Sym);
+    else
+      Result.Terms[Sym] = Diff;
+  }
+  return Result;
+}
 
 Affine Affine::operator*(const Rational &Scale) const {
   Affine Result;

@@ -18,23 +18,36 @@ int64_t biv::gcd64(int64_t A, int64_t B) {
 }
 
 static int64_t narrow(__int128 V) {
-  assert(V >= INT64_MIN && V <= INT64_MAX && "rational overflow");
+  // Gcd reduction already ran in 128 bits; a value still out of range here
+  // is a genuine overflow of the representation, never a transient.  Report
+  // it instead of wrapping (the old assert compiled away under NDEBUG and
+  // the static_cast silently truncated).
+  if (V < INT64_MIN || V > INT64_MAX)
+    throw RationalOverflow();
   return static_cast<int64_t>(V);
 }
 
 Rational::Rational(int64_t N, int64_t D) {
   assert(D != 0 && "rational with zero denominator");
-  if (D < 0) {
-    N = -N;
-    D = -D;
+  // Normalize sign and reduce in 128 bits: N = INT64_MIN with D < 0 would
+  // overflow a plain int64 negation before the gcd could shrink it.
+  __int128 WN = N, WD = D;
+  if (WD < 0) {
+    WN = -WN;
+    WD = -WD;
   }
-  int64_t G = gcd64(N, D);
-  if (G > 1) {
-    N /= G;
-    D /= G;
+  __int128 A = WN < 0 ? -WN : WN, B = WD;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
   }
-  Num = N;
-  Den = D;
+  if (A > 1) {
+    WN /= A;
+    WD /= A;
+  }
+  Num = narrow(WN);
+  Den = narrow(WD);
 }
 
 static Rational makeNormalized(__int128 N, __int128 D) {
@@ -57,7 +70,11 @@ static Rational makeNormalized(__int128 N, __int128 D) {
   return Rational(narrow(N), narrow(D));
 }
 
-Rational Rational::operator-() const { return Rational(-Num, Den); }
+Rational Rational::operator-() const {
+  // -INT64_MIN/Den is not representable; route through the widening
+  // constructor path instead of negating in int64 (signed-overflow UB).
+  return makeNormalized(-static_cast<__int128>(Num), Den);
+}
 
 Rational Rational::operator+(const Rational &RHS) const {
   return makeNormalized(static_cast<__int128>(Num) * RHS.Den +
@@ -66,7 +83,12 @@ Rational Rational::operator+(const Rational &RHS) const {
 }
 
 Rational Rational::operator-(const Rational &RHS) const {
-  return *this + (-RHS);
+  // Direct 128-bit subtraction, not *this + (-RHS): negating first throws
+  // for RHS touching INT64_MIN even when the difference itself fits (e.g.
+  // the trip-count margin (hi - lo) with lo == INT64_MIN).
+  return makeNormalized(static_cast<__int128>(Num) * RHS.Den -
+                            static_cast<__int128>(RHS.Num) * Den,
+                        static_cast<__int128>(Den) * RHS.Den);
 }
 
 Rational Rational::operator*(const Rational &RHS) const {
@@ -88,10 +110,19 @@ bool Rational::operator<(const Rational &RHS) const {
 int64_t Rational::floor() const {
   if (Num >= 0)
     return Num / Den;
-  return -((-Num + Den - 1) / Den);
+  // Widen: -Num overflows for Num == INT64_MIN.  The result magnitude only
+  // shrinks (Den >= 1), so the final narrow always succeeds.
+  __int128 N = -static_cast<__int128>(Num);
+  return narrow(-((N + Den - 1) / Den));
 }
 
-int64_t Rational::ceil() const { return -(-*this).floor(); }
+int64_t Rational::ceil() const {
+  // Truncation toward zero is already the ceiling for non-positive values;
+  // doing it directly (rather than -(-x).floor()) keeps INT64_MIN/Den legal.
+  if (Num <= 0)
+    return Num / Den;
+  return narrow((static_cast<__int128>(Num) + Den - 1) / Den);
+}
 
 Rational Rational::pow(int64_t Exp) const {
   if (Exp < 0)

@@ -11,8 +11,12 @@
 /// The paper finds closed forms for polynomial and geometric induction
 /// variables by inverting small integer matrices; the inverses "will have
 /// only rational entries" (section 4.3), so the solver needs exact rational
-/// arithmetic.  Intermediate products are computed in 128 bits and narrowed
-/// with an overflow check.
+/// arithmetic.  Intermediate products are computed in 128 bits, gcd-reduced
+/// while still wide, and narrowed back to int64.  A reduced value that does
+/// not fit 64 bits throws RationalOverflow -- callers at analysis
+/// boundaries (recurrence solver, trip counts, per-region classification)
+/// catch it and degrade to "unknown" instead of computing with a silently
+/// wrapped number.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,9 +25,20 @@
 
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace biv {
+
+/// Thrown when an exact rational result cannot be represented in
+/// int64/int64 after gcd reduction.  Deliberately a distinct type so
+/// analysis code can catch arithmetic overflow without swallowing logic
+/// errors.
+class RationalOverflow : public std::overflow_error {
+public:
+  RationalOverflow() : std::overflow_error("rational overflow (result does "
+                                           "not fit 64-bit num/den)") {}
+};
 
 /// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
 class Rational {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -22,6 +23,11 @@ struct NameRegistry {
   std::mutex M;
   std::vector<const char *> CounterNames;
   std::vector<const char *> TimerNames;
+  /// Backing store for names that arrive as run-time strings (cache replay
+  /// deserializes counter names from a file); a deque never reallocates, so
+  /// the pointers handed to the name tables stay stable for the process
+  /// lifetime.
+  std::deque<std::string> OwnedNames;
 
   unsigned intern(std::vector<const char *> &Names, const char *Name,
                   unsigned Max) {
@@ -33,6 +39,20 @@ struct NameRegistry {
                                  "MaxCounters/MaxTimers constants");
     (void)Max;
     Names.push_back(Name);
+    return unsigned(Names.size() - 1);
+  }
+
+  unsigned internCopy(std::vector<const char *> &Names,
+                      const std::string &Name, unsigned Max) {
+    std::lock_guard<std::mutex> Lock(M);
+    for (unsigned I = 0; I < Names.size(); ++I)
+      if (Name == Names[I])
+        return I;
+    assert(Names.size() < Max && "stats cell space exhausted; raise the "
+                                 "MaxCounters/MaxTimers constants");
+    (void)Max;
+    OwnedNames.push_back(Name);
+    Names.push_back(OwnedNames.back().c_str());
     return unsigned(Names.size() - 1);
   }
 
@@ -61,6 +81,12 @@ unsigned biv::stats::registerCounter(const char *Name) {
 
 unsigned biv::stats::registerTimer(const char *Name) {
   return registry().intern(registry().TimerNames, Name, MaxTimers);
+}
+
+void biv::stats::bumpNamedCounter(const std::string &Name, uint64_t N) {
+  unsigned Idx = registry().internCopy(registry().CounterNames, Name,
+                                       MaxCounters);
+  threadFrame().Counters[Idx] += N;
 }
 
 //===----------------------------------------------------------------------===//

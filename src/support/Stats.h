@@ -82,6 +82,12 @@ unsigned registerCounter(const char *Name);
 /// Registers (or finds) the timer named \p Name; returns its dense index.
 unsigned registerTimer(const char *Name);
 
+/// Bumps the counter named \p Name (registering it, with an owned copy of
+/// the name, on first touch).  This is the slow path for names that only
+/// exist at run time -- the analysis cache replaying a stored unit's
+/// counter deltas -- not a replacement for `static const Counter` sites.
+void bumpNamedCounter(const std::string &Name, uint64_t N);
+
 /// A named counter.  Define one `static const` per site and bump it; the
 /// constructor resolves the dense index once.
 class Counter {

@@ -196,4 +196,112 @@ TEST(BatchTest, FailedUnitDoesNotAbortSiblings) {
   EXPECT_FALSE(R.Units[1].Errors.empty());
 }
 
+TEST(BatchTest, ThrowingUnitFailsBatchWithoutDeadlock) {
+  // A worker exception used to either deadlock wait() or vanish with the
+  // unit silently analyzed as OK.  Now: the batch completes, exactly the
+  // offending unit is failed with a diagnostic naming the cause, and its
+  // siblings are unaffected.
+  std::vector<driver::SourceInput> Sources;
+  for (int I = 0; I < 12; ++I)
+    Sources.push_back({"u" + std::to_string(I),
+                       "func f(n) {\n  s = 0;\n"
+                       "  for L1: i = 1 to n { s = s + 1; }\n"
+                       "  return s;\n}\n"});
+  driver::BatchOptions BO;
+  BO.Jobs = 4;
+  BO.PerUnitHook = [](const driver::SourceInput &U) {
+    if (U.Name == "u7")
+      throw std::runtime_error("injected fault");
+  };
+  driver::BatchResult R = driver::analyzeBatch(Sources, BO);
+  ASSERT_EQ(R.Units.size(), 12u);
+  EXPECT_EQ(R.Failed, 1u);
+  for (const driver::UnitResult &U : R.Units) {
+    if (U.Name == "u7") {
+      EXPECT_FALSE(U.OK);
+      ASSERT_FALSE(U.Errors.empty());
+      EXPECT_NE(U.Errors[0].find("internal error"), std::string::npos);
+      EXPECT_NE(U.Errors[0].find("injected fault"), std::string::npos);
+    } else {
+      EXPECT_TRUE(U.OK) << U.Name;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis cache through the batch driver
+//===----------------------------------------------------------------------===//
+
+TEST(BatchCacheTest, WarmRunIsByteIdenticalAndFullyHit) {
+  std::vector<bench::CorpusUnit> Corpus = bench::genCorpus(24, /*Seed=*/7);
+  std::vector<driver::SourceInput> Sources;
+  for (const bench::CorpusUnit &U : Corpus)
+    Sources.push_back({U.Name, U.Text});
+
+  cache::AnalysisCache Cache; // in-memory: open()/save() not needed
+  driver::BatchOptions BO;
+  BO.Jobs = 4;
+  BO.Report.AllValues = true;
+  BO.Cache = &Cache;
+
+  driver::BatchResult Cold = driver::analyzeBatch(Sources, BO);
+  EXPECT_EQ(Cold.Failed, 0u);
+  // Content addressing dedups generator collisions: at most one entry per
+  // distinct IR, at least one per distinct program shape.
+  size_t ColdEntries = Cache.pendingCount();
+  EXPECT_GT(ColdEntries, 0u);
+  EXPECT_LE(ColdEntries, Sources.size());
+
+  driver::BatchResult Warm = driver::analyzeBatch(Sources, BO);
+  EXPECT_EQ(Warm.renderText(), Cold.renderText());
+  // Nothing new to cache on the second pass: every unit hit.
+  EXPECT_EQ(Cache.pendingCount(), ColdEntries);
+
+  // And the cached result equals a cache-less analysis.
+  driver::BatchOptions Plain = BO;
+  Plain.Cache = nullptr;
+  EXPECT_EQ(driver::analyzeBatch(Sources, Plain).renderText(),
+            Cold.renderText());
+}
+
+TEST(BatchCacheTest, OptionChangesMissInsteadOfCrossContaminating) {
+  std::vector<driver::SourceInput> Sources = {
+      {"f", "func f(n) {\n  s = 0;\n  for L1: i = 1 to n { s = s + i; }\n"
+            "  return s;\n}\n"}};
+  cache::AnalysisCache Cache;
+
+  driver::BatchOptions Terse;
+  Terse.Jobs = 1;
+  Terse.Report.AllValues = false;
+  Terse.Cache = &Cache;
+  std::string TerseText = driver::analyzeBatch(Sources, Terse).renderText();
+  EXPECT_EQ(Cache.pendingCount(), 1u);
+
+  // Same IR, different report options: must be a second entry, and the
+  // verbose report must not come back in terse clothing (or vice versa).
+  driver::BatchOptions Verbose = Terse;
+  Verbose.Report.AllValues = true;
+  std::string VerboseText =
+      driver::analyzeBatch(Sources, Verbose).renderText();
+  EXPECT_EQ(Cache.pendingCount(), 2u);
+  EXPECT_NE(VerboseText, TerseText);
+
+  // Both configurations now replay from the cache, each its own bytes.
+  EXPECT_EQ(driver::analyzeBatch(Sources, Terse).renderText(), TerseText);
+  EXPECT_EQ(driver::analyzeBatch(Sources, Verbose).renderText(), VerboseText);
+  EXPECT_EQ(Cache.pendingCount(), 2u);
+}
+
+TEST(BatchCacheTest, FailedUnitsAreNeverCached) {
+  std::vector<driver::SourceInput> Sources = {
+      {"bad", "func b(n) { not a program }\n"}};
+  cache::AnalysisCache Cache;
+  driver::BatchOptions BO;
+  BO.Jobs = 1;
+  BO.Cache = &Cache;
+  driver::BatchResult R = driver::analyzeBatch(Sources, BO);
+  EXPECT_EQ(R.Failed, 1u);
+  EXPECT_EQ(Cache.pendingCount(), 0u);
+}
+
 } // namespace

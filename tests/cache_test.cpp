@@ -1,0 +1,314 @@
+//===- tests/cache_test.cpp - Content-addressed analysis cache -----------===//
+//
+// Unit tests for cache/AnalysisCache: digesting, payload round trips, the
+// append-only file format, and -- most importantly -- every way a cache file
+// can be stale or damaged.  The invariant under test throughout: the cache
+// may forget, but it may never lie (serve bytes for the wrong key) and
+// never crash on hostile input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/AnalysisCache.h"
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace biv;
+using namespace biv::cache;
+
+namespace {
+
+/// A per-test scratch path that is removed on destruction.
+struct TempPath {
+  std::string Path;
+  explicit TempPath(const std::string &Name)
+      : Path((std::filesystem::path(::testing::TempDir()) / Name).string()) {
+    std::filesystem::remove(Path);
+  }
+  ~TempPath() { std::filesystem::remove(Path); }
+};
+
+CacheEntry sampleEntry(const std::string &Report) {
+  CacheEntry E;
+  E.ReportText = Report;
+  E.Stats.Regions = 3;
+  E.Stats.LinearFamilies = 2;
+  E.Stats.PolynomialFamilies = 1;
+  E.Kinds.Linear = 2;
+  E.Kinds.Polynomial = 1;
+  E.Instructions = 42;
+  E.Loops = 2;
+  E.Counters = {{"ivclass.kind.linear", 2}, {"ivclass.kind.polynomial", 1}};
+  return E;
+}
+
+/// Overwrites the u64 at byte \p Offset of \p Path.
+void patchU64(const std::string &Path, uint64_t Offset, uint64_t V) {
+  std::fstream F(Path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(F.is_open());
+  F.seekp(static_cast<std::streamoff>(Offset));
+  F.write(reinterpret_cast<const char *>(&V), sizeof V);
+  ASSERT_TRUE(F.good());
+}
+
+} // namespace
+
+TEST(CacheDigestTest, Fnv1aNeverZeroAndSeedSensitive) {
+  EXPECT_NE(fnv1a(""), 0u);
+  EXPECT_NE(fnv1a("x"), 0u);
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abc", /*Seed=*/1));
+  // Deterministic across calls.
+  EXPECT_EQ(fnv1a("stable"), fnv1a("stable"));
+}
+
+TEST(CacheDigestTest, UnitDigestSeparatesContentAndOptions) {
+  const std::string IR = "func f:\n  entry:\n    ret 0\n";
+  // Same inputs, same key; any input change, a different key.  An
+  // options-bit flip must miss even with identical IR -- report bytes
+  // depend on those switches.
+  EXPECT_EQ(unitDigest(IR, 5), unitDigest(IR, 5));
+  EXPECT_NE(unitDigest(IR, 5), unitDigest(IR, 4));
+  EXPECT_NE(unitDigest(IR, 5), unitDigest(IR + " ", 5));
+  EXPECT_NE(unitDigest(IR, 5), 0u);
+}
+
+TEST(CacheEntryTest, SerializeRoundTripsEverything) {
+  CacheEntry E = sampleEntry("report body\nwith two lines\n");
+  std::string Bytes = E.serialize();
+
+  CacheEntry D;
+  ASSERT_TRUE(D.deserialize(Bytes));
+  EXPECT_EQ(D.ReportText, E.ReportText);
+  EXPECT_EQ(D.Stats.Regions, E.Stats.Regions);
+  EXPECT_EQ(D.Stats.LinearFamilies, E.Stats.LinearFamilies);
+  EXPECT_EQ(D.Stats.PolynomialFamilies, E.Stats.PolynomialFamilies);
+  EXPECT_EQ(D.Kinds.Linear, E.Kinds.Linear);
+  EXPECT_EQ(D.Kinds.Polynomial, E.Kinds.Polynomial);
+  EXPECT_EQ(D.Instructions, E.Instructions);
+  EXPECT_EQ(D.Loops, E.Loops);
+  EXPECT_EQ(D.Counters, E.Counters);
+}
+
+TEST(CacheEntryTest, DeserializeRejectsMalformedBytes) {
+  std::string Bytes = sampleEntry("r").serialize();
+
+  CacheEntry D;
+  // Truncation anywhere must fail cleanly, not read out of bounds.
+  for (size_t Cut : {size_t(0), size_t(4), Bytes.size() / 2, Bytes.size() - 1})
+    EXPECT_FALSE(D.deserialize(Bytes.substr(0, Cut))) << "cut at " << Cut;
+  // Trailing garbage is as malformed as a missing tail: length fields must
+  // account for every byte.
+  EXPECT_FALSE(D.deserialize(Bytes + "x"));
+  EXPECT_TRUE(D.deserialize(Bytes));
+}
+
+TEST(AnalysisCacheTest, MissingFileOpensEmpty) {
+  TempPath P("cache_missing.bin");
+  AnalysisCache C;
+  std::string Err;
+  ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+  EXPECT_FALSE(C.invalidated());
+  EXPECT_EQ(C.entryCount(), 0u);
+  EXPECT_EQ(C.lookup(fnv1a("anything")), nullptr);
+}
+
+TEST(AnalysisCacheTest, InsertLookupSaveReopen) {
+  TempPath P("cache_roundtrip.bin");
+  uint64_t D1 = unitDigest("func a", 0), D2 = unitDigest("func b", 0);
+
+  {
+    AnalysisCache C;
+    std::string Err;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    C.insert(D1, sampleEntry("report A"));
+    C.insert(D2, sampleEntry("report B"));
+    EXPECT_EQ(C.pendingCount(), 2u);
+    // Pending entries are visible before save.
+    ASSERT_NE(C.lookup(D1), nullptr);
+    EXPECT_EQ(C.lookup(D1)->ReportText, "report A");
+    ASSERT_TRUE(C.save(Err)) << Err;
+    EXPECT_EQ(C.pendingCount(), 0u);
+  }
+
+  AnalysisCache C2;
+  std::string Err;
+  ASSERT_TRUE(C2.open(P.Path, Err)) << Err;
+  EXPECT_FALSE(C2.invalidated());
+  EXPECT_EQ(C2.entryCount(), 2u);
+  ASSERT_NE(C2.lookup(D1), nullptr);
+  ASSERT_NE(C2.lookup(D2), nullptr);
+  EXPECT_EQ(C2.lookup(D1)->ReportText, "report A");
+  EXPECT_EQ(C2.lookup(D2)->ReportText, "report B");
+  EXPECT_EQ(C2.lookup(D2)->Counters, sampleEntry("x").Counters);
+  EXPECT_EQ(C2.lookup(unitDigest("func c", 0)), nullptr);
+}
+
+TEST(AnalysisCacheTest, AppendPreservesExistingEntries) {
+  TempPath P("cache_append.bin");
+  uint64_t D1 = unitDigest("func a", 0), D2 = unitDigest("func b", 0);
+  std::string Err;
+
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    C.insert(D1, sampleEntry("first"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+  }
+  uintmax_t SizeAfterFirst = std::filesystem::file_size(P.Path);
+  {
+    // A warm run that discovers one new unit: appends, never rewrites.
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    EXPECT_EQ(C.entryCount(), 1u);
+    C.insert(D2, sampleEntry("second"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+  }
+  EXPECT_GT(std::filesystem::file_size(P.Path), SizeAfterFirst);
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    EXPECT_EQ(C.entryCount(), 2u);
+    ASSERT_NE(C.lookup(D1), nullptr);
+    EXPECT_EQ(C.lookup(D1)->ReportText, "first");
+    ASSERT_NE(C.lookup(D2), nullptr);
+    EXPECT_EQ(C.lookup(D2)->ReportText, "second");
+  }
+}
+
+TEST(AnalysisCacheTest, SaveWithNothingPendingIsANoOp) {
+  TempPath P("cache_noop.bin");
+  std::string Err;
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    C.insert(unitDigest("f", 0), sampleEntry("r"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+  }
+  auto Before = std::filesystem::last_write_time(P.Path);
+  uintmax_t Size = std::filesystem::file_size(P.Path);
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    ASSERT_TRUE(C.save(Err)) << Err; // fully warm run: no writes at all
+  }
+  EXPECT_EQ(std::filesystem::file_size(P.Path), Size);
+  EXPECT_EQ(std::filesystem::last_write_time(P.Path), Before);
+}
+
+TEST(AnalysisCacheTest, DuplicateInsertKeepsFirst) {
+  AnalysisCache C; // never opened: pure in-memory use is supported
+  uint64_t D = unitDigest("f", 0);
+  C.insert(D, sampleEntry("first"));
+  C.insert(D, sampleEntry("shadowed"));
+  EXPECT_EQ(C.pendingCount(), 1u);
+  ASSERT_NE(C.lookup(D), nullptr);
+  EXPECT_EQ(C.lookup(D)->ReportText, "first");
+}
+
+TEST(AnalysisCacheTest, StaleSaltInvalidatesWholesale) {
+  TempPath P("cache_stale_salt.bin");
+  uint64_t D = unitDigest("f", 0);
+  std::string Err;
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    C.insert(D, sampleEntry("old analysis"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+  }
+  // Simulate an analysis-semantics bump: the salt u64 lives at header
+  // offset 16 (after magic and format).
+  patchU64(P.Path, 16, AnalysisVersionSalt + 1);
+
+  AnalysisCache C;
+  ASSERT_TRUE(C.open(P.Path, Err)) << Err; // stale is not an I/O error
+  EXPECT_TRUE(C.invalidated());
+  EXPECT_EQ(C.entryCount(), 0u);
+  EXPECT_EQ(C.lookup(D), nullptr);
+
+  // The rebuilt cache must be loadable again.
+  C.insert(D, sampleEntry("new analysis"));
+  ASSERT_TRUE(C.save(Err)) << Err;
+  AnalysisCache C2;
+  ASSERT_TRUE(C2.open(P.Path, Err)) << Err;
+  EXPECT_FALSE(C2.invalidated());
+  ASSERT_NE(C2.lookup(D), nullptr);
+  EXPECT_EQ(C2.lookup(D)->ReportText, "new analysis");
+}
+
+TEST(AnalysisCacheTest, DamagedFilesInvalidateNotCrash) {
+  uint64_t D = unitDigest("f", 0);
+  std::string Err;
+
+  // A valid file to mutilate, regenerated per scenario.
+  auto makeValid = [&](const std::string &Path) {
+    std::filesystem::remove(Path);
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(Path, Err)) << Err;
+    C.insert(D, sampleEntry("payload"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+  };
+
+  TempPath P("cache_damage.bin");
+
+  // Truncated mid-log: the tail footer is gone.
+  makeValid(P.Path);
+  std::filesystem::resize_file(P.Path,
+                               std::filesystem::file_size(P.Path) - 9);
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    EXPECT_TRUE(C.invalidated());
+    EXPECT_EQ(C.entryCount(), 0u);
+  }
+
+  // Bad leading magic.
+  makeValid(P.Path);
+  patchU64(P.Path, 0, 0xdeadbeefull);
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    EXPECT_TRUE(C.invalidated());
+  }
+
+  // Future format revision.
+  makeValid(P.Path);
+  patchU64(P.Path, 8, CacheFormatVersion + 1);
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    EXPECT_TRUE(C.invalidated());
+  }
+
+  // Shorter than even a header.
+  makeValid(P.Path);
+  std::filesystem::resize_file(P.Path, 7);
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    EXPECT_TRUE(C.invalidated());
+    // And a save from the invalidated state rewrites a loadable file.
+    C.insert(D, sampleEntry("rebuilt"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+  }
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    EXPECT_FALSE(C.invalidated());
+    ASSERT_NE(C.lookup(D), nullptr);
+    EXPECT_EQ(C.lookup(D)->ReportText, "rebuilt");
+  }
+}
+
+TEST(AnalysisCacheTest, UnwritablePathFailsLoudly) {
+  // The whole point of satellite 4: persisting to a path that cannot be
+  // written must produce an error string, not a silent success.
+  AnalysisCache C;
+  std::string Err;
+  ASSERT_TRUE(
+      C.open("/nonexistent-biv-dir/sub/cache.bin", Err)); // missing = empty
+  C.insert(unitDigest("f", 0), sampleEntry("r"));
+  EXPECT_FALSE(C.save(Err));
+  EXPECT_NE(Err.find("cache"), std::string::npos) << Err;
+}

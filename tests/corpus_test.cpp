@@ -90,3 +90,88 @@ TEST(CorpusTest, ReportsMatchGoldens) {
     EXPECT_EQ(Report, slurp(Golden)) << P.filename();
   }
 }
+
+TEST(CorpusTest, CachedReportsMatchGoldensColdWarmAndStale) {
+  // The whole corpus, three times over one on-disk cache file: a cold run
+  // (every unit a miss) and a warm run (every unit a hit) must both equal
+  // the committed goldens, and a salt bump must invalidate everything while
+  // still reproducing the goldens from scratch.  Golden comparisons are
+  // skipped while BIV_UPDATE_EXPECT regenerates them, but the cold-vs-warm
+  // byte identity holds either way.
+  const bool Update = std::getenv("BIV_UPDATE_EXPECT") != nullptr;
+
+  fs::path CachePath =
+      fs::path(::testing::TempDir()) / "corpus_golden.cache";
+  fs::remove(CachePath);
+  std::string Err;
+
+  std::vector<driver::SourceInput> Sources;
+  for (const fs::path &P : corpusFiles())
+    Sources.push_back({P.stem().string(), slurp(P)});
+
+  auto runWithCache = [&](cache::AnalysisCache &C) {
+    driver::BatchOptions BO;
+    BO.Jobs = 1;
+    BO.Report.AllValues = true;
+    BO.Cache = &C;
+    return driver::analyzeBatch(Sources, BO);
+  };
+  auto checkGoldens = [&](const driver::BatchResult &R, const char *Pass) {
+    ASSERT_EQ(R.Units.size(), Sources.size());
+    if (Update)
+      return;
+    for (const driver::UnitResult &U : R.Units) {
+      std::string Report;
+      for (const std::string &E : U.Errors)
+        Report += "error: " + E + "\n";
+      Report += U.ReportText;
+      fs::path Golden = fs::path(BIV_CORPUS_DIR) / (U.Name + ".expect");
+      ASSERT_TRUE(fs::exists(Golden)) << Golden;
+      EXPECT_EQ(Report, slurp(Golden)) << Pass << ": " << U.Name;
+    }
+  };
+
+  // Cold: nothing on disk yet, every unit analyzed and appended.
+  {
+    cache::AnalysisCache C;
+    ASSERT_TRUE(C.open(CachePath.string(), Err)) << Err;
+    EXPECT_EQ(C.entryCount(), 0u);
+    driver::BatchResult R = runWithCache(C);
+    checkGoldens(R, "cold");
+    ASSERT_TRUE(C.save(Err)) << Err;
+  }
+
+  // Warm: one read serves the whole corpus; reports still golden.
+  {
+    cache::AnalysisCache C;
+    ASSERT_TRUE(C.open(CachePath.string(), Err)) << Err;
+    EXPECT_FALSE(C.invalidated());
+    EXPECT_GT(C.entryCount(), 0u);
+    driver::BatchResult R = runWithCache(C);
+    checkGoldens(R, "warm");
+    EXPECT_EQ(C.pendingCount(), 0u) << "a warm corpus pass missed";
+  }
+
+  // Stale: flip the salt u64 at header offset 16, as a semantics bump
+  // would.  The cache discards itself and re-analysis still matches.
+  {
+    std::fstream F(CachePath,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.is_open());
+    F.seekp(16);
+    uint64_t Stale = cache::AnalysisVersionSalt + 1;
+    F.write(reinterpret_cast<const char *>(&Stale), sizeof Stale);
+    ASSERT_TRUE(F.good());
+  }
+  {
+    cache::AnalysisCache C;
+    ASSERT_TRUE(C.open(CachePath.string(), Err)) << Err;
+    EXPECT_TRUE(C.invalidated());
+    EXPECT_EQ(C.entryCount(), 0u);
+    driver::BatchResult R = runWithCache(C);
+    checkGoldens(R, "stale");
+    EXPECT_EQ(C.pendingCount(), Sources.size());
+  }
+
+  fs::remove(CachePath);
+}

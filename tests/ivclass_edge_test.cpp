@@ -290,3 +290,54 @@ TEST(IVEdgeTest, SubtractionOfSameIVCancels) {
   ASSERT_TRUE(C.isInvariant());
   EXPECT_EQ(C.Form.initialValue(), Affine(5));
 }
+
+TEST(IVEdgeTest, HighOrderPolynomialSurvivesWideIntermediates) {
+  // A degree-7 difference chain with a 1e10 base step: solving its
+  // Vandermonde system goes through determinant products past 2^32 and
+  // value/coefficient products past 2^63.  The 128-bit-then-reduce rational
+  // arithmetic must deliver the exact (fractional-coefficient) closed form;
+  // the old 64-bit intermediates silently wrapped here.
+  Analyzed A = analyze("func f(n) {"
+                       "  x1 = 0; x2 = 0; x3 = 0; x4 = 0;"
+                       "  x5 = 0; x6 = 0; x7 = 0;"
+                       "  for L: i = 1 to n {"
+                       "    x1 = x1 + 10000000000;"
+                       "    x2 = x2 + x1;"
+                       "    x3 = x3 + x2;"
+                       "    x4 = x4 + x3;"
+                       "    x5 = x5 + x4;"
+                       "    x6 = x6 + x5;"
+                       "    x7 = x7 + x6;"
+                       "  }"
+                       "  return x7;"
+                       "}");
+  const Classification &X7 = A.cls("L", "x7");
+  ASSERT_EQ(X7.Kind, IVKind::Polynomial);
+  // Oracle: the closed form must reproduce execution exactly, values up to
+  // ~1e14 at n=10.
+  interp::ExecutionTrace T = interp::run(*A.F, {10});
+  ASSERT_TRUE(T.ok()) << T.Error;
+  expectFormMatchesTrace(X7, A.phi("L", "x7"), T);
+}
+
+TEST(IVEdgeTest, UnrepresentableCoefficientsDegradeNotWrap) {
+  // x accumulates i*i where i steps by 1e10: the squared-step coefficient
+  // (1e20) does not fit any int64 rational.  The only sound answers are a
+  // weaker class or unknown -- never a wrapped "closed form".  The linear
+  // IV itself is unaffected.
+  Analyzed A = analyze("func f(n) {"
+                       "  x = 0;"
+                       "  for L: i = 0 to n by 10000000000 {"
+                       "    x = x + i * i;"
+                       "  }"
+                       "  return x;"
+                       "}");
+  const Classification &I = A.cls("L", "i");
+  ASSERT_EQ(I.Kind, IVKind::Linear);
+  EXPECT_EQ(I.Form.coeff(1), Affine(10000000000LL));
+
+  const Classification &X = A.cls("L", "x");
+  EXPECT_NE(X.Kind, IVKind::Polynomial);
+  EXPECT_FALSE(X.hasClosedForm())
+      << "overflowed coefficients must not masquerade as a closed form";
+}

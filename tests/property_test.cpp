@@ -193,7 +193,16 @@ TEST(PropertyTest, RandomProgramsSatisfyAllOracles) {
         if (C.hasClosedForm() && !C.isInvariant()) {
           bool AllNumeric = true;
           for (size_t H = 0; H < Seq.size() && AllNumeric; ++H) {
-            Affine V = C.Form.evaluateAt(H);
+            Affine V;
+            try {
+              V = C.Form.evaluateAt(H);
+            } catch (const RationalOverflow &) {
+              // The exact value left int64, so the machine run wrapped
+              // before iteration H: the claim holds over Z and is
+              // unfalsifiable by this execution.
+              AllNumeric = false;
+              break;
+            }
             std::optional<Rational> VC = V.getConstant();
             if (!VC) {
               AllNumeric = false; // symbolic (e.g. argument): skip

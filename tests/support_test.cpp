@@ -4,6 +4,7 @@
 #include "support/Matrix.h"
 #include "support/Rational.h"
 #include <gtest/gtest.h>
+#include <limits>
 
 using namespace biv;
 
@@ -75,6 +76,51 @@ TEST(RationalTest, Gcd64) {
   EXPECT_EQ(gcd64(-12, 18), 6);
   EXPECT_EQ(gcd64(0, 5), 5);
   EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+TEST(RationalTest, GcdReductionAfterEveryOp) {
+  // Results are always in lowest terms -- no "non-normalized fraction"
+  // survives an operation (the old bug let 3/6 escape and poison ==).
+  Rational S = Rational(1, 6) + Rational(1, 3);
+  EXPECT_EQ(S.numerator(), 1);
+  EXPECT_EQ(S.denominator(), 2);
+  Rational P = Rational(2, 3) * Rational(3, 4);
+  EXPECT_EQ(P.numerator(), 1);
+  EXPECT_EQ(P.denominator(), 2);
+  Rational D = Rational(4, 6) / Rational(2, 9);
+  EXPECT_EQ(D.numerator(), 3);
+  EXPECT_EQ(D.denominator(), 1);
+}
+
+TEST(RationalTest, OverflowThrowsInsteadOfWrapping) {
+  const int64_t Max = std::numeric_limits<int64_t>::max();
+  const int64_t Min = std::numeric_limits<int64_t>::min();
+  // Each of these has an exact value just outside int64 after reduction:
+  // the old code wrapped silently, producing a *wrong* closed form.
+  EXPECT_THROW(Rational(Max) + Rational(1), RationalOverflow);
+  EXPECT_THROW(Rational(Min) - Rational(1), RationalOverflow);
+  EXPECT_THROW(-Rational(Min), RationalOverflow);
+  EXPECT_THROW(Rational(Max) * Rational(2), RationalOverflow);
+  // Normalization keeps Den > 0, so a Den of INT64_MIN must negate Num --
+  // representable only when the division by gcd makes room.
+  EXPECT_THROW(Rational(1, Min), RationalOverflow);
+  EXPECT_THROW(Rational(Min, -1), RationalOverflow); // == -Min, one too big
+  EXPECT_THROW(Rational(Min) / Rational(-1), RationalOverflow);
+}
+
+TEST(RationalTest, ExtremeValuesThatDoFitAreExact) {
+  const int64_t Max = std::numeric_limits<int64_t>::max();
+  const int64_t Min = std::numeric_limits<int64_t>::min();
+  // INT64_MIN / -2 reduces to 2^62: wide intermediates make it exact.
+  Rational R(Min, -2);
+  EXPECT_EQ(R.numerator(), int64_t(1) << 62);
+  EXPECT_EQ(R.denominator(), 1);
+  // (MAX/2) * 2 cancels back inside range.
+  EXPECT_EQ(Rational(Max, 2) * Rational(2), Rational(Max));
+  // floor/ceil at the bottom of the range must not round through a wrap.
+  EXPECT_EQ(Rational(Min).floor(), Min);
+  EXPECT_EQ(Rational(Min).ceil(), Min);
+  EXPECT_EQ(Rational(Min, 3).ceil(), Min / 3);
 }
 
 //===----------------------------------------------------------------------===//

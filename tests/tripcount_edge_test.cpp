@@ -1,0 +1,154 @@
+//===- tests/tripcount_edge_test.cpp - Trip counts at the int64 edges ---------===//
+//
+// Table-driven trip counts for strides +-1 and +-k and for bounds pushed up
+// against INT64_MIN / INT64_MAX, cross-checked against the interpreter.
+// The sharp edge: the paper's formula reasons over mathematical integers
+// while execution wraps in two's complement, so near the extremes a loop
+// that "counts to 3" actually wraps past its bound and keeps running.  The
+// analysis must answer Unknown there -- a wrapped finite claim is the bug
+// these tests pin down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "ivclass/TripCount.h"
+
+using namespace biv;
+using namespace biv::testutil;
+using ivclass::TripCountInfo;
+
+namespace {
+
+struct Case {
+  const char *Name;
+  const char *Header; // the `for L: ...` line, label L, variable i
+  TripCountInfo::Kind Expect;
+  int64_t Count;      // when Expect == Finite
+  bool RunSCCP = true;
+};
+
+/// Wraps \p Header in a counting function: the machine's own trip count
+/// comes back as the return value.
+std::string program(const Case &C) {
+  return std::string("func f() {  c = 0;  ") + C.Header +
+         " { c = c + 1; }  return c; }";
+}
+
+const Case Cases[] = {
+    // The plain strides.
+    {"up_by_1", "for L: i = 0 to 9", TripCountInfo::Kind::Finite, 10},
+    {"up_by_3_exact", "for L: i = 0 to 8 by 3", TripCountInfo::Kind::Finite,
+     3},
+    {"up_by_3_overshoot", "for L: i = 0 to 9 by 3",
+     TripCountInfo::Kind::Finite, 4},
+    {"down_by_1", "for L: i = 9 downto 0", TripCountInfo::Kind::Finite, 10},
+    {"down_by_4", "for L: i = 20 downto 1 by 4", TripCountInfo::Kind::Finite,
+     5},
+    // Degenerate loops run without SCCP: with folding on, the always-false
+    // (or always-true) exit compare constant-folds away and the trip-count
+    // walker has no comparison left to normalize (soundly Unknown).  These
+    // rows pin the analyzer's own zero/infinite formula.
+    {"up_empty", "for L: i = 5 to 4", TripCountInfo::Kind::Zero, 0,
+     /*RunSCCP=*/false},
+    {"down_empty", "for L: i = 1 downto 2", TripCountInfo::Kind::Zero, 0,
+     /*RunSCCP=*/false},
+    {"zero_stride", "for L: i = 0 to 5 by 0", TripCountInfo::Kind::Infinite,
+     0, /*RunSCCP=*/false},
+
+    // Extreme bounds that stay countable: the margin arithmetic runs in
+    // exact rationals, so sitting on INT64_MIN is fine as long as no
+    // executed value leaves int64.
+    {"min_up", "for L: i = -9223372036854775807 - 1 to "
+               "-9223372036854775800",
+     TripCountInfo::Kind::Finite, 9},
+    {"max_down", "for L: i = 9223372036854775807 downto "
+                 "9223372036854775800",
+     TripCountInfo::Kind::Finite, 8},
+
+    // A `to INT64_MAX` bound: the `<=` rewrite needs hi+1, and execution
+    // wraps past the bound and never leaves -- Unknown, not a number.
+    {"to_int64_max", "for L: i = 0 to 9223372036854775807",
+     TripCountInfo::Kind::Unknown, 0},
+
+    // (hi - lo) itself overflows: a nearly 2^64 margin.
+    {"span_overflow", "for L: i = -9223372036854775807 to "
+                      "9223372036854775806",
+     TripCountInfo::Kind::Unknown, 0},
+
+    // The classic lie: ceil((806+1-802)/2) = 3, but iteration 3 computes
+    // 802+6 = 2^63, which wraps negative and stays below the bound; the
+    // machine loop is effectively endless.  Claiming Finite 3 here is the
+    // silent-wrap bug.
+    {"wrap_past_bound", "for L: i = 9223372036854775802 to "
+                        "9223372036854775806 by 2",
+     TripCountInfo::Kind::Unknown, 0},
+    // Downward twin: ceil((-803 - (-808) + 1)/2) = 3, but iteration 3 is
+    // -803 - 6 = -809, below INT64_MIN -- the machine wraps to +2^63-1,
+    // which is still >= the bound, and loops on.
+    {"wrap_past_bound_down", "for L: i = -9223372036854775803 downto "
+                             "-9223372036854775807 - 1 by 2",
+     TripCountInfo::Kind::Unknown, 0},
+
+    // Contrast: stepping down exactly *onto* INT64_MIN is representable
+    // and exits normally -- the analysis must not over-degrade it.
+    {"down_to_int64_min", "for L: i = -9223372036854775802 downto "
+                          "-9223372036854775806 by 2",
+     TripCountInfo::Kind::Finite, 3},
+};
+
+} // namespace
+
+TEST(TripCountEdgeTest, TableMatchesAnalysisAndInterpreter) {
+  for (const Case &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    Analyzed A = analyze(program(C), C.RunSCCP);
+    const TripCountInfo &TC = A.IA->tripCount(A.loop("L"));
+    EXPECT_EQ(TC.K, C.Expect);
+    if (C.Expect == TripCountInfo::Kind::Finite) {
+      ASSERT_TRUE(TC.Count.isConstant());
+      EXPECT_EQ(TC.Count.getConstant()->getInteger(), C.Count);
+
+      // Ground truth: the machine must agree with every finite claim.
+      interp::ExecOptions EO;
+      EO.TraceValues = false;
+      EO.TraceArrays = false;
+      interp::ExecutionTrace T = interp::run(*A.F, {}, EO);
+      ASSERT_TRUE(T.ok()) << T.Error;
+      ASSERT_TRUE(T.ReturnValue.has_value());
+      EXPECT_EQ(*T.ReturnValue, C.Count);
+    }
+  }
+}
+
+TEST(TripCountEdgeTest, UnknownCasesReallyDoWrap) {
+  // For the wrap cases the interpreter (budget-capped) must still be going
+  // strong long past the would-be count: evidence that Unknown is the only
+  // sound answer, and that a resurrected finite formula would be wrong.
+  for (const char *Name : {"wrap_past_bound", "wrap_past_bound_down"}) {
+    const Case *C = nullptr;
+    for (const Case &K : Cases)
+      if (std::string(K.Name) == Name)
+        C = &K;
+    ASSERT_NE(C, nullptr);
+    SCOPED_TRACE(Name);
+    Analyzed A = analyze(program(*C), /*RunSCCP=*/true);
+    interp::ExecOptions EO;
+    EO.MaxSteps = 20000;
+    EO.TraceValues = false;
+    EO.TraceArrays = false;
+    interp::ExecutionTrace T = interp::run(*A.F, {}, EO);
+    EXPECT_TRUE(T.HitStepLimit)
+        << "expected the wrapped loop to outlive the step budget";
+  }
+}
+
+TEST(TripCountEdgeTest, SymbolicUnitStrideStillGuarded) {
+  // The symbolic `for i = 1 to n` path is untouched by the overflow
+  // hardening: count n, guarded against non-positive n.
+  Analyzed A = analyze("func f(n) {  c = 0;"
+                       "  for L: i = 1 to n { c = c + 1; }"
+                       "  return c; }");
+  const TripCountInfo &TC = A.IA->tripCount(A.loop("L"));
+  ASSERT_EQ(TC.K, TripCountInfo::Kind::Finite);
+  EXPECT_TRUE(TC.Guarded);
+}

@@ -33,16 +33,27 @@
 //     --summary          suppress per-unit reports, print the summary only
 //     --materialize      enable exit-value materialization per unit
 //     --all-values / --no-sccp apply per unit as in single-file mode
+//     --cache FILE       content-addressed analysis cache: units whose
+//                        lowered IR (and result-shaping options) match a
+//                        cached entry are served from FILE byte-identically;
+//                        misses are appended.  A stale or damaged FILE is
+//                        rebuilt from scratch.  cache.hit / cache.miss /
+//                        cache.bytes counters and the phase.cache timer
+//                        surface through --stats / --stats-json.
 //
-//   bivc --fuzz N [--seed S] [--minimize]
+//   bivc --fuzz N [--seed S] [--minimize] [--cache-oracle]
 //     Differential fuzzing: generate N seeded random programs, check every
 //     classifier claim against the interpreter oracle, diff batch -j1
 //     against -j8 byte-for-byte, and (with --minimize) delta-debug any
 //     mismatching program down to a minimal statement list.  Exit status 0
-//     iff no mismatch was found.
+//     iff no mismatch was found.  --cache-oracle additionally runs every
+//     program cold and warm through an in-memory analysis cache and fails
+//     on any report divergence (a random subset of programs exercises the
+//     same check even without the flag).
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/AnalysisCache.h"
 #include "dependence/DependenceAnalyzer.h"
 #include "driver/BatchAnalyzer.h"
 #include "frontend/Lowering.h"
@@ -85,6 +96,7 @@ struct CliOptions {
   unsigned Jobs = 1;
   bool SummaryOnly = false;
   bool Materialize = false;
+  std::string CacheFile;
   std::vector<std::string> BatchFiles;
 
   // Fuzz mode.
@@ -92,6 +104,7 @@ struct CliOptions {
   unsigned FuzzCount = 500;
   uint64_t FuzzSeed = 1;
   bool FuzzMinimize = false;
+  bool FuzzCacheOracle = false;
 
   // Observability (any mode).
   bool Stats = false;
@@ -107,8 +120,9 @@ int usage() {
                "            [--peel=LOOP[:N]] [--strength-reduce] "
                "[--no-sccp] [--run] [-- args...]\n"
                "       bivc --batch [-jN] [--summary] [--materialize] "
-               "FILES...\n"
-               "       bivc --fuzz N [--seed S] [--minimize]\n"
+               "[--cache FILE] FILES...\n"
+               "       bivc --fuzz N [--seed S] [--minimize] "
+               "[--cache-oracle]\n"
                "       any mode: [--stats] [--stats-json FILE]\n");
   return 2;
 }
@@ -145,6 +159,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
     } else if (A == "--minimize") {
       O.FuzzMinimize = true;
+    } else if (A == "--cache-oracle") {
+      O.FuzzCacheOracle = true;
+    } else if (A == "--cache" || A.rfind("--cache=", 0) == 0) {
+      if (A.size() > 7 && A[7] == '=')
+        O.CacheFile = A.substr(8);
+      else if (I + 1 < Argc)
+        O.CacheFile = Argv[++I];
+      if (O.CacheFile.empty()) {
+        std::fprintf(stderr, "bivc: --cache requires a file name\n");
+        return false;
+      }
     } else if (A == "--summary") {
       O.SummaryOnly = true;
     } else if (A == "--materialize") {
@@ -203,6 +228,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       return false;
     }
   }
+  if (!O.CacheFile.empty() && !O.Batch) {
+    std::fprintf(stderr, "bivc: --cache only applies to --batch mode\n");
+    return false;
+  }
   if (O.Fuzz)
     return O.FuzzCount > 0 && O.File.empty() && !O.Batch;
   if (O.Batch)
@@ -232,6 +261,14 @@ bool writeStatsOutputs(const CliOptions &O, const stats::StatsSnapshot &S,
       return false;
     }
     Out << (BatchJson.empty() ? S.renderJson() : BatchJson) << "\n";
+    // Opening can succeed where writing does not (full disk, /dev/full, a
+    // vanished directory): flush and re-check, or a truncated stats file
+    // would pass for a successful run.
+    Out.flush();
+    if (!Out) {
+      std::fprintf(stderr, "bivc: error writing %s\n", O.StatsJson.c_str());
+      return false;
+    }
   }
   return true;
 }
@@ -257,6 +294,7 @@ int runFuzzMode(const CliOptions &O) {
   FO.Count = O.FuzzCount;
   FO.Seed = O.FuzzSeed;
   FO.Minimize = O.FuzzMinimize;
+  FO.CacheOracleAlways = O.FuzzCacheOracle;
   fuzz::FuzzResult R = fuzz::runFuzz(FO);
   std::string Text = R.renderText();
   std::fwrite(Text.data(), 1, Text.size(), stdout);
@@ -286,9 +324,34 @@ int runBatch(const CliOptions &O) {
   BO.MaterializeExitValues = O.Materialize;
   BO.Classify = !O.SummaryOnly;
   BO.Report.AllValues = O.AllValues;
+
+  cache::AnalysisCache Cache;
+  if (!O.CacheFile.empty()) {
+    std::string Err;
+    if (!Cache.open(O.CacheFile, Err)) {
+      std::fprintf(stderr, "bivc: %s\n", Err.c_str());
+      return 1;
+    }
+    if (Cache.invalidated())
+      std::fprintf(stderr,
+                   "bivc: cache %s is stale or damaged; rebuilding it\n",
+                   O.CacheFile.c_str());
+    BO.Cache = &Cache;
+  }
+
   driver::BatchResult R = driver::analyzeBatch(Sources, BO);
   std::string Text = R.renderText();
   std::fwrite(Text.data(), 1, Text.size(), stdout);
+
+  if (!O.CacheFile.empty()) {
+    std::string Err;
+    if (!Cache.save(Err)) {
+      // A cache that silently fails to persist would re-analyze forever
+      // while claiming warm runs; fail the whole invocation instead.
+      std::fprintf(stderr, "bivc: %s\n", Err.c_str());
+      return 1;
+    }
+  }
 
   if (O.statsRequested()) {
     stats::StatsSnapshot Merged = stats::snapshotFrame(R.MergedStats);

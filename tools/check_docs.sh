@@ -53,8 +53,32 @@ for P in $PATHS; do
   fi
 done
 
+# 3. The cache salt the docs document must be the salt the code ships:
+# DESIGN.md section 9 states the current AnalysisVersionSalt in bold so
+# readers can tell stale cache files apart; a bump that forgets the doc
+# (or vice versa) fails here.
+CODE_SALT=$(sed -n \
+  's/.*AnalysisVersionSalt = \([0-9][0-9]*\);.*/\1/p' \
+  src/cache/AnalysisCache.h)
+DOC_SALT=$(sed -n \
+  's/.*`AnalysisVersionSalt` (currently \*\*\([0-9][0-9]*\)\*\*.*/\1/p' \
+  DESIGN.md)
+if [ -z "$CODE_SALT" ]; then
+  echo "docs_check: cannot find AnalysisVersionSalt in" \
+       "src/cache/AnalysisCache.h" >&2
+  FAIL=1
+elif [ -z "$DOC_SALT" ]; then
+  echo "docs_check: DESIGN.md does not document the current" \
+       "AnalysisVersionSalt" >&2
+  FAIL=1
+elif [ "$CODE_SALT" != "$DOC_SALT" ]; then
+  echo "docs_check: DESIGN.md documents AnalysisVersionSalt $DOC_SALT" \
+       "but src/cache/AnalysisCache.h says $CODE_SALT" >&2
+  FAIL=1
+fi
+
 if [ "$FAIL" = 0 ]; then
   echo "docs_check: OK ($(echo "$FLAGS" | wc -w) flags," \
-       "$(echo "$PATHS" | wc -w) paths verified)"
+       "$(echo "$PATHS" | wc -w) paths, cache salt $CODE_SALT verified)"
 fi
 exit "$FAIL"

@@ -46,4 +46,23 @@ if ! cmp -s "$STATS_DIR/j1.norm" "$STATS_DIR/j8.norm"; then
 fi
 echo "fuzz: -j1 vs -j8 merged stats snapshots identical (ns normalized)"
 
+# Cache round trip under the sanitizers: a cold run populates an on-disk
+# cache, a warm run is served from it, and both must print byte-identical
+# reports (this also exercises the cache file I/O paths, which the
+# in-memory fuzz oracle cannot).
+"$BIVC" --batch -j8 --cache "$STATS_DIR/corpus.cache" \
+  "$ROOT"/tests/corpus/*.biv > "$STATS_DIR/cold.out"
+"$BIVC" --batch -j8 --cache "$STATS_DIR/corpus.cache" \
+  "$ROOT"/tests/corpus/*.biv > "$STATS_DIR/warm.out"
+if ! cmp -s "$STATS_DIR/cold.out" "$STATS_DIR/warm.out"; then
+  echo "run_fuzz.sh: cold vs warm --cache batch reports differ:" >&2
+  diff "$STATS_DIR/cold.out" "$STATS_DIR/warm.out" >&2 || true
+  exit 1
+fi
+echo "fuzz: cold vs warm --cache batch reports identical"
+
+# A slice of the budget runs with the cache oracle forced on for every
+# program; the main campaign keeps the default sampled (~1/8) oracle.
+"$BIVC" --fuzz "$((COUNT / 10 + 1))" --seed "$((SEED + 1))" --cache-oracle
+
 exec "$BIVC" --fuzz "$COUNT" --seed "$SEED" --minimize
