@@ -1,0 +1,223 @@
+//===- bench/bench_serve.cpp - B8: daemon round-trip throughput ---------------===//
+//
+// Drives an in-process `bivc --serve` daemon end-to-end over a unix-domain
+// socket: a seeded corpus is pushed through concurrent blocking clients
+// twice -- once cold (every request a cache miss) and once warm (every
+// request served from the shared cache) -- and the record is wall-clock
+// throughput for both passes plus the daemon's own request-latency
+// histogram quantiles.  Socket framing, admission, scheduling, and the
+// shared-cache lock are all on the measured path.
+//
+//   bench_serve [--functions=N] [--clients=N] [--jobs=N] [--quick]
+//               [--json=PATH]
+//
+// Like bench_batch and bench_cache this is a plain binary; the JSON
+// fragment it writes is merged into BENCH_SCALING.json under the "serve"
+// key by bench/run_benchmarks.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadGen.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "support/Stats.h"
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace biv;
+
+namespace {
+
+// The one-shot CLI's default bits: RunSCCP | Materialize | Classify |
+// NestedTuples.
+constexpr uint64_t DefaultBits = 1 | 2 | 4 | 16;
+
+struct PassResult {
+  double WallMs = 0.0;
+  uint64_t Ok = 0;
+  uint64_t Failed = 0;
+};
+
+/// Pushes every source through the daemon once, sharded over Clients
+/// concurrent blocking connections.
+PassResult runPass(const std::string &Socket,
+                   const std::vector<std::string> &Sources,
+                   unsigned Clients) {
+  std::atomic<size_t> Next{0};
+  std::atomic<uint64_t> Ok{0}, Failed{0};
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back([&] {
+      for (;;) {
+        size_t I = Next.fetch_add(1);
+        if (I >= Sources.size())
+          return;
+        server::Request Q;
+        Q.OptsBits = DefaultBits;
+        Q.Source = Sources[I];
+        server::Response R;
+        std::string Err;
+        if (server::call(Socket, Q, R, Err) &&
+            R.S == server::Status::Ok)
+          Ok.fetch_add(1);
+        else
+          Failed.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  auto T1 = std::chrono::steady_clock::now();
+  PassResult P;
+  P.WallMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  P.Ok = Ok.load();
+  P.Failed = Failed.load();
+  return P;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Functions = 1000;
+  unsigned Clients = 8;
+  unsigned Jobs = 0; // hardware concurrency, the daemon default
+  std::string JsonPath;
+  bool Quick = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--functions=", 12) == 0)
+      Functions = unsigned(std::strtoul(A + 12, nullptr, 10));
+    else if (std::strncmp(A, "--clients=", 10) == 0)
+      Clients = unsigned(std::strtoul(A + 10, nullptr, 10));
+    else if (std::strncmp(A, "--jobs=", 7) == 0)
+      Jobs = unsigned(std::strtoul(A + 7, nullptr, 10));
+    else if (std::strncmp(A, "--json=", 7) == 0)
+      JsonPath = A + 7;
+    else if (std::strcmp(A, "--quick") == 0)
+      Quick = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--functions=N] [--clients=N] "
+                   "[--jobs=N] [--quick] [--json=PATH]\n");
+      return 2;
+    }
+  }
+  if (Quick) {
+    Functions = std::min(Functions, 64u);
+    Clients = std::min(Clients, 4u);
+  }
+
+  std::vector<bench::CorpusUnit> Corpus = bench::genCorpus(Functions);
+  std::vector<std::string> Sources;
+  Sources.reserve(Corpus.size());
+  for (const bench::CorpusUnit &U : Corpus)
+    Sources.push_back(U.Text);
+
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     ("biv_bench_serve_" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::create_directories(Dir);
+
+  server::ServerOptions SO;
+  SO.Threads = Jobs;
+  SO.AdmitLimit = 4096; // measure throughput, not rejection
+  SO.CachePath = Dir + "/serve.cache";
+  server::Server S(Dir + "/serve.sock", SO);
+  std::string Err;
+  if (!S.start(Err)) {
+    std::fprintf(stderr, "bench_serve: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::printf("# B8: daemon round-trip throughput (%u functions, "
+              "%u clients, -j%u)\n",
+              Functions, Clients, Jobs);
+  PassResult Cold = runPass(S.socketPath(), Sources, Clients);
+  PassResult Warm = runPass(S.socketPath(), Sources, Clients);
+
+  stats::StatsSnapshot Snap = S.statsSnapshot();
+  uint64_t Hits = Snap.Counters.count("cache.hit")
+                      ? Snap.Counters.at("cache.hit")
+                      : 0;
+  uint64_t Overloaded = Snap.Counters.count("serve.overloaded")
+                            ? Snap.Counters.at("serve.overloaded")
+                            : 0;
+  uint64_t P50 = 0, P99 = 0;
+  if (Snap.Hists.count("serve.latency_ns")) {
+    const stats::HistValue &H = Snap.Hists.at("serve.latency_ns");
+    P50 = H.quantileUpperBound(0.5);
+    P99 = H.quantileUpperBound(0.99);
+  }
+  bool DrainOk = S.drain(Err);
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
+  if (!DrainOk) {
+    std::fprintf(stderr, "bench_serve: %s\n", Err.c_str());
+    return 1;
+  }
+
+  double ColdRps = Cold.WallMs > 0 ? 1000.0 * Functions / Cold.WallMs : 0.0;
+  double WarmRps = Warm.WallMs > 0 ? 1000.0 * Functions / Warm.WallMs : 0.0;
+  std::printf("%10s %12s %14s\n", "pass", "wall_ms", "requests_per_s");
+  std::printf("%10s %12.2f %14.0f\n", "cold", Cold.WallMs, ColdRps);
+  std::printf("%10s %12.2f %14.0f\n", "warm", Warm.WallMs, WarmRps);
+  std::printf("# latency p50 <= %llu ns, p99 <= %llu ns, warm hits "
+              "%llu/%u, overloaded %llu\n",
+              (unsigned long long)P50, (unsigned long long)P99,
+              (unsigned long long)Hits, Functions,
+              (unsigned long long)Overloaded);
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\n"
+        "  \"functions\": %u,\n  \"clients\": %u,\n  \"jobs\": %u,\n"
+        "  \"cold_ms\": %.2f,\n  \"warm_ms\": %.2f,\n"
+        "  \"cold_rps\": %.0f,\n  \"warm_rps\": %.0f,\n"
+        "  \"latency_p50_ns_le\": %llu,\n"
+        "  \"latency_p99_ns_le\": %llu,\n"
+        "  \"warm_hit_rate\": %.4f,\n  \"overloaded\": %llu\n}\n",
+        Functions, Clients, Jobs, Cold.WallMs, Warm.WallMs, ColdRps,
+        WarmRps, (unsigned long long)P50, (unsigned long long)P99,
+        Functions ? double(Hits) / double(Functions) : 0.0,
+        (unsigned long long)Overloaded);
+    Out << Buf;
+    Out.flush();
+    if (!Out) {
+      std::fprintf(stderr, "bench_serve: error writing %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", JsonPath.c_str());
+  }
+
+  // The daemon's contract doubles as the bench's acceptance check: every
+  // request answered, none lost, and the warm pass fully cache-served.
+  // (Hits can exceed Functions: the generator may emit duplicate sources,
+  // which already hit during the cold pass.)
+  if (Cold.Failed || Warm.Failed || Hits < Functions) {
+    std::fprintf(stderr,
+                 "bench_serve: lifecycle violation (failed %llu/%llu, "
+                 "warm hits %llu/%u)\n",
+                 (unsigned long long)Cold.Failed,
+                 (unsigned long long)Warm.Failed,
+                 (unsigned long long)Hits, Functions);
+    return 1;
+  }
+  return 0;
+}

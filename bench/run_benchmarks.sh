@@ -41,29 +41,36 @@ if [ ! -x "$BENCH" ]; then
 fi
 
 BENCH_CACHE="$BUILD_DIR/bench/bench_cache"
+BENCH_SERVE="$BUILD_DIR/bench/bench_serve"
 if [ "$QUICK" = 1 ]; then
   # Smoke mode: tiny corpus, throwaway JSON -- proves the harness end to end
   # without perturbing the committed record.
   OUT="${OUT:-$BUILD_DIR/BENCH_SCALING.quick.json}"
   "$BENCH" --quick --jobs=1,2 --json="$OUT"
   [ -x "$BENCH_CACHE" ] && "$BENCH_CACHE" --quick --json="$OUT.cache"
+  [ -x "$BENCH_SERVE" ] && "$BENCH_SERVE" --quick --json="$OUT.serve"
 else
   OUT="${OUT:-$REPO_ROOT/BENCH_SCALING.json}"
   "$BENCH" --functions=1000 --jobs=1,2,4,8 --json="$OUT"
   [ -x "$BENCH_CACHE" ] && "$BENCH_CACHE" --functions=1000 --json="$OUT.cache"
+  [ -x "$BENCH_SERVE" ] && "$BENCH_SERVE" --functions=1000 --json="$OUT.serve"
 fi
 
-# Fold the cache record into the main JSON (one committed file, one schema).
-if [ -f "$OUT.cache" ] && command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" "$OUT.cache" <<'EOF'
+# Fold the cache and serve records into the main JSON (one committed file,
+# one schema).
+if command -v python3 >/dev/null 2>&1; then
+  for KEY in cache serve; do
+    [ -f "$OUT.$KEY" ] || continue
+    python3 - "$OUT" "$OUT.$KEY" "$KEY" <<'EOF'
 import json, sys
 rec = json.load(open(sys.argv[1]))
-rec["cache"] = json.load(open(sys.argv[2]))
+rec[sys.argv[3]] = json.load(open(sys.argv[2]))
 with open(sys.argv[1], "w") as f:
     json.dump(rec, f, indent=2)
     f.write("\n")
 EOF
-  rm -f "$OUT.cache"
+    rm -f "$OUT.$KEY"
+  done
 fi
 
 # Consume the record: print the serial (jobs=1) per-phase CPU-time breakdown

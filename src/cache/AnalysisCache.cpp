@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <mutex>
 #include <vector>
 
 using namespace biv;
@@ -152,6 +153,7 @@ bool CacheEntry::deserialize(const std::string &Bytes) {
 //===----------------------------------------------------------------------===//
 
 bool AnalysisCache::open(const std::string &P, std::string &Error) {
+  std::unique_lock<std::shared_mutex> Lock(M);
   Path = P;
   Entries.clear();
   Offsets.clear();
@@ -244,23 +246,29 @@ bool AnalysisCache::open(const std::string &P, std::string &Error) {
 }
 
 const CacheEntry *AnalysisCache::lookup(uint64_t Digest) const {
+  std::shared_lock<std::shared_mutex> Lock(M);
   auto It = Entries.find(Digest);
+  // The pointer outlives the lock: map nodes are stable and entries are
+  // never erased while the cache is open.
   return It == Entries.end() ? nullptr : &It->second;
 }
 
 void AnalysisCache::insert(uint64_t Digest, CacheEntry E) {
-  if (Entries.count(Digest))
-    return; // Content-addressed: same key, same bytes.
+  // Serialize outside the lock; writers contend only on the map touch.
   std::string Record;
   std::string Payload = E.serialize();
   putU64(Record, Digest);
   putU64(Record, Payload.size());
   Record += Payload;
+  std::unique_lock<std::shared_mutex> Lock(M);
+  if (Entries.count(Digest))
+    return; // Content-addressed: same key, same bytes.
   PendingLog.emplace_back(Digest, std::move(Record));
   Entries.emplace(Digest, std::move(E));
 }
 
 bool AnalysisCache::save(std::string &Error) {
+  std::unique_lock<std::shared_mutex> Lock(M);
   if (Path.empty()) {
     Error = "cache not opened";
     return false;

@@ -46,12 +46,16 @@
 /// the cache reopens empty and the next save rewrites it, trading
 /// re-analysis for never serving a corrupt entry.
 ///
-/// Thread-safety: load and save are single-threaded (driver start/end);
-/// lookup() is const over immutable loaded bytes, so any number of batch
-/// workers may probe concurrently.  insert() is not synchronized -- the
-/// batch driver collects misses per unit slot and inserts them in input
-/// order after the pool drains, which also keeps the file bytes
-/// deterministic for any -jN.
+/// Thread-safety: many concurrent readers, one appender at a time.
+/// lookup() takes a shared lock and insert()/open()/save() an exclusive
+/// one, so server workers may probe while another worker commits a miss.
+/// Returned entry pointers stay valid after the lock drops: entries live in
+/// a node-based map and are never erased while the cache is open (open()
+/// rebuilds the map, but only before any worker runs).  The batch driver
+/// still collects misses per unit slot and inserts them in input order
+/// after the pool drains -- not for safety, but to keep the file bytes
+/// deterministic for any -jN; the server inserts in completion order and
+/// documents that its file bytes are not.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +66,7 @@
 #include "ivclass/Report.h"
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -115,12 +120,14 @@ public:
   bool open(const std::string &Path, std::string &Error);
 
   /// The entry for \p Digest, or null.  Pending (inserted, unsaved) entries
-  /// are visible.  Const and safe to call from many threads once loaded.
+  /// are visible.  Safe to call from many threads, concurrently with
+  /// insert(); the returned pointer stays valid until the next open().
   const CacheEntry *lookup(uint64_t Digest) const;
 
   /// Records \p E under \p Digest, to be appended by the next save().
   /// Duplicate digests keep the first entry (content-addressed: same key,
-  /// same bytes).  Not thread-safe; call from the driver thread.
+  /// same bytes).  Takes the exclusive lock, so concurrent inserts and
+  /// lookups are safe; insertion *order* is whatever the callers make it.
   void insert(uint64_t Digest, CacheEntry E);
 
   /// Appends pending entries and rewrites the index footer (or writes the
@@ -130,13 +137,21 @@ public:
   /// file is intact.
   bool save(std::string &Error);
 
-  size_t entryCount() const { return Entries.size(); }
-  size_t pendingCount() const { return PendingLog.size(); }
+  size_t entryCount() const {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    return Entries.size();
+  }
+  size_t pendingCount() const {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    return PendingLog.size();
+  }
   /// True when open() found a file it had to discard (stale salt, damage).
   bool invalidated() const { return Invalidated; }
 
 private:
   std::string Path;
+  /// Readers (lookup, counts) shared; open/insert/save exclusive.
+  mutable std::shared_mutex M;
   /// digest -> deserialized entry (loaded + pending), for O(1) concurrent
   /// lookup after the one load-time read.
   std::map<uint64_t, CacheEntry> Entries;

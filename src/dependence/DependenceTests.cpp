@@ -38,13 +38,16 @@ uint8_t DependenceResult::dirsFor(const analysis::Loop *L) const {
 void DependenceResult::projectVectors() {
   if (Directions.empty())
     return;
-  if (Vectors.empty()) {
-    if (O != Outcome::Independent) {
-      // Nothing to project; leave per-loop sets as they are.
-      return;
-    }
+  if (O == Outcome::Independent) {
+    // No dependence: no direction is realizable, so stale per-loop sets
+    // from before vector intersection must not survive into the report.
+    for (LoopDirection &D : Directions)
+      D.Dirs = DirNone;
+    Vectors.clear();
     return;
   }
+  if (Vectors.empty())
+    return; // nest too deep to enumerate; keep the conservative sets
   std::vector<uint8_t> Union(Directions.size(), DirNone);
   for (const std::vector<uint8_t> &V : Vectors)
     for (size_t I = 0; I < V.size(); ++I)
@@ -566,6 +569,7 @@ DependenceResult biv::dependence::combineDimensions(
     const DependenceResult &D = Dims[I];
     if (D.O == DependenceResult::Outcome::Independent) {
       R = D;
+      R.projectVectors();
       return R;
     }
     if (R.O == DependenceResult::Outcome::Independent)
@@ -586,6 +590,7 @@ DependenceResult biv::dependence::combineDimensions(
       if (R.Vectors.empty()) {
         R.O = DependenceResult::Outcome::Independent;
         R.Note = "no common feasible direction vector";
+        R.projectVectors();
         return R;
       }
     }
@@ -599,6 +604,7 @@ DependenceResult biv::dependence::combineDimensions(
           else if (OD.Distance && *OD.Distance != *LD.Distance) {
             R.O = DependenceResult::Outcome::Independent;
             R.Note = "conflicting exact distances";
+            R.projectVectors();
             return R;
           }
           if (!LD.ModPeriod) {
@@ -609,6 +615,7 @@ DependenceResult biv::dependence::combineDimensions(
       if (LD.Dirs == DirNone) {
         R.O = DependenceResult::Outcome::Independent;
         R.Note = "no common feasible direction";
+        R.projectVectors();
         return R;
       }
     }

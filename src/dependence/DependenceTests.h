@@ -74,8 +74,9 @@ struct DependenceResult {
   std::vector<std::vector<uint8_t>> Vectors;
 
   /// Rebuilds the per-loop Dirs sets as the projection of Vectors (no-op
-  /// when Vectors is empty); flips to Independent when Vectors became empty
-  /// after an intersection.
+  /// when Vectors is empty, where the per-loop sets stay authoritative).
+  /// An Independent result instead clears every per-loop set to DirNone and
+  /// drops the vectors: no direction is realizable without a dependence.
   void projectVectors();
 
   /// Wrap-around subscripts: the relation only holds after this many

@@ -74,9 +74,11 @@ MinimizeResult biv::fuzz::minimizeProgram(const std::string &Source,
   std::vector<bool> Keep(Lines.size(), true);
   unsigned Probes = 0;
 
-  size_t Live = Lines.size();
   auto tryWithout = [&](size_t Begin, size_t End) {
     // Tentatively drop kept lines in [Begin, End); commit if still failing.
+    // A chunk whose lines are all dropped already would re-test the current
+    // candidate verbatim, so it is skipped before Probes is charged: the
+    // counter reflects predicate runs that could change the outcome.
     std::vector<size_t> Dropped;
     for (size_t K = Begin; K < End && K < Lines.size(); ++K)
       if (Keep[K]) {
@@ -86,16 +88,17 @@ MinimizeResult biv::fuzz::minimizeProgram(const std::string &Source,
     if (Dropped.empty())
       return false;
     ++Probes;
-    if (Pred(joinKept(Lines, Keep))) {
-      Live -= Dropped.size();
+    if (Pred(joinKept(Lines, Keep)))
       return true;
-    }
     for (size_t K : Dropped)
       Keep[K] = true;
     return false;
   };
 
-  // ddmin: remove chunks, halving the chunk size until single lines.
+  // ddmin: remove chunks, halving the chunk size until single lines.  Each
+  // chunk size runs to a fixed point, so after the size-1 passes no single
+  // line can be removed -- the survivor is already 1-minimal and a separate
+  // elimination sweep would only burn one failing probe per kept line.
   for (size_t Chunk = Lines.size() / 2; Chunk >= 1; Chunk /= 2) {
     bool Removed = true;
     while (Removed) {
@@ -107,18 +110,20 @@ MinimizeResult biv::fuzz::minimizeProgram(const std::string &Source,
       break;
   }
 
-  // 1-minimality sweep (ddmin's chunked passes can leave combinations).
-  bool Removed = true;
-  while (Removed && Live > 1) {
-    Removed = false;
-    for (size_t K = 0; K < Lines.size(); ++K)
-      if (Keep[K])
-        Removed |= tryWithout(K, K + 1);
-  }
-
   MinimizeResult R;
   R.Source = joinKept(Lines, Keep);
-  R.Statements = countStatements(R.Source);
+  // ddmin only ever commits candidates the predicate accepted, but the
+  // contract ("the repro you get still fails") is too important to rest on
+  // bookkeeping: re-verify the final source, and fall back to the original
+  // known-failing input on any mismatch.  The check is a real predicate
+  // run, so it is charged to Probes like any other.
+  ++Probes;
+  if (!Pred(R.Source))
+    R.Source = Source;
+  frontend::Parser P(R.Source);
+  std::unique_ptr<frontend::FuncDecl> F = P.parseFunction();
+  R.Parses = F != nullptr && P.errors().empty();
+  R.Statements = R.Parses ? countStmts(F->Body) : 0;
   R.Probes = Probes;
   return R;
 }

@@ -10,10 +10,14 @@
 /// is reported or checked into the regression corpus.
 ///
 /// The algorithm is Zeller's ddmin over source lines (the generator emits
-/// one statement per line), followed by a single-line elimination sweep to
-/// 1-minimality.  Structural damage -- removing a loop header but keeping
-/// its closing brace -- simply fails to parse, which the caller's predicate
-/// rejects, so no grammar awareness is needed beyond line granularity.
+/// one statement per line); the chunk-size-1 passes run to a fixed point,
+/// so the result is 1-minimal without a separate sweep.  Structural damage
+/// -- removing a loop header but keeping its closing brace -- simply fails
+/// to parse, which the caller's predicate rejects, so no grammar awareness
+/// is needed beyond line granularity.  The final candidate is re-verified
+/// against the predicate before it is returned; if bookkeeping ever
+/// produced a non-failing candidate, the original input is handed back
+/// instead.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,13 +37,22 @@ using StillFailing = std::function<bool(const std::string &Source)>;
 
 struct MinimizeResult {
   std::string Source;      ///< The minimized program.
-  unsigned Statements = 0; ///< AST statement count of the result.
-  unsigned Probes = 0;     ///< Predicate evaluations spent.
+  bool Parses = false;     ///< Whether Source parses; distinguishes an
+                           ///< unparseable repro from a parseable one with
+                           ///< zero statements (both report Statements 0).
+  unsigned Statements = 0; ///< AST statement count of the result (0 when
+                           ///< !Parses).
+  unsigned Probes = 0;     ///< Predicate evaluations actually run: chunks
+                           ///< whose lines are all dropped already are
+                           ///< skipped without a probe, and the final
+                           ///< re-verification counts as one probe.
 };
 
 /// Minimizes \p Source under \p Pred.  \p Pred(Source) must be true on
 /// entry; the result is a program on which \p Pred still holds and from
-/// which no single line can be removed without losing the failure.
+/// which no single line can be removed without losing the failure.  The
+/// returned source is re-verified against \p Pred; on any mismatch the
+/// original \p Source is returned unshrunk.
 MinimizeResult minimizeProgram(const std::string &Source,
                                const StillFailing &Pred);
 

@@ -1,0 +1,46 @@
+//===- server/Client.cpp - Blocking analysis-service client --------------------===//
+
+#include "server/Client.h"
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace biv;
+using namespace biv::server;
+
+bool biv::server::call(const std::string &SocketPath, const Request &Q,
+                       Response &R, std::string &Error) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + SocketPath;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int Rc;
+  do {
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (Rc != 0 && errno == EINTR);
+  if (Rc != 0) {
+    Error = "cannot connect to '" + SocketPath +
+            "': " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  std::string Payload;
+  if (!writeFrame(Fd, Q.encode(), Error) ||
+      !readFrame(Fd, Payload, Error)) {
+    ::close(Fd);
+    return false;
+  }
+  ::close(Fd);
+  return R.decode(Payload, Error);
+}

@@ -1,0 +1,36 @@
+//===- server/Client.h - Blocking analysis-service client -------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call blocking client for the analysis daemon: connect to the
+/// unix-domain socket, send one request frame, read one response frame.
+/// `bivc --connect` is a thin wrapper over this, and the server tests and
+/// soak clients use it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_SERVER_CLIENT_H
+#define BEYONDIV_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+#include <string>
+
+namespace biv {
+namespace server {
+
+/// Sends \p Q to the daemon at \p SocketPath and fills \p R with its
+/// response.  Returns false with \p Error set on transport problems
+/// (no daemon, daemon died mid-request, malformed response frame);
+/// protocol-level failures (overloaded, deadline exceeded, analysis
+/// errors) return true with the status in \p R.
+bool call(const std::string &SocketPath, const Request &Q, Response &R,
+          std::string &Error);
+
+} // namespace server
+} // namespace biv
+
+#endif // BEYONDIV_SERVER_CLIENT_H

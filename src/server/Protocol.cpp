@@ -1,0 +1,181 @@
+//===- server/Protocol.cpp - Analysis-service wire protocol --------------------===//
+
+#include "server/Protocol.h"
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+using namespace biv;
+using namespace biv::server;
+
+const char *biv::server::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::BadRequest:
+    return "bad_request";
+  case Status::AnalysisError:
+    return "analysis_error";
+  case Status::Overloaded:
+    return "overloaded";
+  case Status::DeadlineExceeded:
+    return "deadline_exceeded";
+  case Status::ShuttingDown:
+    return "shutting_down";
+  }
+  return "<bad status>";
+}
+
+namespace {
+
+void putU32(std::string &Out, uint32_t V) {
+  Out.append(reinterpret_cast<const char *>(&V), sizeof(V));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  Out.append(reinterpret_cast<const char *>(&V), sizeof(V));
+}
+
+bool getU32(const std::string &In, size_t &Pos, uint32_t &V) {
+  if (Pos + sizeof(V) > In.size())
+    return false;
+  std::memcpy(&V, In.data() + Pos, sizeof(V));
+  Pos += sizeof(V);
+  return true;
+}
+
+bool getU64(const std::string &In, size_t &Pos, uint64_t &V) {
+  if (Pos + sizeof(V) > In.size())
+    return false;
+  std::memcpy(&V, In.data() + Pos, sizeof(V));
+  Pos += sizeof(V);
+  return true;
+}
+
+/// Reads exactly \p Len bytes; false on error or early EOF.
+bool readAll(int Fd, char *Buf, size_t Len, std::string &Error) {
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::read(Fd, Buf + Done, Len - Done);
+    if (N > 0) {
+      Done += size_t(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Error = N == 0 ? "peer closed the connection mid-frame"
+                   : std::string("read failed: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool writeAll(int Fd, const char *Buf, size_t Len, std::string &Error) {
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::write(Fd, Buf + Done, Len - Done);
+    if (N > 0) {
+      Done += size_t(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Error = std::string("write failed: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::string Request::encode() const {
+  std::string Out;
+  putU32(Out, RequestMagic);
+  putU32(Out, ProtocolVersion);
+  putU32(Out, uint32_t(Kind));
+  putU64(Out, OptsBits);
+  putU64(Out, DeadlineMs);
+  Out += Source;
+  return Out;
+}
+
+bool Request::decode(const std::string &Payload, std::string &Error) {
+  size_t Pos = 0;
+  uint32_t Magic = 0, Version = 0, K = 0;
+  if (!getU32(Payload, Pos, Magic) || Magic != RequestMagic) {
+    Error = "bad request magic";
+    return false;
+  }
+  if (!getU32(Payload, Pos, Version) || Version != ProtocolVersion) {
+    Error = "protocol version mismatch (server speaks " +
+            std::to_string(ProtocolVersion) + ")";
+    return false;
+  }
+  if (!getU32(Payload, Pos, K) || K > uint32_t(RequestKind::Stats)) {
+    Error = "bad request kind";
+    return false;
+  }
+  Kind = RequestKind(K);
+  if (!getU64(Payload, Pos, OptsBits) || !getU64(Payload, Pos, DeadlineMs)) {
+    Error = "truncated request header";
+    return false;
+  }
+  Source.assign(Payload, Pos, Payload.size() - Pos);
+  return true;
+}
+
+std::string Response::encode() const {
+  std::string Out;
+  putU32(Out, ResponseMagic);
+  putU32(Out, ProtocolVersion);
+  putU32(Out, uint32_t(S));
+  Out += Body;
+  return Out;
+}
+
+bool Response::decode(const std::string &Payload, std::string &Error) {
+  size_t Pos = 0;
+  uint32_t Magic = 0, Version = 0, St = 0;
+  if (!getU32(Payload, Pos, Magic) || Magic != ResponseMagic) {
+    Error = "bad response magic";
+    return false;
+  }
+  if (!getU32(Payload, Pos, Version) || Version != ProtocolVersion) {
+    Error = "response protocol version mismatch";
+    return false;
+  }
+  if (!getU32(Payload, Pos, St) || St > uint32_t(Status::ShuttingDown)) {
+    Error = "bad response status";
+    return false;
+  }
+  S = Status(St);
+  Body.assign(Payload, Pos, Payload.size() - Pos);
+  return true;
+}
+
+bool biv::server::readFrame(int Fd, std::string &Payload,
+                            std::string &Error) {
+  uint32_t Len = 0;
+  if (!readAll(Fd, reinterpret_cast<char *>(&Len), sizeof(Len), Error))
+    return false;
+  if (Len > MaxFrameBytes) {
+    Error = "frame length " + std::to_string(Len) + " exceeds the " +
+            std::to_string(MaxFrameBytes) + "-byte limit";
+    return false;
+  }
+  Payload.resize(Len);
+  return Len == 0 || readAll(Fd, Payload.data(), Len, Error);
+}
+
+bool biv::server::writeFrame(int Fd, const std::string &Payload,
+                             std::string &Error) {
+  if (Payload.size() > MaxFrameBytes) {
+    Error = "frame too large to send";
+    return false;
+  }
+  uint32_t Len = uint32_t(Payload.size());
+  if (!writeAll(Fd, reinterpret_cast<const char *>(&Len), sizeof(Len),
+                Error))
+    return false;
+  return writeAll(Fd, Payload.data(), Payload.size(), Error);
+}

@@ -1,0 +1,426 @@
+//===- server/Server.cpp - Persistent analysis daemon --------------------------===//
+
+#include "server/Server.h"
+#include "ir/Printer.h"
+#include "ivclass/Pipeline.h"
+#include "ivclass/Report.h"
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace biv;
+using namespace biv::server;
+
+namespace {
+
+// Request-lifecycle accounting.  Counters are thread-local frame cells like
+// everywhere else; each server thread folds its deltas into the lifetime
+// frame, so the Stats request kind and the daemon's own --stats see one
+// merged view.
+const stats::Counter NumAccepted("serve.accepted");
+const stats::Counter NumCompleted("serve.completed");
+const stats::Counter NumAnalysisErrors("serve.analysis_errors");
+const stats::Counter NumBadRequests("serve.bad_requests");
+const stats::Counter NumOverloaded("serve.overloaded");
+const stats::Counter NumDeadlineExceeded("serve.deadline_exceeded");
+const stats::Counter NumRefusedAtShutdown("serve.refused_at_shutdown");
+const stats::Counter NumStatsRequests("serve.stats_requests");
+const stats::Counter NumReplyFailures("serve.reply_failures");
+const stats::Counter NumCacheHits("cache.hit");
+const stats::Counter NumCacheMisses("cache.miss");
+const stats::Counter NumCacheBytes("cache.bytes");
+const stats::Timer CacheTimer("phase.cache");
+const stats::Histogram LatencyHist("serve.latency_ns");
+const stats::Histogram QueueDepthHist("serve.queue_depth");
+
+/// The instance SIGTERM/SIGINT drain; handlers may only poke something
+/// async-signal-safe, which requestShutdown() is (atomic store + pipe
+/// write).
+std::atomic<Server *> GSignalServer{nullptr};
+
+extern "C" void bivServeTermHandler(int) {
+  if (Server *S = GSignalServer.load())
+    S->requestShutdown();
+}
+
+void closeFd(int &Fd) {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+} // namespace
+
+Server::Server(std::string Path, ServerOptions O)
+    : SocketPath(std::move(Path)), Opts(std::move(O)) {}
+
+Server::~Server() {
+  std::string Err;
+  (void)drain(Err);
+  if (GSignalServer.load() == this)
+    GSignalServer.store(nullptr);
+}
+
+bool Server::start(std::string &Error) {
+  if (Started.load()) {
+    Error = "server already started";
+    return false;
+  }
+  if (!Opts.CachePath.empty()) {
+    if (!Cache.open(Opts.CachePath, Error))
+      return false;
+    if (Cache.invalidated())
+      std::fprintf(stderr,
+                   "bivc: cache %s is stale or damaged; rebuilding it\n",
+                   Opts.CachePath.c_str());
+    HaveCache = true;
+  }
+
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + SocketPath;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A stale socket file from a dead daemon would make bind fail forever;
+  // replace it.  (Two live daemons on one path is an operator error this
+  // cannot detect -- the second steals the path, as with pid files.)
+  ::unlink(SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0 ||
+      ::listen(ListenFd, 128) != 0) {
+    Error = "cannot listen on '" + SocketPath +
+            "': " + std::strerror(errno);
+    closeFd(ListenFd);
+    return false;
+  }
+  // Non-blocking listen socket: the accept loop multiplexes it with the
+  // shutdown pipe via poll, and drains the backlog without blocking when
+  // the drain begins.
+  ::fcntl(ListenFd, F_SETFL, O_NONBLOCK);
+
+  if (::pipe(WakeFd) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    closeFd(ListenFd);
+    return false;
+  }
+  ::fcntl(WakeFd[1], F_SETFL, O_NONBLOCK); // signal handler must not block
+
+  Pool = std::make_unique<driver::ThreadPool>(Opts.Threads);
+  Started.store(true);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::requestShutdown() {
+  ShuttingDown.store(true);
+  if (WakeFd[1] >= 0) {
+    char C = 1;
+    // The pipe being full means a wake-up is already pending; either way
+    // the accept loop will see it.
+    [[maybe_unused]] ssize_t N = ::write(WakeFd[1], &C, 1);
+  }
+}
+
+void Server::installSignalHandlers() {
+  GSignalServer.store(this);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = bivServeTermHandler;
+  sigemptyset(&SA.sa_mask);
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+}
+
+void Server::waitForShutdown() {
+  // The accept loop only exits once ShuttingDown is observed, so joining
+  // it is exactly "sleep until someone asks us to stop".
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+}
+
+bool Server::drain(std::string &Error) {
+  if (!Started.load() || Drained.exchange(true))
+    return true;
+  requestShutdown();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  // Every admitted request is still in the pool (or already answered);
+  // wait() blocks until each one has written its response.  Tasks catch
+  // their own exceptions, so nothing rethrows here.
+  Pool->wait();
+  closeFd(ListenFd);
+  ::unlink(SocketPath.c_str());
+  closeFd(WakeFd[0]);
+  closeFd(WakeFd[1]);
+  if (HaveCache && !Cache.save(Error))
+    return false;
+  return true;
+}
+
+void Server::mergeThreadDelta(stats::Frame &Base) {
+  stats::Frame Now = stats::captureFrame();
+  stats::Frame Delta = Now - Base;
+  Base = Now;
+  std::lock_guard<std::mutex> Lock(StatsM);
+  Lifetime += Delta;
+}
+
+stats::StatsSnapshot Server::statsSnapshot() const {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  return stats::snapshotFrame(Lifetime);
+}
+
+void Server::acceptLoop() {
+  stats::Frame Base = stats::captureFrame();
+  pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakeFd[0], POLLIN, 0}};
+  bool Draining = false;
+  while (!Draining) {
+    Fds[0].revents = Fds[1].revents = 0;
+    if (::poll(Fds, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // poll on our own fds cannot fail transiently otherwise
+    }
+    if (Fds[1].revents != 0 || ShuttingDown.load()) {
+      Draining = true;
+      break;
+    }
+    if (Fds[0].revents == 0)
+      continue;
+    for (;;) {
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0) {
+        if (errno == EINTR)
+          continue;
+        break; // EAGAIN: backlog empty, back to poll
+      }
+      handleConnection(Fd, Base);
+      mergeThreadDelta(Base);
+      if (ShuttingDown.load()) {
+        Draining = true;
+        break;
+      }
+    }
+  }
+  // Connections that reached the kernel backlog but were never taken must
+  // not be silently dropped either: answer each with shutting_down.
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    NumRefusedAtShutdown.bump();
+    reply(Fd, Response{Status::ShuttingDown, "server is draining"});
+    ::close(Fd);
+  }
+  mergeThreadDelta(Base);
+}
+
+void Server::handleConnection(int Fd, stats::Frame &Base) {
+  NumAccepted.bump();
+  timeval TV{};
+  TV.tv_sec = Opts.ReadTimeoutSec;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+
+  // Replies sent from this thread fold the stats delta first, mirroring
+  // the workers: a client holding its answer must find its own request in
+  // a follow-up stats query, whichever thread replied.
+  std::string Payload, Err;
+  if (!readFrame(Fd, Payload, Err)) {
+    NumBadRequests.bump();
+    mergeThreadDelta(Base);
+    reply(Fd, Response{Status::BadRequest, Err});
+    ::close(Fd);
+    return;
+  }
+  Request Q;
+  if (!Q.decode(Payload, Err)) {
+    NumBadRequests.bump();
+    mergeThreadDelta(Base);
+    reply(Fd, Response{Status::BadRequest, Err});
+    ::close(Fd);
+    return;
+  }
+
+  if (Q.Kind == RequestKind::Stats) {
+    // Served inline on the accept thread: always answerable, even when
+    // every worker is busy -- that is exactly when you want stats.
+    NumStatsRequests.bump();
+    mergeThreadDelta(Base);
+    stats::StatsSnapshot S = statsSnapshot();
+    reply(Fd, Response{Status::Ok, S.renderJson()});
+    ::close(Fd);
+    return;
+  }
+
+  // Admission control.  The depth histogram sees every arrival (including
+  // the rejected ones): the tail of this distribution is the backpressure
+  // signal.
+  size_t Depth = Admitted.load();
+  QueueDepthHist.observe(Depth);
+  if (Depth >= Opts.AdmitLimit) {
+    NumOverloaded.bump();
+    mergeThreadDelta(Base);
+    reply(Fd, Response{Status::Overloaded,
+                       "admission queue full (" +
+                           std::to_string(Opts.AdmitLimit) + " in flight)"});
+    ::close(Fd);
+    return;
+  }
+  Admitted.fetch_add(1);
+  std::chrono::steady_clock::time_point Accepted =
+      std::chrono::steady_clock::now();
+  auto Shared = std::make_shared<Request>(std::move(Q));
+  Pool->submit([this, Fd, Shared, Accepted] {
+    serveAnalyze(Fd, std::move(*Shared), Accepted);
+  });
+}
+
+void Server::serveAnalyze(int Fd, Request Q,
+                          std::chrono::steady_clock::time_point Accepted) {
+  stats::Frame Base = stats::captureFrame();
+  Response R;
+  auto Elapsed = [&Accepted] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - Accepted)
+        .count();
+  };
+  if (Q.DeadlineMs != 0 &&
+      uint64_t(Elapsed()) > Q.DeadlineMs * 1000000ull) {
+    NumDeadlineExceeded.bump();
+    R.S = Status::DeadlineExceeded;
+    R.Body = "deadline of " + std::to_string(Q.DeadlineMs) +
+             "ms expired while queued";
+  } else {
+    // A crashing request fails alone: any escaped exception becomes an
+    // analysis_error response on this one connection, and the daemon (and
+    // the pool: nothing propagates into wait()) keeps serving.
+    try {
+      if (Opts.TestHookBeforeAnalyze)
+        Opts.TestHookBeforeAnalyze(Q);
+      R = analyze(Q);
+    } catch (const std::exception &E) {
+      NumAnalysisErrors.bump();
+      R.S = Status::AnalysisError;
+      R.Body = std::string("internal error: ") + E.what();
+    } catch (...) {
+      NumAnalysisErrors.bump();
+      R.S = Status::AnalysisError;
+      R.Body = "internal error (non-standard exception)";
+    }
+  }
+  if (R.S == Status::Ok)
+    NumCompleted.bump();
+  LatencyHist.observe(uint64_t(Elapsed()));
+  // Fold this request's stats before replying, so a client that got its
+  // answer and then asks for stats is guaranteed to see its own request.
+  mergeThreadDelta(Base);
+  reply(Fd, R);
+  ::close(Fd);
+  Admitted.fetch_sub(1);
+}
+
+Response Server::analyze(const Request &Q) {
+  // Option bits are the batch driver's digest bits; mirroring its unit
+  // path exactly (parse, probe, analyze, report) is what makes a served
+  // response byte-identical to the one-shot CLI and lets the daemon share
+  // cache files with --batch --cache runs.
+  const bool RunSCCP = (Q.OptsBits & 1) != 0;
+  const bool Materialize = (Q.OptsBits & 2) != 0;
+  const bool Classify = (Q.OptsBits & 4) != 0;
+  const bool AllValues = (Q.OptsBits & 8) != 0;
+  const bool NestedTuples = (Q.OptsBits & 16) != 0;
+
+  ivclass::PipelineOptions PO;
+  PO.RunSCCP = RunSCCP;
+  PO.VerifyEach = false;
+  PO.Analysis.MaterializeExitValues = Materialize;
+  ivclass::ReportOptions RO;
+  RO.AllValues = AllValues;
+  RO.NestedTuples = NestedTuples;
+
+  std::vector<std::string> Errors;
+  std::optional<ivclass::AnalyzedProgram> P =
+      ivclass::parseSource(Q.Source, Errors);
+  if (!P) {
+    NumAnalysisErrors.bump();
+    Response R;
+    R.S = Status::AnalysisError;
+    for (const std::string &E : Errors) {
+      R.Body += E;
+      R.Body += '\n';
+    }
+    return R;
+  }
+
+  uint64_t Digest = 0;
+  if (HaveCache) {
+    const cache::CacheEntry *CE = nullptr;
+    {
+      stats::ScopedSpan Span(CacheTimer);
+      Digest = cache::unitDigest(ir::toString(*P->F), Q.OptsBits);
+      CE = Cache.lookup(Digest);
+    }
+    if (CE) {
+      NumCacheHits.bump();
+      NumCacheBytes.bump(CE->ReportText.size());
+      // Same replay rule as the batch driver: stored analysis counters fire
+      // again so merged counters stay corpus-shaped, while phase timers do
+      // not (spans must prove the classification was actually skipped).
+      for (const auto &[Name, V] : CE->Counters)
+        stats::bumpNamedCounter(Name, V);
+      return Response{Status::Ok, CE->ReportText};
+    }
+    NumCacheMisses.bump();
+  }
+
+  stats::Frame PostParse = stats::captureFrame();
+  ivclass::analyzeParsed(*P, PO);
+  Response R;
+  R.S = Status::Ok;
+  ivclass::KindCounts Kinds = ivclass::countHeaderPhiKinds(*P->IA);
+  if (Classify)
+    R.Body = ivclass::report(*P->IA, &P->Info, RO);
+  if (HaveCache) {
+    cache::CacheEntry E;
+    E.ReportText = R.Body;
+    E.Stats = P->IA->stats();
+    E.Kinds = Kinds;
+    E.Instructions = P->F->instructionCount();
+    E.Loops = P->LI->loops().size();
+    E.Counters =
+        stats::snapshotFrame(stats::captureFrame() - PostParse).Counters;
+    // Completion-order insertion: entries are content-addressed, so
+    // concurrent misses for the same digest keep the first copy and the
+    // bytes of any one entry are deterministic even though the file-level
+    // order is not (unlike --batch, which commits in input order).
+    Cache.insert(Digest, std::move(E));
+  }
+  return R;
+}
+
+void Server::reply(int Fd, const Response &R) {
+  std::string Err;
+  if (!writeFrame(Fd, R.encode(), Err)) {
+    // The client vanished; its request was not dropped by *us*, but the
+    // failure must still be visible somewhere.
+    NumReplyFailures.bump();
+  }
+}

@@ -23,6 +23,7 @@ struct NameRegistry {
   std::mutex M;
   std::vector<const char *> CounterNames;
   std::vector<const char *> TimerNames;
+  std::vector<const char *> HistNames;
   /// Backing store for names that arrive as run-time strings (cache replay
   /// deserializes counter names from a file); a deque never reallocates, so
   /// the pointers handed to the name tables stay stable for the process
@@ -66,6 +67,10 @@ struct NameRegistry {
     std::lock_guard<std::mutex> Lock(M);
     return TimerNames;
   }
+  std::vector<const char *> histNames() {
+    std::lock_guard<std::mutex> Lock(M);
+    return HistNames;
+  }
 };
 
 NameRegistry &registry() {
@@ -81,6 +86,10 @@ unsigned biv::stats::registerCounter(const char *Name) {
 
 unsigned biv::stats::registerTimer(const char *Name) {
   return registry().intern(registry().TimerNames, Name, MaxTimers);
+}
+
+unsigned biv::stats::registerHistogram(const char *Name) {
+  return registry().intern(registry().HistNames, Name, MaxHistograms);
 }
 
 void biv::stats::bumpNamedCounter(const std::string &Name, uint64_t N) {
@@ -107,6 +116,12 @@ Frame &Frame::operator+=(const Frame &O) {
     Timers[I].Ns += O.Timers[I].Ns;
     Timers[I].Spans += O.Timers[I].Spans;
   }
+  for (unsigned I = 0; I < MaxHistograms; ++I) {
+    Hists[I].Count += O.Hists[I].Count;
+    Hists[I].Sum += O.Hists[I].Sum;
+    for (unsigned B = 0; B < HistBuckets; ++B)
+      Hists[I].Buckets[B] += O.Hists[I].Buckets[B];
+  }
   return *this;
 }
 
@@ -117,6 +132,12 @@ Frame Frame::operator-(const Frame &O) const {
   for (unsigned I = 0; I < MaxTimers; ++I) {
     D.Timers[I].Ns = Timers[I].Ns - O.Timers[I].Ns;
     D.Timers[I].Spans = Timers[I].Spans - O.Timers[I].Spans;
+  }
+  for (unsigned I = 0; I < MaxHistograms; ++I) {
+    D.Hists[I].Count = Hists[I].Count - O.Hists[I].Count;
+    D.Hists[I].Sum = Hists[I].Sum - O.Hists[I].Sum;
+    for (unsigned B = 0; B < HistBuckets; ++B)
+      D.Hists[I].Buckets[B] = Hists[I].Buckets[B] - O.Hists[I].Buckets[B];
   }
   return D;
 }
@@ -135,7 +156,30 @@ StatsSnapshot biv::stats::snapshotFrame(const Frame &F) {
   for (unsigned I = 0; I < TN.size(); ++I)
     if (F.Timers[I].Spans != 0 || F.Timers[I].Ns != 0)
       S.Timers[TN[I]] = {F.Timers[I].Spans, F.Timers[I].Ns};
+  std::vector<const char *> HN = registry().histNames();
+  for (unsigned I = 0; I < HN.size(); ++I)
+    if (F.Hists[I].Count != 0) {
+      HistValue &H = S.Hists[HN[I]];
+      H.Count = F.Hists[I].Count;
+      H.Sum = F.Hists[I].Sum;
+      H.Buckets.assign(F.Hists[I].Buckets, F.Hists[I].Buckets + HistBuckets);
+    }
   return S;
+}
+
+uint64_t HistValue::quantileUpperBound(double Q) const {
+  if (Count == 0)
+    return 0;
+  uint64_t Target = uint64_t(Q * double(Count));
+  if (Target < 1)
+    Target = 1;
+  uint64_t Seen = 0;
+  for (size_t B = 0; B < Buckets.size(); ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Target)
+      return B == 0 ? 0 : (uint64_t(1) << B) - 1;
+  }
+  return ~uint64_t(0);
 }
 
 void StatsSnapshot::merge(const StatsSnapshot &O) {
@@ -145,6 +189,15 @@ void StatsSnapshot::merge(const StatsSnapshot &O) {
     TimerValue &T = Timers[Name];
     T.Spans += V.Spans;
     T.Ns += V.Ns;
+  }
+  for (const auto &[Name, V] : O.Hists) {
+    HistValue &H = Hists[Name];
+    H.Count += V.Count;
+    H.Sum += V.Sum;
+    if (H.Buckets.size() < V.Buckets.size())
+      H.Buckets.resize(V.Buckets.size());
+    for (size_t B = 0; B < V.Buckets.size(); ++B)
+      H.Buckets[B] += V.Buckets[B];
   }
 }
 
@@ -168,6 +221,18 @@ std::string StatsSnapshot::renderTable() const {
     std::snprintf(Buf, sizeof(Buf), "  %-44s %8llu %12.3f\n", Name.c_str(),
                   static_cast<unsigned long long>(V.Spans),
                   double(V.Ns) / 1e6);
+    Out += Buf;
+  }
+  if (!Hists.empty()) {
+    std::snprintf(Buf, sizeof(Buf), "histograms:%31s %12s %10s %10s\n", "",
+                  "count", "p50<=", "p99<=");
+    Out += Buf;
+  }
+  for (const auto &[Name, V] : Hists) {
+    std::snprintf(Buf, sizeof(Buf), "  %-42s %12llu %10llu %10llu\n",
+                  Name.c_str(), static_cast<unsigned long long>(V.Count),
+                  static_cast<unsigned long long>(V.quantileUpperBound(0.5)),
+                  static_cast<unsigned long long>(V.quantileUpperBound(0.99)));
     Out += Buf;
   }
   return Out;
@@ -201,6 +266,35 @@ std::string StatsSnapshot::renderJson(const std::string &Indent) const {
     Out += Buf;
     First = false;
   }
+  // Histograms joined after the fact (the serving path); the two-key
+  // schema stays byte-identical for every run that never observes one.
+  if (Hists.empty()) {
+    Out += std::string(First ? "" : "\n" + Indent + "  ") + "}\n";
+    Out += Indent + "}";
+    return Out;
+  }
+  Out += std::string(First ? "" : "\n" + Indent + "  ") + "},\n";
+  Out += Indent + "  \"hists\": {";
+  First = true;
+  for (const auto &[Name, V] : Hists) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\n%s    \"%s\": {\"count\": %llu, \"sum\": %llu, "
+                  "\"buckets\": [",
+                  First ? "" : ",", Indent.c_str(), Name.c_str(),
+                  static_cast<unsigned long long>(V.Count),
+                  static_cast<unsigned long long>(V.Sum));
+    Out += Buf;
+    size_t Last = V.Buckets.size();
+    while (Last > 0 && V.Buckets[Last - 1] == 0)
+      --Last; // trailing zero buckets carry no information
+    for (size_t B = 0; B < Last; ++B) {
+      std::snprintf(Buf, sizeof(Buf), "%s%llu", B ? ", " : "",
+                    static_cast<unsigned long long>(V.Buckets[B]));
+      Out += Buf;
+    }
+    Out += "]}";
+    First = false;
+  }
   Out += std::string(First ? "" : "\n" + Indent + "  ") + "}\n";
   Out += Indent + "}";
   return Out;
@@ -212,5 +306,9 @@ std::string StatsSnapshot::fingerprint() const {
     Out += "counter " + Name + " " + std::to_string(V) + "\n";
   for (const auto &[Name, V] : Timers)
     Out += "timer " + Name + " spans " + std::to_string(V.Spans) + "\n";
+  // Observation counts are workload-determined; sums and bucket shapes are
+  // wall-clock artifacts, so only the count participates.
+  for (const auto &[Name, V] : Hists)
+    Out += "hist " + Name + " count " + std::to_string(V.Count) + "\n";
   return Out;
 }

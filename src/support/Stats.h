@@ -37,10 +37,12 @@
 #ifndef BEYONDIV_SUPPORT_STATS_H
 #define BEYONDIV_SUPPORT_STATS_H
 
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace biv {
 namespace stats {
@@ -49,6 +51,12 @@ namespace stats {
 /// constants when adding whole new counter families.
 inline constexpr unsigned MaxCounters = 192;
 inline constexpr unsigned MaxTimers = 64;
+inline constexpr unsigned MaxHistograms = 16;
+
+/// Power-of-two histogram buckets: bucket 0 holds the value 0, bucket i
+/// holds values in [2^(i-1), 2^i).  32 buckets cover the full useful range
+/// of nanosecond latencies and queue depths.
+inline constexpr unsigned HistBuckets = 32;
 
 /// One timer cell: how many spans closed and their summed duration.
 struct TimerCell {
@@ -56,10 +64,21 @@ struct TimerCell {
   uint64_t Spans = 0;
 };
 
+/// One histogram cell: observation count, value sum, and log2 buckets.
+/// Distribution-valued metrics (request latency, queue depth at admission)
+/// need tails, not just totals; the bucket layout keeps the cell POD and
+/// the observe path a couple of arithmetic ops.
+struct HistCell {
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Buckets[HistBuckets] = {};
+};
+
 /// The calling thread's raw cells.  POD so capture is a struct copy.
 struct Frame {
   uint64_t Counters[MaxCounters] = {};
   TimerCell Timers[MaxTimers] = {};
+  HistCell Hists[MaxHistograms] = {};
 
   /// Element-wise accumulate (associative + commutative, so merge order and
   /// worker count cannot change the result).
@@ -82,6 +101,10 @@ unsigned registerCounter(const char *Name);
 /// Registers (or finds) the timer named \p Name; returns its dense index.
 unsigned registerTimer(const char *Name);
 
+/// Registers (or finds) the histogram named \p Name; returns its dense
+/// index.
+unsigned registerHistogram(const char *Name);
+
 /// Bumps the counter named \p Name (registering it, with an owned copy of
 /// the name, on first touch).  This is the slow path for names that only
 /// exist at run time -- the analysis cache replaying a stored unit's
@@ -94,6 +117,24 @@ class Counter {
 public:
   explicit Counter(const char *Name) : Idx(registerCounter(Name)) {}
   void bump(uint64_t N = 1) const { threadFrame().Counters[Idx] += N; }
+  unsigned index() const { return Idx; }
+
+private:
+  unsigned Idx;
+};
+
+/// A named histogram.  Define one `static const` per site; `observe` files
+/// a value into its log2 bucket on the calling thread's frame.
+class Histogram {
+public:
+  explicit Histogram(const char *Name) : Idx(registerHistogram(Name)) {}
+  void observe(uint64_t V) const {
+    HistCell &C = threadFrame().Hists[Idx];
+    ++C.Count;
+    C.Sum += V;
+    unsigned B = unsigned(std::bit_width(V)); // 0 -> 0, [2^(i-1), 2^i) -> i
+    ++C.Buckets[B < HistBuckets ? B : HistBuckets - 1];
+  }
   unsigned index() const { return Idx; }
 
 private:
@@ -138,12 +179,24 @@ struct TimerValue {
   uint64_t Ns = 0;
 };
 
+/// One histogram's merged value in a snapshot.
+struct HistValue {
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  std::vector<uint64_t> Buckets; ///< HistBuckets entries, log2 layout.
+
+  /// Smallest value v with at least `Q * Count` observations <= v, read off
+  /// the bucket upper bounds (so it is an over-approximation by at most 2x).
+  uint64_t quantileUpperBound(double Q) const;
+};
+
 /// A named, sorted, mergeable view of one or more frames: what the CLI
 /// renders and the JSON schema serializes.  Zero cells are dropped, so the
 /// key set reflects what actually ran.
 struct StatsSnapshot {
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, TimerValue> Timers;
+  std::map<std::string, HistValue> Hists;
 
   /// Accumulates \p O into this snapshot (associative, like Frame::+=).
   void merge(const StatsSnapshot &O);
@@ -153,13 +206,18 @@ struct StatsSnapshot {
 
   /// Schema-v1 JSON: `{"v": 1, "counters": {...}, "timers": {name:
   /// {"spans": N, "ns": M}, ...}}`, keys sorted, no trailing newline
-  /// variance.  \p Indent prefixes every line (so batch mode can embed
-  /// per-unit snapshots).
+  /// variance.  A `"hists"` object (name -> {"count", "sum", "buckets"},
+  /// trailing zero buckets trimmed) is appended only when at least one
+  /// histogram recorded data, so runs without histograms keep the original
+  /// two-key schema byte-for-byte.  \p Indent prefixes every line (so batch
+  /// mode can embed per-unit snapshots).
   std::string renderJson(const std::string &Indent = "") const;
 
-  /// Canonical deterministic rendering: counters plus timer span counts,
-  /// sorted by name, durations excluded.  Two runs of the same workload
-  /// must produce byte-identical fingerprints regardless of thread count.
+  /// Canonical deterministic rendering: counters, timer span counts, and
+  /// histogram observation counts, sorted by name; durations and latency
+  /// buckets excluded (they are the legitimately nondeterministic fields).
+  /// Two runs of the same workload must produce byte-identical fingerprints
+  /// regardless of thread count.
   std::string fingerprint() const;
 };
 

@@ -45,9 +45,15 @@ biv::transform::canInterchange(const analysis::Loop *Outer,
     if (OuterIdx == SIZE_MAX || InnerIdx == SIZE_MAX)
       return InterchangeVerdict::UnknownDependence;
     if (!D.Result.Vectors.empty()) {
-      for (const std::vector<uint8_t> &V : D.Result.Vectors)
+      for (const std::vector<uint8_t> &V : D.Result.Vectors) {
+        // A vector shorter than Directions carries no information for the
+        // missing levels; indexing it would read out of bounds.  Treat it
+        // as an unprovable dependence rather than guessing.
+        if (V.size() <= OuterIdx || V.size() <= InnerIdx)
+          return InterchangeVerdict::UnknownDependence;
         if (V[OuterIdx] == DirLT && V[InnerIdx] == DirGT)
           return InterchangeVerdict::IllegalDirection;
+      }
       continue;
     }
     // Per-loop sets only: conservative cross product.

@@ -80,13 +80,13 @@ bool peelOnce(ir::Function &F, const std::string &LoopName) {
 
 } // namespace
 
-bool biv::transform::peelLoop(ir::Function &F, const std::string &LoopName,
-                              unsigned Times) {
+unsigned biv::transform::peelLoop(ir::Function &F, const std::string &LoopName,
+                                  unsigned Times) {
   static const stats::Counter NumPeeled("transform.iterations_peeled");
   for (unsigned K = 0; K < Times; ++K) {
     if (!peelOnce(F, LoopName))
-      return K > 0;
+      return K;
     NumPeeled.bump();
   }
-  return true;
+  return Times;
 }

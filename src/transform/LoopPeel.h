@@ -30,10 +30,14 @@ namespace transform {
 
 /// Peels \p Times iterations off the loop labeled \p LoopName (as in
 /// `loop L9 { ... }` / `for L9: ...`).  \p F must be pre-SSA (no phis).
-/// Returns false (leaving \p F untouched) when the loop does not exist, has
-/// no unique preheader/latch, or \p F is already in SSA form.
-bool peelLoop(ir::Function &F, const std::string &LoopName,
-              unsigned Times = 1);
+/// Returns the number of iterations actually peeled, which is less than
+/// \p Times when peeling stops early — the loop does not exist, has no
+/// unique preheader/latch, or \p F is already in SSA form.  0 means \p F is
+/// untouched; any shortfall leaves the successfully peeled copies in place,
+/// so callers must compare the result against \p Times rather than testing
+/// truthiness.
+unsigned peelLoop(ir::Function &F, const std::string &LoopName,
+                  unsigned Times = 1);
 
 } // namespace transform
 } // namespace biv

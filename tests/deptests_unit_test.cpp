@@ -169,6 +169,35 @@ TEST_F(DepUnitTest, ConflictingDistancesProveIndependence) {
   EXPECT_EQ(R.O, DependenceResult::Outcome::Independent);
 }
 
+TEST_F(DepUnitTest, IndependentClearsDirectionState) {
+  // An Independent combination used to keep whatever per-loop direction
+  // sets the merge had accumulated; a consumer that read Directions or
+  // Vectors before checking the outcome saw stale "dependence" data.
+  std::vector<LoopBound> Common = {bound(L1, 10)};
+  DependenceResult D1 = testLinearPair(sub(0, 1), sub(1, 1), Common, {});
+  DependenceResult D2 = testLinearPair(sub(0, 1), sub(2, 1), Common, {});
+  ASSERT_NE(D1.dirsFor(L1), DirNone) << "each dimension alone is dependent";
+  DependenceResult R = combineDimensions({D1, D2});
+  ASSERT_EQ(R.O, DependenceResult::Outcome::Independent);
+  for (const LoopDirection &D : R.Directions)
+    EXPECT_EQ(D.Dirs, DirNone)
+        << "Independent must clear per-loop sets, not keep stale ones";
+  EXPECT_TRUE(R.Vectors.empty());
+
+  // And projectVectors applied to an already-Independent result clears the
+  // same state directly.
+  DependenceResult P;
+  P.O = DependenceResult::Outcome::Independent;
+  LoopDirection LD;
+  LD.L = L1;
+  LD.Dirs = DirAll;
+  P.Directions.push_back(LD);
+  P.Vectors.push_back({DirLT});
+  P.projectVectors();
+  EXPECT_EQ(P.dirsFor(L1), DirNone);
+  EXPECT_TRUE(P.Vectors.empty());
+}
+
 TEST_F(DepUnitTest, SymbolicCoefficientFallsBackSafely) {
   // Coefficient n (symbolic): never Independent without proof.
   LinearSubscript Src;

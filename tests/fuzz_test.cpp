@@ -162,6 +162,68 @@ TEST(FuzzMinimizerTest, ShrinksToRelevantLines) {
   EXPECT_GT(R.Probes, 0u);
 }
 
+TEST(FuzzMinimizerTest, ProbesCountRealPredicateRuns) {
+  // Probes must equal the number of times the predicate actually ran:
+  // chunks whose lines were already dropped are skipped without a probe,
+  // and the final re-verification is charged like any other run.
+  const std::string Src = "func f(n) {\n"
+                          " a = 1;\n"
+                          " b = 2;\n"
+                          " s = 0;\n"
+                          " s = s + 7;\n"
+                          " return s;\n"
+                          "}\n";
+  unsigned Calls = 0;
+  StillFailing Pred = [&Calls](const std::string &Candidate) {
+    ++Calls;
+    if (countStatements(Candidate) == 0)
+      return false;
+    return Candidate.find("s = s + 7") != std::string::npos;
+  };
+  ASSERT_TRUE(Pred(Src));
+  Calls = 0;
+  MinimizeResult R = minimizeProgram(Src, Pred);
+  EXPECT_EQ(R.Probes, Calls);
+  EXPECT_TRUE(R.Parses);
+  EXPECT_TRUE(Pred(R.Source));
+}
+
+TEST(FuzzMinimizerTest, UnparseableReproIsDistinguished) {
+  // A failure that lives in the *frontend* minimizes to something that
+  // does not parse; Parses tells that apart from a parseable program that
+  // happens to have zero statements (both report Statements == 0).
+  const std::string Src = "this is not a program\n"
+                          "XYZZY trigger line\n"
+                          "more filler\n";
+  StillFailing Pred = [](const std::string &Candidate) {
+    return Candidate.find("XYZZY") != std::string::npos;
+  };
+  MinimizeResult R = minimizeProgram(Src, Pred);
+  EXPECT_TRUE(Pred(R.Source));
+  EXPECT_FALSE(R.Parses);
+  EXPECT_EQ(R.Statements, 0u);
+}
+
+TEST(FuzzMinimizerTest, ReVerifyFallsBackToOriginal) {
+  // A predicate that goes quiet mid-run (here: accepts exactly one probe)
+  // can trick ddmin's bookkeeping into keeping a candidate that no longer
+  // fails.  The final re-verification must catch that and hand back the
+  // original known repro instead of a non-failing "minimized" one.
+  const std::string Src = "func f(n) {\n"
+                          " a = 1;\n"
+                          " b = 2;\n"
+                          " return a;\n"
+                          "}\n";
+  unsigned Calls = 0;
+  StillFailing Pred = [&Calls](const std::string &) {
+    return Calls++ < 1;
+  };
+  MinimizeResult R = minimizeProgram(Src, Pred);
+  EXPECT_EQ(R.Source, Src) << "re-verify must reject the stale candidate";
+  EXPECT_TRUE(R.Parses);
+  EXPECT_EQ(R.Probes, Calls);
+}
+
 TEST(FuzzMinimizerTest, CountStatements) {
   EXPECT_EQ(countStatements("func f() { return 1; }"), 1u);
   EXPECT_EQ(countStatements("func f(n) {"

@@ -1,0 +1,402 @@
+//===- tests/server_test.cpp - Analysis daemon lifecycle ----------------------===//
+//
+// The `bivc --serve` acceptance surface, in-process against a real unix
+// socket: byte-identical responses, warm shared cache, bounded admission
+// with explicit overload replies, per-request deadlines, crash isolation,
+// and the drain-on-shutdown guarantee that no accepted request is ever
+// silently dropped.  tools/serve_soak.sh repeats the same checks against
+// the installed binary under ThreadSanitizer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ivclass/Pipeline.h"
+#include "ivclass/Report.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <mutex>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace biv;
+using namespace biv::server;
+
+namespace {
+
+// The one-shot CLI's default option bits: RunSCCP | MaterializeExitValues
+// | Classify | the NestedTuples report default.
+constexpr uint64_t DefaultBits = 1 | 2 | 4 | 16;
+
+std::string tempDir() {
+  static int Seq = 0;
+  std::string D = (std::filesystem::temp_directory_path() /
+                   ("biv_server_test_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(Seq++)))
+                      .string();
+  std::filesystem::create_directories(D);
+  return D;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// What the one-shot CLI would print for Source under the default flags
+/// (parse, SSA, SCCP, analysis, classification report).
+std::string oneShotReport(const std::string &Source) {
+  ivclass::PipelineOptions PO;
+  PO.VerifyEach = false;
+  std::vector<std::string> Errors;
+  std::optional<ivclass::AnalyzedProgram> P =
+      ivclass::analyzeSource(Source, Errors, PO);
+  EXPECT_TRUE(P.has_value());
+  if (!P)
+    return std::string();
+  return ivclass::report(*P->IA, &P->Info, ivclass::ReportOptions());
+}
+
+Response callOk(const std::string &Socket, const std::string &Source,
+                uint64_t DeadlineMs = 0) {
+  Request Q;
+  Q.Kind = RequestKind::Analyze;
+  Q.OptsBits = DefaultBits;
+  Q.Source = Source;
+  Q.DeadlineMs = DeadlineMs;
+  Response R;
+  std::string Err;
+  EXPECT_TRUE(call(Socket, Q, R, Err)) << Err;
+  return R;
+}
+
+const char *SimpleSrc = "func f(n) {"
+                        "  s = 0;"
+                        "  for L: i = 1 to n { s = s + i; }"
+                        "  return s;"
+                        "}";
+
+} // namespace
+
+TEST(ServerTest, ByteIdenticalToOneShotForCorpus) {
+  std::string Dir = tempDir();
+  Server S(Dir + "/d.sock", ServerOptions());
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  unsigned Checked = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(
+           BIV_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".biv")
+      continue;
+    std::string Source = readFile(Entry.path().string());
+    Response R = callOk(S.socketPath(), Source);
+    ASSERT_EQ(R.S, Status::Ok) << Entry.path() << ": " << R.Body;
+    EXPECT_EQ(R.Body, oneShotReport(Source)) << Entry.path();
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 5u) << "corpus should hold several programs";
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, WarmCacheServesRepeatsWithoutClassifying) {
+  std::string Dir = tempDir();
+  ServerOptions SO;
+  SO.CachePath = Dir + "/d.cache";
+  Server S(Dir + "/d.sock", SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  Response Cold = callOk(S.socketPath(), SimpleSrc);
+  ASSERT_EQ(Cold.S, Status::Ok) << Cold.Body;
+  stats::StatsSnapshot After1 = S.statsSnapshot();
+
+  Response Warm = callOk(S.socketPath(), SimpleSrc);
+  ASSERT_EQ(Warm.S, Status::Ok) << Warm.Body;
+  EXPECT_EQ(Warm.Body, Cold.Body) << "hit must be byte-identical";
+  stats::StatsSnapshot After2 = S.statsSnapshot();
+
+  EXPECT_EQ(After1.Counters.count("cache.hit"), 0u);
+  EXPECT_EQ(After1.Counters.at("cache.miss"), 1u);
+  EXPECT_EQ(After2.Counters.at("cache.hit"), 1u) << "hit counter must rise";
+  EXPECT_EQ(After2.Counters.at("cache.miss"), 1u);
+  // Classification really was skipped on the hit: the phase timer's span
+  // count did not move between the two requests (hits replay counters but
+  // never timers).
+  EXPECT_EQ(After2.Timers.at("phase.classify").Spans,
+            After1.Timers.at("phase.classify").Spans);
+  // The request latency histogram saw both requests.
+  EXPECT_EQ(After2.Hists.at("serve.latency_ns").Count, 2u);
+
+  ASSERT_TRUE(S.drain(Err)) << Err;
+  // The daemon persisted the shared cache on drain.
+  EXPECT_TRUE(std::filesystem::exists(SO.CachePath));
+}
+
+TEST(ServerTest, OverloadedPastAdmissionBoundWhileEarlierComplete) {
+  std::string Dir = tempDir();
+  std::mutex M;
+  std::condition_variable CV;
+  bool Release = false;
+  unsigned Held = 0;
+
+  ServerOptions SO;
+  SO.Threads = 2;
+  SO.AdmitLimit = 2;
+  SO.TestHookBeforeAnalyze = [&](const Request &) {
+    std::unique_lock<std::mutex> Lock(M);
+    ++Held;
+    CV.notify_all();
+    CV.wait(Lock, [&] { return Release; });
+  };
+  Server S(Dir + "/d.sock", SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  // Fill the admission bound with two requests parked in the test hook.
+  std::vector<std::thread> Clients;
+  std::vector<Response> Rs(2);
+  for (int I = 0; I < 2; ++I)
+    Clients.emplace_back([&, I] { Rs[I] = callOk(S.socketPath(), SimpleSrc); });
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Held == 2; });
+  }
+
+  // The third arrival must get an explicit overloaded reply immediately.
+  Response Over = callOk(S.socketPath(), SimpleSrc);
+  EXPECT_EQ(Over.S, Status::Overloaded);
+  EXPECT_NE(Over.Body.find("admission queue full"), std::string::npos)
+      << Over.Body;
+
+  // Release the held workers; the earlier requests still complete.
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  CV.notify_all();
+  for (std::thread &T : Clients)
+    T.join();
+  for (const Response &R : Rs)
+    EXPECT_EQ(R.S, Status::Ok) << R.Body;
+
+  stats::StatsSnapshot Snap = S.statsSnapshot();
+  EXPECT_EQ(Snap.Counters.at("serve.overloaded"), 1u);
+  EXPECT_EQ(Snap.Counters.at("serve.completed"), 2u);
+  // Queue-depth histogram saw every arrival, including the rejected one.
+  EXPECT_EQ(Snap.Hists.at("serve.queue_depth").Count, 3u);
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, SigtermDrainsEveryAdmittedRequest) {
+  std::string Dir = tempDir();
+  std::mutex M;
+  std::condition_variable CV;
+  bool Release = false;
+  unsigned Held = 0;
+
+  ServerOptions SO;
+  SO.Threads = 4;
+  SO.TestHookBeforeAnalyze = [&](const Request &) {
+    std::unique_lock<std::mutex> Lock(M);
+    ++Held;
+    CV.notify_all();
+    CV.wait(Lock, [&] { return Release; });
+  };
+  Server S(Dir + "/d.sock", SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  S.installSignalHandlers();
+
+  constexpr unsigned N = 4;
+  std::vector<std::thread> Clients;
+  std::vector<Response> Rs(N);
+  for (unsigned I = 0; I < N; ++I)
+    Clients.emplace_back([&, I] { Rs[I] = callOk(S.socketPath(), SimpleSrc); });
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Held == N; });
+  }
+
+  // SIGTERM arrives while all N requests are in flight...
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  CV.notify_all();
+  S.waitForShutdown();
+  ASSERT_TRUE(S.drain(Err)) << Err;
+
+  // ...and every one of them was answered before the daemon exited.
+  for (std::thread &T : Clients)
+    T.join();
+  for (const Response &R : Rs)
+    EXPECT_EQ(R.S, Status::Ok) << R.Body;
+  EXPECT_EQ(S.statsSnapshot().Counters.at("serve.completed"),
+            uint64_t(N));
+  // The socket file is gone: no client can half-connect to a dead daemon.
+  EXPECT_FALSE(std::filesystem::exists(S.socketPath()));
+}
+
+TEST(ServerTest, CrashingRequestFailsAloneDaemonKeepsServing) {
+  std::string Dir = tempDir();
+  ServerOptions SO;
+  SO.TestHookBeforeAnalyze = [](const Request &Q) {
+    if (Q.Source.find("BOOM") != std::string::npos)
+      throw std::runtime_error("injected worker crash");
+  };
+  Server S(Dir + "/d.sock", SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  Response Crash = callOk(S.socketPath(), "// BOOM\nfunc f() { return 1; }");
+  EXPECT_EQ(Crash.S, Status::AnalysisError);
+  EXPECT_NE(Crash.Body.find("injected worker crash"), std::string::npos)
+      << Crash.Body;
+
+  // The daemon and its pool survived: the next request is served normally.
+  Response After = callOk(S.socketPath(), SimpleSrc);
+  EXPECT_EQ(After.S, Status::Ok) << After.Body;
+  EXPECT_EQ(After.Body, oneShotReport(SimpleSrc));
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, ParseDiagnosticsComeBackAsAnalysisError) {
+  std::string Dir = tempDir();
+  Server S(Dir + "/d.sock", ServerOptions());
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  Response R = callOk(S.socketPath(), "func broken( {");
+  EXPECT_EQ(R.S, Status::AnalysisError);
+  EXPECT_FALSE(R.Body.empty());
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, DeadlineExpiredWhileQueuedIsNotAnalyzed) {
+  std::string Dir = tempDir();
+  std::mutex M;
+  std::condition_variable CV;
+  bool Release = false;
+  bool HoldArrived = false;
+
+  ServerOptions SO;
+  SO.Threads = 1; // one worker, so the second request must queue
+  SO.TestHookBeforeAnalyze = [&](const Request &Q) {
+    if (Q.Source.find("HOLD") == std::string::npos)
+      return;
+    std::unique_lock<std::mutex> Lock(M);
+    HoldArrived = true;
+    CV.notify_all();
+    CV.wait(Lock, [&] { return Release; });
+  };
+  Server S(Dir + "/d.sock", SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  std::thread Blocker([&] {
+    callOk(S.socketPath(), std::string("// HOLD\n") + SimpleSrc);
+  });
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return HoldArrived; });
+  }
+
+  // This request's 1ms deadline expires while it waits for the worker.
+  std::thread Expired([&] {
+    Response R = callOk(S.socketPath(), SimpleSrc, /*DeadlineMs=*/1);
+    EXPECT_EQ(R.S, Status::DeadlineExceeded) << R.Body;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  CV.notify_all();
+  Blocker.join();
+  Expired.join();
+
+  stats::StatsSnapshot Snap = S.statsSnapshot();
+  EXPECT_EQ(Snap.Counters.at("serve.deadline_exceeded"), 1u);
+  // The expired request never reached the pipeline: exactly one parse ran.
+  EXPECT_EQ(Snap.Timers.at("phase.parse").Spans, 1u);
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, StatsRequestKindReturnsServerJson) {
+  std::string Dir = tempDir();
+  Server S(Dir + "/d.sock", ServerOptions());
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  Response First = callOk(S.socketPath(), SimpleSrc);
+  ASSERT_EQ(First.S, Status::Ok) << First.Body;
+
+  Request Q;
+  Q.Kind = RequestKind::Stats;
+  Response R;
+  ASSERT_TRUE(call(S.socketPath(), Q, R, Err)) << Err;
+  EXPECT_EQ(R.S, Status::Ok);
+  // A worker folds its delta before replying, so a client that got its
+  // answer is guaranteed to see its own request in a follow-up stats call.
+  EXPECT_NE(R.Body.find("\"serve.completed\": 1"), std::string::npos)
+      << R.Body;
+  EXPECT_NE(R.Body.find("\"serve.latency_ns\""), std::string::npos)
+      << R.Body;
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, MalformedFrameGetsBadRequest) {
+  std::string Dir = tempDir();
+  Server S(Dir + "/d.sock", ServerOptions());
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  // Hand-roll a frame whose payload is garbage (wrong magic).
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::string Path = S.socketPath();
+  ASSERT_LT(Path.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  ASSERT_TRUE(writeFrame(Fd, "garbage payload", Err)) << Err;
+  std::string Payload;
+  ASSERT_TRUE(readFrame(Fd, Payload, Err)) << Err;
+  Response R;
+  ASSERT_TRUE(R.decode(Payload, Err)) << Err;
+  EXPECT_EQ(R.S, Status::BadRequest);
+  ::close(Fd);
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, ConnectionsAfterDrainAreRefusedPolitely) {
+  std::string Dir = tempDir();
+  Server S(Dir + "/d.sock", ServerOptions());
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  Response R = callOk(S.socketPath(), SimpleSrc);
+  ASSERT_EQ(R.S, Status::Ok);
+  ASSERT_TRUE(S.drain(Err)) << Err;
+
+  // The socket is unlinked; a late client gets a connect error rather
+  // than a hang.
+  Request Q;
+  Q.Source = SimpleSrc;
+  Q.OptsBits = DefaultBits;
+  Response Late;
+  EXPECT_FALSE(call(S.socketPath(), Q, Late, Err));
+}

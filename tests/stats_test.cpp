@@ -207,6 +207,97 @@ TEST(StatsTest, FingerprintExcludesDurations) {
 }
 
 //===----------------------------------------------------------------------===//
+// Histograms (the serving path's latency/queue-depth cells)
+//===----------------------------------------------------------------------===//
+
+TEST(StatsTest, HistogramObserveBucketsByLog2) {
+  stats::Histogram H("test.hist.obs");
+  stats::Frame Before = stats::captureFrame();
+  H.observe(0);    // bucket 0: the value 0
+  H.observe(1);    // bucket 1: [1, 1]
+  H.observe(2);    // bucket 2: [2, 3]
+  H.observe(3);    // bucket 2
+  H.observe(1000); // bucket 10: [512, 1023]
+  stats::StatsSnapshot S = stats::snapshotFrame(deltaOf(Before));
+  const stats::HistValue &V = S.Hists.at("test.hist.obs");
+  EXPECT_EQ(V.Count, 5u);
+  EXPECT_EQ(V.Sum, 1006u);
+  EXPECT_EQ(V.Buckets[0], 1u);
+  EXPECT_EQ(V.Buckets[1], 1u);
+  EXPECT_EQ(V.Buckets[2], 2u);
+  EXPECT_EQ(V.Buckets[10], 1u);
+
+  EXPECT_EQ(V.quantileUpperBound(0.5), 1u);
+  EXPECT_EQ(V.quantileUpperBound(0.99), 3u);
+  EXPECT_EQ(V.quantileUpperBound(1.0), 1023u);
+}
+
+TEST(StatsTest, HistogramWithoutObservationsStaysOutOfSnapshot) {
+  stats::Histogram H("test.hist.silent");
+  (void)H;
+  stats::Frame Before = stats::captureFrame();
+  stats::StatsSnapshot S = stats::snapshotFrame(deltaOf(Before));
+  EXPECT_EQ(S.Hists.count("test.hist.silent"), 0u);
+}
+
+TEST(StatsTest, HistogramJsonGoldenAndSchemaPreserved) {
+  // Runs that record histogram data get a third "hists" key with trailing
+  // zero buckets trimmed; runs that never observe one keep the original
+  // two-key schema byte-for-byte (JsonEmptySnapshot covers that side).
+  stats::StatsSnapshot S;
+  S.Counters["c"] = 1;
+  stats::HistValue H;
+  H.Count = 3;
+  H.Sum = 7;
+  H.Buckets = {1, 2, 0, 0};
+  S.Hists["h.lat"] = H;
+  EXPECT_EQ(S.renderJson(),
+            "{\n"
+            "  \"v\": 1,\n"
+            "  \"counters\": {\n"
+            "    \"c\": 1\n"
+            "  },\n"
+            "  \"timers\": {},\n"
+            "  \"hists\": {\n"
+            "    \"h.lat\": {\"count\": 3, \"sum\": 7, \"buckets\": [1, 2]}\n"
+            "  }\n"
+            "}");
+}
+
+TEST(StatsTest, HistogramMergeAndFingerprint) {
+  stats::StatsSnapshot A, B;
+  stats::HistValue H1;
+  H1.Count = 2;
+  H1.Sum = 10;
+  H1.Buckets = {1, 1};
+  stats::HistValue H2;
+  H2.Count = 1;
+  H2.Sum = 100;
+  H2.Buckets = {0, 0, 0, 1};
+  A.Hists["h"] = H1;
+  B.Hists["h"] = H2;
+  A.merge(B);
+  EXPECT_EQ(A.Hists["h"].Count, 3u);
+  EXPECT_EQ(A.Hists["h"].Sum, 110u);
+  ASSERT_GE(A.Hists["h"].Buckets.size(), 4u);
+  EXPECT_EQ(A.Hists["h"].Buckets[0], 1u);
+  EXPECT_EQ(A.Hists["h"].Buckets[3], 1u);
+
+  // Durations and bucket shapes are wall-clock artifacts; only the
+  // observation count participates in the determinism fingerprint.
+  stats::StatsSnapshot X, Y;
+  stats::HistValue HX = H1, HY = H1;
+  HY.Sum = 999;
+  HY.Buckets = {2};
+  X.Hists["h"] = HX;
+  Y.Hists["h"] = HY;
+  EXPECT_EQ(X.fingerprint(), Y.fingerprint());
+  HY.Count = 5;
+  Y.Hists["h"] = HY;
+  EXPECT_NE(X.fingerprint(), Y.fingerprint());
+}
+
+//===----------------------------------------------------------------------===//
 // Pipeline-level: counters agree with the Report
 //===----------------------------------------------------------------------===//
 

@@ -31,7 +31,7 @@ Analyzed analyzePeeled(const std::string &Src, const std::string &Loop,
                        unsigned Times) {
   Analyzed A;
   A.F = frontend::parseAndLowerOrDie(Src);
-  EXPECT_TRUE(transform::peelLoop(*A.F, Loop, Times));
+  EXPECT_EQ(transform::peelLoop(*A.F, Loop, Times), Times);
   A.Info = ssa::buildSSA(*A.F);
   ssa::verifySSAOrDie(*A.F);
   // The paper's [WZ91] step: fold the peeled iteration's arithmetic so the
@@ -140,14 +140,33 @@ TEST(PeelTest, SecondOrderNeedsTwoPeels) {
 
 TEST(PeelTest, UnknownLoopFails) {
   auto F = frontend::parseAndLowerOrDie(WrapSrc);
-  EXPECT_FALSE(transform::peelLoop(*F, "NOPE", 1));
+  EXPECT_EQ(transform::peelLoop(*F, "NOPE", 1), 0u);
 }
 
 TEST(PeelTest, RefusesSSAForm) {
   auto F = frontend::parseAndLowerOrDie(WrapSrc);
   ssa::buildSSA(*F);
-  EXPECT_FALSE(transform::peelLoop(*F, "L9", 1))
+  EXPECT_EQ(transform::peelLoop(*F, "L9", 1), 0u)
       << "peeling runs pre-SSA only";
+}
+
+TEST(PeelTest, ReportsActualCountOnShortfall) {
+  // Requesting more peels than the loop supports must report how many
+  // actually happened -- the old bool return conflated a 0-of-4 outcome
+  // with success whenever any earlier call had mutated the function.
+  // An SSA-form function supports zero peels, so 4 requested -> 0 done.
+  auto F = frontend::parseAndLowerOrDie(WrapSrc);
+  ssa::buildSSA(*F);
+  EXPECT_EQ(transform::peelLoop(*F, "L9", 4), 0u)
+      << "shortfall must surface as the real count, not as success";
+
+  // A peelable loop reports exactly the requested count, and the result
+  // still matches the un-peeled function observably.
+  auto Ref = frontend::parseAndLowerOrDie(WrapSrc);
+  ssa::buildSSA(*Ref);
+  Analyzed Peeled = analyzePeeled(WrapSrc, "L9", 3);
+  for (int64_t N : {0, 2, 7})
+    expectSameBehaviour(*Ref, *Peeled.F, {N});
 }
 
 TEST(PeelTest, PeeledBottomTestLoop) {
@@ -339,6 +358,35 @@ TEST(InterchangeTest, LegalOnAlignedDiagonal) {
                        "  return 0;"
                        "}"),
             transform::InterchangeVerdict::Legal);
+}
+
+TEST(InterchangeTest, ShortVectorIsUnknownNotOutOfBounds) {
+  // A direction vector shorter than the Directions list carries no
+  // information for the missing levels; canInterchange used to index past
+  // its end.  Construct the mismatched shape directly and expect the
+  // conservative verdict instead of undefined behaviour.
+  Analyzed A = analyze("func f(n) {"
+                       "  for LO: i = 2 to 40 {"
+                       "    for LI: j = 1 to 39 {"
+                       "      A[i, j] = A[i - 1, j + 1] + 1;"
+                       "    }"
+                       "  }"
+                       "  return 0;"
+                       "}");
+  dependence::DependenceAnalyzer DA(*A.IA);
+  std::vector<dependence::Dependence> Deps = DA.analyze();
+  ASSERT_EQ(transform::canInterchange(A.loop("LO"), A.loop("LI"), Deps),
+            transform::InterchangeVerdict::IllegalDirection);
+  bool Truncated = false;
+  for (dependence::Dependence &D : Deps)
+    for (std::vector<uint8_t> &V : D.Result.Vectors)
+      if (V.size() > 1) {
+        V.resize(1);
+        Truncated = true;
+      }
+  ASSERT_TRUE(Truncated) << "test needs a two-level vector to truncate";
+  EXPECT_EQ(transform::canInterchange(A.loop("LO"), A.loop("LI"), Deps),
+            transform::InterchangeVerdict::UnknownDependence);
 }
 
 TEST(InterchangeTest, NotNestedRejected) {

@@ -41,6 +41,27 @@
 //                        cache.bytes counters and the phase.cache timer
 //                        surface through --stats / --stats-json.
 //
+//   bivc --serve SOCKET [-jN] [--admit N] [--cache FILE]
+//     Persistent analysis daemon on a unix-domain socket: each connection
+//     carries one length-prefixed request (source text + option bits) and
+//     receives the same report bytes the one-shot CLI would print.  All
+//     requests share one warm analysis cache (--cache) and one worker pool
+//     (-jN, default hardware concurrency).  At most --admit requests
+//     (default 64) are queued-or-running; the next is answered
+//     `overloaded`.  SIGTERM/SIGINT stop accepting, finish every admitted
+//     request, save the cache, and exit.  --stats/--stats-json on the
+//     daemon report server-lifetime counters plus per-request latency and
+//     queue-depth histograms.
+//
+//   bivc --connect SOCKET FILE [--deadline-ms N]
+//   bivc --connect SOCKET --server-stats
+//     Blocking client for the daemon: sends FILE (honouring --all-values,
+//     --no-sccp, --materialize) and prints the server's report, or fetches
+//     the daemon's merged stats snapshot as JSON.  A non-ok status
+//     (overloaded, deadline_exceeded, shutting_down, analysis errors) goes
+//     to stderr with exit status 1.  --deadline-ms bounds how long the
+//     request may sit in the daemon's queue before it is abandoned.
+//
 //   bivc --fuzz N [--seed S] [--minimize] [--cache-oracle]
 //     Differential fuzzing: generate N seeded random programs, check every
 //     classifier claim against the interpreter oracle, diff batch -j1
@@ -62,6 +83,8 @@
 #include "ir/Printer.h"
 #include "ivclass/Pipeline.h"
 #include "ivclass/Report.h"
+#include "server/Client.h"
+#include "server/Server.h"
 #include "ssa/SCCP.h"
 #include "ssa/SSABuilder.h"
 #include "ssa/SSAVerifier.h"
@@ -99,6 +122,15 @@ struct CliOptions {
   std::string CacheFile;
   std::vector<std::string> BatchFiles;
 
+  // Serve / connect modes.
+  std::string ServeSocket;
+  std::string ConnectSocket;
+  size_t AdmitLimit = 64;
+  bool AdmitSet = false;
+  bool JobsSet = false;
+  uint64_t DeadlineMs = 0;
+  bool ServerStats = false;
+
   // Fuzz mode.
   bool Fuzz = false;
   unsigned FuzzCount = 500;
@@ -121,6 +153,10 @@ int usage() {
                "[--no-sccp] [--run] [-- args...]\n"
                "       bivc --batch [-jN] [--summary] [--materialize] "
                "[--cache FILE] FILES...\n"
+               "       bivc --serve SOCKET [-jN] [--admit N] "
+               "[--cache FILE]\n"
+               "       bivc --connect SOCKET FILE [--deadline-ms N] | "
+               "--connect SOCKET --server-stats\n"
                "       bivc --fuzz N [--seed S] [--minimize] "
                "[--cache-oracle]\n"
                "       any mode: [--stats] [--stats-json FILE]\n");
@@ -170,6 +206,45 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         std::fprintf(stderr, "bivc: --cache requires a file name\n");
         return false;
       }
+    } else if (A == "--serve" || A.rfind("--serve=", 0) == 0) {
+      if (A.rfind("--serve=", 0) == 0)
+        O.ServeSocket = A.substr(8);
+      else if (I + 1 < Argc)
+        O.ServeSocket = Argv[++I];
+      if (O.ServeSocket.empty()) {
+        std::fprintf(stderr, "bivc: --serve requires a socket path\n");
+        return false;
+      }
+    } else if (A == "--connect" || A.rfind("--connect=", 0) == 0) {
+      if (A.rfind("--connect=", 0) == 0)
+        O.ConnectSocket = A.substr(10);
+      else if (I + 1 < Argc)
+        O.ConnectSocket = Argv[++I];
+      if (O.ConnectSocket.empty()) {
+        std::fprintf(stderr, "bivc: --connect requires a socket path\n");
+        return false;
+      }
+    } else if (A == "--admit" || A.rfind("--admit=", 0) == 0) {
+      if (A.rfind("--admit=", 0) == 0)
+        O.AdmitLimit = std::strtoul(A.c_str() + 8, nullptr, 10);
+      else if (I + 1 < Argc && numericArg(Argv[I + 1]))
+        O.AdmitLimit = std::strtoul(Argv[++I], nullptr, 10);
+      else
+        return false;
+      O.AdmitSet = true;
+      if (O.AdmitLimit == 0) {
+        std::fprintf(stderr, "bivc: --admit requires a positive bound\n");
+        return false;
+      }
+    } else if (A == "--deadline-ms" || A.rfind("--deadline-ms=", 0) == 0) {
+      if (A.rfind("--deadline-ms=", 0) == 0)
+        O.DeadlineMs = std::strtoull(A.c_str() + 14, nullptr, 10);
+      else if (I + 1 < Argc && numericArg(Argv[I + 1]))
+        O.DeadlineMs = std::strtoull(Argv[++I], nullptr, 10);
+      else
+        return false;
+    } else if (A == "--server-stats") {
+      O.ServerStats = true;
     } else if (A == "--summary") {
       O.SummaryOnly = true;
     } else if (A == "--materialize") {
@@ -177,8 +252,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
     } else if (A.rfind("-j", 0) == 0 && A != "-j" &&
                A.find_first_not_of("0123456789", 2) == std::string::npos) {
       O.Jobs = std::strtoul(A.c_str() + 2, nullptr, 10);
+      O.JobsSet = true;
     } else if (A.rfind("--jobs=", 0) == 0) {
       O.Jobs = std::strtoul(A.c_str() + 7, nullptr, 10);
+      O.JobsSet = true;
     } else if (A == "--ir") {
       O.PrintIR = true;
     } else if (A == "--classify") {
@@ -228,8 +305,46 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       return false;
     }
   }
-  if (!O.CacheFile.empty() && !O.Batch) {
-    std::fprintf(stderr, "bivc: --cache only applies to --batch mode\n");
+  if (!O.CacheFile.empty() && !O.Batch && O.ServeSocket.empty()) {
+    std::fprintf(stderr,
+                 "bivc: --cache only applies to --batch and --serve modes\n");
+    return false;
+  }
+  if (!O.ServeSocket.empty()) {
+    if (O.Batch || O.Fuzz || !O.ConnectSocket.empty() || !O.File.empty()) {
+      std::fprintf(stderr,
+                   "bivc: --serve takes no input files and excludes the "
+                   "other modes\n");
+      return false;
+    }
+    return true;
+  }
+  if (O.AdmitSet) {
+    std::fprintf(stderr, "bivc: --admit only applies to --serve mode\n");
+    return false;
+  }
+  if (!O.ConnectSocket.empty()) {
+    if (O.Batch || O.Fuzz)
+      return false;
+    if (O.PrintIR || O.Deps || O.TripCounts || O.Run || O.StrengthReduce ||
+        !O.PeelLoop.empty()) {
+      std::fprintf(stderr,
+                   "bivc: --connect serves classification reports only\n");
+      return false;
+    }
+    if (O.ServerStats)
+      return O.File.empty();
+    if (O.File.empty()) {
+      std::fprintf(stderr,
+                   "bivc: --connect requires a FILE (or --server-stats)\n");
+      return false;
+    }
+    O.Classify = true;
+    return true;
+  }
+  if (O.DeadlineMs != 0 || O.ServerStats) {
+    std::fprintf(stderr, "bivc: --deadline-ms and --server-stats only "
+                         "apply to --connect mode\n");
     return false;
   }
   if (O.Fuzz)
@@ -376,6 +491,71 @@ int runBatch(const CliOptions &O) {
   return R.Failed == 0 ? 0 : 1;
 }
 
+int runServe(const CliOptions &O) {
+  server::ServerOptions SO;
+  // Unlike batch mode a daemon defaults to the hardware concurrency: the
+  // whole point is amortizing one process over many concurrent clients.
+  SO.Threads = O.JobsSet ? O.Jobs : 0;
+  SO.AdmitLimit = O.AdmitLimit;
+  SO.CachePath = O.CacheFile;
+  server::Server S(O.ServeSocket, SO);
+  std::string Err;
+  if (!S.start(Err)) {
+    std::fprintf(stderr, "bivc: %s\n", Err.c_str());
+    return 1;
+  }
+  S.installSignalHandlers();
+  std::fprintf(stderr,
+               "bivc: serving on %s (admit limit %zu); SIGTERM drains\n",
+               O.ServeSocket.c_str(), SO.AdmitLimit);
+  S.waitForShutdown();
+  int Rc = 0;
+  if (!S.drain(Err)) {
+    std::fprintf(stderr, "bivc: %s\n", Err.c_str());
+    Rc = 1;
+  }
+  if (O.statsRequested() && !writeStatsOutputs(O, S.statsSnapshot()))
+    Rc = 1;
+  return Rc;
+}
+
+int runConnect(const CliOptions &O) {
+  server::Request Q;
+  if (O.ServerStats) {
+    Q.Kind = server::RequestKind::Stats;
+  } else {
+    std::ifstream In(O.File);
+    if (!In) {
+      std::fprintf(stderr, "bivc: cannot open %s\n", O.File.c_str());
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Q.Kind = server::RequestKind::Analyze;
+    Q.Source = Buf.str();
+    // The batch driver's digest bits.  Bit 2 (exit-value materialization)
+    // and bit 16 (nested tuples) are always on: those are the one-shot
+    // pipeline's defaults, and --connect promises byte-identity with it
+    // (--batch defaults materialization off instead).
+    Q.OptsBits = (O.RunSCCP ? 1u : 0u) | 2u | (O.Classify ? 4u : 0u) |
+                 (O.AllValues ? 8u : 0u) | 16u;
+    Q.DeadlineMs = O.DeadlineMs;
+  }
+  server::Response R;
+  std::string Err;
+  if (!server::call(O.ConnectSocket, Q, R, Err)) {
+    std::fprintf(stderr, "bivc: %s\n", Err.c_str());
+    return 1;
+  }
+  if (R.S != server::Status::Ok) {
+    std::fprintf(stderr, "bivc: server: %s%s%s\n", server::statusName(R.S),
+                 R.Body.empty() ? "" : ": ", R.Body.c_str());
+    return 1;
+  }
+  std::fwrite(R.Body.data(), 1, R.Body.size(), stdout);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -383,6 +563,10 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, O))
     return usage();
 
+  if (!O.ServeSocket.empty())
+    return runServe(O);
+  if (!O.ConnectSocket.empty())
+    return runConnect(O);
   if (O.Fuzz)
     return runFuzzMode(O);
   if (O.Batch)
@@ -409,12 +593,18 @@ int main(int Argc, char **Argv) {
   }
 
   if (!O.PeelLoop.empty()) {
-    if (!transform::peelLoop(*F, O.PeelLoop, O.PeelTimes)) {
-      std::fprintf(stderr, "bivc: cannot peel loop '%s'\n",
-                   O.PeelLoop.c_str());
+    unsigned Peeled = transform::peelLoop(*F, O.PeelLoop, O.PeelTimes);
+    if (Peeled < O.PeelTimes) {
+      // Partial success is still a failure of the request, but the IR now
+      // really carries Peeled copies -- say so instead of pretending
+      // nothing happened.
+      std::fprintf(stderr,
+                   "bivc: peeled only %u of %u requested iteration(s) of "
+                   "loop '%s'\n",
+                   Peeled, O.PeelTimes, O.PeelLoop.c_str());
       return 1;
     }
-    std::printf(";; peeled %u iteration(s) of %s\n", O.PeelTimes,
+    std::printf(";; peeled %u iteration(s) of %s\n", Peeled,
                 O.PeelLoop.c_str());
   }
 

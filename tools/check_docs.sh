@@ -77,8 +77,32 @@ elif [ "$CODE_SALT" != "$DOC_SALT" ]; then
   FAIL=1
 fi
 
+# 4. Same contract for the daemon's wire protocol: DESIGN.md section 10
+# states the current ProtocolVersion in bold; a wire-visible change that
+# bumps the constant but not the doc (or vice versa) fails here.
+CODE_PROTO=$(sed -n \
+  's/.*ProtocolVersion = \([0-9][0-9]*\);.*/\1/p' \
+  src/server/Protocol.h)
+DOC_PROTO=$(sed -n \
+  's/.*`ProtocolVersion` (currently \*\*\([0-9][0-9]*\)\*\*.*/\1/p' \
+  DESIGN.md)
+if [ -z "$CODE_PROTO" ]; then
+  echo "docs_check: cannot find ProtocolVersion in" \
+       "src/server/Protocol.h" >&2
+  FAIL=1
+elif [ -z "$DOC_PROTO" ]; then
+  echo "docs_check: DESIGN.md does not document the current" \
+       "ProtocolVersion" >&2
+  FAIL=1
+elif [ "$CODE_PROTO" != "$DOC_PROTO" ]; then
+  echo "docs_check: DESIGN.md documents ProtocolVersion $DOC_PROTO" \
+       "but src/server/Protocol.h says $CODE_PROTO" >&2
+  FAIL=1
+fi
+
 if [ "$FAIL" = 0 ]; then
   echo "docs_check: OK ($(echo "$FLAGS" | wc -w) flags," \
-       "$(echo "$PATHS" | wc -w) paths, cache salt $CODE_SALT verified)"
+       "$(echo "$PATHS" | wc -w) paths, cache salt $CODE_SALT," \
+       "protocol version $CODE_PROTO verified)"
 fi
 exit "$FAIL"
