@@ -24,18 +24,48 @@
 #include "driver/ThreadPool.h"
 #include "frontend/Lowering.h"
 #include "ivclass/InductionAnalysis.h"
+#include "ssa/DeadCode.h"
+#include "ssa/SCCP.h"
 #include "ssa/SSABuilder.h"
 #include "support/Stats.h"
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
 using namespace biv;
 
+// Every general-heap allocation in the process goes through these overrides,
+// so the batch driver's hot path can be audited for mallocs the arena layer
+// was supposed to absorb (DESIGN.md §11).
+static std::atomic<unsigned long long> GHeapAllocs{0};
+
+void *operator new(std::size_t Sz) {
+  GHeapAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Sz ? Sz : 1))
+    return P;
+  throw std::bad_alloc();
+}
+void *operator new[](std::size_t Sz) { return operator new(Sz); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
 namespace {
+
+/// Ceiling on general-heap allocations per unit on the front-half hot path
+/// (parse + lower + SSA + SCCP + DCE).  The seed spent 1781 heap
+/// allocations per corpus unit here; the arena/interner/dense-table rewrite
+/// targets a >=10x reduction, so the ceiling is pinned at a tenth of that.
+/// The same number is documented in DESIGN.md §11 and cross-checked by
+/// tools/check_docs.sh; raise both together, deliberately.
+constexpr unsigned long long MaxHeapAllocsPerUnit = 178;
 
 /// Best-of-\p Reps one-shot classification time for a derived-IV chain of
 /// \p N statements, in nanoseconds per instruction.  This is the serial
@@ -204,6 +234,47 @@ int main(int Argc, char **Argv) {
                 P.StmtsPerSec, P.Speedup);
   }
 
+  // Audit the front-half hot path for heap traffic: run parse + lower +
+  // SSA + SCCP + DCE over the corpus serially, counting every operator-new
+  // call.  Per-unit traffic above the ceiling means the arena/interner/
+  // dense-table path regressed, and the bench fails loudly.
+  double FrontAllocsPerUnit = 0.0;
+  double BatchAllocsPerUnit = 0.0;
+  {
+    unsigned long long Before = GHeapAllocs.load(std::memory_order_relaxed);
+    for (const driver::SourceInput &S : Sources) {
+      std::unique_ptr<ir::Function> F = frontend::parseAndLowerOrDie(S.Text);
+      ssa::buildSSA(*F);
+      ssa::runSCCP(*F, /*SimplifyCFG=*/true);
+      ssa::removeDeadCode(*F);
+    }
+    unsigned long long Delta =
+        GHeapAllocs.load(std::memory_order_relaxed) - Before;
+    FrontAllocsPerUnit =
+        Sources.empty() ? 0.0 : double(Delta) / double(Sources.size());
+
+    driver::BatchOptions BO;
+    BO.Jobs = 1;
+    BO.Classify = false;
+    Before = GHeapAllocs.load(std::memory_order_relaxed);
+    driver::BatchResult R = driver::analyzeBatch(Sources, BO);
+    Delta = GHeapAllocs.load(std::memory_order_relaxed) - Before;
+    BatchAllocsPerUnit =
+        R.Units.empty() ? 0.0 : double(Delta) / double(R.Units.size());
+
+    std::printf("# heap allocations per unit: front-half %.1f (ceiling "
+                "%llu), full batch %.1f\n",
+                FrontAllocsPerUnit, MaxHeapAllocsPerUnit, BatchAllocsPerUnit);
+    if (FrontAllocsPerUnit > double(MaxHeapAllocsPerUnit)) {
+      std::fprintf(stderr,
+                   "bench_batch: FAIL: %.1f front-half heap allocations per "
+                   "unit exceeds the documented ceiling of %llu "
+                   "(DESIGN.md \u00a711)\n",
+                   FrontAllocsPerUnit, MaxHeapAllocsPerUnit);
+      return 1;
+    }
+  }
+
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
     if (!Out) {
@@ -213,8 +284,12 @@ int main(int Argc, char **Argv) {
     char Buf[256];
     Out << "{\n";
     std::snprintf(Buf, sizeof(Buf),
-                  "  \"hardware_concurrency\": %u,\n  \"functions\": %u,\n",
-                  Hw, Functions);
+                  "  \"hardware_concurrency\": %u,\n  \"functions\": %u,\n"
+                  "  \"front_half_allocs_per_unit\": %.1f,\n"
+                  "  \"front_half_allocs_ceiling\": %llu,\n"
+                  "  \"batch_allocs_per_unit\": %.1f,\n",
+                  Hw, Functions, FrontAllocsPerUnit, MaxHeapAllocsPerUnit,
+                  BatchAllocsPerUnit);
     Out << Buf;
     Out << "  \"classify_chain_serial\": [\n";
     for (size_t I = 0; I < Chain.size(); ++I) {

@@ -1,0 +1,133 @@
+//===- bench/bench_frontend.cpp - B7: front-half cost per instruction ---------===//
+//
+// Measures the allocation-lean front half in isolation: parse+lower only,
+// parse+SSA, and parse+SSA+SCCP, each as best-of-reps nanoseconds per IR
+// instruction at three chain sizes.  This is the stage DESIGN.md §11 moves
+// onto arenas and interned symbols, so the record tracks exactly the costs
+// that rewrite targets -- no induction analysis, no reporting.
+//
+//   bench_frontend [--quick] [--json=PATH]
+//
+// Plain binary (no google-benchmark) like bench_batch: the numbers land in
+// BENCH_SCALING.json under the "frontend" key via run_benchmarks.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadGen.h"
+#include "frontend/Lowering.h"
+#include "ssa/SCCP.h"
+#include "ssa/SSABuilder.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace biv;
+
+namespace {
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct StagePoint {
+  unsigned Stmts;
+  size_t Instrs;       // after parse+lower (pre-SSA), the stable size metric
+  double ParseUs;      // parse + lower
+  double SSAUs;        // parse + lower + SSA
+  double SCCPUs;       // parse + lower + SSA + SCCP (fold-only)
+};
+
+StagePoint measure(unsigned N, int Reps) {
+  const std::string Src = bench::genLinearChain(N);
+  StagePoint P{N, 0, 1e30, 1e30, 1e30};
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    {
+      double T0 = nowUs();
+      std::unique_ptr<ir::Function> F = frontend::parseAndLowerOrDie(Src);
+      double T1 = nowUs();
+      P.ParseUs = std::min(P.ParseUs, T1 - T0);
+      P.Instrs = F->instructionCount();
+    }
+    {
+      double T0 = nowUs();
+      std::unique_ptr<ir::Function> F = frontend::parseAndLowerOrDie(Src);
+      ssa::buildSSA(*F);
+      double T1 = nowUs();
+      P.SSAUs = std::min(P.SSAUs, T1 - T0);
+    }
+    {
+      double T0 = nowUs();
+      std::unique_ptr<ir::Function> F = frontend::parseAndLowerOrDie(Src);
+      ssa::buildSSA(*F);
+      ssa::runSCCP(*F, /*SimplifyCFG=*/false);
+      double T1 = nowUs();
+      P.SCCPUs = std::min(P.SCCPUs, T1 - T0);
+    }
+  }
+  return P;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Reps = 5;
+  std::string JsonPath;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--quick") == 0)
+      Reps = 2;
+    else if (std::strncmp(A, "--json=", 7) == 0)
+      JsonPath = A + 7;
+    else {
+      std::fprintf(stderr, "usage: bench_frontend [--quick] [--json=PATH]\n");
+      return 2;
+    }
+  }
+
+  std::printf("# B7: front-half cost (parse / +ssa / +sccp), ns per "
+              "instruction\n");
+  std::printf("%10s %10s %12s %12s %12s\n", "stmts", "instrs", "parse",
+              "parse+ssa", "+sccp");
+  std::vector<StagePoint> Points;
+  for (unsigned N : {64u, 512u, 4096u}) {
+    StagePoint P = measure(N, Reps);
+    Points.push_back(P);
+    std::printf("%10u %10zu %12.1f %12.1f %12.1f\n", P.Stmts, P.Instrs,
+                P.ParseUs * 1000.0 / double(P.Instrs),
+                P.SSAUs * 1000.0 / double(P.Instrs),
+                P.SCCPUs * 1000.0 / double(P.Instrs));
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "bench_frontend: cannot write %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    char Buf[256];
+    Out << "[\n";
+    for (size_t I = 0; I < Points.size(); ++I) {
+      const StagePoint &P = Points[I];
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "  {\"stmts\": %u, \"instrs\": %zu, \"parse_ns_per_instr\": %.1f, "
+          "\"ssa_ns_per_instr\": %.1f, \"sccp_ns_per_instr\": %.1f}%s\n",
+          P.Stmts, P.Instrs, P.ParseUs * 1000.0 / double(P.Instrs),
+          P.SSAUs * 1000.0 / double(P.Instrs),
+          P.SCCPUs * 1000.0 / double(P.Instrs),
+          I + 1 < Points.size() ? "," : "");
+      Out << Buf;
+    }
+    Out << "]\n";
+    std::printf("# wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -110,7 +110,7 @@ void printTable() {
       for (const auto &BB : F.blocks())
         for (const auto &I : *BB)
           if (I->opcode() == ir::Opcode::Mul)
-            M += T.sequenceOf(I.get()).size();
+            M += T.sequenceOf(I).size();
       return M;
     };
     ivclass::AnalyzedProgram P = ivclass::analyzeSourceOrDie(Src);

@@ -42,16 +42,19 @@ fi
 
 BENCH_CACHE="$BUILD_DIR/bench/bench_cache"
 BENCH_SERVE="$BUILD_DIR/bench/bench_serve"
+BENCH_FRONTEND="$BUILD_DIR/bench/bench_frontend"
 if [ "$QUICK" = 1 ]; then
   # Smoke mode: tiny corpus, throwaway JSON -- proves the harness end to end
   # without perturbing the committed record.
   OUT="${OUT:-$BUILD_DIR/BENCH_SCALING.quick.json}"
   "$BENCH" --quick --jobs=1,2 --json="$OUT"
+  [ -x "$BENCH_FRONTEND" ] && "$BENCH_FRONTEND" --quick --json="$OUT.frontend"
   [ -x "$BENCH_CACHE" ] && "$BENCH_CACHE" --quick --json="$OUT.cache"
   [ -x "$BENCH_SERVE" ] && "$BENCH_SERVE" --quick --json="$OUT.serve"
 else
   OUT="${OUT:-$REPO_ROOT/BENCH_SCALING.json}"
   "$BENCH" --functions=1000 --jobs=1,2,4,8 --json="$OUT"
+  [ -x "$BENCH_FRONTEND" ] && "$BENCH_FRONTEND" --json="$OUT.frontend"
   [ -x "$BENCH_CACHE" ] && "$BENCH_CACHE" --functions=1000 --json="$OUT.cache"
   [ -x "$BENCH_SERVE" ] && "$BENCH_SERVE" --functions=1000 --json="$OUT.serve"
 fi
@@ -59,7 +62,7 @@ fi
 # Fold the cache and serve records into the main JSON (one committed file,
 # one schema).
 if command -v python3 >/dev/null 2>&1; then
-  for KEY in cache serve; do
+  for KEY in frontend cache serve; do
     [ -f "$OUT.$KEY" ] || continue
     python3 - "$OUT" "$OUT.$KEY" "$KEY" <<'EOF'
 import json, sys

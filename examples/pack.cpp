@@ -41,11 +41,11 @@ int main() {
   // The subscript actually used by the store is k+1 inside the guard --
   // strictly monotonic per the paper's Figure 10 argument.
   const ir::Instruction *Store = nullptr;
-  for (const auto &BB : P.F->blocks())
-    for (const auto &I : *BB)
+  for (const ir::BasicBlock *BB : P.F->blocks())
+    for (const ir::Instruction *I : *BB)
       if (I->opcode() == ir::Opcode::ArrayStore &&
           I->array()->name() == "B")
-        Store = I.get();
+        Store = I;
   const auto *Sub = ir::cast<ir::Instruction>(Store->operand(1));
   const ivclass::Classification &CS = P.IA->classify(Sub, L);
   std::printf("store subscript k+1:  %s\n", CS.str(P.IA->namer()).c_str());

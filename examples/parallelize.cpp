@@ -54,7 +54,7 @@ void advise(const char *Name, const char *Source) {
     if (!Parallel && Blocker) {
       std::printf("  (carried %s dep on %s, %s)",
                   depKindName(Blocker->Kind),
-                  Blocker->Src->array()->name().c_str(),
+                  std::string(Blocker->Src->array()->name()).c_str(),
                   Blocker->Result.Note.c_str());
       if (Blocker->Result.ValidAfterIterations)
         std::printf(" [peel %u iteration(s) first]",

@@ -86,7 +86,7 @@ DominatorTree::DominatorTree(const ir::Function &F) : F(F) {
 
 ir::BasicBlock *DominatorTree::idom(const ir::BasicBlock *BB) const {
   int Id = IDom[BB->id()];
-  return Id < 0 ? nullptr : F.blocks()[Id].get();
+  return Id < 0 ? nullptr : F.blocks()[Id];
 }
 
 bool DominatorTree::dominates(const ir::BasicBlock *A,
@@ -101,7 +101,7 @@ bool DominatorTree::dominates(const ir::BasicBlock *A,
     if (RPONumber[Cur->id()] < RPONumber[A->id()])
       return false;
     int Id = IDom[Cur->id()];
-    Cur = Id < 0 ? nullptr : F.blocks()[Id].get();
+    Cur = Id < 0 ? nullptr : F.blocks()[Id];
   }
   return false;
 }
@@ -125,10 +125,10 @@ bool DominatorTree::dominates(const ir::Instruction *Def,
     return true;
   if (!Def->isPhi() && I->isPhi())
     return false;
-  for (const auto &Inst : *DefBB) {
-    if (Inst.get() == Def)
+  for (const ir::Instruction *Inst : *DefBB) {
+    if (Inst == Def)
       return true;
-    if (Inst.get() == I)
+    if (Inst == I)
       return false;
   }
   assert(false && "instructions not found in their parent block");
@@ -142,20 +142,41 @@ DominatorTree::children(const ir::BasicBlock *BB) const {
 
 DominanceFrontier::DominanceFrontier(const DominatorTree &DT) {
   const ir::Function &F = DT.function();
-  Frontiers.assign(F.numBlocks(), {});
+  const size_t N = F.numBlocks();
+  // Accumulate per-block frontiers as head-linked chains in one pool, then
+  // flatten to CSR: a handful of allocations total instead of one vector
+  // per block (this sits on the per-unit SSA hot path).
+  constexpr uint32_t NoEntry = ~uint32_t(0);
+  std::vector<uint32_t> Head(N, NoEntry);
+  std::vector<std::pair<ir::BasicBlock *, uint32_t>> Pool; // (member, prev)
   for (ir::BasicBlock *BB : DT.rpo()) {
     if (BB->predecessors().size() < 2)
       continue;
     ir::BasicBlock *IDom = DT.idom(BB);
-    for (ir::BasicBlock *P : BB->predecessors()) {
-      ir::BasicBlock *Runner = P;
-      while (Runner && Runner != IDom) {
-        auto &DF = Frontiers[Runner->id()];
-        if (std::find(DF.begin(), DF.end(), BB) == DF.end())
-          DF.push_back(BB);
-        Runner = DT.idom(Runner);
+    for (ir::BasicBlock *P : BB->predecessors())
+      for (ir::BasicBlock *Runner = P; Runner && Runner != IDom;
+           Runner = DT.idom(Runner)) {
+        uint32_t &H = Head[Runner->id()];
+        // All entries for one BB are appended consecutively, so a duplicate
+        // can only be the chain head.
+        if (H != NoEntry && Pool[H].first == BB)
+          continue;
+        Pool.push_back({BB, H});
+        H = uint32_t(Pool.size() - 1);
       }
-    }
+  }
+  Start.assign(N + 1, 0);
+  for (size_t B = 0; B < N; ++B)
+    for (uint32_t E = Head[B]; E != NoEntry; E = Pool[E].second)
+      ++Start[B + 1];
+  for (size_t B = 0; B < N; ++B)
+    Start[B + 1] += Start[B];
+  Flat.resize(Pool.size());
+  // Chains are LIFO; fill each segment backwards to restore append order.
+  for (size_t B = 0; B < N; ++B) {
+    uint32_t At = Start[B + 1];
+    for (uint32_t E = Head[B]; E != NoEntry; E = Pool[E].second)
+      Flat[--At] = Pool[E].first;
   }
 }
 
@@ -176,13 +197,12 @@ PostDominatorTree::PostDominatorTree(const ir::Function &F) : F(F) {
     // Iterative DFS over reverse edges, rooted at every exit block.
     struct Frame {
       ir::BasicBlock *BB;
-      std::vector<ir::BasicBlock *> Preds;
+      std::span<ir::BasicBlock *const> Preds;
       size_t Next = 0;
     };
     std::vector<Frame> Stack;
     // Blocks ending in Ret (no successors) are the exits.
-    for (const auto &BBPtr : F.blocks()) {
-      ir::BasicBlock *BB = BBPtr.get();
+    for (ir::BasicBlock *BB : F.blocks()) {
       if (!BB->successors().empty())
         continue;
       if (Visited[BB->id()])
@@ -232,7 +252,7 @@ PostDominatorTree::PostDominatorTree(const ir::Function &F) : F(F) {
       int NewIdom = -1;
       // Reverse-graph predecessors are CFG successors; exits also have the
       // virtual node as a predecessor.
-      std::vector<ir::BasicBlock *> Succs = BB->successors();
+      std::span<ir::BasicBlock *const> Succs = BB->successors();
       if (Succs.empty())
         NewIdom = 0;
       for (ir::BasicBlock *S : Succs) {

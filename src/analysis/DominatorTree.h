@@ -20,6 +20,7 @@
 #define BEYONDIV_ANALYSIS_DOMINATORTREE_H
 
 #include "ir/Function.h"
+#include <span>
 #include <vector>
 
 namespace biv {
@@ -66,13 +67,15 @@ class DominanceFrontier {
 public:
   explicit DominanceFrontier(const DominatorTree &DT);
 
-  const std::vector<ir::BasicBlock *> &
-  frontier(const ir::BasicBlock *BB) const {
-    return Frontiers[BB->id()];
+  std::span<ir::BasicBlock *const> frontier(const ir::BasicBlock *BB) const {
+    return {Flat.data() + Start[BB->id()],
+            Start[BB->id() + 1] - Start[BB->id()]};
   }
 
 private:
-  std::vector<std::vector<ir::BasicBlock *>> Frontiers;
+  /// CSR layout: Flat[Start[id] .. Start[id+1]) is block id's frontier.
+  std::vector<uint32_t> Start;
+  std::vector<ir::BasicBlock *> Flat;
 };
 
 /// Post-dominator tree computed on the reverse CFG with a virtual exit that

@@ -18,11 +18,11 @@ bool Loop::encloses(const Loop *Other) const {
 /// Derives the printable loop name from its header block name: "L18.header"
 /// becomes "L18"; anything else is used as is.
 static std::string loopNameFromHeader(const ir::BasicBlock *Header) {
-  const std::string &N = Header->name();
+  std::string_view N = Header->name();
   size_t Dot = N.rfind(".header");
-  if (Dot != std::string::npos)
-    return N.substr(0, Dot);
-  return N;
+  if (Dot != std::string_view::npos)
+    return std::string(N.substr(0, Dot));
+  return std::string(N);
 }
 
 LoopInfo::LoopInfo(const ir::Function &F, const DominatorTree &DT) : F(F) {
@@ -71,9 +71,9 @@ LoopInfo::LoopInfo(const ir::Function &F, const DominatorTree &DT) : F(F) {
           Work.push_back(P);
     }
     // Materialize the block list in function order for determinism.
-    for (const auto &BB : F.blocks())
+    for (ir::BasicBlock *BB : F.blocks())
       if (L->BlockSet.count(BB->id()))
-        L->Blocks.push_back(BB.get());
+        L->Blocks.push_back(BB);
     // Preheader: unique outside predecessor of the header.
     ir::BasicBlock *Pre = nullptr;
     bool Multiple = false;

@@ -114,8 +114,7 @@ ClassicalResult biv::baseline::runClassicalIV(const analysis::Loop &L) {
     Changed = false;
     ++R.Passes;
     for (ir::BasicBlock *BB : L.blocks())
-      for (const auto &Inst : *BB) {
-        const ir::Instruction *I = Inst.get();
+      for (const ir::Instruction *I : *BB) {
         if (R.IVs.count(I))
           continue;
         auto derive = [&](const ir::Value *IVOp, const ir::Value *InvOp,

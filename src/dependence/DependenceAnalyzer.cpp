@@ -152,13 +152,13 @@ std::vector<Dependence> DependenceAnalyzer::analyze() {
   };
   std::map<const ir::Array *, ArrayRefs> ByArray;
   const analysis::LoopInfo &LI = IA.loopInfo();
-  for (const auto &BB : IA.function().blocks())
-    for (const auto &I : *BB) {
+  for (const ir::BasicBlock *BB : IA.function().blocks())
+    for (ir::Instruction *I : *BB) {
       bool IsWrite = I->opcode() == ir::Opcode::ArrayStore;
       if (!IsWrite && I->opcode() != ir::Opcode::ArrayLoad)
         continue;
       ArrayRefs &AR = ByArray[I->array()];
-      AR.Refs.push_back({I.get(), IsWrite, LI.loopFor(BB.get())});
+      AR.Refs.push_back({I, IsWrite, LI.loopFor(BB)});
       AR.AnyWrite |= IsWrite;
     }
 

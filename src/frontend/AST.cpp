@@ -5,10 +5,6 @@
 
 using namespace biv::frontend;
 
-// Out-of-line anchors.
-Expr::~Expr() = default;
-Stmt::~Stmt() = default;
-
 const char *biv::frontend::binOpSpelling(BinOp Op) {
   switch (Op) {
   case BinOp::Add:
@@ -43,14 +39,14 @@ std::string biv::frontend::toString(const Expr *E) {
   case ExprKind::IntLit:
     return std::to_string(ast_cast<IntLitExpr>(E)->value());
   case ExprKind::VarRef:
-    return ast_cast<VarRefExpr>(E)->name();
+    return std::string(ast_cast<VarRefExpr>(E)->name());
   case ExprKind::ArrayRef: {
     const auto *A = ast_cast<ArrayRefExpr>(E);
-    std::string Out = A->name() + "[";
+    std::string Out = std::string(A->name()) + "[";
     for (size_t I = 0; I < A->indices().size(); ++I) {
       if (I)
         Out += ", ";
-      Out += toString(A->indices()[I].get());
+      Out += toString(A->indices()[I]);
     }
     return Out + "]";
   }
@@ -73,15 +69,16 @@ static std::string stmtToString(const Stmt *S, unsigned Indent) {
   switch (S->kind()) {
   case StmtKind::Assign: {
     const auto *A = ast_cast<AssignStmt>(S);
-    return Pad + A->name() + " = " + toString(A->value()) + ";\n";
+    return Pad + std::string(A->name()) + " = " + toString(A->value()) +
+           ";\n";
   }
   case StmtKind::ArrayAssign: {
     const auto *A = ast_cast<ArrayAssignStmt>(S);
-    std::string Out = Pad + A->name() + "[";
+    std::string Out = Pad + std::string(A->name()) + "[";
     for (size_t I = 0; I < A->indices().size(); ++I) {
       if (I)
         Out += ", ";
-      Out += toString(A->indices()[I].get());
+      Out += toString(A->indices()[I]);
     }
     return Out + "] = " + toString(A->value()) + ";\n";
   }
@@ -97,13 +94,13 @@ static std::string stmtToString(const Stmt *S, unsigned Indent) {
   }
   case StmtKind::Loop: {
     const auto *L = ast_cast<LoopStmt>(S);
-    return Pad + "loop " + L->label() + " {\n" +
+    return Pad + "loop " + std::string(L->label()) + " {\n" +
            biv::frontend::toString(L->body(), Indent + 1) + Pad + "}\n";
   }
   case StmtKind::For: {
     const auto *F = ast_cast<ForStmt>(S);
-    std::string Out = Pad + "for " + F->label() + ": " + F->var() + " = " +
-                      toString(F->lo()) +
+    std::string Out = Pad + "for " + std::string(F->label()) + ": " +
+                      std::string(F->var()) + " = " + toString(F->lo()) +
                       (F->isDown() ? " downto " : " to ") + toString(F->hi());
     if (F->step())
       Out += " by " + toString(F->step());
@@ -112,9 +109,9 @@ static std::string stmtToString(const Stmt *S, unsigned Indent) {
   }
   case StmtKind::While: {
     const auto *W = ast_cast<WhileStmt>(S);
-    return Pad + "while " + W->label() + " (" + toString(W->cond()) +
-           ") {\n" + biv::frontend::toString(W->body(), Indent + 1) + Pad +
-           "}\n";
+    return Pad + "while " + std::string(W->label()) + " (" +
+           toString(W->cond()) + ") {\n" +
+           biv::frontend::toString(W->body(), Indent + 1) + Pad + "}\n";
   }
   case StmtKind::Break:
     return Pad + "break;\n";
@@ -131,17 +128,17 @@ static std::string stmtToString(const Stmt *S, unsigned Indent) {
 
 std::string biv::frontend::toString(const StmtList &Body, unsigned Indent) {
   std::string Out;
-  for (const StmtPtr &S : Body)
-    Out += stmtToString(S.get(), Indent);
+  for (const Stmt *S : Body)
+    Out += stmtToString(S, Indent);
   return Out;
 }
 
 std::string biv::frontend::toString(const FuncDecl &F) {
-  std::string Out = "func " + F.Name + "(";
+  std::string Out = "func " + std::string(F.Name) + "(";
   for (size_t I = 0; I < F.Params.size(); ++I) {
     if (I)
       Out += ", ";
-    Out += F.Params[I];
+    Out += F.Params[I].Name;
   }
   Out += ") {\n" + toString(F.Body, 1) + "}\n";
   return Out;

@@ -22,20 +22,35 @@
 ///   expr   ::= comparison over +,-,*,/,^ with unary minus
 /// \endcode
 ///
+/// Memory architecture (DESIGN.md §11): nodes are allocated from the owning
+/// Parser's arena and never individually freed -- they are trivially
+/// destructible (no vtables, no owning containers) and the whole tree goes
+/// away when the parser does.  Names are interned: each node carries the
+/// dense per-unit Symbol plus a string_view of the arena-backed spelling, so
+/// lowering works on u32s while diagnostics and pretty-printing keep the
+/// text at hand.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BEYONDIV_FRONTEND_AST_H
 #define BEYONDIV_FRONTEND_AST_H
 
 #include "frontend/Token.h"
+#include "support/Arena.h"
+#include "support/StringInterner.h"
 #include <cassert>
-#include <memory>
-#include <optional>
 #include <string>
-#include <vector>
+#include <string_view>
 
 namespace biv {
 namespace frontend {
+
+class Expr;
+class Stmt;
+
+/// Child lists live in the parser's arena alongside the nodes.
+using ExprList = support::ArenaVector<Expr *>;
+using StmtList = support::ArenaVector<Stmt *>;
 
 //===----------------------------------------------------------------------===//
 // Expressions
@@ -54,20 +69,18 @@ class Expr {
 public:
   Expr(const Expr &) = delete;
   Expr &operator=(const Expr &) = delete;
-  virtual ~Expr();
 
   ExprKind kind() const { return Kind; }
   SourceLoc loc() const { return Loc; }
 
 protected:
   Expr(ExprKind K, SourceLoc L) : Kind(K), Loc(L) {}
+  ~Expr() = default;
 
 private:
   ExprKind Kind;
   SourceLoc Loc;
 };
-
-using ExprPtr = std::unique_ptr<Expr>;
 
 class IntLitExpr : public Expr {
 public:
@@ -81,56 +94,58 @@ private:
 
 class VarRefExpr : public Expr {
 public:
-  VarRefExpr(std::string N, SourceLoc L)
-      : Expr(ExprKind::VarRef, L), Name(std::move(N)) {}
-  const std::string &name() const { return Name; }
+  VarRefExpr(std::string_view N, support::Symbol S, SourceLoc L)
+      : Expr(ExprKind::VarRef, L), Name(N), Sym(S) {}
+  std::string_view name() const { return Name; }
+  support::Symbol sym() const { return Sym; }
   static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
 
 private:
-  std::string Name;
+  std::string_view Name;
+  support::Symbol Sym;
 };
 
 class ArrayRefExpr : public Expr {
 public:
-  ArrayRefExpr(std::string N, std::vector<ExprPtr> Idx, SourceLoc L)
-      : Expr(ExprKind::ArrayRef, L), Name(std::move(N)),
-        Indices(std::move(Idx)) {}
-  const std::string &name() const { return Name; }
-  const std::vector<ExprPtr> &indices() const { return Indices; }
+  ArrayRefExpr(std::string_view N, support::Symbol S, ExprList Idx,
+               SourceLoc L)
+      : Expr(ExprKind::ArrayRef, L), Name(N), Sym(S), Indices(Idx) {}
+  std::string_view name() const { return Name; }
+  support::Symbol sym() const { return Sym; }
+  const ExprList &indices() const { return Indices; }
   static bool classof(const Expr *E) {
     return E->kind() == ExprKind::ArrayRef;
   }
 
 private:
-  std::string Name;
-  std::vector<ExprPtr> Indices;
+  std::string_view Name;
+  support::Symbol Sym;
+  ExprList Indices;
 };
 
 class BinaryExpr : public Expr {
 public:
-  BinaryExpr(BinOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc)
-      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(std::move(L)),
-        RHS(std::move(R)) {}
+  BinaryExpr(BinOp Op, Expr *L, Expr *R, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(L), RHS(R) {}
   BinOp op() const { return Op; }
-  const Expr *lhs() const { return LHS.get(); }
-  const Expr *rhs() const { return RHS.get(); }
+  const Expr *lhs() const { return LHS; }
+  const Expr *rhs() const { return RHS; }
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
 
 private:
   BinOp Op;
-  ExprPtr LHS, RHS;
+  Expr *LHS, *RHS;
 };
 
 /// Unary minus.
 class UnaryExpr : public Expr {
 public:
-  UnaryExpr(ExprPtr S, SourceLoc L)
-      : Expr(ExprKind::Unary, L), Sub(std::move(S)) {}
-  const Expr *sub() const { return Sub.get(); }
+  UnaryExpr(Expr *S, SourceLoc L) : Expr(ExprKind::Unary, L), Sub(S) {}
+  const Expr *sub() const { return Sub; }
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
 
 private:
-  ExprPtr Sub;
+  Expr *Sub;
 };
 
 //===----------------------------------------------------------------------===//
@@ -144,121 +159,130 @@ class Stmt {
 public:
   Stmt(const Stmt &) = delete;
   Stmt &operator=(const Stmt &) = delete;
-  virtual ~Stmt();
 
   StmtKind kind() const { return Kind; }
   SourceLoc loc() const { return Loc; }
 
 protected:
   Stmt(StmtKind K, SourceLoc L) : Kind(K), Loc(L) {}
+  ~Stmt() = default;
 
 private:
   StmtKind Kind;
   SourceLoc Loc;
 };
 
-using StmtPtr = std::unique_ptr<Stmt>;
-using StmtList = std::vector<StmtPtr>;
-
 class AssignStmt : public Stmt {
 public:
-  AssignStmt(std::string N, ExprPtr V, SourceLoc L)
-      : Stmt(StmtKind::Assign, L), Name(std::move(N)), Val(std::move(V)) {}
-  const std::string &name() const { return Name; }
-  const Expr *value() const { return Val.get(); }
+  AssignStmt(std::string_view N, support::Symbol S, Expr *V, SourceLoc L)
+      : Stmt(StmtKind::Assign, L), Name(N), Sym(S), Val(V) {}
+  std::string_view name() const { return Name; }
+  support::Symbol sym() const { return Sym; }
+  const Expr *value() const { return Val; }
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
 
 private:
-  std::string Name;
-  ExprPtr Val;
+  std::string_view Name;
+  support::Symbol Sym;
+  Expr *Val;
 };
 
 class ArrayAssignStmt : public Stmt {
 public:
-  ArrayAssignStmt(std::string N, std::vector<ExprPtr> Idx, ExprPtr V,
-                  SourceLoc L)
-      : Stmt(StmtKind::ArrayAssign, L), Name(std::move(N)),
-        Indices(std::move(Idx)), Val(std::move(V)) {}
-  const std::string &name() const { return Name; }
-  const std::vector<ExprPtr> &indices() const { return Indices; }
-  const Expr *value() const { return Val.get(); }
+  ArrayAssignStmt(std::string_view N, support::Symbol S, ExprList Idx,
+                  Expr *V, SourceLoc L)
+      : Stmt(StmtKind::ArrayAssign, L), Name(N), Sym(S), Indices(Idx),
+        Val(V) {}
+  std::string_view name() const { return Name; }
+  support::Symbol sym() const { return Sym; }
+  const ExprList &indices() const { return Indices; }
+  const Expr *value() const { return Val; }
   static bool classof(const Stmt *S) {
     return S->kind() == StmtKind::ArrayAssign;
   }
 
 private:
-  std::string Name;
-  std::vector<ExprPtr> Indices;
-  ExprPtr Val;
+  std::string_view Name;
+  support::Symbol Sym;
+  ExprList Indices;
+  Expr *Val;
 };
 
 class IfStmt : public Stmt {
 public:
-  IfStmt(ExprPtr C, StmtList T, StmtList E, SourceLoc L)
-      : Stmt(StmtKind::If, L), Cond(std::move(C)), Then(std::move(T)),
-        Else(std::move(E)) {}
-  const Expr *cond() const { return Cond.get(); }
+  IfStmt(Expr *C, StmtList T, StmtList E, SourceLoc L)
+      : Stmt(StmtKind::If, L), Cond(C), Then(T), Else(E) {}
+  const Expr *cond() const { return Cond; }
   const StmtList &thenBody() const { return Then; }
   const StmtList &elseBody() const { return Else; }
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
 
 private:
-  ExprPtr Cond;
+  Expr *Cond;
   StmtList Then, Else;
 };
 
 /// The paper's `loop ... endloop`: an unconditional loop exited by `break`.
 class LoopStmt : public Stmt {
 public:
-  LoopStmt(std::string Label, StmtList B, SourceLoc L)
-      : Stmt(StmtKind::Loop, L), Label(std::move(Label)), Body(std::move(B)) {}
-  const std::string &label() const { return Label; }
+  LoopStmt(std::string_view Label, support::Symbol LabelS, StmtList B,
+           SourceLoc L)
+      : Stmt(StmtKind::Loop, L), Label(Label), LabelSym(LabelS), Body(B) {}
+  std::string_view label() const { return Label; }
+  support::Symbol labelSym() const { return LabelSym; }
   const StmtList &body() const { return Body; }
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Loop; }
 
 private:
-  std::string Label;
+  std::string_view Label;
+  support::Symbol LabelSym;
   StmtList Body;
 };
 
 /// `for [L:] v = lo to hi [by s]` (or `downto`, stepping negatively).
 class ForStmt : public Stmt {
 public:
-  ForStmt(std::string Label, std::string Var, ExprPtr Lo, ExprPtr Hi,
-          ExprPtr Step, bool Down, StmtList B, SourceLoc L)
-      : Stmt(StmtKind::For, L), Label(std::move(Label)), Var(std::move(Var)),
-        Lo(std::move(Lo)), Hi(std::move(Hi)), Step(std::move(Step)),
-        Down(Down), Body(std::move(B)) {}
-  const std::string &label() const { return Label; }
-  const std::string &var() const { return Var; }
-  const Expr *lo() const { return Lo.get(); }
-  const Expr *hi() const { return Hi.get(); }
+  ForStmt(std::string_view Label, support::Symbol LabelS, std::string_view Var,
+          support::Symbol VarS, Expr *Lo, Expr *Hi, Expr *Step, bool Down,
+          StmtList B, SourceLoc L)
+      : Stmt(StmtKind::For, L), Label(Label), Var(Var), LabelSym(LabelS),
+        VarSym(VarS), Lo(Lo), Hi(Hi), Step(Step), Down(Down), Body(B) {}
+  std::string_view label() const { return Label; }
+  support::Symbol labelSym() const { return LabelSym; }
+  std::string_view var() const { return Var; }
+  support::Symbol varSym() const { return VarSym; }
+  const Expr *lo() const { return Lo; }
+  const Expr *hi() const { return Hi; }
   /// Null means step 1 (or -1 when counting down).
-  const Expr *step() const { return Step.get(); }
+  const Expr *step() const { return Step; }
   bool isDown() const { return Down; }
   const StmtList &body() const { return Body; }
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
 
 private:
-  std::string Label, Var;
-  ExprPtr Lo, Hi, Step;
+  std::string_view Label, Var;
+  support::Symbol LabelSym, VarSym;
+  Expr *Lo, *Hi, *Step;
   bool Down;
   StmtList Body;
 };
 
 class WhileStmt : public Stmt {
 public:
-  WhileStmt(std::string Label, ExprPtr C, StmtList B, SourceLoc L)
-      : Stmt(StmtKind::While, L), Label(std::move(Label)), Cond(std::move(C)),
-        Body(std::move(B)) {}
-  const std::string &label() const { return Label; }
-  const Expr *cond() const { return Cond.get(); }
+  WhileStmt(std::string_view Label, support::Symbol LabelS, Expr *C,
+            StmtList B, SourceLoc L)
+      : Stmt(StmtKind::While, L), Label(Label), LabelSym(LabelS), Cond(C),
+        Body(B) {}
+  std::string_view label() const { return Label; }
+  support::Symbol labelSym() const { return LabelSym; }
+  const Expr *cond() const { return Cond; }
   const StmtList &body() const { return Body; }
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
 
 private:
-  std::string Label;
-  ExprPtr Cond;
+  std::string_view Label;
+  support::Symbol LabelSym;
+  Expr *Cond;
   StmtList Body;
 };
 
@@ -270,22 +294,31 @@ public:
 
 class ReturnStmt : public Stmt {
 public:
-  ReturnStmt(ExprPtr V, SourceLoc L)
-      : Stmt(StmtKind::Return, L), Val(std::move(V)) {}
+  ReturnStmt(Expr *V, SourceLoc L) : Stmt(StmtKind::Return, L), Val(V) {}
   /// Null for a bare `return;`.
-  const Expr *value() const { return Val.get(); }
+  const Expr *value() const { return Val; }
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
 
 private:
-  ExprPtr Val;
+  Expr *Val;
 };
 
-/// A parsed `func` declaration.
+/// A formal parameter: interned name plus its symbol.
+struct ParamDecl {
+  std::string_view Name;
+  support::Symbol Sym = support::NoSymbol;
+};
+
+/// A parsed `func` declaration.  Arena-allocated like every node; Strings is
+/// the parser's interner, letting lowering size dense symbol-indexed tables
+/// (and resolve symbols to spellings) without rehashing anything.
 struct FuncDecl {
-  std::string Name;
-  std::vector<std::string> Params;
+  std::string_view Name;
+  support::Symbol NameSym = support::NoSymbol;
+  support::ArenaVector<ParamDecl> Params;
   StmtList Body;
   SourceLoc Loc;
+  const support::StringInterner *Strings = nullptr;
 };
 
 /// LLVM-style casts over Expr/Stmt (kind-tag based, no RTTI).

@@ -84,6 +84,38 @@ const char *biv::frontend::tokenKindName(TokenKind K) {
   return "<bad token kind>";
 }
 
+Lexer::Lexer(std::string Source, biv::support::StringInterner &Strings)
+    : SI(&Strings), Src(std::move(Source)) {
+  seedKeywords();
+}
+
+Lexer::Lexer(std::string Source)
+    : Owned(std::make_unique<OwnedStrings>()), SI(&Owned->SI),
+      Src(std::move(Source)) {
+  seedKeywords();
+}
+
+void Lexer::seedKeywords() {
+  static constexpr struct {
+    const char *Spelling;
+    TokenKind Kind;
+  } Keywords[] = {
+      {"func", TokenKind::KwFunc},     {"loop", TokenKind::KwLoop},
+      {"for", TokenKind::KwFor},       {"while", TokenKind::KwWhile},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"break", TokenKind::KwBreak},   {"return", TokenKind::KwReturn},
+      {"to", TokenKind::KwTo},         {"downto", TokenKind::KwDownTo},
+      {"by", TokenKind::KwBy},
+  };
+  support::Arena &A = SI->arena();
+  for (const auto &KW : Keywords) {
+    support::Symbol Sym = SI->intern(KW.Spelling);
+    if (Sym >= KwKinds.size())
+      KwKinds.resize(A, Sym + 1, TokenKind::Identifier);
+    KwKinds[Sym] = KW.Kind;
+  }
+}
+
 char Lexer::get() {
   char C = peek();
   if (C == '\0')
@@ -114,10 +146,10 @@ void Lexer::skipTrivia() {
   }
 }
 
-Token Lexer::make(TokenKind K, std::string Text) {
+Token Lexer::make(TokenKind K, std::string_view Text) {
   Token T;
   T.Kind = K;
-  T.Text = std::move(Text);
+  T.Text = Text;
   T.Loc = TokenStart;
   return T;
 }
@@ -130,9 +162,10 @@ Token Lexer::next() {
     return make(TokenKind::EndOfFile);
 
   if (std::isdigit(static_cast<unsigned char>(C))) {
-    std::string Digits;
+    size_t Start = Pos;
     while (std::isdigit(static_cast<unsigned char>(peek())))
-      Digits.push_back(get());
+      get();
+    std::string_view Digits(Src.data() + Start, Pos - Start);
     // Accumulate with an explicit overflow check: source text is untrusted
     // (the fuzzer feeds arbitrary digit strings) and std::stoll would throw.
     int64_t V = 0;
@@ -140,41 +173,25 @@ Token Lexer::next() {
       int64_t Digit = D - '0';
       if (V > (INT64_MAX - Digit) / 10)
         return make(TokenKind::Error,
-                    "integer literal out of range: " + Digits);
+                    SI->internView("integer literal out of range: " +
+                                   std::string(Digits)));
       V = V * 10 + Digit;
     }
-    Token T = make(TokenKind::Number, Digits);
+    Token T = make(TokenKind::Number);
     T.Value = V;
     return T;
   }
 
   if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
-    std::string Word;
+    size_t Start = Pos;
     while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
-      Word.push_back(get());
-    if (Word == "func")
-      return make(TokenKind::KwFunc, Word);
-    if (Word == "loop")
-      return make(TokenKind::KwLoop, Word);
-    if (Word == "for")
-      return make(TokenKind::KwFor, Word);
-    if (Word == "while")
-      return make(TokenKind::KwWhile, Word);
-    if (Word == "if")
-      return make(TokenKind::KwIf, Word);
-    if (Word == "else")
-      return make(TokenKind::KwElse, Word);
-    if (Word == "break")
-      return make(TokenKind::KwBreak, Word);
-    if (Word == "return")
-      return make(TokenKind::KwReturn, Word);
-    if (Word == "to")
-      return make(TokenKind::KwTo, Word);
-    if (Word == "downto")
-      return make(TokenKind::KwDownTo, Word);
-    if (Word == "by")
-      return make(TokenKind::KwBy, Word);
-    return make(TokenKind::Identifier, Word);
+      get();
+    support::Symbol Sym =
+        SI->intern(std::string_view(Src.data() + Start, Pos - Start));
+    TokenKind Kind = Sym < KwKinds.size() ? KwKinds[Sym] : TokenKind::Identifier;
+    Token T = make(Kind, SI->str(Sym));
+    T.Sym = Sym;
+    return T;
   }
 
   get();
@@ -233,12 +250,14 @@ Token Lexer::next() {
     return make(TokenKind::Greater);
   default:
     return make(TokenKind::Error,
-                std::string("unexpected character '") + C + "'");
+                SI->internView(std::string("unexpected character '") + C +
+                               "'"));
   }
 }
 
 std::vector<Token> Lexer::lexAll() {
   std::vector<Token> Tokens;
+  Tokens.reserve(Src.size() / 4 + 8);
   while (true) {
     Tokens.push_back(next());
     if (Tokens.back().is(TokenKind::EndOfFile) ||

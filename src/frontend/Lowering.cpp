@@ -5,52 +5,89 @@
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
 #include "support/Stats.h"
+#include <algorithm>
 #include <cstdio>
-#include <map>
-#include <set>
+#include <span>
 
 using namespace biv;
 using namespace biv::frontend;
 
 namespace {
 
+using support::Symbol;
+
 /// Walks the AST once to find which names are assigned (scalars), which are
 /// subscripted (arrays, with rank), and basic semantic errors.
+///
+/// All bookkeeping is symbol-indexed over the parse interner's dense id
+/// space -- flat vectors instead of string sets/maps.  The var/array
+/// creation order handed to the driver is sorted by spelling, which is
+/// exactly the iteration order the old std::set/std::map produced; the SSA
+/// builder places phis in variable creation order, so this keeps printed IR
+/// (and cache digests) byte-identical.
 class NameCollector {
 public:
-  std::set<std::string> AssignedScalars;
-  std::map<std::string, unsigned> ArrayRanks;
+  explicit NameCollector(const support::StringInterner &SI)
+      : Rank(SI.size(), 0), SI(SI), IsParam(SI.size(), 0),
+        IsAssigned(SI.size(), 0), IsLabel(SI.size(), 0) {}
+
+  /// Assigned scalar symbols, sorted by spelling.
+  std::vector<Symbol> ScalarsByName;
+  /// Array symbols, sorted by spelling; Rank[Sym] is their rank.
+  std::vector<Symbol> ArraysByName;
+  std::vector<uint32_t> Rank;
   std::vector<std::string> Errors;
 
   void run(const FuncDecl &F) {
-    for (const std::string &P : F.Params)
-      if (!Params.insert(P).second)
-        Errors.push_back("duplicate parameter name '" + P + "'");
-    visit(F.Body);
-    for (const auto &[Name, Rank] : ArrayRanks) {
-      (void)Rank;
-      if (AssignedScalars.count(Name) || Params.count(Name))
-        Errors.push_back("name '" + Name +
-                         "' used as both array and scalar");
+    for (const ParamDecl &P : F.Params) {
+      if (IsParam[P.Sym])
+        Errors.push_back("duplicate parameter name '" + std::string(P.Name) +
+                         "'");
+      IsParam[P.Sym] = 1;
     }
+    visit(F.Body);
+    auto BySpelling = [this](Symbol A, Symbol B) {
+      return SI.str(A) < SI.str(B);
+    };
+    std::sort(ScalarsByName.begin(), ScalarsByName.end(), BySpelling);
+    std::sort(ArraysByName.begin(), ArraysByName.end(), BySpelling);
+    for (Symbol Sym : ArraysByName)
+      if (IsAssigned[Sym] || IsParam[Sym])
+        Errors.push_back("name '" + std::string(SI.str(Sym)) +
+                         "' used as both array and scalar");
   }
 
 private:
-  std::set<std::string> Params;
-  std::set<std::string> Labels;
+  const support::StringInterner &SI;
+  std::vector<uint8_t> IsParam;
+  std::vector<uint8_t> IsAssigned;
+  std::vector<uint8_t> IsLabel;
+
+  void noteAssigned(Symbol Sym) {
+    if (!IsAssigned[Sym]) {
+      IsAssigned[Sym] = 1;
+      ScalarsByName.push_back(Sym);
+    }
+  }
 
   /// Loop labels must be unique: analyses address loops by name
   /// (LoopInfo::byName), so a duplicate would be silently ambiguous.
-  void noteLabel(const std::string &Label, SourceLoc Loc) {
-    if (!Labels.insert(Label).second)
-      Errors.push_back(Loc.str() + ": duplicate loop label '" + Label + "'");
+  void noteLabel(std::string_view Label, Symbol Sym, SourceLoc Loc) {
+    if (IsLabel[Sym])
+      Errors.push_back(Loc.str() + ": duplicate loop label '" +
+                       std::string(Label) + "'");
+    IsLabel[Sym] = 1;
   }
 
-  void noteArray(const std::string &Name, unsigned Rank, SourceLoc Loc) {
-    auto [It, Inserted] = ArrayRanks.try_emplace(Name, Rank);
-    if (!Inserted && It->second != Rank)
-      Errors.push_back(Loc.str() + ": array '" + Name +
+  void noteArray(std::string_view Name, Symbol Sym, unsigned ArrRank,
+                 SourceLoc Loc) {
+    if (!Rank[Sym]) {
+      Rank[Sym] = ArrRank;
+      ArraysByName.push_back(Sym);
+    } else if (Rank[Sym] != ArrRank) {
+      Errors.push_back(Loc.str() + ": array '" + std::string(Name) +
                        "' used with inconsistent rank");
+    }
   }
 
   void visit(const Expr *E) {
@@ -60,9 +97,9 @@ private:
       return;
     case ExprKind::ArrayRef: {
       const auto *A = ast_cast<ArrayRefExpr>(E);
-      noteArray(A->name(), A->indices().size(), A->loc());
-      for (const ExprPtr &I : A->indices())
-        visit(I.get());
+      noteArray(A->name(), A->sym(), A->indices().size(), A->loc());
+      for (const Expr *I : A->indices())
+        visit(I);
       return;
     }
     case ExprKind::Binary: {
@@ -78,23 +115,23 @@ private:
   }
 
   void visit(const StmtList &Body) {
-    for (const StmtPtr &S : Body)
-      visit(S.get());
+    for (const Stmt *S : Body)
+      visit(S);
   }
 
   void visit(const Stmt *S) {
     switch (S->kind()) {
     case StmtKind::Assign: {
       const auto *A = ast_cast<AssignStmt>(S);
-      AssignedScalars.insert(A->name());
+      noteAssigned(A->sym());
       visit(A->value());
       return;
     }
     case StmtKind::ArrayAssign: {
       const auto *A = ast_cast<ArrayAssignStmt>(S);
-      noteArray(A->name(), A->indices().size(), A->loc());
-      for (const ExprPtr &I : A->indices())
-        visit(I.get());
+      noteArray(A->name(), A->sym(), A->indices().size(), A->loc());
+      for (const Expr *I : A->indices())
+        visit(I);
       visit(A->value());
       return;
     }
@@ -107,14 +144,14 @@ private:
     }
     case StmtKind::Loop: {
       const auto *L = ast_cast<LoopStmt>(S);
-      noteLabel(L->label(), L->loc());
+      noteLabel(L->label(), L->labelSym(), L->loc());
       visit(L->body());
       return;
     }
     case StmtKind::For: {
       const auto *F = ast_cast<ForStmt>(S);
-      noteLabel(F->label(), F->loc());
-      AssignedScalars.insert(F->var());
+      noteLabel(F->label(), F->labelSym(), F->loc());
+      noteAssigned(F->varSym());
       visit(F->lo());
       visit(F->hi());
       if (F->step())
@@ -124,7 +161,7 @@ private:
     }
     case StmtKind::While: {
       const auto *W = ast_cast<WhileStmt>(S);
-      noteLabel(W->label(), W->loc());
+      noteLabel(W->label(), W->labelSym(), W->loc());
       visit(W->cond());
       visit(W->body());
       return;
@@ -139,27 +176,33 @@ private:
   }
 };
 
-/// Lowers one function.
+/// Lowers one function.  Name resolution is a vector index: the collector's
+/// symbol space maps straight to ir::Var*/Array*/Argument* tables.
 class LoweringDriver {
 public:
   LoweringDriver(const FuncDecl &Decl, std::vector<std::string> &Errors)
       : Decl(Decl), Errors(Errors) {}
 
   std::unique_ptr<ir::Function> run() {
-    NameCollector Names;
-    Names.run(Decl);
-    for (std::string &E : Names.Errors)
+    assert(Decl.Strings && "FuncDecl lost its interner");
+    const support::StringInterner &Names = *Decl.Strings;
+    NameCollector NC(Names);
+    NC.run(Decl);
+    for (std::string &E : NC.Errors)
       Errors.push_back(std::move(E));
     if (!Errors.empty())
       return nullptr;
 
     F = std::make_unique<ir::Function>(Decl.Name);
-    for (const std::string &P : Decl.Params)
-      F->addArgument(P);
-    for (const std::string &N : Names.AssignedScalars)
-      F->getOrCreateVar(N);
-    for (const auto &[N, Rank] : Names.ArrayRanks)
-      F->getOrCreateArray(N, Rank);
+    VarBySym.assign(Names.size(), nullptr);
+    ArrayBySym.assign(Names.size(), nullptr);
+    ArgBySym.assign(Names.size(), nullptr);
+    for (const ParamDecl &P : Decl.Params)
+      ArgBySym[P.Sym] = F->addArgument(P.Name);
+    for (Symbol Sym : NC.ScalarsByName)
+      VarBySym[Sym] = F->getOrCreateVar(Names.str(Sym));
+    for (Symbol Sym : NC.ArraysByName)
+      ArrayBySym[Sym] = F->getOrCreateArray(Names.str(Sym), NC.Rank[Sym]);
 
     B = std::make_unique<ir::IRBuilder>(*F, F->createBlock("entry"));
     lowerBody(Decl.Body);
@@ -178,15 +221,43 @@ private:
   std::vector<std::string> &Errors;
   std::unique_ptr<ir::Function> F;
   std::unique_ptr<ir::IRBuilder> B;
+  std::vector<ir::Var *> VarBySym;
+  std::vector<ir::Array *> ArrayBySym;
+  std::vector<ir::Argument *> ArgBySym;
   std::vector<ir::BasicBlock *> LoopExits;
+  /// Shared subscript scratch: nested array refs stack their index values
+  /// here (each ref restores its own base), so lowering a ref allocates
+  /// nothing once the vector has grown to the deepest nesting seen.
+  std::vector<ir::Value *> IndexScratch;
 
   void error(SourceLoc Loc, const std::string &Msg) {
     Errors.push_back(Loc.str() + ": " + Msg);
   }
 
+  /// "<label><suffix>" block (e.g. "L1.header"); short names stay on the
+  /// stack via SSO.
+  ir::BasicBlock *labeledBlock(std::string_view Label, const char *Suffix) {
+    std::string N(Label);
+    N += Suffix;
+    return F->createBlock(N);
+  }
+
   /// Starts a fresh anonymous block for code following a `break`/`return`;
   /// it is unreachable and removed at the end.
   void startDeadBlock() { B->setInsertBlock(F->createBlock("dead")); }
+
+  /// Lowers \p Indices onto IndexScratch and emits via \p Emit, restoring
+  /// the scratch watermark afterwards.
+  template <typename EmitFn>
+  ir::Instruction *withIndices(const ExprList &Indices, EmitFn Emit) {
+    size_t Base = IndexScratch.size();
+    for (const Expr *I : Indices)
+      IndexScratch.push_back(lowerExpr(I));
+    ir::Instruction *Out = Emit(std::span<ir::Value *const>(
+        IndexScratch.data() + Base, Indices.size()));
+    IndexScratch.resize(Base);
+    return Out;
+  }
 
   ir::Value *lowerExpr(const Expr *E) {
     switch (E->kind()) {
@@ -194,19 +265,20 @@ private:
       return B->constInt(ast_cast<IntLitExpr>(E)->value());
     case ExprKind::VarRef: {
       const auto *V = ast_cast<VarRefExpr>(E);
-      if (ir::Var *Var = F->findVar(V->name()))
+      if (ir::Var *Var = VarBySym[V->sym()])
         return B->loadVar(Var);
-      if (ir::Argument *A = F->findArgument(V->name()))
+      if (ir::Argument *A = ArgBySym[V->sym()])
         return A;
-      error(V->loc(), "use of undefined name '" + V->name() + "'");
+      error(V->loc(), "use of undefined name '" + std::string(V->name()) +
+                          "'");
       return B->constInt(0);
     }
     case ExprKind::ArrayRef: {
       const auto *A = ast_cast<ArrayRefExpr>(E);
-      std::vector<ir::Value *> Indices;
-      for (const ExprPtr &I : A->indices())
-        Indices.push_back(lowerExpr(I.get()));
-      return B->arrayLoad(F->findArray(A->name()), std::move(Indices));
+      return withIndices(A->indices(),
+                         [&](std::span<ir::Value *const> Idx) {
+                           return B->arrayLoad(ArrayBySym[A->sym()], Idx);
+                         });
     }
     case ExprKind::Binary: {
       const auto *Bin = ast_cast<BinaryExpr>(E);
@@ -252,8 +324,8 @@ private:
   }
 
   void lowerBody(const StmtList &Body) {
-    for (const StmtPtr &S : Body)
-      lowerStmt(S.get());
+    for (const Stmt *S : Body)
+      lowerStmt(S);
   }
 
   void lowerStmt(const Stmt *S) {
@@ -261,16 +333,22 @@ private:
     case StmtKind::Assign: {
       const auto *A = ast_cast<AssignStmt>(S);
       ir::Value *V = lowerExpr(A->value());
-      B->storeVar(F->findVar(A->name()), V);
+      B->storeVar(VarBySym[A->sym()], V);
       return;
     }
     case StmtKind::ArrayAssign: {
+      // Lower subscripts and value before forming the scratch span: either
+      // lowering may grow (reallocate) the scratch vector.
       const auto *A = ast_cast<ArrayAssignStmt>(S);
-      std::vector<ir::Value *> Indices;
-      for (const ExprPtr &I : A->indices())
-        Indices.push_back(lowerExpr(I.get()));
+      size_t Base = IndexScratch.size();
+      for (const Expr *I : A->indices())
+        IndexScratch.push_back(lowerExpr(I));
       ir::Value *V = lowerExpr(A->value());
-      B->arrayStore(F->findArray(A->name()), std::move(Indices), V);
+      B->arrayStore(ArrayBySym[A->sym()],
+                    std::span<ir::Value *const>(IndexScratch.data() + Base,
+                                                A->indices().size()),
+                    V);
+      IndexScratch.resize(Base);
       return;
     }
     case StmtKind::If:
@@ -327,8 +405,8 @@ private:
   }
 
   void lowerLoop(const LoopStmt *S) {
-    ir::BasicBlock *Header = F->createBlock(S->label() + ".header");
-    ir::BasicBlock *Exit = F->createBlock(S->label() + ".exit");
+    ir::BasicBlock *Header = labeledBlock(S->label(), ".header");
+    ir::BasicBlock *Exit = labeledBlock(S->label(), ".exit");
     B->br(Header);
     B->setInsertBlock(Header);
     LoopExits.push_back(Exit);
@@ -340,17 +418,17 @@ private:
   }
 
   void lowerFor(const ForStmt *S) {
-    ir::Var *V = F->findVar(S->var());
+    ir::Var *V = VarBySym[S->varSym()];
     ir::Value *Lo = lowerExpr(S->lo());
     ir::Value *Hi = lowerExpr(S->hi());
     ir::Value *Step = S->step() ? lowerExpr(S->step())
                                 : static_cast<ir::Value *>(B->constInt(1));
     B->storeVar(V, Lo);
 
-    ir::BasicBlock *Header = F->createBlock(S->label() + ".header");
-    ir::BasicBlock *Body = F->createBlock(S->label() + ".body");
-    ir::BasicBlock *Latch = F->createBlock(S->label() + ".latch");
-    ir::BasicBlock *Exit = F->createBlock(S->label() + ".exit");
+    ir::BasicBlock *Header = labeledBlock(S->label(), ".header");
+    ir::BasicBlock *Body = labeledBlock(S->label(), ".body");
+    ir::BasicBlock *Latch = labeledBlock(S->label(), ".latch");
+    ir::BasicBlock *Exit = labeledBlock(S->label(), ".exit");
 
     B->br(Header);
     B->setInsertBlock(Header);
@@ -377,9 +455,9 @@ private:
   }
 
   void lowerWhile(const WhileStmt *S) {
-    ir::BasicBlock *Header = F->createBlock(S->label() + ".header");
-    ir::BasicBlock *Body = F->createBlock(S->label() + ".body");
-    ir::BasicBlock *Exit = F->createBlock(S->label() + ".exit");
+    ir::BasicBlock *Header = labeledBlock(S->label(), ".header");
+    ir::BasicBlock *Body = labeledBlock(S->label(), ".body");
+    ir::BasicBlock *Exit = labeledBlock(S->label(), ".exit");
 
     B->br(Header);
     B->setInsertBlock(Header);
@@ -409,6 +487,13 @@ const biv::stats::Timer ParsePhase("phase.parse");
 const biv::stats::Counter NumFunctionsLowered("frontend.functions_lowered");
 // Lowering diagnostics share the parser's counter (same registry cell).
 const biv::stats::Counter NumLowerDiagnostics("frontend.diagnostics");
+// Unit memory footprint at lowering time: the parse arena (AST + tokens'
+// interned text) plus the function arena (IR built so far).  SSA and the
+// analyses grow the function arena further; these counters capture the
+// front-end cost that DESIGN.md §11 budgets.
+const biv::stats::Counter NumAllocBytes("alloc.bytes");
+const biv::stats::Counter NumAllocChunks("alloc.chunks");
+const biv::stats::Counter NumInternSymbols("intern.symbols");
 } // namespace
 
 std::unique_ptr<ir::Function>
@@ -416,7 +501,7 @@ biv::frontend::parseAndLower(const std::string &Source,
                              std::vector<std::string> &Errors) {
   stats::ScopedSpan Span(ParsePhase);
   Parser P(Source);
-  std::unique_ptr<FuncDecl> Decl = P.parseFunction();
+  FuncDecl *Decl = P.parseFunction();
   if (!Decl) {
     Errors.insert(Errors.end(), P.errors().begin(), P.errors().end());
     return nullptr;
@@ -424,8 +509,13 @@ biv::frontend::parseAndLower(const std::string &Source,
   size_t ErrorsBefore = Errors.size();
   std::unique_ptr<ir::Function> F = lower(*Decl, Errors);
   NumLowerDiagnostics.bump(Errors.size() - ErrorsBefore);
-  if (F)
+  if (F) {
     NumFunctionsLowered.bump();
+    NumAllocBytes.bump(P.arena().bytesAllocated() +
+                       F->arena().bytesAllocated());
+    NumAllocChunks.bump(P.arena().numChunks() + F->arena().numChunks());
+    NumInternSymbols.bump(P.strings().size() + F->interner().size());
+  }
   return F;
 }
 

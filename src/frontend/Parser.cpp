@@ -2,6 +2,7 @@
 
 #include "frontend/Parser.h"
 #include "support/Stats.h"
+#include <cstdio>
 
 using namespace biv::frontend;
 
@@ -11,11 +12,11 @@ const biv::stats::Counter NumDiagnostics("frontend.diagnostics");
 } // namespace
 
 Parser::Parser(std::string Source) {
-  Lexer L(std::move(Source));
+  Lexer L(std::move(Source), SI);
   Tokens = L.lexAll();
   NumTokens.bump(Tokens.size());
   if (Tokens.back().is(TokenKind::Error)) {
-    error("lex error: " + Tokens.back().Text);
+    error("lex error: " + std::string(Tokens.back().Text));
     // Replace the error token by EOF so the parser can bail out cleanly.
     Tokens.back().Kind = TokenKind::EndOfFile;
   }
@@ -49,12 +50,16 @@ void Parser::error(const std::string &Msg) {
   Errors.push_back(peek().Loc.str() + ": " + Msg);
 }
 
-std::string Parser::freshLabel() {
-  return "L$" + std::to_string(NextLabel++);
+std::pair<std::string_view, biv::support::Symbol> Parser::freshLabel() {
+  char Buf[16];
+  int Len = std::snprintf(Buf, sizeof(Buf), "L$%u", NextLabel++);
+  support::Symbol Sym = SI.intern(std::string_view(Buf, size_t(Len)));
+  return {SI.str(Sym), Sym};
 }
 
-std::unique_ptr<FuncDecl> Parser::parseFunction() {
-  auto F = std::make_unique<FuncDecl>();
+FuncDecl *Parser::parseFunction() {
+  auto *F = A.create<FuncDecl>();
+  F->Strings = &SI;
   F->Loc = peek().Loc;
   if (!expect(TokenKind::KwFunc, "at start of function"))
     return nullptr;
@@ -62,7 +67,9 @@ std::unique_ptr<FuncDecl> Parser::parseFunction() {
     error("expected function name");
     return nullptr;
   }
-  F->Name = advance().Text;
+  Token Name = advance();
+  F->Name = Name.Text;
+  F->NameSym = Name.Sym;
   if (!expect(TokenKind::LParen, "after function name"))
     return nullptr;
   if (!check(TokenKind::RParen)) {
@@ -71,7 +78,8 @@ std::unique_ptr<FuncDecl> Parser::parseFunction() {
         error("expected parameter name");
         return nullptr;
       }
-      F->Params.push_back(advance().Text);
+      Token P = advance();
+      F->Params.push_back(A, ParamDecl{P.Text, P.Sym});
     } while (accept(TokenKind::Comma));
   }
   if (!expect(TokenKind::RParen, "after parameters"))
@@ -88,10 +96,10 @@ StmtList Parser::parseBlock() {
   StmtList Body;
   while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile) &&
          !Failed) {
-    StmtPtr S = parseStatement();
+    Stmt *S = parseStatement();
     if (!S)
       break;
-    Body.push_back(std::move(S));
+    Body.push_back(A, S);
   }
   expect(TokenKind::RBrace, "to close block");
   return Body;
@@ -101,34 +109,34 @@ StmtList Parser::parseBlockOrStatement() {
   if (accept(TokenKind::LBrace))
     return parseBlock();
   StmtList Body;
-  if (StmtPtr S = parseStatement())
-    Body.push_back(std::move(S));
+  if (Stmt *S = parseStatement())
+    Body.push_back(A, S);
   return Body;
 }
 
-StmtPtr Parser::parseStatement() {
+Stmt *Parser::parseStatement() {
   SourceLoc Loc = peek().Loc;
 
   if (accept(TokenKind::KwBreak)) {
     expect(TokenKind::Semicolon, "after 'break'");
-    return std::make_unique<BreakStmt>(Loc);
+    return A.create<BreakStmt>(Loc);
   }
 
   if (accept(TokenKind::KwReturn)) {
-    ExprPtr V;
+    Expr *V = nullptr;
     if (!check(TokenKind::Semicolon)) {
       V = parseExpr();
       if (!V)
         return nullptr;
     }
     expect(TokenKind::Semicolon, "after 'return'");
-    return std::make_unique<ReturnStmt>(std::move(V), Loc);
+    return A.create<ReturnStmt>(V, Loc);
   }
 
   if (accept(TokenKind::KwIf)) {
     if (!expect(TokenKind::LParen, "after 'if'"))
       return nullptr;
-    ExprPtr Cond = parseExpr();
+    Expr *Cond = parseExpr();
     if (!Cond)
       return nullptr;
     if (!expect(TokenKind::RParen, "after if condition"))
@@ -137,36 +145,45 @@ StmtPtr Parser::parseStatement() {
     StmtList Else;
     if (accept(TokenKind::KwElse))
       Else = parseBlockOrStatement();
-    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
-                                    std::move(Else), Loc);
+    return A.create<IfStmt>(Cond, Then, Else, Loc);
   }
 
   if (accept(TokenKind::KwLoop)) {
-    std::string Label =
-        check(TokenKind::Identifier) ? advance().Text : freshLabel();
+    std::string_view Label;
+    support::Symbol LabelSym;
+    if (check(TokenKind::Identifier)) {
+      Token T = advance();
+      Label = T.Text;
+      LabelSym = T.Sym;
+    } else {
+      std::tie(Label, LabelSym) = freshLabel();
+    }
     if (!expect(TokenKind::LBrace, "to open loop body"))
       return nullptr;
     StmtList Body = parseBlock();
-    return std::make_unique<LoopStmt>(std::move(Label), std::move(Body), Loc);
+    return A.create<LoopStmt>(Label, LabelSym, Body, Loc);
   }
 
   if (accept(TokenKind::KwFor)) {
     // `for L18: i = ...` or `for i = ...`.
-    std::string Label;
+    std::string_view Label;
+    support::Symbol LabelSym = support::NoSymbol;
     if (check(TokenKind::Identifier) && peekAhead(1).is(TokenKind::Colon)) {
-      Label = advance().Text;
+      Token T = advance();
+      Label = T.Text;
+      LabelSym = T.Sym;
       advance(); // ':'
     }
     if (!check(TokenKind::Identifier)) {
       error("expected loop variable after 'for'");
       return nullptr;
     }
-    std::string Var = advance().Text;
+    Token VarTok = advance();
     if (Label.empty())
-      Label = freshLabel();
+      std::tie(Label, LabelSym) = freshLabel();
     if (!expect(TokenKind::Assign, "after for-loop variable"))
       return nullptr;
-    ExprPtr Lo = parseExpr();
+    Expr *Lo = parseExpr();
     if (!Lo)
       return nullptr;
     bool Down = false;
@@ -174,10 +191,10 @@ StmtPtr Parser::parseStatement() {
       Down = true;
     else if (!expect(TokenKind::KwTo, "in for-loop bounds"))
       return nullptr;
-    ExprPtr Hi = parseExpr();
+    Expr *Hi = parseExpr();
     if (!Hi)
       return nullptr;
-    ExprPtr Step;
+    Expr *Step = nullptr;
     if (accept(TokenKind::KwBy)) {
       Step = parseExpr();
       if (!Step)
@@ -186,23 +203,24 @@ StmtPtr Parser::parseStatement() {
     if (!expect(TokenKind::LBrace, "to open for-loop body"))
       return nullptr;
     StmtList Body = parseBlock();
-    return std::make_unique<ForStmt>(std::move(Label), std::move(Var),
-                                     std::move(Lo), std::move(Hi),
-                                     std::move(Step), Down, std::move(Body),
-                                     Loc);
+    return A.create<ForStmt>(Label, LabelSym, VarTok.Text, VarTok.Sym, Lo, Hi,
+                             Step, Down, Body, Loc);
   }
 
   if (accept(TokenKind::KwWhile)) {
-    std::string Label;
+    std::string_view Label;
+    support::Symbol LabelSym = support::NoSymbol;
     if (check(TokenKind::Identifier) && peekAhead(1).is(TokenKind::Colon)) {
-      Label = advance().Text;
+      Token T = advance();
+      Label = T.Text;
+      LabelSym = T.Sym;
       advance(); // ':'
     }
     if (Label.empty())
-      Label = freshLabel();
+      std::tie(Label, LabelSym) = freshLabel();
     if (!expect(TokenKind::LParen, "after 'while'"))
       return nullptr;
-    ExprPtr Cond = parseExpr();
+    Expr *Cond = parseExpr();
     if (!Cond)
       return nullptr;
     if (!expect(TokenKind::RParen, "after while condition"))
@@ -210,39 +228,36 @@ StmtPtr Parser::parseStatement() {
     if (!expect(TokenKind::LBrace, "to open while body"))
       return nullptr;
     StmtList Body = parseBlock();
-    return std::make_unique<WhileStmt>(std::move(Label), std::move(Cond),
-                                       std::move(Body), Loc);
+    return A.create<WhileStmt>(Label, LabelSym, Cond, Body, Loc);
   }
 
   if (check(TokenKind::Identifier)) {
-    std::string Name = advance().Text;
+    Token Name = advance();
     if (accept(TokenKind::LBracket)) {
-      std::vector<ExprPtr> Indices;
+      ExprList Indices;
       do {
-        ExprPtr E = parseExpr();
+        Expr *E = parseExpr();
         if (!E)
           return nullptr;
-        Indices.push_back(std::move(E));
+        Indices.push_back(A, E);
       } while (accept(TokenKind::Comma));
       if (!expect(TokenKind::RBracket, "after subscripts"))
         return nullptr;
       if (!expect(TokenKind::Assign, "in array assignment"))
         return nullptr;
-      ExprPtr V = parseExpr();
+      Expr *V = parseExpr();
       if (!V)
         return nullptr;
       expect(TokenKind::Semicolon, "after assignment");
-      return std::make_unique<ArrayAssignStmt>(std::move(Name),
-                                               std::move(Indices),
-                                               std::move(V), Loc);
+      return A.create<ArrayAssignStmt>(Name.Text, Name.Sym, Indices, V, Loc);
     }
     if (!expect(TokenKind::Assign, "in assignment"))
       return nullptr;
-    ExprPtr V = parseExpr();
+    Expr *V = parseExpr();
     if (!V)
       return nullptr;
     expect(TokenKind::Semicolon, "after assignment");
-    return std::make_unique<AssignStmt>(std::move(Name), std::move(V), Loc);
+    return A.create<AssignStmt>(Name.Text, Name.Sym, V, Loc);
   }
 
   error(std::string("expected statement, found ") +
@@ -250,10 +265,10 @@ StmtPtr Parser::parseStatement() {
   return nullptr;
 }
 
-ExprPtr Parser::parseExpr() { return parseComparison(); }
+Expr *Parser::parseExpr() { return parseComparison(); }
 
-ExprPtr Parser::parseComparison() {
-  ExprPtr L = parseAdditive();
+Expr *Parser::parseComparison() {
+  Expr *L = parseAdditive();
   if (!L)
     return nullptr;
   while (true) {
@@ -273,95 +288,93 @@ ExprPtr Parser::parseComparison() {
     else
       return L;
     SourceLoc Loc = advance().Loc;
-    ExprPtr R = parseAdditive();
+    Expr *R = parseAdditive();
     if (!R)
       return nullptr;
-    L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    L = A.create<BinaryExpr>(Op, L, R, Loc);
   }
 }
 
-ExprPtr Parser::parseAdditive() {
-  ExprPtr L = parseMultiplicative();
+Expr *Parser::parseAdditive() {
+  Expr *L = parseMultiplicative();
   if (!L)
     return nullptr;
   while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
     BinOp Op = check(TokenKind::Plus) ? BinOp::Add : BinOp::Sub;
     SourceLoc Loc = advance().Loc;
-    ExprPtr R = parseMultiplicative();
+    Expr *R = parseMultiplicative();
     if (!R)
       return nullptr;
-    L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    L = A.create<BinaryExpr>(Op, L, R, Loc);
   }
   return L;
 }
 
-ExprPtr Parser::parseMultiplicative() {
-  ExprPtr L = parseUnary();
+Expr *Parser::parseMultiplicative() {
+  Expr *L = parseUnary();
   if (!L)
     return nullptr;
   while (check(TokenKind::Star) || check(TokenKind::Slash)) {
     BinOp Op = check(TokenKind::Star) ? BinOp::Mul : BinOp::Div;
     SourceLoc Loc = advance().Loc;
-    ExprPtr R = parseUnary();
+    Expr *R = parseUnary();
     if (!R)
       return nullptr;
-    L = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Loc);
+    L = A.create<BinaryExpr>(Op, L, R, Loc);
   }
   return L;
 }
 
-ExprPtr Parser::parseUnary() {
+Expr *Parser::parseUnary() {
   if (check(TokenKind::Minus)) {
     SourceLoc Loc = advance().Loc;
-    ExprPtr S = parseUnary();
+    Expr *S = parseUnary();
     if (!S)
       return nullptr;
-    return std::make_unique<UnaryExpr>(std::move(S), Loc);
+    return A.create<UnaryExpr>(S, Loc);
   }
   return parsePower();
 }
 
-ExprPtr Parser::parsePower() {
-  ExprPtr L = parsePrimary();
+Expr *Parser::parsePower() {
+  Expr *L = parsePrimary();
   if (!L)
     return nullptr;
   if (check(TokenKind::Caret)) {
     SourceLoc Loc = advance().Loc;
     // Right associative: a^b^c == a^(b^c).
-    ExprPtr R = parseUnary();
+    Expr *R = parseUnary();
     if (!R)
       return nullptr;
-    return std::make_unique<BinaryExpr>(BinOp::Pow, std::move(L),
-                                        std::move(R), Loc);
+    return A.create<BinaryExpr>(BinOp::Pow, L, R, Loc);
   }
   return L;
 }
 
-ExprPtr Parser::parsePrimary() {
+Expr *Parser::parsePrimary() {
   SourceLoc Loc = peek().Loc;
   if (check(TokenKind::Number)) {
     Token T = advance();
-    return std::make_unique<IntLitExpr>(T.Value, Loc);
+    return A.create<IntLitExpr>(T.Value, Loc);
   }
   if (check(TokenKind::Identifier)) {
-    std::string Name = advance().Text;
+    Token Name = advance();
     if (accept(TokenKind::LBracket)) {
-      std::vector<ExprPtr> Indices;
+      ExprList Indices;
       do {
-        ExprPtr E = parseExpr();
+        Expr *E = parseExpr();
         if (!E)
           return nullptr;
-        Indices.push_back(std::move(E));
+        Indices.push_back(A, E);
       } while (accept(TokenKind::Comma));
       if (!expect(TokenKind::RBracket, "after subscripts"))
         return nullptr;
-      return std::make_unique<ArrayRefExpr>(std::move(Name),
-                                            std::move(Indices), Loc);
+      return A.create<ArrayRefExpr>(Name.Text, Name.Sym, Indices, Loc);
     }
-    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+    return A.create<VarRefExpr>(Name.Text, Name.Sym, Loc);
   }
   if (accept(TokenKind::LParen)) {
-    ExprPtr E = parseExpr();
+    Expr *E = parseExpr();
     if (!E)
       return nullptr;
     if (!expect(TokenKind::RParen, "to close parenthesized expression"))

@@ -9,6 +9,11 @@
 /// Recursive-descent parser for the loop language.  On error it records a
 /// diagnostic and returns null; it never throws.
 ///
+/// The parser owns the unit's parse arena and string interner: tokens,
+/// AST nodes, child lists, and identifier spellings all live there, so the
+/// returned FuncDecl* is valid exactly as long as the Parser and the whole
+/// tree is batch-freed when the Parser is destroyed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BEYONDIV_FRONTEND_PARSER_H
@@ -16,8 +21,10 @@
 
 #include "frontend/AST.h"
 #include "frontend/Lexer.h"
-#include <memory>
+#include "support/Arena.h"
+#include "support/StringInterner.h"
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace biv {
@@ -29,9 +36,16 @@ public:
   explicit Parser(std::string Source);
 
   /// Parses a single `func`; returns null and records diagnostics on error.
-  std::unique_ptr<FuncDecl> parseFunction();
+  /// The declaration lives in this parser's arena.
+  FuncDecl *parseFunction();
 
   const std::vector<std::string> &errors() const { return Errors; }
+
+  /// The parse arena (AST nodes, spellings, token text).
+  support::Arena &arena() { return A; }
+
+  /// The unit's interner; FuncDecl::Strings points here.
+  const support::StringInterner &strings() const { return SI; }
 
 private:
   const Token &peek() const { return Tokens[Pos]; }
@@ -45,18 +59,21 @@ private:
   void error(const std::string &Msg);
 
   StmtList parseBlock();
-  StmtPtr parseStatement();
+  Stmt *parseStatement();
   StmtList parseBlockOrStatement();
-  ExprPtr parseExpr();
-  ExprPtr parseComparison();
-  ExprPtr parseAdditive();
-  ExprPtr parseMultiplicative();
-  ExprPtr parseUnary();
-  ExprPtr parsePower();
-  ExprPtr parsePrimary();
+  Expr *parseExpr();
+  Expr *parseComparison();
+  Expr *parseAdditive();
+  Expr *parseMultiplicative();
+  Expr *parseUnary();
+  Expr *parsePower();
+  Expr *parsePrimary();
 
-  std::string freshLabel();
+  /// A fresh interned "L$<n>" label.
+  std::pair<std::string_view, support::Symbol> freshLabel();
 
+  support::Arena A; // must precede the interner and all parse products
+  support::StringInterner SI{A};
   std::vector<Token> Tokens;
   size_t Pos = 0;
   std::vector<std::string> Errors;

@@ -15,8 +15,10 @@
 #ifndef BEYONDIV_FRONTEND_TOKEN_H
 #define BEYONDIV_FRONTEND_TOKEN_H
 
+#include "support/StringInterner.h"
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace biv {
 namespace frontend {
@@ -77,10 +79,17 @@ enum class TokenKind {
 const char *tokenKindName(TokenKind K);
 
 /// A single lexed token.
+///
+/// Identifier (and keyword) spellings are interned by the lexer: Text views
+/// the interner's arena copy (stable for the interner's lifetime, not tied
+/// to the source buffer) and Sym is the dense per-unit symbol, so everything
+/// downstream compares u32s instead of strings.  Error tokens carry their
+/// message in Text.
 struct Token {
   TokenKind Kind = TokenKind::EndOfFile;
-  std::string Text;   ///< Identifier spelling or literal text.
-  int64_t Value = 0;  ///< Numeric value for Number tokens.
+  support::Symbol Sym = support::NoSymbol; ///< Identifier symbol.
+  std::string_view Text;  ///< Interned spelling or diagnostic text.
+  int64_t Value = 0;      ///< Numeric value for Number tokens.
   SourceLoc Loc;
 
   bool is(TokenKind K) const { return Kind == K; }

@@ -39,19 +39,19 @@ std::string joinKept(const std::vector<std::string> &Lines,
 
 unsigned countStmts(const frontend::StmtList &Body) {
   unsigned N = 0;
-  for (const auto &S : Body) {
+  for (const frontend::Stmt *S : Body) {
     ++N;
-    if (const auto *If = frontend::ast_dyn_cast<frontend::IfStmt>(S.get())) {
+    if (const auto *If = frontend::ast_dyn_cast<frontend::IfStmt>(S)) {
       N += countStmts(If->thenBody());
       N += countStmts(If->elseBody());
     } else if (const auto *L =
-                   frontend::ast_dyn_cast<frontend::LoopStmt>(S.get())) {
+                   frontend::ast_dyn_cast<frontend::LoopStmt>(S)) {
       N += countStmts(L->body());
     } else if (const auto *F =
-                   frontend::ast_dyn_cast<frontend::ForStmt>(S.get())) {
+                   frontend::ast_dyn_cast<frontend::ForStmt>(S)) {
       N += countStmts(F->body());
     } else if (const auto *W =
-                   frontend::ast_dyn_cast<frontend::WhileStmt>(S.get())) {
+                   frontend::ast_dyn_cast<frontend::WhileStmt>(S)) {
       N += countStmts(W->body());
     }
   }
@@ -62,7 +62,7 @@ unsigned countStmts(const frontend::StmtList &Body) {
 
 unsigned biv::fuzz::countStatements(const std::string &Source) {
   frontend::Parser P(Source);
-  std::unique_ptr<frontend::FuncDecl> F = P.parseFunction();
+  frontend::FuncDecl *F = P.parseFunction();
   if (!F || !P.errors().empty())
     return 0;
   return countStmts(F->Body);
@@ -121,7 +121,7 @@ MinimizeResult biv::fuzz::minimizeProgram(const std::string &Source,
   if (!Pred(R.Source))
     R.Source = Source;
   frontend::Parser P(R.Source);
-  std::unique_ptr<frontend::FuncDecl> F = P.parseFunction();
+  frontend::FuncDecl *F = P.parseFunction();
   R.Parses = F != nullptr && P.errors().empty();
   R.Statements = R.Parses ? countStmts(F->Body) : 0;
   R.Probes = Probes;

@@ -49,8 +49,8 @@ public:
   SymbolEnv(const ir::Function &F, const std::vector<int64_t> &Args,
             const interp::ExecutionTrace &Trace)
       : Trace(Trace) {
-    for (const auto &A : F.arguments())
-      ArgValues[A.get()] = Args[A->index()];
+    for (const ir::Argument *A : F.arguments())
+      ArgValues[A] = Args[A->index()];
   }
 
   /// Evaluates \p V; nullopt when a symbol has no unambiguous binding or
@@ -230,7 +230,7 @@ void OracleRun::checkBehavior(const interp::ExecutionTrace &Ref,
     const interp::ArrayAccess &B = Post.Accesses[K];
     if (A.A->name() != B.A->name() || A.Indices != B.Indices ||
         A.IsWrite != B.IsWrite) {
-      mismatch("behavior", "", A.A->name(),
+      mismatch("behavior", "", std::string(A.A->name()),
                "analysis preserves the array access log",
                "access #" + std::to_string(K) + " differs");
       return;
@@ -257,7 +257,7 @@ void OracleRun::checkLoopClaims(ivclass::InductionAnalysis &IA,
       }
     if (Wrapped)
       continue;
-    const std::string &Name = Phi->name();
+    const std::string Name(Phi->name());
     if (C.hasClosedForm())
       checkClosedForm(IA, C, L->name(), Name, Seq, Env);
     else if (C.isWrapAround())
@@ -458,7 +458,7 @@ void OracleRun::checkBaseline(ivclass::InductionAnalysis &IA,
     ++Result.Checks.Baseline;
     const ivclass::Classification &C = IA.classify(V, L);
     if (!C.isLinear() && !C.isInvariant())
-      mismatch("baseline", L->name(), V->name(),
+      mismatch("baseline", L->name(), std::string(V->name()),
                "unified analysis subsumes classical IVs",
                std::string("classical found a linear IV, unified says ") +
                    ivclass::ivKindName(C.Kind));

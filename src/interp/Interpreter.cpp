@@ -116,8 +116,7 @@ ExecutionTrace Machine::run() {
 
     // Phase 2: straight-line execution.
     const ir::BasicBlock *Next = nullptr;
-    for (const auto &IPtr : *Block) {
-      const ir::Instruction *I = IPtr.get();
+    for (const ir::Instruction *I : *Block) {
       if (I->isPhi())
         continue;
       if (++Trace.Steps >= Opts.MaxSteps) {

@@ -32,7 +32,7 @@ namespace ir {
 /// A total order over IR values that is stable across runs: arguments by
 /// index, instructions by their dense sequence number, then kind and name
 /// as tiebreaks.  Never compares pointers.
-inline std::tuple<int, unsigned, const std::string &>
+inline std::tuple<int, unsigned, std::string_view>
 stableValueKey(const Value *V) {
   if (const auto *A = dyn_cast<Argument>(V))
     return {0, A->index(), V->name()};

@@ -1,65 +1,63 @@
 //===- ir/BasicBlock.cpp - CFG basic blocks --------------------------------===//
 
 #include "ir/BasicBlock.h"
-#include <algorithm>
+#include "ir/Function.h"
 
 using namespace biv::ir;
 
-Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+biv::support::Arena &BasicBlock::arena() const { return Parent->arena(); }
+
+Instruction *BasicBlock::append(Instruction *I) {
   assert((Insts.empty() || !Insts.back()->isTerminator()) &&
          "appending past a terminator");
   I->setParent(this);
-  Insts.push_back(std::move(I));
-  return Insts.back().get();
+  Insts.push_back(arena(), I);
+  return I;
 }
 
-Instruction *BasicBlock::insertAt(size_t Pos, std::unique_ptr<Instruction> I) {
+Instruction *BasicBlock::insertAt(size_t Pos, Instruction *I) {
   assert(Pos <= Insts.size() && "insert position out of range");
   I->setParent(this);
-  Instruction *Raw = I.get();
-  Insts.insert(Insts.begin() + Pos, std::move(I));
-  return Raw;
+  Insts.insert(arena(), Pos, I);
+  return I;
 }
 
-Instruction *
-BasicBlock::insertBeforeTerminator(std::unique_ptr<Instruction> I) {
+Instruction *BasicBlock::insertBeforeTerminator(Instruction *I) {
   size_t Pos = Insts.size();
   if (Pos > 0 && Insts.back()->isTerminator())
     --Pos;
-  return insertAt(Pos, std::move(I));
+  return insertAt(Pos, I);
 }
 
-void BasicBlock::erase(Instruction *I) { take(I); }
-
-std::unique_ptr<Instruction> BasicBlock::take(Instruction *I) {
-  auto It = std::find_if(Insts.begin(), Insts.end(),
-                         [&](const auto &P) { return P.get() == I; });
-  assert(It != Insts.end() && "instruction not in this block");
-  std::unique_ptr<Instruction> Owned = std::move(*It);
-  Insts.erase(It);
-  Owned->setParent(nullptr);
-  return Owned;
+Instruction *BasicBlock::take(Instruction *I) {
+  for (size_t Idx = 0; Idx < Insts.size(); ++Idx)
+    if (Insts[Idx] == I) {
+      Insts.erase(Idx);
+      I->setParent(nullptr);
+      return I;
+    }
+  assert(false && "instruction not in this block");
+  return nullptr;
 }
+
+void BasicBlock::addPred(BasicBlock *BB) { Preds.push_back(arena(), BB); }
 
 Instruction *BasicBlock::terminator() const {
   if (Insts.empty() || !Insts.back()->isTerminator())
     return nullptr;
-  return Insts.back().get();
+  return Insts.back();
 }
 
-std::vector<BasicBlock *> BasicBlock::successors() const {
+std::span<BasicBlock *const> BasicBlock::successors() const {
   Instruction *T = terminator();
   if (!T || T->opcode() == Opcode::Ret)
     return {};
-  return T->blocks();
+  return {T->blocks().begin(), T->blocks().size()};
 }
 
-std::vector<Instruction *> BasicBlock::phis() const {
-  std::vector<Instruction *> Result;
-  for (const auto &I : Insts) {
-    if (!I->isPhi())
-      break;
-    Result.push_back(I.get());
-  }
-  return Result;
+std::span<Instruction *const> BasicBlock::phis() const {
+  size_t N = 0;
+  while (N < Insts.size() && Insts[N]->isPhi())
+    ++N;
+  return {Insts.begin(), N};
 }

@@ -7,6 +7,8 @@
 ///
 /// \file
 /// Basic blocks: ordered instruction lists linked into a control flow graph.
+/// Blocks and their instruction lists live in the owning function's arena;
+/// erase/take unlink without freeing (batch free with the function).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,9 +16,8 @@
 #define BEYONDIV_IR_BASICBLOCK_H
 
 #include "ir/Instruction.h"
-#include <memory>
-#include <string>
-#include <vector>
+#include <span>
+#include <string_view>
 
 namespace biv {
 namespace ir {
@@ -26,10 +27,11 @@ class Function;
 /// A maximal straight-line sequence of instructions ending in a terminator.
 class BasicBlock {
 public:
-  BasicBlock(std::string N, unsigned Id, Function *F)
-      : Name(std::move(N)), Id(Id), Parent(F) {}
+  /// Use Function::createBlock; \p N must be interned in the function.
+  BasicBlock(std::string_view N, unsigned Id, Function *F)
+      : Name(N), Id(Id), Parent(F) {}
 
-  const std::string &name() const { return Name; }
+  std::string_view name() const { return Name; }
   /// Stable, dense index within the parent function; analyses use it to key
   /// vectors instead of pointer-keyed maps.
   unsigned id() const { return Id; }
@@ -40,49 +42,73 @@ public:
   size_t size() const { return Insts.size(); }
 
   /// Appends \p I; asserts that nothing follows an existing terminator.
-  Instruction *append(std::unique_ptr<Instruction> I);
+  Instruction *append(Instruction *I);
 
   /// Inserts \p I at position \p Pos (0 = front).
-  Instruction *insertAt(size_t Pos, std::unique_ptr<Instruction> I);
+  Instruction *insertAt(size_t Pos, Instruction *I);
 
   /// Inserts \p I immediately before the terminator (or at the end when the
   /// block has none yet).
-  Instruction *insertBeforeTerminator(std::unique_ptr<Instruction> I);
+  Instruction *insertBeforeTerminator(Instruction *I);
 
-  /// Removes \p I from the block and destroys it.  The caller must have
-  /// already rewritten all uses.
-  void erase(Instruction *I);
+  /// Unlinks \p I from the block.  The caller must have already rewritten
+  /// all uses; the storage stays in the function's arena.
+  void erase(Instruction *I) { take(I); }
 
-  /// Removes \p I and returns ownership without destroying it.
-  std::unique_ptr<Instruction> take(Instruction *I);
+  /// Unlinks \p I and returns it (e.g. to re-insert elsewhere).
+  Instruction *take(Instruction *I);
+
+  /// Unlinks every instruction for which \p ShouldRemove returns true in one
+  /// stable left-to-right compaction.  O(block size) total; bulk sweeps that
+  /// call erase() per instruction shift the tail each time and go quadratic
+  /// when most of a block dies.
+  template <typename Pred> unsigned removeInstrsIf(Pred ShouldRemove) {
+    size_t Out = 0;
+    for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+      Instruction *I = Insts[Idx];
+      if (ShouldRemove(I)) {
+        I->setParent(nullptr);
+        continue;
+      }
+      Insts[Out++] = I;
+    }
+    unsigned Removed = unsigned(Insts.size() - Out);
+    Insts.truncate(Out);
+    return Removed;
+  }
 
   /// Returns the terminator, or null for an unfinished block.
   Instruction *terminator() const;
 
-  /// Successor blocks (from the terminator; empty for Ret).
-  std::vector<BasicBlock *> successors() const;
+  /// Successor blocks (a view into the terminator's block list; empty for
+  /// Ret or an unfinished block).
+  std::span<BasicBlock *const> successors() const;
 
   /// Predecessors; valid after Function::recomputePreds().
-  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+  std::span<BasicBlock *const> predecessors() const {
+    return {Preds.begin(), Preds.size()};
+  }
   void clearPreds() { Preds.clear(); }
-  void addPred(BasicBlock *BB) { Preds.push_back(BB); }
+  void addPred(BasicBlock *BB);
 
-  /// Phis at the top of the block.
-  std::vector<Instruction *> phis() const;
+  /// Phis at the top of the block (a view of the leading phi run).
+  std::span<Instruction *const> phis() const;
 
   // Iteration over instructions (as raw pointers).
   auto begin() const { return Insts.begin(); }
   auto end() const { return Insts.end(); }
-  const std::vector<std::unique_ptr<Instruction>> &instructions() const {
+  const support::ArenaVector<Instruction *> &instructions() const {
     return Insts;
   }
 
 private:
-  std::string Name;
+  support::Arena &arena() const;
+
+  std::string_view Name;
   unsigned Id;
   Function *Parent;
-  std::vector<std::unique_ptr<Instruction>> Insts;
-  std::vector<BasicBlock *> Preds;
+  support::ArenaVector<Instruction *> Insts;
+  support::ArenaVector<BasicBlock *> Preds;
 };
 
 } // namespace ir

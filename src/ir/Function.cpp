@@ -2,83 +2,162 @@
 
 #include "ir/Function.h"
 #include <algorithm>
-#include <functional>
+#include <cstdio>
+#include <cstring>
 
 using namespace biv::ir;
+using biv::support::Symbol;
 
-BasicBlock *Function::createBlock(const std::string &N) {
-  unsigned Id = Blocks.size();
-  Blocks.push_back(std::make_unique<BasicBlock>(uniqueName(N), Id, this));
-  return Blocks.back().get();
+Instruction *Function::newInstr(Opcode Op, std::initializer_list<Value *> Ops,
+                                std::string_view N) {
+  Instruction *I =
+      A.create<Instruction>(A, Op, N.empty() ? std::string_view() : SI.internView(N));
+  I->setSeq(allocateInstrSeq());
+  for (Value *Op_ : Ops)
+    I->addOperand(Op_);
+  return I;
+}
+
+Instruction *Function::newInstr(Opcode Op, const std::vector<Value *> &Ops,
+                                std::string_view N) {
+  return newInstr(Op, std::span<Value *const>(Ops.data(), Ops.size()), N);
+}
+
+Instruction *Function::newInstr(Opcode Op, std::span<Value *const> Ops,
+                                std::string_view N) {
+  Instruction *I =
+      A.create<Instruction>(A, Op, N.empty() ? std::string_view() : SI.internView(N));
+  I->setSeq(allocateInstrSeq());
+  for (Value *Op_ : Ops)
+    I->addOperand(Op_);
+  return I;
+}
+
+BasicBlock *Function::createBlock(std::string_view N) {
+  unsigned Id = unsigned(Blocks.size());
+  Blocks.push_back(A, A.create<BasicBlock>(uniqueName(N), Id, this));
+  return Blocks.back();
 }
 
 Constant *Function::constant(int64_t V) {
-  auto &Slot = Constants[V];
-  if (!Slot)
-    Slot = std::make_unique<Constant>(V);
-  return Slot.get();
+  if (ConstSlots.empty())
+    ConstSlots.resize(A, 16, nullptr);
+  // splitmix64-style scramble so consecutive literals spread out.
+  uint64_t H = uint64_t(V) * 0x9e3779b97f4a7c15ull;
+  H ^= H >> 32;
+  size_t Mask = ConstSlots.size() - 1;
+  for (size_t I = size_t(H) & Mask;; I = (I + 1) & Mask) {
+    Constant *C = ConstSlots[I];
+    if (!C) {
+      char Buf[24];
+      int Len = std::snprintf(Buf, sizeof(Buf), "%lld", (long long)V);
+      std::string_view Spelling(A.copyBytes(Buf, size_t(Len)), size_t(Len));
+      C = A.create<Constant>(V, Spelling);
+      ConstSlots[I] = C;
+      if (++NumConsts * 4 > ConstSlots.size() * 3) {
+        support::ArenaVector<Constant *> Old = ConstSlots;
+        ConstSlots = support::ArenaVector<Constant *>();
+        ConstSlots.resize(A, Old.size() * 2, nullptr);
+        size_t NewMask = ConstSlots.size() - 1;
+        for (Constant *E : Old) {
+          if (!E)
+            continue;
+          uint64_t EH = uint64_t(E->value()) * 0x9e3779b97f4a7c15ull;
+          EH ^= EH >> 32;
+          size_t J = size_t(EH) & NewMask;
+          while (ConstSlots[J])
+            J = (J + 1) & NewMask;
+          ConstSlots[J] = E;
+        }
+      }
+      return C;
+    }
+    if (C->value() == V)
+      return C;
+  }
 }
 
 UndefValue *Function::undef() {
   if (!Undef)
-    Undef = std::make_unique<UndefValue>();
-  return Undef.get();
+    Undef = A.create<UndefValue>();
+  return Undef;
 }
 
-Argument *Function::addArgument(const std::string &N) {
-  Args.push_back(std::make_unique<Argument>(N, Args.size()));
-  return Args.back().get();
+void Function::ensureSymbolTables(Symbol Sym) {
+  if (Sym < VarBySym.size())
+    return;
+  size_t N = size_t(Sym) + 1;
+  if (N < SI.size())
+    N = SI.size();
+  VarBySym.resize(A, N, nullptr);
+  ArrayBySym.resize(A, N, nullptr);
+  ArgBySym.resize(A, N, nullptr);
+  NextSuffix.resize(A, N, 0);
 }
 
-Argument *Function::findArgument(const std::string &N) const {
-  for (const auto &A : Args)
-    if (A->name() == N)
-      return A.get();
-  return nullptr;
+Argument *Function::addArgument(std::string_view N) {
+  Symbol Sym = SI.intern(N);
+  ensureSymbolTables(Sym);
+  Argument *Arg = A.create<Argument>(SI.str(Sym), unsigned(Args.size()));
+  Args.push_back(A, Arg);
+  ArgBySym[Sym] = Arg;
+  return Arg;
 }
 
-Var *Function::getOrCreateVar(const std::string &N) {
-  if (Var *V = findVar(N))
+Argument *Function::findArgument(std::string_view N) const {
+  Symbol Sym = SI.lookup(N);
+  return Sym != support::NoSymbol && Sym < ArgBySym.size() ? ArgBySym[Sym]
+                                                           : nullptr;
+}
+
+Var *Function::getOrCreateVar(std::string_view N) {
+  Symbol Sym = SI.intern(N);
+  ensureSymbolTables(Sym);
+  if (Var *V = VarBySym[Sym])
     return V;
-  Vars.push_back(std::make_unique<Var>(N, Vars.size()));
-  return Vars.back().get();
+  Var *V = A.create<Var>(SI.str(Sym), unsigned(Vars.size()));
+  Vars.push_back(A, V);
+  VarBySym[Sym] = V;
+  return V;
 }
 
-Var *Function::findVar(const std::string &N) const {
-  for (const auto &V : Vars)
-    if (V->name() == N)
-      return V.get();
-  return nullptr;
+Var *Function::findVar(std::string_view N) const {
+  Symbol Sym = SI.lookup(N);
+  return Sym != support::NoSymbol && Sym < VarBySym.size() ? VarBySym[Sym]
+                                                           : nullptr;
 }
 
-Array *Function::getOrCreateArray(const std::string &N, unsigned Rank) {
-  if (Array *A = findArray(N)) {
-    assert(A->rank() == Rank && "array redeclared with different rank");
-    return A;
+Array *Function::getOrCreateArray(std::string_view N, unsigned Rank) {
+  Symbol Sym = SI.intern(N);
+  ensureSymbolTables(Sym);
+  if (Array *Existing = ArrayBySym[Sym]) {
+    assert(Existing->rank() == Rank && "array redeclared with different rank");
+    return Existing;
   }
-  Arrays.push_back(std::make_unique<Array>(N, Arrays.size(), Rank));
-  return Arrays.back().get();
+  Array *Arr = A.create<Array>(SI.str(Sym), unsigned(Arrays.size()), Rank);
+  Arrays.push_back(A, Arr);
+  ArrayBySym[Sym] = Arr;
+  return Arr;
 }
 
-Array *Function::findArray(const std::string &N) const {
-  for (const auto &A : Arrays)
-    if (A->name() == N)
-      return A.get();
-  return nullptr;
+Array *Function::findArray(std::string_view N) const {
+  Symbol Sym = SI.lookup(N);
+  return Sym != support::NoSymbol && Sym < ArrayBySym.size() ? ArrayBySym[Sym]
+                                                             : nullptr;
 }
 
 void Function::recomputePreds() {
-  for (const auto &BB : Blocks)
+  for (BasicBlock *BB : Blocks)
     BB->clearPreds();
-  for (const auto &BB : Blocks)
+  for (BasicBlock *BB : Blocks)
     for (BasicBlock *Succ : BB->successors())
-      Succ->addPred(BB.get());
+      Succ->addPred(BB);
 }
 
 void Function::replaceAllUsesWith(Value *From, Value *To) {
   assert(From != To && "replacing a value with itself");
-  for (const auto &BB : Blocks)
-    for (const auto &I : *BB)
+  for (BasicBlock *BB : Blocks)
+    for (Instruction *I : *BB)
       for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx)
         if (I->operand(Idx) == From)
           I->setOperand(Idx, To);
@@ -101,7 +180,7 @@ unsigned Function::removeUnreachableBlocks() {
       }
   }
   // Prune phi incomings that flow from doomed blocks.
-  for (const auto &BB : Blocks) {
+  for (BasicBlock *BB : Blocks) {
     if (!Reach[BB->id()])
       continue;
     for (Instruction *Phi : BB->phis())
@@ -109,18 +188,20 @@ unsigned Function::removeUnreachableBlocks() {
         if (!Reach[Phi->blocks()[I]->id()])
           Phi->removeIncoming(I);
   }
-  // Drop the doomed blocks and renumber the survivors.
+  // Unlink the doomed blocks (their storage stays in the arena) and
+  // renumber the survivors.
   unsigned Removed = 0;
-  std::vector<std::unique_ptr<BasicBlock>> Kept;
-  for (auto &BB : Blocks) {
+  size_t Next = 0;
+  for (BasicBlock *BB : Blocks) {
     if (Reach[BB->id()]) {
-      BB->setId(Kept.size());
-      Kept.push_back(std::move(BB));
+      BB->setId(unsigned(Next));
+      Blocks[Next++] = BB;
     } else {
       ++Removed;
     }
   }
-  Blocks = std::move(Kept);
+  while (Blocks.size() > Next)
+    Blocks.pop_back();
   recomputePreds();
   return Removed;
 }
@@ -131,12 +212,12 @@ std::vector<BasicBlock *> Function::reversePostOrder() const {
   // Iterative DFS with an explicit stack of (block, next-successor) frames.
   struct Frame {
     BasicBlock *BB;
-    std::vector<BasicBlock *> Succs;
+    std::span<BasicBlock *const> Succs;
     size_t Next = 0;
   };
   if (!Blocks.empty()) {
     std::vector<Frame> Stack;
-    BasicBlock *Entry = Blocks.front().get();
+    BasicBlock *Entry = Blocks.front();
     Visited[Entry->id()] = 1;
     Stack.push_back({Entry, Entry->successors()});
     while (!Stack.empty()) {
@@ -154,32 +235,39 @@ std::vector<BasicBlock *> Function::reversePostOrder() const {
     }
   }
   std::reverse(PostOrder.begin(), PostOrder.end());
-  for (const auto &BB : Blocks)
+  for (BasicBlock *BB : Blocks)
     if (!Visited[BB->id()])
-      PostOrder.push_back(BB.get());
+      PostOrder.push_back(BB);
   return PostOrder;
 }
 
 size_t Function::instructionCount() const {
   size_t N = 0;
-  for (const auto &BB : Blocks)
+  for (BasicBlock *BB : Blocks)
     N += BB->size();
   return N;
 }
 
 unsigned Function::renumberInstructions() {
   unsigned Next = 0;
-  for (const auto &BB : Blocks)
-    for (const auto &I : *BB)
+  for (BasicBlock *BB : Blocks)
+    for (Instruction *I : *BB)
       I->setSeq(Next++);
   InstrSeqBound = Next;
   return Next;
 }
 
-std::string Function::uniqueName(const std::string &Base) {
-  unsigned &Counter = NameCounters[Base];
-  std::string Result = Counter == 0 ? Base
-                                    : Base + "." + std::to_string(Counter);
-  ++Counter;
-  return Result;
+std::string_view Function::uniqueName(std::string_view Base) {
+  Symbol Sym = SI.intern(Base);
+  ensureSymbolTables(Sym);
+  uint32_t Counter = NextSuffix[Sym]++;
+  if (Counter == 0)
+    return SI.str(Sym);
+  char Buf[16];
+  int Len = std::snprintf(Buf, sizeof(Buf), ".%u", Counter);
+  std::string_view Spelling = SI.str(Sym);
+  char *P = static_cast<char *>(A.allocate(Spelling.size() + size_t(Len), 1));
+  std::memcpy(P, Spelling.data(), Spelling.size());
+  std::memcpy(P + Spelling.size(), Buf, size_t(Len));
+  return std::string_view(P, Spelling.size() + size_t(Len));
 }

@@ -9,6 +9,14 @@
 /// A Function owns its blocks, arguments, scalar variables, arrays, and
 /// uniqued integer constants; it is the unit every analysis runs over.
 ///
+/// Memory architecture (DESIGN.md §11): the function owns a bump arena and a
+/// string interner, and every IR object it hands out -- blocks,
+/// instructions, operand lists, storage, constants, names -- lives there.
+/// Destroying the Function batch-frees the whole unit; no per-node
+/// deallocation ever happens.  Name-keyed lookups (vars, arrays, arguments,
+/// unique-name counters) are symbol-indexed vectors over the interner's
+/// dense id space instead of string-keyed maps.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BEYONDIV_IR_FUNCTION_H
@@ -16,9 +24,12 @@
 
 #include "ir/BasicBlock.h"
 #include "ir/Storage.h"
-#include <map>
-#include <memory>
+#include "support/Arena.h"
+#include "support/StringInterner.h"
+#include <initializer_list>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace biv {
@@ -27,21 +38,38 @@ namespace ir {
 /// A single function: the CFG plus all storage it references.
 class Function {
 public:
-  explicit Function(std::string N) : Name(std::move(N)) {}
+  explicit Function(std::string_view N) : Name(N) {}
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
 
   const std::string &name() const { return Name; }
 
+  /// The unit's arena; everything reachable from this function lives here.
+  support::Arena &arena() { return A; }
+  const support::Arena &arena() const { return A; }
+
+  /// The unit's interner; IR names are views into it.
+  support::StringInterner &interner() { return SI; }
+  const support::StringInterner &interner() const { return SI; }
+
+  /// Creates an instruction in the arena.  It is unattached; insert it with
+  /// BasicBlock::append/insertAt (IRBuilder does both steps).
+  Instruction *newInstr(Opcode Op, std::initializer_list<Value *> Ops = {},
+                        std::string_view N = {});
+  Instruction *newInstr(Opcode Op, const std::vector<Value *> &Ops,
+                        std::string_view N = {});
+  Instruction *newInstr(Opcode Op, std::span<Value *const> Ops,
+                        std::string_view N = {});
+
   /// Creates a new empty block; the first block created is the entry.
-  BasicBlock *createBlock(const std::string &N);
+  BasicBlock *createBlock(std::string_view N);
 
   BasicBlock *entry() const {
     assert(!Blocks.empty() && "function has no blocks");
-    return Blocks.front().get();
+    return Blocks.front();
   }
 
-  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
-    return Blocks;
-  }
+  const support::ArenaVector<BasicBlock *> &blocks() const { return Blocks; }
   size_t numBlocks() const { return Blocks.size(); }
 
   /// Returns the uniqued integer constant \p V.
@@ -51,22 +79,20 @@ public:
   UndefValue *undef();
 
   /// Adds a formal parameter.
-  Argument *addArgument(const std::string &N);
-  const std::vector<std::unique_ptr<Argument>> &arguments() const {
-    return Args;
-  }
+  Argument *addArgument(std::string_view N);
+  const support::ArenaVector<Argument *> &arguments() const { return Args; }
   /// Finds an argument by name, or null.
-  Argument *findArgument(const std::string &N) const;
+  Argument *findArgument(std::string_view N) const;
 
   /// Creates (or returns the existing) scalar variable named \p N.
-  Var *getOrCreateVar(const std::string &N);
-  Var *findVar(const std::string &N) const;
-  const std::vector<std::unique_ptr<Var>> &vars() const { return Vars; }
+  Var *getOrCreateVar(std::string_view N);
+  Var *findVar(std::string_view N) const;
+  const support::ArenaVector<Var *> &vars() const { return Vars; }
 
   /// Creates (or returns the existing) array named \p N of rank \p Rank.
-  Array *getOrCreateArray(const std::string &N, unsigned Rank = 1);
-  Array *findArray(const std::string &N) const;
-  const std::vector<std::unique_ptr<Array>> &arrays() const { return Arrays; }
+  Array *getOrCreateArray(std::string_view N, unsigned Rank = 1);
+  Array *findArray(std::string_view N) const;
+  const support::ArenaVector<Array *> &arrays() const { return Arrays; }
 
   /// Recomputes every block's predecessor list from the terminators.  Call
   /// after building or mutating the CFG.
@@ -102,18 +128,41 @@ public:
   /// last renumbering (e.g. materialized exit values).
   unsigned allocateInstrSeq() { return InstrSeqBound++; }
 
-  /// Returns a fresh name "Base" or "Base.k" not yet handed out.
-  std::string uniqueName(const std::string &Base);
+  /// Returns a fresh name "Base" or "Base.k" not yet handed out.  The
+  /// per-base next-suffix counter lives in the symbol table, so each call is
+  /// O(1) -- no re-probing of already-taken spellings.  The returned view is
+  /// interned (stable for the function's lifetime).
+  std::string_view uniqueName(std::string_view Base);
+
+  /// Interns \p N and returns the stable spelling (for names that must
+  /// outlive a caller's temporary).
+  std::string_view internName(std::string_view N) {
+    return SI.internView(N);
+  }
 
 private:
+  /// Grows the symbol-indexed side tables to cover \p Sym.
+  void ensureSymbolTables(support::Symbol Sym);
+
+  support::Arena A;                 // must precede everything arena-backed
+  support::StringInterner SI{A};
   std::string Name;
-  std::vector<std::unique_ptr<BasicBlock>> Blocks;
-  std::vector<std::unique_ptr<Argument>> Args;
-  std::vector<std::unique_ptr<Var>> Vars;
-  std::vector<std::unique_ptr<Array>> Arrays;
-  std::map<int64_t, std::unique_ptr<Constant>> Constants;
-  std::unique_ptr<UndefValue> Undef;
-  std::map<std::string, unsigned> NameCounters;
+  support::ArenaVector<BasicBlock *> Blocks;
+  support::ArenaVector<Argument *> Args;
+  support::ArenaVector<Var *> Vars;
+  support::ArenaVector<Array *> Arrays;
+
+  // Symbol-indexed name tables (parallel, lazily grown to interner size).
+  support::ArenaVector<Var *> VarBySym;
+  support::ArenaVector<Array *> ArrayBySym;
+  support::ArenaVector<Argument *> ArgBySym;
+  support::ArenaVector<uint32_t> NextSuffix;
+
+  // Open-addressed, arena-backed constant pool (power-of-two probe table).
+  support::ArenaVector<Constant *> ConstSlots;
+  size_t NumConsts = 0;
+
+  UndefValue *Undef = nullptr;
   unsigned InstrSeqBound = 0;
 };
 

@@ -4,89 +4,78 @@
 
 using namespace biv::ir;
 
-Instruction *IRBuilder::emit(std::unique_ptr<Instruction> I) {
+Instruction *IRBuilder::emit(Instruction *I) {
   assert(BB && "no insertion block set");
-  return BB->append(std::move(I));
+  return BB->append(I);
 }
 
 Instruction *IRBuilder::binary(Opcode Op, Value *L, Value *R,
-                               const std::string &N) {
+                               std::string_view N) {
   assert((isBinaryArith(Op) || isCompare(Op)) && "not a binary opcode");
-  return emit(std::make_unique<Instruction>(Op, std::vector<Value *>{L, R},
-                                            N));
+  return emit(F.newInstr(Op, {L, R}, N));
 }
 
-Instruction *IRBuilder::neg(Value *V, const std::string &N) {
-  return emit(
-      std::make_unique<Instruction>(Opcode::Neg, std::vector<Value *>{V}, N));
+Instruction *IRBuilder::neg(Value *V, std::string_view N) {
+  return emit(F.newInstr(Opcode::Neg, {V}, N));
 }
 
-Instruction *IRBuilder::copy(Value *V, const std::string &N) {
-  return emit(
-      std::make_unique<Instruction>(Opcode::Copy, std::vector<Value *>{V}, N));
+Instruction *IRBuilder::copy(Value *V, std::string_view N) {
+  return emit(F.newInstr(Opcode::Copy, {V}, N));
 }
 
-Instruction *IRBuilder::phi(const std::string &N) {
+Instruction *IRBuilder::phi(std::string_view N) {
   // Phis must stay grouped at the block top.
   assert(BB && "no insertion block set");
-  auto I =
-      std::make_unique<Instruction>(Opcode::Phi, std::vector<Value *>{}, N);
-  return BB->insertAt(BB->phis().size(), std::move(I));
+  return BB->insertAt(BB->phis().size(), F.newInstr(Opcode::Phi, {}, N));
 }
 
-Instruction *IRBuilder::loadVar(Var *V, const std::string &N) {
-  auto I = std::make_unique<Instruction>(Opcode::LoadVar,
-                                         std::vector<Value *>{},
-                                         N.empty() ? V->name() : N);
+Instruction *IRBuilder::loadVar(Var *V, std::string_view N) {
+  Instruction *I =
+      F.newInstr(Opcode::LoadVar, {}, N.empty() ? V->name() : N);
   I->setVariable(V);
-  return emit(std::move(I));
+  return emit(I);
 }
 
 Instruction *IRBuilder::storeVar(Var *V, Value *Val) {
-  auto I = std::make_unique<Instruction>(Opcode::StoreVar,
-                                         std::vector<Value *>{Val});
+  Instruction *I = F.newInstr(Opcode::StoreVar, {Val});
   I->setVariable(V);
-  return emit(std::move(I));
+  return emit(I);
 }
 
-Instruction *IRBuilder::arrayLoad(Array *A, std::vector<Value *> Indices,
-                                  const std::string &N) {
+Instruction *IRBuilder::arrayLoad(Array *A, std::span<Value *const> Indices,
+                                  std::string_view N) {
   assert(Indices.size() == A->rank() && "subscript count != array rank");
-  auto I = std::make_unique<Instruction>(Opcode::ArrayLoad,
-                                         std::move(Indices), N);
+  Instruction *I = F.newInstr(Opcode::ArrayLoad, Indices, N);
   I->setArray(A);
-  return emit(std::move(I));
+  return emit(I);
 }
 
-Instruction *IRBuilder::arrayStore(Array *A, std::vector<Value *> Indices,
+Instruction *IRBuilder::arrayStore(Array *A, std::span<Value *const> Indices,
                                    Value *Val) {
   assert(Indices.size() == A->rank() && "subscript count != array rank");
-  std::vector<Value *> Ops;
-  Ops.push_back(Val);
-  Ops.insert(Ops.end(), Indices.begin(), Indices.end());
-  auto I = std::make_unique<Instruction>(Opcode::ArrayStore, std::move(Ops));
+  Instruction *I = F.newInstr(Opcode::ArrayStore, {Val});
+  for (Value *Idx : Indices)
+    I->addOperand(Idx);
   I->setArray(A);
-  return emit(std::move(I));
+  return emit(I);
 }
 
 void IRBuilder::br(BasicBlock *Target) {
-  auto I =
-      std::make_unique<Instruction>(Opcode::Br, std::vector<Value *>{});
+  Instruction *I = F.newInstr(Opcode::Br);
   I->addBlock(Target);
-  emit(std::move(I));
+  emit(I);
 }
 
 void IRBuilder::condBr(Value *Cond, BasicBlock *Then, BasicBlock *Else) {
-  auto I = std::make_unique<Instruction>(Opcode::CondBr,
-                                         std::vector<Value *>{Cond});
+  Instruction *I = F.newInstr(Opcode::CondBr, {Cond});
   I->addBlock(Then);
   I->addBlock(Else);
-  emit(std::move(I));
+  emit(I);
 }
 
 void IRBuilder::ret(Value *V) {
-  std::vector<Value *> Ops;
+  Instruction *I = F.newInstr(Opcode::Ret);
   if (V)
-    Ops.push_back(V);
-  emit(std::make_unique<Instruction>(Opcode::Ret, std::move(Ops)));
+    I->addOperand(V);
+  emit(I);
 }

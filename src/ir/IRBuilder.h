@@ -8,7 +8,7 @@
 /// \file
 /// A small convenience layer for appending instructions to a block; used by
 /// the front-end lowering and by tests that build the paper's figures
-/// directly.
+/// directly.  All instructions come from the function's arena.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,36 +31,47 @@ public:
 
   /// Appends a binary arithmetic or comparison instruction.
   Instruction *binary(Opcode Op, Value *L, Value *R,
-                      const std::string &N = "");
+                      std::string_view N = {});
 
-  Instruction *add(Value *L, Value *R, const std::string &N = "") {
+  Instruction *add(Value *L, Value *R, std::string_view N = {}) {
     return binary(Opcode::Add, L, R, N);
   }
-  Instruction *sub(Value *L, Value *R, const std::string &N = "") {
+  Instruction *sub(Value *L, Value *R, std::string_view N = {}) {
     return binary(Opcode::Sub, L, R, N);
   }
-  Instruction *mul(Value *L, Value *R, const std::string &N = "") {
+  Instruction *mul(Value *L, Value *R, std::string_view N = {}) {
     return binary(Opcode::Mul, L, R, N);
   }
-  Instruction *div(Value *L, Value *R, const std::string &N = "") {
+  Instruction *div(Value *L, Value *R, std::string_view N = {}) {
     return binary(Opcode::Div, L, R, N);
   }
-  Instruction *exp(Value *L, Value *R, const std::string &N = "") {
+  Instruction *exp(Value *L, Value *R, std::string_view N = {}) {
     return binary(Opcode::Exp, L, R, N);
   }
 
-  Instruction *neg(Value *V, const std::string &N = "");
-  Instruction *copy(Value *V, const std::string &N = "");
+  Instruction *neg(Value *V, std::string_view N = {});
+  Instruction *copy(Value *V, std::string_view N = {});
 
   /// Appends an empty phi; use Instruction::addIncoming to populate it.
-  Instruction *phi(const std::string &N = "");
+  Instruction *phi(std::string_view N = {});
 
-  Instruction *loadVar(Var *V, const std::string &N = "");
+  Instruction *loadVar(Var *V, std::string_view N = {});
   Instruction *storeVar(Var *V, Value *Val);
 
-  Instruction *arrayLoad(Array *A, std::vector<Value *> Indices,
-                         const std::string &N = "");
-  Instruction *arrayStore(Array *A, std::vector<Value *> Indices, Value *Val);
+  Instruction *arrayLoad(Array *A, std::span<Value *const> Indices,
+                         std::string_view N = {});
+  Instruction *arrayLoad(Array *A, const std::vector<Value *> &Indices,
+                         std::string_view N = {}) {
+    return arrayLoad(A, std::span<Value *const>(Indices.data(),
+                                                Indices.size()), N);
+  }
+  Instruction *arrayStore(Array *A, std::span<Value *const> Indices,
+                          Value *Val);
+  Instruction *arrayStore(Array *A, const std::vector<Value *> &Indices,
+                          Value *Val) {
+    return arrayStore(A, std::span<Value *const>(Indices.data(),
+                                                 Indices.size()), Val);
+  }
 
   void br(BasicBlock *Target);
   void condBr(Value *Cond, BasicBlock *Then, BasicBlock *Else);
@@ -70,7 +81,7 @@ public:
   Constant *constInt(int64_t V) { return F.constant(V); }
 
 private:
-  Instruction *emit(std::unique_ptr<Instruction> I);
+  Instruction *emit(Instruction *I);
 
   Function &F;
   BasicBlock *BB;

@@ -5,9 +5,6 @@
 
 using namespace biv::ir;
 
-// Out-of-line virtual anchor for the Value hierarchy.
-biv::ir::Value::~Value() = default;
-
 Value *Instruction::incomingFor(const BasicBlock *BB) const {
   assert(Op == Opcode::Phi && "incomingFor on non-phi");
   assert(Blocks.size() == Operands.size() && "malformed phi");

@@ -11,6 +11,11 @@
 /// ssalink).  Phi incoming blocks and branch successors are kept in a block
 /// list parallel to (phi) or separate from (branches) the value operands.
 ///
+/// Instructions and their operand/block lists live in the owning function's
+/// arena (create them through Function::newInstr); removing an instruction
+/// from a block merely unlinks it -- the storage is reclaimed when the
+/// function is destroyed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BEYONDIV_IR_INSTRUCTION_H
@@ -19,7 +24,7 @@
 #include "ir/Opcode.h"
 #include "ir/Storage.h"
 #include "ir/Value.h"
-#include <vector>
+#include "support/Arena.h"
 
 namespace biv {
 namespace ir {
@@ -29,9 +34,9 @@ class BasicBlock;
 /// A single IR operation.
 class Instruction : public Value {
 public:
-  Instruction(Opcode Op, std::vector<Value *> Ops, std::string N = "")
-      : Value(ValueKind::Instruction, std::move(N)), Op(Op),
-        Operands(std::move(Ops)) {}
+  /// Use Function::newInstr; the arena must be the owning function's.
+  Instruction(support::Arena &A, Opcode Op, std::string_view N = {})
+      : Value(ValueKind::Instruction, N), A(&A), Op(Op) {}
 
   Opcode opcode() const { return Op; }
 
@@ -43,11 +48,12 @@ public:
 
   /// Dense per-function sequence number assigned by
   /// Function::renumberInstructions(); analyses key flat vectors by it
-  /// instead of pointer-keyed maps.  NoSeq until the function is numbered.
+  /// instead of pointer-keyed maps.  Assigned at creation (unique,
+  /// possibly sparse); renumberInstructions() compacts to a dense 0..N-1.
   unsigned seq() const { return Seq; }
   void setSeq(unsigned S) { Seq = S; }
 
-  unsigned numOperands() const { return Operands.size(); }
+  unsigned numOperands() const { return unsigned(Operands.size()); }
   Value *operand(unsigned I) const {
     assert(I < Operands.size() && "operand index out of range");
     return Operands[I];
@@ -56,13 +62,13 @@ public:
     assert(I < Operands.size() && "operand index out of range");
     Operands[I] = V;
   }
-  const std::vector<Value *> &operands() const { return Operands; }
-  void addOperand(Value *V) { Operands.push_back(V); }
+  const support::ArenaVector<Value *> &operands() const { return Operands; }
+  void addOperand(Value *V) { Operands.push_back(*A, V); }
 
   /// Blocks associated with this instruction: phi incoming blocks (parallel
   /// to the operands) or branch successors.
-  const std::vector<BasicBlock *> &blocks() const { return Blocks; }
-  void addBlock(BasicBlock *BB) { Blocks.push_back(BB); }
+  const support::ArenaVector<BasicBlock *> &blocks() const { return Blocks; }
+  void addBlock(BasicBlock *BB) { Blocks.push_back(*A, BB); }
   void setBlock(unsigned I, BasicBlock *BB) {
     assert(I < Blocks.size() && "block index out of range");
     Blocks[I] = BB;
@@ -73,19 +79,21 @@ public:
   /// For a phi, adds an (operand, predecessor) pair.
   void addIncoming(Value *V, BasicBlock *BB) {
     assert(Op == Opcode::Phi && "addIncoming on non-phi");
-    Operands.push_back(V);
-    Blocks.push_back(BB);
+    Operands.push_back(*A, V);
+    Blocks.push_back(*A, BB);
   }
 
   /// For a phi, removes the (operand, predecessor) pair at \p I.
   void removeIncoming(unsigned I) {
     assert(Op == Opcode::Phi && "removeIncoming on non-phi");
     assert(I < Operands.size() && "incoming index out of range");
-    Operands.erase(Operands.begin() + I);
-    Blocks.erase(Blocks.begin() + I);
+    Operands.erase(I);
+    Blocks.erase(I);
   }
 
-  /// Scalar variable of a LoadVar/StoreVar, null otherwise.
+  /// Scalar variable of a LoadVar/StoreVar -- and, after SSA construction,
+  /// of every phi the builder placed (the variable the phi merges); null
+  /// otherwise.
   Var *variable() const { return Variable; }
   void setVariable(Var *V) { Variable = V; }
 
@@ -109,9 +117,10 @@ public:
   }
 
 private:
+  support::Arena *A;
   Opcode Op;
-  std::vector<Value *> Operands;
-  std::vector<BasicBlock *> Blocks;
+  support::ArenaVector<Value *> Operands;
+  support::ArenaVector<BasicBlock *> Blocks;
   BasicBlock *Parent = nullptr;
   Var *Variable = nullptr;
   Array *Arr = nullptr;

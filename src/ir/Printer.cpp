@@ -4,14 +4,18 @@
 
 using namespace biv::ir;
 
+namespace {
+std::string str(std::string_view S) { return std::string(S); }
+} // namespace
+
 void Printer::numberValues() {
   unsigned Next = 0;
-  for (const auto &BB : F.blocks())
-    for (const auto &I : *BB) {
+  for (const BasicBlock *BB : F.blocks())
+    for (const Instruction *I : *BB) {
       if (!I->name().empty())
-        Names[I.get()] = "%" + I->name();
+        Names[I] = "%" + ::str(I->name());
       else
-        Names[I.get()] = "%t" + std::to_string(Next++);
+        Names[I] = "%t" + std::to_string(Next++);
     }
 }
 
@@ -19,7 +23,7 @@ std::string Printer::nameOf(const Value *V) const {
   if (const auto *C = dyn_cast<Constant>(V))
     return std::to_string(C->value());
   if (const auto *A = dyn_cast<Argument>(V))
-    return A->name();
+    return ::str(A->name());
   if (isa<UndefValue>(V))
     return "undef";
   auto It = Names.find(V);
@@ -42,26 +46,28 @@ std::string Printer::str(const Instruction *I) const {
     Out = nameOf(I) + " = phi";
     for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx) {
       Out += Idx == 0 ? " " : ", ";
-      Out += "[" + nameOf(I->operand(Idx)) + ", " +
-             I->blocks()[Idx]->name() + "]";
+      Out += "[" + nameOf(I->operand(Idx)) + ", ";
+      Out += I->blocks()[Idx]->name();
+      Out += "]";
     }
     return Out;
   }
   case Opcode::LoadVar:
-    return nameOf(I) + " = loadvar @" + I->variable()->name();
+    return nameOf(I) + " = loadvar @" + ::str(I->variable()->name());
   case Opcode::StoreVar:
-    return "storevar @" + I->variable()->name() + ", " + operands();
+    return "storevar @" + ::str(I->variable()->name()) + ", " + operands();
   case Opcode::ArrayLoad:
-    return nameOf(I) + " = aload " + I->array()->name() + "[" + operands() +
-           "]";
+    return nameOf(I) + " = aload " + ::str(I->array()->name()) + "[" +
+           operands() + "]";
   case Opcode::ArrayStore:
-    return "astore " + I->array()->name() + "[" + operands(1) +
+    return "astore " + ::str(I->array()->name()) + "[" + operands(1) +
            "], " + nameOf(I->operand(0));
   case Opcode::Br:
-    return "br " + I->blocks()[0]->name();
+    return "br " + ::str(I->blocks()[0]->name());
   case Opcode::CondBr:
-    return "condbr " + nameOf(I->operand(0)) + ", " + I->blocks()[0]->name() +
-           ", " + I->blocks()[1]->name();
+    return "condbr " + nameOf(I->operand(0)) + ", " +
+           ::str(I->blocks()[0]->name()) + ", " +
+           ::str(I->blocks()[1]->name());
   case Opcode::Ret:
     return I->numOperands() ? "ret " + operands() : "ret";
   default:
@@ -71,22 +77,25 @@ std::string Printer::str(const Instruction *I) const {
 
 std::string Printer::str() const {
   std::string Out = "func " + F.name() + "(";
-  for (const auto &A : F.arguments()) {
+  for (const Argument *A : F.arguments()) {
     if (A->index())
       Out += ", ";
     Out += A->name();
   }
   Out += ") {\n";
-  for (const auto &BB : F.blocks()) {
-    Out += BB->name() + ":";
+  for (const BasicBlock *BB : F.blocks()) {
+    Out += BB->name();
+    Out += ":";
     if (!BB->predecessors().empty()) {
       Out += "  ; preds:";
-      for (const BasicBlock *P : BB->predecessors())
-        Out += " " + P->name();
+      for (const BasicBlock *P : BB->predecessors()) {
+        Out += " ";
+        Out += P->name();
+      }
     }
     Out += "\n";
-    for (const auto &I : *BB)
-      Out += "  " + str(I.get()) + "\n";
+    for (const Instruction *I : *BB)
+      Out += "  " + str(I) + "\n";
   }
   Out += "}\n";
   return Out;

@@ -14,6 +14,7 @@
 #define BEYONDIV_IR_PRINTER_H
 
 #include "ir/Function.h"
+#include <map>
 #include <string>
 
 namespace biv {

@@ -8,14 +8,15 @@
 /// \file
 /// Named storage: scalar variables (promoted to SSA registers by the SSA
 /// builder) and arrays (left in memory; their subscripts are what the
-/// dependence tests analyze).
+/// dependence tests analyze).  Both live in their function's arena; names
+/// are views into its interner.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef BEYONDIV_IR_STORAGE_H
 #define BEYONDIV_IR_STORAGE_H
 
-#include <string>
+#include <string_view>
 
 namespace biv {
 namespace ir {
@@ -24,28 +25,28 @@ namespace ir {
 /// through LoadVar/StoreVar; afterwards all of those are gone.
 class Var {
 public:
-  Var(std::string N, unsigned Id) : Name(std::move(N)), Id(Id) {}
+  Var(std::string_view N, unsigned Id) : Name(N), Id(Id) {}
 
-  const std::string &name() const { return Name; }
+  std::string_view name() const { return Name; }
   unsigned id() const { return Id; }
 
 private:
-  std::string Name;
+  std::string_view Name;
   unsigned Id;
 };
 
 /// An array.  Rank is the number of subscripts; arrays are never promoted.
 class Array {
 public:
-  Array(std::string N, unsigned Id, unsigned Rank)
-      : Name(std::move(N)), Id(Id), Rank(Rank) {}
+  Array(std::string_view N, unsigned Id, unsigned Rank)
+      : Name(N), Id(Id), Rank(Rank) {}
 
-  const std::string &name() const { return Name; }
+  std::string_view name() const { return Name; }
   unsigned id() const { return Id; }
   unsigned rank() const { return Rank; }
 
 private:
-  std::string Name;
+  std::string_view Name;
   unsigned Id;
   unsigned Rank;
 };

@@ -9,7 +9,12 @@
 /// The Value hierarchy: constants, function arguments, and instructions.
 ///
 /// Everything that can appear as an operand is a Value.  The hierarchy uses
-/// an explicit kind tag plus LLVM-style isa/cast/dyn_cast helpers (no RTTI).
+/// an explicit kind tag plus LLVM-style isa/cast/dyn_cast helpers (no RTTI,
+/// no vtables): values live in their function's arena and are batch-freed
+/// without running destructors (DESIGN.md §11), so the whole hierarchy is
+/// trivially destructible.  Names are string_views into the owning
+/// function's interner (or, for constants, into its arena) and share its
+/// lifetime.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,7 +23,7 @@
 
 #include <cassert>
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 namespace biv {
 namespace ir {
@@ -38,26 +43,29 @@ class Value {
 public:
   Value(const Value &) = delete;
   Value &operator=(const Value &) = delete;
-  virtual ~Value();
 
   ValueKind kind() const { return Kind; }
 
-  const std::string &name() const { return Name; }
-  void setName(std::string N) { Name = std::move(N); }
+  std::string_view name() const { return Name; }
+  /// \p N must outlive this value: pass an interned view
+  /// (Function::uniqueName / internName), a literal, or another name.
+  void setName(std::string_view N) { Name = N; }
 
 protected:
-  Value(ValueKind K, std::string N) : Kind(K), Name(std::move(N)) {}
+  Value(ValueKind K, std::string_view N) : Kind(K), Name(N) {}
+  ~Value() = default;
 
 private:
   ValueKind Kind;
-  std::string Name;
+  std::string_view Name;
 };
 
-/// An integer literal (the paper's LT operator).  Uniqued per function.
+/// An integer literal (the paper's LT operator).  Uniqued per function; its
+/// name is the decimal spelling, stored in the function's arena.
 class Constant : public Value {
 public:
-  explicit Constant(int64_t V)
-      : Value(ValueKind::Constant, std::to_string(V)), Val(V) {}
+  Constant(int64_t V, std::string_view Spelling)
+      : Value(ValueKind::Constant, Spelling), Val(V) {}
 
   int64_t value() const { return Val; }
 
@@ -73,8 +81,8 @@ private:
 /// treated as an opaque symbol by the induction-variable analysis.
 class Argument : public Value {
 public:
-  Argument(std::string N, unsigned Index)
-      : Value(ValueKind::Argument, std::move(N)), Index(Index) {}
+  Argument(std::string_view N, unsigned Index)
+      : Value(ValueKind::Argument, N), Index(Index) {}
 
   unsigned index() const { return Index; }
 

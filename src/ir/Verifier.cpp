@@ -4,77 +4,93 @@
 #include "ir/Printer.h"
 #include <algorithm>
 #include <cstdio>
-#include <set>
+#include <string>
+#include <vector>
 
 using namespace biv::ir;
 
 std::vector<std::string> biv::ir::verify(const Function &F) {
   std::vector<std::string> Problems;
-  auto problem = [&](const std::string &Msg) { Problems.push_back(Msg); };
 
   if (F.numBlocks() == 0) {
-    problem("function has no blocks");
+    Problems.push_back("function has no blocks");
     return Problems;
   }
 
-  // Collect every instruction defined in the function.
-  std::set<const Value *> Defined;
-  for (const auto &BB : F.blocks())
-    for (const auto &I : *BB)
-      Defined.insert(I.get());
+  // This runs on every unit's hot path (twice: raw IR and post-SSA), so the
+  // happy path must not allocate per instruction.  Error messages, including
+  // the "block X: " prefix, are built only when a problem is found.
+  auto problem = [&](const BasicBlock *BB, const char *Msg) {
+    Problems.push_back("block " + std::string(BB->name()) + ": " + Msg);
+  };
 
-  for (const auto &BB : F.blocks()) {
-    const std::string Where = "block " + BB->name() + ": ";
+  // Membership test for "defined in this function": instruction sequence
+  // numbers are unique within a function (monotonic allocation, dense after
+  // renumbering), so a seq-indexed pointer table replaces the pointer set.
+  std::vector<const Instruction *> BySeq(F.instrSeqBound(), nullptr);
+  for (const BasicBlock *BB : F.blocks())
+    for (const Instruction *I : *BB)
+      BySeq[I->seq()] = I;
+  auto defined = [&](const Value *V) {
+    const auto *I = cast<Instruction>(V);
+    return I->seq() < BySeq.size() && BySeq[I->seq()] == I;
+  };
+
+  // Sort scratch reused across phis (allocates once, not per phi).
+  std::vector<const BasicBlock *> IncomingScratch, PredScratch;
+
+  for (const BasicBlock *BB : F.blocks()) {
     if (BB->empty()) {
-      problem(Where + "is empty");
+      problem(BB, "is empty");
       continue;
     }
     // Exactly one terminator, at the end.
     for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
-      const Instruction *I = BB->instructions()[Idx].get();
+      const Instruction *I = BB->instructions()[Idx];
       bool Last = Idx + 1 == BB->size();
       if (I->isTerminator() != Last)
-        problem(Where + (Last ? "does not end in a terminator"
-                              : "terminator not at end of block"));
-      if (I->parent() != BB.get())
-        problem(Where + "instruction with wrong parent link");
+        problem(BB, Last ? "does not end in a terminator"
+                         : "terminator not at end of block");
+      if (I->parent() != BB)
+        problem(BB, "instruction with wrong parent link");
     }
     // Phis grouped at the top, one incoming per predecessor.
     bool SeenNonPhi = false;
-    for (const auto &I : *BB) {
+    for (const Instruction *I : *BB) {
       if (!I->isPhi()) {
         SeenNonPhi = true;
         continue;
       }
       if (SeenNonPhi)
-        problem(Where + "phi after non-phi instruction");
+        problem(BB, "phi after non-phi instruction");
       if (I->numOperands() != I->blocks().size())
-        problem(Where + "phi operand/block count mismatch");
-      std::multiset<const BasicBlock *> Incoming(I->blocks().begin(),
-                                                 I->blocks().end());
-      std::multiset<const BasicBlock *> Preds(BB->predecessors().begin(),
-                                              BB->predecessors().end());
-      if (Incoming != Preds)
-        problem(Where + "phi incoming blocks do not match predecessors");
+        problem(BB, "phi operand/block count mismatch");
+      IncomingScratch.assign(I->blocks().begin(), I->blocks().end());
+      PredScratch.assign(BB->predecessors().begin(),
+                         BB->predecessors().end());
+      std::sort(IncomingScratch.begin(), IncomingScratch.end());
+      std::sort(PredScratch.begin(), PredScratch.end());
+      if (IncomingScratch != PredScratch)
+        problem(BB, "phi incoming blocks do not match predecessors");
     }
     // Operand sanity.
-    for (const auto &I : *BB)
+    for (const Instruction *I : *BB)
       for (const Value *Op : I->operands()) {
         if (!Op) {
-          problem(Where + "null operand");
+          problem(BB, "null operand");
           continue;
         }
-        if (isa<Instruction>(Op) && !Defined.count(Op))
-          problem(Where + "operand not defined in this function");
+        if (isa<Instruction>(Op) && !defined(Op))
+          problem(BB, "operand not defined in this function");
       }
     // Branch targets must be blocks of this function.
     if (const Instruction *T = BB->terminator())
       for (const BasicBlock *Succ : T->blocks()) {
         bool Found = false;
-        for (const auto &Other : F.blocks())
-          Found |= Other.get() == Succ;
+        for (const BasicBlock *Other : F.blocks())
+          Found |= Other == Succ;
         if (!Found)
-          problem(Where + "branch to block outside the function");
+          problem(BB, "branch to block outside the function");
       }
   }
   return Problems;

@@ -925,7 +925,8 @@ InductionAnalysis::classifyExternal(const ir::Value *V,
 SymbolNamer InductionAnalysis::namer() const {
   return [](SymbolRef S) -> std::string {
     const auto *V = static_cast<const ir::Value *>(S);
-    return V->name().empty() ? std::string("<tmp>") : V->name();
+    return V->name().empty() ? std::string("<tmp>")
+                             : std::string(V->name());
   };
 }
 
@@ -940,7 +941,8 @@ std::string InductionAnalysis::strNested(const Classification &C,
           if (IC.hasClosedForm() && !IC.isInvariant())
             return strNested(IC, Depth - 1);
         }
-    return V->name().empty() ? std::string("<tmp>") : V->name();
+    return V->name().empty() ? std::string("<tmp>")
+                             : std::string(V->name());
   };
   return C.str(N);
 }
@@ -961,11 +963,9 @@ ir::Value *InductionAnalysis::materializeAffine(const Affine &V,
   // Insert at the top of the block (after its phis) so existing uses of the
   // replaced value later in the same block stay dominated.
   size_t InsertPos = BB->phis().size();
-  auto emit = [&](std::unique_ptr<ir::Instruction> I) {
-    // Keep the dense numbering valid for the enclosing loops' graphs.
-    I->setSeq(F.allocateInstrSeq());
-    return BB->insertAt(InsertPos++, std::move(I));
-  };
+  // newInstr hands out a fresh seq, so the enclosing loops' dense numbering
+  // stays valid for the materialized instructions.
+  auto emit = [&](ir::Instruction *I) { return BB->insertAt(InsertPos++, I); };
   ir::Value *Acc = nullptr;
   // Emission order must be stable across runs and worker threads (terms()
   // iterates in pointer order); see ir/AffineOrder.h.
@@ -973,20 +973,15 @@ ir::Value *InductionAnalysis::materializeAffine(const Affine &V,
     auto *SymV = const_cast<ir::Value *>(Sym);
     ir::Value *Term = SymV;
     if (!Coeff.isOne())
-      Term = emit(std::make_unique<ir::Instruction>(
-          ir::Opcode::Mul,
-          std::vector<ir::Value *>{F.constant(Coeff.getInteger()), SymV}));
-    Acc = Acc ? emit(std::make_unique<ir::Instruction>(
-                    ir::Opcode::Add, std::vector<ir::Value *>{Acc, Term}))
-              : Term;
+      Term = emit(
+          F.newInstr(ir::Opcode::Mul, {F.constant(Coeff.getInteger()), SymV}));
+    Acc = Acc ? emit(F.newInstr(ir::Opcode::Add, {Acc, Term})) : Term;
   }
   int64_t C0 = V.constantPart().getInteger();
   if (!Acc)
     return F.constant(C0);
   if (C0 != 0)
-    Acc = emit(std::make_unique<ir::Instruction>(
-        ir::Opcode::Add,
-        std::vector<ir::Value *>{Acc, F.constant(C0)}));
+    Acc = emit(F.newInstr(ir::Opcode::Add, {Acc, F.constant(C0)}));
   if (auto *AI = ir::dyn_cast<ir::Instruction>(Acc))
     if (AI->name().empty())
       AI->setName(F.uniqueName(Name));
@@ -1067,7 +1062,7 @@ void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
     };
     std::vector<Use> Uses;
     for (const auto &BB : F.blocks())
-      for (const auto &U : *BB)
+      for (ir::Instruction *U : *BB)
         for (unsigned Idx = 0; Idx < U->numOperands(); ++Idx) {
           if (U->operand(Idx) != V)
             continue;
@@ -1077,12 +1072,13 @@ void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
             continue;
           if (Where != ExitBB && !DT.properlyDominates(ExitBB, Where))
             continue;
-          Uses.push_back({U.get(), Idx});
+          Uses.push_back({U, Idx});
         }
     if (Uses.empty())
       continue;
 
-    ir::Value *Mat = materializeAffine(*EV, ExitBB, V->name() + ".exit");
+    ir::Value *Mat =
+        materializeAffine(*EV, ExitBB, std::string(V->name()) + ".exit");
     if (!Mat)
       continue;
     for (const Use &U : Uses)

@@ -40,23 +40,21 @@ std::string biv::ivclass::report(InductionAnalysis &IA,
     };
     for (ir::Instruction *Phi : L->header()->phis()) {
       std::string Label = P.nameOf(Phi);
-      if (Info) {
-        auto It = Info->PhiVar.find(Phi);
-        if (It != Info->PhiVar.end())
-          Label = It->second->name();
-      }
+      if (Info)
+        if (const ir::Var *V = Phi->variable())
+          Label = std::string(V->name());
       line(Phi, Label);
     }
     if (Opts.AllValues)
       for (ir::BasicBlock *BB : L->blocks()) {
         if (LI.loopFor(BB) != L.get())
           continue;
-        for (const auto &I : *BB) {
+        for (const ir::Instruction *I : *BB) {
           if (I->isPhi() && I->parent() == L->header())
             continue;
           if (I->isTerminator() || I->hasSideEffects())
             continue;
-          line(I.get(), P.nameOf(I.get()));
+          line(I, P.nameOf(I));
         }
       }
   }

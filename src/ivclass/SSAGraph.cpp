@@ -14,8 +14,8 @@ SSAGraph::SSAGraph(const analysis::Loop &L, const analysis::LoopInfo &LI)
   for (ir::BasicBlock *BB : L.blocks()) {
     if (LI.loopFor(BB) != &L)
       continue;
-    for (const auto &I : *BB)
-      Nodes.push_back(I.get());
+    for (ir::Instruction *I : *BB)
+      Nodes.push_back(I);
   }
 
   // Instructions must carry valid dense numbers; number the function on

@@ -2,42 +2,40 @@
 
 #include "ssa/DeadCode.h"
 #include "support/Stats.h"
-#include <set>
+#include <cstdint>
 #include <vector>
 
 using namespace biv;
 
 unsigned biv::ssa::removeDeadCode(ir::Function &F) {
   static const stats::Counter NumDceRemoved("ssa.dce_removed");
-  // Roots: side effects and terminators.
-  std::set<const ir::Instruction *> Live;
+  // Liveness is a bitmap over Instruction::seq() (DESIGN.md §11).
+  const unsigned NumInstrs = F.renumberInstructions();
+  std::vector<uint8_t> Live(NumInstrs, 0);
   std::vector<const ir::Instruction *> Work;
-  for (const auto &BB : F.blocks())
-    for (const auto &I : *BB)
-      if (I->hasSideEffects())
-        if (Live.insert(I.get()).second)
-          Work.push_back(I.get());
+  // Roots: side effects and terminators.
+  for (const ir::BasicBlock *BB : F.blocks())
+    for (const ir::Instruction *I : *BB)
+      if (I->hasSideEffects() && !Live[I->seq()]) {
+        Live[I->seq()] = 1;
+        Work.push_back(I);
+      }
   // Transitive marking through operands.
   while (!Work.empty()) {
     const ir::Instruction *I = Work.back();
     Work.pop_back();
     for (const ir::Value *Op : I->operands())
       if (const auto *Def = ir::dyn_cast<ir::Instruction>(Op))
-        if (Live.insert(Def).second)
+        if (!Live[Def->seq()]) {
+          Live[Def->seq()] = 1;
           Work.push_back(Def);
+        }
   }
-  // Sweep.
+  // Sweep: one stable compaction per block.
   unsigned Removed = 0;
-  for (const auto &BB : F.blocks()) {
-    std::vector<ir::Instruction *> Dead;
-    for (const auto &I : *BB)
-      if (!Live.count(I.get()))
-        Dead.push_back(I.get());
-    for (ir::Instruction *I : Dead) {
-      BB->erase(I);
-      ++Removed;
-    }
-  }
+  for (ir::BasicBlock *BB : F.blocks())
+    Removed += BB->removeInstrsIf(
+        [&](const ir::Instruction *I) { return !Live[I->seq()]; });
   NumDceRemoved.bump(Removed);
   return Removed;
 }

@@ -2,9 +2,8 @@
 
 #include "ssa/SCCP.h"
 #include "support/Stats.h"
-#include <map>
+#include <cstdint>
 #include <optional>
-#include <set>
 #include <vector>
 
 using namespace biv;
@@ -73,6 +72,10 @@ std::optional<int64_t> foldBinary(ir::Opcode Op, int64_t L, int64_t R) {
   }
 }
 
+/// Dense-table SCCP (DESIGN.md §11): lattice state and the def->users lists
+/// are flat vectors over Instruction::seq(), executable edges are a two-bit
+/// mask per source block (a terminator has at most two successors), and
+/// block reachability is a byte per block id.  No pointer-keyed containers.
 class SCCPSolver {
 public:
   explicit SCCPSolver(ir::Function &F) : F(F) {}
@@ -87,47 +90,67 @@ private:
       return LatticeVal::bottom();
     if (ir::isa<ir::UndefValue>(V))
       return LatticeVal::top();
-    auto It = State.find(V);
-    return It == State.end() ? LatticeVal::top() : It->second;
+    return State[ir::cast<ir::Instruction>(V)->seq()];
   }
 
   void setValue(const ir::Instruction *I, LatticeVal LV) {
-    LatticeVal &Slot = State[I];
+    LatticeVal &Slot = State[I->seq()];
     // Values only ever move down the lattice.
     if (Slot == LV || Slot.isBottom())
       return;
     Slot = LV;
-    auto It = Users.find(I);
-    if (It != Users.end())
-      for (ir::Instruction *U : It->second)
-        InstWorklist.push_back(U);
+    for (uint32_t U = UserStart[I->seq()]; U < UserStart[I->seq() + 1]; ++U)
+      InstWorklist.push_back(UserList[U]);
   }
 
-  void markEdge(ir::BasicBlock *From, ir::BasicBlock *To) {
-    if (!ExecEdges.insert({From->id(), To->id()}).second)
+  /// Marks successor slot \p Slot of \p From's terminator executable.
+  void markEdge(ir::BasicBlock *From, unsigned Slot) {
+    const uint8_t Bit = uint8_t(1u << Slot);
+    if (EdgeMask[From->id()] & Bit)
       return;
-    if (ReachableBlocks.insert(To->id()).second)
+    EdgeMask[From->id()] |= Bit;
+    ir::BasicBlock *To = From->terminator()->blocks()[Slot];
+    if (!Reachable[To->id()]) {
+      Reachable[To->id()] = 1;
       BlockWorklist.push_back(To);
-    else
+    } else {
       // Re-evaluate the phis: a new incoming edge became live.
       for (ir::Instruction *Phi : To->phis())
         InstWorklist.push_back(Phi);
+    }
+  }
+
+  /// True when some executable successor slot of \p From targets \p To.
+  bool edgeExecutable(const ir::BasicBlock *From,
+                      const ir::BasicBlock *To) const {
+    const uint8_t Mask = EdgeMask[From->id()];
+    if (!Mask)
+      return false;
+    std::span<ir::BasicBlock *const> Succs = From->successors();
+    for (unsigned Slot = 0; Slot < Succs.size(); ++Slot)
+      if ((Mask & (1u << Slot)) && Succs[Slot] == To)
+        return true;
+    return false;
   }
 
   void visit(ir::Instruction *I);
   void visitBlock(ir::BasicBlock *BB);
 
   ir::Function &F;
-  std::map<const ir::Value *, LatticeVal> State;
-  std::map<const ir::Value *, std::vector<ir::Instruction *>> Users;
-  std::set<std::pair<unsigned, unsigned>> ExecEdges;
-  std::set<unsigned> ReachableBlocks;
+  /// Lattice state per Instruction::seq().
+  std::vector<LatticeVal> State;
+  /// Instruction users of each instruction's value, CSR over seqs.
+  std::vector<uint32_t> UserStart;
+  std::vector<ir::Instruction *> UserList;
+  /// Executable-successor bits per source block id (bit k = slot k).
+  std::vector<uint8_t> EdgeMask;
+  std::vector<uint8_t> Reachable;
   std::vector<ir::BasicBlock *> BlockWorklist;
   std::vector<ir::Instruction *> InstWorklist;
 };
 
 void SCCPSolver::visit(ir::Instruction *I) {
-  if (!ReachableBlocks.count(I->parent()->id()))
+  if (!Reachable[I->parent()->id()])
     return;
   switch (I->opcode()) {
   case ir::Opcode::Phi: {
@@ -135,7 +158,7 @@ void SCCPSolver::visit(ir::Instruction *I) {
     LatticeVal Merged = LatticeVal::top();
     for (unsigned Idx = 0; Idx < I->numOperands(); ++Idx) {
       ir::BasicBlock *In = I->blocks()[Idx];
-      if (!ExecEdges.count({In->id(), I->parent()->id()}))
+      if (!edgeExecutable(In, I->parent()))
         continue;
       LatticeVal V = valueOf(I->operand(Idx));
       if (V.isTop())
@@ -166,17 +189,17 @@ void SCCPSolver::visit(ir::Instruction *I) {
   case ir::Opcode::Ret:
     return;
   case ir::Opcode::Br:
-    markEdge(I->parent(), I->blocks()[0]);
+    markEdge(I->parent(), 0);
     return;
   case ir::Opcode::CondBr: {
     LatticeVal C = valueOf(I->operand(0));
     if (C.isTop())
       return;
     if (C.isConst()) {
-      markEdge(I->parent(), I->blocks()[C.Val != 0 ? 0 : 1]);
+      markEdge(I->parent(), C.Val != 0 ? 0 : 1);
     } else {
-      markEdge(I->parent(), I->blocks()[0]);
-      markEdge(I->parent(), I->blocks()[1]);
+      markEdge(I->parent(), 0);
+      markEdge(I->parent(), 1);
     }
     return;
   }
@@ -205,19 +228,36 @@ void SCCPSolver::visit(ir::Instruction *I) {
 }
 
 void SCCPSolver::visitBlock(ir::BasicBlock *BB) {
-  for (const auto &I : *BB)
-    visit(I.get());
+  for (ir::Instruction *I : *BB)
+    visit(I);
 }
 
 SCCPResult SCCPSolver::run(bool SimplifyCFG) {
-  // Record users for sparse propagation.
-  for (const auto &BB : F.blocks())
-    for (const auto &I : *BB)
-      for (ir::Value *Op : I->operands())
-        if (ir::isa<ir::Instruction>(Op))
-          Users[Op].push_back(I.get());
+  // Downstream phases renumber for themselves, so renumbering here is safe
+  // and guarantees seqs are dense even after SSA's deferred erasures.
+  const unsigned NumInstrs = F.renumberInstructions();
+  State.assign(NumInstrs, LatticeVal::top());
 
-  ReachableBlocks.insert(F.entry()->id());
+  // Record users for sparse propagation: count per def, prefix-sum, fill.
+  UserStart.assign(NumInstrs + 1, 0);
+  for (const ir::BasicBlock *BB : F.blocks())
+    for (const ir::Instruction *I : *BB)
+      for (const ir::Value *Op : I->operands())
+        if (const auto *Def = ir::dyn_cast<ir::Instruction>(Op))
+          ++UserStart[Def->seq() + 1];
+  for (unsigned S = 0; S < NumInstrs; ++S)
+    UserStart[S + 1] += UserStart[S];
+  UserList.resize(UserStart[NumInstrs]);
+  std::vector<uint32_t> Fill(UserStart.begin(), UserStart.end() - 1);
+  for (const ir::BasicBlock *BB : F.blocks())
+    for (ir::Instruction *I : *BB)
+      for (const ir::Value *Op : I->operands())
+        if (const auto *Def = ir::dyn_cast<ir::Instruction>(Op))
+          UserList[Fill[Def->seq()]++] = I;
+
+  EdgeMask.assign(F.numBlocks(), 0);
+  Reachable.assign(F.numBlocks(), 0);
+  Reachable[F.entry()->id()] = 1;
   BlockWorklist.push_back(F.entry());
   while (!BlockWorklist.empty() || !InstWorklist.empty()) {
     while (!InstWorklist.empty()) {
@@ -235,17 +275,17 @@ SCCPResult SCCPSolver::run(bool SimplifyCFG) {
   SCCPResult Result;
   // Replace constant instructions.
   std::vector<ir::Instruction *> Dead;
-  for (const auto &BB : F.blocks()) {
-    if (!ReachableBlocks.count(BB->id()))
+  for (ir::BasicBlock *BB : F.blocks()) {
+    if (!Reachable[BB->id()])
       continue;
-    for (const auto &I : *BB) {
+    for (ir::Instruction *I : *BB) {
       if (I->hasSideEffects() || I->isTerminator())
         continue;
-      LatticeVal V = valueOf(I.get());
+      LatticeVal V = valueOf(I);
       if (!V.isConst())
         continue;
-      F.replaceAllUsesWith(I.get(), F.constant(V.Val));
-      Dead.push_back(I.get());
+      F.replaceAllUsesWith(I, F.constant(V.Val));
+      Dead.push_back(I);
       ++Result.FoldedInstructions;
     }
   }
@@ -257,8 +297,8 @@ SCCPResult SCCPSolver::run(bool SimplifyCFG) {
 
   // Rewrite decided conditional branches and drop the dead edges' phi
   // incomings before deleting unreachable blocks.
-  for (const auto &BB : F.blocks()) {
-    if (!ReachableBlocks.count(BB->id()))
+  for (ir::BasicBlock *BB : F.blocks()) {
+    if (!Reachable[BB->id()])
       continue;
     ir::Instruction *T = BB->terminator();
     if (!T || T->opcode() != ir::Opcode::CondBr)
@@ -271,13 +311,12 @@ SCCPResult SCCPSolver::run(bool SimplifyCFG) {
     if (Live != DeadSucc)
       for (ir::Instruction *Phi : DeadSucc->phis())
         for (unsigned Idx = Phi->numOperands(); Idx-- > 0;)
-          if (Phi->blocks()[Idx] == BB.get())
+          if (Phi->blocks()[Idx] == BB)
             Phi->removeIncoming(Idx);
     BB->erase(T);
-    auto Br = std::make_unique<ir::Instruction>(ir::Opcode::Br,
-                                                std::vector<ir::Value *>{});
+    ir::Instruction *Br = F.newInstr(ir::Opcode::Br);
     Br->addBlock(Live);
-    BB->append(std::move(Br));
+    BB->append(Br);
     ++Result.SimplifiedBranches;
   }
   F.recomputePreds();

@@ -12,6 +12,12 @@
 /// followed by a dominator-tree renaming walk that deletes every LoadVar /
 /// StoreVar and rewires uses to the unique reaching SSA definition.
 ///
+/// The builder keeps no pointer-keyed maps (DESIGN.md §11): each inserted
+/// phi records the Var it merges in Instruction::variable() (the same slot
+/// LoadVar/StoreVar use), rename stacks are indexed by Var::id(), phi/store
+/// marks are epoch-stamped per block id, and load replacements are a flat
+/// vector over Instruction::seq().
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BEYONDIV_SSA_SSABUILDER_H
@@ -19,23 +25,21 @@
 
 #include "analysis/DominatorTree.h"
 #include "ir/Function.h"
-#include <map>
+#include <string_view>
 
 namespace biv {
 namespace ssa {
 
 /// What SSA construction learned; the IV analysis and tests use it to locate
-/// the phi of a given source variable in a given block.
+/// the phi of a given source variable in a given block.  The phi->variable
+/// association itself lives on the instructions (Instruction::variable()).
 struct SSAInfo {
-  /// For every phi inserted, the scalar variable it merges.
-  std::map<const ir::Instruction *, const ir::Var *> PhiVar;
-
   /// Number of phis placed (for stats/benches).
   unsigned PhisPlaced = 0;
 
   /// Finds the phi merging \p VarName at the top of \p BB, or null.
   ir::Instruction *phiFor(const ir::BasicBlock *BB,
-                          const std::string &VarName) const;
+                          std::string_view VarName) const;
 };
 
 /// Converts \p F into SSA form in place.  Requires preds to be computed.

@@ -6,6 +6,7 @@
 #include "ir/Verifier.h"
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 using namespace biv;
 using namespace biv::ssa;
@@ -16,15 +17,21 @@ std::vector<std::string> biv::ssa::verifySSA(const ir::Function &F) {
     return Problems;
 
   analysis::DominatorTree DT(F);
-  ir::Printer P(F);
+  // The printer walks the whole function and allocates a name per value, so
+  // only build it if something is actually wrong.
+  std::optional<ir::Printer> LazyP;
+  auto P = [&]() -> ir::Printer & {
+    if (!LazyP)
+      LazyP.emplace(F);
+    return *LazyP;
+  };
 
-  for (const auto &BB : F.blocks())
-    for (const auto &IPtr : *BB) {
-      const ir::Instruction *I = IPtr.get();
+  for (const ir::BasicBlock *BB : F.blocks())
+    for (const ir::Instruction *I : *BB) {
       if (I->opcode() == ir::Opcode::LoadVar ||
           I->opcode() == ir::Opcode::StoreVar) {
         Problems.push_back("scalar access survived SSA construction: " +
-                           P.str(I));
+                           P().str(I));
         continue;
       }
       if (I->isPhi()) {
@@ -36,15 +43,15 @@ std::vector<std::string> biv::ssa::verifySSA(const ir::Function &F) {
           const ir::BasicBlock *In = I->blocks()[Idx];
           if (Def->parent() != In && !DT.properlyDominates(Def->parent(), In))
             Problems.push_back("phi incoming does not dominate edge: " +
-                               P.str(I));
+                               P().str(I));
         }
         continue;
       }
       for (const ir::Value *Op : I->operands()) {
         const auto *Def = ir::dyn_cast<ir::Instruction>(Op);
         if (Def && !DT.dominates(Def, I))
-          Problems.push_back("use not dominated by definition: " + P.str(I) +
-                             " uses " + P.nameOf(Def));
+          Problems.push_back("use not dominated by definition: " + P().str(I) +
+                             " uses " + P().nameOf(Def));
       }
     }
   return Problems;

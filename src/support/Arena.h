@@ -1,0 +1,253 @@
+//===- support/Arena.h - Chunked bump allocator -----------------*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator and the arena-backed containers the AST/IR are
+/// built from (DESIGN.md §11).
+///
+/// An Arena hands out pointer-bumped storage from geometrically growing
+/// chunks and frees everything at once when destroyed (or on reset()).
+/// Nothing is ever deallocated individually and destructors are never run,
+/// so every type placed in an arena must be trivially destructible --
+/// `create<T>` enforces this statically.  Types whose only "resources" are
+/// other arena allocations (ArenaVector members) satisfy the requirement by
+/// construction: their memory dies with the arena.
+///
+/// The unit of ownership is one compilation unit: the parser owns an arena
+/// for the AST, ir::Function owns one for blocks/instructions/operand lists,
+/// and the batch driver frees a whole unit by dropping the Function.  Raw
+/// pointers into an arena (Value*, Symbol string_views) are valid exactly as
+/// long as the owning arena; nothing may outlive it (the sanitizer fuzz run
+/// exercises this contract, see tools/run_fuzz.sh).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_SUPPORT_ARENA_H
+#define BEYONDIV_SUPPORT_ARENA_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace biv {
+namespace support {
+
+/// Chunked bump allocator.  Allocation is a pointer bump; deallocation is a
+/// no-op until the whole arena is reset or destroyed.
+class Arena {
+public:
+  /// First chunk size; chunks double up to MaxChunkBytes.
+  static constexpr size_t MinChunkBytes = size_t(1) << 12;
+  static constexpr size_t MaxChunkBytes = size_t(1) << 20;
+
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+  ~Arena() { releaseChunks(Chunks); }
+
+  /// Bump-allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+    uintptr_t P = (reinterpret_cast<uintptr_t>(Cur) + Align - 1) & ~(Align - 1);
+    if (P + Size > reinterpret_cast<uintptr_t>(End)) {
+      grow(Size, Align);
+      P = (reinterpret_cast<uintptr_t>(Cur) + Align - 1) & ~(Align - 1);
+    }
+    Cur = reinterpret_cast<char *>(P + Size);
+    Allocated += Size;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Placement-new for trivially destructible \p T; the object's destructor
+  /// is never run (batch free).
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are batch-freed without destruction");
+    return new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(As)...);
+  }
+
+  /// Uninitialized storage for \p N objects of \p T.
+  template <typename T> T *allocateArray(size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena arrays are batch-freed without destruction");
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Copies \p Len bytes into the arena and returns the stable copy.
+  char *copyBytes(const char *Data, size_t Len) {
+    char *P = static_cast<char *>(allocate(Len ? Len : 1, 1));
+    std::memcpy(P, Data, Len);
+    return P;
+  }
+
+  /// Batch free: drops every chunk and rewinds the counters.  All pointers
+  /// previously handed out become invalid.
+  void reset() {
+    releaseChunks(Chunks);
+    Chunks = nullptr;
+    Cur = End = nullptr;
+    NChunks = 0;
+    Reserved = 0;
+    Allocated = 0;
+    NextChunkBytes = MinChunkBytes;
+  }
+
+  /// Total bytes handed out to callers (not counting alignment padding).
+  size_t bytesAllocated() const { return Allocated; }
+  /// Total bytes acquired from the heap for chunks.
+  size_t bytesReserved() const { return Reserved; }
+  /// Number of chunks acquired from the heap.
+  size_t numChunks() const { return NChunks; }
+
+private:
+  struct ChunkHeader {
+    ChunkHeader *Next;
+    size_t Bytes;
+  };
+
+  void grow(size_t Need, size_t Align) {
+    size_t Payload = Need + Align + sizeof(ChunkHeader);
+    size_t Bytes = NextChunkBytes;
+    while (Bytes < Payload)
+      Bytes *= 2;
+    if (NextChunkBytes < MaxChunkBytes)
+      NextChunkBytes *= 2;
+    char *Raw = static_cast<char *>(::operator new(Bytes));
+    auto *H = reinterpret_cast<ChunkHeader *>(Raw);
+    H->Next = Chunks;
+    H->Bytes = Bytes;
+    Chunks = H;
+    Cur = Raw + sizeof(ChunkHeader);
+    End = Raw + Bytes;
+    ++NChunks;
+    Reserved += Bytes;
+  }
+
+  static void releaseChunks(ChunkHeader *H) {
+    while (H) {
+      ChunkHeader *Next = H->Next;
+      ::operator delete(static_cast<void *>(H));
+      H = Next;
+    }
+  }
+
+  char *Cur = nullptr;
+  char *End = nullptr;
+  ChunkHeader *Chunks = nullptr;
+  size_t NChunks = 0;
+  size_t Reserved = 0;
+  size_t Allocated = 0;
+  size_t NextChunkBytes = MinChunkBytes;
+};
+
+/// A growable array whose storage lives in an Arena.  Element type must be
+/// trivially copyable (the growth path memcpys) and trivially destructible.
+/// Mutating operations that may grow take the arena explicitly; outgrown
+/// storage is abandoned in place (geometric growth bounds the waste to the
+/// final capacity).
+template <typename T> class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVector elements are moved with memcpy");
+
+public:
+  using value_type = T;
+
+  ArenaVector() = default;
+
+  T *begin() { return Data; }
+  T *end() { return Data + Sz; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Sz; }
+
+  size_t size() const { return Sz; }
+  bool empty() const { return Sz == 0; }
+
+  T &operator[](size_t I) {
+    assert(I < Sz && "index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Sz && "index out of range");
+    return Data[I];
+  }
+  T &front() { return (*this)[0]; }
+  T &back() { return (*this)[Sz - 1]; }
+  const T &front() const { return (*this)[0]; }
+  const T &back() const { return (*this)[Sz - 1]; }
+
+  void reserve(Arena &A, size_t N) {
+    // Grow geometrically even for explicit reserves: callers like the
+    // function's per-symbol tables resize by one symbol at a time, and an
+    // exact-fit regrow would memcpy the whole table on every step (O(n^2)).
+    if (N > Cap)
+      regrow(A, std::max(N, size_t(Cap) * 2));
+  }
+
+  void push_back(Arena &A, const T &V) {
+    if (Sz == Cap)
+      regrow(A, Cap ? Cap * 2 : 4);
+    Data[Sz++] = V;
+  }
+
+  void insert(Arena &A, size_t Pos, const T &V) {
+    assert(Pos <= Sz && "insert position out of range");
+    if (Sz == Cap)
+      regrow(A, Cap ? Cap * 2 : 4);
+    std::memmove(Data + Pos + 1, Data + Pos, (Sz - Pos) * sizeof(T));
+    Data[Pos] = V;
+    ++Sz;
+  }
+
+  void erase(size_t Pos) {
+    assert(Pos < Sz && "erase position out of range");
+    std::memmove(Data + Pos, Data + Pos + 1, (Sz - Pos - 1) * sizeof(T));
+    --Sz;
+  }
+
+  void pop_back() {
+    assert(Sz && "pop_back on empty vector");
+    --Sz;
+  }
+
+  void clear() { Sz = 0; }
+
+  /// Drops elements past \p N without touching storage (never grows).
+  void truncate(size_t N) {
+    assert(N <= Sz && "truncate cannot grow");
+    Sz = uint32_t(N);
+  }
+
+  void resize(Arena &A, size_t N, const T &Fill = T()) {
+    reserve(A, N);
+    for (size_t I = Sz; I < N; ++I)
+      Data[I] = Fill;
+    Sz = uint32_t(N);
+  }
+
+private:
+  void regrow(Arena &A, size_t NewCap) {
+    T *NewData = A.allocateArray<T>(NewCap);
+    if (Sz)
+      std::memcpy(NewData, Data, Sz * sizeof(T));
+    Data = NewData;
+    Cap = uint32_t(NewCap);
+  }
+
+  T *Data = nullptr;
+  uint32_t Sz = 0;
+  uint32_t Cap = 0;
+};
+
+} // namespace support
+} // namespace biv
+
+#endif // BEYONDIV_SUPPORT_ARENA_H

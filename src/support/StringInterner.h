@@ -1,0 +1,132 @@
+//===- support/StringInterner.h - Arena-backed string interner --*- C++ -*-===//
+//
+// Part of the BeyondIV project: a reproduction of Michael Wolfe,
+// "Beyond Induction Variables", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier interning (DESIGN.md §11): every distinct spelling seen by a
+/// unit is stored once in the unit's arena and addressed by a dense u32
+/// Symbol.  Name equality becomes integer equality, name-keyed tables become
+/// symbol-indexed vectors, and the string_views handed back stay valid for
+/// the arena's lifetime.
+///
+/// Symbols are per-interner (per unit): they are assigned in first-touch
+/// order, so for a fixed source text they are deterministic, but they must
+/// never be compared across units.  Anything that crosses units (reports,
+/// cache digests) goes through the spelling.
+///
+/// The table is open-addressed (power-of-two capacity, FNV-1a, linear
+/// probing) with all storage -- entries, spellings -- in the arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEYONDIV_SUPPORT_STRINGINTERNER_H
+#define BEYONDIV_SUPPORT_STRINGINTERNER_H
+
+#include "support/Arena.h"
+#include <cstdint>
+#include <string_view>
+
+namespace biv {
+namespace support {
+
+/// Dense per-unit identifier handle; index into the owning interner.
+using Symbol = uint32_t;
+
+/// Sentinel for "no symbol" (empty/absent name).
+inline constexpr Symbol NoSymbol = ~Symbol(0);
+
+class StringInterner {
+public:
+  explicit StringInterner(Arena &A) : A(A) {}
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Interns \p S, returning its dense symbol (allocating on first touch).
+  Symbol intern(std::string_view S) {
+    if (Slots.empty())
+      rehash(64);
+    size_t Mask = Slots.size() - 1;
+    size_t H = hash(S);
+    for (size_t I = H & Mask;; I = (I + 1) & Mask) {
+      uint32_t Slot = Slots[I];
+      if (Slot == EmptySlot) {
+        Symbol Sym = Symbol(Spellings.size());
+        char *Copy = A.copyBytes(S.data(), S.size());
+        Spellings.push_back(A, std::string_view(Copy, S.size()));
+        Slots[I] = Sym;
+        if ((Spellings.size() + 1) * 4 > Slots.size() * 3)
+          rehash(Slots.size() * 2);
+        return Sym;
+      }
+      if (Spellings[Slot] == S)
+        return Slot;
+    }
+  }
+
+  /// Interns \p S and returns the stable arena-backed spelling.
+  std::string_view internView(std::string_view S) { return str(intern(S)); }
+
+  /// Finds \p S without interning; NoSymbol when never seen.
+  Symbol lookup(std::string_view S) const {
+    if (Slots.empty())
+      return NoSymbol;
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = hash(S) & Mask;; I = (I + 1) & Mask) {
+      uint32_t Slot = Slots[I];
+      if (Slot == EmptySlot)
+        return NoSymbol;
+      if (Spellings[Slot] == S)
+        return Slot;
+    }
+  }
+
+  /// The spelling of \p Sym; stable for the arena's lifetime.
+  std::string_view str(Symbol Sym) const {
+    assert(Sym < Spellings.size() && "bad symbol");
+    return Spellings[Sym];
+  }
+
+  /// Number of distinct spellings interned.
+  size_t size() const { return Spellings.size(); }
+
+  /// The arena backing this interner's storage.
+  Arena &arena() const { return A; }
+
+private:
+  static constexpr uint32_t EmptySlot = ~uint32_t(0);
+
+  static size_t hash(std::string_view S) {
+    // FNV-1a, the project-wide hash (matches cache/Digest.h's choice).
+    uint64_t H = 1469598103934665603ull;
+    for (char C : S) {
+      H ^= uint8_t(C);
+      H *= 1099511628211ull;
+    }
+    return size_t(H);
+  }
+
+  void rehash(size_t NewCap) {
+    ArenaVector<uint32_t> NewSlots;
+    NewSlots.resize(A, NewCap, EmptySlot);
+    size_t Mask = NewCap - 1;
+    for (uint32_t Sym = 0; Sym < Spellings.size(); ++Sym) {
+      size_t I = hash(Spellings[Sym]) & Mask;
+      while (NewSlots[I] != EmptySlot)
+        I = (I + 1) & Mask;
+      NewSlots[I] = Sym;
+    }
+    Slots = NewSlots;
+  }
+
+  Arena &A;
+  ArenaVector<uint32_t> Slots;               ///< Open-addressed symbol slots.
+  ArenaVector<std::string_view> Spellings;   ///< Symbol -> arena spelling.
+};
+
+} // namespace support
+} // namespace biv
+
+#endif // BEYONDIV_SUPPORT_STRINGINTERNER_H

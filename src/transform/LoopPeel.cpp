@@ -35,13 +35,13 @@ bool peelOnce(ir::Function &F, const std::string &LoopName) {
   std::map<const ir::BasicBlock *, ir::BasicBlock *> BlockMap;
   std::map<const ir::Value *, ir::Value *> ValueMap;
   for (ir::BasicBlock *BB : L->blocks())
-    BlockMap[BB] = F.createBlock(BB->name() + ".peel");
+    BlockMap[BB] = F.createBlock(std::string(BB->name()) + ".peel");
   for (ir::BasicBlock *BB : L->blocks()) {
     ir::BasicBlock *NewBB = BlockMap[BB];
-    for (const auto &I : *BB) {
-      auto Clone = std::make_unique<ir::Instruction>(
+    for (const ir::Instruction *I : *BB) {
+      ir::Instruction *Clone = F.newInstr(
           I->opcode(), I->operands(),
-          I->name().empty() ? std::string() : F.uniqueName(I->name()));
+          I->name().empty() ? std::string_view() : F.uniqueName(I->name()));
       Clone->setVariable(I->variable());
       Clone->setArray(I->array());
       for (ir::BasicBlock *Succ : I->blocks()) {
@@ -53,13 +53,13 @@ bool peelOnce(ir::Function &F, const std::string &LoopName) {
         else
           Clone->addBlock(It->second);
       }
-      ValueMap[I.get()] = NewBB->append(std::move(Clone));
+      ValueMap[I] = NewBB->append(Clone);
     }
   }
   // Remap intra-clone operands.
   for (ir::BasicBlock *BB : L->blocks())
-    for (const auto &I : *BB) {
-      auto *Clone = ir::cast<ir::Instruction>(ValueMap[I.get()]);
+    for (const ir::Instruction *I : *BB) {
+      auto *Clone = ir::cast<ir::Instruction>(ValueMap[I]);
       for (unsigned Idx = 0; Idx < Clone->numOperands(); ++Idx) {
         auto It = ValueMap.find(Clone->operand(Idx));
         if (It != ValueMap.end())

@@ -20,9 +20,7 @@ ir::Value *materializeAt(ir::Function &F, const Affine &V,
   for (const auto &[Sym, Coeff] : V.terms())
     if (!Coeff.isInteger())
       return nullptr;
-  auto emit = [&](std::unique_ptr<ir::Instruction> I) {
-    return BB->insertAt(Pos++, std::move(I));
-  };
+  auto emit = [&](ir::Instruction *I) { return BB->insertAt(Pos++, I); };
   ir::Value *Acc = nullptr;
   // Emission order must be stable across runs and worker threads (terms()
   // iterates in pointer order); see ir/AffineOrder.h.
@@ -30,19 +28,15 @@ ir::Value *materializeAt(ir::Function &F, const Affine &V,
     auto *SymV = const_cast<ir::Value *>(Sym);
     ir::Value *Term = SymV;
     if (!Coeff.isOne())
-      Term = emit(std::make_unique<ir::Instruction>(
-          ir::Opcode::Mul,
-          std::vector<ir::Value *>{F.constant(Coeff.getInteger()), SymV}));
-    Acc = Acc ? emit(std::make_unique<ir::Instruction>(
-                    ir::Opcode::Add, std::vector<ir::Value *>{Acc, Term}))
-              : Term;
+      Term = emit(
+          F.newInstr(ir::Opcode::Mul, {F.constant(Coeff.getInteger()), SymV}));
+    Acc = Acc ? emit(F.newInstr(ir::Opcode::Add, {Acc, Term})) : Term;
   }
   int64_t C0 = V.constantPart().getInteger();
   if (!Acc)
     return F.constant(C0);
   if (C0 != 0)
-    Acc = emit(std::make_unique<ir::Instruction>(
-        ir::Opcode::Add, std::vector<ir::Value *>{Acc, F.constant(C0)}));
+    Acc = emit(F.newInstr(ir::Opcode::Add, {Acc, F.constant(C0)}));
   if (auto *AI = ir::dyn_cast<ir::Instruction>(Acc))
     if (AI->name().empty())
       AI->setName(F.uniqueName(Name));
@@ -84,15 +78,15 @@ biv::transform::strengthReduce(ivclass::InductionAnalysis &IA) {
     std::vector<std::pair<ir::Instruction *, ivclass::ClosedForm>> Work;
     for (ir::BasicBlock *BB : L->blocks()) {
       const analysis::Loop *Innermost = LI.loopFor(BB);
-      for (const auto &I : *BB) {
+      for (ir::Instruction *I : *BB) {
         if (I->opcode() != ir::Opcode::Mul)
           continue;
         std::optional<ivclass::ClosedForm> Form;
         if (Innermost == L) {
-          const ivclass::Classification &C = IA.classify(I.get(), L);
+          const ivclass::Classification &C = IA.classify(I, L);
           if (C.isLinear())
             Form = C.Form;
-        } else if (IA.classify(I.get(), Innermost).isInvariant()) {
+        } else if (IA.classify(I, Innermost).isInvariant()) {
           // Inside a nested loop but invariant there: the value advances
           // only with L.  The mul itself is not a node of L's SSA graph, so
           // derive its L-form from the operands' classifications.
@@ -109,7 +103,7 @@ biv::transform::strengthReduce(ivclass::InductionAnalysis &IA) {
         if (!symbolsAvailable(Form->coeff(0), L) ||
             !symbolsAvailable(Form->coeff(1), L))
           continue;
-        Work.push_back({I.get(), *Form});
+        Work.push_back({I, *Form});
       }
     }
 
@@ -117,25 +111,25 @@ biv::transform::strengthReduce(ivclass::InductionAnalysis &IA) {
       // Materialize init and step at the end of the preheader.
       size_t PrePos = Preheader->size() - (Preheader->terminator() ? 1 : 0);
       ir::Value *Init = materializeAt(F, Form.coeff(0), Preheader, PrePos,
-                                      Mul->name() + ".sr.init");
+                                      std::string(Mul->name()) + ".sr.init");
       if (!Init)
         continue;
       PrePos = Preheader->size() - (Preheader->terminator() ? 1 : 0);
       ir::Value *Step = materializeAt(F, Form.coeff(1), Preheader, PrePos,
-                                      Mul->name() + ".sr.step");
+                                      std::string(Mul->name()) + ".sr.step");
       if (!Step)
         continue;
 
       // Recurrence: X = phi(init, X + step).
-      auto PhiI = std::make_unique<ir::Instruction>(
-          ir::Opcode::Phi, std::vector<ir::Value *>{},
-          F.uniqueName(Mul->name().empty() ? "sr" : Mul->name() + ".sr"));
       ir::Instruction *Phi = L->header()->insertAt(
-          L->header()->phis().size(), std::move(PhiI));
-      auto AddI = std::make_unique<ir::Instruction>(
-          ir::Opcode::Add, std::vector<ir::Value *>{Phi, Step},
-          F.uniqueName(Phi->name() + ".next"));
-      ir::Instruction *Next = Latch->insertBeforeTerminator(std::move(AddI));
+          L->header()->phis().size(),
+          F.newInstr(ir::Opcode::Phi, {},
+                     F.uniqueName(Mul->name().empty()
+                                      ? std::string("sr")
+                                      : std::string(Mul->name()) + ".sr")));
+      ir::Instruction *Next = Latch->insertBeforeTerminator(
+          F.newInstr(ir::Opcode::Add, {Phi, Step},
+                     F.uniqueName(std::string(Phi->name()) + ".next")));
       // Wire the phi: one incoming per header predecessor.
       for (ir::BasicBlock *Pred : L->header()->predecessors())
         Phi->addIncoming(L->contains(Pred) ? static_cast<ir::Value *>(Next)

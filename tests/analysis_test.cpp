@@ -13,9 +13,9 @@ std::unique_ptr<ir::Function> build(const std::string &Src) {
 }
 
 ir::BasicBlock *byName(const ir::Function &F, const std::string &N) {
-  for (const auto &BB : F.blocks())
+  for (ir::BasicBlock *BB : F.blocks())
     if (BB->name() == N)
-      return BB.get();
+      return BB;
   return nullptr;
 }
 
@@ -100,12 +100,11 @@ TEST(DominatorTest, MatchesBruteForceOnRealPrograms) {
   for (const char *Src : Programs) {
     auto F = build(Src);
     DominatorTree DT(*F);
-    for (const auto &A : F->blocks())
-      for (const auto &B : F->blocks()) {
-        if (!reachable(*F, A.get()) || !reachable(*F, B.get()))
+    for (const ir::BasicBlock *A : F->blocks())
+      for (const ir::BasicBlock *B : F->blocks()) {
+        if (!reachable(*F, A) || !reachable(*F, B))
           continue;
-        EXPECT_EQ(DT.dominates(A.get(), B.get()),
-                  bruteDominates(*F, A.get(), B.get()))
+        EXPECT_EQ(DT.dominates(A, B), bruteDominates(*F, A, B))
             << Src << ": " << A->name() << " vs " << B->name();
       }
   }
@@ -115,8 +114,8 @@ TEST(DominatorTest, InstructionLevelDominance) {
   auto F = build("func f(n) { x = n + 1; y = x * 2; return y; }");
   DominatorTree DT(*F);
   const ir::BasicBlock *Entry = F->entry();
-  const ir::Instruction *X = Entry->instructions()[0].get();
-  const ir::Instruction *Y = Entry->instructions()[1].get();
+  const ir::Instruction *X = Entry->instructions()[0];
+  const ir::Instruction *Y = Entry->instructions()[1];
   EXPECT_TRUE(DT.dominates(X, Y));
   EXPECT_FALSE(DT.dominates(Y, X));
   EXPECT_FALSE(DT.dominates(X, X));

@@ -98,9 +98,9 @@ TEST(ExtendedDepTest, PeriodicDynamicOracle) {
   for (const auto &BB : R.A.F->blocks())
     for (const auto &I : *BB) {
       if (I->opcode() == ir::Opcode::ArrayStore && I->array()->name() == "A")
-        Store = I.get();
+        Store = I;
       if (I->opcode() == ir::Opcode::ArrayLoad && I->array()->name() == "A")
-        Load = I.get();
+        Load = I;
     }
   ASSERT_NE(Store, nullptr);
   ASSERT_NE(Load, nullptr);
@@ -231,7 +231,7 @@ TEST(ExtendedDepTest, MonotonicOracle) {
   for (const auto &BB : R.A.F->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::ArrayStore && I->array()->name() == "B")
-        Store = I.get();
+        Store = I;
   ASSERT_NE(Store, nullptr);
   const auto &Seq =
       T.sequenceOf(ir::cast<ir::Instruction>(Store->operand(1)));

@@ -255,7 +255,7 @@ TEST(DependenceTest, NormalizationInvarianceL23L24) {
     for (const auto &BB : R.A.F->blocks())
       for (const auto &I : *BB)
         if (I->opcode() == ir::Opcode::ArrayLoad)
-          Load = I.get();
+          Load = I;
     EXPECT_NE(Load, nullptr);
     SubscriptInfo SI = classifySubscript(*R.A.IA, Load->operand(1),
                                          R.A.loop("L24"));

@@ -4,6 +4,7 @@
 #include "frontend/Lowering.h"
 #include "frontend/Parser.h"
 #include <cstdint>
+#include <memory>
 #include <gtest/gtest.h>
 
 using namespace biv::frontend;
@@ -85,41 +86,51 @@ TEST(LexerTest, ErrorToken) {
 
 namespace {
 
-std::unique_ptr<FuncDecl> parseOk(const std::string &Src) {
-  Parser P(Src);
-  std::unique_ptr<FuncDecl> F = P.parseFunction();
-  EXPECT_NE(F, nullptr);
-  for (const std::string &E : P.errors())
+/// The returned FuncDecl lives in the Parser's arena, so the Parser must
+/// stay alive for as long as the tree is inspected.
+struct ParsedFunc {
+  std::unique_ptr<Parser> P;
+  FuncDecl *F = nullptr;
+  FuncDecl *operator->() const { return F; }
+  FuncDecl &operator*() const { return *F; }
+};
+
+ParsedFunc parseOk(const std::string &Src) {
+  ParsedFunc R;
+  R.P = std::make_unique<Parser>(Src);
+  R.F = R.P->parseFunction();
+  EXPECT_NE(R.F, nullptr);
+  for (const std::string &E : R.P->errors())
     ADD_FAILURE() << E;
-  return F;
+  return R;
 }
 
 } // namespace
 
 TEST(ParserTest, Precedence) {
   auto F = parseOk("func f() { x = 1 + 2 * 3 - 4 / 2; }");
-  const auto *A = ast_cast<AssignStmt>(F->Body[0].get());
+  const auto *A = ast_cast<AssignStmt>(F->Body[0]);
   // ((1 + (2*3)) - (4/2))
   EXPECT_EQ(toString(A->value()), "((1 + (2 * 3)) - (4 / 2))");
 }
 
 TEST(ParserTest, PowerIsRightAssociativeAndTight) {
   auto F = parseOk("func f() { x = 2 * 3 ^ 2 ^ 2; }");
-  const auto *A = ast_cast<AssignStmt>(F->Body[0].get());
+  const auto *A = ast_cast<AssignStmt>(F->Body[0]);
   EXPECT_EQ(toString(A->value()), "(2 * (3 ^ (2 ^ 2)))");
 }
 
 TEST(ParserTest, UnaryMinus) {
   auto F = parseOk("func f(a) { x = -a * 2; y = 1 - -2; }");
-  const auto *X = ast_cast<AssignStmt>(F->Body[0].get());
+  const auto *X = ast_cast<AssignStmt>(F->Body[0]);
   EXPECT_EQ(toString(X->value()), "((-a) * 2)");
-  const auto *Y = ast_cast<AssignStmt>(F->Body[1].get());
+  const auto *Y = ast_cast<AssignStmt>(F->Body[1]);
   EXPECT_EQ(toString(Y->value()), "(1 - (-2))");
 }
 
 TEST(ParserTest, Comparisons) {
   auto F = parseOk("func f(a, b) { if (a + 1 <= b * 2) { x = 1; } }");
-  const auto *If = ast_cast<IfStmt>(F->Body[0].get());
+  const auto *If = ast_cast<IfStmt>(F->Body[0]);
   EXPECT_EQ(toString(If->cond()), "((a + 1) <= (b * 2))");
 }
 
@@ -131,17 +142,17 @@ TEST(ParserTest, LoopForms) {
                    "  while (n > 0) { break; }"
                    "}");
   ASSERT_EQ(F->Body.size(), 4u);
-  EXPECT_EQ(ast_cast<LoopStmt>(F->Body[0].get())->label(), "L1");
-  const auto *For = ast_cast<ForStmt>(F->Body[1].get());
+  EXPECT_EQ(ast_cast<LoopStmt>(F->Body[0])->label(), "L1");
+  const auto *For = ast_cast<ForStmt>(F->Body[1]);
   EXPECT_EQ(For->label(), "L2");
   EXPECT_NE(For->step(), nullptr);
   EXPECT_FALSE(For->isDown());
-  const auto *Down = ast_cast<ForStmt>(F->Body[2].get());
+  const auto *Down = ast_cast<ForStmt>(F->Body[2]);
   EXPECT_TRUE(Down->isDown());
   EXPECT_EQ(Down->step(), nullptr);
   // Auto-generated labels for unlabeled loops.
   EXPECT_FALSE(Down->label().empty());
-  EXPECT_FALSE(ast_cast<WhileStmt>(F->Body[3].get())->label().empty());
+  EXPECT_FALSE(ast_cast<WhileStmt>(F->Body[3])->label().empty());
 }
 
 TEST(ParserTest, IfElseAndSingleStatementBodies) {
@@ -149,25 +160,23 @@ TEST(ParserTest, IfElseAndSingleStatementBodies) {
                    "  if (a > 0) x = 1; else x = 2;"
                    "  if (a > 1) { x = 3; } else { if (a > 2) x = 4; }"
                    "}");
-  const auto *I1 = ast_cast<IfStmt>(F->Body[0].get());
+  const auto *I1 = ast_cast<IfStmt>(F->Body[0]);
   EXPECT_EQ(I1->thenBody().size(), 1u);
   EXPECT_EQ(I1->elseBody().size(), 1u);
 }
 
 TEST(ParserTest, MultiDimArrayRefs) {
   auto F = parseOk("func f(i, j) { A[i, j+1] = A[i-1, j] + B[i]; }");
-  const auto *S = ast_cast<ArrayAssignStmt>(F->Body[0].get());
+  const auto *S = ast_cast<ArrayAssignStmt>(F->Body[0]);
   EXPECT_EQ(S->indices().size(), 2u);
 }
 
 TEST(ParserTest, ReturnForms) {
   auto F = parseOk("func f(a) { if (a > 0) { return a; } return; }");
   const auto *R =
-      ast_cast<ReturnStmt>(ast_cast<IfStmt>(F->Body[0].get())
-                               ->thenBody()[0]
-                               .get());
+      ast_cast<ReturnStmt>(ast_cast<IfStmt>(F->Body[0])->thenBody()[0]);
   EXPECT_NE(R->value(), nullptr);
-  EXPECT_EQ(ast_cast<ReturnStmt>(F->Body[1].get())->value(), nullptr);
+  EXPECT_EQ(ast_cast<ReturnStmt>(F->Body[1])->value(), nullptr);
 }
 
 TEST(ParserTest, RoundTripPrinting) {
@@ -253,7 +262,7 @@ TEST(ParserTest, TruncatedInputNeverCrashes) {
                           "}";
   for (size_t Len = 0; Len <= Src.size(); ++Len) {
     Parser P(Src.substr(0, Len));
-    std::unique_ptr<FuncDecl> F = P.parseFunction();
+    FuncDecl *F = P.parseFunction();
     if (!F)
       EXPECT_FALSE(P.errors().empty()) << "silent failure at prefix " << Len;
   }

@@ -107,10 +107,9 @@ TEST(IRTest, VerifierCatchesMissingTerminator) {
 TEST(IRTest, VerifierCatchesPhiPredMismatch) {
   Diamond D;
   // A phi in Join with only one incoming.
-  auto Phi = std::make_unique<Instruction>(Opcode::Phi,
-                                           std::vector<Value *>{}, "p");
+  Instruction *Phi = D.F.newInstr(Opcode::Phi, {}, "p");
   Phi->addIncoming(D.F.constant(1), D.Then);
-  D.Join->insertAt(0, std::move(Phi));
+  D.Join->insertAt(0, Phi);
   std::vector<std::string> Problems = verify(D.F);
   ASSERT_FALSE(Problems.empty());
   EXPECT_NE(Problems[0].find("phi"), std::string::npos);
@@ -119,15 +118,13 @@ TEST(IRTest, VerifierCatchesPhiPredMismatch) {
 TEST(IRTest, VerifierCatchesPhiAfterNonPhi) {
   Diamond D;
   // Sneak an add before the phi inside Join.
-  auto Add = std::make_unique<Instruction>(
-      Opcode::Add,
-      std::vector<Value *>{D.F.constant(1), D.F.constant(2)}, "x");
-  D.Join->insertAt(0, std::move(Add));
-  auto Phi = std::make_unique<Instruction>(Opcode::Phi,
-                                           std::vector<Value *>{}, "p");
+  Instruction *Add =
+      D.F.newInstr(Opcode::Add, {D.F.constant(1), D.F.constant(2)}, "x");
+  D.Join->insertAt(0, Add);
+  Instruction *Phi = D.F.newInstr(Opcode::Phi, {}, "p");
   Phi->addIncoming(D.F.constant(1), D.Then);
   Phi->addIncoming(D.F.constant(2), D.Else);
-  D.Join->insertAt(1, std::move(Phi));
+  D.Join->insertAt(1, Phi);
   std::vector<std::string> Problems = verify(D.F);
   bool Found = false;
   for (const std::string &P : Problems)
@@ -156,12 +153,11 @@ TEST(IRTest, RemoveUnreachablePrunesPhiIncomings) {
   BasicBlock *Dead = D.F.createBlock("dead");
   IRBuilder B(D.F, Dead);
   B.br(D.Join);
-  auto Phi = std::make_unique<Instruction>(Opcode::Phi,
-                                           std::vector<Value *>{}, "p");
+  Instruction *Phi = D.F.newInstr(Opcode::Phi, {}, "p");
   Phi->addIncoming(D.F.constant(1), D.Then);
   Phi->addIncoming(D.F.constant(2), D.Else);
   Phi->addIncoming(D.F.constant(3), Dead);
-  Instruction *P = D.Join->insertAt(0, std::move(Phi));
+  Instruction *P = D.Join->insertAt(0, Phi);
   D.F.recomputePreds();
   D.F.removeUnreachableBlocks();
   EXPECT_EQ(P->numOperands(), 2u);
@@ -185,12 +181,12 @@ TEST(IRTest, InsertBeforeTerminatorAndTake) {
   BasicBlock *BB = F.createBlock("entry");
   IRBuilder B(F, BB);
   B.ret();
-  auto I = std::make_unique<Instruction>(
-      Opcode::Add, std::vector<Value *>{F.constant(1), F.constant(2)}, "x");
-  Instruction *X = BB->insertBeforeTerminator(std::move(I));
+  Instruction *I =
+      F.newInstr(Opcode::Add, {F.constant(1), F.constant(2)}, "x");
+  Instruction *X = BB->insertBeforeTerminator(I);
   EXPECT_EQ(BB->size(), 2u);
-  EXPECT_EQ(BB->instructions()[0].get(), X);
-  std::unique_ptr<Instruction> Taken = BB->take(X);
+  EXPECT_EQ(BB->instructions()[0], X);
+  Instruction *Taken = BB->take(X);
   EXPECT_EQ(BB->size(), 1u);
   EXPECT_EQ(Taken->parent(), nullptr);
 }
@@ -217,11 +213,10 @@ TEST(IRTest, OpcodePredicates) {
 
 TEST(IRTest, PhiIncomingAccessors) {
   Diamond D;
-  auto Phi = std::make_unique<Instruction>(Opcode::Phi,
-                                           std::vector<Value *>{}, "p");
+  Instruction *Phi = D.F.newInstr(Opcode::Phi, {}, "p");
   Phi->addIncoming(D.F.constant(1), D.Then);
   Phi->addIncoming(D.F.constant(2), D.Else);
-  Instruction *P = D.Join->insertAt(0, std::move(Phi));
+  Instruction *P = D.Join->insertAt(0, Phi);
   EXPECT_EQ(P->incomingFor(D.Then), D.F.constant(1));
   EXPECT_EQ(P->incomingFor(D.Else), D.F.constant(2));
   P->removeIncoming(0);

@@ -285,7 +285,7 @@ TEST(IVEdgeTest, SubtractionOfSameIVCancels) {
   for (ir::BasicBlock *BB : L->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::ArrayStore)
-        Store = I.get();
+        Store = I;
   const Classification &C = A.clsOf(Store->operand(1), "L");
   ASSERT_TRUE(C.isInvariant());
   EXPECT_EQ(C.Form.initialValue(), Affine(5));

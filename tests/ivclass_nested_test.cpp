@@ -223,7 +223,7 @@ TEST(NestedIVTest, ExitValueOfForLoopVariable) {
   for (const auto &BB : A.F->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::Ret)
-        Ret = I.get();
+        Ret = I;
   ASSERT_NE(Ret, nullptr);
   ASSERT_EQ(Ret->numOperands(), 1u);
   EXPECT_NE(Ret->operand(0), A.phi("L", "i"));

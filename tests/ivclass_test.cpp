@@ -420,7 +420,7 @@ TEST(IVClassTest, PowerOperatorGeometric) {
   for (ir::BasicBlock *BB : L->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::Exp)
-        Exp = I.get();
+        Exp = I;
   ASSERT_NE(Exp, nullptr);
   const Classification &P = A.clsOf(Exp, "L1");
   ASSERT_EQ(P.Kind, IVKind::Geometric);
@@ -543,7 +543,7 @@ TEST(IVClassTest, DerivedExpressionsClassify) {
   for (ir::BasicBlock *BB : L->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::ArrayStore)
-        Stores.push_back(I.get());
+        Stores.push_back(I);
   ASSERT_EQ(Stores.size(), 4u);
 
   // 2*i + 1 -> (L1, 3, 2).
@@ -581,7 +581,7 @@ TEST(IVClassTest, InvariantOperationsStayInvariant) {
   for (ir::BasicBlock *BB : L->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::ArrayStore)
-        Stores.push_back(I.get());
+        Stores.push_back(I);
   ASSERT_EQ(Stores.size(), 2u);
   EXPECT_TRUE(A.clsOf(Stores[0]->operand(1), "L1").isInvariant());
   const Classification &C1 = A.clsOf(Stores[1]->operand(1), "L1");
@@ -602,7 +602,7 @@ TEST(IVClassTest, NegatedIVIsLinear) {
   for (ir::BasicBlock *BB : L->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::ArrayStore)
-        Store = I.get();
+        Store = I;
   ASSERT_NE(Store, nullptr);
   const Classification &C = A.clsOf(Store->operand(1), "L1");
   ASSERT_EQ(C.Kind, IVKind::Linear);

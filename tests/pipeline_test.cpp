@@ -120,7 +120,7 @@ TEST(PipelineTest, SCCPFoldsConstants) {
   for (const auto &BB : F->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::Ret)
-        Ret = I.get();
+        Ret = I;
   ASSERT_NE(Ret, nullptr);
   ASSERT_EQ(Ret->numOperands(), 1u);
   const auto *C = ir::dyn_cast<ir::Constant>(Ret->operand(0));

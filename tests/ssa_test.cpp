@@ -118,7 +118,7 @@ TEST(SCCPTest, FoldsThroughPhis) {
   for (const auto &BB : F->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::Ret)
-        Ret = I.get();
+        Ret = I;
   const auto *C = ir::dyn_cast<ir::Constant>(Ret->operand(0));
   ASSERT_NE(C, nullptr);
   EXPECT_EQ(C->value(), 10);
@@ -136,7 +136,7 @@ TEST(SCCPTest, TracksOnlyExecutablePaths) {
   for (const auto &BB : F->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::Ret)
-        Ret = I.get();
+        Ret = I;
   const auto *C = ir::dyn_cast<ir::Constant>(Ret->operand(0));
   ASSERT_NE(C, nullptr) << "phi over one live edge must fold";
   EXPECT_EQ(C->value(), 7);
@@ -154,7 +154,7 @@ TEST(SCCPTest, LoopCarriedNonConstantStaysBottom) {
   for (const auto &BB : F->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::Ret)
-        Ret = I.get();
+        Ret = I;
   EXPECT_EQ(ir::dyn_cast<ir::Constant>(Ret->operand(0)), nullptr);
   (void)R;
 }
@@ -195,7 +195,7 @@ TEST(SCCPTest, ExpFolding) {
   for (const auto &BB : F->blocks())
     for (const auto &I : *BB)
       if (I->opcode() == ir::Opcode::Ret)
-        Ret = I.get();
+        Ret = I;
   const auto *C = ir::dyn_cast<ir::Constant>(Ret->operand(0));
   ASSERT_NE(C, nullptr);
   EXPECT_EQ(C->value(), 1024);

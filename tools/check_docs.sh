@@ -100,9 +100,33 @@ elif [ "$CODE_PROTO" != "$DOC_PROTO" ]; then
   FAIL=1
 fi
 
+# 5. Same contract for the per-unit allocation ceiling: DESIGN.md
+# section 11 states the current MaxHeapAllocsPerUnit in bold, and
+# bench/bench_batch.cpp fails its run when the front-half hot path
+# exceeds the constant; doc and assertion must move together.
+CODE_CEIL=$(sed -n \
+  's/.*MaxHeapAllocsPerUnit = \([0-9][0-9]*\);.*/\1/p' \
+  bench/bench_batch.cpp)
+DOC_CEIL=$(sed -n \
+  's/.*`MaxHeapAllocsPerUnit` (currently \*\*\([0-9][0-9]*\)\*\*.*/\1/p' \
+  DESIGN.md)
+if [ -z "$CODE_CEIL" ]; then
+  echo "docs_check: cannot find MaxHeapAllocsPerUnit in" \
+       "bench/bench_batch.cpp" >&2
+  FAIL=1
+elif [ -z "$DOC_CEIL" ]; then
+  echo "docs_check: DESIGN.md does not document the current" \
+       "MaxHeapAllocsPerUnit" >&2
+  FAIL=1
+elif [ "$CODE_CEIL" != "$DOC_CEIL" ]; then
+  echo "docs_check: DESIGN.md documents MaxHeapAllocsPerUnit $DOC_CEIL" \
+       "but bench/bench_batch.cpp says $CODE_CEIL" >&2
+  FAIL=1
+fi
+
 if [ "$FAIL" = 0 ]; then
   echo "docs_check: OK ($(echo "$FLAGS" | wc -w) flags," \
        "$(echo "$PATHS" | wc -w) paths, cache salt $CODE_SALT," \
-       "protocol version $CODE_PROTO verified)"
+       "protocol version $CODE_PROTO, alloc ceiling $CODE_CEIL verified)"
 fi
 exit "$FAIL"

@@ -61,6 +61,14 @@ if ! cmp -s "$STATS_DIR/cold.out" "$STATS_DIR/warm.out"; then
 fi
 echo "fuzz: cold vs warm --cache batch reports identical"
 
+# Arena-lifetime probe: the unit tests for the bump arena, the interner,
+# and unit teardown (tests/arena_test.cpp) run in the instrumented tree so
+# ASan/UBSan see the batch-free path directly -- a use-after-batch-free or
+# misaligned bump allocation dies here, not in production.
+cmake --build "$BUILD" --target arena_test -j "$(nproc)" >/dev/null
+"$BUILD/tests/arena_test"
+echo "fuzz: arena/interner unit tests clean under ASan/UBSan"
+
 # A slice of the budget runs with the cache oracle forced on for every
 # program; the main campaign keeps the default sampled (~1/8) oracle.
 "$BIVC" --fuzz "$((COUNT / 10 + 1))" --seed "$((SEED + 1))" --cache-oracle
