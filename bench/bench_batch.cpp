@@ -234,6 +234,24 @@ int main(int Argc, char **Argv) {
                 P.StmtsPerSec, P.Speedup);
   }
 
+  // Punt-rate record (EXPERIMENTS.md): of all classification verdicts the
+  // corpus produced, how many were Unknown.  The c-finite lattice extension
+  // is measured by this ratio dropping at a fixed corpus, so the scaling
+  // record carries it alongside the throughput numbers.
+  unsigned long long Punted = 0, Classified = 0;
+  if (!Points.empty()) {
+    const auto &Ctrs = Points.front().Phases.Counters;
+    auto It = Ctrs.find("ivclass.punt");
+    Punted = It != Ctrs.end() ? It->second : 0;
+    for (const auto &[Name, V] : Ctrs)
+      if (Name.rfind("ivclass.kind.", 0) == 0)
+        Classified += V;
+  }
+  double PuntRate =
+      Classified ? double(Punted) / double(Classified) : 0.0;
+  std::printf("# punt rate: %llu / %llu verdicts (%.4f)\n", Punted,
+              Classified, PuntRate);
+
   // Audit the front-half hot path for heap traffic: run parse + lower +
   // SSA + SCCP + DCE over the corpus serially, counting every operator-new
   // call.  Per-unit traffic above the ceiling means the arena/interner/
@@ -290,6 +308,11 @@ int main(int Argc, char **Argv) {
                   "  \"batch_allocs_per_unit\": %.1f,\n",
                   Hw, Functions, FrontAllocsPerUnit, MaxHeapAllocsPerUnit,
                   BatchAllocsPerUnit);
+    Out << Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"punt\": {\"punted\": %llu, \"classified\": %llu, "
+                  "\"rate\": %.4f},\n",
+                  Punted, Classified, PuntRate);
     Out << Buf;
     Out << "  \"classify_chain_serial\": [\n";
     for (size_t I = 0; I < Chain.size(); ++I) {

@@ -77,7 +77,7 @@ namespace cache {
 /// classification kinds, different closed forms, report format edits...):
 /// every existing cache file becomes stale at once.  tools/check_docs.sh
 /// cross-checks this constant against the value DESIGN.md documents.
-inline constexpr uint64_t AnalysisVersionSalt = 1;
+inline constexpr uint64_t AnalysisVersionSalt = 2;
 
 /// On-disk format revision (layout, not analysis semantics).
 inline constexpr uint64_t CacheFormatVersion = 1;

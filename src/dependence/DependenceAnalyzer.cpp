@@ -420,6 +420,34 @@ DependenceResult DependenceAnalyzer::testDimension(
     return R;
   }
 
+  // Non-linear closed forms (geometric / c-finite): when both subscripts
+  // follow the *same* exact sequence in the same loop and that sequence is
+  // provably strictly monotone, equal values can only meet at equal
+  // iterations -- "=" with distance 0 in that loop (the closed-form
+  // counterpart of the strict-monotonic rule above).  Partial forms are
+  // exact for the value they describe, so they qualify too.
+  if (SC.hasClosedForm() && DC.hasClosedForm() && SC.L && SC.L == DC.L &&
+      SC.Form == DC.Form &&
+      // A numeric initial value plus a numeric-difference monotonicity proof
+      // pins the whole sequence to fixed numbers, so it is the same sequence
+      // on every iteration of any enclosing loop (a symbolic term could be
+      // rebound there, breaking the equal-iteration argument).
+      SC.Form.initialValue().getConstant().has_value()) {
+    const bool StrictlyUp = SC.Form.provablyIncreasing();
+    const bool StrictlyDown = (-SC.Form).provablyIncreasing();
+    if (StrictlyUp || StrictlyDown) {
+      static const stats::Counter NumClosedFormEQ("dependence.closed_form_eq");
+      NumClosedFormEQ.bump();
+      DependenceResult R = maybeAll("closed form: strictly monotone");
+      for (LoopDirection &LD : R.Directions)
+        if (LD.L == SC.L) {
+          LD.Dirs = DirEQ;
+          LD.Distance = 0;
+        }
+      return R;
+    }
+  }
+
   return maybeAll("unclassified subscript pair");
 }
 

@@ -160,6 +160,7 @@ std::string FuzzResult::renderText() const {
   std::ostringstream OS;
   OS << "fuzz: " << Programs << " program(s), " << Checks.total()
      << " claims checked (closed-form " << Checks.ClosedForm
+     << ", cfinite " << Checks.CFinite << ", partial " << Checks.Partial
      << ", wrap-around " << Checks.WrapAround << ", periodic "
      << Checks.Periodic << ", monotonic " << Checks.Monotonic
      << ", trip-count " << Checks.TripCount << ", behavior "

@@ -119,6 +119,11 @@ private:
   void checkMonotonic(const ivclass::Classification &C,
                       const std::string &LoopName, const std::string &Name,
                       const std::vector<int64_t> &Seq);
+  void checkMemberClaims(ivclass::InductionAnalysis &IA,
+                         const analysis::DominatorTree &DT,
+                         const analysis::Loop *L,
+                         const interp::ExecutionTrace &Post,
+                         const SymbolEnv &Env);
   void checkTripCount(ivclass::InductionAnalysis &IA,
                       const analysis::Loop *L,
                       const interp::ExecutionTrace &Post,
@@ -198,6 +203,7 @@ OracleResult OracleRun::run() {
   for (const auto &L : LI.loops()) {
     if (L->depth() == 1) {
       checkLoopClaims(IA, L.get(), Post, Env);
+      checkMemberClaims(IA, DT, L.get(), Post, Env);
       checkTripCount(IA, L.get(), Post, Env);
     }
     if (Opts.CheckBaseline)
@@ -258,14 +264,25 @@ void OracleRun::checkLoopClaims(ivclass::InductionAnalysis &IA,
     if (Wrapped)
       continue;
     const std::string Name(Phi->name());
-    if (C.hasClosedForm())
-      checkClosedForm(IA, C, L->name(), Name, Seq, Env);
-    else if (C.isWrapAround())
-      checkWrapAround(IA, C, L->name(), Name, Seq, Env);
-    else if (C.isPeriodic())
-      checkPeriodic(IA, C, L->name(), Name, Seq, Env);
-    else if (C.isMonotonic())
-      checkMonotonic(C, L->name(), Name, Seq);
+    // Claim evaluation runs in exact rational arithmetic; the sequence
+    // bound above limits observed values, but symbols bound by Env (values
+    // computed once outside the checked loop) can still be arbitrarily
+    // large wrapped int64s, so exact evaluation may overflow.  Like a
+    // wrapped sequence, that makes the claim unfalsifiable on this run.
+    try {
+      if (C.hasClosedForm())
+        checkClosedForm(IA, C, L->name(), Name, Seq, Env);
+      else if (C.isWrapAround())
+        checkWrapAround(IA, C, L->name(), Name, Seq, Env);
+      else if (C.isPeriodic())
+        checkPeriodic(IA, C, L->name(), Name, Seq, Env);
+      else if (C.isMonotonic())
+        checkMonotonic(C, L->name(), Name, Seq);
+    } catch (const RationalOverflow &) {
+      static const stats::Counter NumOverflowSkips(
+          "fuzz.check.overflow_skips");
+      NumOverflowSkips.bump();
+    }
   }
 }
 
@@ -291,7 +308,80 @@ void OracleRun::checkClosedForm(ivclass::InductionAnalysis &IA,
       return;
     }
   }
-  Result.Checks.ClosedForm += Checked;
+  // The c-finite extension (polynomial coefficients on exponential terms)
+  // counts as its own category so campaigns can assert it keeps firing.
+  if (C.Form.hasPolyExponential())
+    Result.Checks.CFinite += Checked;
+  else
+    Result.Checks.ClosedForm += Checked;
+}
+
+void OracleRun::checkMemberClaims(ivclass::InductionAnalysis &IA,
+                                  const analysis::DominatorTree &DT,
+                                  const analysis::Loop *L,
+                                  const interp::ExecutionTrace &Post,
+                                  const SymbolEnv &Env) {
+  // Claims about non-phi region members whose exact form was projected out
+  // of an unsolvable region (the Partial flag).  A member's history aligns
+  // with the iteration counter only when its block runs on every iteration,
+  // so require the block to dominate the (unique) latch; iterations execute
+  // in order, so the observed sequence is then exactly member(0), member(1),
+  // ... whatever its length (the final header visit may or may not reach
+  // the block).
+  if (L->latches().size() != 1 || L->header()->phis().empty())
+    return;
+  const ir::BasicBlock *Latch = L->latches().front();
+  if (Post.sequenceOf(L->header()->phis()[0]).size() < 2)
+    return;
+  const analysis::LoopInfo &LI = IA.loopInfo();
+  for (ir::BasicBlock *BB : L->blocks()) {
+    if (LI.loopFor(BB) != L || !DT.dominates(BB, Latch))
+      continue;
+    for (const ir::Instruction *I : *BB) {
+      if (I->isPhi() || I->isTerminator() || I->hasSideEffects())
+        continue;
+      const ivclass::Classification &C = IA.classify(I, L);
+      if (!C.Partial || !C.hasClosedForm())
+        continue;
+      const std::vector<int64_t> &Seq = Post.sequenceOf(I);
+      if (Seq.empty())
+        continue;
+      // Same int64-wrap guard as the header-phi claims.
+      bool Wrapped = false;
+      for (int64_t V : Seq)
+        if (V > Opts.ClaimValueBound || V < -Opts.ClaimValueBound) {
+          Wrapped = true;
+          break;
+        }
+      if (Wrapped)
+        continue;
+      try {
+        bool Checked = false;
+        bool Failed = false;
+        for (size_t H = 0; H < Seq.size() && !Failed; ++H) {
+          std::optional<int64_t> Expected = Env.eval(C.Form.evaluateAt(H));
+          if (!Expected) {
+            Checked = false;
+            break; // unbound symbol: not checkable on this run
+          }
+          Checked = true;
+          if (*Expected != Seq[H]) {
+            mismatch("partial", L->name(), std::string(I->name()),
+                     IA.strNested(C),
+                     renderSeq(Seq) + " (value " + std::to_string(Seq[H]) +
+                         " at h=" + std::to_string(H) + ", form gives " +
+                         std::to_string(*Expected) + ")");
+            Failed = true;
+          }
+        }
+        Result.Checks.Partial += Checked;
+      } catch (const RationalOverflow &) {
+        static const stats::Counter NumOverflowSkips(
+            "fuzz.check.overflow_skips");
+        NumOverflowSkips.bump();
+      }
+    }
+  }
 }
 
 void OracleRun::checkWrapAround(ivclass::InductionAnalysis &IA,
@@ -408,6 +498,7 @@ void OracleRun::checkTripCount(ivclass::InductionAnalysis &IA,
   if (Visits == 0)
     return; // loop never entered on this run
 
+  try {
   if (TC.isCountable()) {
     std::optional<int64_t> Count = Env.eval(TC.count());
     if (!Count)
@@ -431,6 +522,13 @@ void OracleRun::checkTripCount(ivclass::InductionAnalysis &IA,
       mismatch("trip-count", L->name(), "",
                "max trip count " + std::to_string(*Max),
                std::to_string(Visits - 1) + " observed stays");
+  }
+  } catch (const RationalOverflow &) {
+    // Symbolic counts evaluated over wrapped runtime bindings can leave
+    // int64 rationals; the claim is unfalsifiable on this run (see the
+    // matching guard in checkLoopClaims).
+    static const stats::Counter NumOverflowSkips("fuzz.check.overflow_skips");
+    NumOverflowSkips.bump();
   }
 }
 
@@ -473,6 +571,8 @@ OracleResult biv::fuzz::checkProgram(const std::string &Source,
   static const stats::Counter NumPrograms("fuzz.programs_checked");
   static const stats::Counter NumMismatches("fuzz.mismatches");
   static const stats::Counter FireClosedForm("fuzz.check.closed_form");
+  static const stats::Counter FireCFinite("fuzz.check.cfinite");
+  static const stats::Counter FirePartial("fuzz.check.partial");
   static const stats::Counter FireWrapAround("fuzz.check.wrap_around");
   static const stats::Counter FirePeriodic("fuzz.check.periodic");
   static const stats::Counter FireMonotonic("fuzz.check.monotonic");
@@ -484,6 +584,8 @@ OracleResult biv::fuzz::checkProgram(const std::string &Source,
   NumPrograms.bump();
   NumMismatches.bump(R.Mismatches.size());
   FireClosedForm.bump(R.Checks.ClosedForm);
+  FireCFinite.bump(R.Checks.CFinite);
+  FirePartial.bump(R.Checks.Partial);
   FireWrapAround.bump(R.Checks.WrapAround);
   FirePeriodic.bump(R.Checks.Periodic);
   FireMonotonic.bump(R.Checks.Monotonic);

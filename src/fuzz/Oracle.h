@@ -78,8 +78,9 @@ struct OracleOptions {
 
 /// One violated claim.
 struct Mismatch {
-  /// Which oracle fired: "closed-form", "wrap-around", "periodic",
-  /// "monotonic", "trip-count", "behavior", "baseline", "execution".
+  /// Which oracle fired: "closed-form", "partial", "wrap-around",
+  /// "periodic", "monotonic", "trip-count", "behavior", "baseline",
+  /// "execution".
   std::string Check;
   std::string Loop;     ///< Loop name, when the claim is loop-relative.
   std::string Value;    ///< IR value name the claim is about.
@@ -94,6 +95,12 @@ struct Mismatch {
 /// oracle).
 struct CheckCounts {
   unsigned ClosedForm = 0;
+  /// Closed forms with a polynomial coefficient on an exponential term
+  /// (h*2^h): the c-finite extension.  Disjoint from ClosedForm.
+  unsigned CFinite = 0;
+  /// Exact forms projected out of unsolvable regions (non-phi members
+  /// carrying the Partial flag).
+  unsigned Partial = 0;
   unsigned WrapAround = 0;
   unsigned Periodic = 0;
   unsigned Monotonic = 0;
@@ -102,11 +109,13 @@ struct CheckCounts {
   unsigned Baseline = 0;
 
   unsigned total() const {
-    return ClosedForm + WrapAround + Periodic + Monotonic + TripCount +
-           Behavior + Baseline;
+    return ClosedForm + CFinite + Partial + WrapAround + Periodic +
+           Monotonic + TripCount + Behavior + Baseline;
   }
   CheckCounts &operator+=(const CheckCounts &O) {
     ClosedForm += O.ClosedForm;
+    CFinite += O.CFinite;
+    Partial += O.Partial;
     WrapAround += O.WrapAround;
     Periodic += O.Periodic;
     Monotonic += O.Monotonic;

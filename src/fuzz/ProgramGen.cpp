@@ -29,6 +29,17 @@ public:
     line(1, "w2 = " + std::to_string(R.range(80, 89)) + ";");
     line(1, "m0 = 0;");
     line(1, "m1 = 100;");
+    // c-finite pool: c0 feeds the resonant pair, x0/y0/ct form the coupled
+    // system, px/pt/pm/ps the unsolvable SCC with a solvable sub-recurrence.
+    line(1, "c0 = " + std::to_string(R.range(1, 3)) + ";");
+    line(1, "c1 = " + std::to_string(R.range(0, 2)) + ";");
+    line(1, "x0 = " + std::to_string(R.range(0, 3)) + ";");
+    line(1, "y0 = " + std::to_string(R.range(0, 3)) + ";");
+    line(1, "ct = 0;");
+    line(1, "px = " + std::to_string(R.range(0, 1)) + ";");
+    line(1, "pt = 0;");
+    line(1, "pm = 0;");
+    line(1, "ps = 0;");
 
     unsigned TopLoops = unsigned(R.range(1, int64_t(Opts.MaxTopLoops)));
     for (unsigned T = 0; T < TopLoops; ++T)
@@ -111,7 +122,7 @@ private:
   /// One statement from the recurrence grammar.
   void genStatement(unsigned Depth, const std::string &IV) {
     std::string V = var(), W = var();
-    switch (R.range(0, 13)) {
+    switch (R.range(0, 17)) {
     case 0: // basic linear update
       line(Depth, V + " = " + V + " + " + num(1, 6) + ";");
       break;
@@ -177,6 +188,38 @@ private:
         line(Depth, V + " = " + num(0, 20) + ";");
       else
         line(Depth, V + " = " + W + ";");
+      break;
+    case 14: { // mixed c-finite update x' = a*x + p(i), or the degenerate
+               // a = 0 self-cancel (a first-order wrap-around)
+      unsigned Pick = unsigned(R.range(0, 2));
+      if (Pick == 0)
+        line(Depth, V + " = 2*" + V + " + " + IV + "^2;");
+      else if (Pick == 1)
+        line(Depth, V + " = " + num(2, 3) + "*" + V + " + " + num(1, 4) +
+                        "*" + IV + " + " + num(0, 3) + ";");
+      else
+        line(Depth, V + " = " + V + " - " + V + " + " + num(1, 3) + "*" +
+                        IV + ";");
+      break;
+    }
+    case 15: // resonant pair: c0 is geometric, c1' = 2*c1 + c0 needs h*2^h
+      line(Depth, "c0 = c0 * 2;");
+      line(Depth, "c1 = 2*c1 + c0;");
+      break;
+    case 16: // coupled 2-variable system, eigenvalues {3, -1}
+      line(Depth, "ct = x0 + 2*y0;");
+      if (R.chance(50))
+        line(Depth, "y0 = 2*x0 + y0;");
+      else
+        line(Depth, "y0 = 2*x0 + y0 + " + IV + ";");
+      line(Depth, "x0 = ct;");
+      break;
+    case 17: // unsolvable SCC (px' = px^2 + pm) whose member pm has a
+             // phi-free value (= IV), unlocking the downstream sum ps.
+      line(Depth, "pt = px + " + IV + ";");
+      line(Depth, "pm = pt - px;");
+      line(Depth, "px = px * px + pm;");
+      line(Depth, "ps = ps + pm;");
       break;
     }
   }

@@ -10,7 +10,11 @@
 /// every recurrence shape the paper classifies: linear and derived chains,
 /// conditional equal-increment joins, wrap-arounds (first and second order),
 /// flip-flops and period-3 rotations, polynomial and geometric updates,
-/// nested (including triangular) loops, and conditional monotonic bumps.
+/// nested (including triangular) loops, and conditional monotonic bumps --
+/// plus the c-finite extension: mixed updates x' = a*x + p(i), the resonant
+/// pair whose closed form needs h*2^h, a coupled two-variable system with
+/// integer eigenvalues, and an unsolvable SCC whose phi-free member is still
+/// classified (a partial closed form).
 ///
 /// Two invariants make the output fuzzer-friendly:
 ///  - every program terminates: loop bounds are small constants (or the

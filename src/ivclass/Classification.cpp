@@ -18,6 +18,8 @@ const char *biv::ivclass::ivKindName(IVKind K) {
     return "polynomial";
   case IVKind::Geometric:
     return "geometric";
+  case IVKind::CFinite:
+    return "c-finite";
   case IVKind::WrapAround:
     return "wrap-around";
   case IVKind::Periodic:
@@ -38,7 +40,9 @@ Classification Classification::fromForm(const analysis::Loop *L,
     return C;
   }
   C.L = L;
-  if (C.Form.hasExponential())
+  if (C.Form.hasPolyExponential())
+    C.Kind = IVKind::CFinite;
+  else if (C.Form.hasExponential())
     C.Kind = IVKind::Geometric;
   else if (C.Form.isLinear())
     C.Kind = IVKind::Linear;
@@ -87,7 +91,8 @@ bool Classification::isFlipFlop() const {
   if (Kind == IVKind::Periodic)
     return Period == 2;
   if (Kind == IVKind::Geometric) {
-    // c + d*(-1)^h alternates between two values.
+    // c + d*(-1)^h alternates between two values (a polynomial coefficient
+    // on (-1)^h would not, but those classify as CFinite).
     return Form.degree() == 0 && Form.geoTerms().size() == 1 &&
            Form.geoTerms().begin()->first == -1;
   }
@@ -96,22 +101,26 @@ bool Classification::isFlipFlop() const {
 
 std::string Classification::str(const SymbolNamer &Namer) const {
   const std::string LoopName = L ? L->name() : "?";
+  // Values projected out of an unsolvable region carry a marker: the form
+  // is exact, but it is the solvable sub-recurrence of its region.
+  const std::string Partiality = Partial ? "partial " : "";
   switch (Kind) {
   case IVKind::Unknown:
     return "unknown";
   case IVKind::Invariant:
-    return "invariant " + Form.initialValue().str(Namer);
+    return Partiality + "invariant " + Form.initialValue().str(Namer);
   case IVKind::Linear:
-    return "(" + LoopName + ", " + Form.coeff(0).str(Namer) + ", " +
-           Form.coeff(1).str(Namer) + ")";
+    return Partiality + "(" + LoopName + ", " + Form.coeff(0).str(Namer) +
+           ", " + Form.coeff(1).str(Namer) + ")";
   case IVKind::Polynomial: {
-    std::string Out = "(" + LoopName;
+    std::string Out = Partiality + "(" + LoopName;
     for (unsigned K = 0; K <= Form.degree(); ++K)
       Out += ", " + Form.coeff(K).str(Namer);
     return Out + ")";
   }
   case IVKind::Geometric:
-    return "(" + LoopName + ", " + Form.str(Namer) + ")";
+  case IVKind::CFinite:
+    return Partiality + "(" + LoopName + ", " + Form.str(Namer) + ")";
   case IVKind::WrapAround:
     return "wrap-around(" + LoopName + ", order " +
            std::to_string(WrapOrder) + ", " +

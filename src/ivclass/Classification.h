@@ -29,13 +29,15 @@ class Loop;
 
 namespace ivclass {
 
-/// The classes of section 2-4, plus Invariant and Unknown.
+/// The classes of section 2-4, plus Invariant and Unknown, plus the
+/// c-finite extension beyond the paper's lattice.
 enum class IVKind {
   Unknown,
   Invariant,
   Linear,     ///< (L, i, s): value i + s*h.
   Polynomial, ///< (L, i, s1..sm): value sum sk*h^k, m >= 2.
-  Geometric,  ///< polynomial plus exponential terms.
+  Geometric,  ///< polynomial plus exponential terms (constant coefficients).
+  CFinite,    ///< exponential terms with polynomial coefficients (h*2^h).
   WrapAround, ///< settles into another class after `order` iterations.
   Periodic,   ///< member of a rotation family with period >= 2.
   Monotonic,  ///< only the direction (and strictness) is known.
@@ -58,6 +60,11 @@ public:
   IVKind Kind = IVKind::Unknown;
   /// Loop the classification is relative to; null for Invariant/Unknown.
   const analysis::Loop *L = nullptr;
+
+  /// True when this closed form was projected out of a strongly connected
+  /// region whose full update is unsolvable (the (un)solvable-loop trick):
+  /// the value itself is exact, but sibling values of its region are not.
+  bool Partial = false;
 
   /// Closed form for Invariant/Linear/Polynomial/Geometric.
   ClosedForm Form;
@@ -129,7 +136,8 @@ public:
   /// Any class with an exact closed form.
   bool hasClosedForm() const {
     return Kind == IVKind::Invariant || Kind == IVKind::Linear ||
-           Kind == IVKind::Polynomial || Kind == IVKind::Geometric;
+           Kind == IVKind::Polynomial || Kind == IVKind::Geometric ||
+           Kind == IVKind::CFinite;
   }
   /// Linear including degenerate (invariant) forms.
   bool isAffineForm() const { return hasClosedForm() && Form.isLinear(); }

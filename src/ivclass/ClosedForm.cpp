@@ -5,12 +5,21 @@
 using namespace biv;
 using namespace biv::ivclass;
 
+namespace {
+
+void trimTrailingZeros(std::vector<Affine> &P) {
+  while (!P.empty() && P.back().isZero())
+    P.pop_back();
+}
+
+} // namespace
+
 void ClosedForm::normalize() {
-  while (!Poly.empty() && Poly.back().isZero())
-    Poly.pop_back();
+  trimTrailingZeros(Poly);
   for (auto It = Geo.begin(); It != Geo.end();) {
     assert(It->first != 0 && It->first != 1 && "degenerate exponential base");
-    if (It->second.isZero())
+    trimTrailingZeros(It->second);
+    if (It->second.empty())
       It = Geo.erase(It);
     else
       ++It;
@@ -36,14 +45,23 @@ ClosedForm ClosedForm::linear(Affine Init, Affine Step) {
 
 ClosedForm ClosedForm::make(std::vector<Affine> Poly,
                             std::map<int64_t, Affine> Geo) {
+  std::map<int64_t, ExpPoly> Wide;
+  for (auto &[Base, Coeff] : Geo)
+    Wide[Base] = {std::move(Coeff)};
+  return makeExp(std::move(Poly), std::move(Wide));
+}
+
+ClosedForm ClosedForm::makeExp(std::vector<Affine> Poly,
+                               std::map<int64_t, ExpPoly> Geo) {
   ClosedForm F;
   F.Poly = std::move(Poly);
   for (auto &[Base, Coeff] : Geo) {
     if (Base == 1) {
-      // Base-1 exponentials are constants.
-      if (F.Poly.empty())
-        F.Poly.push_back(Affine());
-      F.Poly[0] += Coeff;
+      // Base-1 exponentials are plain polynomial terms.
+      if (F.Poly.size() < Coeff.size())
+        F.Poly.resize(Coeff.size());
+      for (size_t J = 0; J < Coeff.size(); ++J)
+        F.Poly[J] += Coeff[J];
       continue;
     }
     F.Geo[Base] = std::move(Coeff);
@@ -55,8 +73,9 @@ ClosedForm ClosedForm::make(std::vector<Affine> Poly,
 Affine ClosedForm::initialValue() const {
   Affine V = coeff(0);
   for (const auto &[Base, Coeff] : Geo) {
-    (void)Base; // b^0 == 1
-    V += Coeff;
+    (void)Base; // b^0 == 1 and h^j vanishes at h = 0 for j > 0
+    if (!Coeff.empty())
+      V += Coeff[0];
   }
   return V;
 }
@@ -65,8 +84,12 @@ ClosedForm ClosedForm::operator-() const {
   ClosedForm F;
   for (const Affine &C : Poly)
     F.Poly.push_back(-C);
-  for (const auto &[Base, Coeff] : Geo)
-    F.Geo[Base] = -Coeff;
+  for (const auto &[Base, Coeff] : Geo) {
+    ExpPoly N;
+    for (const Affine &C : Coeff)
+      N.push_back(-C);
+    F.Geo[Base] = std::move(N);
+  }
   return F;
 }
 
@@ -76,8 +99,13 @@ ClosedForm ClosedForm::operator+(const ClosedForm &RHS) const {
     F.Poly.resize(RHS.Poly.size());
   for (size_t K = 0; K < RHS.Poly.size(); ++K)
     F.Poly[K] += RHS.Poly[K];
-  for (const auto &[Base, Coeff] : RHS.Geo)
-    F.Geo[Base] += Coeff;
+  for (const auto &[Base, Coeff] : RHS.Geo) {
+    ExpPoly &Dst = F.Geo[Base];
+    if (Dst.size() < Coeff.size())
+      Dst.resize(Coeff.size());
+    for (size_t J = 0; J < Coeff.size(); ++J)
+      Dst[J] += Coeff[J];
+  }
   F.normalize();
   return F;
 }
@@ -91,7 +119,11 @@ ClosedForm ClosedForm::operator-(const ClosedForm &RHS) const {
   for (size_t K = 0; K < RHS.Poly.size(); ++K)
     F.Poly[K] -= RHS.Poly[K];
   for (const auto &[Base, Coeff] : RHS.Geo) {
-    F.Geo[Base] -= Coeff; // default-constructs zero when absent
+    ExpPoly &Dst = F.Geo[Base]; // default-constructs empty when absent
+    if (Dst.size() < Coeff.size())
+      Dst.resize(Coeff.size());
+    for (size_t J = 0; J < Coeff.size(); ++J)
+      Dst[J] -= Coeff[J];
   }
   F.normalize();
   return F;
@@ -103,15 +135,21 @@ ClosedForm ClosedForm::operator*(const Rational &Scale) const {
     return F;
   for (const Affine &C : Poly)
     F.Poly.push_back(C * Scale);
-  for (const auto &[Base, Coeff] : Geo)
-    F.Geo[Base] = Coeff * Scale;
+  for (const auto &[Base, Coeff] : Geo) {
+    ExpPoly N;
+    for (const Affine &C : Coeff)
+      N.push_back(C * Scale);
+    F.Geo[Base] = std::move(N);
+  }
   return F;
 }
 
 std::optional<ClosedForm> ClosedForm::mulChecked(const ClosedForm &RHS) const {
+  // Every pairwise coefficient product must keep at least one affine side
+  // constant (Affine::mul); the h/b structure itself is always closed under
+  // multiplication in the exponential-polynomial space.
   ClosedForm F;
-  // Polynomial x polynomial: coefficient convolution; each pairwise product
-  // must keep at least one affine side constant.
+  // Polynomial x polynomial: coefficient convolution.
   if (!Poly.empty() && !RHS.Poly.empty()) {
     F.Poly.assign(Poly.size() + RHS.Poly.size() - 1, Affine());
     for (size_t I = 0; I < Poly.size(); ++I)
@@ -124,36 +162,48 @@ std::optional<ClosedForm> ClosedForm::mulChecked(const ClosedForm &RHS) const {
         F.Poly[I + J] += *P;
       }
   }
-  // Exponential x exponential: bases multiply.
+  // Adds Coeff * h^Shift * Base^h into the accumulating form, folding
+  // base 1 into the polynomial part.
+  auto addExp = [&](int64_t Base, const ExpPoly &Coeff,
+                    size_t Shift) -> bool {
+    std::vector<Affine> &Dst = Base == 1 ? F.Poly : F.Geo[Base];
+    if (Dst.size() < Coeff.size() + Shift)
+      Dst.resize(Coeff.size() + Shift);
+    for (size_t J = 0; J < Coeff.size(); ++J)
+      Dst[J + Shift] += Coeff[J];
+    return true;
+  };
+  // Exponential x exponential: bases multiply, coefficients convolve.
   for (const auto &[B1, C1] : Geo)
     for (const auto &[B2, C2] : RHS.Geo) {
-      std::optional<Affine> P = Affine::mul(C1, C2);
-      if (!P)
-        return std::nullopt;
-      int64_t Base = B1 * B2;
-      if (Base == 1) {
-        if (F.Poly.empty())
-          F.Poly.push_back(Affine());
-        F.Poly[0] += *P;
-      } else {
-        F.Geo[Base] += *P;
-      }
+      ExpPoly Conv(C1.size() + C2.size() - 1, Affine());
+      for (size_t I = 0; I < C1.size(); ++I)
+        for (size_t J = 0; J < C2.size(); ++J) {
+          if (C1[I].isZero() || C2[J].isZero())
+            continue;
+          std::optional<Affine> P = Affine::mul(C1[I], C2[J]);
+          if (!P)
+            return std::nullopt;
+          Conv[I + J] += *P;
+        }
+      addExp(B1 * B2, Conv, 0);
     }
-  // Polynomial x exponential cross terms: representable only when the
-  // polynomial side is the constant h^0 term (h^k * b^h is outside the
-  // paper's representation).
+  // Polynomial x exponential cross terms: h^k * (p(h) * b^h) shifts the
+  // coefficient polynomial by k.
   auto crossTerms = [&](const std::vector<Affine> &P,
-                        const std::map<int64_t, Affine> &G) -> bool {
+                        const std::map<int64_t, ExpPoly> &G) -> bool {
     for (size_t K = 0; K < P.size(); ++K) {
       if (P[K].isZero())
         continue;
       for (const auto &[Base, Coeff] : G) {
-        if (K > 0)
-          return false;
-        std::optional<Affine> Prod = Affine::mul(P[K], Coeff);
-        if (!Prod)
-          return false;
-        F.Geo[Base] += *Prod;
+        ExpPoly Scaled;
+        for (const Affine &C : Coeff) {
+          std::optional<Affine> Prod = Affine::mul(P[K], C);
+          if (!Prod)
+            return false;
+          Scaled.push_back(*Prod);
+        }
+        addExp(Base, Scaled, K);
       }
     }
     return true;
@@ -172,33 +222,48 @@ Affine ClosedForm::evaluateAt(int64_t H) const {
     V += Poly[K] * HPow;
     HPow *= Rational(H);
   }
-  for (const auto &[Base, Coeff] : Geo)
-    V += Coeff * Rational(Base).pow(H);
+  for (const auto &[Base, Coeff] : Geo) {
+    Rational BPow = Rational(Base).pow(H);
+    Rational HP(1);
+    for (size_t J = 0; J < Coeff.size(); ++J) {
+      V += Coeff[J] * (HP * BPow);
+      HP *= Rational(H);
+    }
+  }
   return V;
 }
 
 std::optional<ClosedForm> ClosedForm::shifted(int64_t Delta) const {
   ClosedForm F;
-  // Polynomial part: substitute (h + Delta)^k via binomial expansion.
-  F.Poly.assign(Poly.size(), Affine());
-  for (size_t K = 0; K < Poly.size(); ++K) {
-    if (Poly[K].isZero())
-      continue;
-    // (h+D)^K = sum_j C(K,j) D^(K-j) h^j.
-    Rational Binom(1); // C(K, 0)
-    for (size_t J = 0; J <= K; ++J) {
-      Rational Term = Binom * Rational(Delta).pow(static_cast<int64_t>(K - J));
-      F.Poly[J] += Poly[K] * Term;
-      // C(K, J+1) = C(K, J) * (K-J) / (J+1).
-      Binom = Binom * Rational(static_cast<int64_t>(K - J)) /
-              Rational(static_cast<int64_t>(J + 1));
+  // Substitutes (h + Delta)^k via binomial expansion into Dst (index = new
+  // power of h), scaling every contribution by Scale.
+  auto shiftPoly = [&](const std::vector<Affine> &Src,
+                       std::vector<Affine> &Dst, const Rational &Scale) {
+    if (Dst.size() < Src.size())
+      Dst.resize(Src.size());
+    for (size_t K = 0; K < Src.size(); ++K) {
+      if (Src[K].isZero())
+        continue;
+      // (h+D)^K = sum_j C(K,j) D^(K-j) h^j.
+      Rational Binom(1); // C(K, 0)
+      for (size_t J = 0; J <= K; ++J) {
+        Rational Term =
+            Binom * Rational(Delta).pow(static_cast<int64_t>(K - J));
+        Dst[J] += Src[K] * (Term * Scale);
+        // C(K, J+1) = C(K, J) * (K-J) / (J+1).
+        Binom = Binom * Rational(static_cast<int64_t>(K - J)) /
+                Rational(static_cast<int64_t>(J + 1));
+      }
     }
-  }
-  // Exponential part: b^(h+D) = b^D * b^h; negative D needs b != 0.
+  };
+  shiftPoly(Poly, F.Poly, Rational(1));
+  // Exponential part: p(h+D) * b^(h+D) = (p(h+D) * b^D) * b^h.
   for (const auto &[Base, Coeff] : Geo) {
     if (Base == 0)
       return std::nullopt;
-    F.Geo[Base] = Coeff * Rational(Base).pow(Delta);
+    ExpPoly Dst;
+    shiftPoly(Coeff, Dst, Rational(Base).pow(Delta));
+    F.Geo[Base] = std::move(Dst);
   }
   F.normalize();
   return F;
@@ -238,16 +303,20 @@ bool ClosedForm::provablyIncreasing() const {
 
 bool ClosedForm::provablyNonNegative() const {
   // Conservative: every coefficient numeric and >= 0, and exponential bases
-  // positive (so all terms are >= 0 for h >= 0).
+  // positive (so every h^j * b^h term is >= 0 for h >= 0).
   for (const Affine &C : Poly) {
     std::optional<Rational> V = C.getConstant();
     if (!V || V->isNegative())
       return false;
   }
   for (const auto &[Base, Coeff] : Geo) {
-    std::optional<Rational> V = Coeff.getConstant();
-    if (Base <= 0 || !V || V->isNegative())
+    if (Base <= 0)
       return false;
+    for (const Affine &C : Coeff) {
+      std::optional<Rational> V = C.getConstant();
+      if (!V || V->isNegative())
+        return false;
+    }
   }
   return true;
 }
@@ -281,17 +350,27 @@ std::string ClosedForm::str(const SymbolNamer &Namer) const {
       CS = "(" + CS + ")";
     Out += CS + "*" + Basis;
   };
+  auto hPow = [](size_t K) -> std::string {
+    return K == 0 ? "" : (K == 1 ? "h" : "h^" + std::to_string(K));
+  };
   for (size_t K = 0; K < Poly.size(); ++K) {
     if (Poly[K].isZero())
       continue;
-    std::string Basis =
-        K == 0 ? "" : (K == 1 ? "h" : "h^" + std::to_string(K));
-    addTerm(Poly[K], Basis);
+    addTerm(Poly[K], hPow(K));
   }
+  // Bases ascend (int64-keyed map), coefficient powers ascend within one
+  // base: the order is a function of the form's value, never of pointers.
   for (const auto &[Base, Coeff] : Geo) {
     std::string BaseStr = Base < 0 ? "(" + std::to_string(Base) + ")"
                                    : std::to_string(Base);
-    addTerm(Coeff, BaseStr + "^h");
+    for (size_t J = 0; J < Coeff.size(); ++J) {
+      if (Coeff[J].isZero())
+        continue;
+      std::string Basis = hPow(J);
+      if (!Basis.empty())
+        Basis += "*";
+      addTerm(Coeff[J], Basis + BaseStr + "^h");
+    }
   }
   return Out;
 }

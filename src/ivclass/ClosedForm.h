@@ -12,9 +12,14 @@
 /// (l, i, s1, ..., sm) whose value on iteration h is sum(sk * h^k), and a
 /// geometric one by "the polynomial coefficients followed by the
 /// coefficients of each exponential term": sum(sk * h^k) + sum(gb * b^h).
-/// ClosedForm is exactly that, with every coefficient an Affine (rational
-/// coefficients over loop-invariant symbols) and h the canonical basic loop
-/// counter (l, 0, 1) that is zero on the first iteration.
+/// ClosedForm generalizes that to the full exponential-polynomial space of
+/// c-finite recurrences: each exponential base carries a *polynomial*
+/// coefficient, sum(sk * h^k) + sum_b (sum_j gbj * h^j) * b^h, which is
+/// closed under the resonant case x' = a*x + c*a^h (whose solution needs
+/// h*a^h) and under constant-coefficient linear systems with integer
+/// eigenvalues.  Every coefficient is an Affine (rational coefficients over
+/// loop-invariant symbols) and h is the canonical basic loop counter
+/// (l, 0, 1) that is zero on the first iteration.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,11 +36,16 @@
 namespace biv {
 namespace ivclass {
 
-/// value(h) = sum_k poly[k] * h^k  +  sum_b geo[b] * b^h.
+/// Polynomial coefficient of one exponential term: sum_j p[j] * h^j
+/// multiplying b^h.  Like the plain polynomial part, index = power of h.
+using ExpPoly = std::vector<Affine>;
+
+/// value(h) = sum_k poly[k] * h^k  +  sum_b (sum_j geo[b][j] * h^j) * b^h.
 ///
-/// Invariants: the polynomial coefficient list has no trailing zeros, and
-/// exponential terms never use base 0 or 1 (base-1 folds into poly[0]) and
-/// never carry a zero coefficient.
+/// Invariants: the polynomial coefficient list has no trailing zeros;
+/// exponential terms never use base 0 or 1 (base-1 folds into the
+/// polynomial part), their coefficient polynomials have no trailing zeros,
+/// and an all-zero coefficient polynomial is never stored.
 class ClosedForm {
 public:
   /// Constructs the zero form.
@@ -50,15 +60,31 @@ public:
   /// init + step * h: the paper's linear tuple (L, init, step).
   static ClosedForm linear(Affine Init, Affine Step);
 
-  /// Builds from explicit coefficients (normalizes).
+  /// Builds from explicit coefficients (normalizes); each exponential term
+  /// gets a constant (degree-0) coefficient polynomial.
   static ClosedForm make(std::vector<Affine> Poly,
                          std::map<int64_t, Affine> Geo = {});
+
+  /// Builds from explicit coefficients with full coefficient polynomials on
+  /// the exponential terms (normalizes).
+  static ClosedForm makeExp(std::vector<Affine> Poly,
+                            std::map<int64_t, ExpPoly> Geo);
 
   bool isZero() const { return Poly.empty() && Geo.empty(); }
   bool isInvariant() const { return degree() == 0 && Geo.empty(); }
   bool isLinear() const { return degree() <= 1 && Geo.empty(); }
   bool isPolynomial() const { return Geo.empty(); }
   bool hasExponential() const { return !Geo.empty(); }
+
+  /// True when some exponential term carries a non-constant coefficient
+  /// polynomial (e.g. h*2^h) -- the c-finite extension beyond the paper's
+  /// geometric class.
+  bool hasPolyExponential() const {
+    for (const auto &[Base, Coeff] : Geo)
+      if (Coeff.size() > 1)
+        return true;
+    return false;
+  }
 
   /// Degree of the polynomial part (0 for a constant).
   unsigned degree() const {
@@ -79,7 +105,24 @@ public:
     return coeff(1);
   }
 
-  const std::map<int64_t, Affine> &geoTerms() const { return Geo; }
+  const std::map<int64_t, ExpPoly> &geoTerms() const { return Geo; }
+
+  /// Coefficient of h^J * Base^h (zero when absent).
+  Affine geoCoeff(int64_t Base, unsigned J = 0) const {
+    auto It = Geo.find(Base);
+    if (It == Geo.end() || J >= It->second.size())
+      return Affine();
+    return It->second[J];
+  }
+
+  /// Degree of the coefficient polynomial on Base^h (0 when absent or
+  /// constant).
+  unsigned geoDegree(int64_t Base) const {
+    auto It = Geo.find(Base);
+    return It == Geo.end() || It->second.size() <= 1
+               ? 0
+               : unsigned(It->second.size() - 1);
+  }
 
   ClosedForm operator-() const;
   ClosedForm operator+(const ClosedForm &RHS) const;
@@ -87,7 +130,8 @@ public:
   ClosedForm operator*(const Rational &Scale) const;
 
   /// Full product; nullopt when the result leaves the representable space
-  /// (symbol-by-symbol products, h^k * b^h cross terms with k > 0, ...).
+  /// (symbol-by-symbol products).  h^k * b^h cross terms stay representable
+  /// here: they land in the coefficient polynomial of b^h.
   std::optional<ClosedForm> mulChecked(const ClosedForm &RHS) const;
 
   /// Exact value on iteration \p H (H >= 0).
@@ -117,14 +161,17 @@ public:
   }
   bool operator!=(const ClosedForm &RHS) const { return !(*this == RHS); }
 
-  /// Renders e.g. "3 + 1/2*h + 1/2*h^2" or "-2 - h + 3*2^h".
+  /// Renders e.g. "3 + 1/2*h + 1/2*h^2", "-2 - h + 3*2^h", or (c-finite)
+  /// "1 + 2*h*2^h".  Term order is fixed -- polynomial powers ascending,
+  /// then bases ascending with coefficient powers ascending -- so the
+  /// rendering never depends on pointer or insertion order.
   std::string str(const SymbolNamer &Namer = SymbolNamer()) const;
 
 private:
   void normalize();
 
   std::vector<Affine> Poly;
-  std::map<int64_t, Affine> Geo;
+  std::map<int64_t, ExpPoly> Geo;
 };
 
 } // namespace ivclass

@@ -252,6 +252,7 @@ private:
     case IVKind::Linear:
     case IVKind::Polynomial:
     case IVKind::Geometric:
+    case IVKind::CFinite:
       return Classification::fromForm(L, -C.Form);
     case IVKind::Monotonic: {
       Classification R = Classification::monotonic(
@@ -383,6 +384,26 @@ private:
                             const Classification &Exp) {
     if (Base.isInvariant() && Exp.isInvariant())
       return Classification::invariant(Affine::symbol(I));
+    // Closed-form base raised to a small numeric constant exponent: i^2 is
+    // repeated multiplication, exactly matching the interpreter.
+    if (Base.hasClosedForm() && Exp.isInvariant()) {
+      std::optional<Rational> K = Exp.Form.initialValue().getConstant();
+      if (!K || !K->isInteger() || K->getInteger() < 0 ||
+          K->getInteger() > 4)
+        return Classification::unknown();
+      try {
+        ClosedForm Acc = ClosedForm::constant(Affine(1));
+        for (int64_t J = 0; J < K->getInteger(); ++J) {
+          std::optional<ClosedForm> P = Acc.mulChecked(Base.Form);
+          if (!P)
+            return Classification::unknown();
+          Acc = std::move(*P);
+        }
+        return Classification::fromForm(L, Acc);
+      } catch (const RationalOverflow &) {
+        return Classification::unknown();
+      }
+    }
     if (!Base.isInvariant() || !Exp.isLinear() || !Exp.Form.isLinear())
       return Classification::unknown();
     std::optional<Rational> C = Base.Form.initialValue().getConstant();
@@ -467,6 +488,11 @@ private:
       classifySingleHeader(Region, HeaderPhis.front());
       return;
     }
+
+    // Several mutually recurrent header phis with arithmetic: a coupled
+    // constant-coefficient system (the c-finite extension).
+    if (classifySystem(Region, HeaderPhis))
+      return;
     markAllUnknown(Region);
   }
 
@@ -699,7 +725,11 @@ private:
     Memo.reserve(Region.Nodes.size() * 2);
     std::optional<SymSet> Carried = evalValue(CarriedV, H, Memo);
     if (!Carried || Carried->empty()) {
+      // The carried update itself is inexpressible (e.g. X' = X*X + m), but
+      // members of the region whose value is free of the header phi are
+      // still exact: project the solvable sub-recurrence out.
       markAllUnknown(Region);
+      sweepPartialMembers(Region, H, Memo, /*Partial=*/true);
       return;
     }
 
@@ -724,10 +754,303 @@ private:
         }
         return;
       }
+      if (T.A.isZero()) {
+        // X' = B(h) forgets its past each iteration but the initial value
+        // does not fit the shifted sequence (the solver handles the case
+        // where it does): a first-order wrap-around into B, phi(h) = B(h-1)
+        // for h >= 1.
+        ++S.WrapArounds;
+        setClass(H, Classification::wrapAround(
+                        L, 1, Classification::fromForm(L, T.B)));
+        for (ir::Instruction *N : Region.Nodes)
+          if (N != H)
+            setClass(N, Classification::unknown());
+        // Members free of the phi are exact for every h (not projections of
+        // an unsolved region -- the region head is classified).
+        sweepPartialMembers(Region, H, Memo, /*Partial=*/false);
+        return;
+      }
     }
     // Multiple paths or an unsolvable recurrence: monotonic analysis
-    // (section 4.4) over every possible per-iteration effect.
+    // (section 4.4) over every possible per-iteration effect, then recover
+    // exact forms for phi-free members.
     classifyMonotonic(Region, H, Init, *Carried);
+    sweepPartialMembers(Region, H, Memo, /*Partial=*/true);
+  }
+
+  /// Overwrites region members whose symbolic value has a zero coefficient
+  /// on the header phi with their exact closed form.  \p Partial marks forms
+  /// projected out of a region whose own update stayed unsolved.
+  void sweepPartialMembers(const SCR &Region, const ir::Instruction *H,
+                           const EvalMemo &Memo, bool Partial) {
+    static const stats::Counter NumPartialMembers("ivclass.partial_members");
+    for (ir::Instruction *N : Region.Nodes) {
+      if (N == H)
+        continue;
+      auto It = Memo.find(N);
+      if (It == Memo.end() || !It->second || It->second->size() != 1)
+        continue;
+      const LinTerm &T = It->second->front();
+      if (!T.A.isZero())
+        continue;
+      Classification C = Classification::fromForm(L, T.B);
+      C.Partial = Partial;
+      setClass(N, C);
+      if (Partial)
+        NumPartialMembers.bump();
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Coupled systems: several header phis updated linearly in each other
+  //===------------------------------------------------------------------===//
+
+  /// A value linear in the region's header-phi vector:
+  /// sum_j A[j] * X_j + B.  The single-path counterpart of LinTerm for
+  /// systems (control-flow merges inside the region are out of scope; the
+  /// monotonic machinery does not apply to vectors anyway).
+  struct VecTerm {
+    std::vector<Rational> A;
+    ClosedForm B;
+  };
+  using VecMemo =
+      std::unordered_map<const ir::Instruction *, std::optional<VecTerm>>;
+  using PhiIndexMap = std::map<const ir::Instruction *, unsigned>;
+
+  std::optional<VecTerm> evalVecValue(ir::Value *V, const PhiIndexMap &PhiIdx,
+                                      VecMemo &Memo) {
+    const unsigned K = unsigned(PhiIdx.size());
+    if (auto *I = ir::dyn_cast<ir::Instruction>(V)) {
+      auto PIt = PhiIdx.find(I);
+      if (PIt != PhiIdx.end()) {
+        VecTerm T{std::vector<Rational>(K), ClosedForm()};
+        T.A[PIt->second] = Rational(1);
+        return T;
+      }
+      if (inSCR(I))
+        return evalVecInst(I, PhiIdx, Memo);
+    }
+    const Classification &C = classOf(V);
+    if (C.hasClosedForm())
+      return VecTerm{std::vector<Rational>(K), C.Form};
+    return std::nullopt;
+  }
+
+  std::optional<VecTerm> evalVecInst(ir::Instruction *I,
+                                     const PhiIndexMap &PhiIdx,
+                                     VecMemo &Memo) {
+    auto It = Memo.find(I);
+    if (It != Memo.end())
+      return It->second;
+    Memo[I] = std::nullopt;
+
+    auto isFree = [](const VecTerm &T) {
+      for (const Rational &R : T.A)
+        if (!R.isZero())
+          return false;
+      return true;
+    };
+    auto combine2 = [&](auto &&Fn) -> std::optional<VecTerm> {
+      std::optional<VecTerm> X = evalVecValue(I->operand(0), PhiIdx, Memo);
+      std::optional<VecTerm> Y = evalVecValue(I->operand(1), PhiIdx, Memo);
+      if (!X || !Y)
+        return std::nullopt;
+      return Fn(*X, *Y);
+    };
+
+    std::optional<VecTerm> Result;
+    switch (I->opcode()) {
+    case ir::Opcode::Copy:
+      Result = evalVecValue(I->operand(0), PhiIdx, Memo);
+      break;
+    case ir::Opcode::Neg: {
+      std::optional<VecTerm> Sub = evalVecValue(I->operand(0), PhiIdx, Memo);
+      if (Sub) {
+        for (Rational &R : Sub->A)
+          R = -R;
+        Sub->B = -Sub->B;
+        Result = std::move(Sub);
+      }
+      break;
+    }
+    case ir::Opcode::Add:
+      Result = combine2([](VecTerm &X, VecTerm &Y) -> std::optional<VecTerm> {
+        for (size_t J = 0; J < X.A.size(); ++J)
+          X.A[J] = X.A[J] + Y.A[J];
+        X.B = X.B + Y.B;
+        return std::move(X);
+      });
+      break;
+    case ir::Opcode::Sub:
+      Result = combine2([](VecTerm &X, VecTerm &Y) -> std::optional<VecTerm> {
+        for (size_t J = 0; J < X.A.size(); ++J)
+          X.A[J] = X.A[J] - Y.A[J];
+        X.B = X.B - Y.B;
+        return std::move(X);
+      });
+      break;
+    case ir::Opcode::Mul:
+      Result = combine2(
+          [&](VecTerm &X, VecTerm &Y) -> std::optional<VecTerm> {
+            auto scaled = [](VecTerm &Var,
+                             const VecTerm &Const) -> std::optional<VecTerm> {
+              std::optional<Rational> C =
+                  Const.B.isInvariant()
+                      ? Const.B.initialValue().getConstant()
+                      : std::nullopt;
+              if (!C)
+                return std::nullopt;
+              for (Rational &R : Var.A)
+                R = R * *C;
+              Var.B = Var.B * *C;
+              return std::move(Var);
+            };
+            if (isFree(X) && isFree(Y)) {
+              std::optional<ClosedForm> P = X.B.mulChecked(Y.B);
+              if (!P)
+                return std::nullopt;
+              return VecTerm{std::vector<Rational>(X.A.size()),
+                             std::move(*P)};
+            }
+            if (isFree(Y))
+              return scaled(X, Y);
+            if (isFree(X))
+              return scaled(Y, X);
+            return std::nullopt;
+          });
+      break;
+    default:
+      // Phis inside the region (per-path values) and non-linear ops are out
+      // of scope for the system evaluator.
+      break;
+    }
+    Memo[I] = Result;
+    return Result;
+  }
+
+  /// Classifies a region with K >= 2 header phis as the coupled system
+  /// X(h+1) = M * X(h) + B(h).  Components whose solution exists become
+  /// closed forms; when only some do, they are marked Partial.  Returns
+  /// false when the region does not even evaluate to a linear system (the
+  /// caller falls back to unknown).
+  bool classifySystem(const SCR &Region,
+                      const std::vector<ir::Instruction *> &HeaderPhis) {
+    static const stats::Counter NumSystemRegions("ivclass.system_regions");
+    const unsigned K = unsigned(HeaderPhis.size());
+    if (K > 4)
+      return false;
+    PhiIndexMap PhiIdx;
+    for (unsigned I = 0; I < K; ++I)
+      PhiIdx[HeaderPhis[I]] = I;
+
+    RatMatrix M(K, K);
+    std::vector<ClosedForm> B(K);
+    std::vector<Affine> Init(K);
+    VecMemo Memo;
+    Memo.reserve(Region.Nodes.size() * 2);
+    bool Evaluated = true;
+    for (unsigned I = 0; I < K && Evaluated; ++I) {
+      ir::Value *InitV = nullptr, *CarriedV = nullptr;
+      if (!splitHeaderPhi(HeaderPhis[I], InitV, CarriedV)) {
+        Evaluated = false;
+        break;
+      }
+      Classification InitC = IA.classifyExternal(InitV, L);
+      Init[I] = InitC.isInvariant() ? InitC.Form.initialValue()
+                                    : Affine::symbol(InitV);
+      std::optional<VecTerm> T = evalVecValue(CarriedV, PhiIdx, Memo);
+      if (!T) {
+        Evaluated = false;
+        break;
+      }
+      for (unsigned J = 0; J < K; ++J)
+        M.at(I, J) = T->A[J];
+      B[I] = std::move(T->B);
+    }
+
+    unsigned Solved = 0;
+    std::vector<std::optional<ClosedForm>> Sol;
+    if (Evaluated) {
+      NumSystemRegions.bump();
+      Sol = solveLinearSystem(M, B, Init);
+      for (const std::optional<ClosedForm> &SF : Sol)
+        Solved += SF.has_value();
+    }
+    if (!Solved) {
+      // Nothing solved (or the update is not linear): the region stays
+      // unknown, but phi-free members evaluated along the way are exact --
+      // project them out.
+      markAllUnknown(Region);
+      sweepPartialMembersVec(Region, PhiIdx, Memo, Sol);
+      return true;
+    }
+    const bool PartialSolve = Solved < K;
+
+    for (unsigned I = 0; I < K; ++I) {
+      if (Sol[I]) {
+        noteFamily(*Sol[I]);
+        Classification C = Classification::fromForm(L, *Sol[I]);
+        C.Partial = PartialSolve;
+        setClass(HeaderPhis[I], C);
+      } else {
+        setClass(HeaderPhis[I], Classification::unknown());
+      }
+    }
+    // Members: exact whenever every component they depend on solved.
+    for (ir::Instruction *N : Region.Nodes) {
+      if (PhiIdx.count(N))
+        continue;
+      std::optional<ClosedForm> Form = memberForm(N, Memo, Sol);
+      if (Form) {
+        Classification C = Classification::fromForm(L, *Form);
+        C.Partial = PartialSolve;
+        setClass(N, C);
+      } else {
+        setClass(N, Classification::unknown());
+      }
+    }
+    return true;
+  }
+
+  /// Closed form of a system-region member from its memoized VecTerm:
+  /// sum_j A[j] * Sol[j] + B, defined when every component with a nonzero
+  /// coefficient solved.
+  std::optional<ClosedForm>
+  memberForm(const ir::Instruction *N, const VecMemo &Memo,
+             const std::vector<std::optional<ClosedForm>> &Sol) {
+    auto It = Memo.find(N);
+    if (It == Memo.end() || !It->second)
+      return std::nullopt;
+    const VecTerm &T = *It->second;
+    ClosedForm Form = T.B;
+    for (size_t J = 0; J < T.A.size(); ++J) {
+      if (T.A[J].isZero())
+        continue;
+      if (J >= Sol.size() || !Sol[J])
+        return std::nullopt;
+      Form = Form + *Sol[J] * T.A[J];
+    }
+    return Form;
+  }
+
+  /// The system-evaluator counterpart of sweepPartialMembers: after an
+  /// unsolved system region is marked unknown, members free of every header
+  /// phi keep their exact form, flagged Partial.
+  void sweepPartialMembersVec(
+      const SCR &Region, const PhiIndexMap &PhiIdx, const VecMemo &Memo,
+      const std::vector<std::optional<ClosedForm>> &Sol) {
+    static const stats::Counter NumPartialMembers("ivclass.partial_members");
+    for (ir::Instruction *N : Region.Nodes) {
+      if (PhiIdx.count(N))
+        continue;
+      std::optional<ClosedForm> Form = memberForm(N, Memo, Sol);
+      if (!Form)
+        continue;
+      Classification C = Classification::fromForm(L, *Form);
+      C.Partial = true;
+      setClass(N, C);
+      NumPartialMembers.bump();
+    }
   }
 
   /// Is every per-iteration effect whose path runs through \p N a strict
@@ -1006,19 +1329,37 @@ void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
     if (C->isInteger())
       TCNum = C->getInteger();
 
-  // Candidates: this loop's classified instructions with closed forms.
+  // Candidates: this loop's classified instructions with closed forms
+  // (including loop-internal invariants, which the enclosing loop cannot
+  // see through otherwise), plus wrap-arounds whose inner class has a
+  // closed form -- those follow inner(h - order) once h >= order, so a
+  // numeric trip count past the settle point yields an exact exit value.
   // Copy the list first; materialization mutates the block contents.
-  std::vector<std::pair<const ir::Instruction *, ClosedForm>> Candidates;
+  struct Candidate {
+    const ir::Instruction *I;
+    ClosedForm Form;
+    unsigned MinH; // wrap-around settle point; Form is in h - MinH
+  };
+  std::vector<Candidate> Candidates;
   for (const auto &[V, C] : tableFor(L).entries()) {
     const auto *I = ir::dyn_cast<ir::Instruction>(V);
     if (!I || !L->contains(I->parent()))
       continue;
-    if (!C->hasClosedForm() || C->isInvariant())
-      continue;
-    Candidates.push_back({I, C->Form});
+    if (C->hasClosedForm()) {
+      Candidates.push_back({I, C->Form, 0});
+    } else if (C->isWrapAround()) {
+      unsigned Order = 0;
+      const Classification *W = C;
+      while (W->isWrapAround() && W->Inner) {
+        Order += W->WrapOrder;
+        W = W->Inner.get();
+      }
+      if (W->hasClosedForm())
+        Candidates.push_back({I, W->Form, Order});
+    }
   }
 
-  for (const auto &[V, Form] : Candidates) {
+  for (const auto &[V, Form, MinH] : Candidates) {
     // Where does the final execution land relative to the exit test?
     // Values above the test run once more than values below (section 5.2).
     int64_t Extra;
@@ -1041,10 +1382,14 @@ void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
         int64_t H = *TCNum + Extra;
         if (H < 0)
           continue; // the value never executed
-        EV = Form.evaluateAt(H);
-      } else {
+        if (H < int64_t(MinH))
+          continue; // still inside the wrap-around prefix
+        EV = Form.evaluateAt(H - int64_t(MinH));
+      } else if (MinH == 0) {
         Affine At = Extra == 0 ? TCA : TCA + Affine(-1);
         EV = Form.evaluateAtAffine(At);
+      } else {
+        continue; // symbolic count cannot prove h >= the settle point
       }
     } catch (const RationalOverflow &) {
       static const stats::Counter NumOverflows(

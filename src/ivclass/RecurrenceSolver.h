@@ -6,20 +6,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Solves the first-order recurrences the classifier extracts from a
-/// strongly connected region:
+/// Solves the c-finite recurrences the classifier extracts from a strongly
+/// connected region:
 ///
 ///   X(0)    = Init
 ///   X(h+1)  = A * X(h) + B(h)        for h >= 0
 ///
-/// with A a rational constant and B a ClosedForm, using the paper's method
-/// (section 4.3): pick the basis functions the solution can use (powers of h
-/// up to the expected degree plus the exponential bases), compute the first
-/// values of X symbolically, build the integer matrix of basis values,
-/// invert it over the rationals, and multiply by the computed values.  The
-/// solution is verified against one extra iterate, so a wrong basis guess
-/// (e.g. the resonant case A = g appearing in B's bases, which needs h*g^h)
-/// safely returns nullopt instead of a bogus form.
+/// with A a rational constant and B a ClosedForm, plus the coupled
+/// constant-coefficient generalization X(h+1) = M * X(h) + B(h) over the
+/// RatMatrix machinery, using the paper's method (section 4.3): pick the
+/// basis functions the solution can be written in (powers of h plus
+/// h^j * b^h exponential-polynomial terms), compute the first values of X
+/// symbolically, build the integer matrix of basis values, solve it over the
+/// rationals, and verify the fit against extra iterates.  The basis now
+/// covers the resonant case A appearing in B's bases (which needs h*A^h)
+/// and repeated integer eigenvalues of coupled systems; anything outside
+/// the exponential-polynomial space (rational or irrational eigenvalues,
+/// zero eigenvalues past order one) safely returns nullopt, never a bogus
+/// form, because the verification iterates reject a wrong basis guess.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +31,9 @@
 #define BEYONDIV_IVCLASS_RECURRENCESOLVER_H
 
 #include "ivclass/ClosedForm.h"
+#include "support/Matrix.h"
 #include <optional>
+#include <vector>
 
 namespace biv {
 namespace ivclass {
@@ -37,6 +43,20 @@ namespace ivclass {
 std::optional<ClosedForm> solveLinearRecurrence(const Rational &A,
                                                 const ClosedForm &B,
                                                 const Affine &Init);
+
+/// Solves the coupled constant-coefficient system
+///
+///   X(0)    = Init                  (component i starts at Init[i])
+///   X(h+1)  = M * X(h) + B(h)       (component i adds forcing B[i])
+///
+/// over the exponential-polynomial space.  Returns one entry per component:
+/// its closed form, or nullopt for components that could not be fitted.  The
+/// whole vector is nullopt when the characteristic polynomial of M has roots
+/// outside the nonzero integers (no component is representable then).
+/// Requires M square with B.size() == Init.size() == M.rows().
+std::vector<std::optional<ClosedForm>>
+solveLinearSystem(const RatMatrix &M, const std::vector<ClosedForm> &B,
+                  const std::vector<Affine> &Init);
 
 } // namespace ivclass
 } // namespace biv

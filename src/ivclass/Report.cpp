@@ -15,11 +15,19 @@ namespace {
 const stats::Counter KindLinear("ivclass.kind.linear");
 const stats::Counter KindPolynomial("ivclass.kind.polynomial");
 const stats::Counter KindGeometric("ivclass.kind.geometric");
+const stats::Counter KindCFinite("ivclass.kind.cfinite");
 const stats::Counter KindWrapAround("ivclass.kind.wrap_around");
 const stats::Counter KindPeriodic("ivclass.kind.periodic");
 const stats::Counter KindMonotonic("ivclass.kind.monotonic");
 const stats::Counter KindInvariant("ivclass.kind.invariant");
 const stats::Counter KindUnknown("ivclass.kind.unknown");
+// The punt-rate numerator: header phis the analysis gave up on entirely.
+// ivclass.punt / sum(ivclass.kind.*) is the tracked punt rate (see
+// EXPERIMENTS.md); partial counts closed forms projected out of unsolvable
+// regions, i.e. phis that would have been punts before the c-finite
+// extension.
+const stats::Counter KindPartial("ivclass.kind.partial");
+const stats::Counter Punt("ivclass.punt");
 } // namespace
 
 std::string biv::ivclass::report(InductionAnalysis &IA,
@@ -65,7 +73,10 @@ KindCounts biv::ivclass::countHeaderPhiKinds(InductionAnalysis &IA) {
   KindCounts C;
   for (const auto &L : IA.loopInfo().loops())
     for (ir::Instruction *Phi : L->header()->phis()) {
-      switch (IA.classify(Phi, L.get()).Kind) {
+      const Classification &PhiClass = IA.classify(Phi, L.get());
+      if (PhiClass.Partial)
+        ++C.Partial;
+      switch (PhiClass.Kind) {
       case IVKind::Linear:
         ++C.Linear;
         break;
@@ -74,6 +85,9 @@ KindCounts biv::ivclass::countHeaderPhiKinds(InductionAnalysis &IA) {
         break;
       case IVKind::Geometric:
         ++C.Geometric;
+        break;
+      case IVKind::CFinite:
+        ++C.CFinite;
         break;
       case IVKind::WrapAround:
         ++C.WrapAround;
@@ -95,10 +109,13 @@ KindCounts biv::ivclass::countHeaderPhiKinds(InductionAnalysis &IA) {
   KindLinear.bump(C.Linear);
   KindPolynomial.bump(C.Polynomial);
   KindGeometric.bump(C.Geometric);
+  KindCFinite.bump(C.CFinite);
   KindWrapAround.bump(C.WrapAround);
   KindPeriodic.bump(C.Periodic);
   KindMonotonic.bump(C.Monotonic);
   KindInvariant.bump(C.Invariant);
   KindUnknown.bump(C.Unknown);
+  KindPartial.bump(C.Partial);
+  Punt.bump(C.Unknown);
   return C;
 }

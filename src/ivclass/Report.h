@@ -40,15 +40,19 @@ struct KindCounts {
   unsigned Linear = 0;
   unsigned Polynomial = 0;
   unsigned Geometric = 0;
+  unsigned CFinite = 0;
   unsigned WrapAround = 0;
   unsigned Periodic = 0;
   unsigned Monotonic = 0;
   unsigned Invariant = 0;
   unsigned Unknown = 0;
+  /// Header phis whose closed form was projected out of an otherwise
+  /// unsolvable region (subset of the closed-form kind counts above).
+  unsigned Partial = 0;
 
   unsigned classified() const {
-    return Linear + Polynomial + Geometric + WrapAround + Periodic +
-           Monotonic + Invariant;
+    return Linear + Polynomial + Geometric + CFinite + WrapAround +
+           Periodic + Monotonic + Invariant;
   }
 
   /// Accumulates \p O (batch drivers merge per-function counts).
@@ -56,11 +60,13 @@ struct KindCounts {
     Linear += O.Linear;
     Polynomial += O.Polynomial;
     Geometric += O.Geometric;
+    CFinite += O.CFinite;
     WrapAround += O.WrapAround;
     Periodic += O.Periodic;
     Monotonic += O.Monotonic;
     Invariant += O.Invariant;
     Unknown += O.Unknown;
+    Partial += O.Partial;
     return *this;
   }
 };

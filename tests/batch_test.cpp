@@ -179,6 +179,53 @@ TEST(BatchTest, ParallelMatchesSerialByteForByte) {
   EXPECT_EQ(RS.renderText(), RP.renderText());
 }
 
+TEST(BatchTest, CFiniteCorpusParallelByteIdentical) {
+  // Exponential-polynomial rendering must not depend on worker count: the
+  // coefficient polynomials on geometric bases, symbolic coefficients
+  // (built in different interner orders per thread), and partial-member
+  // projections all have to render byte-identically at -j1 and -j8.
+  const char *Shapes[] = {
+      // Symbolic 2^h coefficient a+b whose symbols arrive in both orders.
+      "func s%d(n) {\n a = n + 1;\n b = n + 2;\n x = a;\n"
+      " for L1: i = 0 to 6 {\n x = 2*x + b;\n }\n return x;\n}",
+      "func t%d(n) {\n b = n + 2;\n a = n + 1;\n x = b;\n"
+      " for L1: i = 0 to 6 {\n x = 2*x + a;\n }\n return x;\n}",
+      // Two bases (2^h from g, 3^h from the carry) in one form.
+      "func u%d(n) {\n g = 1;\n y = 1;\n for L1: i = 0 to 6 {\n"
+      " g = g * 2;\n y = 3*y + g;\n }\n return y;\n}",
+      // Resonance: h*2^h coefficient polynomial.
+      "func v%d(n) {\n c0 = 1;\n c1 = 0;\n for L1: i = 0 to n {\n"
+      " c0 = c0 * 2;\n c1 = 2*c1 + c0;\n }\n return c1;\n}",
+      // Coupled system, eigenvalues {3, -1}.
+      "func w%d(n) {\n u = 1;\n v = 0;\n for L1: i = 0 to n {\n"
+      " t = u + 2*v;\n v = 2*u + v + i;\n u = t;\n }\n return u + v;\n}",
+      // Unsolvable SCC with a partial projection.
+      "func p%d(n) {\n px = 1;\n ps = 0;\n for L1: i = 0 to n {\n"
+      " pt = px + i;\n pm = pt - px;\n px = px * px + pm;\n"
+      " ps = ps + pm;\n }\n return ps;\n}",
+  };
+  std::vector<driver::SourceInput> Sources;
+  for (int Copy = 0; Copy < 4; ++Copy)
+    for (const char *Shape : Shapes) {
+      char Buf[512];
+      std::snprintf(Buf, sizeof(Buf), Shape, Copy);
+      Sources.push_back(
+          {"cf" + std::to_string(Sources.size()), std::string(Buf)});
+    }
+
+  driver::BatchOptions Serial;
+  Serial.Jobs = 1;
+  Serial.Report.AllValues = true;
+  driver::BatchOptions Parallel = Serial;
+  Parallel.Jobs = 8;
+
+  driver::BatchResult RS = driver::analyzeBatch(Sources, Serial);
+  driver::BatchResult RP = driver::analyzeBatch(Sources, Parallel);
+  EXPECT_EQ(RS.Failed, 0u);
+  EXPECT_EQ(RP.Failed, 0u);
+  EXPECT_EQ(RS.renderText(), RP.renderText());
+}
+
 TEST(BatchTest, FailedUnitDoesNotAbortSiblings) {
   std::vector<driver::SourceInput> Sources = {
       {"good1", "func a(n) {\n  s = 0;\n  for L1: i = 1 to n { s = s + 1; }\n"

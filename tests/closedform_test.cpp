@@ -102,16 +102,22 @@ TEST(ClosedFormTest, MulBaseProductOne) {
   EXPECT_EQ(P->initialValue(), Affine(1));
 }
 
-TEST(ClosedFormTest, MulPolyTimesExpFails) {
-  // h * 2^h is outside the representation.
+TEST(ClosedFormTest, MulPolyTimesExp) {
+  // h * 2^h lands in the coefficient polynomial of 2^h (the c-finite
+  // extension; it used to be outside the representation).
   ClosedForm H = ClosedForm::counter();
   ClosedForm E = ClosedForm::make({}, {{2, Affine(1)}});
-  EXPECT_FALSE(H.mulChecked(E).has_value());
-  // But constant * 2^h works.
+  auto X = H.mulChecked(E);
+  ASSERT_TRUE(X.has_value());
+  EXPECT_TRUE(X->hasPolyExponential());
+  EXPECT_EQ(X->geoCoeff(2, 1), Affine(1));
+  for (int64_t I = 0; I <= 6; ++I)
+    EXPECT_EQ(X->evaluateAt(I), Affine(I * (int64_t(1) << I)));
+  // Constant * 2^h stays a constant coefficient.
   ClosedForm C = ClosedForm::constant(Affine(5));
   auto P = C.mulChecked(E);
   ASSERT_TRUE(P.has_value());
-  EXPECT_EQ(P->geoTerms().at(2), Affine(5));
+  EXPECT_EQ(P->geoCoeff(2), Affine(5));
 }
 
 TEST(ClosedFormTest, ShiftPolynomial) {
@@ -131,7 +137,7 @@ TEST(ClosedFormTest, ShiftExponential) {
   ClosedForm F = ClosedForm::make({}, {{2, Affine(3)}});
   auto S = F.shifted(-1);
   ASSERT_TRUE(S.has_value());
-  EXPECT_EQ(S->geoTerms().at(2), Affine(Rational(3, 2)));
+  EXPECT_EQ(S->geoCoeff(2), Affine(Rational(3, 2)));
   for (int64_t H = 1; H <= 5; ++H)
     EXPECT_EQ(S->evaluateAt(H), F.evaluateAt(H - 1));
 }
@@ -237,7 +243,7 @@ TEST(SolverTest, GeometricWithPolynomialDrive) {
   // phi form here: -2 - h + 2*3^h.
   EXPECT_EQ(F->coeff(0), Affine(-2));
   EXPECT_EQ(F->coeff(1), Affine(-1));
-  EXPECT_EQ(F->geoTerms().at(3), Affine(2));
+  EXPECT_EQ(F->geoCoeff(3), Affine(2));
 }
 
 TEST(SolverTest, ExponentialDrive) {
@@ -247,11 +253,18 @@ TEST(SolverTest, ExponentialDrive) {
   checkSolution(Rational(2), ClosedForm::make({}, {{3, Affine(1)}}), 1);
 }
 
-TEST(SolverTest, ResonanceRejected) {
-  // X' = 2X + 2^h needs h*2^h: must return nullopt, not a wrong form.
+TEST(SolverTest, ResonanceSolved) {
+  // X' = 2X + 2^h needs h*2^h: X(h) = h * 2^(h-1) = 1/2 * h * 2^h.
   auto F = solveLinearRecurrence(
       Rational(2), ClosedForm::make({}, {{2, Affine(1)}}), Affine(0));
-  EXPECT_FALSE(F.has_value());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_TRUE(F->hasPolyExponential());
+  EXPECT_EQ(F->geoCoeff(2, 1), Affine(Rational(1, 2)));
+  int64_t X = 0;
+  for (int64_t H = 0; H <= 8; ++H) {
+    EXPECT_EQ(F->evaluateAt(H), Affine(X));
+    X = 2 * X + (int64_t(1) << H);
+  }
 }
 
 TEST(SolverTest, NonIntegerScaleRejected) {

@@ -152,14 +152,18 @@ TEST(CorpusTest, CachedReportsMatchGoldensColdWarmAndStale) {
     EXPECT_EQ(C.pendingCount(), 0u) << "a warm corpus pass missed";
   }
 
-  // Stale: flip the salt u64 at header offset 16, as a semantics bump
-  // would.  The cache discards itself and re-analysis still matches.
+  // Stale: rewrite the salt u64 at header offset 16 to the pre-c-finite
+  // value, turning the file into exactly what a cache written before the
+  // lattice extension looks like.  The cache discards itself and
+  // re-analysis still matches.
   {
     std::fstream F(CachePath,
                    std::ios::in | std::ios::out | std::ios::binary);
     ASSERT_TRUE(F.is_open());
     F.seekp(16);
-    uint64_t Stale = cache::AnalysisVersionSalt + 1;
+    uint64_t Stale = 1; // AnalysisVersionSalt before the c-finite bump
+    static_assert(cache::AnalysisVersionSalt != 1,
+                  "pre-extension salt must differ from the current salt");
     F.write(reinterpret_cast<const char *>(&Stale), sizeof Stale);
     ASSERT_TRUE(F.good());
   }

@@ -92,6 +92,19 @@ TEST(FuzzOracleTest, CleanOnPaperShapes) {
        "func f(n) {\n s = 0;\n for L: i = 2 to n { s = s + i; }\n"
        " return s;\n}",
        &CheckCounts::TripCount},
+      {"cfinite",
+       // Resonant pair: c1's closed form carries the h*2^h term, so its
+       // checks land in the disjoint CFinite bucket.
+       "func f(n) {\n c0 = 1;\n c1 = 0;\n for L: i = 1 to n {\n"
+       " c0 = c0 * 2;\n c1 = 2*c1 + c0;\n }\n return c1;\n}",
+       &CheckCounts::CFinite},
+      {"partial",
+       // px' = px*px + pm is unsolvable, but the member pm projects out as
+       // an exact partial form the member-claim oracle can verify.
+       "func f(n) {\n px = 1;\n ps = 0;\n for L: i = 1 to n {\n"
+       " pt = px + i;\n pm = pt - px;\n px = px * px + pm;\n"
+       " ps = ps + pm;\n }\n return ps;\n}",
+       &CheckCounts::Partial},
   };
   for (const Case &C : Cases) {
     OracleOptions OO;
@@ -261,6 +274,8 @@ TEST(FuzzCampaignTest, Smoke500ProgramsCleanAndDeterministic) {
   // families.  (If a generator change trips one of these, the grammar lost
   // a recurrence shape -- fix the generator, don't relax the bound.)
   EXPECT_GT(R.Checks.ClosedForm, 0u);
+  EXPECT_GT(R.Checks.CFinite, 0u);
+  EXPECT_GT(R.Checks.Partial, 0u);
   EXPECT_GT(R.Checks.WrapAround, 0u);
   EXPECT_GT(R.Checks.Periodic, 0u);
   EXPECT_GT(R.Checks.Monotonic, 0u);

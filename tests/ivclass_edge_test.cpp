@@ -52,7 +52,7 @@ TEST(IVEdgeTest, NegativeGeometricBase) {
   ASSERT_EQ(X.Kind, IVKind::Geometric);
   auto It = X.Form.geoTerms().find(-2);
   ASSERT_TRUE(It != X.Form.geoTerms().end());
-  EXPECT_EQ(It->second, Affine(3));
+  EXPECT_EQ(X.Form.geoCoeff(-2), Affine(3));
   interp::ExecutionTrace T = interp::run(*A.F, {10});
   ASSERT_TRUE(T.ok());
   expectFormMatchesTrace(X, A.phi("L", "x"), T);

@@ -321,7 +321,7 @@ TEST(IVClassTest, FlipFlopArithmeticL12) {
   EXPECT_EQ(J.Form.coeff(0), Affine(Rational(3, 2)));
   auto It = J.Form.geoTerms().find(-1);
   ASSERT_TRUE(It != J.Form.geoTerms().end());
-  EXPECT_EQ(It->second, Affine(Rational(-1, 2)));
+  EXPECT_EQ(J.Form.geoCoeff(-1), Affine(Rational(-1, 2)));
   // Oracle.
   interp::ExecutionTrace T = interp::run(*A.F, {6});
   ASSERT_TRUE(T.ok()) << T.Error;
@@ -370,7 +370,7 @@ TEST(IVClassTest, LoopL14Polynomials) {
   EXPECT_EQ(L3.Form.coeff(0), Affine(-1));
   auto GIt = L3.Form.geoTerms().find(2);
   ASSERT_TRUE(GIt != L3.Form.geoTerms().end());
-  EXPECT_EQ(GIt->second, Affine(4));
+  EXPECT_EQ(L3.Form.geoCoeff(2), Affine(4));
 
   // m = 3m + 2i + 1: the paper's geometric example, 6*3^h - h - 3 for the
   // updated value; note there is no quadratic term after all.
@@ -381,7 +381,7 @@ TEST(IVClassTest, LoopL14Polynomials) {
   EXPECT_EQ(M3.Form.coeff(1), Affine(-1));
   auto MIt = M3.Form.geoTerms().find(3);
   ASSERT_TRUE(MIt != M3.Form.geoTerms().end());
-  EXPECT_EQ(MIt->second, Affine(6));
+  EXPECT_EQ(M3.Form.geoCoeff(3), Affine(6));
 }
 
 TEST(IVClassTest, LoopL14Oracle) {
@@ -426,7 +426,7 @@ TEST(IVClassTest, PowerOperatorGeometric) {
   ASSERT_EQ(P.Kind, IVKind::Geometric);
   auto It = P.Form.geoTerms().find(2);
   ASSERT_TRUE(It != P.Form.geoTerms().end());
-  EXPECT_EQ(It->second, Affine(1));
+  EXPECT_EQ(P.Form.geoCoeff(2), Affine(1));
   interp::ExecutionTrace T = interp::run(*A.F, {12});
   ASSERT_TRUE(T.ok()) << T.Error;
   expectFormMatchesTrace(P, Exp, T);
@@ -504,7 +504,7 @@ TEST(IVClassTest, MonotonicWithMultiply) {
   ASSERT_EQ(I.Kind, IVKind::Geometric);
   auto It = I.Form.geoTerms().find(3);
   ASSERT_TRUE(It != I.Form.geoTerms().end());
-  EXPECT_EQ(It->second, Affine(1)); // i(h) = 3^h
+  EXPECT_EQ(I.Form.geoCoeff(3), Affine(1)); // i(h) = 3^h
 }
 
 TEST(IVClassTest, ConditionalMultiplyIsMonotonic) {

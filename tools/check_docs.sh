@@ -124,6 +124,29 @@ elif [ "$CODE_CEIL" != "$DOC_CEIL" ]; then
   FAIL=1
 fi
 
+# 6. The c-finite lattice extension ships with its documentation: as long
+# as the classifier defines IVKind::CFinite, DESIGN.md must carry the
+# "C-finite lattice extension" section and EXPERIMENTS.md must track the
+# punt-rate metric by its real counter name (`ivclass.punt`, declared in
+# src/ivclass/Report.cpp).
+if grep -q "CFinite" src/ivclass/Classification.h; then
+  if ! grep -q "C-finite lattice extension" DESIGN.md; then
+    echo "docs_check: classifier has IVKind::CFinite but DESIGN.md lacks" \
+         "the 'C-finite lattice extension' section" >&2
+    FAIL=1
+  fi
+  if ! grep -q "ivclass.punt" EXPERIMENTS.md; then
+    echo "docs_check: EXPERIMENTS.md does not document the punt-rate" \
+         "counter ivclass.punt" >&2
+    FAIL=1
+  fi
+  if ! grep -q '"ivclass.punt"' src/ivclass/Report.cpp; then
+    echo "docs_check: EXPERIMENTS.md tracks ivclass.punt but the counter" \
+         "is not declared in src/ivclass/Report.cpp" >&2
+    FAIL=1
+  fi
+fi
+
 if [ "$FAIL" = 0 ]; then
   echo "docs_check: OK ($(echo "$FLAGS" | wc -w) flags," \
        "$(echo "$PATHS" | wc -w) paths, cache salt $CODE_SALT," \

@@ -69,6 +69,23 @@ cmake --build "$BUILD" --target arena_test -j "$(nproc)" >/dev/null
 "$BUILD/tests/arena_test"
 echo "fuzz: arena/interner unit tests clean under ASan/UBSan"
 
+# C-finite slice: the extension's focused suites (`ctest -L cfinite` in
+# tier-1) run in the instrumented tree, and a dedicated campaign slice must
+# report nonzero cfinite and partial oracle checks -- generator drift that
+# stops reaching the new recurrence shapes dies here, under the sanitizers.
+cmake --build "$BUILD" --target cfinite_test -j "$(nproc)" >/dev/null
+"$BUILD/tests/cfinite_test" >/dev/null
+echo "fuzz: c-finite suites clean under ASan/UBSan"
+CF_OUT="$("$BIVC" --fuzz "$((COUNT / 10 + 1))" --seed "$((SEED + 2))")"
+printf '%s\n' "$CF_OUT" | head -n 1
+case "$CF_OUT" in
+  *"cfinite 0,"* | *"partial 0,"*)
+    echo "run_fuzz.sh: campaign slice never exercised the cfinite/partial" \
+         "oracles (generator drift?)" >&2
+    exit 1
+    ;;
+esac
+
 # A slice of the budget runs with the cache oracle forced on for every
 # program; the main campaign keeps the default sampled (~1/8) oracle.
 "$BIVC" --fuzz "$((COUNT / 10 + 1))" --seed "$((SEED + 1))" --cache-oracle
