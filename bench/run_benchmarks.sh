@@ -51,18 +51,22 @@ if [ "$QUICK" = 1 ]; then
   [ -x "$BENCH_FRONTEND" ] && "$BENCH_FRONTEND" --quick --json="$OUT.frontend"
   [ -x "$BENCH_CACHE" ] && "$BENCH_CACHE" --quick --json="$OUT.cache"
   [ -x "$BENCH_SERVE" ] && "$BENCH_SERVE" --quick --json="$OUT.serve"
+  [ -x "$BENCH_SERVE" ] && \
+    "$BENCH_SERVE" --quick --fleet=2 --json="$OUT.serve_fleet"
 else
   OUT="${OUT:-$REPO_ROOT/BENCH_SCALING.json}"
   "$BENCH" --functions=1000 --jobs=1,2,4,8 --json="$OUT"
   [ -x "$BENCH_FRONTEND" ] && "$BENCH_FRONTEND" --json="$OUT.frontend"
   [ -x "$BENCH_CACHE" ] && "$BENCH_CACHE" --functions=1000 --json="$OUT.cache"
   [ -x "$BENCH_SERVE" ] && "$BENCH_SERVE" --functions=1000 --json="$OUT.serve"
+  [ -x "$BENCH_SERVE" ] && \
+    "$BENCH_SERVE" --functions=1000 --fleet=2 --json="$OUT.serve_fleet"
 fi
 
 # Fold the cache and serve records into the main JSON (one committed file,
 # one schema).
 if command -v python3 >/dev/null 2>&1; then
-  for KEY in frontend cache serve; do
+  for KEY in frontend cache serve serve_fleet; do
     [ -f "$OUT.$KEY" ] || continue
     python3 - "$OUT" "$OUT.$KEY" "$KEY" <<'EOF'
 import json, sys

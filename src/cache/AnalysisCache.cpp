@@ -1,11 +1,15 @@
 //===- cache/AnalysisCache.cpp - Content-addressed analysis cache --------------===//
 
 #include "cache/AnalysisCache.h"
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <iterator>
+#include <fcntl.h>
 #include <mutex>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 #include <vector>
 
 using namespace biv;
@@ -46,18 +50,25 @@ namespace {
 constexpr uint64_t Magic1 = 0x6269762d63616368ull; // "biv-cach"
 constexpr uint64_t Magic2 = 0x6863616325646e65ull; // "end%cach"
 constexpr size_t HeaderBytes = 24;
-constexpr size_t TailBytes = 24;
+// [index_off][count][generation][magic2] -- v2 grew the tail by the
+// generation word; the header is frozen (salt at offset 16, format at 8).
+constexpr size_t TailBytes = 32;
+constexpr size_t RecordHeaderBytes = 16; // [digest][len]
 
 void putU64(std::string &Out, uint64_t V) {
   Out.append(reinterpret_cast<const char *>(&V), sizeof(V));
 }
 
-bool getU64(const std::string &In, size_t &Pos, uint64_t &V) {
-  if (Pos + sizeof(V) > In.size())
+bool getU64(const char *Data, size_t Size, size_t &Pos, uint64_t &V) {
+  if (Pos + sizeof(V) > Size)
     return false;
-  std::memcpy(&V, In.data() + Pos, sizeof(V));
+  std::memcpy(&V, Data + Pos, sizeof(V));
   Pos += sizeof(V);
   return true;
+}
+
+bool getU64(const std::string &In, size_t &Pos, uint64_t &V) {
+  return getU64(In.data(), In.size(), Pos, V);
 }
 
 bool getBytes(const std::string &In, size_t &Pos, size_t Len,
@@ -149,165 +160,93 @@ bool CacheEntry::deserialize(const std::string &Bytes) {
 }
 
 //===----------------------------------------------------------------------===//
-// Cache file
+// Image parsing (structural validation, payloads stay lazy)
 //===----------------------------------------------------------------------===//
 
-bool AnalysisCache::open(const std::string &P, std::string &Error) {
-  std::unique_lock<std::shared_mutex> Lock(M);
-  Path = P;
-  Entries.clear();
-  Offsets.clear();
-  PendingLog.clear();
-  DiskLogEnd = 0;
-  Invalidated = false;
+struct AnalysisCache::ParsedImage {
+  uint64_t IndexOff = 0;   // header + entry log end
+  uint64_t Generation = 0;
+  std::map<uint64_t, uint64_t> Offsets; // digest -> record offset
+};
 
-  std::error_code EC;
-  if (!std::filesystem::exists(Path, EC))
-    return true; // First run: empty cache, created by save().
-
-  std::ifstream In(Path, std::ios::binary);
-  if (!In) {
-    Error = "cannot read cache file '" + Path + "'";
+/// Validates the header, tail, index, and every record *frame* (digest echo
+/// and length bounds) of a cache image without deserializing payloads.
+/// Returns false on any structural damage.
+bool AnalysisCache::parseImage(const char *Data, size_t Size,
+                               ParsedImage &Img) {
+  if (Size < HeaderBytes + TailBytes)
     return false;
-  }
-  std::string Data((std::istreambuf_iterator<char>(In)),
-                   std::istreambuf_iterator<char>());
-  if (!In.good() && !In.eof()) {
-    Error = "cannot read cache file '" + Path + "'";
-    return false;
-  }
-
-  // Anything structurally wrong from here on discards the file: reopen
-  // empty, remember why via Invalidated, let save() rewrite it.
-  auto Discard = [&] {
-    Entries.clear();
-    Offsets.clear();
-    DiskLogEnd = 0;
-    Invalidated = true;
-    return true;
-  };
-
-  if (Data.size() < HeaderBytes + TailBytes)
-    return Discard();
   size_t Pos = 0;
   uint64_t M1 = 0, Fmt = 0, Salt = 0;
-  getU64(Data, Pos, M1);
-  getU64(Data, Pos, Fmt);
-  getU64(Data, Pos, Salt);
+  getU64(Data, Size, Pos, M1);
+  getU64(Data, Size, Pos, Fmt);
+  getU64(Data, Size, Pos, Salt);
   if (M1 != Magic1 || Fmt != CacheFormatVersion ||
       Salt != AnalysisVersionSalt)
-    return Discard();
+    return false;
 
-  size_t TailPos = Data.size() - TailBytes;
-  uint64_t IndexOff = 0, Count = 0, M2 = 0;
-  getU64(Data, TailPos, IndexOff);
-  getU64(Data, TailPos, Count);
-  getU64(Data, TailPos, M2);
-  if (M2 != Magic2 || IndexOff < HeaderBytes ||
-      IndexOff + 8 > Data.size() - TailBytes)
-    return Discard();
+  size_t TailPos = Size - TailBytes;
+  uint64_t IndexOff = 0, Count = 0, Gen = 0, M2 = 0;
+  getU64(Data, Size, TailPos, IndexOff);
+  getU64(Data, Size, TailPos, Count);
+  getU64(Data, Size, TailPos, Gen);
+  getU64(Data, Size, TailPos, M2);
+  if (M2 != Magic2 || Gen == 0 || IndexOff < HeaderBytes ||
+      IndexOff + 8 > Size - TailBytes)
+    return false;
 
   size_t IdxPos = size_t(IndexOff);
   uint64_t Capacity = 0;
-  getU64(Data, IdxPos, Capacity);
+  getU64(Data, Size, IdxPos, Capacity);
   // The index + tail must end the file exactly.
-  if (Capacity > (Data.size() / 16) ||
-      IdxPos + Capacity * 16 + TailBytes != Data.size())
-    return Discard();
+  if (Capacity > (Size / 16) ||
+      IdxPos + Capacity * 16 + TailBytes != Size)
+    return false;
 
   uint64_t Seen = 0;
   for (uint64_t Slot = 0; Slot < Capacity; ++Slot) {
     uint64_t Digest = 0, Off = 0;
-    getU64(Data, IdxPos, Digest);
-    getU64(Data, IdxPos, Off);
+    getU64(Data, Size, IdxPos, Digest);
+    getU64(Data, Size, IdxPos, Off);
     if (Digest == 0)
       continue;
     ++Seen;
     size_t RecPos = size_t(Off);
     uint64_t RecDigest = 0, RecLen = 0;
-    std::string Payload;
     if (Off < HeaderBytes || Off >= IndexOff ||
-        !getU64(Data, RecPos, RecDigest) || RecDigest != Digest ||
-        !getU64(Data, RecPos, RecLen) || RecPos + RecLen > IndexOff ||
-        !getBytes(Data, RecPos, size_t(RecLen), Payload))
-      return Discard();
-    CacheEntry E;
-    if (!E.deserialize(Payload))
-      return Discard();
-    if (!Entries.emplace(Digest, std::move(E)).second)
-      return Discard(); // Duplicate digest: the log is corrupt.
-    Offsets[Digest] = Off;
+        !getU64(Data, Size, RecPos, RecDigest) || RecDigest != Digest ||
+        !getU64(Data, Size, RecPos, RecLen) || RecLen > IndexOff - RecPos)
+      return false;
+    if (!Img.Offsets.emplace(Digest, Off).second)
+      return false; // Duplicate digest: the index is corrupt.
   }
   if (Seen != Count)
-    return Discard();
+    return false;
 
-  DiskLogEnd = IndexOff;
+  Img.IndexOff = IndexOff;
+  Img.Generation = Gen;
   return true;
 }
 
-const CacheEntry *AnalysisCache::lookup(uint64_t Digest) const {
-  std::shared_lock<std::shared_mutex> Lock(M);
-  auto It = Entries.find(Digest);
-  // The pointer outlives the lock: map nodes are stable and entries are
-  // never erased while the cache is open.
-  return It == Entries.end() ? nullptr : &It->second;
+namespace {
+
+/// Serialized byte size of a complete image holding \p N records of
+/// \p RecordBytes total (frames included): header + log + index + tail.
+uint64_t imageBytes(size_t N, uint64_t RecordBytes) {
+  uint64_t Capacity = 8;
+  while (Capacity < uint64_t(N) * 2)
+    Capacity *= 2;
+  return HeaderBytes + RecordBytes + 8 + Capacity * 16 + TailBytes;
 }
 
-void AnalysisCache::insert(uint64_t Digest, CacheEntry E) {
-  // Serialize outside the lock; writers contend only on the map touch.
-  std::string Record;
-  std::string Payload = E.serialize();
-  putU64(Record, Digest);
-  putU64(Record, Payload.size());
-  Record += Payload;
-  std::unique_lock<std::shared_mutex> Lock(M);
-  if (Entries.count(Digest))
-    return; // Content-addressed: same key, same bytes.
-  PendingLog.emplace_back(Digest, std::move(Record));
-  Entries.emplace(Digest, std::move(E));
-}
-
-bool AnalysisCache::save(std::string &Error) {
-  std::unique_lock<std::shared_mutex> Lock(M);
-  if (Path.empty()) {
-    Error = "cache not opened";
-    return false;
-  }
-  if (PendingLog.empty() && DiskLogEnd != 0)
-    return true; // Disk is intact and complete.
-
-  // Lay out the new entry log region and final offsets.
-  uint64_t LogEnd = DiskLogEnd ? DiskLogEnd : HeaderBytes;
-  std::string NewLog;
-  if (DiskLogEnd == 0) {
-    // Fresh write: everything we know goes into the file.  After an
-    // invalidation Entries holds only this run's inserts, so "everything"
-    // is exactly the pending list -- but build from Entries so a fresh
-    // save is always self-contained.
-    Offsets.clear();
-    putU64(NewLog, Magic1);
-    putU64(NewLog, CacheFormatVersion);
-    putU64(NewLog, AnalysisVersionSalt);
-    for (const auto &[Digest, Rec] : PendingLog) {
-      Offsets[Digest] = LogEnd;
-      NewLog += Rec;
-      LogEnd += Rec.size();
-    }
-  } else {
-    for (const auto &[Digest, Rec] : PendingLog) {
-      Offsets[Digest] = LogEnd;
-      NewLog += Rec;
-      LogEnd += Rec.size();
-    }
-  }
-
-  // Open-addressed index sized to stay under 50% load, power of two so the
-  // probe sequence is a simple mask.
+/// Builds the pow2 open-addressed index (<50% load) + tail for the given
+/// offset table.
+std::string buildFooter(const std::map<uint64_t, uint64_t> &Offsets,
+                        uint64_t LogEnd, uint64_t Generation) {
   uint64_t Capacity = 8;
   while (Capacity < Offsets.size() * 2)
     Capacity *= 2;
-  std::vector<std::pair<uint64_t, uint64_t>> Slots(size_t(Capacity),
-                                                   {0, 0});
+  std::vector<std::pair<uint64_t, uint64_t>> Slots(size_t(Capacity), {0, 0});
   for (const auto &[Digest, Off] : Offsets) {
     uint64_t Slot = Digest & (Capacity - 1);
     while (Slots[size_t(Slot)].first != 0)
@@ -320,37 +259,563 @@ bool AnalysisCache::save(std::string &Error) {
     putU64(Footer, Digest);
     putU64(Footer, Off);
   }
-  putU64(Footer, LogEnd);              // index_off
-  putU64(Footer, Offsets.size());      // count
+  putU64(Footer, LogEnd);         // index_off
+  putU64(Footer, Offsets.size()); // count
+  putU64(Footer, Generation);
   putU64(Footer, Magic2);
+  return Footer;
+}
 
-  bool Fresh = DiskLogEnd == 0;
-  {
-    std::ofstream Out;
-    if (Fresh) {
-      Out.open(Path, std::ios::binary | std::ios::trunc);
-    } else {
-      // in|out keeps the existing entry log; we overwrite from where the
-      // old footer began.
-      Out.open(Path, std::ios::binary | std::ios::in | std::ios::out);
-      Out.seekp(std::streamoff(DiskLogEnd));
+bool writeAllAt(int Fd, uint64_t Off, const char *Buf, size_t Len) {
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::pwrite(Fd, Buf + Done, Len - Done, off_t(Off + Done));
+    if (N > 0) {
+      Done += size_t(N);
+      continue;
     }
-    Out.write(NewLog.data(), std::streamsize(NewLog.size()));
-    Out.write(Footer.data(), std::streamsize(Footer.size()));
-    Out.flush();
-    if (!Out) {
-      Error = "cannot write cache file '" + Path + "'";
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool readWholeFile(int Fd, uint64_t Size, std::string &Out) {
+  Out.resize(size_t(Size));
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::pread(Fd, Out.data() + Done, size_t(Size) - Done,
+                        off_t(Done));
+    if (N > 0) {
+      Done += size_t(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false; // Short file or hard error: caller treats as damage.
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Cache lifecycle
+//===----------------------------------------------------------------------===//
+
+AnalysisCache::~AnalysisCache() {
+  std::unique_lock<std::shared_mutex> Lock(M);
+  unmapLocked();
+}
+
+void AnalysisCache::unmapLocked() {
+  if (MapBase) {
+    ::munmap(const_cast<char *>(MapBase), MapLen);
+    MapBase = nullptr;
+    MapLen = 0;
+    MapDev = 0;
+    MapIno = 0;
+  }
+}
+
+void AnalysisCache::setMaxBytes(uint64_t Bytes) {
+  std::unique_lock<std::shared_mutex> Lock(M);
+  MaxBytes = Bytes;
+}
+
+void AnalysisCache::touch(uint64_t Digest) {
+  std::lock_guard<std::mutex> G(AccessM);
+  AccessSeq[Digest] = ++AccessClock;
+}
+
+uint64_t AnalysisCache::accessOf(uint64_t Digest) const {
+  std::lock_guard<std::mutex> G(AccessM);
+  auto It = AccessSeq.find(Digest);
+  return It == AccessSeq.end() ? 0 : It->second;
+}
+
+bool AnalysisCache::adoptImage(const char *Data, size_t Size,
+                               const ParsedImage &Img) {
+  // Caller holds the exclusive lock and hands us a fresh mapping it owns;
+  // we take it over.  Materialized entries and pending inserts are kept --
+  // content-addressing makes any overlap byte-identical.
+  unmapLocked();
+  MapBase = Data;
+  MapLen = Size;
+  DiskOffsets = Img.Offsets;
+  DiskLogEnd = Img.IndexOff;
+  Generation = Img.Generation;
+  return true;
+}
+
+void AnalysisCache::discardDiskLocked() {
+  // Forget the on-disk index but keep every node in Entries: lookup()
+  // pointers handed out earlier must stay valid until the next open().
+  DiskOffsets.clear();
+  DiskLogEnd = 0;
+  Generation = 0;
+  Invalidated = true;
+}
+
+bool AnalysisCache::open(const std::string &P, std::string &Error) {
+  std::unique_lock<std::shared_mutex> Lock(M);
+  Path = P;
+  Entries.clear();
+  DiskOffsets.clear();
+  PendingLog.clear();
+  DiskLogEnd = 0;
+  Generation = 0;
+  Invalidated = false;
+  unmapLocked();
+  {
+    std::lock_guard<std::mutex> G(AccessM);
+    AccessSeq.clear();
+  }
+
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0) {
+    if (errno == ENOENT)
+      return true; // First run: empty cache, created by save().
+    Error = "cannot read cache file '" + Path + "'";
+    return false;
+  }
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || !S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    Error = "cannot read cache file '" + Path + "'";
+    return false;
+  }
+  if (uint64_t(St.st_size) < HeaderBytes + TailBytes) {
+    // Too short to be a cache (including zero-length): structural damage.
+    ::close(Fd);
+    Invalidated = true;
+    return true;
+  }
+
+  void *Base = ::mmap(nullptr, size_t(St.st_size), PROT_READ, MAP_SHARED,
+                      Fd, 0);
+  ::close(Fd); // The mapping keeps the file alive.
+  if (Base == MAP_FAILED) {
+    Error = "cannot map cache file '" + Path + "'";
+    return false;
+  }
+
+  ParsedImage Img;
+  if (!parseImage(static_cast<const char *>(Base), size_t(St.st_size),
+                  Img)) {
+    ::munmap(Base, size_t(St.st_size));
+    Invalidated = true;
+    return true;
+  }
+  adoptImage(static_cast<const char *>(Base), size_t(St.st_size), Img);
+  MapDev = St.st_dev;
+  MapIno = St.st_ino;
+  return true;
+}
+
+const CacheEntry *AnalysisCache::lookup(uint64_t Digest) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    auto It = Entries.find(Digest);
+    if (It != Entries.end()) {
+      // The pointer outlives the lock: map nodes are stable and entries
+      // are never erased while the cache is open.
+      touch(Digest);
+      return &It->second;
+    }
+    if (!DiskOffsets.count(Digest))
+      return nullptr;
+  }
+
+  // Materialize from the mapping under the exclusive lock.
+  std::unique_lock<std::shared_mutex> Lock(M);
+  auto It = Entries.find(Digest);
+  if (It != Entries.end()) { // Raced another materializer.
+    touch(Digest);
+    return &It->second;
+  }
+  auto OffIt = DiskOffsets.find(Digest);
+  if (OffIt == DiskOffsets.end())
+    return nullptr; // Invalidated (or refreshed away) while we upgraded.
+  size_t Pos = size_t(OffIt->second);
+  uint64_t RecDigest = 0, RecLen = 0;
+  std::string Payload;
+  CacheEntry E;
+  // The frame was bounds-checked at parse time; the payload is validated
+  // here, on first use.  Any mismatch means the file lied: drop the whole
+  // disk index rather than risk another entry.
+  if (!getU64(MapBase, MapLen, Pos, RecDigest) || RecDigest != Digest ||
+      !getU64(MapBase, MapLen, Pos, RecLen) || Pos + RecLen > MapLen) {
+    discardDiskLocked();
+    return nullptr;
+  }
+  Payload.assign(MapBase + Pos, size_t(RecLen));
+  if (!E.deserialize(Payload)) {
+    discardDiskLocked();
+    return nullptr;
+  }
+  auto [NewIt, Inserted] = Entries.emplace(Digest, std::move(E));
+  (void)Inserted;
+  touch(Digest);
+  return &NewIt->second;
+}
+
+void AnalysisCache::insert(uint64_t Digest, CacheEntry E) {
+  // Serialize outside the lock; writers contend only on the map touch.
+  std::string Record;
+  std::string Payload = E.serialize();
+  putU64(Record, Digest);
+  putU64(Record, Payload.size());
+  Record += Payload;
+  std::unique_lock<std::shared_mutex> Lock(M);
+  if (Entries.count(Digest))
+    return; // Content-addressed: same key, same bytes.
+  if (DiskOffsets.count(Digest)) {
+    // Already on disk (another process landed it, or ours pre-refresh):
+    // nothing to append, and lookup() will materialize the disk copy.
+    return;
+  }
+  PendingLog.emplace_back(Digest, std::move(Record));
+  Entries.emplace(Digest, std::move(E));
+  touch(Digest);
+}
+
+size_t AnalysisCache::entryCount() const {
+  std::shared_lock<std::shared_mutex> Lock(M);
+  size_t N = DiskOffsets.size();
+  for (const auto &[Digest, E] : Entries)
+    if (!DiskOffsets.count(Digest))
+      ++N;
+  return N;
+}
+
+bool AnalysisCache::refreshIfChanged() {
+  struct stat St;
+  {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    if (Path.empty())
+      return false;
+    if (::stat(Path.c_str(), &St) != 0)
+      return false; // Gone or unreadable: keep our snapshot.
+    if (MapBase && St.st_dev == MapDev && St.st_ino == MapIno &&
+        uint64_t(St.st_size) == MapLen)
+      return false; // Unchanged.
+  }
+
+  // Map and validate the new image before touching shared state, so a torn
+  // concurrent append is skipped, not adopted.
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return false;
+  if (::fstat(Fd, &St) != 0 ||
+      uint64_t(St.st_size) < HeaderBytes + TailBytes) {
+    ::close(Fd);
+    return false;
+  }
+  void *Base = ::mmap(nullptr, size_t(St.st_size), PROT_READ, MAP_SHARED,
+                      Fd, 0);
+  ::close(Fd);
+  if (Base == MAP_FAILED)
+    return false;
+  ParsedImage Img;
+  if (!parseImage(static_cast<const char *>(Base), size_t(St.st_size),
+                  Img)) {
+    ::munmap(Base, size_t(St.st_size));
+    return false;
+  }
+
+  std::unique_lock<std::shared_mutex> Lock(M);
+  if (Img.Generation == Generation && Img.IndexOff == DiskLogEnd &&
+      St.st_dev == MapDev && St.st_ino == MapIno) {
+    ::munmap(Base, size_t(St.st_size));
+    return false; // Raced a concurrent refresh to the same view.
+  }
+  adoptImage(static_cast<const char *>(Base), size_t(St.st_size), Img);
+  MapDev = St.st_dev;
+  MapIno = St.st_ino;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Save: flock'd append, merge-on-conflict, compaction under the byte cap
+//===----------------------------------------------------------------------===//
+
+bool AnalysisCache::save(std::string &Error) {
+  std::unique_lock<std::shared_mutex> Lock(M);
+  if (Path.empty()) {
+    Error = "cache not opened";
+    return false;
+  }
+  // No-op fast path: nothing to contribute and the on-disk file is intact
+  // and under the cap (append-only growth means our loaded size bounds it
+  // from our side; another process pushing it over will compact on *its*
+  // save).  Must not touch the file at all -- callers rely on mtime/size
+  // staying put.
+  if (PendingLog.empty() && DiskLogEnd != 0 &&
+      (MaxBytes == 0 || MapLen <= MaxBytes))
+    return true;
+
+  // --- Acquire the appender lock, chasing compaction renames. -------------
+  int Fd = -1;
+  struct stat FdSt;
+  for (int Attempt = 0; Attempt < 10; ++Attempt) {
+    Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (Fd < 0) {
+      Error = "cannot write cache file '" + Path + "': " +
+              std::strerror(errno);
       return false;
     }
+    while (::flock(Fd, LOCK_EX) != 0) {
+      if (errno != EINTR) {
+        ::close(Fd);
+        Error = "cannot lock cache file '" + Path + "': " +
+                std::strerror(errno);
+        return false;
+      }
+    }
+    // A compactor may have renamed a fresh inode over the path while we
+    // waited; our lock would then guard a dead file.  Re-check identity.
+    struct stat PathSt;
+    if (::fstat(Fd, &FdSt) == 0 && ::stat(Path.c_str(), &PathSt) == 0 &&
+        FdSt.st_dev == PathSt.st_dev && FdSt.st_ino == PathSt.st_ino)
+      break;
+    ::close(Fd); // Releases the lock; retry on the new inode.
+    Fd = -1;
   }
-  // An append never shrinks the file (the new footer indexes a superset),
-  // but trim defensively so a logic change can't leave trailing garbage.
-  std::error_code EC;
-  uint64_t FinalSize = LogEnd + Footer.size();
-  if (std::filesystem::file_size(Path, EC) > FinalSize && !EC)
-    std::filesystem::resize_file(Path, FinalSize, EC);
+  if (Fd < 0) {
+    Error = "cannot lock cache file '" + Path + "' (compaction storm)";
+    return false;
+  }
 
-  DiskLogEnd = LogEnd;
+  // --- Re-read the locked file and merge any cross-process progress. ------
+  std::string Disk;
+  ParsedImage DiskImg;
+  bool DiskValid = false;
+  if (uint64_t(FdSt.st_size) >= HeaderBytes + TailBytes &&
+      readWholeFile(Fd, uint64_t(FdSt.st_size), Disk))
+    DiskValid = parseImage(Disk.data(), Disk.size(), DiskImg);
+
+  if (DiskValid) {
+    if (DiskImg.Generation != Generation || DiskImg.IndexOff != DiskLogEnd) {
+      // Another appender (or a compaction) advanced the file: adopt the
+      // disk truth.  Entries materialized from our old mapping stay valid
+      // (content-addressed), and pending inserts the disk already has are
+      // dropped below.
+      DiskOffsets = DiskImg.Offsets;
+      DiskLogEnd = DiskImg.IndexOff;
+      Generation = DiskImg.Generation;
+    }
+  } else {
+    // Empty (just created) or damaged by a torn writer: rewrite fresh from
+    // everything this process knows.  Entries never materialized are lost
+    // -- wholesale invalidation, never a corrupt hit.
+    if (FdSt.st_size != 0)
+      Invalidated = true;
+    DiskOffsets.clear();
+    DiskLogEnd = 0;
+    Generation = 0;
+    Disk.clear();
+  }
+
+  // --- Lay out the records to append. -------------------------------------
+  // Fresh mode additionally re-serializes every in-memory entry, in digest
+  // order so the file bytes are deterministic for any worker count.
+  std::vector<std::pair<uint64_t, std::string>> Append;
+  if (DiskLogEnd == 0) {
+    for (const auto &[Digest, E] : Entries) {
+      std::string Record;
+      std::string Payload = E.serialize();
+      putU64(Record, Digest);
+      putU64(Record, Payload.size());
+      Record += Payload;
+      Append.emplace_back(Digest, std::move(Record));
+    }
+  } else {
+    for (auto &[Digest, Record] : PendingLog)
+      if (!DiskOffsets.count(Digest))
+        Append.emplace_back(Digest, Record);
+  }
+
+  uint64_t LogEnd = DiskLogEnd ? DiskLogEnd : HeaderBytes;
+  std::map<uint64_t, uint64_t> NewOffsets = DiskOffsets;
+  std::string NewLog;
+  if (DiskLogEnd == 0) {
+    putU64(NewLog, Magic1);
+    putU64(NewLog, CacheFormatVersion);
+    putU64(NewLog, AnalysisVersionSalt);
+  }
+  for (const auto &[Digest, Record] : Append) {
+    NewOffsets[Digest] = LogEnd;
+    NewLog += Record;
+    LogEnd += Record.size();
+  }
+
+  uint64_t NewGen = Generation + 1;
+  std::string Footer = buildFooter(NewOffsets, LogEnd, NewGen);
+  uint64_t FinalSize = LogEnd + Footer.size();
+
+  auto Fail = [&](const char *What) {
+    ::close(Fd);
+    Error = std::string(What) + " cache file '" + Path + "': " +
+            std::strerror(errno);
+    return false;
+  };
+
+  if (MaxBytes != 0 && FinalSize > MaxBytes) {
+    // --- Compact: rewrite to a temp file keeping the most recently used
+    // entries that fit, then atomically rename into place.  Live readers
+    // keep their old inode; the bumped generation (and new inode) flags
+    // the swap for refreshIfChanged().
+    struct Survivor {
+      uint64_t Digest;
+      uint64_t Access;
+      uint64_t DiskOff;  // record offset in Disk, or ~0 when appended...
+      uint64_t RecLen;
+      std::string Owned; // ...with the record bytes owned here instead
+      const char *rec(const std::string &Disk) const {
+        return DiskOff == ~0ull ? Owned.data() : Disk.data() + DiskOff;
+      }
+    };
+    std::vector<Survivor> Cands;
+    for (const auto &[Digest, Off] : NewOffsets) {
+      Survivor S;
+      S.Digest = Digest;
+      S.Access = accessOf(Digest);
+      if (Off >= DiskLogEnd || DiskLogEnd == 0) {
+        // Appended this save: find it in Append (small; linear is fine).
+        S.DiskOff = ~0ull;
+        for (const auto &[D, Record] : Append)
+          if (D == Digest) {
+            S.Owned = Record;
+            break;
+          }
+        S.RecLen = S.Owned.size();
+      } else {
+        size_t Pos = size_t(Off) + 8; // skip digest, read len
+        uint64_t RecLen = 0;
+        getU64(Disk.data(), Disk.size(), Pos, RecLen);
+        S.DiskOff = Off;
+        S.RecLen = RecordHeaderBytes + RecLen;
+      }
+      Cands.push_back(std::move(S));
+    }
+    // Most recently used first; ties (never touched) by digest for
+    // determinism.
+    std::sort(Cands.begin(), Cands.end(),
+              [](const Survivor &A, const Survivor &B) {
+                if (A.Access != B.Access)
+                  return A.Access > B.Access;
+                return A.Digest < B.Digest;
+              });
+    std::vector<const Survivor *> Keep;
+    uint64_t KeptBytes = 0;
+    for (const Survivor &S : Cands) {
+      if (imageBytes(Keep.size() + 1, KeptBytes + S.RecLen) > MaxBytes)
+        continue; // Doesn't fit; a smaller, colder entry later still might.
+      Keep.push_back(&S);
+      KeptBytes += S.RecLen;
+    }
+    // Rebuild the image: header, surviving records in digest order (the
+    // on-disk order is a cache artifact; keep it canonical), index, tail.
+    std::sort(Keep.begin(), Keep.end(),
+              [](const Survivor *A, const Survivor *B) {
+                return A->Digest < B->Digest;
+              });
+    std::string Image;
+    putU64(Image, Magic1);
+    putU64(Image, CacheFormatVersion);
+    putU64(Image, AnalysisVersionSalt);
+    std::map<uint64_t, uint64_t> KeptOffsets;
+    for (const Survivor *S : Keep) {
+      KeptOffsets[S->Digest] = Image.size();
+      Image.append(S->rec(Disk), size_t(S->RecLen));
+    }
+    uint64_t KeptLogEnd = Image.size();
+    Image += buildFooter(KeptOffsets, KeptLogEnd, NewGen);
+
+    std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+    int TFd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                     0644);
+    if (TFd < 0)
+      return Fail("cannot write");
+    if (!writeAllAt(TFd, 0, Image.data(), Image.size()) ||
+        ::fsync(TFd) != 0) {
+      ::close(TFd);
+      ::unlink(Tmp.c_str());
+      return Fail("cannot write");
+    }
+    ::close(TFd);
+    if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+      ::unlink(Tmp.c_str());
+      return Fail("cannot replace");
+    }
+    ::close(Fd); // Releases the flock held on the now-unlinked inode.
+    ++NumCompactions;
+
+    // Adopt the compacted view.  Entries evicted from disk stay usable in
+    // memory (node stability) but will re-append on a future save only if
+    // re-inserted; PendingLog is spent either way.
+    ParsedImage KeptImg;
+    KeptImg.IndexOff = KeptLogEnd;
+    KeptImg.Generation = NewGen;
+    KeptImg.Offsets = KeptOffsets;
+
+    int RFd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+    struct stat RSt;
+    void *Base = MAP_FAILED;
+    if (RFd >= 0 && ::fstat(RFd, &RSt) == 0)
+      Base = ::mmap(nullptr, size_t(RSt.st_size), PROT_READ, MAP_SHARED,
+                    RFd, 0);
+    if (RFd >= 0)
+      ::close(RFd);
+    if (Base == MAP_FAILED) {
+      // We wrote it; failing to map our own file is a hard error.
+      Error = "cannot map cache file '" + Path + "'";
+      return false;
+    }
+    adoptImage(static_cast<const char *>(Base), size_t(RSt.st_size),
+               KeptImg);
+    MapDev = RSt.st_dev;
+    MapIno = RSt.st_ino;
+    PendingLog.clear();
+    Invalidated = false;
+    return true;
+  }
+
+  // --- Plain append: records from DiskLogEnd, then the new footer. --------
+  uint64_t WriteOff = DiskLogEnd ? DiskLogEnd : 0;
+  if (!writeAllAt(Fd, WriteOff, NewLog.data(), NewLog.size()) ||
+      !writeAllAt(Fd, LogEnd, Footer.data(), Footer.size()))
+    return Fail("cannot write");
+  // An append never shrinks the file (the new footer indexes a superset of
+  // the old), but trim defensively so a logic change can't leave trailing
+  // garbage.
+  if (uint64_t(FdSt.st_size) > FinalSize)
+    if (::ftruncate(Fd, off_t(FinalSize)) != 0)
+      return Fail("cannot truncate");
+  ::close(Fd);
+
+  // Remap so lazy lookups can serve what we just wrote.
+  int RFd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  struct stat RSt;
+  void *Base = MAP_FAILED;
+  if (RFd >= 0 && ::fstat(RFd, &RSt) == 0)
+    Base = ::mmap(nullptr, size_t(RSt.st_size), PROT_READ, MAP_SHARED, RFd,
+                  0);
+  if (RFd >= 0)
+    ::close(RFd);
+  if (Base == MAP_FAILED) {
+    Error = "cannot map cache file '" + Path + "'";
+    return false;
+  }
+  ParsedImage NewImg;
+  NewImg.IndexOff = LogEnd;
+  NewImg.Generation = NewGen;
+  NewImg.Offsets = NewOffsets;
+  adoptImage(static_cast<const char *>(Base), size_t(RSt.st_size), NewImg);
+  MapDev = RSt.st_dev;
+  MapIno = RSt.st_ino;
   PendingLog.clear();
   Invalidated = false;
   return true;

@@ -7,8 +7,9 @@
 ///
 /// \file
 /// A persistent, content-addressed cache of per-function analysis results,
-/// the scaling lever behind `bivc --batch --cache FILE`: re-analyzing a
-/// mostly-unchanged corpus only pays for the units whose content changed.
+/// the scaling lever behind `bivc --batch --cache FILE` and the daemon's
+/// shared warm cache: re-analyzing a mostly-unchanged corpus only pays for
+/// the units whose content changed.
 ///
 /// Keying (DESIGN.md §9).  The key is a 64-bit FNV-1a digest of
 ///  - the *lowered function's canonical IR print* (so formatting and
@@ -30,32 +31,60 @@
 /// byte-identical to a recomputation (the fuzz oracle's cache mode checks
 /// exactly that).
 ///
-/// File format: a single append-only log with an index footer, so a warm
-/// run does one open + one read, not N file opens.
+/// File format (v2): a single append-only log with an index footer, so a
+/// warm run does one open + one mmap, not N file opens.
 ///
-///   [magic u64][format u64][salt u64]            header
-///   ([digest u64][len u64][payload len bytes])*  entry log, append-only
-///   [capacity u64]([digest u64][offset u64])*    open-addressed index
-///   [index_off u64][count u64][magic2 u64]       tail
+///   [magic u64][format u64][salt u64]                   header
+///   ([digest u64][len u64][payload len bytes])*         entry log
+///   [capacity u64]([digest u64][offset u64])*           open-addressed index
+///   [index_off u64][count u64][generation u64][magic2 u64]  tail
 ///
 /// Appending rewrites only the footer region (new entries land where the
-/// old index began); entry bytes, once written, are never touched.  All
-/// integers are host-endian -- the cache is a local artifact, not an
-/// interchange format.  Any structural damage (bad magic, stale salt or
-/// format, truncation, out-of-range offsets) invalidates the whole file:
-/// the cache reopens empty and the next save rewrites it, trading
-/// re-analysis for never serving a corrupt entry.
+/// old index began); entry bytes, once written, are never touched -- the
+/// invariant that makes concurrently-mapped readers safe.  The
+/// *generation* counter in the tail advances on every successful save, so
+/// a process whose in-memory view was loaded at generation G can tell that
+/// the file moved under it (another appender, or a compaction swap) and
+/// merge instead of clobbering.  All integers are host-endian -- the cache
+/// is a local artifact, not an interchange format.  Any structural damage
+/// (bad magic, stale salt or format, truncation, out-of-range offsets)
+/// invalidates the whole file: the cache reopens empty and the next save
+/// rewrites it, trading re-analysis for never serving a corrupt entry.
 ///
-/// Thread-safety: many concurrent readers, one appender at a time.
-/// lookup() takes a shared lock and insert()/open()/save() an exclusive
-/// one, so server workers may probe while another worker commits a miss.
-/// Returned entry pointers stay valid after the lock drops: entries live in
-/// a node-based map and are never erased while the cache is open (open()
-/// rebuilds the map, but only before any worker runs).  The batch driver
-/// still collects misses per unit slot and inserts them in input order
-/// after the pool drains -- not for safety, but to keep the file bytes
-/// deterministic for any -jN; the server inserts in completion order and
-/// documents that its file bytes are not.
+/// Cross-process safety (DESIGN.md §13).  Many processes may share one
+/// cache file:
+///
+///  - *Probes are mmap read-mostly.*  open() maps the file read-only and
+///    parses just the index; entry payloads deserialize lazily on first
+///    lookup.  Because the entry log is append-only, bytes below our
+///    loaded index offset never change, and a compaction swap replaces the
+///    whole inode -- a live mapping keeps reading its own consistent
+///    snapshot either way.
+///  - *The appender takes an advisory flock.*  save() locks the file
+///    (re-opening when a compaction renamed a new inode into place),
+///    re-reads the on-disk generation, and when the file advanced past its
+///    loaded view it merges: adopt the disk's entries, drop pending
+///    inserts that now exist, append only what is still new.  Two
+///    processes racing the lock both land their entries.
+///  - *Compaction bounds the file.*  With a byte cap configured
+///    (setMaxBytes / `--cache-max-bytes`), a save whose result would
+///    exceed the cap rewrites the file to a temp path keeping the most
+///    recently used entries that fit (LRU-ish: recency is tracked per
+///    process at lookup/insert), fsyncs, and atomically renames it into
+///    place with the generation advanced.  Readers detect the swap via
+///    refreshIfChanged() (inode/size/generation comparison).
+///
+/// Thread-safety within a process: many concurrent readers, one writer.
+/// lookup() takes a shared lock (upgrading briefly to materialize a disk
+/// entry) and insert()/open()/save() an exclusive one.  Returned entry
+/// pointers stay valid after the lock drops: entries live in a node-based
+/// map whose nodes are never erased while the cache is open (open()
+/// rebuilds the map, but only before any worker runs; runtime
+/// invalidation only forgets the *disk index*, never materialized nodes).
+/// The batch driver still collects misses per unit slot and inserts them
+/// in input order after the pool drains -- not for safety, but to keep the
+/// file bytes deterministic for any -jN; the server inserts in completion
+/// order and documents that its file bytes are not.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -66,8 +95,10 @@
 #include "ivclass/Report.h"
 #include <cstdint>
 #include <map>
+#include <set>
 #include <shared_mutex>
 #include <string>
+#include <sys/types.h>
 #include <vector>
 
 namespace biv {
@@ -79,8 +110,9 @@ namespace cache {
 /// cross-checks this constant against the value DESIGN.md documents.
 inline constexpr uint64_t AnalysisVersionSalt = 2;
 
-/// On-disk format revision (layout, not analysis semantics).
-inline constexpr uint64_t CacheFormatVersion = 1;
+/// On-disk format revision (layout, not analysis semantics).  v2 added the
+/// generation counter to the tail footer (fleet-shared caches).
+inline constexpr uint64_t CacheFormatVersion = 2;
 
 /// 64-bit FNV-1a over \p Data, continuing from \p Seed (the offset basis by
 /// default).  Never returns 0 -- 0 marks an empty index slot.
@@ -112,17 +144,31 @@ struct CacheEntry {
 
 class AnalysisCache {
 public:
-  /// Binds the cache to \p Path and loads it.  A missing file is an empty
+  AnalysisCache() = default;
+  ~AnalysisCache();
+  AnalysisCache(const AnalysisCache &) = delete;
+  AnalysisCache &operator=(const AnalysisCache &) = delete;
+
+  /// Binds the cache to \p Path, maps it, and parses the index (entry
+  /// payloads stay on disk until looked up).  A missing file is an empty
   /// cache (first cold run); a file with a stale salt/format or any
   /// structural damage is discarded and reported via invalidated().
   /// Returns false only for real I/O errors (unreadable existing file),
   /// with \p Error filled.
   bool open(const std::string &Path, std::string &Error);
 
+  /// Caps the on-disk file size: a save() whose result would exceed
+  /// \p Bytes compacts, keeping the most recently used entries that fit.
+  /// 0 (the default) means unbounded.
+  void setMaxBytes(uint64_t Bytes);
+
   /// The entry for \p Digest, or null.  Pending (inserted, unsaved) entries
-  /// are visible.  Safe to call from many threads, concurrently with
-  /// insert(); the returned pointer stays valid until the next open().
-  const CacheEntry *lookup(uint64_t Digest) const;
+  /// are visible; on-disk entries materialize from the mapping on first
+  /// use.  Safe to call from many threads, concurrently with insert(); the
+  /// returned pointer stays valid until the next open().  A disk entry
+  /// whose payload fails to deserialize invalidates the disk index
+  /// wholesale and misses -- the cache may forget, never lie.
+  const CacheEntry *lookup(uint64_t Digest);
 
   /// Records \p E under \p Digest, to be appended by the next save().
   /// Duplicate digests keep the first entry (content-addressed: same key,
@@ -131,40 +177,85 @@ public:
   void insert(uint64_t Digest, CacheEntry E);
 
   /// Appends pending entries and rewrites the index footer (or writes the
-  /// whole file fresh after invalidation).  Returns false with \p Error set
-  /// when the path cannot be written -- callers must treat that as a hard
-  /// error, not a silent success.  No-op when nothing is pending and the
-  /// file is intact.
+  /// whole file fresh after invalidation) under an advisory flock,
+  /// merging with any progress other processes made since open(), and
+  /// compacting when the result would exceed the byte cap.  Returns false
+  /// with \p Error set when the path cannot be written -- callers must
+  /// treat that as a hard error, not a silent success.  No-op when nothing
+  /// is pending, the file is intact, and no compaction is due.
   bool save(std::string &Error);
 
-  size_t entryCount() const {
-    std::shared_lock<std::shared_mutex> Lock(M);
-    return Entries.size();
-  }
+  /// Cheap cross-process staleness probe: stats the path and, when another
+  /// process appended or compacted since our view was loaded, re-maps and
+  /// adopts the new index (pending inserts and already-materialized
+  /// entries are kept).  Returns true when the view changed.  A torn or
+  /// damaged on-disk state is skipped (retry later), not adopted.
+  bool refreshIfChanged();
+
+  /// Distinct digests this cache can currently serve (disk index plus
+  /// in-memory inserts).
+  size_t entryCount() const;
   size_t pendingCount() const {
     std::shared_lock<std::shared_mutex> Lock(M);
     return PendingLog.size();
   }
-  /// True when open() found a file it had to discard (stale salt, damage).
-  bool invalidated() const { return Invalidated; }
+  /// True when open() found a file it had to discard (stale salt, damage)
+  /// or a lazy probe hit a corrupt payload.
+  bool invalidated() const {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    return Invalidated;
+  }
+  /// The on-disk generation our view was loaded from (0 = no valid file).
+  uint64_t generation() const {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    return Generation;
+  }
+  /// Compactions this process performed over the file's lifetime.
+  uint64_t compactions() const {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    return NumCompactions;
+  }
 
 private:
+  struct ParsedImage;
+  static bool parseImage(const char *Data, size_t Size, ParsedImage &Img);
+  bool adoptImage(const char *Data, size_t Size, const ParsedImage &Img);
+  void discardDiskLocked();
+  void unmapLocked();
+  uint64_t accessOf(uint64_t Digest) const;
+  void touch(uint64_t Digest);
+
   std::string Path;
   /// Readers (lookup, counts) shared; open/insert/save exclusive.
   mutable std::shared_mutex M;
-  /// digest -> deserialized entry (loaded + pending), for O(1) concurrent
-  /// lookup after the one load-time read.
+  /// digest -> entry: pending inserts plus disk entries materialized by
+  /// lookup().  Node-based map; nodes are never erased while open.
   std::map<uint64_t, CacheEntry> Entries;
-  /// digest -> absolute file offset of the entry record, mirroring the
-  /// on-disk index for entries already saved.
-  std::map<uint64_t, uint64_t> Offsets;
+  /// digest -> absolute file offset of the entry record in the current
+  /// mapping, mirroring the on-disk index.
+  std::map<uint64_t, uint64_t> DiskOffsets;
   /// Serialized records not yet on disk, in insertion order (so the file
   /// bytes are deterministic for any worker count).
   std::vector<std::pair<uint64_t, std::string>> PendingLog;
   /// Bytes of valid header + entry log on disk (new entries append here,
   /// overwriting the old footer); 0 = no valid file, save() writes fresh.
   uint64_t DiskLogEnd = 0;
-  bool Invalidated = false; ///< disk content was discarded on open()
+  uint64_t Generation = 0;   ///< tail generation of our loaded view
+  uint64_t MaxBytes = 0;     ///< 0 = unbounded
+  uint64_t NumCompactions = 0;
+  bool Invalidated = false;  ///< disk content was discarded
+
+  /// Read-only mapping of the file as of the last open/refresh/save.
+  const char *MapBase = nullptr;
+  size_t MapLen = 0;
+  dev_t MapDev = 0;
+  ino_t MapIno = 0;
+
+  /// LRU-ish recency: per-digest access stamps, bumped on hit and insert.
+  /// Own mutex so shared-lock readers can stamp without the big lock.
+  mutable std::mutex AccessM;
+  std::map<uint64_t, uint64_t> AccessSeq;
+  uint64_t AccessClock = 0;
 };
 
 } // namespace cache

@@ -3,6 +3,7 @@
 #include "server/Client.h"
 #include <cerrno>
 #include <cstring>
+#include <netdb.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -10,31 +11,89 @@
 using namespace biv;
 using namespace biv::server;
 
-bool biv::server::call(const std::string &SocketPath, const Request &Q,
-                       Response &R, std::string &Error) {
+namespace {
+
+int connectUnix(const std::string &Path, std::string &Error) {
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
-  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
-    Error = "socket path too long: " + SocketPath;
-    return false;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + Path;
+    return -1;
   }
-  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
 
   int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (Fd < 0) {
     Error = std::string("socket: ") + std::strerror(errno);
-    return false;
+    return -1;
   }
   int Rc;
   do {
     Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
   } while (Rc != 0 && errno == EINTR);
   if (Rc != 0) {
-    Error = "cannot connect to '" + SocketPath +
-            "': " + std::strerror(errno);
+    Error = "cannot connect to '" + Path + "': " + std::strerror(errno);
     ::close(Fd);
-    return false;
+    return -1;
   }
+  return Fd;
+}
+
+int connectTcp(const std::string &Spec, std::string &Error) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 == Spec.size()) {
+    Error = "bad TCP endpoint 'tcp:" + Spec + "' (expected tcp:HOST:PORT)";
+    return -1;
+  }
+  std::string Host = Spec.substr(0, Colon);
+  std::string Port = Spec.substr(Colon + 1);
+
+  addrinfo Hints{};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  int GE = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Res);
+  if (GE != 0) {
+    Error = "cannot resolve '" + Spec + "': " + ::gai_strerror(GE);
+    return -1;
+  }
+  int Fd = -1;
+  std::string LastErr = "no usable address";
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    Fd = ::socket(AI->ai_family, AI->ai_socktype | SOCK_CLOEXEC,
+                  AI->ai_protocol);
+    if (Fd < 0) {
+      LastErr = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    int Rc;
+    do {
+      Rc = ::connect(Fd, AI->ai_addr, AI->ai_addrlen);
+    } while (Rc != 0 && errno == EINTR);
+    if (Rc == 0)
+      break;
+    LastErr = std::strerror(errno);
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0)
+    Error = "cannot connect to '" + Spec + "': " + LastErr;
+  return Fd;
+}
+
+} // namespace
+
+bool biv::server::call(const std::string &Endpoint, const Request &Q,
+                       Response &R, std::string &Error) {
+  // "tcp:HOST:PORT" targets the TCP frontend; anything else is a unix
+  // socket path (paths with colons are fine -- none start with "tcp:").
+  int Fd = Endpoint.rfind("tcp:", 0) == 0
+               ? connectTcp(Endpoint.substr(4), Error)
+               : connectUnix(Endpoint, Error);
+  if (Fd < 0)
+    return false;
   std::string Payload;
   if (!writeFrame(Fd, Q.encode(), Error) ||
       !readFrame(Fd, Payload, Error)) {

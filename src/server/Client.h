@@ -6,10 +6,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The one-call blocking client for the analysis daemon: connect to the
-/// unix-domain socket, send one request frame, read one response frame.
-/// `bivc --connect` is a thin wrapper over this, and the server tests and
-/// soak clients use it directly.
+/// The one-call blocking client for the analysis daemon: connect, send one
+/// request frame, read one response frame.  `bivc --connect` is a thin
+/// wrapper over this, and the server tests and soak clients use it
+/// directly.  Endpoints are unix socket paths by default; the prefix
+/// `tcp:HOST:PORT` targets a `--serve-tcp` frontend instead.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,12 +23,13 @@
 namespace biv {
 namespace server {
 
-/// Sends \p Q to the daemon at \p SocketPath and fills \p R with its
-/// response.  Returns false with \p Error set on transport problems
-/// (no daemon, daemon died mid-request, malformed response frame);
-/// protocol-level failures (overloaded, deadline exceeded, analysis
-/// errors) return true with the status in \p R.
-bool call(const std::string &SocketPath, const Request &Q, Response &R,
+/// Sends \p Q to the daemon at \p Endpoint (a unix socket path, or
+/// `tcp:HOST:PORT`) and fills \p R with its response.  Returns false with
+/// \p Error set on transport problems (no daemon, daemon died mid-request,
+/// malformed response frame); protocol-level failures (overloaded,
+/// deadline exceeded, analysis errors) return true with the status in
+/// \p R.
+bool call(const std::string &Endpoint, const Request &Q, Response &R,
           std::string &Error);
 
 } // namespace server

@@ -1,0 +1,345 @@
+//===- server/Fleet.cpp - Pre-forked multi-worker serving ----------------------===//
+
+#include "server/Fleet.h"
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace biv;
+using namespace biv::server;
+
+//===----------------------------------------------------------------------===//
+// Listening sockets (shared by single-process --serve and the fleet parent)
+//===----------------------------------------------------------------------===//
+
+int biv::server::listenUnix(const std::string &Path, std::string &Error) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  // No CLOEXEC: fleet workers inherit this fd across fork (there is no
+  // exec anywhere in the lifecycle, so nothing can leak further).
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  // A stale socket file from a dead daemon would make bind fail forever;
+  // replace it.  (Two live daemons on one path is an operator error this
+  // cannot detect -- the second steals the path, as with pid files.)
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 128) != 0) {
+    Error = "cannot listen on '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int biv::server::listenTcp(const std::string &Spec, std::string &Error) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 == Spec.size()) {
+    Error = "bad TCP endpoint '" + Spec + "' (expected HOST:PORT)";
+    return -1;
+  }
+  std::string Host = Spec.substr(0, Colon);
+  std::string Port = Spec.substr(Colon + 1);
+
+  addrinfo Hints{};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE;
+  addrinfo *Res = nullptr;
+  int GE = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Res);
+  if (GE != 0) {
+    Error = "cannot resolve '" + Spec + "': " + ::gai_strerror(GE);
+    return -1;
+  }
+  int Fd = -1;
+  std::string LastErr = "no usable address";
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    Fd = ::socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (Fd < 0) {
+      LastErr = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (::bind(Fd, AI->ai_addr, AI->ai_addrlen) == 0 &&
+        ::listen(Fd, 128) == 0)
+      break;
+    LastErr = std::strerror(errno);
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0)
+    Error = "cannot listen on '" + Spec + "': " + LastErr;
+  return Fd;
+}
+
+int biv::server::boundTcpPort(int Fd) {
+  sockaddr_storage SS{};
+  socklen_t Len = sizeof(SS);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&SS), &Len) != 0)
+    return 0;
+  if (SS.ss_family == AF_INET)
+    return ntohs(reinterpret_cast<sockaddr_in *>(&SS)->sin_port);
+  if (SS.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<sockaddr_in6 *>(&SS)->sin6_port);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Supervisor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Self-pipe the signal handlers poke; the supervisor polls it.  One
+/// supervisor per process, so globals are fine (and required: handlers).
+int GSupWake[2] = {-1, -1};
+std::atomic<bool> GSupTerm{false};
+
+extern "C" void fleetTermHandler(int) {
+  GSupTerm.store(true);
+  char C = 1;
+  [[maybe_unused]] ssize_t N = ::write(GSupWake[1], &C, 1);
+}
+
+extern "C" void fleetChldHandler(int) {
+  // Reaping happens in the loop; this only wakes the poll.
+  char C = 2;
+  [[maybe_unused]] ssize_t N = ::write(GSupWake[1], &C, 1);
+}
+
+uint64_t monotonicMs() {
+  timespec TS;
+  ::clock_gettime(CLOCK_MONOTONIC, &TS);
+  return uint64_t(TS.tv_sec) * 1000 + uint64_t(TS.tv_nsec) / 1000000;
+}
+
+/// One worker process slot and its respawn backoff state.
+struct WorkerSlot {
+  pid_t Pid = -1;
+  uint64_t SpawnedAtMs = 0;
+  uint64_t BackoffMs = 0;     // 0 = spawn immediately
+  uint64_t NextSpawnAtMs = 0; // only meaningful while Pid < 0
+  bool EverFailed = false;
+};
+
+constexpr uint64_t BackoffInitialMs = 100;
+constexpr uint64_t BackoffCapMs = 5000;
+/// A worker that survives this long has its backoff forgiven: the next
+/// crash starts the ladder over instead of inheriting a 5s penalty from
+/// ancient history.
+constexpr uint64_t BackoffForgiveMs = 10000;
+
+/// The worker body: runs after fork, never returns.  Constructs a full
+/// Server over the inherited fds -- all threads in this process are born
+/// here, after the fork.
+[[noreturn]] void runWorker(const FleetOptions &FO,
+                            const std::vector<int> &Fds) {
+  // The supervisor's handlers are not ours; the Server installs its own
+  // SIGTERM/SIGINT drain hooks.
+  ::signal(SIGCHLD, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+  ::signal(SIGINT, SIG_DFL);
+  ServerOptions SO = FO.Worker;
+  SO.AdoptedFds = Fds;
+  Server S(FO.SocketPath, std::move(SO));
+  std::string Error;
+  if (!S.start(Error)) {
+    std::fprintf(stderr, "bivc[worker %d]: %s\n", int(::getpid()),
+                 Error.c_str());
+    ::_exit(1);
+  }
+  S.installSignalHandlers();
+  S.waitForShutdown();
+  bool Ok = S.drain(Error);
+  if (!Ok)
+    std::fprintf(stderr, "bivc[worker %d]: %s\n", int(::getpid()),
+                 Error.c_str());
+  ::_exit(Ok ? 0 : 1);
+}
+
+bool spawn(WorkerSlot &Slot, const FleetOptions &FO,
+           const std::vector<int> &Fds) {
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return false;
+  if (Pid == 0)
+    runWorker(FO, Fds); // noreturn
+  Slot.Pid = Pid;
+  Slot.SpawnedAtMs = monotonicMs();
+  return true;
+}
+
+} // namespace
+
+int biv::server::runFleet(const FleetOptions &FO) {
+  std::vector<int> Fds;
+  std::string Error;
+  if (!FO.SocketPath.empty()) {
+    int Fd = listenUnix(FO.SocketPath, Error);
+    if (Fd < 0) {
+      std::fprintf(stderr, "bivc: %s\n", Error.c_str());
+      return 1;
+    }
+    Fds.push_back(Fd);
+  }
+  if (!FO.TcpSpec.empty()) {
+    int Fd = listenTcp(FO.TcpSpec, Error);
+    if (Fd < 0) {
+      std::fprintf(stderr, "bivc: %s\n", Error.c_str());
+      for (int F : Fds)
+        ::close(F);
+      return 1;
+    }
+    // Port 0 means "any": report the real one so clients can find us.
+    std::fprintf(stderr, "bivc: fleet listening on tcp port %d\n",
+                 boundTcpPort(Fd));
+    Fds.push_back(Fd);
+  }
+  if (Fds.empty()) {
+    std::fprintf(stderr, "bivc: fleet has no endpoint to listen on\n");
+    return 1;
+  }
+
+  if (::pipe(GSupWake) != 0) {
+    std::fprintf(stderr, "bivc: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  ::fcntl(GSupWake[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(GSupWake[1], F_SETFL, O_NONBLOCK);
+  GSupTerm.store(false);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  sigemptyset(&SA.sa_mask);
+  SA.sa_handler = fleetTermHandler;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  SA.sa_handler = fleetChldHandler;
+  SA.sa_flags = SA_NOCLDSTOP;
+  ::sigaction(SIGCHLD, &SA, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<WorkerSlot> Slots(FO.Workers);
+  for (WorkerSlot &Slot : Slots)
+    if (!spawn(Slot, FO, Fds))
+      std::fprintf(stderr, "bivc: fork: %s\n", std::strerror(errno));
+
+  bool AnyFailure = false;
+  while (!GSupTerm.load()) {
+    // Respawn due slots and work out how long the poll may sleep.
+    uint64_t Now = monotonicMs();
+    int TimeoutMs = -1;
+    for (WorkerSlot &Slot : Slots) {
+      if (Slot.Pid >= 0)
+        continue;
+      if (Now >= Slot.NextSpawnAtMs) {
+        if (!spawn(Slot, FO, Fds)) {
+          // fork failed (EAGAIN storm?): retry on the backoff ladder.
+          Slot.BackoffMs = Slot.BackoffMs
+                               ? std::min(Slot.BackoffMs * 2, BackoffCapMs)
+                               : BackoffInitialMs;
+          Slot.NextSpawnAtMs = Now + Slot.BackoffMs;
+        }
+      }
+      if (Slot.Pid < 0) {
+        int Wait = int(Slot.NextSpawnAtMs - Now);
+        TimeoutMs = TimeoutMs < 0 ? Wait : std::min(TimeoutMs, Wait);
+      }
+    }
+
+    pollfd P = {GSupWake[0], POLLIN, 0};
+    int R = ::poll(&P, 1, TimeoutMs);
+    if (R > 0) {
+      char Buf[64];
+      while (::read(GSupWake[0], Buf, sizeof(Buf)) > 0)
+        ; // drain every pending wake (the read end is non-blocking)
+    }
+
+    // Reap everything that exited and schedule respawns.
+    for (;;) {
+      int St = 0;
+      pid_t Pid = ::waitpid(-1, &St, WNOHANG);
+      if (Pid <= 0)
+        break;
+      for (WorkerSlot &Slot : Slots) {
+        if (Slot.Pid != Pid)
+          continue;
+        Slot.Pid = -1;
+        uint64_t LivedMs = monotonicMs() - Slot.SpawnedAtMs;
+        bool Clean = WIFEXITED(St) && WEXITSTATUS(St) == 0;
+        if (!Clean)
+          Slot.EverFailed = true;
+        if (LivedMs >= BackoffForgiveMs)
+          Slot.BackoffMs = 0;
+        Slot.BackoffMs = Slot.BackoffMs
+                             ? std::min(Slot.BackoffMs * 2, BackoffCapMs)
+                             : BackoffInitialMs;
+        Slot.NextSpawnAtMs = monotonicMs() + Slot.BackoffMs;
+        std::fprintf(stderr,
+                     "bivc: worker %d %s (lived %llums); respawning in "
+                     "%llums\n",
+                     int(Pid),
+                     Clean ? "exited"
+                     : WIFSIGNALED(St)
+                         ? "died on a signal"
+                         : "exited with an error",
+                     (unsigned long long)LivedMs,
+                     (unsigned long long)Slot.BackoffMs);
+        break;
+      }
+    }
+  }
+
+  // Drain: forward the signal, then wait out every live worker.
+  for (WorkerSlot &Slot : Slots)
+    if (Slot.Pid >= 0)
+      ::kill(Slot.Pid, SIGTERM);
+  for (WorkerSlot &Slot : Slots) {
+    if (Slot.Pid < 0)
+      continue;
+    int St = 0;
+    while (::waitpid(Slot.Pid, &St, 0) < 0 && errno == EINTR)
+      ;
+    if (!(WIFEXITED(St) && WEXITSTATUS(St) == 0))
+      Slot.EverFailed = true;
+    Slot.Pid = -1;
+  }
+  for (const WorkerSlot &Slot : Slots)
+    AnyFailure = AnyFailure || Slot.EverFailed;
+
+  for (int F : Fds)
+    ::close(F);
+  if (!FO.SocketPath.empty())
+    ::unlink(FO.SocketPath.c_str());
+  ::close(GSupWake[0]);
+  ::close(GSupWake[1]);
+  GSupWake[0] = GSupWake[1] = -1;
+  ::signal(SIGTERM, SIG_DFL);
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGCHLD, SIG_DFL);
+  return AnyFailure ? 1 : 0;
+}

@@ -3,6 +3,8 @@
 #include "server/Protocol.h"
 #include <cerrno>
 #include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace biv;
@@ -70,16 +72,41 @@ bool readAll(int Fd, char *Buf, size_t Len, std::string &Error) {
   return true;
 }
 
+/// How long writeAll will wait for a stalled peer to drain the socket
+/// buffer before giving up.  Generous: a reply-path stall this long means
+/// the client is gone or wedged, and the server must get its thread back.
+constexpr int WriteStallTimeoutMs = 30000;
+
 bool writeAll(int Fd, const char *Buf, size_t Len, std::string &Error) {
   size_t Done = 0;
   while (Done < Len) {
-    ssize_t N = ::write(Fd, Buf + Done, Len - Done);
+    // MSG_NOSIGNAL: a peer that disconnected mid-reply must surface as
+    // EPIPE on this call, not SIGPIPE to the whole process.  Plain files
+    // and pipes (ENOTSOCK) fall back to write(); the server additionally
+    // ignores SIGPIPE so the fallback path cannot kill it either.
+    ssize_t N = ::send(Fd, Buf + Done, Len - Done, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, Buf + Done, Len - Done);
     if (N > 0) {
       Done += size_t(N);
       continue;
     }
     if (N < 0 && errno == EINTR)
       continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // A frame larger than the socket buffer to a slow reader: the fd may
+      // be non-blocking (or carry a send timeout), so a partial frame is
+      // not a hard error yet.  Wait for drain, bounded, then resume --
+      // writeFrame must complete the frame or fail, never short-write.
+      struct pollfd P = {Fd, POLLOUT, 0};
+      int R = ::poll(&P, 1, WriteStallTimeoutMs);
+      if (R > 0)
+        continue;
+      if (R < 0 && errno == EINTR)
+        continue;
+      Error = "write stalled: peer not draining";
+      return false;
+    }
     Error = std::string("write failed: ") + std::strerror(errno);
     return false;
   }

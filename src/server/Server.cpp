@@ -1,6 +1,7 @@
 //===- server/Server.cpp - Persistent analysis daemon --------------------------===//
 
 #include "server/Server.h"
+#include "server/Fleet.h"
 #include "ir/Printer.h"
 #include "ivclass/Pipeline.h"
 #include "ivclass/Report.h"
@@ -73,6 +74,12 @@ bool Server::start(std::string &Error) {
     Error = "server already started";
     return false;
   }
+  // A client that disconnects mid-reply must surface as EPIPE on the
+  // write, not SIGPIPE to the process: one vanished client must never
+  // kill a daemon holding everyone else's connections.  (writeAll also
+  // sends with MSG_NOSIGNAL; this covers any other stray write.)
+  ::signal(SIGPIPE, SIG_IGN);
+
   if (!Opts.CachePath.empty()) {
     if (!Cache.open(Opts.CachePath, Error))
       return false;
@@ -80,42 +87,51 @@ bool Server::start(std::string &Error) {
       std::fprintf(stderr,
                    "bivc: cache %s is stale or damaged; rebuilding it\n",
                    Opts.CachePath.c_str());
+    Cache.setMaxBytes(Opts.CacheMaxBytes);
     HaveCache = true;
   }
 
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
-    Error = "socket path too long: " + SocketPath;
-    return false;
+  if (!Opts.AdoptedFds.empty()) {
+    // Fleet worker: the parent bound everything; we only accept.
+    ListenFds = Opts.AdoptedFds;
+    OwnSocketFile = false;
+  } else {
+    if (SocketPath.empty() && Opts.TcpSpec.empty()) {
+      Error = "server has no endpoint to listen on";
+      return false;
+    }
+    if (!SocketPath.empty()) {
+      int Fd = listenUnix(SocketPath, Error);
+      if (Fd < 0)
+        return false;
+      ListenFds.push_back(Fd);
+      OwnSocketFile = true;
+    }
+    if (!Opts.TcpSpec.empty()) {
+      int Fd = listenTcp(Opts.TcpSpec, Error);
+      if (Fd < 0) {
+        for (int F : ListenFds)
+          ::close(F);
+        ListenFds.clear();
+        return false;
+      }
+      ListenFds.push_back(Fd);
+    }
   }
-  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
-
-  ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (ListenFd < 0) {
-    Error = std::string("socket: ") + std::strerror(errno);
-    return false;
+  for (int Fd : ListenFds) {
+    // Non-blocking listen sockets: the accept loop multiplexes them with
+    // the shutdown pipe via poll, and drains the backlog without blocking
+    // when the drain begins.
+    ::fcntl(Fd, F_SETFL, O_NONBLOCK);
+    if (boundTcpPort(Fd) != 0)
+      TcpListenPort = boundTcpPort(Fd);
   }
-  // A stale socket file from a dead daemon would make bind fail forever;
-  // replace it.  (Two live daemons on one path is an operator error this
-  // cannot detect -- the second steals the path, as with pid files.)
-  ::unlink(SocketPath.c_str());
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
-             sizeof(Addr)) != 0 ||
-      ::listen(ListenFd, 128) != 0) {
-    Error = "cannot listen on '" + SocketPath +
-            "': " + std::strerror(errno);
-    closeFd(ListenFd);
-    return false;
-  }
-  // Non-blocking listen socket: the accept loop multiplexes it with the
-  // shutdown pipe via poll, and drains the backlog without blocking when
-  // the drain begins.
-  ::fcntl(ListenFd, F_SETFL, O_NONBLOCK);
 
   if (::pipe(WakeFd) != 0) {
     Error = std::string("pipe: ") + std::strerror(errno);
-    closeFd(ListenFd);
+    for (int &Fd : ListenFds)
+      closeFd(Fd);
+    ListenFds.clear();
     return false;
   }
   ::fcntl(WakeFd[1], F_SETFL, O_NONBLOCK); // signal handler must not block
@@ -163,8 +179,13 @@ bool Server::drain(std::string &Error) {
   // wait() blocks until each one has written its response.  Tasks catch
   // their own exceptions, so nothing rethrows here.
   Pool->wait();
-  closeFd(ListenFd);
-  ::unlink(SocketPath.c_str());
+  for (int &Fd : ListenFds)
+    closeFd(Fd);
+  ListenFds.clear();
+  // In fleet-worker mode the supervisor owns the socket file; removing it
+  // here would cut off every sibling still accepting on it.
+  if (OwnSocketFile && !SocketPath.empty())
+    ::unlink(SocketPath.c_str());
   closeFd(WakeFd[0]);
   closeFd(WakeFd[1]);
   if (HaveCache && !Cache.save(Error))
@@ -187,48 +208,60 @@ stats::StatsSnapshot Server::statsSnapshot() const {
 
 void Server::acceptLoop() {
   stats::Frame Base = stats::captureFrame();
-  pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakeFd[0], POLLIN, 0}};
+  std::vector<pollfd> Fds;
+  for (int Fd : ListenFds)
+    Fds.push_back({Fd, POLLIN, 0});
+  Fds.push_back({WakeFd[0], POLLIN, 0});
+  const size_t Wake = Fds.size() - 1;
   bool Draining = false;
   while (!Draining) {
-    Fds[0].revents = Fds[1].revents = 0;
-    if (::poll(Fds, 2, -1) < 0) {
+    for (pollfd &P : Fds)
+      P.revents = 0;
+    if (::poll(Fds.data(), nfds_t(Fds.size()), -1) < 0) {
       if (errno == EINTR)
         continue;
       break; // poll on our own fds cannot fail transiently otherwise
     }
-    if (Fds[1].revents != 0 || ShuttingDown.load()) {
+    if (Fds[Wake].revents != 0 || ShuttingDown.load()) {
       Draining = true;
       break;
     }
-    if (Fds[0].revents == 0)
-      continue;
-    for (;;) {
-      int Fd = ::accept(ListenFd, nullptr, nullptr);
-      if (Fd < 0) {
-        if (errno == EINTR)
-          continue;
-        break; // EAGAIN: backlog empty, back to poll
-      }
-      handleConnection(Fd, Base);
-      mergeThreadDelta(Base);
-      if (ShuttingDown.load()) {
-        Draining = true;
-        break;
+    for (size_t I = 0; I < Wake && !Draining; ++I) {
+      if (Fds[I].revents == 0)
+        continue;
+      for (;;) {
+        int Fd = ::accept(Fds[I].fd, nullptr, nullptr);
+        if (Fd < 0) {
+          if (errno == EINTR)
+            continue;
+          break; // EAGAIN: backlog empty (or a fleet sibling won the
+                 // race for it), back to poll
+        }
+        handleConnection(Fd, Base);
+        mergeThreadDelta(Base);
+        if (ShuttingDown.load()) {
+          Draining = true;
+          break;
+        }
       }
     }
   }
   // Connections that reached the kernel backlog but were never taken must
-  // not be silently dropped either: answer each with shutting_down.
-  for (;;) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
-    if (Fd < 0) {
-      if (errno == EINTR)
-        continue;
-      break;
+  // not be silently dropped either: answer each with shutting_down.  (In
+  // fleet mode the backlog is shared; whatever this worker wins here, it
+  // answers.)
+  for (size_t I = 0; I < Wake; ++I) {
+    for (;;) {
+      int Fd = ::accept(Fds[I].fd, nullptr, nullptr);
+      if (Fd < 0) {
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      NumRefusedAtShutdown.bump();
+      reply(Fd, Response{Status::ShuttingDown, "server is draining"});
+      ::close(Fd);
     }
-    NumRefusedAtShutdown.bump();
-    reply(Fd, Response{Status::ShuttingDown, "server is draining"});
-    ::close(Fd);
   }
   mergeThreadDelta(Base);
 }
@@ -302,6 +335,12 @@ void Server::serveAnalyze(int Fd, Request Q,
                std::chrono::steady_clock::now() - Accepted)
         .count();
   };
+  // Fault injection for the fleet soak: die the way a real worker bug
+  // would -- request read, no reply written -- so the client sees a peer
+  // close (not a hang) and the supervisor sees a death to respawn.
+  if (!Opts.CrashToken.empty() &&
+      Q.Source.find(Opts.CrashToken) != std::string::npos)
+    ::_exit(86);
   if (Q.DeadlineMs != 0 &&
       uint64_t(Elapsed()) > Q.DeadlineMs * 1000000ull) {
     NumDeadlineExceeded.bump();
@@ -334,6 +373,10 @@ void Server::serveAnalyze(int Fd, Request Q,
   mergeThreadDelta(Base);
   reply(Fd, R);
   ::close(Fd);
+  // The reply itself can fail (client died: EPIPE/ECONNRESET).  That
+  // counter bumps after the fold above; fold again or the next request's
+  // fresh capture would re-baseline it away and it could never be seen.
+  mergeThreadDelta(Base);
   Admitted.fetch_sub(1);
 }
 
@@ -377,6 +420,10 @@ Response Server::analyze(const Request &Q) {
       stats::ScopedSpan Span(CacheTimer);
       Digest = cache::unitDigest(ir::toString(*P->F), Q.OptsBits);
       CE = Cache.lookup(Digest);
+      if (!CE && Cache.refreshIfChanged())
+        // A fleet sibling may have flushed this digest since our view
+        // was mapped; one cheap stat per miss buys cross-worker warmth.
+        CE = Cache.lookup(Digest);
     }
     if (CE) {
       NumCacheHits.bump();
@@ -412,6 +459,19 @@ Response Server::analyze(const Request &Q) {
     // bytes of any one entry are deterministic even though the file-level
     // order is not (unlike --batch, which commits in input order).
     Cache.insert(Digest, std::move(E));
+    // Flush cadence: land accumulated misses on disk so fleet siblings
+    // can warm from them and a crash loses bounded work.  try_lock keeps
+    // workers from convoying behind one flush; whoever loses just keeps
+    // serving and the cadence catches up.
+    if (Cache.pendingCount() >= Opts.CacheFlushEvery) {
+      std::unique_lock<std::mutex> FL(FlushM, std::try_to_lock);
+      if (FL.owns_lock()) {
+        std::string Err;
+        if (!Cache.save(Err))
+          std::fprintf(stderr, "bivc: cache flush failed: %s\n",
+                       Err.c_str());
+      }
+    }
   }
   return R;
 }

@@ -69,9 +69,32 @@ struct ServerOptions {
   /// start() (unwritable/unreadable is a hard start error, matching
   /// `--cache`) and saved during drain.
   std::string CachePath;
+  /// Byte cap for the cache file (`--cache-max-bytes`); a save that would
+  /// exceed it compacts, evicting least-recently-used entries.  0 =
+  /// unbounded.
+  uint64_t CacheMaxBytes = 0;
+  /// Flush cadence: once this many misses are pending in memory, the next
+  /// one saves the cache mid-flight (so fleet siblings can warm from it
+  /// and a crash loses at most this much work), in addition to the final
+  /// save at drain.
+  size_t CacheFlushEvery = 64;
+  /// Optional TCP frontend, "HOST:PORT" (`--serve-tcp`; port 0 lets the
+  /// kernel pick -- see tcpPort()).  Served alongside the unix socket,
+  /// same protocol, same lifecycle.
+  std::string TcpSpec;
+  /// Fleet mode: already-bound listening sockets inherited from the
+  /// parent.  When non-empty, start() adopts these instead of binding
+  /// (SocketPath/TcpSpec are the parent's business), and drain() leaves
+  /// the socket file alone -- the supervisor owns it.
+  std::vector<int> AdoptedFds;
   /// Seconds a connection may dawdle delivering its request frame before
   /// the read times out (guards the accept loop against stalled clients).
   unsigned ReadTimeoutSec = 10;
+  /// Test-only: requests whose source contains this token kill the worker
+  /// process (`_exit`) between accept and reply, simulating a mid-request
+  /// crash for the fleet soak.  Wired from BIV_SERVE_CRASH_TOKEN; never
+  /// set in production paths.
+  std::string CrashToken;
   /// Test-only: runs on the worker just before each analyze request's
   /// pipeline, letting tests hold workers to fill the admission queue
   /// deterministically.  Never set in production paths.
@@ -121,6 +144,9 @@ public:
 
   const std::string &socketPath() const { return SocketPath; }
   size_t admitted() const { return Admitted.load(); }
+  /// The bound TCP port when a TcpSpec was given (resolves port 0 to the
+  /// kernel's pick); 0 when there is no TCP frontend.
+  int tcpPort() const { return TcpListenPort; }
 
 private:
   void acceptLoop();
@@ -139,7 +165,13 @@ private:
   std::string SocketPath;
   ServerOptions Opts;
 
-  int ListenFd = -1;
+  /// All listening sockets (unix, maybe TCP, or the fleet's adopted fds);
+  /// the accept loop polls them all.
+  std::vector<int> ListenFds;
+  /// Whether we bound the unix socket ourselves (and so must unlink its
+  /// file at drain); false in fleet-worker mode.
+  bool OwnSocketFile = false;
+  int TcpListenPort = 0;
   int WakeFd[2] = {-1, -1}; ///< self-pipe: [0] polled, [1] written by
                             ///< requestShutdown / signal handler
   std::thread AcceptThread;
@@ -147,6 +179,9 @@ private:
 
   cache::AnalysisCache Cache;
   bool HaveCache = false;
+  /// Serializes mid-flight cache flushes (try-lock: a worker that finds a
+  /// flush already running just skips -- the cadence is advisory).
+  std::mutex FlushM;
 
   std::atomic<size_t> Admitted{0}; ///< analyze requests queued + running
   std::atomic<bool> ShuttingDown{false};

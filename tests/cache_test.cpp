@@ -302,8 +302,8 @@ TEST(AnalysisCacheTest, DamagedFilesInvalidateNotCrash) {
 }
 
 TEST(AnalysisCacheTest, UnwritablePathFailsLoudly) {
-  // The whole point of satellite 4: persisting to a path that cannot be
-  // written must produce an error string, not a silent success.
+  // Persisting to a path that cannot be written must produce an error
+  // string, not a silent success.
   AnalysisCache C;
   std::string Err;
   ASSERT_TRUE(
@@ -311,4 +311,280 @@ TEST(AnalysisCacheTest, UnwritablePathFailsLoudly) {
   C.insert(unitDigest("f", 0), sampleEntry("r"));
   EXPECT_FALSE(C.save(Err));
   EXPECT_NE(Err.find("cache"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-writer world: generations, refresh, compaction, racing appenders.
+// The invariant stays the same -- forget or retry cleanly, never serve a
+// corrupt hit -- but now the damage comes from concurrent processes, not
+// just a mutilated file.
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisCacheTest, GenerationAdvancesPerSave) {
+  TempPath P("cache_generation.bin");
+  std::string Err;
+  AnalysisCache C;
+  ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+  EXPECT_EQ(C.generation(), 0u); // no valid file yet
+  C.insert(unitDigest("a", 0), sampleEntry("a"));
+  ASSERT_TRUE(C.save(Err)) << Err;
+  EXPECT_EQ(C.generation(), 1u);
+  C.insert(unitDigest("b", 0), sampleEntry("b"));
+  ASSERT_TRUE(C.save(Err)) << Err;
+  EXPECT_EQ(C.generation(), 2u);
+
+  // A fresh open reads the generation out of the tail.
+  AnalysisCache C2;
+  ASSERT_TRUE(C2.open(P.Path, Err)) << Err;
+  EXPECT_EQ(C2.generation(), 2u);
+}
+
+TEST(AnalysisCacheTest, RefreshIfChangedAdoptsAnotherWritersAppend) {
+  TempPath P("cache_refresh.bin");
+  std::string Err;
+  uint64_t D1 = unitDigest("a", 0), D2 = unitDigest("b", 0);
+
+  AnalysisCache Reader, Writer;
+  ASSERT_TRUE(Reader.open(P.Path, Err)) << Err;
+  ASSERT_TRUE(Writer.open(P.Path, Err)) << Err;
+
+  Writer.insert(D1, sampleEntry("from writer"));
+  ASSERT_TRUE(Writer.save(Err)) << Err;
+
+  // The reader's mapped view predates the save; one refresh adopts it.
+  EXPECT_EQ(Reader.lookup(D1), nullptr);
+  EXPECT_TRUE(Reader.refreshIfChanged());
+  ASSERT_NE(Reader.lookup(D1), nullptr);
+  EXPECT_EQ(Reader.lookup(D1)->ReportText, "from writer");
+  // Nothing moved since: refresh is a cheap no.
+  EXPECT_FALSE(Reader.refreshIfChanged());
+
+  // The reader's own pending work survives a refresh.
+  Reader.insert(D2, sampleEntry("from reader"));
+  Writer.insert(unitDigest("c", 0), sampleEntry("more"));
+  ASSERT_TRUE(Writer.save(Err)) << Err;
+  EXPECT_TRUE(Reader.refreshIfChanged());
+  ASSERT_NE(Reader.lookup(D2), nullptr);
+  EXPECT_EQ(Reader.lookup(D2)->ReportText, "from reader");
+}
+
+TEST(AnalysisCacheTest, RacingAppendersBothLand) {
+  // Two instances (two open file descriptions, so a real flock contest --
+  // same shape as two worker processes) append different entries without
+  // coordinating.  Both saves must succeed and the union must be on disk.
+  TempPath P("cache_race.bin");
+  std::string Err;
+  uint64_t DA = unitDigest("a", 0), DB = unitDigest("b", 0);
+
+  AnalysisCache A, B;
+  ASSERT_TRUE(A.open(P.Path, Err)) << Err;
+  ASSERT_TRUE(B.open(P.Path, Err)) << Err;
+  A.insert(DA, sampleEntry("A's entry"));
+  B.insert(DB, sampleEntry("B's entry"));
+  ASSERT_TRUE(A.save(Err)) << Err;
+  // B's loaded view (generation 0) is now stale; its save must merge, not
+  // clobber A's append.
+  ASSERT_TRUE(B.save(Err)) << Err;
+  EXPECT_EQ(B.generation(), 2u);
+
+  AnalysisCache C;
+  ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+  EXPECT_EQ(C.entryCount(), 2u);
+  ASSERT_NE(C.lookup(DA), nullptr);
+  EXPECT_EQ(C.lookup(DA)->ReportText, "A's entry");
+  ASSERT_NE(C.lookup(DB), nullptr);
+  EXPECT_EQ(C.lookup(DB)->ReportText, "B's entry");
+
+  // And the duplicate-digest race: both discover the same unit.  First
+  // writer wins; the second's save drops its now-redundant copy.
+  AnalysisCache X, Y;
+  ASSERT_TRUE(X.open(P.Path, Err)) << Err;
+  ASSERT_TRUE(Y.open(P.Path, Err)) << Err;
+  uint64_t DD = unitDigest("dup", 0);
+  X.insert(DD, sampleEntry("first copy"));
+  Y.insert(DD, sampleEntry("second copy"));
+  ASSERT_TRUE(X.save(Err)) << Err;
+  ASSERT_TRUE(Y.save(Err)) << Err;
+  AnalysisCache Z;
+  ASSERT_TRUE(Z.open(P.Path, Err)) << Err;
+  EXPECT_EQ(Z.entryCount(), 3u);
+  ASSERT_NE(Z.lookup(DD), nullptr);
+  EXPECT_EQ(Z.lookup(DD)->ReportText, "first copy");
+}
+
+TEST(AnalysisCacheTest, CompactionEvictsColdEntriesAndBoundsTheFile) {
+  TempPath P("cache_compact.bin");
+  std::string Err;
+  auto digestOf = [](int I) {
+    return unitDigest("func " + std::to_string(I), 0);
+  };
+
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    for (int I = 0; I < 12; ++I)
+      C.insert(digestOf(I), sampleEntry("report for function " +
+                                        std::to_string(I)));
+    ASSERT_TRUE(C.save(Err)) << Err;
+    EXPECT_EQ(C.compactions(), 0u); // unbounded: no cap, no compaction
+  }
+  uintmax_t Unbounded = std::filesystem::file_size(P.Path);
+
+  constexpr uint64_t Cap = 2048;
+  ASSERT_GT(Unbounded, Cap) << "test premise: 12 entries exceed the cap";
+  uint64_t HotA = digestOf(7), HotB = digestOf(3);
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    C.setMaxBytes(Cap);
+    // Recency is per-process: touch two survivors-to-be, then trigger a
+    // compacting save with one fresh insert (the most recent of all).
+    ASSERT_NE(C.lookup(HotA), nullptr);
+    ASSERT_NE(C.lookup(HotB), nullptr);
+    C.insert(digestOf(100), sampleEntry("the newest entry"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+    EXPECT_EQ(C.compactions(), 1u);
+    // The compacted view keeps serving in-process.
+    ASSERT_NE(C.lookup(digestOf(100)), nullptr);
+  }
+  EXPECT_LE(std::filesystem::file_size(P.Path), Cap);
+
+  // Survivors are the most recently used; the untouched tail is gone.
+  AnalysisCache C2;
+  ASSERT_TRUE(C2.open(P.Path, Err)) << Err;
+  EXPECT_FALSE(C2.invalidated());
+  ASSERT_NE(C2.lookup(digestOf(100)), nullptr);
+  EXPECT_EQ(C2.lookup(digestOf(100))->ReportText, "the newest entry");
+  ASSERT_NE(C2.lookup(HotA), nullptr);
+  ASSERT_NE(C2.lookup(HotB), nullptr);
+  EXPECT_LT(C2.entryCount(), 12u);
+
+  // Repeated capped saves never push the file back over the cap.
+  C2.setMaxBytes(Cap);
+  for (int I = 200; I < 212; ++I) {
+    C2.insert(digestOf(I), sampleEntry("refill " + std::to_string(I)));
+    ASSERT_TRUE(C2.save(Err)) << Err;
+    EXPECT_LE(std::filesystem::file_size(P.Path), Cap);
+  }
+}
+
+TEST(AnalysisCacheTest, StaleGenerationAfterCompactionSwap) {
+  // A live reader whose mmap snapshot predates a compaction swap must (a)
+  // keep serving its own consistent snapshot, (b) detect the swap via
+  // refreshIfChanged, and (c) merge -- not clobber -- on its next save.
+  TempPath P("cache_swap.bin");
+  std::string Err;
+  auto digestOf = [](int I) {
+    return unitDigest("func " + std::to_string(I), 0);
+  };
+
+  {
+    AnalysisCache Seed;
+    ASSERT_TRUE(Seed.open(P.Path, Err)) << Err;
+    for (int I = 0; I < 10; ++I)
+      Seed.insert(digestOf(I), sampleEntry("seed " + std::to_string(I)));
+    ASSERT_TRUE(Seed.save(Err)) << Err;
+  }
+
+  AnalysisCache Reader;
+  ASSERT_TRUE(Reader.open(P.Path, Err)) << Err;
+  uint64_t GenBefore = Reader.generation();
+
+  {
+    AnalysisCache Compactor;
+    ASSERT_TRUE(Compactor.open(P.Path, Err)) << Err;
+    Compactor.setMaxBytes(2048);
+    Compactor.insert(digestOf(50), sampleEntry("tipping point"));
+    ASSERT_TRUE(Compactor.save(Err)) << Err;
+    ASSERT_EQ(Compactor.compactions(), 1u);
+  }
+
+  // (a) The reader's old snapshot still serves -- the swapped-out inode
+  // stays alive under its mapping.
+  ASSERT_NE(Reader.lookup(digestOf(0)), nullptr);
+  // (b) The swap is visible.
+  EXPECT_TRUE(Reader.refreshIfChanged());
+  EXPECT_GT(Reader.generation(), GenBefore);
+  // (c) New work saved from the reader merges into the compacted file.
+  Reader.insert(digestOf(60), sampleEntry("post-swap entry"));
+  ASSERT_TRUE(Reader.save(Err)) << Err;
+  AnalysisCache Check;
+  ASSERT_TRUE(Check.open(P.Path, Err)) << Err;
+  ASSERT_NE(Check.lookup(digestOf(60)), nullptr);
+  ASSERT_NE(Check.lookup(digestOf(50)), nullptr);
+}
+
+TEST(AnalysisCacheTest, TornAppendDegradesToInvalidationOrRetry) {
+  // A writer killed mid-append leaves header + partial record and no valid
+  // tail.  Openers must invalidate wholesale; live readers must skip the
+  // torn state (clean retry), not adopt it; the next save must rebuild.
+  TempPath P("cache_torn.bin");
+  std::string Err;
+  uint64_t D = unitDigest("f", 0);
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    C.insert(D, sampleEntry("intact"));
+    C.insert(unitDigest("g", 0), sampleEntry("also intact"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+  }
+
+  AnalysisCache Reader;
+  ASSERT_TRUE(Reader.open(P.Path, Err)) << Err;
+
+  // Tear the file mid-record (inside the second entry's bytes).
+  uintmax_t Full = std::filesystem::file_size(P.Path);
+  std::filesystem::resize_file(P.Path, 24 + (Full - 24) / 3);
+
+  // The live reader: refresh sees a change but refuses the torn image and
+  // keeps serving its intact snapshot.
+  EXPECT_FALSE(Reader.refreshIfChanged());
+  ASSERT_NE(Reader.lookup(D), nullptr);
+  EXPECT_EQ(Reader.lookup(D)->ReportText, "intact");
+
+  // A fresh opener: wholesale invalidation, then a clean rebuild.
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    EXPECT_TRUE(C.invalidated());
+    EXPECT_EQ(C.entryCount(), 0u);
+    C.insert(D, sampleEntry("rebuilt"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+  }
+  AnalysisCache C2;
+  ASSERT_TRUE(C2.open(P.Path, Err)) << Err;
+  EXPECT_FALSE(C2.invalidated());
+  ASSERT_NE(C2.lookup(D), nullptr);
+  EXPECT_EQ(C2.lookup(D)->ReportText, "rebuilt");
+
+  // The reader eventually adopts the rebuilt (valid) image.
+  EXPECT_TRUE(Reader.refreshIfChanged());
+  ASSERT_NE(Reader.lookup(D), nullptr);
+}
+
+TEST(AnalysisCacheTest, CorruptPayloadUnderLazyProbeNeverServesALie) {
+  // Structural validation happens at open; payloads deserialize on first
+  // lookup.  A payload whose bytes rotted between the two must miss -- and
+  // take the whole disk index with it -- never return garbage.
+  TempPath P("cache_lazy_corrupt.bin");
+  std::string Err;
+  uint64_t D1 = unitDigest("a", 0);
+  {
+    AnalysisCache C;
+    ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+    C.insert(D1, sampleEntry("to be corrupted"));
+    ASSERT_TRUE(C.save(Err)) << Err;
+  }
+  // The single record starts right after the 24-byte header; its payload
+  // starts 16 bytes later with the ReportText length u64.  Blow that up:
+  // the frame stays structurally valid, the payload does not.
+  patchU64(P.Path, 24 + 16, uint64_t(1) << 40);
+
+  AnalysisCache C;
+  ASSERT_TRUE(C.open(P.Path, Err)) << Err;
+  EXPECT_FALSE(C.invalidated()) << "structure is intact at open";
+  EXPECT_EQ(C.entryCount(), 1u);
+  EXPECT_EQ(C.lookup(D1), nullptr) << "corrupt payload must miss";
+  EXPECT_TRUE(C.invalidated());
+  EXPECT_EQ(C.lookup(D1), nullptr) << "and stay missing";
 }

@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <csignal>
 #include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
@@ -380,6 +381,154 @@ TEST(ServerTest, MalformedFrameGetsBadRequest) {
   ASSERT_TRUE(R.decode(Payload, Err)) << Err;
   EXPECT_EQ(R.S, Status::BadRequest);
   ::close(Fd);
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, ClientGoneBeforeReplyIsAConnectionErrorNotACrash) {
+  // A client that dies between sending its request and reading the reply
+  // used to take the whole daemon down with SIGPIPE.  Now the write fails
+  // as a per-connection error (counted), and the daemon keeps serving.
+  std::string Dir = tempDir();
+  std::mutex M;
+  std::condition_variable CV;
+  bool Parked = false, Release = false;
+
+  ServerOptions SO;
+  // One worker: the same thread that hits the dead socket serves the
+  // follow-up request, folding the failure counter where stats can see it.
+  SO.Threads = 1;
+  SO.TestHookBeforeAnalyze = [&](const Request &) {
+    std::unique_lock<std::mutex> Lock(M);
+    Parked = true;
+    CV.notify_all();
+    CV.wait(Lock, [&] { return Release; });
+  };
+  Server S(Dir + "/d.sock", SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  // Raw connection: send a valid request, then vanish before the reply.
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::string Path = S.socketPath();
+  ASSERT_LT(Path.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  ASSERT_EQ(
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+  Request Q;
+  Q.Kind = RequestKind::Analyze;
+  Q.OptsBits = DefaultBits;
+  Q.Source = SimpleSrc;
+  ASSERT_TRUE(writeFrame(Fd, Q.encode(), Err)) << Err;
+  // Wait until the worker holds the request, then kill the client side --
+  // the reply is now guaranteed to hit a closed socket.
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Parked; });
+  }
+  ::close(Fd);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  CV.notify_all();
+
+  // The daemon survived and still serves; the failed reply was counted.
+  Response After = callOk(S.socketPath(), SimpleSrc);
+  EXPECT_EQ(After.S, Status::Ok) << After.Body;
+  EXPECT_EQ(After.Body, oneShotReport(SimpleSrc));
+  stats::StatsSnapshot Snap = S.statsSnapshot();
+  EXPECT_EQ(Snap.Counters.at("serve.reply_failures"), 1u);
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, NearMaxFrameSurvivesTinySendBufferAndNonblocking) {
+  // writeFrame must loop through short writes.  Force the worst case: a
+  // non-blocking sender with a minimal kernel send buffer pushing a frame
+  // close to the 16MB cap through a socketpair while the reader drains.
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  int Tiny = 4096; // the kernel clamps to its floor; still far below 16MB
+  ASSERT_EQ(::setsockopt(Sp[0], SOL_SOCKET, SO_SNDBUF, &Tiny, sizeof(Tiny)),
+            0);
+  ASSERT_EQ(::setsockopt(Sp[1], SOL_SOCKET, SO_RCVBUF, &Tiny, sizeof(Tiny)),
+            0);
+  int Flags = ::fcntl(Sp[0], F_GETFL, 0);
+  ASSERT_GE(Flags, 0);
+  ASSERT_EQ(::fcntl(Sp[0], F_SETFL, Flags | O_NONBLOCK), 0);
+
+  std::string Payload(MaxFrameBytes - 64, '\0');
+  for (size_t I = 0; I < Payload.size(); ++I)
+    Payload[I] = char('a' + I % 23);
+
+  std::string ReadErr;
+  std::string Got;
+  std::thread Reader([&] {
+    if (!readFrame(Sp[1], Got, ReadErr))
+      Got.clear();
+  });
+  std::string WriteErr;
+  EXPECT_TRUE(writeFrame(Sp[0], Payload, WriteErr)) << WriteErr;
+  Reader.join();
+  EXPECT_TRUE(ReadErr.empty()) << ReadErr;
+  EXPECT_EQ(Got.size(), Payload.size());
+  EXPECT_EQ(Got, Payload) << "short writes must not reorder or drop bytes";
+  ::close(Sp[0]);
+  ::close(Sp[1]);
+}
+
+TEST(ServerTest, TcpFrontendServesByteIdenticalReports) {
+  std::string Dir = tempDir();
+  ServerOptions SO;
+  SO.TcpSpec = "127.0.0.1:0"; // port 0: kernel picks, tcpPort() reports
+  SO.CachePath = Dir + "/d.cache";
+  Server S(Dir + "/d.sock", SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  ASSERT_GT(S.tcpPort(), 0);
+
+  std::string TcpEndpoint =
+      "tcp:127.0.0.1:" + std::to_string(S.tcpPort());
+  Response OverTcp = callOk(TcpEndpoint, SimpleSrc);
+  ASSERT_EQ(OverTcp.S, Status::Ok) << OverTcp.Body;
+  EXPECT_EQ(OverTcp.Body, oneShotReport(SimpleSrc));
+
+  // Both frontends serve the same daemon: the unix path answers too, and
+  // the TCP request warmed the shared cache for it.
+  Response OverUnix = callOk(S.socketPath(), SimpleSrc);
+  ASSERT_EQ(OverUnix.S, Status::Ok) << OverUnix.Body;
+  EXPECT_EQ(OverUnix.Body, OverTcp.Body);
+  EXPECT_EQ(S.statsSnapshot().Counters.at("cache.hit"), 1u);
+  ASSERT_TRUE(S.drain(Err)) << Err;
+}
+
+TEST(ServerTest, PeriodicFlushPersistsCacheWithoutDrain) {
+  // Fleet workers can die at any time; the cache must reach disk on a
+  // cadence, not only at drain.  With the cadence at 1 the very first
+  // miss is durable before the client even sees its reply.
+  std::string Dir = tempDir();
+  ServerOptions SO;
+  SO.CachePath = Dir + "/d.cache";
+  SO.CacheFlushEvery = 1;
+  Server S(Dir + "/d.sock", SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  Response R = callOk(S.socketPath(), SimpleSrc);
+  ASSERT_EQ(R.S, Status::Ok) << R.Body;
+  EXPECT_TRUE(std::filesystem::exists(SO.CachePath))
+      << "cache must be flushed before the reply, not only at drain";
+
+  // A second daemon sharing the file serves the entry as a warm hit.
+  Server S2(Dir + "/d2.sock", SO);
+  ASSERT_TRUE(S2.start(Err)) << Err;
+  Response Warm = callOk(S2.socketPath(), SimpleSrc);
+  ASSERT_EQ(Warm.S, Status::Ok) << Warm.Body;
+  EXPECT_EQ(Warm.Body, R.Body);
+  EXPECT_EQ(S2.statsSnapshot().Counters.at("cache.hit"), 1u);
+  ASSERT_TRUE(S2.drain(Err)) << Err;
   ASSERT_TRUE(S.drain(Err)) << Err;
 }
 

@@ -42,6 +42,7 @@
 //                        surface through --stats / --stats-json.
 //
 //   bivc --serve SOCKET [-jN] [--admit N] [--cache FILE]
+//        [--workers N] [--serve-tcp HOST:PORT] [--cache-max-bytes N]
 //     Persistent analysis daemon on a unix-domain socket: each connection
 //     carries one length-prefixed request (source text + option bits) and
 //     receives the same report bytes the one-shot CLI would print.  All
@@ -52,9 +53,20 @@
 //     request, save the cache, and exit.  --stats/--stats-json on the
 //     daemon report server-lifetime counters plus per-request latency and
 //     queue-depth histograms.
+//       --workers N          pre-fork N worker processes sharing the
+//                            listening socket(s); a supervisor respawns
+//                            dead workers with backoff (stats stay
+//                            per-worker)
+//       --serve-tcp H:P      additional TCP frontend, same protocol
+//                            (connect with `tcp:HOST:PORT`)
+//       --cache-max-bytes N  compact the cache file (LRU-ish eviction,
+//                            atomic rename) whenever a save would push it
+//                            past N bytes
 //
-//   bivc --connect SOCKET FILE [--deadline-ms N]
-//   bivc --connect SOCKET --server-stats
+//   bivc --connect ENDPOINT FILE [--deadline-ms N]
+//   bivc --connect ENDPOINT --server-stats
+//     ENDPOINT is a unix socket path, or tcp:HOST:PORT for a --serve-tcp
+//     frontend.
 //     Blocking client for the daemon: sends FILE (honouring --all-values,
 //     --no-sccp, --materialize) and prints the server's report, or fetches
 //     the daemon's merged stats snapshot as JSON.  A non-ok status
@@ -84,6 +96,7 @@
 #include "ivclass/Pipeline.h"
 #include "ivclass/Report.h"
 #include "server/Client.h"
+#include "server/Fleet.h"
 #include "server/Server.h"
 #include "ssa/SCCP.h"
 #include "ssa/SSABuilder.h"
@@ -91,7 +104,9 @@
 #include "support/Stats.h"
 #include "transform/LoopPeel.h"
 #include "transform/StrengthReduce.h"
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -130,6 +145,11 @@ struct CliOptions {
   bool JobsSet = false;
   uint64_t DeadlineMs = 0;
   bool ServerStats = false;
+  unsigned Workers = server::DefaultWorkers;
+  bool WorkersSet = false;
+  std::string ServeTcp;
+  uint64_t CacheMaxBytes = server::DefaultCacheMaxBytes;
+  bool CacheMaxSet = false;
 
   // Fuzz mode.
   bool Fuzz = false;
@@ -154,9 +174,11 @@ int usage() {
                "       bivc --batch [-jN] [--summary] [--materialize] "
                "[--cache FILE] FILES...\n"
                "       bivc --serve SOCKET [-jN] [--admit N] "
-               "[--cache FILE]\n"
-               "       bivc --connect SOCKET FILE [--deadline-ms N] | "
-               "--connect SOCKET --server-stats\n"
+               "[--cache FILE] [--workers N]\n"
+               "            [--serve-tcp HOST:PORT] [--cache-max-bytes N]\n"
+               "       bivc --connect ENDPOINT FILE [--deadline-ms N] | "
+               "--connect ENDPOINT --server-stats\n"
+               "            (ENDPOINT: unix socket path or tcp:HOST:PORT)\n"
                "       bivc --fuzz N [--seed S] [--minimize] "
                "[--cache-oracle]\n"
                "       any mode: [--stats] [--stats-json FILE]\n");
@@ -166,6 +188,52 @@ int usage() {
 bool numericArg(const char *S) {
   return *S && std::string(S).find_first_not_of("0123456789") ==
                    std::string::npos;
+}
+
+/// Strict bounded parse for flags whose value feeds arithmetic (deadline
+/// ns conversion, admission counters, fork counts): the whole string must
+/// be decimal digits -- `-3` or `12x` never silently wraps through
+/// strtoul -- and the value must land in [\p Min, \p Max].  Diagnoses and
+/// returns false otherwise, matching the unknown-flag hard-error policy.
+bool parseBounded(const char *Flag, const std::string &Text, uint64_t Min,
+                  uint64_t Max, uint64_t &Out) {
+  if (Text.empty() ||
+      Text.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr,
+                 "bivc: %s requires a positive integer, got '%s'\n", Flag,
+                 Text.c_str());
+    return false;
+  }
+  uint64_t V = 0;
+  for (char C : Text) {
+    unsigned D = unsigned(C - '0');
+    if (V > (UINT64_MAX - D) / 10) {
+      std::fprintf(stderr, "bivc: %s value '%s' is out of range\n", Flag,
+                   Text.c_str());
+      return false;
+    }
+    V = V * 10 + D;
+  }
+  if (V < Min || V > Max) {
+    std::fprintf(stderr,
+                 "bivc: %s value %llu is out of range [%llu, %llu]\n",
+                 Flag, (unsigned long long)V, (unsigned long long)Min,
+                 (unsigned long long)Max);
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+/// The value of `--flag X` / `--flag=X`, advancing \p I for the two-token
+/// form.  Empty when there is no value.
+std::string flagValue(const std::string &A, size_t FlagLen, int &I,
+                      int Argc, char **Argv) {
+  if (A.size() > FlagLen && A[FlagLen] == '=')
+    return A.substr(FlagLen + 1);
+  if (I + 1 < Argc)
+    return Argv[++I];
+  return std::string();
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &O) {
@@ -225,24 +293,43 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
       }
     } else if (A == "--admit" || A.rfind("--admit=", 0) == 0) {
-      if (A.rfind("--admit=", 0) == 0)
-        O.AdmitLimit = std::strtoul(A.c_str() + 8, nullptr, 10);
-      else if (I + 1 < Argc && numericArg(Argv[I + 1]))
-        O.AdmitLimit = std::strtoul(Argv[++I], nullptr, 10);
-      else
+      // The limit seeds admission counters; an unchecked strtoul would let
+      // `--admit=-3` wrap to effectively-unbounded admission.
+      uint64_t V = 0;
+      if (!parseBounded("--admit", flagValue(A, 7, I, Argc, Argv), 1,
+                        1u << 20, V))
         return false;
+      O.AdmitLimit = size_t(V);
       O.AdmitSet = true;
-      if (O.AdmitLimit == 0) {
-        std::fprintf(stderr, "bivc: --admit requires a positive bound\n");
+    } else if (A == "--deadline-ms" || A.rfind("--deadline-ms=", 0) == 0) {
+      // Bounded so the server's ms -> ns conversion cannot overflow:
+      // anything past INT64_MAX/1e6 ms would wrap into the past and
+      // deadline-expire every request (or never).
+      if (!parseBounded("--deadline-ms", flagValue(A, 13, I, Argc, Argv),
+                        1, uint64_t(INT64_MAX) / 1000000u, O.DeadlineMs))
+        return false;
+    } else if (A == "--workers" || A.rfind("--workers=", 0) == 0) {
+      uint64_t V = 0;
+      if (!parseBounded("--workers", flagValue(A, 9, I, Argc, Argv), 1,
+                        server::MaxWorkers, V))
+        return false;
+      O.Workers = unsigned(V);
+      O.WorkersSet = true;
+    } else if (A == "--cache-max-bytes" ||
+               A.rfind("--cache-max-bytes=", 0) == 0) {
+      // Below ~4KB not even an empty cache image fits; treat it as the
+      // typo it is rather than thrash compaction forever.
+      if (!parseBounded("--cache-max-bytes",
+                        flagValue(A, 17, I, Argc, Argv), 4096, UINT64_MAX,
+                        O.CacheMaxBytes))
+        return false;
+      O.CacheMaxSet = true;
+    } else if (A == "--serve-tcp" || A.rfind("--serve-tcp=", 0) == 0) {
+      O.ServeTcp = flagValue(A, 11, I, Argc, Argv);
+      if (O.ServeTcp.empty()) {
+        std::fprintf(stderr, "bivc: --serve-tcp requires HOST:PORT\n");
         return false;
       }
-    } else if (A == "--deadline-ms" || A.rfind("--deadline-ms=", 0) == 0) {
-      if (A.rfind("--deadline-ms=", 0) == 0)
-        O.DeadlineMs = std::strtoull(A.c_str() + 14, nullptr, 10);
-      else if (I + 1 < Argc && numericArg(Argv[I + 1]))
-        O.DeadlineMs = std::strtoull(Argv[++I], nullptr, 10);
-      else
-        return false;
     } else if (A == "--server-stats") {
       O.ServerStats = true;
     } else if (A == "--summary") {
@@ -317,10 +404,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
                    "other modes\n");
       return false;
     }
+    if (O.CacheMaxSet && O.CacheFile.empty()) {
+      std::fprintf(stderr,
+                   "bivc: --cache-max-bytes requires --cache FILE\n");
+      return false;
+    }
     return true;
   }
   if (O.AdmitSet) {
     std::fprintf(stderr, "bivc: --admit only applies to --serve mode\n");
+    return false;
+  }
+  if (O.WorkersSet || !O.ServeTcp.empty() || O.CacheMaxSet) {
+    std::fprintf(stderr, "bivc: --workers, --serve-tcp, and "
+                         "--cache-max-bytes only apply to --serve mode\n");
     return false;
   }
   if (!O.ConnectSocket.empty()) {
@@ -498,6 +595,32 @@ int runServe(const CliOptions &O) {
   SO.Threads = O.JobsSet ? O.Jobs : 0;
   SO.AdmitLimit = O.AdmitLimit;
   SO.CachePath = O.CacheFile;
+  SO.CacheMaxBytes = O.CacheMaxBytes;
+  // Fault injection for the soak harness only; see ServerOptions.
+  if (const char *Tok = std::getenv("BIV_SERVE_CRASH_TOKEN"))
+    SO.CrashToken = Tok;
+
+  if (O.Workers > 1) {
+    // Fleet mode: fork first, thread later.  The supervisor owns the
+    // bound sockets and the socket file; stats remain per-worker, so the
+    // daemon-side --stats surfaces are not available here.
+    if (O.statsRequested())
+      std::fprintf(stderr,
+                   "bivc: --stats/--stats-json are per-worker; the fleet "
+                   "supervisor has none to report\n");
+    server::FleetOptions FO;
+    FO.SocketPath = O.ServeSocket;
+    FO.TcpSpec = O.ServeTcp;
+    FO.Workers = O.Workers;
+    FO.Worker = SO;
+    std::fprintf(stderr,
+                 "bivc: fleet of %u workers on %s (admit limit %zu per "
+                 "worker); SIGTERM drains\n",
+                 O.Workers, O.ServeSocket.c_str(), SO.AdmitLimit);
+    return server::runFleet(FO);
+  }
+
+  SO.TcpSpec = O.ServeTcp;
   server::Server S(O.ServeSocket, SO);
   std::string Err;
   if (!S.start(Err)) {
@@ -505,6 +628,8 @@ int runServe(const CliOptions &O) {
     return 1;
   }
   S.installSignalHandlers();
+  if (S.tcpPort() != 0)
+    std::fprintf(stderr, "bivc: serving on tcp port %d\n", S.tcpPort());
   std::fprintf(stderr,
                "bivc: serving on %s (admit limit %zu); SIGTERM drains\n",
                O.ServeSocket.c_str(), SO.AdmitLimit);
