@@ -93,10 +93,12 @@ std::string CacheEntry::serialize() const {
       Stats.ExitValuesMaterialized};
   for (uint64_t V : StatFields)
     putU64(Out, V);
-  const uint64_t KindFields[] = {Kinds.Linear,     Kinds.Polynomial,
-                                 Kinds.Geometric,  Kinds.WrapAround,
-                                 Kinds.Periodic,   Kinds.Monotonic,
-                                 Kinds.Invariant,  Kinds.Unknown};
+  const uint64_t KindFields[] = {Kinds.Linear,        Kinds.Polynomial,
+                                 Kinds.Geometric,     Kinds.CFinite,
+                                 Kinds.WrapAround,    Kinds.Periodic,
+                                 Kinds.Monotonic,     Kinds.PhasePeriodic,
+                                 Kinds.Invariant,     Kinds.Unknown,
+                                 Kinds.Partial};
   for (uint64_t V : KindFields)
     putU64(Out, V);
   putU64(Out, Instructions);
@@ -129,18 +131,21 @@ bool CacheEntry::deserialize(const std::string &Bytes) {
   Stats.MonotonicRegions = unsigned(StatFields[6]);
   Stats.UnknownRegions = unsigned(StatFields[7]);
   Stats.ExitValuesMaterialized = unsigned(StatFields[8]);
-  uint64_t KindFields[8];
+  uint64_t KindFields[11];
   for (uint64_t &V : KindFields)
     if (!getU64(Bytes, Pos, V))
       return false;
   Kinds.Linear = unsigned(KindFields[0]);
   Kinds.Polynomial = unsigned(KindFields[1]);
   Kinds.Geometric = unsigned(KindFields[2]);
-  Kinds.WrapAround = unsigned(KindFields[3]);
-  Kinds.Periodic = unsigned(KindFields[4]);
-  Kinds.Monotonic = unsigned(KindFields[5]);
-  Kinds.Invariant = unsigned(KindFields[6]);
-  Kinds.Unknown = unsigned(KindFields[7]);
+  Kinds.CFinite = unsigned(KindFields[3]);
+  Kinds.WrapAround = unsigned(KindFields[4]);
+  Kinds.Periodic = unsigned(KindFields[5]);
+  Kinds.Monotonic = unsigned(KindFields[6]);
+  Kinds.PhasePeriodic = unsigned(KindFields[7]);
+  Kinds.Invariant = unsigned(KindFields[8]);
+  Kinds.Unknown = unsigned(KindFields[9]);
+  Kinds.Partial = unsigned(KindFields[10]);
   if (!getU64(Bytes, Pos, Instructions) || !getU64(Bytes, Pos, Loops))
     return false;
   uint64_t NumCounters = 0;

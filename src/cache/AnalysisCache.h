@@ -20,7 +20,7 @@
 ///    *means* -- a stale-salt file is discarded wholesale on load), and
 ///  - an options fingerprint (the pipeline switches that change report
 ///    bytes: SCCP, exit-value materialization, classification on/off,
-///    all-values, nested tuples).
+///    all-values, nested tuples, multi-branch summarization).
 ///
 /// Values are the full per-function `UnitResult` payload: the rendered
 /// report, the InductionAnalysis stats, per-kind counts, instruction/loop
@@ -108,7 +108,7 @@ namespace cache {
 /// classification kinds, different closed forms, report format edits...):
 /// every existing cache file becomes stale at once.  tools/check_docs.sh
 /// cross-checks this constant against the value DESIGN.md documents.
-inline constexpr uint64_t AnalysisVersionSalt = 2;
+inline constexpr uint64_t AnalysisVersionSalt = 3;
 
 /// On-disk format revision (layout, not analysis semantics).  v2 added the
 /// generation counter to the tail footer (fleet-shared caches).

@@ -9,6 +9,7 @@ using namespace biv;
 using namespace biv::dependence;
 using ivclass::Classification;
 using ivclass::IVKind;
+using ivclass::MonotoneDir;
 
 const char *biv::dependence::depKindName(DepKind K) {
   switch (K) {
@@ -439,6 +440,36 @@ DependenceResult DependenceAnalyzer::testDimension(
       static const stats::Counter NumClosedFormEQ("dependence.closed_form_eq");
       NumClosedFormEQ.bump();
       DependenceResult R = maybeAll("closed form: strictly monotone");
+      for (LoopDirection &LD : R.Directions)
+        if (LD.L == SC.L) {
+          LD.Dirs = DirEQ;
+          LD.Distance = 0;
+        }
+      return R;
+    }
+  }
+
+  // Phase-periodic subscripts (the summarizer's per-phase closed forms):
+  // when both references follow the same k-tuple of forms in the same loop
+  // and the interleaved sequence value(h) = form[h mod k](h div k) is
+  // strictly monotone across every phase boundary (including the wrap into
+  // the next cycle), equal values meet only at equal iterations -- "=" with
+  // distance 0, exactly like the strict closed-form rule above.
+  if (SC.isPhasePeriodic() && DC.isPhasePeriodic() && SC.L && SC.L == DC.L &&
+      SC.Period == DC.Period && SC.PhaseForms == DC.PhaseForms) {
+    bool Numeric = true;
+    for (const ivclass::ClosedForm &F : SC.PhaseForms)
+      if (!F.initialValue().getConstant()) {
+        Numeric = false;
+        break;
+      }
+    if (Numeric &&
+        (SC.phaseSequenceStrictly(MonotoneDir::Increasing) ||
+         SC.phaseSequenceStrictly(MonotoneDir::Decreasing))) {
+      static const stats::Counter NumPhasePeriodicEQ(
+          "dependence.phase_periodic_eq");
+      NumPhasePeriodicEQ.bump();
+      DependenceResult R = maybeAll("phase-periodic: strictly monotone");
       for (LoopDirection &LD : R.Directions)
         if (LD.L == SC.L) {
           LD.Dirs = DirEQ;

@@ -88,6 +88,7 @@ BatchResult biv::driver::analyzeBatch(const std::vector<SourceInput> &Sources,
   PO.RunSCCP = Opts.RunSCCP;
   PO.VerifyEach = Opts.VerifyEach;
   PO.Analysis.MaterializeExitValues = Opts.MaterializeExitValues;
+  PO.Analysis.Summarize = Opts.Summarize;
 
   static const stats::Counter NumHits("cache.hit");
   static const stats::Counter NumMisses("cache.miss");
@@ -100,7 +101,8 @@ BatchResult biv::driver::analyzeBatch(const std::vector<SourceInput> &Sources,
                             (Opts.MaterializeExitValues ? 2u : 0u) |
                             (Opts.Classify ? 4u : 0u) |
                             (Opts.Report.AllValues ? 8u : 0u) |
-                            (Opts.Report.NestedTuples ? 16u : 0u);
+                            (Opts.Report.NestedTuples ? 16u : 0u) |
+                            (Opts.Summarize ? 32u : 0u);
 
   // Miss results parked per slot; the driver thread commits them to the
   // cache in input order after the pool drains (digest 0 = nothing to add).
@@ -250,7 +252,8 @@ std::string BatchResult::renderText() const {
          std::to_string(Kinds.Geometric) + ", wrap-around " +
          std::to_string(Kinds.WrapAround) + ", periodic " +
          std::to_string(Kinds.Periodic) + ", monotonic " +
-         std::to_string(Kinds.Monotonic) + ", invariant " +
+         std::to_string(Kinds.Monotonic) + ", phase-periodic " +
+         std::to_string(Kinds.PhasePeriodic) + ", invariant " +
          std::to_string(Kinds.Invariant) + ", unknown " +
          std::to_string(Kinds.Unknown) + "\n";
   Out += ";; regions: " + std::to_string(Stats.Regions) +

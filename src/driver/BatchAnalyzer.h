@@ -57,6 +57,9 @@ struct BatchOptions {
   bool MaterializeExitValues = false;
   /// Render a classification report per unit (off for pure throughput runs).
   bool Classify = true;
+  /// Multi-branch loop summarization (`bivc --batch --summarize`): sample,
+  /// conjecture, and prove per-phase closed forms for punted loops.
+  bool Summarize = false;
   ivclass::ReportOptions Report;
   /// Content-addressed result cache (`bivc --batch --cache FILE`), or null
   /// to analyze every unit.  Workers probe it concurrently after parsing

@@ -31,9 +31,10 @@ bool stillFails(const std::string &Candidate, const OracleOptions &Opts,
 /// a run served entirely from it must both render exactly like a run with
 /// no cache at all.  On divergence fills \p Detail and returns false.
 bool cacheColdWarmIdentical(const std::vector<driver::SourceInput> &Corpus,
-                            std::string &Detail) {
+                            bool Summarize, std::string &Detail) {
   driver::BatchOptions BO;
   BO.Report.AllValues = true;
+  BO.Summarize = Summarize;
   std::string Plain = driver::analyzeBatch(Corpus, BO).renderText();
   cache::AnalysisCache Cache; // in-memory: never opened, never saved
   BO.Cache = &Cache;
@@ -78,7 +79,8 @@ FuzzResult biv::fuzz::runFuzz(const FuzzOptions &Opts) {
       ++Result.CacheOracleRuns;
       Result.CacheChecked = true;
       std::string Detail;
-      if (!cacheColdWarmIdentical({Corpus.back()}, Detail)) {
+      if (!cacheColdWarmIdentical({Corpus.back()}, Opts.Oracle.Summarize,
+                                  Detail)) {
         Result.CacheDeterministic = false;
         Mismatch M;
         M.Check = "cache";
@@ -130,6 +132,7 @@ FuzzResult biv::fuzz::runFuzz(const FuzzOptions &Opts) {
   if (Opts.BatchJobs > 1 && !Corpus.empty()) {
     driver::BatchOptions BO;
     BO.Report.AllValues = true;
+    BO.Summarize = Opts.Oracle.Summarize;
     BO.Jobs = 1;
     std::string Serial = driver::analyzeBatch(Corpus, BO).renderText();
     BO.Jobs = Opts.BatchJobs;
@@ -163,6 +166,7 @@ std::string FuzzResult::renderText() const {
      << ", cfinite " << Checks.CFinite << ", partial " << Checks.Partial
      << ", wrap-around " << Checks.WrapAround << ", periodic "
      << Checks.Periodic << ", monotonic " << Checks.Monotonic
+     << ", phase-periodic " << Checks.PhasePeriodic
      << ", trip-count " << Checks.TripCount << ", behavior "
      << Checks.Behavior << ", baseline " << Checks.Baseline << ")\n";
   if (BatchChecked)

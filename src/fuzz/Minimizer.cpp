@@ -68,23 +68,79 @@ unsigned biv::fuzz::countStatements(const std::string &Source) {
   return countStmts(F->Body);
 }
 
+namespace {
+
+/// One removable region: a single statement line, or a whole balanced
+/// construct (loop / if-else) spanning [Begin, End) including its braces.
+struct Unit {
+  size_t Begin, End;
+};
+
+/// Groups the kept lines of [Begin, End) into removable units by brace
+/// balance.  A line opening more braces than it closes starts a construct
+/// that ends where the cumulative depth returns to zero, so an `if {} else
+/// {}` -- whose `} else {` line nets zero -- is one unit: dropping it
+/// removes both arms and the scaffolding together, which plain line chunks
+/// can almost never do without breaking the parse.  Scaffolding lines that
+/// both close and reopen at region level are never units of their own.
+std::vector<Unit> scanUnits(const std::vector<std::string> &Lines,
+                            const std::vector<bool> &Keep, size_t Begin,
+                            size_t End) {
+  std::vector<Unit> Units;
+  int Depth = 0;
+  size_t Start = 0;
+  for (size_t K = Begin; K < End; ++K) {
+    if (!Keep[K])
+      continue;
+    int Open = 0, Close = 0;
+    for (char C : Lines[K]) {
+      if (C == '#')
+        break;
+      Open += C == '{';
+      Close += C == '}';
+    }
+    if (Depth == 0) {
+      if (Open > Close) {
+        Start = K;
+        Depth = Open - Close;
+      } else if (Open == 0 && Close == 0) {
+        Units.push_back({K, K + 1});
+      }
+      // `} else {`-style lines (and stray closers) at region level are
+      // scaffolding of the enclosing construct: always kept here.
+    } else {
+      Depth += Open - Close;
+      if (Depth <= 0) {
+        Units.push_back({Start, K + 1});
+        Depth = 0;
+      }
+    }
+  }
+  return Units;
+}
+
+} // namespace
+
 MinimizeResult biv::fuzz::minimizeProgram(const std::string &Source,
                                           const StillFailing &Pred) {
   std::vector<std::string> Lines = splitLines(Source);
   std::vector<bool> Keep(Lines.size(), true);
   unsigned Probes = 0;
 
-  auto tryWithout = [&](size_t Begin, size_t End) {
-    // Tentatively drop kept lines in [Begin, End); commit if still failing.
-    // A chunk whose lines are all dropped already would re-test the current
-    // candidate verbatim, so it is skipped before Probes is charged: the
-    // counter reflects predicate runs that could change the outcome.
+  auto tryWithoutUnits = [&](const std::vector<Unit> &Units, size_t UB,
+                             size_t UE) {
+    // Tentatively drop every kept line of units [UB, UE); commit if still
+    // failing.  A chunk whose lines are all dropped already would re-test
+    // the current candidate verbatim, so it is skipped before Probes is
+    // charged: the counter reflects predicate runs that could change the
+    // outcome.
     std::vector<size_t> Dropped;
-    for (size_t K = Begin; K < End && K < Lines.size(); ++K)
-      if (Keep[K]) {
-        Keep[K] = false;
-        Dropped.push_back(K);
-      }
+    for (size_t U = UB; U < UE && U < Units.size(); ++U)
+      for (size_t K = Units[U].Begin; K < Units[U].End; ++K)
+        if (Keep[K]) {
+          Keep[K] = false;
+          Dropped.push_back(K);
+        }
     if (Dropped.empty())
       return false;
     ++Probes;
@@ -95,20 +151,32 @@ MinimizeResult biv::fuzz::minimizeProgram(const std::string &Source,
     return false;
   };
 
-  // ddmin: remove chunks, halving the chunk size until single lines.  Each
-  // chunk size runs to a fixed point, so after the size-1 passes no single
-  // line can be removed -- the survivor is already 1-minimal and a separate
-  // elimination sweep would only burn one failing probe per kept line.
-  for (size_t Chunk = Lines.size() / 2; Chunk >= 1; Chunk /= 2) {
-    bool Removed = true;
-    while (Removed) {
-      Removed = false;
-      for (size_t Begin = 0; Begin < Lines.size(); Begin += Chunk)
-        Removed |= tryWithout(Begin, Begin + Chunk);
+  // ddmin over units: remove chunks of units, halving the chunk size until
+  // single units.  Each chunk size runs to a fixed point, so after the
+  // size-1 passes no single unit of the region can be removed.  Surviving
+  // constructs then recurse: their interiors (the branch arms, the loop
+  // bodies) get the same treatment, down to single statements.
+  std::function<void(size_t, size_t)> ddminRegion = [&](size_t Begin,
+                                                        size_t End) {
+    std::vector<Unit> Units = scanUnits(Lines, Keep, Begin, End);
+    if (Units.empty())
+      return;
+    for (size_t Chunk = Units.size() == 1 ? 1 : Units.size() / 2; Chunk >= 1;
+         Chunk /= 2) {
+      bool Removed = true;
+      while (Removed) {
+        Removed = false;
+        for (size_t U = 0; U < Units.size(); U += Chunk)
+          Removed |= tryWithoutUnits(Units, U, U + Chunk);
+      }
+      if (Chunk == 1)
+        break;
     }
-    if (Chunk == 1)
-      break;
-  }
+    for (const Unit &U : Units)
+      if (U.End - U.Begin > 2 && Keep[U.Begin])
+        ddminRegion(U.Begin + 1, U.End - 1);
+  };
+  ddminRegion(0, Lines.size());
 
   MinimizeResult R;
   R.Source = joinKept(Lines, Keep);

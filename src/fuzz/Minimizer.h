@@ -9,15 +9,17 @@
 /// Shrinks a mismatching program to a (1-minimal) statement list before it
 /// is reported or checked into the regression corpus.
 ///
-/// The algorithm is Zeller's ddmin over source lines (the generator emits
-/// one statement per line); the chunk-size-1 passes run to a fixed point,
-/// so the result is 1-minimal without a separate sweep.  Structural damage
-/// -- removing a loop header but keeping its closing brace -- simply fails
-/// to parse, which the caller's predicate rejects, so no grammar awareness
-/// is needed beyond line granularity.  The final candidate is re-verified
-/// against the predicate before it is returned; if bookkeeping ever
-/// produced a non-failing candidate, the original input is handed back
-/// instead.
+/// The algorithm is Zeller's ddmin over *units*: single statement lines,
+/// or whole balanced constructs (a loop, an `if {} else {}` with both
+/// arms) grouped by brace balance, so a multi-branch construct drops in
+/// one probe instead of never parsing when a line chunk splits it.  Each
+/// region's chunk-size-1 passes run to a fixed point, then surviving
+/// constructs recurse into their interiors (branch arms, loop bodies),
+/// so the result is 1-minimal at every nesting level.  Structural damage
+/// still simply fails to parse, which the caller's predicate rejects.
+/// The final candidate is re-verified against the predicate before it is
+/// returned; if bookkeeping ever produced a non-failing candidate, the
+/// original input is handed back instead.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -119,6 +119,11 @@ private:
   void checkMonotonic(const ivclass::Classification &C,
                       const std::string &LoopName, const std::string &Name,
                       const std::vector<int64_t> &Seq);
+  void checkPhasePeriodic(ivclass::InductionAnalysis &IA,
+                          const ivclass::Classification &C,
+                          const std::string &LoopName, const std::string &Name,
+                          const std::vector<int64_t> &Seq,
+                          const SymbolEnv &Env);
   void checkMemberClaims(ivclass::InductionAnalysis &IA,
                          const analysis::DominatorTree &DT,
                          const analysis::Loop *L,
@@ -179,13 +184,15 @@ OracleResult OracleRun::run() {
     Result.FrontendErrors = std::move(Errors);
     return std::move(Result);
   }
-  ssa::SSAInfo Info = ssa::buildSSA(*F);
+  ssa::buildSSA(*F);
   ssa::verifySSAOrDie(*F);
   ssa::runSCCP(*F, /*SimplifyCFG=*/false);
   ssa::verifySSAOrDie(*F);
   analysis::DominatorTree DT(*F);
   analysis::LoopInfo LI(*F, DT);
-  ivclass::InductionAnalysis IA(*F, DT, LI);
+  ivclass::InductionAnalysis::Options AO;
+  AO.Summarize = Opts.Summarize;
+  ivclass::InductionAnalysis IA(*F, DT, LI, AO);
   IA.run();
   ssa::verifySSAOrDie(*F);
 
@@ -278,6 +285,8 @@ void OracleRun::checkLoopClaims(ivclass::InductionAnalysis &IA,
         checkPeriodic(IA, C, L->name(), Name, Seq, Env);
       else if (C.isMonotonic())
         checkMonotonic(C, L->name(), Name, Seq);
+      else if (C.isPhasePeriodic())
+        checkPhasePeriodic(IA, C, L->name(), Name, Seq, Env);
     } catch (const RationalOverflow &) {
       static const stats::Counter NumOverflowSkips(
           "fuzz.check.overflow_skips");
@@ -427,6 +436,30 @@ void OracleRun::checkWrapAround(ivclass::InductionAnalysis &IA,
       }
     }
     ++Result.Checks.WrapAround;
+  } else if (Inner->isPhasePeriodic() && Inner->Period >= 2 &&
+             Inner->PhaseForms.size() == Inner->Period) {
+    // Summarized reset variables land here: the solved per-phase forms
+    // only cover cycles past the peeled prefix, so the whole tuple rides
+    // behind a wrap-around whose order is a multiple of the period.
+    bool Checked = false;
+    for (size_t H = C.WrapOrder; H < Seq.size(); ++H) {
+      const size_t HS = H - C.WrapOrder;
+      std::optional<int64_t> Expected =
+          Env.eval(Inner->PhaseForms[HS % Inner->Period].evaluateAt(
+              int64_t(HS / Inner->Period)));
+      if (!Expected)
+        return;
+      Checked = true;
+      if (*Expected != Seq[H]) {
+        mismatch("wrap-around", LoopName, Name, IA.strNested(C),
+                 renderSeq(Seq) + " (value " + std::to_string(Seq[H]) +
+                     " at h=" + std::to_string(H) +
+                     ", inner phase form gives " + std::to_string(*Expected) +
+                     ")");
+        return;
+      }
+    }
+    Result.Checks.WrapAround += Checked;
   } else if (Inner->isMonotonic()) {
     std::vector<int64_t> Tail(Seq.begin() + C.WrapOrder, Seq.end());
     if (Tail.size() >= 2)
@@ -483,6 +516,34 @@ void OracleRun::checkMonotonic(const ivclass::Classification &C,
     }
   }
   ++Result.Checks.Monotonic;
+}
+
+void OracleRun::checkPhasePeriodic(ivclass::InductionAnalysis &IA,
+                                   const ivclass::Classification &C,
+                                   const std::string &LoopName,
+                                   const std::string &Name,
+                                   const std::vector<int64_t> &Seq,
+                                   const SymbolEnv &Env) {
+  if (C.Period < 2 || C.PhaseForms.size() != C.Period)
+    return;
+  // value(h) = PhaseForms[h mod k] evaluated at cycle index c = h div k.
+  bool Checked = false;
+  for (size_t H = 0; H < Seq.size(); ++H) {
+    const ivclass::ClosedForm &Form = C.PhaseForms[H % C.Period];
+    std::optional<int64_t> Expected =
+        Env.eval(Form.evaluateAt(int64_t(H / C.Period)));
+    if (!Expected)
+      return; // unbound symbol: claim not checkable on this run
+    Checked = true;
+    if (*Expected != Seq[H]) {
+      mismatch("phase-periodic", LoopName, Name, IA.strNested(C),
+               renderSeq(Seq) + " (value " + std::to_string(Seq[H]) +
+                   " at h=" + std::to_string(H) + ", phase form gives " +
+                   std::to_string(*Expected) + ")");
+      return;
+    }
+  }
+  Result.Checks.PhasePeriodic += Checked;
 }
 
 void OracleRun::checkTripCount(ivclass::InductionAnalysis &IA,
@@ -576,6 +637,7 @@ OracleResult biv::fuzz::checkProgram(const std::string &Source,
   static const stats::Counter FireWrapAround("fuzz.check.wrap_around");
   static const stats::Counter FirePeriodic("fuzz.check.periodic");
   static const stats::Counter FireMonotonic("fuzz.check.monotonic");
+  static const stats::Counter FirePhasePeriodic("fuzz.check.phase_periodic");
   static const stats::Counter FireTripCount("fuzz.check.trip_count");
   static const stats::Counter FireBehavior("fuzz.check.behavior");
   static const stats::Counter FireBaseline("fuzz.check.baseline");
@@ -589,6 +651,7 @@ OracleResult biv::fuzz::checkProgram(const std::string &Source,
   FireWrapAround.bump(R.Checks.WrapAround);
   FirePeriodic.bump(R.Checks.Periodic);
   FireMonotonic.bump(R.Checks.Monotonic);
+  FirePhasePeriodic.bump(R.Checks.PhasePeriodic);
   FireTripCount.bump(R.Checks.TripCount);
   FireBehavior.bump(R.Checks.Behavior);
   FireBaseline.bump(R.Checks.Baseline);

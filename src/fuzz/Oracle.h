@@ -60,6 +60,9 @@ struct OracleOptions {
   uint64_t ArraySeed = 1;
   /// Check classical-IV subsumption (classifier superset of baseline).
   bool CheckBaseline = true;
+  /// Run the multi-branch summarizer (ivclass --summarize) in the analyzed
+  /// build, so its phase-periodic claims are generated and checked.
+  bool Summarize = false;
   /// Per-value claims (closed form, wrap-around, periodic, monotonic) are
   /// statements over mathematical integers, while execution wraps in
   /// two's-complement int64.  When an observed sequence leaves this
@@ -79,8 +82,8 @@ struct OracleOptions {
 /// One violated claim.
 struct Mismatch {
   /// Which oracle fired: "closed-form", "partial", "wrap-around",
-  /// "periodic", "monotonic", "trip-count", "behavior", "baseline",
-  /// "execution".
+  /// "periodic", "monotonic", "phase-periodic", "trip-count", "behavior",
+  /// "baseline", "execution".
   std::string Check;
   std::string Loop;     ///< Loop name, when the claim is loop-relative.
   std::string Value;    ///< IR value name the claim is about.
@@ -104,13 +107,17 @@ struct CheckCounts {
   unsigned WrapAround = 0;
   unsigned Periodic = 0;
   unsigned Monotonic = 0;
+  /// Per-phase closed forms proved by the multi-branch summarizer
+  /// (value(h) = PhaseForms[h mod k](h div k)).  Only fires with
+  /// OracleOptions::Summarize on.
+  unsigned PhasePeriodic = 0;
   unsigned TripCount = 0;
   unsigned Behavior = 0;
   unsigned Baseline = 0;
 
   unsigned total() const {
     return ClosedForm + CFinite + Partial + WrapAround + Periodic +
-           Monotonic + TripCount + Behavior + Baseline;
+           Monotonic + PhasePeriodic + TripCount + Behavior + Baseline;
   }
   CheckCounts &operator+=(const CheckCounts &O) {
     ClosedForm += O.ClosedForm;
@@ -119,6 +126,7 @@ struct CheckCounts {
     WrapAround += O.WrapAround;
     Periodic += O.Periodic;
     Monotonic += O.Monotonic;
+    PhasePeriodic += O.PhasePeriodic;
     TripCount += O.TripCount;
     Behavior += O.Behavior;
     Baseline += O.Baseline;

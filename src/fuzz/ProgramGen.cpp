@@ -40,6 +40,12 @@ public:
     line(1, "pt = 0;");
     line(1, "pm = 0;");
     line(1, "ps = 0;");
+    // Multi-branch pool: fs is a sign flip-flop steering unequal-update
+    // arms, fz/fg the accumulators those arms drive (the summarizer's
+    // phase-periodic shapes).
+    line(1, "fs = 1;");
+    line(1, "fz = " + std::to_string(R.range(0, 5)) + ";");
+    line(1, "fg = 1;");
 
     unsigned TopLoops = unsigned(R.range(1, int64_t(Opts.MaxTopLoops)));
     for (unsigned T = 0; T < TopLoops; ++T)
@@ -122,7 +128,7 @@ private:
   /// One statement from the recurrence grammar.
   void genStatement(unsigned Depth, const std::string &IV) {
     std::string V = var(), W = var();
-    switch (R.range(0, 17)) {
+    switch (R.range(0, 20)) {
     case 0: // basic linear update
       line(Depth, V + " = " + V + " + " + num(1, 6) + ";");
       break;
@@ -220,6 +226,36 @@ private:
       line(Depth, "pm = pt - px;");
       line(Depth, "px = px * px + pm;");
       line(Depth, "ps = ps + pm;");
+      break;
+    case 18: // multi-branch flip-flop: unequal updates steered by a sign
+             // alternator (the summarizer's period-2 shape)
+      line(Depth, "if (fs > 0) {");
+      line(Depth + 1, "fz = fz + " + num(1, 6) + ";");
+      line(Depth, "} else {");
+      line(Depth + 1, "fz = fz - " + num(1, 4) + ";");
+      line(Depth, "}");
+      line(Depth, "fs = 0 - fs;");
+      break;
+    case 19: // ring-driven selector: the period-3 rotation picks an arm
+             // (p0 starts in [1,4]; p1/p2 are >= 5)
+      line(Depth, "if (p0 < 5) {");
+      line(Depth + 1, "fz = fz + " + num(1, 5) + ";");
+      line(Depth, "} else {");
+      line(Depth + 1, "fz = fz + " + num(6, 9) + ";");
+      line(Depth, "}");
+      line(Depth, "tmp = p0;");
+      line(Depth, "p0 = p1;");
+      line(Depth, "p1 = p2;");
+      line(Depth, "p2 = tmp;");
+      break;
+    case 20: // geometric arm: one phase doubles, the other adds (a
+             // multiplicative per-cycle composition)
+      line(Depth, "if (fs > 0) {");
+      line(Depth + 1, "fg = fg * 2;");
+      line(Depth, "} else {");
+      line(Depth + 1, "fg = fg + " + num(1, 3) + ";");
+      line(Depth, "}");
+      line(Depth, "fs = 0 - fs;");
       break;
     }
   }

@@ -14,7 +14,9 @@
 /// plus the c-finite extension: mixed updates x' = a*x + p(i), the resonant
 /// pair whose closed form needs h*2^h, a coupled two-variable system with
 /// integer eigenvalues, and an unsolvable SCC whose phi-free member is still
-/// classified (a partial closed form).
+/// classified (a partial closed form) -- and the multi-branch shapes the
+/// summarizer proves: sign-flip-flop steered unequal updates, ring-driven
+/// arm selection, and a doubling/adding geometric arm pair.
 ///
 /// Two invariants make the output fuzzer-friendly:
 ///  - every program terminates: loop bounds are small constants (or the

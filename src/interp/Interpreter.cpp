@@ -95,6 +95,8 @@ ExecutionTrace Machine::run() {
   const ir::BasicBlock *PrevBlock = nullptr;
 
   while (Block) {
+    if (Opts.TraceBlocks)
+      Trace.Blocks.push_back(Block);
     // Phase 1: evaluate all phis against the incoming edge simultaneously,
     // so swap/rotation patterns (the paper's periodic variables) read the
     // previous iteration's values.

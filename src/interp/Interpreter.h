@@ -48,6 +48,9 @@ struct ExecOptions {
   bool TraceValues = true;
   /// Record the array access log (the dependence oracle).
   bool TraceArrays = true;
+  /// Record the basic-block visit sequence (the branch-cycle conjecture
+  /// sampler reads per-iteration paths out of it).
+  bool TraceBlocks = false;
 };
 
 /// One dynamic array access.
@@ -67,6 +70,9 @@ struct ExecutionTrace {
 
   /// Array access log in execution order.
   std::vector<ArrayAccess> Accesses;
+
+  /// Basic-block visit sequence (only with TraceBlocks; entry block first).
+  std::vector<const ir::BasicBlock *> Blocks;
 
   std::optional<int64_t> ReturnValue;
   uint64_t Steps = 0;

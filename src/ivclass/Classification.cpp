@@ -26,6 +26,8 @@ const char *biv::ivclass::ivKindName(IVKind K) {
     return "periodic";
   case IVKind::Monotonic:
     return "monotonic";
+  case IVKind::PhasePeriodic:
+    return "phase-periodic";
   }
   assert(false && "unknown IVKind");
   return "<bad>";
@@ -87,6 +89,50 @@ Classification Classification::monotonic(const analysis::Loop *L,
   return C;
 }
 
+Classification Classification::phasePeriodic(
+    const analysis::Loop *L, unsigned Period,
+    std::vector<ClosedForm> PhaseForms) {
+  assert(Period >= 2 && PhaseForms.size() == Period &&
+         "phase-periodic summaries need one form per phase, period >= 2");
+  Classification C;
+  C.Kind = IVKind::PhasePeriodic;
+  C.L = L;
+  C.Period = Period;
+  C.PhaseForms = std::move(PhaseForms);
+  return C;
+}
+
+bool Classification::phaseSequenceStrictly(MonotoneDir Dir) const {
+  if (Kind != IVKind::PhasePeriodic || PhaseForms.size() != Period)
+    return false;
+  // The h-order sequence interleaves the phase forms: consecutive values
+  // are (phase p, cycle c) -> (phase p+1, cycle c), wrapping into
+  // (phase 0, cycle c+1).  Strict monotonicity holds when every
+  // consecutive difference is provably >= 1 (integer sequences).
+  try {
+    const ClosedForm One = ClosedForm::constant(Affine(1));
+    for (unsigned P = 0; P < Period; ++P) {
+      ClosedForm Next;
+      if (P + 1 < Period) {
+        Next = PhaseForms[P + 1];
+      } else {
+        std::optional<ClosedForm> Wrapped = PhaseForms[0].shifted(1);
+        if (!Wrapped)
+          return false;
+        Next = *Wrapped;
+      }
+      ClosedForm Diff = Dir == MonotoneDir::Increasing
+                            ? Next - PhaseForms[P]
+                            : PhaseForms[P] - Next;
+      if (!(Diff - One).provablyNonNegative())
+        return false;
+    }
+    return true;
+  } catch (const RationalOverflow &) {
+    return false;
+  }
+}
+
 bool Classification::isFlipFlop() const {
   if (Kind == IVKind::Periodic)
     return Period == 2;
@@ -141,6 +187,19 @@ std::string Classification::str(const SymbolNamer &Namer) const {
            (Strict ? "strictly " : "") +
            (Dir == MonotoneDir::Increasing ? "increasing" : "decreasing") +
            " (" + LoopName + ")";
+  case IVKind::PhasePeriodic: {
+    // Phase forms are functions of the cycle index: the value on iteration
+    // h = period*c + p is the p-th form at c (the rendered variable h is
+    // that cycle index).  Form 0 is also the composed whole-cycle form.
+    std::string Out = "phase-periodic(" + LoopName + ", period " +
+                      std::to_string(Period) + ", [";
+    for (size_t I = 0; I < PhaseForms.size(); ++I) {
+      if (I)
+        Out += " ; ";
+      Out += PhaseForms[I].str(Namer);
+    }
+    return Out + "])";
+  }
   }
   assert(false && "unknown IVKind");
   return "";

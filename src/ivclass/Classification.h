@@ -41,6 +41,10 @@ enum class IVKind {
   WrapAround, ///< settles into another class after `order` iterations.
   Periodic,   ///< member of a rotation family with period >= 2.
   Monotonic,  ///< only the direction (and strictness) is known.
+  /// Multi-branch loop summarization (beyond the paper, LoopSCC-style):
+  /// the loop's taken-branch sequence cycles with period k, and the value
+  /// follows a separate exact closed form on each phase of the cycle.
+  PhasePeriodic,
 };
 
 /// Returns "linear", "wrap-around", ... for diagnostics.
@@ -74,7 +78,7 @@ public:
   unsigned WrapOrder = 0;
   std::shared_ptr<Classification> Inner;
 
-  // --- Periodic ---
+  // --- Periodic / PhasePeriodic ---
   unsigned Period = 0;
   /// Identifies the family (all members share it).
   unsigned FamilyId = 0;
@@ -91,6 +95,13 @@ public:
   /// dependence tests can still reason about it).
   Rational PScale = Rational(1);
   Affine POffset;
+
+  // --- PhasePeriodic ---
+  /// One closed form per phase of the branch cycle: the value on iteration
+  /// h = Period*c + p is PhaseForms[p] evaluated at the cycle index c.
+  /// PhaseForms[0] doubles as the composed whole-cycle form (the value at
+  /// cycle boundaries).
+  std::vector<ClosedForm> PhaseForms;
 
   // --- Monotonic ---
   MonotoneDir Dir = MonotoneDir::Increasing;
@@ -126,6 +137,10 @@ public:
   static Classification monotonic(const analysis::Loop *L, MonotoneDir Dir,
                                   bool Strict);
 
+  static Classification phasePeriodic(const analysis::Loop *L,
+                                      unsigned Period,
+                                      std::vector<ClosedForm> PhaseForms);
+
   //===--------------------------------------------------------------------===//
   // Predicates
   //===--------------------------------------------------------------------===//
@@ -144,6 +159,14 @@ public:
   bool isMonotonic() const { return Kind == IVKind::Monotonic; }
   bool isPeriodic() const { return Kind == IVKind::Periodic; }
   bool isWrapAround() const { return Kind == IVKind::WrapAround; }
+  bool isPhasePeriodic() const { return Kind == IVKind::PhasePeriodic; }
+
+  /// For a PhasePeriodic value: true when the full iteration-order sequence
+  /// value(0), value(1), ... is provably strictly monotone in \p Dir
+  /// (conservative, numeric coefficients only).  This is what lets the
+  /// dependence tests reuse the strict-monotonic "=" rule on summarized
+  /// values.  Never throws: coefficient overflow answers false.
+  bool phaseSequenceStrictly(MonotoneDir Dir) const;
 
   /// A flip-flop is a period-2 periodic variable; geometric base -1 forms
   /// (the paper's `j = c - j`) also satisfy this.

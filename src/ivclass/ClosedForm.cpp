@@ -269,6 +269,46 @@ std::optional<ClosedForm> ClosedForm::shifted(int64_t Delta) const {
   return F;
 }
 
+std::optional<ClosedForm> ClosedForm::atLinear(int64_t K, int64_t P) const {
+  assert(K >= 1 && P >= 0 && "stretch needs a forward affine reindexing");
+  // Substitutes (K*c + P)^k via binomial expansion into Dst (index = power
+  // of c), scaling every contribution by Scale.
+  auto stretchPoly = [&](const std::vector<Affine> &Src,
+                         std::vector<Affine> &Dst, const Rational &Scale) {
+    if (Dst.size() < Src.size())
+      Dst.resize(Src.size());
+    for (size_t N = 0; N < Src.size(); ++N) {
+      if (Src[N].isZero())
+        continue;
+      // (K*c + P)^N = sum_j C(N,j) K^j P^(N-j) c^j.
+      Rational Binom(1); // C(N, 0)
+      for (size_t J = 0; J <= N; ++J) {
+        Rational Term = Binom * Rational(K).pow(static_cast<int64_t>(J)) *
+                        Rational(P).pow(static_cast<int64_t>(N - J));
+        Dst[J] += Src[N] * (Term * Scale);
+        Binom = Binom * Rational(static_cast<int64_t>(N - J)) /
+                Rational(static_cast<int64_t>(J + 1));
+      }
+    }
+  };
+  std::vector<Affine> NewPoly;
+  stretchPoly(Poly, NewPoly, Rational(1));
+  std::map<int64_t, ExpPoly> NewGeo;
+  // p(h) * b^h at h = K*c+P is (p(K*c+P) * b^P) * (b^K)^c.
+  for (const auto &[Base, Coeff] : Geo) {
+    Rational Stretched = Rational(Base).pow(K);
+    if (!Stretched.isInteger())
+      return std::nullopt;
+    int64_t NewBase = Stretched.getInteger();
+    ExpPoly Dst = NewGeo.count(NewBase) ? NewGeo[NewBase] : ExpPoly();
+    stretchPoly(Coeff, Dst, Rational(Base).pow(P));
+    NewGeo[NewBase] = std::move(Dst);
+  }
+  // makeExp folds base-1 terms ((-1)^h stretched by an even K) into the
+  // polynomial part and normalizes.
+  return makeExp(std::move(NewPoly), std::move(NewGeo));
+}
+
 std::optional<Affine> ClosedForm::evaluateAtAffine(const Affine &TC) const {
   if (!isLinear())
     return std::nullopt;

@@ -142,6 +142,13 @@ public:
   /// bases with Delta >= -62).
   std::optional<ClosedForm> shifted(int64_t Delta) const;
 
+  /// value(K*c + P) as a form in the new variable c (K >= 1, P >= 0): the
+  /// time-stretch that moves an iteration-domain form into the cycle domain
+  /// of a period-K branch cycle at phase P.  Exponential bases become b^K;
+  /// nullopt when a stretched base leaves int64.  May throw
+  /// RationalOverflow (coefficient arithmetic), like the other operators.
+  std::optional<ClosedForm> atLinear(int64_t K, int64_t P) const;
+
   /// Evaluates at a *symbolic* iteration count: only possible for linear
   /// forms (init + step*TC must stay affine).  This is how inner-loop exit
   /// values with symbolic trip counts (the triangular loop of Figure 9) are

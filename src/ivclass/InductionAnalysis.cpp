@@ -3,6 +3,7 @@
 #include "ivclass/InductionAnalysis.h"
 #include "ivclass/RecurrenceSolver.h"
 #include "ivclass/SSAGraph.h"
+#include "ivclass/Summarize.h"
 #include "ir/AffineOrder.h"
 #include "support/Stats.h"
 #include <algorithm>
@@ -275,6 +276,9 @@ private:
         return Classification::unknown();
       return Classification::wrapAround(C.L, C.WrapOrder, std::move(Inner));
     }
+    case IVKind::PhasePeriodic:
+      // Summaries are attached to header phis after classification and
+      // do not flow through the expression algebra.
     case IVKind::Unknown:
       return Classification::unknown();
     }
@@ -1203,6 +1207,12 @@ void InductionAnalysis::run() {
 void InductionAnalysis::processLoop(const analysis::Loop *L) {
   LoopClassifier(*this, L, tableFor(L), Opts, NextFamilyId, S).run();
 
+  // Second chance for punted multi-branch loops: runs after the classifier
+  // (it consumes sibling classifications) and before the trip count (which
+  // consumes the upgraded forms).
+  if (Opts.Summarize)
+    summarizeLoop(*this, L, tableFor(L));
+
   TripCountInfo TC = computeTripCount(
       *L, [&](const ir::Value *V) -> Classification {
         return classify(V, L);
@@ -1334,32 +1344,35 @@ void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
   // see through otherwise), plus wrap-arounds whose inner class has a
   // closed form -- those follow inner(h - order) once h >= order, so a
   // numeric trip count past the settle point yields an exact exit value.
+  // Periodic ring members and summarized phase-periodic tuples also have
+  // exact exit values when the trip count is numeric: the last execution's
+  // ring slot (or branch phase) is pinned by h mod period.
   // Copy the list first; materialization mutates the block contents.
   struct Candidate {
     const ir::Instruction *I;
-    ClosedForm Form;
-    unsigned MinH; // wrap-around settle point; Form is in h - MinH
+    const Classification *C; // resolved past wrap-around chains
+    unsigned MinH;           // wrap-around settle point; C is in h - MinH
   };
   std::vector<Candidate> Candidates;
   for (const auto &[V, C] : tableFor(L).entries()) {
     const auto *I = ir::dyn_cast<ir::Instruction>(V);
     if (!I || !L->contains(I->parent()))
       continue;
-    if (C->hasClosedForm()) {
-      Candidates.push_back({I, C->Form, 0});
-    } else if (C->isWrapAround()) {
-      unsigned Order = 0;
-      const Classification *W = C;
-      while (W->isWrapAround() && W->Inner) {
-        Order += W->WrapOrder;
-        W = W->Inner.get();
-      }
-      if (W->hasClosedForm())
-        Candidates.push_back({I, W->Form, Order});
+    unsigned Order = 0;
+    const Classification *W = C;
+    while (W->isWrapAround() && W->Inner) {
+      Order += W->WrapOrder;
+      W = W->Inner.get();
     }
+    if (W->hasClosedForm() ||
+        (W->isPeriodic() && W->Period >= 2 &&
+         W->RingInits.size() == W->Period) ||
+        (W->isPhasePeriodic() && W->Period >= 2 &&
+         W->PhaseForms.size() == W->Period))
+      Candidates.push_back({I, W, Order});
   }
 
-  for (const auto &[V, Form, MinH] : Candidates) {
+  for (const auto &[V, Cls, MinH] : Candidates) {
     // Where does the final execution land relative to the exit test?
     // Values above the test run once more than values below (section 5.2).
     int64_t Extra;
@@ -1384,12 +1397,23 @@ void InductionAnalysis::materializeExitValues(const analysis::Loop *L,
           continue; // the value never executed
         if (H < int64_t(MinH))
           continue; // still inside the wrap-around prefix
-        EV = Form.evaluateAt(H - int64_t(MinH));
-      } else if (MinH == 0) {
+        const int64_t HS = H - int64_t(MinH);
+        if (Cls->hasClosedForm())
+          EV = Cls->Form.evaluateAt(HS);
+        else if (Cls->isPeriodic())
+          EV = Cls->RingInits[(Cls->Phase + uint64_t(HS)) % Cls->Period] *
+                   Cls->PScale +
+               Cls->POffset;
+        else
+          EV = Cls->PhaseForms[uint64_t(HS) % Cls->Period].evaluateAt(
+              HS / int64_t(Cls->Period));
+      } else if (MinH == 0 && Cls->hasClosedForm()) {
         Affine At = Extra == 0 ? TCA : TCA + Affine(-1);
-        EV = Form.evaluateAtAffine(At);
+        EV = Cls->Form.evaluateAtAffine(At);
       } else {
-        continue; // symbolic count cannot prove h >= the settle point
+        // A symbolic count cannot prove h >= the settle point, and a ring
+        // or phase slot needs h mod period, so it needs a numeric count.
+        continue;
       }
     } catch (const RationalOverflow &) {
       static const stats::Counter NumOverflows(

@@ -77,6 +77,12 @@ public:
     /// Cap on the number of distinct (A, B) symbolic values tracked per
     /// node during SCR evaluation (paths through nested conditionals).
     unsigned MaxSymbolicPaths = 64;
+
+    /// Multi-branch loop summarization (Summarize.h): after the classifier
+    /// punts on a loop, conjecture a period-k branch cycle by sampling the
+    /// interpreter and prove exact per-phase closed forms.  Off by default
+    /// (the --summarize pipeline flag).
+    bool Summarize = false;
   };
 
   struct Stats {
@@ -134,6 +140,7 @@ public:
 
   ir::Function &function() const { return F; }
   const analysis::LoopInfo &loopInfo() const { return LI; }
+  const analysis::DominatorTree &domTree() const { return DT; }
 
   /// Names affine symbols by their IR value name.
   SymbolNamer namer() const;

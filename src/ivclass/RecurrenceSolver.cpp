@@ -34,7 +34,6 @@ constexpr unsigned MaxUnknowns = 16;
 /// Largest coupled system worth attempting (the classifier only builds
 /// small ones; the characteristic-polynomial root search below is exact and
 /// cheap at this size).
-constexpr unsigned MaxSystemSize = 4;
 
 /// Basis shape of an exponential-polynomial fit: powers of h up to PolyDeg,
 /// plus h^j * b^h for each (b, d) in ExpDeg with j <= d.

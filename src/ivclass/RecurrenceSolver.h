@@ -38,6 +38,12 @@
 namespace biv {
 namespace ivclass {
 
+/// Largest coupled system solveLinearSystem() accepts: the Faddeev-
+/// LeVerrier + deflation pipeline is exact-rational and its cost (and
+/// overflow odds) grow fast with the dimension.  Callers that can shrink a
+/// system (peeling, subsetting) should do so before handing it over.
+inline constexpr unsigned MaxSystemSize = 4;
+
 /// Solves X(h+1) = A*X(h) + B(h), X(0) = Init.  Returns the closed form of
 /// X, or nullopt when the solution is outside the representable space.
 std::optional<ClosedForm> solveLinearRecurrence(const Rational &A,

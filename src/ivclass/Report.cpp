@@ -19,6 +19,7 @@ const stats::Counter KindCFinite("ivclass.kind.cfinite");
 const stats::Counter KindWrapAround("ivclass.kind.wrap_around");
 const stats::Counter KindPeriodic("ivclass.kind.periodic");
 const stats::Counter KindMonotonic("ivclass.kind.monotonic");
+const stats::Counter KindPhasePeriodic("ivclass.kind.phase_periodic");
 const stats::Counter KindInvariant("ivclass.kind.invariant");
 const stats::Counter KindUnknown("ivclass.kind.unknown");
 // The punt-rate numerator: header phis the analysis gave up on entirely.
@@ -98,6 +99,9 @@ KindCounts biv::ivclass::countHeaderPhiKinds(InductionAnalysis &IA) {
       case IVKind::Monotonic:
         ++C.Monotonic;
         break;
+      case IVKind::PhasePeriodic:
+        ++C.PhasePeriodic;
+        break;
       case IVKind::Invariant:
         ++C.Invariant;
         break;
@@ -113,6 +117,7 @@ KindCounts biv::ivclass::countHeaderPhiKinds(InductionAnalysis &IA) {
   KindWrapAround.bump(C.WrapAround);
   KindPeriodic.bump(C.Periodic);
   KindMonotonic.bump(C.Monotonic);
+  KindPhasePeriodic.bump(C.PhasePeriodic);
   KindInvariant.bump(C.Invariant);
   KindUnknown.bump(C.Unknown);
   KindPartial.bump(C.Partial);

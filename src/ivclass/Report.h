@@ -44,6 +44,7 @@ struct KindCounts {
   unsigned WrapAround = 0;
   unsigned Periodic = 0;
   unsigned Monotonic = 0;
+  unsigned PhasePeriodic = 0;
   unsigned Invariant = 0;
   unsigned Unknown = 0;
   /// Header phis whose closed form was projected out of an otherwise
@@ -52,7 +53,7 @@ struct KindCounts {
 
   unsigned classified() const {
     return Linear + Polynomial + Geometric + CFinite + WrapAround +
-           Periodic + Monotonic + Invariant;
+           Periodic + Monotonic + PhasePeriodic + Invariant;
   }
 
   /// Accumulates \p O (batch drivers merge per-function counts).
@@ -64,6 +65,7 @@ struct KindCounts {
     WrapAround += O.WrapAround;
     Periodic += O.Periodic;
     Monotonic += O.Monotonic;
+    PhasePeriodic += O.PhasePeriodic;
     Invariant += O.Invariant;
     Unknown += O.Unknown;
     Partial += O.Partial;

@@ -47,9 +47,27 @@ TripCountInfo analyzeExitImpl(const analysis::Loop &L,
 
   Classification LC = Classify(Cmp->operand(0));
   Classification RC = Classify(Cmp->operand(1));
-  if (!LC.isAffineForm() || !RC.isAffineForm())
+  // Resolve wrap-around chains over phase-periodic cores (the shape the
+  // summarizer commits for reset variables and rotations): past the
+  // accumulated order W the value follows the inner per-phase forms at
+  // h - W.  The first W iterations carry no claim, so a count through a
+  // W > 0 resolution degrades from exact to an upper bound below.
+  unsigned LOrd = 0, ROrd = 0;
+  const Classification *LR = &LC, *RR = &RC;
+  while (LR->isWrapAround() && LR->Inner && LR->Inner->isPhasePeriodic()) {
+    LOrd += LR->WrapOrder;
+    LR = LR->Inner.get();
+  }
+  while (RR->isWrapAround() && RR->Inner && RR->Inner->isPhasePeriodic()) {
+    ROrd += RR->WrapOrder;
+    RR = RR->Inner.get();
+  }
+  const bool LPhase = LR->isPhasePeriodic();
+  const bool RPhase = RR->isPhasePeriodic();
+  if ((!LC.isAffineForm() && !LPhase) || (!RC.isAffineForm() && !RPhase))
     return Info;
-  ClosedForm A = LC.Form, B = RC.Form;
+  ClosedForm A = LPhase ? ClosedForm() : LC.Form;
+  ClosedForm B = RPhase ? ClosedForm() : RC.Form;
 
   // Normalize the *stay* condition to a < b (integer arithmetic: a <= b is
   // a < b+1).  The table in section 5.2, folded with the stay/exit sense.
@@ -81,6 +99,101 @@ TripCountInfo analyzeExitImpl(const analysis::Loop &L,
 
   Info.ExitBranch = Term;
   Info.ExitingBlock = Exiting;
+
+  // A phase-periodic operand (the summarizer's per-phase closed forms):
+  // rewrite both sides as forms in the cycle index c at h = W + K*c + p and
+  // take the minimum first-failing h over the phases.  Ordering compares
+  // only, fully numeric margins only.  W == 0 claims the exact count; a
+  // wrapped core (W > 0) claims an upper bound -- the warmup iterations
+  // are outside the proved domain, so the exit may fire earlier but never
+  // later than the bound.
+  if (LPhase || RPhase) {
+    if (Op == ir::Opcode::CmpEQ || Op == ir::Opcode::CmpNE)
+      return Info;
+    const unsigned K = LPhase ? LR->Period : RR->Period;
+    const unsigned W = LPhase ? LOrd : ROrd;
+    if (K < 2 || (LPhase && RPhase && (LR->Period != RR->Period || LOrd != ROrd)) ||
+        (LPhase && LR->L != &L) || (RPhase && RR->L != &L))
+      return Info;
+    ClosedForm One = ClosedForm::constant(Affine(1));
+    std::optional<int64_t> Best; // first failing h - W across phases
+    struct PhaseMargin {
+      ClosedForm A, B; // per-phase operand forms (functions of c)
+    };
+    std::vector<PhaseMargin> Ops(K);
+    for (unsigned P = 0; P < K; ++P) {
+      std::optional<ClosedForm> AP =
+          LPhase ? std::optional<ClosedForm>(LR->PhaseForms[P])
+                 : LC.Form.atLinear(int64_t(K), int64_t(W + P));
+      std::optional<ClosedForm> BP =
+          RPhase ? std::optional<ClosedForm>(RR->PhaseForms[P])
+                 : RC.Form.atLinear(int64_t(K), int64_t(W + P));
+      if (!AP || !BP)
+        return Info;
+      Ops[P] = {*AP, *BP};
+      ClosedForm E;
+      switch (Op) {
+      case ir::Opcode::CmpLT:
+        E = *BP - *AP;
+        break;
+      case ir::Opcode::CmpLE:
+        // Subtract before the +1, same as the affine path below.
+        E = *BP - *AP + One;
+        break;
+      case ir::Opcode::CmpGT:
+        E = *AP - *BP;
+        break;
+      case ir::Opcode::CmpGE:
+        E = *AP - *BP + One;
+        break;
+      default:
+        return Info;
+      }
+      if (!E.isLinear())
+        return Info;
+      std::optional<Rational> IC = E.coeff(0).getConstant();
+      std::optional<Rational> S = E.coeff(1).getConstant();
+      if (!IC || !S)
+        return Info;
+      // Stay at h = W + K*c + p iff E(c) > 0; c_p = first failing cycle.
+      std::optional<int64_t> CP;
+      if (!IC->isPositive())
+        CP = 0;
+      else if (S->isNegative())
+        CP = (*IC / -*S).ceil();
+      if (CP) {
+        int64_t H = int64_t(K) * *CP + int64_t(P);
+        if (!Best || H < *Best)
+          Best = H;
+      }
+    }
+    if (!Best)
+      return Info; // no phase's margin ever fails: possibly infinite
+    // Wrap guard: the count reasons over Z but execution wraps int64.
+    // Bound every operand's trajectory by evaluating each phase form at
+    // the extreme cycle indices reached (|base| >= 1 for every geometric
+    // term, so magnitudes peak at the endpoints); overflow throws and the
+    // wrapper degrades to Unknown.
+    const int64_t CEnd = *Best / int64_t(K) + 1;
+    for (unsigned P = 0; P < K; ++P) {
+      (void)Ops[P].A.evaluateAt(0);
+      (void)Ops[P].B.evaluateAt(0);
+      (void)Ops[P].A.evaluateAt(CEnd);
+      (void)Ops[P].B.evaluateAt(CEnd);
+    }
+    if (W > 0) {
+      // The wrapped warmup is unverified: the loop exits no later than
+      // W + Best, possibly earlier.
+      Info.K = TripCountInfo::Kind::Unknown;
+      Info.MaxCount = Affine(int64_t(W) + *Best);
+    } else if (*Best == 0) {
+      Info.K = TripCountInfo::Kind::Zero;
+    } else {
+      Info.K = TripCountInfo::Kind::Finite;
+      Info.Count = Affine(*Best);
+    }
+    return Info;
+  }
 
   // Equality-controlled loops: stay while a == b or a != b.
   if (Op == ir::Opcode::CmpEQ || Op == ir::Opcode::CmpNE) {
@@ -225,6 +338,15 @@ TripCountInfo biv::ivclass::computeTripCount(const analysis::Loop &L,
       continue; // Never fires; other exits decide.
     if (One.K != TripCountInfo::Kind::Finite) {
       AllNumeric = false;
+      // An Unknown exit that still carries an upper bound (a wrapped
+      // phase-periodic count) tightens the combined bound: the loop exits
+      // no later than the earliest bound over its exits.
+      if (One.K == TripCountInfo::Kind::Unknown && One.MaxCount &&
+          One.MaxCount->isConstant()) {
+        if (!Min || (Min->isConstant() &&
+                     *One.MaxCount->getConstant() < *Min->getConstant()))
+          Min = *One.MaxCount;
+      }
       continue;
     }
     if (One.Guarded || !One.Count.isConstant())

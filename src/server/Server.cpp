@@ -390,11 +390,13 @@ Response Server::analyze(const Request &Q) {
   const bool Classify = (Q.OptsBits & 4) != 0;
   const bool AllValues = (Q.OptsBits & 8) != 0;
   const bool NestedTuples = (Q.OptsBits & 16) != 0;
+  const bool Summarize = (Q.OptsBits & 32) != 0;
 
   ivclass::PipelineOptions PO;
   PO.RunSCCP = RunSCCP;
   PO.VerifyEach = false;
   PO.Analysis.MaterializeExitValues = Materialize;
+  PO.Analysis.Summarize = Summarize;
   ivclass::ReportOptions RO;
   RO.AllValues = AllValues;
   RO.NestedTuples = NestedTuples;

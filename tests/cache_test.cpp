@@ -520,21 +520,28 @@ TEST(AnalysisCacheTest, TornAppendDegradesToInvalidationOrRetry) {
   // torn state (clean retry), not adopt it; the next save must rebuild.
   TempPath P("cache_torn.bin");
   std::string Err;
-  uint64_t D = unitDigest("f", 0);
+  // A fresh save lays records out in digest order, so give "intact" (the
+  // record the tear must spare) whichever digest sorts first.
+  uint64_t D = std::min(unitDigest("f", 0), unitDigest("g", 0));
+  uint64_t D2 = std::max(unitDigest("f", 0), unitDigest("g", 0));
   {
     AnalysisCache C;
     ASSERT_TRUE(C.open(P.Path, Err)) << Err;
     C.insert(D, sampleEntry("intact"));
-    C.insert(unitDigest("g", 0), sampleEntry("also intact"));
+    C.insert(D2, sampleEntry("also intact"));
     ASSERT_TRUE(C.save(Err)) << Err;
   }
 
   AnalysisCache Reader;
   ASSERT_TRUE(Reader.open(P.Path, Err)) << Err;
 
-  // Tear the file mid-record (inside the second entry's bytes).
-  uintmax_t Full = std::filesystem::file_size(P.Path);
-  std::filesystem::resize_file(P.Path, 24 + (Full - 24) / 3);
+  // Tear the file mid-record (inside the second entry's bytes): the first
+  // record spans [24, 24 + 16 + |entry|), so cut a little past its end.
+  // Computing the offset from the record's real length keeps the tear on
+  // the second record no matter how CacheEntry's layout evolves.
+  uintmax_t Rec1End = 24 + 16 + sampleEntry("intact").serialize().size();
+  ASSERT_GT(std::filesystem::file_size(P.Path), Rec1End + 16);
+  std::filesystem::resize_file(P.Path, Rec1End + 10);
 
   // The live reader: refresh sees a change but refuses the torn image and
   // keeps serving its intact snapshot.

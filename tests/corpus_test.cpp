@@ -46,6 +46,7 @@ std::string analyzeReport(const std::string &Name, const std::string &Text) {
   driver::BatchOptions BO;
   BO.Jobs = 1;
   BO.Report.AllValues = true;
+  BO.Summarize = true;
   driver::BatchResult R = driver::analyzeBatch({{Name, Text}}, BO);
   std::string Out;
   for (const driver::UnitResult &U : R.Units) {
@@ -66,7 +67,9 @@ TEST(CorpusTest, DirectoryIsNotEmpty) {
 TEST(CorpusTest, OracleCleanOnEveryProgram) {
   for (const fs::path &P : corpusFiles()) {
     std::string Src = slurp(P);
-    fuzz::OracleResult R = fuzz::checkProgram(Src);
+    fuzz::OracleOptions OO;
+    OO.Summarize = true;
+    fuzz::OracleResult R = fuzz::checkProgram(Src, OO);
     EXPECT_TRUE(R.ParseOK) << P.filename();
     for (const fuzz::Mismatch &M : R.Mismatches)
       ADD_FAILURE() << P.filename().string() << ": " << M.str();
@@ -113,6 +116,7 @@ TEST(CorpusTest, CachedReportsMatchGoldensColdWarmAndStale) {
     driver::BatchOptions BO;
     BO.Jobs = 1;
     BO.Report.AllValues = true;
+    BO.Summarize = true;
     BO.Cache = &C;
     return driver::analyzeBatch(Sources, BO);
   };

@@ -323,3 +323,86 @@ TEST(FuzzCampaignTest, CampaignIsReproducible) {
   EXPECT_EQ(A.renderText(), B.renderText());
   EXPECT_EQ(A.Checks.total(), B.Checks.total());
 }
+
+TEST(FuzzMinimizerTest, MultiBranchReproSurvivesMinimization) {
+  // A summarizer repro: the failure lives in the interplay of the phase
+  // flag, both branch arms, and the break -- ddmin must keep the whole
+  // diamond (dropping one arm kills the phase cycle) while stripping the
+  // unrelated statements around it.  The predicate re-runs the analysis:
+  // "the summarizer still proves a phase-periodic tuple for z behind a
+  // wrap-around prefix", exactly the claim an oracle mismatch would have
+  // been reported against.
+  const std::string Src = "func f(n) {\n"
+                          " junk1 = 17;\n"
+                          " junk2 = junk1 * 3;\n"
+                          " t = 0;\n"
+                          " z = 0;\n"
+                          " acc = 0;\n"
+                          " for L: i = 1 to 40 {\n"
+                          " junk2 = junk2 + 1;\n"
+                          " if (t == 0) {\n"
+                          " z = z + 5;\n"
+                          " t = 1;\n"
+                          " } else {\n"
+                          " z = z - 2;\n"
+                          " t = 0;\n"
+                          " }\n"
+                          " acc = acc + junk2;\n"
+                          " }\n"
+                          " return z;\n"
+                          "}\n";
+  StillFailing Pred = [](const std::string &Candidate) {
+    using namespace biv::testutil;
+    if (countStatements(Candidate) == 0)
+      return false;
+    // Pre-validate: ddmin slices can drop a definition a later use still
+    // references; analyze() would abort on those, so weed them out with
+    // the non-fatal front end first.
+    {
+      std::vector<std::string> Errors;
+      if (!frontend::parseAndLower(Candidate, Errors))
+        return false;
+    }
+    try {
+      ivclass::InductionAnalysis::Options Opts;
+      Opts.Summarize = true;
+      Analyzed A = analyze(Candidate, /*RunSCCP=*/true, Opts);
+      const analysis::Loop *L = nullptr;
+      for (const auto &Lp : A.LI->loops())
+        if (!Lp->parent())
+          L = Lp.get();
+      if (!L)
+        return false;
+      for (ir::Instruction *Phi : L->header()->phis()) {
+        const ivclass::Classification &C = A.IA->classify(Phi, L);
+        const ivclass::Classification *W = &C;
+        while (W->isWrapAround() && W->Inner)
+          W = W->Inner.get();
+        // The repro's claim is about the accumulator: a period-2 tuple
+        // whose phase forms actually grow with the cycle index.  (The
+        // bare flip-flop flag also summarizes at period 2, but with
+        // invariant phases -- it must not satisfy the predicate alone.)
+        if (W->isPhasePeriodic() && W->Period == 2 &&
+            !W->PhaseForms.empty() && !W->PhaseForms[0].isInvariant())
+          return true;
+      }
+    } catch (...) {
+      return false;
+    }
+    return false;
+  };
+  ASSERT_TRUE(Pred(Src));
+  MinimizeResult R = minimizeProgram(Src, Pred);
+  // The original predicate still fails (holds) on the minimized program...
+  EXPECT_TRUE(Pred(R.Source));
+  EXPECT_TRUE(R.Parses);
+  // ...and the diamond survived whole: both arm updates are still there,
+  // while the junk tracker and the accumulator are gone.
+  EXPECT_NE(R.Source.find("z = z + 5"), std::string::npos) << R.Source;
+  EXPECT_NE(R.Source.find("z = z - 2"), std::string::npos) << R.Source;
+  EXPECT_EQ(R.Source.find("junk1"), std::string::npos) << R.Source;
+  EXPECT_EQ(R.Source.find("acc"), std::string::npos) << R.Source;
+  // 1-minimal core: flag init, z init, the loop, the diamond (two arm
+  // bodies, two flag flips), and nothing else.
+  EXPECT_LE(R.Statements, 9u) << R.Source;
+}

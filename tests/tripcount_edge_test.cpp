@@ -152,3 +152,115 @@ TEST(TripCountEdgeTest, SymbolicUnitStrideStillGuarded) {
   ASSERT_EQ(TC.K, TripCountInfo::Kind::Finite);
   EXPECT_TRUE(TC.Guarded);
 }
+
+//===----------------------------------------------------------------------===//
+// Branch-cyclic (summarized) exits.  A break whose controlling value is a
+// phase-periodic tuple behind a wrap-around prefix has a computable first
+// failing iteration; the prefix itself is unverified, so the analysis
+// reports an upper bound (Unknown + MaxCount), never an exact count.  The
+// interpreter supplies the ground truth the bound must cover.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ivclass::InductionAnalysis::Options summarizedOpts() {
+  ivclass::InductionAnalysis::Options Opts;
+  Opts.Summarize = true;
+  return Opts;
+}
+
+} // namespace
+
+TEST(TripCountEdgeTest, BranchCyclicBreakYieldsSoundUpperBound) {
+  // z flip-flops +5 / -2 (net +3 per 2-cycle) and the break trips at
+  // z > 50; the phase forms sit behind a wrap-around prefix, so the exact
+  // first-failing iteration becomes a MaxCount bound.  The machine's own
+  // exit iteration (returned in c) must never exceed it.
+  Analyzed A = analyze("func f() {"
+                       "  t = 0; z = 0; c = 0;"
+                       "  for L: i = 1 to 1000000 {"
+                       "    if (z > 50) break;"
+                       "    if (t == 0) { z = z + 5; t = 1; }"
+                       "    else { z = z - 2; t = 0; }"
+                       "    c = c + 1;"
+                       "  }"
+                       "  return c; }",
+                       /*RunSCCP=*/true, summarizedOpts());
+  const TripCountInfo &TC = A.IA->tripCount(A.loop("L"));
+  EXPECT_EQ(TC.K, TripCountInfo::Kind::Unknown);
+  ASSERT_TRUE(TC.MaxCount.has_value());
+  ASSERT_TRUE(TC.MaxCount->isConstant());
+  const int64_t Bound = TC.MaxCount->getConstant()->getInteger();
+
+  interp::ExecOptions EO;
+  EO.TraceValues = false;
+  EO.TraceArrays = false;
+  interp::ExecutionTrace T = interp::run(*A.F, {}, EO);
+  ASSERT_TRUE(T.ok()) << T.Error;
+  ASSERT_TRUE(T.ReturnValue.has_value());
+  // Sound and, for this shape, tight: the warmup prefix completes and the
+  // first failing phase evaluation is exact.
+  EXPECT_LE(*T.ReturnValue, Bound);
+  EXPECT_EQ(Bound, 33);
+  EXPECT_EQ(*T.ReturnValue, 33);
+}
+
+TEST(TripCountEdgeTest, BranchCyclicBoundFoldsIntoMultiExitMinimum) {
+  // Same break, but the for-bound 10 is the tighter exit: the combined
+  // count folds the numeric bound of the countable exit against the
+  // break's MaxCount and keeps the minimum.
+  Analyzed A = analyze("func f() {"
+                       "  t = 0; z = 0; c = 0;"
+                       "  for L: i = 1 to 10 {"
+                       "    if (z > 50) break;"
+                       "    if (t == 0) { z = z + 5; t = 1; }"
+                       "    else { z = z - 2; t = 0; }"
+                       "    c = c + 1;"
+                       "  }"
+                       "  return c; }",
+                       /*RunSCCP=*/true, summarizedOpts());
+  const TripCountInfo &TC = A.IA->tripCount(A.loop("L"));
+  EXPECT_EQ(TC.K, TripCountInfo::Kind::Unknown);
+  ASSERT_TRUE(TC.MaxCount.has_value());
+  ASSERT_TRUE(TC.MaxCount->isConstant());
+  EXPECT_EQ(TC.MaxCount->getConstant()->getInteger(), 10);
+
+  interp::ExecOptions EO;
+  EO.TraceValues = false;
+  EO.TraceArrays = false;
+  interp::ExecutionTrace T = interp::run(*A.F, {}, EO);
+  ASSERT_TRUE(T.ok()) << T.Error;
+  ASSERT_TRUE(T.ReturnValue.has_value());
+  EXPECT_EQ(*T.ReturnValue, 10);
+}
+
+TEST(TripCountEdgeTest, BranchCyclicHugeStepsDegradeWithoutALie) {
+  // Per-phase steps near 2^62: the mathematical first-failing iteration
+  // would be tiny, but the executed values wrap int64 before ever failing
+  // the mathematical test -- the analysis must not claim a finite count or
+  // a wrapped bound.  (Exact-rational proof or evaluation overflows and
+  // degrades; either way the only sound numeric answer left is the
+  // enclosing for-bound.)
+  Analyzed A = analyze("func f() {"
+                       "  t = 0; z = 0; c = 0;"
+                       "  for L: i = 1 to 1000000 {"
+                       "    if (z > 9000000000000000000) break;"
+                       "    if (t == 0) { z = z + 5000000000000000000; t = 1; }"
+                       "    else { z = z - 1; t = 0; }"
+                       "    c = c + 1;"
+                       "  }"
+                       "  return c; }",
+                       /*RunSCCP=*/true, summarizedOpts());
+  const TripCountInfo &TC = A.IA->tripCount(A.loop("L"));
+  EXPECT_NE(TC.K, TripCountInfo::Kind::Finite);
+  if (TC.MaxCount && TC.MaxCount->isConstant()) {
+    // Any surviving bound must cover the machine's real exit iteration.
+    interp::ExecOptions EO;
+    EO.TraceValues = false;
+    EO.TraceArrays = false;
+    interp::ExecutionTrace T = interp::run(*A.F, {}, EO);
+    ASSERT_TRUE(T.ok()) << T.Error;
+    ASSERT_TRUE(T.ReturnValue.has_value());
+    EXPECT_LE(*T.ReturnValue, TC.MaxCount->getConstant()->getInteger());
+  }
+}

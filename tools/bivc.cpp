@@ -124,6 +124,7 @@ struct CliOptions {
   bool TripCounts = false;
   bool StrengthReduce = false;
   bool RunSCCP = true;
+  bool Summarize = false;
   bool Run = false;
   std::string PeelLoop;
   unsigned PeelTimes = 1;
@@ -170,9 +171,9 @@ int usage() {
                "usage: bivc FILE [--ir] [--classify] [--all-values] "
                "[--deps] [--trip-counts]\n"
                "            [--peel=LOOP[:N]] [--strength-reduce] "
-               "[--no-sccp] [--run] [-- args...]\n"
+               "[--no-sccp] [--summarize] [--run] [-- args...]\n"
                "       bivc --batch [-jN] [--summary] [--materialize] "
-               "[--cache FILE] FILES...\n"
+               "[--summarize] [--cache FILE] FILES...\n"
                "       bivc --serve SOCKET [-jN] [--admit N] "
                "[--cache FILE] [--workers N]\n"
                "            [--serve-tcp HOST:PORT] [--cache-max-bytes N]\n"
@@ -357,6 +358,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.StrengthReduce = true;
     } else if (A == "--no-sccp") {
       O.RunSCCP = false;
+    } else if (A == "--summarize") {
+      O.Summarize = true;
     } else if (A == "--run") {
       O.Run = true;
     } else if (A == "--stats") {
@@ -507,6 +510,7 @@ int runFuzzMode(const CliOptions &O) {
   FO.Seed = O.FuzzSeed;
   FO.Minimize = O.FuzzMinimize;
   FO.CacheOracleAlways = O.FuzzCacheOracle;
+  FO.Oracle.Summarize = O.Summarize;
   fuzz::FuzzResult R = fuzz::runFuzz(FO);
   std::string Text = R.renderText();
   std::fwrite(Text.data(), 1, Text.size(), stdout);
@@ -535,6 +539,7 @@ int runBatch(const CliOptions &O) {
   BO.RunSCCP = O.RunSCCP;
   BO.MaterializeExitValues = O.Materialize;
   BO.Classify = !O.SummaryOnly;
+  BO.Summarize = O.Summarize;
   BO.Report.AllValues = O.AllValues;
 
   cache::AnalysisCache Cache;
@@ -663,7 +668,7 @@ int runConnect(const CliOptions &O) {
     // pipeline's defaults, and --connect promises byte-identity with it
     // (--batch defaults materialization off instead).
     Q.OptsBits = (O.RunSCCP ? 1u : 0u) | 2u | (O.Classify ? 4u : 0u) |
-                 (O.AllValues ? 8u : 0u) | 16u;
+                 (O.AllValues ? 8u : 0u) | 16u | (O.Summarize ? 32u : 0u);
     Q.DeadlineMs = O.DeadlineMs;
   }
   server::Response R;
@@ -740,7 +745,9 @@ int main(int Argc, char **Argv) {
 
   analysis::DominatorTree DT(*F);
   analysis::LoopInfo LI(*F, DT);
-  ivclass::InductionAnalysis IA(*F, DT, LI);
+  ivclass::InductionAnalysis::Options AO;
+  AO.Summarize = O.Summarize;
+  ivclass::InductionAnalysis IA(*F, DT, LI, AO);
   IA.run();
 
   if (O.StrengthReduce) {

@@ -185,10 +185,54 @@ if grep -q "CFinite" src/ivclass/Classification.h; then
   fi
 fi
 
+# 8. Summarizer constants: DESIGN.md section 14 states the conjecture
+# bounds in bold; both live in src/ivclass/Summarize.h and must match.
+CODE_SUMM_PERIOD=$(sed -n \
+  's/.*SummarizeMaxPeriod = \([0-9][0-9]*\);.*/\1/p' \
+  src/ivclass/Summarize.h)
+DOC_SUMM_PERIOD=$(sed -n \
+  's/.*`SummarizeMaxPeriod` (currently \*\*\([0-9][0-9]*\)\*\*.*/\1/p' \
+  DESIGN.md)
+if [ -z "$CODE_SUMM_PERIOD" ]; then
+  echo "docs_check: cannot find SummarizeMaxPeriod in" \
+       "src/ivclass/Summarize.h" >&2
+  FAIL=1
+elif [ -z "$DOC_SUMM_PERIOD" ]; then
+  echo "docs_check: DESIGN.md does not document the current" \
+       "SummarizeMaxPeriod" >&2
+  FAIL=1
+elif [ "$CODE_SUMM_PERIOD" != "$DOC_SUMM_PERIOD" ]; then
+  echo "docs_check: DESIGN.md documents SummarizeMaxPeriod" \
+       "$DOC_SUMM_PERIOD but src/ivclass/Summarize.h says" \
+       "$CODE_SUMM_PERIOD" >&2
+  FAIL=1
+fi
+CODE_SUMM_SAMPLES=$(sed -n \
+  's/.*SummarizeSampleCount = \([0-9][0-9]*\);.*/\1/p' \
+  src/ivclass/Summarize.h)
+DOC_SUMM_SAMPLES=$(sed -n \
+  's/.*`SummarizeSampleCount` (currently \*\*\([0-9][0-9]*\)\*\*.*/\1/p' \
+  DESIGN.md)
+if [ -z "$CODE_SUMM_SAMPLES" ]; then
+  echo "docs_check: cannot find SummarizeSampleCount in" \
+       "src/ivclass/Summarize.h" >&2
+  FAIL=1
+elif [ -z "$DOC_SUMM_SAMPLES" ]; then
+  echo "docs_check: DESIGN.md does not document the current" \
+       "SummarizeSampleCount" >&2
+  FAIL=1
+elif [ "$CODE_SUMM_SAMPLES" != "$DOC_SUMM_SAMPLES" ]; then
+  echo "docs_check: DESIGN.md documents SummarizeSampleCount" \
+       "$DOC_SUMM_SAMPLES but src/ivclass/Summarize.h says" \
+       "$CODE_SUMM_SAMPLES" >&2
+  FAIL=1
+fi
+
 if [ "$FAIL" = 0 ]; then
   echo "docs_check: OK ($(echo "$FLAGS" | wc -w) flags," \
        "$(echo "$PATHS" | wc -w) paths, cache salt $CODE_SALT," \
        "protocol version $CODE_PROTO, alloc ceiling $CODE_CEIL," \
-       "fleet defaults $CODE_WORKERS/$CODE_CACHE_CAP verified)"
+       "fleet defaults $CODE_WORKERS/$CODE_CACHE_CAP," \
+       "summarizer $CODE_SUMM_PERIOD/$CODE_SUMM_SAMPLES verified)"
 fi
 exit "$FAIL"

@@ -86,6 +86,24 @@ case "$CF_OUT" in
     ;;
 esac
 
+# Summarizer slice: the multi-branch summarization suite runs in the
+# instrumented tree, and a dedicated campaign slice with --summarize must
+# report nonzero phase-periodic oracle checks -- generator drift that stops
+# producing branch-cyclic shapes (or a summarizer that silently stops
+# firing) dies here, under the sanitizers.
+cmake --build "$BUILD" --target summarize_test -j "$(nproc)" >/dev/null
+"$BUILD/tests/summarize_test" >/dev/null
+echo "fuzz: summarizer suites clean under ASan/UBSan"
+SUMM_OUT="$("$BIVC" --fuzz "$((COUNT / 10 + 1))" --seed "$((SEED + 3))" --summarize)"
+printf '%s\n' "$SUMM_OUT" | head -n 1
+case "$SUMM_OUT" in
+  *"phase-periodic 0,"*)
+    echo "run_fuzz.sh: --summarize campaign slice never exercised the" \
+         "phase-periodic oracle (generator drift?)" >&2
+    exit 1
+    ;;
+esac
+
 # A slice of the budget runs with the cache oracle forced on for every
 # program; the main campaign keeps the default sampled (~1/8) oracle.
 "$BIVC" --fuzz "$((COUNT / 10 + 1))" --seed "$((SEED + 1))" --cache-oracle
